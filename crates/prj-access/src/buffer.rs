@@ -1,0 +1,225 @@
+//! Seen-prefix buffers (`P_i`) and their summary statistics.
+
+use crate::kind::AccessKind;
+use crate::tuple::Tuple;
+
+/// The seen prefix `P_i ⊆ R_i` of a relation, in access order, together with
+/// the summary values the bounding schemes read:
+///
+/// * the depth `p_i = |P_i|`;
+/// * the distance from the query of the first and last accessed tuple
+///   (`δ(x(R_i[1]), q)` and `δ(x(R_i[p_i]), q)`, distance-based access);
+/// * the score of the first and last accessed tuple (score-based access);
+/// * whether the relation is exhausted.
+#[derive(Debug, Clone)]
+pub struct RelationBuffer {
+    relation_index: usize,
+    kind: AccessKind,
+    max_score: f64,
+    seen: Vec<Tuple>,
+    distances: Vec<f64>,
+    exhausted: bool,
+}
+
+impl RelationBuffer {
+    /// Creates an empty buffer for relation `relation_index`.
+    pub fn new(relation_index: usize, kind: AccessKind, max_score: f64) -> Self {
+        RelationBuffer {
+            relation_index,
+            kind,
+            max_score,
+            seen: Vec::new(),
+            distances: Vec::new(),
+            exhausted: false,
+        }
+    }
+
+    /// Index of the relation this buffer belongs to.
+    pub fn relation_index(&self) -> usize {
+        self.relation_index
+    }
+
+    /// Access kind of the underlying relation.
+    pub fn kind(&self) -> AccessKind {
+        self.kind
+    }
+
+    /// The maximum score `σ_max` any tuple of the relation can have.
+    pub fn max_score(&self) -> f64 {
+        self.max_score
+    }
+
+    /// Records a newly accessed tuple together with its distance from the
+    /// query. Returns the new depth.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if the sorted-access invariant is violated,
+    /// i.e. the new tuple sorts before the previously accessed one.
+    pub fn push(&mut self, tuple: Tuple, distance_to_query: f64) -> usize {
+        if let Some(last) = self.seen.last() {
+            match self.kind {
+                AccessKind::Distance => debug_assert!(
+                    distance_to_query + 1e-9 >= *self.distances.last().unwrap(),
+                    "distance-based access must be non-decreasing in distance"
+                ),
+                AccessKind::Score => debug_assert!(
+                    tuple.score <= last.score + 1e-9,
+                    "score-based access must be non-increasing in score"
+                ),
+            }
+        }
+        self.seen.push(tuple);
+        self.distances.push(distance_to_query);
+        self.seen.len()
+    }
+
+    /// Marks the relation as exhausted (no more tuples will arrive).
+    pub fn mark_exhausted(&mut self) {
+        self.exhausted = true;
+    }
+
+    /// `true` when the relation has been fully consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.exhausted
+    }
+
+    /// The depth `p_i = |P_i|`.
+    pub fn depth(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// `true` when nothing has been read from the relation yet.
+    pub fn is_empty(&self) -> bool {
+        self.seen.is_empty()
+    }
+
+    /// The seen tuples, in access order.
+    pub fn seen(&self) -> &[Tuple] {
+        &self.seen
+    }
+
+    /// The `r`-th accessed tuple (0-based), if seen.
+    pub fn get(&self, r: usize) -> Option<&Tuple> {
+        self.seen.get(r)
+    }
+
+    /// Distance from the query of the `r`-th accessed tuple.
+    pub fn distance(&self, r: usize) -> Option<f64> {
+        self.distances.get(r).copied()
+    }
+
+    /// Distance from the query of the first accessed tuple
+    /// (`δ(x(R_i[1]), q)`), or 0 if nothing has been accessed — the
+    /// convention of paper Sec. 3.1.
+    pub fn first_distance(&self) -> f64 {
+        self.distances.first().copied().unwrap_or(0.0)
+    }
+
+    /// Distance from the query of the last accessed tuple
+    /// (`δ(x(R_i[p_i]), q) = δ_i`), or 0 if nothing has been accessed.
+    pub fn last_distance(&self) -> f64 {
+        self.distances.last().copied().unwrap_or(0.0)
+    }
+
+    /// Score of the first accessed tuple (`σ(R_i[1])`), or `σ_max` if nothing
+    /// has been accessed — the analogous convention for score-based access.
+    pub fn first_score(&self) -> f64 {
+        self.seen.first().map(|t| t.score).unwrap_or(self.max_score)
+    }
+
+    /// Score of the last accessed tuple (`σ(R_i[p_i])`), or `σ_max` if
+    /// nothing has been accessed.
+    pub fn last_score(&self) -> f64 {
+        self.seen.last().map(|t| t.score).unwrap_or(self.max_score)
+    }
+
+    /// Upper bound on the score of an *unseen* tuple of this relation:
+    /// `σ_max` under distance-based access (scores are unordered), the score
+    /// of the last seen tuple under score-based access.
+    pub fn unseen_score_bound(&self) -> f64 {
+        match self.kind {
+            AccessKind::Distance => self.max_score,
+            AccessKind::Score => self.last_score(),
+        }
+    }
+
+    /// Lower bound on the distance from the query of an *unseen* tuple:
+    /// the distance of the last seen tuple under distance-based access, 0
+    /// under score-based access (locations are unordered).
+    pub fn unseen_distance_bound(&self) -> f64 {
+        match self.kind {
+            AccessKind::Distance => self.last_distance(),
+            AccessKind::Score => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::TupleId;
+    use prj_geometry::Vector;
+
+    fn t(rel: usize, idx: usize, x: f64, score: f64) -> Tuple {
+        Tuple::new(TupleId::new(rel, idx), Vector::from([x, 0.0]), score)
+    }
+
+    #[test]
+    fn empty_buffer_conventions() {
+        let buf = RelationBuffer::new(0, AccessKind::Distance, 1.0);
+        assert_eq!(buf.depth(), 0);
+        assert!(buf.is_empty());
+        assert_eq!(buf.first_distance(), 0.0);
+        assert_eq!(buf.last_distance(), 0.0);
+        assert_eq!(buf.first_score(), 1.0);
+        assert_eq!(buf.last_score(), 1.0);
+        assert_eq!(buf.unseen_score_bound(), 1.0);
+        assert_eq!(buf.unseen_distance_bound(), 0.0);
+        assert!(!buf.is_exhausted());
+    }
+
+    #[test]
+    fn distance_buffer_tracks_first_and_last() {
+        let mut buf = RelationBuffer::new(0, AccessKind::Distance, 1.0);
+        buf.push(t(0, 0, 0.5, 0.5), 0.5);
+        buf.push(t(0, 1, 1.0, 1.0), 1.0);
+        assert_eq!(buf.depth(), 2);
+        assert_eq!(buf.first_distance(), 0.5);
+        assert_eq!(buf.last_distance(), 1.0);
+        assert_eq!(buf.unseen_distance_bound(), 1.0);
+        assert_eq!(buf.unseen_score_bound(), 1.0); // σ_max under distance access
+        assert_eq!(buf.get(1).unwrap().score, 1.0);
+        assert_eq!(buf.distance(0), Some(0.5));
+        assert_eq!(buf.distance(5), None);
+    }
+
+    #[test]
+    fn score_buffer_tracks_first_and_last() {
+        let mut buf = RelationBuffer::new(1, AccessKind::Score, 1.0);
+        buf.push(t(1, 0, 2.0, 0.9), 2.0);
+        buf.push(t(1, 1, 0.5, 0.4), 0.5);
+        assert_eq!(buf.first_score(), 0.9);
+        assert_eq!(buf.last_score(), 0.4);
+        assert_eq!(buf.unseen_score_bound(), 0.4);
+        assert_eq!(buf.unseen_distance_bound(), 0.0);
+        assert_eq!(buf.relation_index(), 1);
+        assert_eq!(buf.kind(), AccessKind::Score);
+    }
+
+    #[test]
+    fn exhaustion_flag() {
+        let mut buf = RelationBuffer::new(0, AccessKind::Distance, 1.0);
+        assert!(!buf.is_exhausted());
+        buf.mark_exhausted();
+        assert!(buf.is_exhausted());
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn out_of_order_distance_push_panics_in_debug() {
+        let mut buf = RelationBuffer::new(0, AccessKind::Distance, 1.0);
+        buf.push(t(0, 0, 2.0, 0.5), 2.0);
+        buf.push(t(0, 1, 1.0, 0.5), 1.0);
+    }
+}

@@ -1,0 +1,44 @@
+//! The two sorted-access kinds of Definition 2.1.
+
+use std::fmt;
+
+/// How a relation returns its tuples under sorted access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AccessKind {
+    /// Kind A: tuples are returned in increasing distance from the query
+    /// vector `q` (e.g. a location-aware search service).
+    #[default]
+    Distance,
+    /// Kind B: tuples are returned in decreasing score `σ` (e.g. a ratings
+    /// service).
+    Score,
+}
+
+impl AccessKind {
+    /// A short label used in experiment reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AccessKind::Distance => "distance-based",
+            AccessKind::Score => "score-based",
+        }
+    }
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(AccessKind::Distance.label(), "distance-based");
+        assert_eq!(AccessKind::Score.to_string(), "score-based".replace("score", "score"));
+        assert_eq!(AccessKind::Score.to_string(), "score-based");
+        assert_eq!(AccessKind::default(), AccessKind::Distance);
+    }
+}

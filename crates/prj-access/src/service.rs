@@ -1,0 +1,202 @@
+//! Simulated remote search services.
+//!
+//! The paper's motivating scenario fetches tuples from remote Web services
+//! (Yahoo! Local and friends) where the dominant cost is the round trip per
+//! sorted access — which is why `sumDepths` is the primary cost metric and
+//! fetch time is excluded from CPU time. [`SimulatedService`] wraps any
+//! [`SortedAccess`] implementation and accounts for (optionally simulated)
+//! per-access latency, standing in for those services in a fully local,
+//! reproducible way.
+
+use crate::kind::AccessKind;
+use crate::source::SortedAccess;
+use crate::tuple::Tuple;
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A model of per-access latency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LatencyModel {
+    /// No latency: accesses are only counted.
+    None,
+    /// A constant latency per access (accounted, not slept).
+    Constant(Duration),
+    /// Latency grows linearly with the access rank: `base + rank · per_rank`,
+    /// modelling paginated services whose deeper pages are more expensive.
+    Linear {
+        /// Latency of the first access.
+        base: Duration,
+        /// Additional latency per unit of depth.
+        per_rank: Duration,
+    },
+}
+
+impl LatencyModel {
+    /// The latency charged for the access at `rank` (0-based).
+    pub fn latency_at(&self, rank: usize) -> Duration {
+        match self {
+            LatencyModel::None => Duration::ZERO,
+            LatencyModel::Constant(d) => *d,
+            LatencyModel::Linear { base, per_rank } => *base + *per_rank * rank as u32,
+        }
+    }
+}
+
+/// Shared metrics collected by a [`SimulatedService`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceMetrics {
+    /// Number of sorted accesses served.
+    pub accesses: usize,
+    /// Total simulated latency charged to those accesses.
+    pub simulated_latency: Duration,
+}
+
+/// A sorted-access wrapper that emulates a remote search service: every
+/// access is counted and charged simulated latency, and the metrics can be
+/// observed from outside through a shared handle (as a monitoring system
+/// would).
+pub struct SimulatedService<S> {
+    inner: S,
+    latency: LatencyModel,
+    metrics: Arc<Mutex<ServiceMetrics>>,
+}
+
+impl<S: SortedAccess> SimulatedService<S> {
+    /// Wraps `inner` with the given latency model.
+    pub fn new(inner: S, latency: LatencyModel) -> Self {
+        SimulatedService {
+            inner,
+            latency,
+            metrics: Arc::new(Mutex::new(ServiceMetrics::default())),
+        }
+    }
+
+    /// A shared handle to the service metrics.
+    pub fn metrics_handle(&self) -> Arc<Mutex<ServiceMetrics>> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// A snapshot of the current metrics.
+    pub fn metrics(&self) -> ServiceMetrics {
+        *self.metrics.lock()
+    }
+
+    /// Consumes the wrapper and returns the inner relation.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: SortedAccess> SortedAccess for SimulatedService<S> {
+    fn next_tuple(&mut self) -> Option<Tuple> {
+        let result = self.inner.next_tuple();
+        if result.is_some() {
+            let mut m = self.metrics.lock();
+            let rank = m.accesses;
+            m.accesses += 1;
+            m.simulated_latency += self.latency.latency_at(rank);
+        }
+        result
+    }
+
+    fn kind(&self) -> AccessKind {
+        self.inner.kind()
+    }
+
+    fn total_len(&self) -> Option<usize> {
+        self.inner.total_len()
+    }
+
+    fn max_score(&self) -> f64 {
+        self.inner.max_score()
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::VecRelation;
+    use crate::tuple::TupleId;
+    use prj_geometry::Vector;
+
+    fn relation() -> VecRelation {
+        let q = Vector::from([0.0, 0.0]);
+        let tuples = (0..5)
+            .map(|i| {
+                Tuple::new(
+                    TupleId::new(0, i),
+                    Vector::from([i as f64 + 1.0, 0.0]),
+                    0.5,
+                )
+            })
+            .collect();
+        VecRelation::distance_sorted("svc", &q, tuples)
+    }
+
+    #[test]
+    fn counts_accesses() {
+        let mut svc = SimulatedService::new(relation(), LatencyModel::None);
+        assert_eq!(svc.metrics().accesses, 0);
+        svc.next_tuple();
+        svc.next_tuple();
+        assert_eq!(svc.metrics().accesses, 2);
+        assert_eq!(svc.metrics().simulated_latency, Duration::ZERO);
+        // exhausting does not over-count
+        while svc.next_tuple().is_some() {}
+        assert_eq!(svc.metrics().accesses, 5);
+    }
+
+    #[test]
+    fn constant_latency_model() {
+        let mut svc = SimulatedService::new(
+            relation(),
+            LatencyModel::Constant(Duration::from_millis(10)),
+        );
+        svc.next_tuple();
+        svc.next_tuple();
+        svc.next_tuple();
+        assert_eq!(svc.metrics().simulated_latency, Duration::from_millis(30));
+    }
+
+    #[test]
+    fn linear_latency_model() {
+        let model = LatencyModel::Linear {
+            base: Duration::from_millis(5),
+            per_rank: Duration::from_millis(2),
+        };
+        assert_eq!(model.latency_at(0), Duration::from_millis(5));
+        assert_eq!(model.latency_at(3), Duration::from_millis(11));
+        let mut svc = SimulatedService::new(relation(), model);
+        svc.next_tuple(); // 5
+        svc.next_tuple(); // 7
+        assert_eq!(svc.metrics().simulated_latency, Duration::from_millis(12));
+    }
+
+    #[test]
+    fn shared_handle_observes_updates() {
+        let mut svc = SimulatedService::new(relation(), LatencyModel::None);
+        let handle = svc.metrics_handle();
+        svc.next_tuple();
+        assert_eq!(handle.lock().accesses, 1);
+    }
+
+    #[test]
+    fn passthrough_metadata() {
+        let svc = SimulatedService::new(relation(), LatencyModel::None);
+        assert_eq!(svc.kind(), AccessKind::Distance);
+        assert_eq!(svc.total_len(), Some(5));
+        assert_eq!(svc.name(), "svc");
+        assert_eq!(svc.max_score(), 0.5);
+        let inner = svc.into_inner();
+        assert_eq!(inner.total_len(), Some(5));
+    }
+}

@@ -1,0 +1,459 @@
+//! Relation sources: implementations of sorted access.
+
+use crate::kind::AccessKind;
+use crate::tuple::{Tuple, TupleId};
+use prj_geometry::Vector;
+use prj_index::{NodeId, RTree};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Pull-based sorted access to one relation (Definition 2.1).
+///
+/// A `SortedAccess` yields tuples one at a time, in the order dictated by its
+/// [`AccessKind`]: non-decreasing distance from the query for
+/// [`AccessKind::Distance`], non-increasing score for [`AccessKind::Score`].
+/// Once `next_tuple` returns `None` the relation is exhausted and stays so.
+pub trait SortedAccess {
+    /// Returns the next tuple under sorted access, or `None` when exhausted.
+    fn next_tuple(&mut self) -> Option<Tuple>;
+
+    /// The access kind this relation supports.
+    fn kind(&self) -> AccessKind;
+
+    /// Total number of tuples in the relation, when known.
+    fn total_len(&self) -> Option<usize>;
+
+    /// The maximum score `σ_max` any tuple of this relation can have.
+    ///
+    /// Distance-based bounds need this value for tuples that have not been
+    /// seen yet (paper Eqs. 4–5); when the true domain maximum is unknown the
+    /// implementations default to the maximum score present in the data.
+    fn max_score(&self) -> f64;
+
+    /// Restarts the access from the beginning.
+    fn reset(&mut self);
+
+    /// Human-readable name, used in reports.
+    fn name(&self) -> &str {
+        "relation"
+    }
+}
+
+/// An in-memory relation that pre-sorts its tuples at construction time.
+///
+/// This is the reference implementation used by tests and synthetic
+/// experiments: cheap to build and obviously correct.
+#[derive(Debug, Clone)]
+pub struct VecRelation {
+    name: String,
+    kind: AccessKind,
+    sorted: Vec<Tuple>,
+    cursor: usize,
+    max_score: f64,
+}
+
+impl VecRelation {
+    /// Builds a distance-sorted relation: tuples are returned in increasing
+    /// Euclidean distance from `query`.
+    pub fn distance_sorted(name: impl Into<String>, query: &Vector, tuples: Vec<Tuple>) -> Self {
+        let q = query.clone();
+        Self::distance_sorted_by(name, tuples, move |t| t.distance_to(&q))
+    }
+
+    /// Builds a distance-sorted relation using an arbitrary distance key
+    /// (e.g. a cosine distance from the query). The key must be the same
+    /// distance `δ(·, q)` used by the aggregation function, otherwise the
+    /// bounds derived from the access frontier are meaningless.
+    pub fn distance_sorted_by(
+        name: impl Into<String>,
+        tuples: Vec<Tuple>,
+        distance_to_query: impl Fn(&Tuple) -> f64,
+    ) -> Self {
+        let mut sorted = tuples;
+        sorted.sort_by(|a, b| {
+            distance_to_query(a)
+                .total_cmp(&distance_to_query(b))
+                .then(a.id.cmp(&b.id))
+        });
+        let max_score = sorted.iter().map(|t| t.score).fold(f64::NEG_INFINITY, f64::max);
+        VecRelation {
+            name: name.into(),
+            kind: AccessKind::Distance,
+            sorted,
+            cursor: 0,
+            max_score: if max_score.is_finite() { max_score } else { 1.0 },
+        }
+    }
+
+    /// Builds a score-sorted relation: tuples are returned in decreasing score.
+    pub fn score_sorted(name: impl Into<String>, tuples: Vec<Tuple>) -> Self {
+        let mut sorted = tuples;
+        sorted.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.id.cmp(&b.id)));
+        let max_score = sorted.first().map(|t| t.score).unwrap_or(1.0);
+        VecRelation {
+            name: name.into(),
+            kind: AccessKind::Score,
+            sorted,
+            cursor: 0,
+            max_score,
+        }
+    }
+
+    /// Overrides the maximum-score domain knowledge (`σ_max`).
+    pub fn with_max_score(mut self, max_score: f64) -> Self {
+        self.max_score = max_score;
+        self
+    }
+
+    /// The tuples in access order (seen or not); useful for tests.
+    pub fn sorted_tuples(&self) -> &[Tuple] {
+        &self.sorted
+    }
+}
+
+impl SortedAccess for VecRelation {
+    fn next_tuple(&mut self) -> Option<Tuple> {
+        let t = self.sorted.get(self.cursor).cloned();
+        if t.is_some() {
+            self.cursor += 1;
+        }
+        t
+    }
+
+    fn kind(&self) -> AccessKind {
+        self.kind
+    }
+
+    fn total_len(&self) -> Option<usize> {
+        Some(self.sorted.len())
+    }
+
+    fn max_score(&self) -> f64 {
+        self.max_score
+    }
+
+    fn reset(&mut self) {
+        self.cursor = 0;
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Min-heap item for the incremental nearest-neighbour cursor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Frontier {
+    dist: f64,
+    is_entry: bool,
+    node: NodeId,
+    entry: usize,
+}
+
+impl Eq for Frontier {}
+
+impl Ord for Frontier {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed for use in a max-heap as a min-heap; prefer entries over
+        // nodes at equal distance so results are emitted as early as possible.
+        other
+            .dist
+            .total_cmp(&self.dist)
+            .then_with(|| self.is_entry.cmp(&other.is_entry))
+    }
+}
+
+impl PartialOrd for Frontier {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A distance-sorted relation backed by the `prj-index` R-tree.
+///
+/// The relation owns the tree and runs its own best-first incremental
+/// nearest-neighbour cursor over the tree's arena, so it can be stored,
+/// moved and reset freely — this mimics a stateful session with a
+/// location-aware search service.
+#[derive(Debug, Clone)]
+pub struct RTreeRelation {
+    name: String,
+    query: Vector,
+    tree: RTree<(TupleId, f64)>,
+    heap: BinaryHeap<Frontier>,
+    max_score: f64,
+    started: bool,
+}
+
+impl RTreeRelation {
+    /// Builds the relation from tuples; the R-tree is bulk-loaded.
+    pub fn new(name: impl Into<String>, query: Vector, tuples: Vec<Tuple>) -> Self {
+        let dim = query.dim();
+        let max_score = tuples
+            .iter()
+            .map(|t| t.score)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let items: Vec<(Vector, (TupleId, f64))> = tuples
+            .into_iter()
+            .map(|t| (t.vector, (t.id, t.score)))
+            .collect();
+        let tree = RTree::bulk_load(dim, items);
+        let mut rel = RTreeRelation {
+            name: name.into(),
+            query,
+            tree,
+            heap: BinaryHeap::new(),
+            max_score: if max_score.is_finite() { max_score } else { 1.0 },
+            started: false,
+        };
+        rel.reset();
+        rel
+    }
+
+    /// Overrides the maximum-score domain knowledge (`σ_max`).
+    pub fn with_max_score(mut self, max_score: f64) -> Self {
+        self.max_score = max_score;
+        self
+    }
+
+    /// Read access to the underlying R-tree.
+    pub fn tree(&self) -> &RTree<(TupleId, f64)> {
+        &self.tree
+    }
+}
+
+impl SortedAccess for RTreeRelation {
+    fn next_tuple(&mut self) -> Option<Tuple> {
+        while let Some(item) = self.heap.pop() {
+            if item.is_entry {
+                let (point, &(id, score)) = self.tree.node_entry(item.node, item.entry);
+                return Some(Tuple::new(id, point.clone(), score));
+            }
+            if self.tree.is_leaf(item.node) {
+                for idx in 0..self.tree.node_entry_count(item.node) {
+                    let (point, _) = self.tree.node_entry(item.node, idx);
+                    self.heap.push(Frontier {
+                        dist: point.distance(&self.query),
+                        is_entry: true,
+                        node: item.node,
+                        entry: idx,
+                    });
+                }
+            } else {
+                for &child in self.tree.node_children(item.node) {
+                    self.heap.push(Frontier {
+                        dist: self.tree.node_bbox(child).min_distance(&self.query),
+                        is_entry: false,
+                        node: child,
+                        entry: 0,
+                    });
+                }
+            }
+        }
+        None
+    }
+
+    fn kind(&self) -> AccessKind {
+        AccessKind::Distance
+    }
+
+    fn total_len(&self) -> Option<usize> {
+        Some(self.tree.len())
+    }
+
+    fn max_score(&self) -> f64 {
+        self.max_score
+    }
+
+    fn reset(&mut self) {
+        self.heap.clear();
+        if let Some(root) = self.tree.root() {
+            self.heap.push(Frontier {
+                dist: self.tree.node_bbox(root).min_distance(&self.query),
+                is_entry: false,
+                node: root,
+                entry: 0,
+            });
+        }
+        self.started = true;
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// A set of relations participating in one proximity rank join, all sharing
+/// the same access kind.
+pub struct RelationSet {
+    relations: Vec<Box<dyn SortedAccess>>,
+    kind: AccessKind,
+}
+
+impl RelationSet {
+    /// Creates a relation set.
+    ///
+    /// # Panics
+    /// Panics if `relations` is empty or the access kinds disagree.
+    pub fn new(relations: Vec<Box<dyn SortedAccess>>) -> Self {
+        assert!(!relations.is_empty(), "a rank join needs at least one relation");
+        let kind = relations[0].kind();
+        assert!(
+            relations.iter().all(|r| r.kind() == kind),
+            "all relations must share the same access kind"
+        );
+        RelationSet { relations, kind }
+    }
+
+    /// Number of relations `n`.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// `true` when there are no relations (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// The shared access kind.
+    pub fn kind(&self) -> AccessKind {
+        self.kind
+    }
+
+    /// Mutable access to relation `i`.
+    pub fn relation_mut(&mut self, i: usize) -> &mut dyn SortedAccess {
+        self.relations[i].as_mut()
+    }
+
+    /// Shared access to relation `i`.
+    pub fn relation(&self, i: usize) -> &dyn SortedAccess {
+        self.relations[i].as_ref()
+    }
+
+    /// Maximum scores `σ_max` of every relation.
+    pub fn max_scores(&self) -> Vec<f64> {
+        self.relations.iter().map(|r| r.max_score()).collect()
+    }
+
+    /// Resets every relation to the beginning of its access sequence.
+    pub fn reset_all(&mut self) {
+        for r in &mut self.relations {
+            r.reset();
+        }
+    }
+}
+
+impl std::fmt::Debug for RelationSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RelationSet")
+            .field("n", &self.relations.len())
+            .field("kind", &self.kind)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk_tuples(rel: usize, pts: &[(f64, f64, f64)]) -> Vec<Tuple> {
+        pts.iter()
+            .enumerate()
+            .map(|(i, &(x, y, s))| Tuple::new(TupleId::new(rel, i), Vector::from([x, y]), s))
+            .collect()
+    }
+
+    #[test]
+    fn vec_relation_distance_order() {
+        let q = Vector::from([0.0, 0.0]);
+        let tuples = mk_tuples(0, &[(3.0, 0.0, 0.5), (1.0, 0.0, 0.9), (2.0, 0.0, 0.1)]);
+        let mut rel = VecRelation::distance_sorted("r", &q, tuples);
+        let d: Vec<f64> = std::iter::from_fn(|| rel.next_tuple())
+            .map(|t| t.distance_to(&q))
+            .collect();
+        assert_eq!(d, vec![1.0, 2.0, 3.0]);
+        assert_eq!(rel.max_score(), 0.9);
+        assert_eq!(rel.total_len(), Some(3));
+        assert!(rel.next_tuple().is_none());
+        rel.reset();
+        assert!(rel.next_tuple().is_some());
+    }
+
+    #[test]
+    fn vec_relation_score_order() {
+        let tuples = mk_tuples(0, &[(0.0, 0.0, 0.5), (1.0, 0.0, 0.9), (2.0, 0.0, 0.1)]);
+        let mut rel = VecRelation::score_sorted("r", tuples);
+        let s: Vec<f64> = std::iter::from_fn(|| rel.next_tuple()).map(|t| t.score).collect();
+        assert_eq!(s, vec![0.9, 0.5, 0.1]);
+        assert_eq!(rel.kind(), AccessKind::Score);
+    }
+
+    #[test]
+    fn rtree_relation_matches_vec_relation() {
+        let q = Vector::from([0.3, -0.2]);
+        let mut pts = Vec::new();
+        for i in 0..60 {
+            let x = ((i * 37) % 100) as f64 / 10.0 - 5.0;
+            let y = ((i * 53) % 100) as f64 / 10.0 - 5.0;
+            pts.push((x, y, (i as f64 % 10.0) / 10.0 + 0.05));
+        }
+        let tuples = mk_tuples(0, &pts);
+        let mut vec_rel = VecRelation::distance_sorted("vec", &q, tuples.clone());
+        let mut rtree_rel = RTreeRelation::new("rtree", q.clone(), tuples);
+        loop {
+            let a = vec_rel.next_tuple();
+            let b = rtree_rel.next_tuple();
+            match (a, b) {
+                (None, None) => break,
+                (Some(a), Some(b)) => {
+                    assert!((a.distance_to(&q) - b.distance_to(&q)).abs() < 1e-9);
+                }
+                (a, b) => panic!("length mismatch: {a:?} vs {b:?}"),
+            }
+        }
+        assert_eq!(rtree_rel.kind(), AccessKind::Distance);
+        assert_eq!(rtree_rel.total_len(), Some(60));
+    }
+
+    #[test]
+    fn rtree_relation_reset() {
+        let q = Vector::from([0.0, 0.0]);
+        let tuples = mk_tuples(0, &[(1.0, 0.0, 0.5), (2.0, 0.0, 0.6)]);
+        let mut rel = RTreeRelation::new("r", q, tuples);
+        assert_eq!(std::iter::from_fn(|| rel.next_tuple()).count(), 2);
+        rel.reset();
+        assert_eq!(std::iter::from_fn(|| rel.next_tuple()).count(), 2);
+    }
+
+    #[test]
+    fn relation_set_validation() {
+        let q = Vector::from([0.0, 0.0]);
+        let r1 = VecRelation::distance_sorted("a", &q, mk_tuples(0, &[(1.0, 0.0, 0.5)]));
+        let r2 = VecRelation::distance_sorted("b", &q, mk_tuples(1, &[(2.0, 0.0, 0.7)]));
+        let mut set = RelationSet::new(vec![Box::new(r1), Box::new(r2)]);
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.kind(), AccessKind::Distance);
+        assert_eq!(set.max_scores(), vec![0.5, 0.7]);
+        assert!(set.relation_mut(0).next_tuple().is_some());
+        set.reset_all();
+        assert!(set.relation_mut(0).next_tuple().is_some());
+    }
+
+    #[test]
+    #[should_panic]
+    fn mixed_access_kinds_panic() {
+        let q = Vector::from([0.0, 0.0]);
+        let r1 = VecRelation::distance_sorted("a", &q, mk_tuples(0, &[(1.0, 0.0, 0.5)]));
+        let r2 = VecRelation::score_sorted("b", mk_tuples(1, &[(2.0, 0.0, 0.7)]));
+        let _ = RelationSet::new(vec![Box::new(r1), Box::new(r2)]);
+    }
+
+    #[test]
+    fn empty_relation_yields_nothing() {
+        let q = Vector::from([0.0, 0.0]);
+        let mut rel = VecRelation::distance_sorted("empty", &q, vec![]);
+        assert!(rel.next_tuple().is_none());
+        assert_eq!(rel.total_len(), Some(0));
+        assert_eq!(rel.max_score(), 1.0);
+    }
+}

@@ -1,0 +1,79 @@
+//! Access accounting: per-relation depths and the `sumDepths` metric.
+
+/// Records how deep an algorithm has read into each relation.
+///
+/// `sumDepths` — the sum of per-relation depths when the algorithm terminates
+/// — is the paper's primary I/O cost metric (Sec. 2) and the quantity
+/// reported on the y-axis of most panels of Figure 3.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AccessStats {
+    depths: Vec<usize>,
+}
+
+impl AccessStats {
+    /// Creates statistics for `n` relations, all at depth 0.
+    pub fn new(n: usize) -> Self {
+        AccessStats {
+            depths: vec![0; n],
+        }
+    }
+
+    /// Number of relations tracked.
+    pub fn num_relations(&self) -> usize {
+        self.depths.len()
+    }
+
+    /// Records one sorted access on relation `i` and returns the new depth.
+    pub fn record_access(&mut self, i: usize) -> usize {
+        self.depths[i] += 1;
+        self.depths[i]
+    }
+
+    /// Depth reached on relation `i`.
+    pub fn depth(&self, i: usize) -> usize {
+        self.depths[i]
+    }
+
+    /// All per-relation depths.
+    pub fn depths(&self) -> &[usize] {
+        &self.depths
+    }
+
+    /// The `sumDepths` metric: total number of sorted accesses performed.
+    pub fn sum_depths(&self) -> usize {
+        self.depths.iter().sum()
+    }
+
+    /// The maximum depth over all relations.
+    pub fn max_depth(&self) -> usize {
+        self.depths.iter().copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accounting() {
+        let mut s = AccessStats::new(3);
+        assert_eq!(s.sum_depths(), 0);
+        assert_eq!(s.num_relations(), 3);
+        s.record_access(0);
+        s.record_access(0);
+        s.record_access(2);
+        assert_eq!(s.depth(0), 2);
+        assert_eq!(s.depth(1), 0);
+        assert_eq!(s.depth(2), 1);
+        assert_eq!(s.sum_depths(), 3);
+        assert_eq!(s.max_depth(), 2);
+        assert_eq!(s.depths(), &[2, 0, 1]);
+    }
+
+    #[test]
+    fn record_returns_new_depth() {
+        let mut s = AccessStats::new(1);
+        assert_eq!(s.record_access(0), 1);
+        assert_eq!(s.record_access(0), 2);
+    }
+}

@@ -1,0 +1,65 @@
+//! Micro-benchmarks of the bounding schemes themselves: cost of one
+//! `updateBound` call for the corner bound and the tight bound at various
+//! depths, plus the cost of the dominance LP.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prj_core::bounds::BoundingScheme;
+use prj_core::{AccessKind, CornerBound, EuclideanLogScore, JoinState, TightBound, TightBoundConfig};
+use prj_data::{generate_synthetic, SyntheticConfig};
+use prj_geometry::Vector;
+use std::time::Duration;
+
+/// Builds a join state with `depth` tuples read from each of `n` relations.
+fn prepared_state(n: usize, depth: usize) -> (JoinState, EuclideanLogScore) {
+    let scoring = EuclideanLogScore::new(1.0, 1.0, 1.0);
+    let data = generate_synthetic(&SyntheticConfig {
+        n_relations: n,
+        density: depth as f64,
+        ..Default::default()
+    });
+    let query = Vector::zeros(2);
+    let mut state = JoinState::new(query.clone(), AccessKind::Distance, &vec![1.0; n]);
+    // Feed tuples in distance order, round-robin.
+    let mut sorted = data.clone();
+    for rel in sorted.iter_mut() {
+        rel.sort_by(|a, b| a.distance_to(&query).total_cmp(&b.distance_to(&query)));
+    }
+    for d in 0..depth {
+        for (rel, tuples) in sorted.iter().enumerate() {
+            if let Some(t) = tuples.get(d) {
+                state.push_tuple(rel, t.clone());
+            }
+        }
+    }
+    (state, scoring)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bounds_micro");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    for depth in [5usize, 15, 30] {
+        let (state, scoring) = prepared_state(2, depth);
+        group.bench_with_input(
+            BenchmarkId::new("corner_update", depth),
+            &depth,
+            |b, _| {
+                let mut cb = CornerBound::new(2);
+                b.iter(|| cb.update(&state, &scoring, Some(0)));
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("tight_update", depth), &depth, |b, _| {
+            b.iter(|| {
+                // A fresh tight bound evaluated once on the full state measures
+                // the cost of bounding |PC(M)| partial combinations.
+                let mut tb = TightBound::new(2, scoring.weights(), TightBoundConfig::default());
+                tb.update(&state, &scoring, None)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion bench behind Figure 3(i)/(l): runtime of the four algorithms on
+//! the synthetic city data sets (the stand-in for the paper's YQL data).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prj_bench::harness::{run_once, CaseConfig};
+use prj_core::Algorithm;
+use prj_data::all_cities;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_cities");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    let cities = all_cities(1000);
+    for city in cities.iter().filter(|c| c.code == "BO" || c.code == "SF") {
+        for algo in Algorithm::all() {
+            let case = CaseConfig {
+                k: 10,
+                repetitions: 1,
+                ..Default::default()
+            };
+            group.bench_with_input(
+                BenchmarkId::new(algo.id(), city.code),
+                &case,
+                |b, case| {
+                    b.iter(|| run_once(algo, &city.query, city.relations.clone(), case));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

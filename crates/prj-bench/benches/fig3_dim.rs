@@ -1,0 +1,39 @@
+//! Criterion bench behind Figure 3(b)/(e): runtime of the four algorithms as
+//! the feature-space dimensionality varies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prj_bench::harness::{run_once, CaseConfig};
+use prj_core::Algorithm;
+use prj_data::{generate_synthetic, SyntheticConfig};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_dim");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    for d in [1usize, 2, 8, 16] {
+        let data_cfg = SyntheticConfig {
+            dimensions: d,
+            density: 30.0,
+            ..Default::default()
+        };
+        let relations = generate_synthetic(&data_cfg);
+        let query = prj_data::synthetic::synthetic_query(d);
+        for algo in Algorithm::all() {
+            let case = CaseConfig {
+                k: 10,
+                data: data_cfg,
+                repetitions: 1,
+                ..Default::default()
+            };
+            group.bench_with_input(BenchmarkId::new(algo.id(), d), &case, |b, case| {
+                b.iter(|| run_once(algo, &query, relations.clone(), case));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

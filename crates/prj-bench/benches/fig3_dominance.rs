@@ -1,0 +1,48 @@
+//! Criterion bench behind Figures 3(m)/(n): runtime of the tight-bound
+//! algorithms as the dominance-test period varies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prj_bench::harness::{run_once, CaseConfig};
+use prj_core::Algorithm;
+use prj_data::{generate_synthetic, SyntheticConfig};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_dominance");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    for n in [2usize, 3] {
+        let data_cfg = SyntheticConfig {
+            n_relations: n,
+            density: 25.0,
+            ..Default::default()
+        };
+        let relations = generate_synthetic(&data_cfg);
+        let query = prj_data::synthetic::synthetic_query(data_cfg.dimensions);
+        for period in [Some(1usize), Some(8), None] {
+            let label = match period {
+                Some(p) => format!("n{n}-period{p}"),
+                None => format!("n{n}-periodinf"),
+            };
+            let case = CaseConfig {
+                k: 10,
+                data: data_cfg,
+                repetitions: 1,
+                dominance_period: period,
+                ..Default::default()
+            };
+            group.bench_with_input(
+                BenchmarkId::new("TBPA", label),
+                &case,
+                |b, case| {
+                    b.iter(|| run_once(Algorithm::Tbpa, &query, relations.clone(), case));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion bench behind Figure 3(a)/(d): runtime of the four algorithms as
+//! the number of requested results K varies (reduced density so the bench
+//! suite stays fast; the `experiments` binary regenerates the full figure).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prj_bench::harness::{run_once, CaseConfig};
+use prj_core::Algorithm;
+use prj_data::{generate_synthetic, SyntheticConfig};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_k");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    let data_cfg = SyntheticConfig {
+        density: 30.0,
+        ..Default::default()
+    };
+    let relations = generate_synthetic(&data_cfg);
+    let query = prj_data::synthetic::synthetic_query(data_cfg.dimensions);
+    for k in [1usize, 10, 50] {
+        for algo in Algorithm::all() {
+            let case = CaseConfig {
+                k,
+                data: data_cfg,
+                repetitions: 1,
+                ..Default::default()
+            };
+            group.bench_with_input(
+                BenchmarkId::new(algo.id(), k),
+                &case,
+                |b, case| {
+                    b.iter(|| run_once(algo, &query, relations.clone(), case));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

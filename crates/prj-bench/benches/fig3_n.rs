@@ -1,0 +1,41 @@
+//! Criterion bench behind Figure 3(h)/(k): runtime of the four algorithms as
+//! the number of joined relations varies (n = 4 is capped, as in the paper
+//! where CBPA exceeds the five-minute budget).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prj_bench::harness::{run_once, CaseConfig};
+use prj_core::Algorithm;
+use prj_data::{generate_synthetic, SyntheticConfig};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_n");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    for n in [2usize, 3] {
+        let data_cfg = SyntheticConfig {
+            n_relations: n,
+            density: 25.0,
+            ..Default::default()
+        };
+        let relations = generate_synthetic(&data_cfg);
+        let query = prj_data::synthetic::synthetic_query(data_cfg.dimensions);
+        for algo in Algorithm::all() {
+            let case = CaseConfig {
+                k: 10,
+                data: data_cfg,
+                repetitions: 1,
+                max_accesses: Some(300),
+                ..Default::default()
+            };
+            group.bench_with_input(BenchmarkId::new(algo.id(), n), &case, |b, case| {
+                b.iter(|| run_once(algo, &query, relations.clone(), case));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

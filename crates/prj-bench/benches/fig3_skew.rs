@@ -1,0 +1,43 @@
+//! Criterion bench behind Figure 3(g)/(j): runtime of the four algorithms as
+//! the density skew ρ1/ρ2 varies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prj_bench::harness::{run_once, CaseConfig};
+use prj_core::Algorithm;
+use prj_data::{generate_synthetic, SyntheticConfig};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_skew");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    for skew in [1.0f64, 4.0, 8.0] {
+        let data_cfg = SyntheticConfig {
+            skew,
+            density: 30.0,
+            ..Default::default()
+        };
+        let relations = generate_synthetic(&data_cfg);
+        let query = prj_data::synthetic::synthetic_query(data_cfg.dimensions);
+        for algo in Algorithm::all() {
+            let case = CaseConfig {
+                k: 10,
+                data: data_cfg,
+                repetitions: 1,
+                ..Default::default()
+            };
+            group.bench_with_input(
+                BenchmarkId::new(algo.id(), skew as u64),
+                &case,
+                |b, case| {
+                    b.iter(|| run_once(algo, &query, relations.clone(), case));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

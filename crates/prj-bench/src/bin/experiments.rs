@@ -1,0 +1,113 @@
+//! Reproduces the tables and figures of "Proximity Rank Join" (VLDB 2010).
+//!
+//! Usage:
+//!
+//! ```text
+//! experiments [--quick] [--figure <id>]... [--output <path>] [--list]
+//! ```
+//!
+//! * `--figure` may be repeated; accepted ids: `tables`, `3a`…`3n`, `cities`,
+//!   `score`, or `all` (default).
+//! * `--quick` runs a reduced number of repetitions so the whole suite
+//!   finishes in a couple of minutes.
+//! * `--output` additionally writes the rendered Markdown to a file.
+
+use prj_bench::experiments::Figure;
+use std::io::Write;
+
+struct Options {
+    figures: Vec<Figure>,
+    quick: bool,
+    output: Option<String>,
+    list: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut figures = Vec::new();
+    let mut quick = false;
+    let mut output = None;
+    let mut list = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" | "-q" => quick = true,
+            "--list" | "-l" => list = true,
+            "--figure" | "-f" => {
+                let value = args
+                    .next()
+                    .ok_or_else(|| "--figure requires a value".to_string())?;
+                if value.eq_ignore_ascii_case("all") {
+                    figures.extend(Figure::all());
+                } else {
+                    figures.push(
+                        Figure::parse(&value)
+                            .ok_or_else(|| format!("unknown figure id: {value}"))?,
+                    );
+                }
+            }
+            "--output" | "-o" => {
+                output = Some(
+                    args.next()
+                        .ok_or_else(|| "--output requires a path".to_string())?,
+                );
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: experiments [--quick] [--figure <id>]... [--output <path>] [--list]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    if figures.is_empty() {
+        figures = Figure::all();
+    }
+    Ok(Options {
+        figures,
+        quick,
+        output,
+        list,
+    })
+}
+
+fn main() {
+    let options = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    if options.list {
+        println!("available figures:");
+        for f in Figure::all() {
+            println!("  {:?}", f);
+        }
+        return;
+    }
+    let mut document = String::new();
+    document.push_str("# Proximity Rank Join — reproduced evaluation\n\n");
+    document.push_str(&format!(
+        "Mode: {}.\n\n",
+        if options.quick {
+            "quick (reduced repetitions)"
+        } else {
+            "full (paper repetitions)"
+        }
+    ));
+    for figure in &options.figures {
+        eprintln!("running {figure:?} ...");
+        let started = std::time::Instant::now();
+        let table = figure.run(options.quick);
+        let rendered = table.render();
+        eprintln!("  done in {:.1}s", started.elapsed().as_secs_f64());
+        print!("{rendered}");
+        document.push_str(&rendered);
+    }
+    if let Some(path) = options.output {
+        let mut file = std::fs::File::create(&path).expect("create output file");
+        file.write_all(document.as_bytes()).expect("write output file");
+        eprintln!("wrote {path}");
+    }
+}

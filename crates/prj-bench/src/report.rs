@@ -1,0 +1,69 @@
+//! Plain-text rendering of experiment tables.
+
+use crate::experiments::ExperimentTable;
+
+/// Renders a table as GitHub-flavoured Markdown (also perfectly readable as
+/// plain text), with right-aligned numeric columns.
+pub fn render_table(table: &ExperimentTable) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("### {} — {}\n\n", table.id, table.title));
+    if !table.note.is_empty() {
+        out.push_str(&format!("{}\n\n", table.note));
+    }
+    // Column widths.
+    let cols = table.header.len();
+    let mut widths: Vec<usize> = table.header.iter().map(|h| h.len()).collect();
+    for row in &table.rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            if cell.len() > widths[i] {
+                widths[i] = cell.len();
+            }
+        }
+    }
+    let render_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::from("|");
+        for (i, cell) in cells.iter().enumerate() {
+            line.push_str(&format!(" {:>width$} |", cell, width = widths[i]));
+        }
+        line.push('\n');
+        line
+    };
+    out.push_str(&render_row(&table.header, &widths));
+    let mut sep = String::from("|");
+    for w in &widths {
+        sep.push_str(&format!("{}|", "-".repeat(w + 2)));
+    }
+    sep.push('\n');
+    out.push_str(&sep);
+    for row in &table.rows {
+        out.push_str(&render_row(row, &widths));
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_header_rows_and_alignment() {
+        let table = ExperimentTable {
+            id: "F3a".to_string(),
+            title: "sumDepths vs K".to_string(),
+            note: "averaged over 10 seeds".to_string(),
+            header: vec!["K".to_string(), "CBRR".to_string()],
+            rows: vec![
+                vec!["1".to_string(), "42.0".to_string()],
+                vec!["10".to_string(), "100.5".to_string()],
+            ],
+        };
+        let text = render_table(&table);
+        assert!(text.contains("### F3a — sumDepths vs K"));
+        assert!(text.contains("averaged over 10 seeds"));
+        assert!(text.contains("| 42.0 |") || text.contains("|  42.0 |"));
+        assert_eq!(text.matches('\n').count() >= 6, true);
+        // header separator present
+        assert!(text.contains("|---") || text.contains("|-"));
+    }
+}

@@ -1,0 +1,212 @@
+//! The corner bound (HRJN's bound), Eq. 3 / Eq. 36.
+//!
+//! For every relation `R_i` the corner bound assumes the best imaginable
+//! completion: the unseen tuple from `R_i` sits exactly at its access
+//! frontier (distance `δ_i` from the query under distance-based access, score
+//! `σ(R_i[p_i])` under score-based access) while every other member is a
+//! hypothetical tuple with the best score allowed by its own frontier — and,
+//! crucially, **at zero distance from the combination centroid**. Ignoring the
+//! geometry is what makes the bound loose (not tight), which is exactly what
+//! Theorem 3.1 exploits to show that HRJN-style algorithms are not
+//! instance-optimal for proximity rank join.
+
+use super::BoundingScheme;
+use crate::scoring::ScoringFunction;
+use crate::state::JoinState;
+use prj_access::{AccessKind, RelationBuffer};
+
+/// The corner bounding scheme (used by CBRR = HRJN and CBPA = HRJN*).
+#[derive(Debug, Clone)]
+pub struct CornerBound {
+    /// Per-relation bounds `t_i` (`−∞` for exhausted relations).
+    per_relation: Vec<f64>,
+    bound: f64,
+}
+
+impl CornerBound {
+    /// Creates the scheme for `n` relations.
+    pub fn new(n: usize) -> Self {
+        CornerBound {
+            per_relation: vec![f64::INFINITY; n],
+            bound: f64::INFINITY,
+        }
+    }
+
+    /// Upper bound on the proximity-weighted score of *any* tuple of `R_j`
+    /// (seen or unseen): `S̄_j` of Eq. 4 / Eq. 37.
+    fn best_any_tuple<S: ScoringFunction>(scoring: &S, buffer: &RelationBuffer) -> f64 {
+        match buffer.kind() {
+            AccessKind::Distance => {
+                // Any tuple of R_j is at distance >= δ(x(R_j[1]), q); its score
+                // is at most σ_max; its distance from the centroid is >= 0.
+                scoring.proximity_weighted_score(buffer.max_score(), buffer.first_distance(), 0.0)
+            }
+            AccessKind::Score => {
+                // Any tuple of R_j has score <= σ(R_j[1]); nothing is known
+                // about its location.
+                scoring.proximity_weighted_score(buffer.first_score(), 0.0, 0.0)
+            }
+        }
+    }
+
+    /// Upper bound on the proximity-weighted score of an *unseen* tuple of
+    /// `R_i`: `S_i` of Eq. 5 / Eq. 38.
+    fn best_unseen_tuple<S: ScoringFunction>(scoring: &S, buffer: &RelationBuffer) -> f64 {
+        scoring.proximity_weighted_score(
+            buffer.unseen_score_bound(),
+            buffer.unseen_distance_bound(),
+            0.0,
+        )
+    }
+}
+
+impl<S: ScoringFunction> BoundingScheme<S> for CornerBound {
+    fn update(&mut self, state: &JoinState, scoring: &S, _accessed: Option<usize>) -> f64 {
+        let n = state.n();
+        debug_assert_eq!(self.per_relation.len(), n);
+        // Precompute S̄_j for every relation.
+        let best_any: Vec<f64> = (0..n)
+            .map(|j| Self::best_any_tuple(scoring, state.buffer(j)))
+            .collect();
+        let mut bound = f64::NEG_INFINITY;
+        for i in 0..n {
+            if state.buffer(i).is_exhausted() {
+                self.per_relation[i] = f64::NEG_INFINITY;
+                continue;
+            }
+            let mut parts = best_any.clone();
+            parts[i] = Self::best_unseen_tuple(scoring, state.buffer(i));
+            let t_i = scoring.aggregate(&parts);
+            self.per_relation[i] = t_i;
+            bound = bound.max(t_i);
+        }
+        self.bound = bound;
+        bound
+    }
+
+    fn bound(&self) -> f64 {
+        self.bound
+    }
+
+    fn potential(&self, i: usize) -> f64 {
+        self.per_relation[i]
+    }
+
+    fn name(&self) -> &'static str {
+        "CB"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scoring::EuclideanLogScore;
+    use prj_access::{Tuple, TupleId};
+    use prj_geometry::Vector;
+
+    fn push(state: &mut JoinState, rel: usize, idx: usize, x: [f64; 2], score: f64) {
+        state.push_tuple(rel, Tuple::new(TupleId::new(rel, idx), Vector::from(x), score));
+    }
+
+    /// Table-1 state after two accesses per relation; Example 3.1 reports the
+    /// corner bound tc = max{−5, −10.25, −10.25} = −5.
+    #[test]
+    fn example_3_1_corner_bound() {
+        let scoring = EuclideanLogScore::new(1.0, 1.0, 1.0);
+        let mut state = JoinState::new(
+            Vector::from([0.0, 0.0]),
+            AccessKind::Distance,
+            &[1.0, 1.0, 1.0],
+        );
+        push(&mut state, 0, 0, [0.0, -0.5], 0.5);
+        push(&mut state, 0, 1, [0.0, 1.0], 1.0);
+        push(&mut state, 1, 0, [1.0, 1.0], 1.0);
+        push(&mut state, 1, 1, [-2.0, 2.0], 0.8);
+        push(&mut state, 2, 0, [-1.0, 1.0], 1.0);
+        push(&mut state, 2, 1, [-2.0, -2.0], 0.4);
+
+        let mut cb = CornerBound::new(3);
+        let bound = cb.update(&state, &scoring, Some(2));
+        assert!((bound - (-5.0)).abs() < 1e-9, "tc = {bound}");
+        assert!((BoundingScheme::<EuclideanLogScore>::potential(&cb, 0) - (-5.0)).abs() < 1e-9);
+        assert!(
+            (BoundingScheme::<EuclideanLogScore>::potential(&cb, 1) - (-10.25)).abs() < 1e-9,
+            "t2 = {}",
+            BoundingScheme::<EuclideanLogScore>::potential(&cb, 1)
+        );
+        assert!((BoundingScheme::<EuclideanLogScore>::potential(&cb, 2) - (-10.25)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn initial_bound_is_best_possible_score() {
+        // Nothing read: all distances default to 0, all scores to sigma_max,
+        // so the bound is the score of n perfect tuples sitting on the query.
+        let scoring = EuclideanLogScore::new(1.0, 1.0, 1.0);
+        let state = JoinState::new(Vector::from([0.0, 0.0]), AccessKind::Distance, &[1.0, 1.0]);
+        let mut cb = CornerBound::new(2);
+        let bound = cb.update(&state, &scoring, None);
+        assert!((bound - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exhausted_relations_are_excluded() {
+        let scoring = EuclideanLogScore::new(1.0, 1.0, 1.0);
+        let mut state = JoinState::new(Vector::from([0.0, 0.0]), AccessKind::Distance, &[1.0, 1.0]);
+        push(&mut state, 0, 0, [1.0, 0.0], 1.0);
+        push(&mut state, 1, 0, [2.0, 0.0], 1.0);
+        let mut cb = CornerBound::new(2);
+        cb.update(&state, &scoring, Some(1));
+        state.mark_exhausted(0);
+        let bound = cb.update(&state, &scoring, None);
+        // Only t_2 remains: unseen from R2 at distance >= 2, R1's best tuple at distance >= 1.
+        let expected = scoring.proximity_weighted_score(1.0, 1.0, 0.0)
+            + scoring.proximity_weighted_score(1.0, 2.0, 0.0);
+        assert!((bound - expected).abs() < 1e-9);
+        assert_eq!(
+            BoundingScheme::<EuclideanLogScore>::potential(&cb, 0),
+            f64::NEG_INFINITY
+        );
+        state.mark_exhausted(1);
+        let bound = cb.update(&state, &scoring, None);
+        assert_eq!(bound, f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn score_based_corner_bound() {
+        // Appendix C, Eq. 36: distances are ignored entirely.
+        let scoring = EuclideanLogScore::new(1.0, 1.0, 1.0);
+        let mut state = JoinState::new(Vector::from([0.0, 0.0]), AccessKind::Score, &[1.0, 1.0]);
+        // R1 seen down to score 0.6; R2 seen down to score 0.9.
+        push(&mut state, 0, 0, [5.0, 0.0], 1.0);
+        push(&mut state, 0, 1, [3.0, 0.0], 0.6);
+        push(&mut state, 1, 0, [4.0, 0.0], 0.9);
+        let mut cb = CornerBound::new(2);
+        let bound = cb.update(&state, &scoring, Some(0));
+        // t1 = g(0.6,0,0) + g(0.9,0,0) = ln 0.6 + ln 0.9
+        // t2 = g(1.0,0,0) + g(0.9,0,0) = ln 1.0 + ln 0.9
+        let t1 = 0.6_f64.ln() + 0.9_f64.ln();
+        let t2 = 0.9_f64.ln();
+        assert!((BoundingScheme::<EuclideanLogScore>::potential(&cb, 0) - t1).abs() < 1e-12);
+        assert!((BoundingScheme::<EuclideanLogScore>::potential(&cb, 1) - t2).abs() < 1e-12);
+        assert!((bound - t2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bound_never_increases_as_access_deepens() {
+        let scoring = EuclideanLogScore::new(1.0, 1.0, 1.0);
+        let mut state = JoinState::new(Vector::from([0.0, 0.0]), AccessKind::Distance, &[1.0, 1.0]);
+        let mut cb = CornerBound::new(2);
+        let mut prev = cb.update(&state, &scoring, None);
+        for step in 0..5 {
+            let d = step as f64 + 1.0;
+            push(&mut state, 0, step, [d, 0.0], 1.0);
+            let b = cb.update(&state, &scoring, Some(0));
+            assert!(b <= prev + 1e-9, "bound increased: {prev} -> {b}");
+            prev = b;
+            push(&mut state, 1, step, [0.0, d], 1.0);
+            let b = cb.update(&state, &scoring, Some(1));
+            assert!(b <= prev + 1e-9, "bound increased: {prev} -> {b}");
+            prev = b;
+        }
+    }
+}

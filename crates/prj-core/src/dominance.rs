@@ -1,0 +1,256 @@
+//! Dominance between partial combinations (paper Sec. 3.2.2, Appendix B.5).
+//!
+//! For a fixed subset `M`, the *unconstrained* completion objective of a
+//! partial combination `τ_α ∈ PC(M)` — all unseen tuples placed at a common
+//! free location `y` — is a concave quadratic
+//! `f_α(y) = −(a·yᵀy + 2·b_αᵀy + c_α)` whose quadratic coefficient `a` is the
+//! same for every `α` (it only depends on `m`, `n` and the weights, Eq. 24).
+//! Therefore the region where `α` beats `β`,
+//! `f_α(y) ≥ f_β(y)  ⇔  2(b_α − b_β)ᵀy ≤ c_β − c_α`, is a half-space, and the
+//! dominance region of `α` is the intersection of half-spaces over all other
+//! partial combinations (Eq. 17). If that intersection is empty, `α` is
+//! *dominated*: its completion bound can never realise the subset maximum
+//! `t_M`, so the tight bound may skip re-optimising it. Emptiness is decided
+//! by the LP feasibility test of Eq. 35 (`prj-solver::halfspaces_feasible`).
+
+use crate::scoring::Weights;
+use prj_geometry::Vector;
+use prj_solver::halfspaces_feasible;
+
+/// The coefficients `(b_α, c_α)` of the unconstrained completion objective of
+/// one partial combination (the shared quadratic coefficient `a` is omitted:
+/// it cancels in every dominance comparison).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DominanceCoefficients {
+    /// The linear coefficient `b_α ∈ R^d` (Eq. 25).
+    pub b: Vector,
+    /// The constant term `c_α` (Eq. 26, including the score-dependent parts).
+    pub c: f64,
+}
+
+/// Computes the dominance coefficients of a partial combination.
+///
+/// * `query` — the query point `q` (the derivation assumes coordinates
+///   relative to `q`; the translation happens here).
+/// * `seen` — the `(location, score)` pairs of the seen members (`i ∈ M`).
+/// * `unseen_sigma_max` — the score upper bounds `σ_max` of the unseen
+///   relations (`i ∉ M`); they only contribute a constant to `c`, shared by
+///   every `α` with the same `M`, but are included for fidelity to Eq. 26.
+/// * `n` — total number of relations; `weights` — the Eq. 2 weights.
+///
+/// # Panics
+/// Panics if `seen` is empty (the empty partial combination has no
+/// competitors, so dominance is never tested for it) or `seen.len() +
+/// unseen_sigma_max.len() != n`.
+pub fn dominance_coefficients(
+    query: &Vector,
+    seen: &[(&Vector, f64)],
+    unseen_sigma_max: &[f64],
+    n: usize,
+    weights: Weights,
+) -> DominanceCoefficients {
+    let m = seen.len();
+    assert!(m >= 1, "dominance is undefined for the empty partial combination");
+    assert_eq!(m + unseen_sigma_max.len(), n, "arity mismatch");
+    let k = (n - m) as f64;
+    let mf = m as f64;
+    let nf = n as f64;
+
+    // Translate to query-centred coordinates.
+    let xs: Vec<Vector> = seen.iter().map(|(x, _)| *x - query).collect();
+    let mut nu = Vector::zeros(query.dim());
+    for x in &xs {
+        nu += x;
+    }
+    nu.scale_in_place(1.0 / mf);
+
+    // b = −w_μ · (m·k/n) · ν
+    let b = nu.scaled(-weights.w_mu * mf * k / nf);
+
+    // C0 = Σ_{i∈M} w_s·ln σ_i + Σ_{j∉M} w_s·ln σ_max_j
+    let c0: f64 = seen
+        .iter()
+        .map(|(_, sigma)| weights.w_s * sigma.ln())
+        .chain(unseen_sigma_max.iter().map(|s| weights.w_s * s.ln()))
+        .sum();
+
+    // c = −C0 + w_q·Σ‖x_i‖² + w_μ·Σ‖x_i − (m/n)ν‖² + k·w_μ·(m/n)²·‖ν‖²
+    let shrunk_nu = nu.scaled(mf / nf);
+    let c = -c0
+        + weights.w_q * xs.iter().map(|x| x.norm_squared()).sum::<f64>()
+        + weights.w_mu
+            * xs.iter()
+                .map(|x| (x - &shrunk_nu).norm_squared())
+                .sum::<f64>()
+        + k * weights.w_mu * (mf / nf) * (mf / nf) * nu.norm_squared();
+
+    DominanceCoefficients { b, c }
+}
+
+/// Evaluates the unconstrained completion objective
+/// `f_α(y) = −(a‖y‖² + 2 b_αᵀ y + c_α)` (query-centred coordinates) given the
+/// shared quadratic coefficient `a`. Used by tests to validate the
+/// coefficients against a direct evaluation of the aggregation function.
+pub fn unconstrained_objective(coeffs: &DominanceCoefficients, a: f64, y: &Vector) -> f64 {
+    -(a * y.norm_squared() + 2.0 * coeffs.b.dot(y) + coeffs.c)
+}
+
+/// The shared quadratic coefficient `a = w_q·(n−m) + w_μ·(m/n)·(n−m)` (Eq. 24).
+pub fn shared_quadratic_coefficient(m: usize, n: usize, weights: Weights) -> f64 {
+    let k = (n - m) as f64;
+    weights.w_q * k + weights.w_mu * (m as f64 / n as f64) * k
+}
+
+/// Decides whether the partial combination with coefficients `alpha` is
+/// dominated by the (non-dominated) competitors `others`, i.e. whether its
+/// dominance region is empty (Eq. 35).
+pub fn is_dominated(alpha: &DominanceCoefficients, others: &[&DominanceCoefficients]) -> bool {
+    if others.is_empty() {
+        return false;
+    }
+    let constraints: Vec<(Vec<f64>, f64)> = others
+        .iter()
+        .map(|beta| {
+            let normal = (&alpha.b - &beta.b).scaled(2.0);
+            (normal.into_inner(), beta.c - alpha.c)
+        })
+        .collect();
+    !halfspaces_feasible(&constraints)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scoring::{EuclideanLogScore, ScoringFunction};
+
+    fn v(x: &[f64]) -> Vector {
+        Vector::from(x)
+    }
+
+    /// The quadratic form −(a‖y‖² + 2bᵀy + c) must coincide with the actual
+    /// aggregation function evaluated at a completion where every unseen
+    /// tuple sits at `y` (query-centred) with score σ_max.
+    #[test]
+    fn coefficients_match_direct_evaluation() {
+        let weights = Weights::new(1.0, 1.0, 1.0);
+        let scoring = EuclideanLogScore::from_weights(weights);
+        let q = v(&[0.5, -0.25]);
+        let x1 = v(&[1.0, 1.0]);
+        let x2 = v(&[-1.0, 2.0]);
+        let seen = [(&x1, 0.7), (&x2, 0.9)];
+        let unseen_sigma = [0.8, 1.0];
+        let n = 4;
+        let coeffs = dominance_coefficients(&q, &seen, &unseen_sigma, n, weights);
+        let a = shared_quadratic_coefficient(2, n, weights);
+        for y_raw in [v(&[0.3, 0.4]), v(&[-1.0, 2.0]), v(&[0.0, 0.0]), v(&[5.0, -3.0])] {
+            // y is query-centred; the actual completion location is q + y.
+            let loc = &q + &y_raw;
+            let members = vec![
+                (&x1, 0.7),
+                (&x2, 0.9),
+                (&loc, unseen_sigma[0]),
+                (&loc, unseen_sigma[1]),
+            ];
+            let direct = scoring.score_members(&members, &q);
+            let via_coeffs = unconstrained_objective(&coeffs, a, &y_raw);
+            assert!(
+                (direct - via_coeffs).abs() < 1e-9,
+                "mismatch at {y_raw:?}: direct {direct} vs quadratic {via_coeffs}"
+            );
+        }
+    }
+
+    #[test]
+    fn shared_coefficient_matches_eq_24() {
+        let w = Weights::new(1.0, 2.0, 3.0);
+        // a = wq(n-m) + wmu*(m/n)(n-m), m=1, n=3 -> 2*2 + 3*(1/3)*2 = 6
+        assert!((shared_quadratic_coefficient(1, 3, w) - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_competitors_means_not_dominated() {
+        let c = DominanceCoefficients {
+            b: v(&[1.0, 0.0]),
+            c: 0.0,
+        };
+        assert!(!is_dominated(&c, &[]));
+    }
+
+    #[test]
+    fn identical_partials_are_not_dominated() {
+        let c1 = DominanceCoefficients {
+            b: v(&[1.0, 0.0]),
+            c: 2.0,
+        };
+        let c2 = c1.clone();
+        // f_α == f_β everywhere, so the dominance region is the whole space.
+        assert!(!is_dominated(&c1, &[&c2]));
+    }
+
+    #[test]
+    fn strictly_worse_partial_is_dominated() {
+        // Same b, strictly larger c => f_α(y) < f_β(y) for every y.
+        let better = DominanceCoefficients {
+            b: v(&[1.0, 0.0]),
+            c: 0.0,
+        };
+        let worse = DominanceCoefficients {
+            b: v(&[1.0, 0.0]),
+            c: 5.0,
+        };
+        assert!(is_dominated(&worse, &[&better]));
+        assert!(!is_dominated(&better, &[&worse]));
+    }
+
+    #[test]
+    fn different_directions_split_the_space() {
+        // Two partials pulling in opposite directions: each dominates a
+        // half-space, so neither is dominated.
+        let a = DominanceCoefficients {
+            b: v(&[1.0, 0.0]),
+            c: 0.0,
+        };
+        let b = DominanceCoefficients {
+            b: v(&[-1.0, 0.0]),
+            c: 0.0,
+        };
+        assert!(!is_dominated(&a, &[&b]));
+        assert!(!is_dominated(&b, &[&a]));
+    }
+
+    /// Paper Example 3.3 / Figure 2: none of the four partial combinations of
+    /// PC({2,3}) formed from Table 1 is dominated.
+    #[test]
+    fn table1_pc23_has_no_dominated_partials() {
+        let weights = Weights::new(1.0, 1.0, 1.0);
+        let q = v(&[0.0, 0.0]);
+        let r2 = [(v(&[1.0, 1.0]), 1.0), (v(&[-2.0, 2.0]), 0.8)];
+        let r3 = [(v(&[-1.0, 1.0]), 1.0), (v(&[-2.0, -2.0]), 0.4)];
+        let n = 3;
+        let mut coeffs = Vec::new();
+        for (x2, s2) in &r2 {
+            for (x3, s3) in &r3 {
+                let seen = [(x2, *s2), (x3, *s3)];
+                coeffs.push(dominance_coefficients(&q, &seen, &[1.0], n, weights));
+            }
+        }
+        for i in 0..coeffs.len() {
+            let others: Vec<&DominanceCoefficients> = coeffs
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(_, c)| c)
+                .collect();
+            assert!(
+                !is_dominated(&coeffs[i], &others),
+                "partial {i} unexpectedly dominated"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_partial_combination_panics() {
+        let _ = dominance_coefficients(&v(&[0.0]), &[], &[1.0], 1, Weights::default());
+    }
+}

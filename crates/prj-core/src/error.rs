@@ -1,0 +1,72 @@
+//! Error types of the proximity rank join operator.
+
+use std::fmt;
+
+/// Errors raised while building or executing a proximity rank join problem.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PrjError {
+    /// The problem has no input relations.
+    NoRelations,
+    /// `K` must be at least 1.
+    InvalidK,
+    /// A tuple's feature vector does not match the query dimensionality.
+    DimensionMismatch {
+        /// Dimensionality of the query vector.
+        expected: usize,
+        /// Dimensionality of the offending tuple.
+        found: usize,
+    },
+    /// A tuple has a non-positive score, which the logarithmic aggregation
+    /// function of Eq. 2 cannot handle.
+    NonPositiveScore {
+        /// The offending score value.
+        score: f64,
+    },
+    /// A tight-bound algorithm was requested but the scoring function does
+    /// not expose Euclidean-reduction weights (paper Sec. 3.2.1); only the
+    /// corner-bound algorithms and the exhaustive baseline can run.
+    ScoringNotReducible,
+}
+
+impl fmt::Display for PrjError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrjError::NoRelations => write!(f, "the problem has no input relations"),
+            PrjError::InvalidK => write!(f, "K must be at least 1"),
+            PrjError::DimensionMismatch { expected, found } => write!(
+                f,
+                "feature vector dimension {found} does not match the query dimension {expected}"
+            ),
+            PrjError::NonPositiveScore { score } => {
+                write!(f, "tuple score {score} is not strictly positive")
+            }
+            PrjError::ScoringNotReducible => write!(
+                f,
+                "the scoring function has no Euclidean reduction; tight-bound algorithms are unavailable"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PrjError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_messages_are_informative() {
+        assert!(PrjError::NoRelations.to_string().contains("no input relations"));
+        assert!(PrjError::InvalidK.to_string().contains("K"));
+        assert!(PrjError::DimensionMismatch {
+            expected: 2,
+            found: 3
+        }
+        .to_string()
+        .contains("dimension"));
+        assert!(PrjError::NonPositiveScore { score: 0.0 }
+            .to_string()
+            .contains("positive"));
+        assert!(PrjError::ScoringNotReducible.to_string().contains("Euclidean"));
+    }
+}

@@ -1,0 +1,125 @@
+//! Exhaustive baseline: read everything, score the full cross product.
+//!
+//! Not an algorithm from the paper, but the obvious correctness oracle: every
+//! ProxRJ instantiation must return exactly the same top-K (up to score ties)
+//! while reading far less input. It also serves as the "no early termination"
+//! comparator in the experiment harness.
+
+use crate::combination::{ScoredCombination, TopKBuffer};
+use crate::operator::{RankJoinResult, RunMetrics};
+use crate::problem::Problem;
+use crate::scoring::ScoringFunction;
+use prj_access::{AccessStats, Tuple};
+use std::time::Instant;
+
+/// Reads every relation to exhaustion and returns the exact top-K of the full
+/// cross product.
+pub fn naive_rank_join<S: ScoringFunction>(problem: &mut Problem<S>) -> RankJoinResult {
+    let started = Instant::now();
+    problem.reset();
+    let n = problem.num_relations();
+    let query = problem.query().clone();
+    let mut stats = AccessStats::new(n);
+
+    // Drain every relation.
+    let mut contents: Vec<Vec<Tuple>> = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut tuples = Vec::new();
+        while let Some(t) = problem.relations_mut().relation_mut(i).next_tuple() {
+            stats.record_access(i);
+            tuples.push(t);
+        }
+        contents.push(tuples);
+    }
+
+    let mut output = TopKBuffer::new(problem.k());
+    let mut metrics = RunMetrics::default();
+
+    if contents.iter().all(|c| !c.is_empty()) {
+        let mut counters = vec![0usize; n];
+        loop {
+            let tuples: Vec<Tuple> = (0..n).map(|j| contents[j][counters[j]].clone()).collect();
+            let members: Vec<(&prj_geometry::Vector, f64)> =
+                tuples.iter().map(|t| (&t.vector, t.score)).collect();
+            let score = problem.scoring().score_members(&members, &query);
+            drop(members);
+            output.insert(ScoredCombination::new(tuples, score));
+            metrics.combinations_formed += 1;
+            let mut carry = true;
+            for j in 0..n {
+                if !carry {
+                    break;
+                }
+                counters[j] += 1;
+                if counters[j] >= contents[j].len() {
+                    counters[j] = 0;
+                } else {
+                    carry = false;
+                }
+            }
+            if carry {
+                break;
+            }
+        }
+    }
+
+    metrics.final_bound = f64::NEG_INFINITY;
+    metrics.total_time = started.elapsed();
+    RankJoinResult {
+        combinations: output.into_sorted_vec(),
+        stats,
+        metrics,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::ProblemBuilder;
+    use crate::scoring::EuclideanLogScore;
+    use prj_access::{AccessKind, TupleId};
+    use prj_geometry::Vector;
+
+    fn mk(rel: usize, rows: &[([f64; 2], f64)]) -> Vec<Tuple> {
+        rows.iter()
+            .enumerate()
+            .map(|(i, (x, s))| Tuple::new(TupleId::new(rel, i), Vector::from(*x), *s))
+            .collect()
+    }
+
+    #[test]
+    fn naive_reads_everything_and_ranks_table1() {
+        let mut problem =
+            ProblemBuilder::new(Vector::from([0.0, 0.0]), EuclideanLogScore::new(1.0, 1.0, 1.0))
+                .k(8)
+                .relation_from_tuples(mk(0, &[([0.0, -0.5], 0.5), ([0.0, 1.0], 1.0)]))
+                .relation_from_tuples(mk(1, &[([1.0, 1.0], 1.0), ([-2.0, 2.0], 0.8)]))
+                .relation_from_tuples(mk(2, &[([-1.0, 1.0], 1.0), ([-2.0, -2.0], 0.4)]))
+                .build()
+                .unwrap();
+        let result = naive_rank_join(&mut problem);
+        assert_eq!(result.sum_depths(), 6);
+        assert_eq!(result.combinations.len(), 8);
+        assert_eq!(result.metrics.combinations_formed, 8);
+        assert!((result.combinations[0].score - (-7.0)).abs() < 0.05);
+        assert!((result.combinations[7].score - (-29.5)).abs() < 0.05);
+        for w in result.combinations.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    #[test]
+    fn naive_with_empty_relation_returns_nothing() {
+        let mut problem =
+            ProblemBuilder::new(Vector::from([0.0, 0.0]), EuclideanLogScore::default())
+                .k(3)
+                .access_kind(AccessKind::Distance)
+                .relation_from_tuples(mk(0, &[([1.0, 0.0], 0.5)]))
+                .relation_from_tuples(Vec::new())
+                .build()
+                .unwrap();
+        let result = naive_rank_join(&mut problem);
+        assert!(result.combinations.is_empty());
+        assert_eq!(result.sum_depths(), 1);
+    }
+}

@@ -1,0 +1,357 @@
+//! The ProxRJ operator (paper Algorithm 1).
+//!
+//! `ProxRJ` is a pull/bound template: at every step a *pulling strategy*
+//! chooses the relation to access, the newly retrieved tuple is joined (cross
+//! product) with the seen prefixes of the other relations, the resulting
+//! combinations are pushed into a top-K output buffer, and a *bounding
+//! scheme* recomputes an upper bound `t` on the score of any combination
+//! still using an unseen tuple. The operator stops as soon as the K-th best
+//! retained score reaches `t` (or every relation is exhausted).
+
+use crate::bounds::BoundingScheme;
+use crate::combination::{ScoredCombination, TopKBuffer};
+use crate::problem::Problem;
+use crate::pull::PullStrategy;
+use crate::scoring::ScoringFunction;
+use crate::state::JoinState;
+use prj_access::{AccessStats, Tuple};
+use std::time::{Duration, Instant};
+
+/// Instrumentation collected during one ProxRJ execution.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunMetrics {
+    /// Total wall-clock time of the execution (excluding, per the paper's
+    /// methodology, nothing — tuples are local — but dominated by bound
+    /// computation and combination formation).
+    pub total_time: Duration,
+    /// Wall-clock time spent inside `updateBound`.
+    pub bound_time: Duration,
+    /// Wall-clock time spent in dominance tests (subset of `bound_time`).
+    pub dominance_time: Duration,
+    /// Number of `updateBound` invocations.
+    pub bound_updates: usize,
+    /// Number of combinations formed (cross-product members scored).
+    pub combinations_formed: usize,
+    /// Number of partial combinations flagged as dominated.
+    pub dominated_partials: usize,
+    /// The final value of the upper bound when the operator stopped.
+    pub final_bound: f64,
+    /// `true` when the run stopped because of the configured access cap
+    /// rather than the termination condition.
+    pub hit_access_cap: bool,
+}
+
+/// The outcome of a proximity rank join execution.
+#[derive(Debug, Clone)]
+pub struct RankJoinResult {
+    /// The top-K combinations, best first.
+    pub combinations: Vec<ScoredCombination>,
+    /// Per-relation depths (the `sumDepths` metric).
+    pub stats: AccessStats,
+    /// Instrumentation.
+    pub metrics: RunMetrics,
+}
+
+impl RankJoinResult {
+    /// The `sumDepths` I/O cost of the run.
+    pub fn sum_depths(&self) -> usize {
+        self.stats.sum_depths()
+    }
+
+    /// The best (highest) score returned, if any.
+    pub fn best_score(&self) -> Option<f64> {
+        self.combinations.first().map(|c| c.score)
+    }
+}
+
+/// Executes Algorithm 1 with the given bounding scheme and pulling strategy.
+///
+/// The relations of `problem` are consumed from their current position;
+/// call [`Problem::reset`] first to rerun a problem from scratch.
+pub fn execute<S: ScoringFunction>(
+    problem: &mut Problem<S>,
+    bound: &mut dyn BoundingScheme<S>,
+    pull: &mut dyn PullStrategy,
+) -> RankJoinResult {
+    let started = Instant::now();
+    let n = problem.num_relations();
+    let k = problem.k();
+    let config = problem.config();
+    let query = problem.query().clone();
+    let kind = problem.access_kind();
+    let max_scores = problem.relations().max_scores();
+
+    let mut state = JoinState::new(query.clone(), kind, &max_scores);
+    let mut output = TopKBuffer::new(k);
+    let mut stats = AccessStats::new(n);
+    let mut metrics = RunMetrics::default();
+
+    // Initial bound: nothing read, so this is the best conceivable score.
+    let bound_started = Instant::now();
+    let mut t = bound.update(&state, problem.scoring(), None);
+    metrics.bound_time += bound_started.elapsed();
+    metrics.bound_updates += 1;
+
+    loop {
+        // Termination (Algorithm 1, line 3): K results whose worst score
+        // already matches the bound on anything still unseen.
+        if output.len() >= k && output.kth_score() >= t - config.termination_tolerance {
+            break;
+        }
+        if let Some(cap) = config.max_accesses {
+            if stats.sum_depths() >= cap {
+                metrics.hit_access_cap = true;
+                break;
+            }
+        }
+        // Pulling strategy (line 4).
+        let potentials: Vec<f64> = (0..n).map(|i| bound.potential(i)).collect();
+        let Some(i) = pull.choose_input(&state, &potentials) else {
+            // Every relation is exhausted: the retained top-K is exact.
+            break;
+        };
+        // Sorted access (line 5).
+        match problem.relations_mut().relation_mut(i).next_tuple() {
+            None => {
+                state.mark_exhausted(i);
+                let bound_started = Instant::now();
+                t = bound.update(&state, problem.scoring(), None);
+                metrics.bound_time += bound_started.elapsed();
+                metrics.bound_updates += 1;
+            }
+            Some(tuple) => {
+                stats.record_access(i);
+                // Join with the seen prefixes of the other relations (line 6–7),
+                // *before* adding the new tuple to its own buffer.
+                metrics.combinations_formed +=
+                    form_combinations(problem.scoring(), &state, &query, i, &tuple, &mut output);
+                // Line 8: add the tuple to P_i, recording its distance from the
+                // query under the aggregation function's own metric δ.
+                let dist = problem.scoring().distance(&tuple.vector, &query);
+                state.push_tuple_with_distance(i, tuple, dist);
+                // Line 9: update the bound.
+                let bound_started = Instant::now();
+                t = bound.update(&state, problem.scoring(), Some(i));
+                metrics.bound_time += bound_started.elapsed();
+                metrics.bound_updates += 1;
+            }
+        }
+    }
+
+    metrics.final_bound = t;
+    metrics.dominance_time = bound.dominance_time();
+    metrics.dominated_partials = bound.dominated_count();
+    metrics.total_time = started.elapsed();
+    RankJoinResult {
+        combinations: output.into_sorted_vec(),
+        stats,
+        metrics,
+    }
+}
+
+/// Forms every combination `P_1 × … × {new} × … × P_n`, scores it and pushes
+/// it into the output buffer. Returns the number of combinations formed.
+fn form_combinations<S: ScoringFunction>(
+    scoring: &S,
+    state: &JoinState,
+    query: &prj_geometry::Vector,
+    new_relation: usize,
+    new_tuple: &Tuple,
+    output: &mut TopKBuffer,
+) -> usize {
+    let n = state.n();
+    // Every other relation must have at least one seen tuple.
+    if (0..n).any(|j| j != new_relation && state.depth(j) == 0) {
+        return 0;
+    }
+    let others: Vec<usize> = (0..n).filter(|&j| j != new_relation).collect();
+    let mut counters = vec![0usize; others.len()];
+    let mut formed = 0;
+    loop {
+        // Assemble the combination in relation order.
+        let mut tuples: Vec<Tuple> = Vec::with_capacity(n);
+        {
+            let mut oi = 0;
+            for j in 0..n {
+                if j == new_relation {
+                    tuples.push(new_tuple.clone());
+                } else {
+                    tuples.push(state.buffer(j).get(counters[oi]).expect("seen rank").clone());
+                    oi += 1;
+                }
+            }
+        }
+        let members: Vec<(&prj_geometry::Vector, f64)> =
+            tuples.iter().map(|t| (&t.vector, t.score)).collect();
+        let score = scoring.score_members(&members, query);
+        drop(members);
+        output.insert(ScoredCombination::new(tuples, score));
+        formed += 1;
+        // Mixed-radix increment over the other relations' seen depths.
+        let mut carry = true;
+        for (ci, &j) in others.iter().enumerate() {
+            if !carry {
+                break;
+            }
+            counters[ci] += 1;
+            if counters[ci] >= state.depth(j) {
+                counters[ci] = 0;
+            } else {
+                carry = false;
+            }
+        }
+        if carry {
+            break;
+        }
+    }
+    formed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::{CornerBound, TightBound, TightBoundConfig};
+    use crate::problem::ProblemBuilder;
+    use crate::pull::{PotentialAdaptive, RoundRobin};
+    use crate::scoring::EuclideanLogScore;
+    use prj_access::{AccessKind, TupleId};
+    use prj_geometry::Vector;
+
+    fn table1_problem(k: usize) -> Problem<EuclideanLogScore> {
+        let mk = |rel: usize, rows: &[([f64; 2], f64)]| -> Vec<Tuple> {
+            rows.iter()
+                .enumerate()
+                .map(|(i, (x, s))| Tuple::new(TupleId::new(rel, i), Vector::from(*x), *s))
+                .collect()
+        };
+        ProblemBuilder::new(Vector::from([0.0, 0.0]), EuclideanLogScore::new(1.0, 1.0, 1.0))
+            .k(k)
+            .access_kind(AccessKind::Distance)
+            .relation_from_tuples(mk(0, &[([0.0, -0.5], 0.5), ([0.0, 1.0], 1.0)]))
+            .relation_from_tuples(mk(1, &[([1.0, 1.0], 1.0), ([-2.0, 2.0], 0.8)]))
+            .relation_from_tuples(mk(2, &[([-1.0, 1.0], 1.0), ([-2.0, -2.0], 0.4)]))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn tight_bound_round_robin_finds_table1_top1() {
+        let mut problem = table1_problem(1);
+        let mut bound = TightBound::new(
+            3,
+            problem.scoring().weights(),
+            TightBoundConfig::default(),
+        );
+        let mut pull = RoundRobin::new();
+        let result = execute(&mut problem, &mut bound, &mut pull);
+        assert_eq!(result.combinations.len(), 1);
+        assert!((result.combinations[0].score - (-7.0)).abs() < 0.05);
+        let ids: Vec<usize> = result.combinations[0].tuples.iter().map(|t| t.id.index).collect();
+        assert_eq!(ids, vec![1, 0, 0]); // τ1^(2) × τ2^(1) × τ3^(1)
+        // All three relations only have two tuples; the tight bound should not
+        // need to exhaust them all (Example 3.1 certifies after 6 accesses).
+        assert!(result.sum_depths() <= 6);
+    }
+
+    #[test]
+    fn corner_bound_also_correct_but_reads_at_least_as_much() {
+        let mut p1 = table1_problem(1);
+        let mut tb = TightBound::new(3, p1.scoring().weights(), TightBoundConfig::default());
+        let mut rr = RoundRobin::new();
+        let tight = execute(&mut p1, &mut tb, &mut rr);
+
+        let mut p2 = table1_problem(1);
+        let mut cb = CornerBound::new(3);
+        let mut rr = RoundRobin::new();
+        let corner = execute(&mut p2, &mut cb, &mut rr);
+
+        assert!((tight.combinations[0].score - corner.combinations[0].score).abs() < 1e-9);
+        assert!(corner.sum_depths() >= tight.sum_depths());
+    }
+
+    #[test]
+    fn top_k_larger_than_cross_product_returns_everything() {
+        let mut problem = table1_problem(20);
+        let mut bound = TightBound::new(
+            3,
+            problem.scoring().weights(),
+            TightBoundConfig::default(),
+        );
+        let mut pull = PotentialAdaptive::new();
+        let result = execute(&mut problem, &mut bound, &mut pull);
+        // Only 8 combinations exist.
+        assert_eq!(result.combinations.len(), 8);
+        // Scores must be sorted non-increasing.
+        for w in result.combinations.windows(2) {
+            assert!(w[0].score >= w[1].score - 1e-12);
+        }
+        // Everything had to be read.
+        assert_eq!(result.sum_depths(), 6);
+    }
+
+    #[test]
+    fn access_cap_is_honoured() {
+        let mut problem = table1_problem(5);
+        problem.set_config(crate::problem::ProxRjConfig {
+            max_accesses: Some(3),
+            ..Default::default()
+        });
+        let mut bound = CornerBound::new(3);
+        let mut pull = RoundRobin::new();
+        let result = execute(&mut problem, &mut bound, &mut pull);
+        assert!(result.metrics.hit_access_cap);
+        assert_eq!(result.sum_depths(), 3);
+    }
+
+    #[test]
+    fn metrics_are_populated() {
+        let mut problem = table1_problem(2);
+        let mut bound = TightBound::new(
+            3,
+            problem.scoring().weights(),
+            TightBoundConfig::default(),
+        );
+        let mut pull = RoundRobin::new();
+        let result = execute(&mut problem, &mut bound, &mut pull);
+        assert!(result.metrics.bound_updates >= result.sum_depths());
+        assert!(result.metrics.combinations_formed >= result.combinations.len());
+        assert!(result.metrics.final_bound.is_finite() || result.metrics.final_bound == f64::NEG_INFINITY);
+        assert!(result.metrics.total_time >= result.metrics.bound_time);
+        assert!(result.best_score().is_some());
+    }
+
+    #[test]
+    fn score_based_access_execution() {
+        let mk = |rel: usize, rows: &[([f64; 2], f64)]| -> Vec<Tuple> {
+            rows.iter()
+                .enumerate()
+                .map(|(i, (x, s))| Tuple::new(TupleId::new(rel, i), Vector::from(*x), *s))
+                .collect()
+        };
+        let mut problem =
+            ProblemBuilder::new(Vector::from([0.0, 0.0]), EuclideanLogScore::new(1.0, 1.0, 1.0))
+                .k(2)
+                .access_kind(AccessKind::Score)
+                .relation_from_tuples(mk(
+                    0,
+                    &[([0.1, 0.0], 0.9), ([2.0, 0.0], 0.8), ([0.2, 0.1], 0.3)],
+                ))
+                .relation_from_tuples(mk(
+                    1,
+                    &[([0.0, 0.1], 1.0), ([0.0, 3.0], 0.7), ([-0.2, 0.0], 0.2)],
+                ))
+                .build()
+                .unwrap();
+        let mut bound = TightBound::new(
+            2,
+            problem.scoring().weights(),
+            TightBoundConfig::default(),
+        );
+        let mut pull = RoundRobin::new();
+        let result = execute(&mut problem, &mut bound, &mut pull);
+        assert_eq!(result.combinations.len(), 2);
+        // The best pair is the two high-score tuples sitting next to the query.
+        let ids: Vec<usize> = result.combinations[0].tuples.iter().map(|t| t.id.index).collect();
+        assert_eq!(ids, vec![0, 0]);
+    }
+}

@@ -1,0 +1,173 @@
+//! Pulling strategies: which relation to access next (paper Sec. 3.3).
+//!
+//! * [`RoundRobin`] — cycle through the relations in index order, skipping
+//!   exhausted ones. Together with the tight bound this already guarantees
+//!   instance optimality (Theorem 3.3).
+//! * [`PotentialAdaptive`] — access the relation with the highest *potential*
+//!   `pot_i = max{t_M | M ⊂ {1…n} − {i}}`, i.e. the relation whose unseen
+//!   tuples could still contribute to the highest-scoring combinations,
+//!   breaking ties towards the smallest depth and then the smallest index.
+//!   Theorem 3.5 shows it never reads deeper than round-robin on any
+//!   relation; with the corner bound this strategy is exactly HRJN*'s.
+
+use crate::state::JoinState;
+
+/// A pulling strategy: decides which relation the operator accesses next.
+pub trait PullStrategy {
+    /// Chooses the next relation to access.
+    ///
+    /// `potentials[i]` is the bounding scheme's potential of relation `i`
+    /// (already `−∞` for exhausted relations). Returns `None` when every
+    /// relation is exhausted.
+    fn choose_input(&mut self, state: &JoinState, potentials: &[f64]) -> Option<usize>;
+
+    /// A short name used in reports ("RR" or "PA").
+    fn name(&self) -> &'static str;
+}
+
+/// Round-robin pulling: `R_1, R_2, …, R_n, R_1, …`, skipping exhausted
+/// relations.
+#[derive(Debug, Clone, Default)]
+pub struct RoundRobin {
+    next: usize,
+}
+
+impl RoundRobin {
+    /// Creates the strategy starting from relation 0.
+    pub fn new() -> Self {
+        RoundRobin { next: 0 }
+    }
+}
+
+impl PullStrategy for RoundRobin {
+    fn choose_input(&mut self, state: &JoinState, _potentials: &[f64]) -> Option<usize> {
+        let n = state.n();
+        for offset in 0..n {
+            let candidate = (self.next + offset) % n;
+            if !state.buffer(candidate).is_exhausted() {
+                self.next = (candidate + 1) % n;
+                return Some(candidate);
+            }
+        }
+        None
+    }
+
+    fn name(&self) -> &'static str {
+        "RR"
+    }
+}
+
+/// Potential-adaptive pulling (PA, Sec. 3.3): pick the relation with the
+/// largest potential; break ties in favour of the relation with the smallest
+/// depth, then the smallest index.
+#[derive(Debug, Clone, Default)]
+pub struct PotentialAdaptive;
+
+impl PotentialAdaptive {
+    /// Creates the strategy.
+    pub fn new() -> Self {
+        PotentialAdaptive
+    }
+}
+
+impl PullStrategy for PotentialAdaptive {
+    fn choose_input(&mut self, state: &JoinState, potentials: &[f64]) -> Option<usize> {
+        let n = state.n();
+        debug_assert_eq!(potentials.len(), n);
+        let mut best: Option<usize> = None;
+        for i in 0..n {
+            if state.buffer(i).is_exhausted() {
+                continue;
+            }
+            match best {
+                None => best = Some(i),
+                Some(b) => {
+                    let better = potentials[i] > potentials[b] + 1e-12
+                        || ((potentials[i] - potentials[b]).abs() <= 1e-12
+                            && (state.depth(i) < state.depth(b)));
+                    // Ties on potential and depth resolve to the least index,
+                    // which is already the case because we scan in index order.
+                    if better {
+                        best = Some(i);
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    fn name(&self) -> &'static str {
+        "PA"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prj_access::{AccessKind, Tuple, TupleId};
+    use prj_geometry::Vector;
+
+    fn state(n: usize) -> JoinState {
+        JoinState::new(Vector::from([0.0, 0.0]), AccessKind::Distance, &vec![1.0; n])
+    }
+
+    fn push(state: &mut JoinState, rel: usize, idx: usize, d: f64) {
+        state.push_tuple(
+            rel,
+            Tuple::new(TupleId::new(rel, idx), Vector::from([d, 0.0]), 0.5),
+        );
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let s = state(3);
+        let mut rr = RoundRobin::new();
+        let picks: Vec<usize> = (0..6).map(|_| rr.choose_input(&s, &[0.0; 3]).unwrap()).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+        assert_eq!(rr.name(), "RR");
+    }
+
+    #[test]
+    fn round_robin_skips_exhausted() {
+        let mut s = state(3);
+        s.mark_exhausted(1);
+        let mut rr = RoundRobin::new();
+        let picks: Vec<usize> = (0..4).map(|_| rr.choose_input(&s, &[0.0; 3]).unwrap()).collect();
+        assert_eq!(picks, vec![0, 2, 0, 2]);
+        s.mark_exhausted(0);
+        s.mark_exhausted(2);
+        assert_eq!(rr.choose_input(&s, &[0.0; 3]), None);
+    }
+
+    #[test]
+    fn potential_adaptive_prefers_highest_potential() {
+        let s = state(3);
+        let mut pa = PotentialAdaptive::new();
+        assert_eq!(pa.choose_input(&s, &[-5.0, -1.0, -3.0]), Some(1));
+        assert_eq!(pa.name(), "PA");
+    }
+
+    #[test]
+    fn potential_adaptive_breaks_ties_by_depth_then_index() {
+        let mut s = state(3);
+        // Same potential everywhere; relation 1 is shallower than 0 and 2.
+        push(&mut s, 0, 0, 1.0);
+        push(&mut s, 0, 1, 2.0);
+        push(&mut s, 2, 0, 1.0);
+        let mut pa = PotentialAdaptive::new();
+        assert_eq!(pa.choose_input(&s, &[-1.0, -1.0, -1.0]), Some(1));
+        // Equal depth everywhere -> least index.
+        let s2 = state(3);
+        assert_eq!(pa.choose_input(&s2, &[-1.0, -1.0, -1.0]), Some(0));
+    }
+
+    #[test]
+    fn potential_adaptive_ignores_exhausted_relations() {
+        let mut s = state(2);
+        s.mark_exhausted(0);
+        let mut pa = PotentialAdaptive::new();
+        assert_eq!(pa.choose_input(&s, &[f64::NEG_INFINITY, -10.0]), Some(1));
+        s.mark_exhausted(1);
+        assert_eq!(pa.choose_input(&s, &[f64::NEG_INFINITY; 2]), None);
+    }
+}

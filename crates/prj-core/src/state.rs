@@ -1,0 +1,128 @@
+//! Shared execution state of a ProxRJ run.
+
+use prj_access::{AccessKind, RelationBuffer, Tuple};
+use prj_geometry::Vector;
+
+/// The state a ProxRJ execution exposes to its bounding scheme and pulling
+/// strategy: the query, the access kind and the seen prefix `P_i` of every
+/// relation.
+#[derive(Debug, Clone)]
+pub struct JoinState {
+    query: Vector,
+    kind: AccessKind,
+    buffers: Vec<RelationBuffer>,
+}
+
+impl JoinState {
+    /// Creates the state for `max_scores.len()` relations, all unread.
+    pub fn new(query: Vector, kind: AccessKind, max_scores: &[f64]) -> Self {
+        let buffers = max_scores
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| RelationBuffer::new(i, kind, s))
+            .collect();
+        JoinState {
+            query,
+            kind,
+            buffers,
+        }
+    }
+
+    /// The query vector `q`.
+    pub fn query(&self) -> &Vector {
+        &self.query
+    }
+
+    /// The shared access kind.
+    pub fn kind(&self) -> AccessKind {
+        self.kind
+    }
+
+    /// Number of relations `n`.
+    pub fn n(&self) -> usize {
+        self.buffers.len()
+    }
+
+    /// The buffer (`P_i`) of relation `i`.
+    pub fn buffer(&self, i: usize) -> &RelationBuffer {
+        &self.buffers[i]
+    }
+
+    /// All buffers.
+    pub fn buffers(&self) -> &[RelationBuffer] {
+        &self.buffers
+    }
+
+    /// Records a newly accessed tuple on relation `i` using the Euclidean
+    /// distance from the query; returns the new depth.
+    pub fn push_tuple(&mut self, i: usize, tuple: Tuple) -> usize {
+        let dist = tuple.vector.distance(&self.query);
+        self.buffers[i].push(tuple, dist)
+    }
+
+    /// Records a newly accessed tuple on relation `i` with an explicitly
+    /// provided distance from the query (used when the aggregation function's
+    /// distance `δ` is not the Euclidean one); returns the new depth.
+    pub fn push_tuple_with_distance(&mut self, i: usize, tuple: Tuple, distance: f64) -> usize {
+        self.buffers[i].push(tuple, distance)
+    }
+
+    /// Marks relation `i` as exhausted.
+    pub fn mark_exhausted(&mut self, i: usize) {
+        self.buffers[i].mark_exhausted();
+    }
+
+    /// `true` when every relation is exhausted.
+    pub fn all_exhausted(&self) -> bool {
+        self.buffers.iter().all(|b| b.is_exhausted())
+    }
+
+    /// Indices of relations that can still produce tuples.
+    pub fn unexhausted(&self) -> Vec<usize> {
+        self.buffers
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| !b.is_exhausted())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Current depth of relation `i`.
+    pub fn depth(&self, i: usize) -> usize {
+        self.buffers[i].depth()
+    }
+
+    /// `true` when every relation has at least one seen tuple.
+    pub fn all_started(&self) -> bool {
+        self.buffers.iter().all(|b| !b.is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prj_access::TupleId;
+
+    fn t(rel: usize, idx: usize, x: f64) -> Tuple {
+        Tuple::new(TupleId::new(rel, idx), Vector::from([x, 0.0]), 0.5)
+    }
+
+    #[test]
+    fn state_bookkeeping() {
+        let mut s = JoinState::new(Vector::from([0.0, 0.0]), AccessKind::Distance, &[1.0, 0.9]);
+        assert_eq!(s.n(), 2);
+        assert!(!s.all_started());
+        assert_eq!(s.unexhausted(), vec![0, 1]);
+        assert_eq!(s.push_tuple(0, t(0, 0, 1.0)), 1);
+        assert_eq!(s.push_tuple(1, t(1, 0, 2.0)), 1);
+        assert!(s.all_started());
+        assert_eq!(s.depth(0), 1);
+        assert_eq!(s.buffer(0).last_distance(), 1.0);
+        assert_eq!(s.buffer(1).max_score(), 0.9);
+        s.mark_exhausted(0);
+        assert_eq!(s.unexhausted(), vec![1]);
+        assert!(!s.all_exhausted());
+        s.mark_exhausted(1);
+        assert!(s.all_exhausted());
+    }
+}

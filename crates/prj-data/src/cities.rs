@@ -1,0 +1,269 @@
+//! Synthetic city data sets: the stand-in for the paper's real data
+//! (Appendix D.2).
+//!
+//! The original evaluation fetched customer ratings and coordinates of
+//! hotels, restaurants and cinemas in five American cities through the Yahoo!
+//! Query Language console, which has long been decommissioned and whose data
+//! was never published. This module generates *synthetic city data sets* with
+//! the same shape: for each city, three relations (hotels, restaurants,
+//! theaters) whose 2-D locations cluster around a handful of neighbourhoods
+//! at realistic geographic scales and whose ratings follow a right-skewed
+//! distribution (most venues are mediocre, a few are excellent), queried from
+//! a downtown landmark. The substitution preserves everything the experiment
+//! measures: the access pattern (distance-based, n = 3, d = 2, K = 10), the
+//! clustering that makes the adaptive pulling strategy pay off, and the
+//! relative performance of the four algorithms.
+
+use prj_access::{Tuple, TupleId};
+use prj_geometry::Vector;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// The kind of point of interest stored in each of the three relations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CityKind {
+    /// Hotels, ranked by number of stars (normalised to `(0, 1]`).
+    Hotels,
+    /// Restaurants, ranked by price-adjusted rating.
+    Restaurants,
+    /// Movie theaters, ranked by user rating.
+    Theaters,
+}
+
+impl CityKind {
+    /// All three kinds, in relation order.
+    pub fn all() -> [CityKind; 3] {
+        [CityKind::Hotels, CityKind::Restaurants, CityKind::Theaters]
+    }
+
+    /// Human-readable name.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CityKind::Hotels => "hotels",
+            CityKind::Restaurants => "restaurants",
+            CityKind::Theaters => "theaters",
+        }
+    }
+}
+
+/// A city data set: three POI relations plus the query location.
+#[derive(Debug, Clone)]
+pub struct CityDataSet {
+    /// Short city code (SF, NY, BO, DA, HO), as in Figure 3(i).
+    pub code: &'static str,
+    /// Full city name.
+    pub name: &'static str,
+    /// The query location (a downtown landmark), in kilometres relative to
+    /// the city centre.
+    pub query: Vector,
+    /// The three relations, in [`CityKind::all`] order.
+    pub relations: Vec<Vec<Tuple>>,
+}
+
+impl CityDataSet {
+    /// Number of points of interest across all three relations.
+    pub fn total_pois(&self) -> usize {
+        self.relations.iter().map(|r| r.len()).sum()
+    }
+}
+
+struct CitySpec {
+    code: &'static str,
+    name: &'static str,
+    /// Query landmark offset from the centre (km).
+    landmark: [f64; 2],
+    /// Neighbourhood centres (km) and their relative weight.
+    neighbourhoods: &'static [([f64; 2], f64)],
+    /// POIs per relation.
+    pois_per_relation: [usize; 3],
+    /// Spread (km) of points around their neighbourhood centre.
+    spread: f64,
+}
+
+const CITY_SPECS: [CitySpec; 5] = [
+    CitySpec {
+        code: "SF",
+        name: "San Francisco",
+        landmark: [0.8, 1.2], // Fisherman's Wharf-ish offset
+        neighbourhoods: &[
+            ([0.0, 0.0], 0.4),
+            ([1.0, 1.0], 0.3),
+            ([-1.5, 0.5], 0.2),
+            ([2.5, -1.0], 0.1),
+        ],
+        pois_per_relation: [120, 200, 60],
+        spread: 0.6,
+    },
+    CitySpec {
+        code: "NY",
+        name: "New York",
+        landmark: [-0.5, -2.0], // Battery Park-ish offset
+        neighbourhoods: &[
+            ([0.0, 0.0], 0.35),
+            ([0.5, 2.5], 0.3),
+            ([-1.0, 4.0], 0.2),
+            ([2.0, 1.0], 0.15),
+        ],
+        pois_per_relation: [220, 320, 90],
+        spread: 0.8,
+    },
+    CitySpec {
+        code: "BO",
+        name: "Boston",
+        landmark: [0.3, 0.4],
+        neighbourhoods: &[([0.0, 0.0], 0.5), ([1.2, -0.8], 0.3), ([-1.0, 1.5], 0.2)],
+        pois_per_relation: [90, 150, 45],
+        spread: 0.5,
+    },
+    CitySpec {
+        code: "DA",
+        name: "Dallas",
+        landmark: [-1.0, 0.0],
+        neighbourhoods: &[([0.0, 0.0], 0.4), ([3.0, 2.0], 0.3), ([-2.5, -2.0], 0.3)],
+        pois_per_relation: [100, 160, 50],
+        spread: 1.2,
+    },
+    CitySpec {
+        code: "HO",
+        name: "Honolulu",
+        landmark: [0.5, -0.5],
+        neighbourhoods: &[([0.0, 0.0], 0.6), ([2.0, 0.5], 0.4)],
+        pois_per_relation: [70, 110, 30],
+        spread: 0.7,
+    },
+];
+
+/// A right-skewed rating in `(0, 1]`: the square root of a uniform variate
+/// biased towards the top, mimicking star ratings where most venues sit in
+/// the middle of the scale and a few are excellent.
+fn skewed_rating(rng: &mut StdRng) -> f64 {
+    let u: f64 = rng.random_range(0.0..1.0);
+    let rating = 0.2 + 0.8 * u.powf(1.5);
+    rating.clamp(0.05, 1.0)
+}
+
+fn sample_neighbourhood(rng: &mut StdRng, spec: &CitySpec) -> [f64; 2] {
+    let r: f64 = rng.random_range(0.0..1.0);
+    let mut acc = 0.0;
+    for (centre, weight) in spec.neighbourhoods {
+        acc += weight;
+        if r <= acc {
+            return *centre;
+        }
+    }
+    spec.neighbourhoods[spec.neighbourhoods.len() - 1].0
+}
+
+/// An approximately normal variate built from the sum of uniforms
+/// (Irwin–Hall with 4 terms), avoiding any dependency beyond `rand`.
+fn approx_gaussian(rng: &mut StdRng) -> f64 {
+    let s: f64 = (0..4).map(|_| rng.random_range(-0.5..0.5)).sum();
+    s / 2.0_f64.sqrt()
+}
+
+fn generate_city(spec: &CitySpec, seed: u64) -> CityDataSet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let relations = spec
+        .pois_per_relation
+        .iter()
+        .enumerate()
+        .map(|(rel, &count)| {
+            (0..count)
+                .map(|idx| {
+                    let centre = sample_neighbourhood(&mut rng, spec);
+                    let x = centre[0] + spec.spread * approx_gaussian(&mut rng);
+                    let y = centre[1] + spec.spread * approx_gaussian(&mut rng);
+                    let rating = skewed_rating(&mut rng);
+                    Tuple::new(TupleId::new(rel, idx), Vector::from([x, y]), rating)
+                })
+                .collect()
+        })
+        .collect();
+    CityDataSet {
+        code: spec.code,
+        name: spec.name,
+        query: Vector::from(spec.landmark),
+        relations,
+    }
+}
+
+/// Generates the five city data sets of Figure 3(i)/(l) with the given seed.
+pub fn all_cities(seed: u64) -> Vec<CityDataSet> {
+    CITY_SPECS
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| generate_city(spec, seed.wrapping_add(i as u64 * 7919)))
+        .collect()
+}
+
+/// Generates one city by its short code (`SF`, `NY`, `BO`, `DA`, `HO`).
+pub fn city_by_code(code: &str, seed: u64) -> Option<CityDataSet> {
+    CITY_SPECS
+        .iter()
+        .enumerate()
+        .find(|(_, s)| s.code.eq_ignore_ascii_case(code))
+        .map(|(i, spec)| generate_city(spec, seed.wrapping_add(i as u64 * 7919)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_cities_with_three_relations_each() {
+        let cities = all_cities(1);
+        assert_eq!(cities.len(), 5);
+        let codes: Vec<&str> = cities.iter().map(|c| c.code).collect();
+        assert_eq!(codes, vec!["SF", "NY", "BO", "DA", "HO"]);
+        for c in &cities {
+            assert_eq!(c.relations.len(), 3);
+            assert_eq!(c.query.dim(), 2);
+            assert!(c.total_pois() > 100);
+            for r in &c.relations {
+                assert!(!r.is_empty());
+                for t in r {
+                    assert!(t.score > 0.0 && t.score <= 1.0);
+                    assert_eq!(t.dim(), 2);
+                    // POIs stay within a plausible metro radius (< 20 km).
+                    assert!(t.vector.norm() < 20.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = all_cities(3);
+        let b = all_cities(3);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.relations, y.relations);
+        }
+        let c = all_cities(4);
+        assert_ne!(a[0].relations, c[0].relations);
+    }
+
+    #[test]
+    fn lookup_by_code() {
+        assert_eq!(city_by_code("ny", 1).unwrap().name, "New York");
+        assert!(city_by_code("XX", 1).is_none());
+    }
+
+    #[test]
+    fn ratings_are_right_skewed() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let samples: Vec<f64> = (0..2000).map(|_| skewed_rating(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        // Mean sits below the midpoint of the [0.2, 1.0] range.
+        assert!(mean < 0.62, "mean rating {mean}");
+        assert!(samples.iter().all(|&s| (0.05..=1.0).contains(&s)));
+    }
+
+    #[test]
+    fn kinds_metadata() {
+        assert_eq!(CityKind::all().len(), 3);
+        assert_eq!(CityKind::Hotels.label(), "hotels");
+        assert_eq!(CityKind::Restaurants.label(), "restaurants");
+        assert_eq!(CityKind::Theaters.label(), "theaters");
+    }
+}

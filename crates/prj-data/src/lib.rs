@@ -1,0 +1,31 @@
+//! Data sets and workloads for the proximity rank join evaluation.
+//!
+//! Two families of data sets are provided, mirroring Sec. 4.1 / Appendix D of
+//! the paper:
+//!
+//! * [`synthetic`] — the synthetic generator of Appendix D.1: each relation
+//!   draws its feature vectors uniformly from a `d`-dimensional unit-volume
+//!   cube centred on the query and its scores uniformly from `(0, 1]`; the
+//!   operating parameters are the tuple density `ρ` (tuples per unit volume),
+//!   the dimensionality `d`, the number of relations `n` and the density skew
+//!   `ρ_1/ρ_2`.
+//! * [`cities`] — a synthetic stand-in for the real data sets of Appendix
+//!   D.2 (hotels, restaurants and theaters in five American cities fetched
+//!   through the now-defunct YQL console): for each city, three relations of
+//!   points clustered around a handful of neighbourhoods with skewed ratings,
+//!   queried from a downtown location. The substitution is documented in
+//!   DESIGN.md; it exercises exactly the same code paths (n = 3, d = 2,
+//!   distance-based access, top-10).
+//! * [`workload`] — the operating-parameter grid of Table 2, used by the
+//!   experiment harness to sweep one parameter at a time around the defaults.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cities;
+pub mod synthetic;
+pub mod workload;
+
+pub use cities::{all_cities, CityDataSet, CityKind};
+pub use synthetic::{generate_synthetic, SyntheticConfig};
+pub use workload::{ParameterGrid, Table2};

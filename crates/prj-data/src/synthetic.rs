@@ -1,0 +1,189 @@
+//! Synthetic data generation (paper Appendix D.1).
+//!
+//! Each relation `R_i` receives `round(ρ_i · V)` tuples, where `V = 1` is the
+//! volume of the sampling cube `[−0.5, 0.5]^d` centred on the query `q = 0`,
+//! so the density parameter `ρ` of Table 2 is simply the expected number of
+//! tuples per relation. Feature vectors are uniform in the cube, scores are
+//! uniform in `(0, 1]`. The skew parameter `ρ_1/ρ_2` multiplies the density
+//! of the *first* relation only, reproducing the skewed two-relation setting
+//! of Figure 3(g).
+
+use prj_access::{Tuple, TupleId};
+use prj_geometry::Vector;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the synthetic generator; the defaults are the bold values
+/// of Table 2 (`K` lives in the workload, not here).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SyntheticConfig {
+    /// Number of relations `n` (Table 2 default: 2).
+    pub n_relations: usize,
+    /// Dimensionality `d` of the feature space (default: 2).
+    pub dimensions: usize,
+    /// Density `ρ`: expected tuples per unit volume, i.e. per relation
+    /// (default: 50).
+    pub density: f64,
+    /// Density skew `ρ_1/ρ_2 ≥ 1`: the first relation is `skew` times denser
+    /// than the others (default: 1, no skew).
+    pub skew: f64,
+    /// RNG seed; every experiment repetition uses a distinct seed.
+    pub seed: u64,
+}
+
+impl Default for SyntheticConfig {
+    fn default() -> Self {
+        SyntheticConfig {
+            n_relations: 2,
+            dimensions: 2,
+            density: 50.0,
+            skew: 1.0,
+            seed: 42,
+        }
+    }
+}
+
+impl SyntheticConfig {
+    /// Returns a copy with a different seed (used for the ten repetitions
+    /// averaged by every experiment, per Sec. 4.1).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Expected number of tuples of relation `i`.
+    pub fn relation_size(&self, i: usize) -> usize {
+        let density = if i == 0 {
+            self.density * self.skew
+        } else {
+            self.density
+        };
+        density.round().max(1.0) as usize
+    }
+}
+
+/// Generates the relations described by `config`. The query point is the
+/// origin `0 ∈ R^d`.
+pub fn generate_synthetic(config: &SyntheticConfig) -> Vec<Vec<Tuple>> {
+    assert!(config.n_relations >= 1, "need at least one relation");
+    assert!(config.dimensions >= 1, "need at least one dimension");
+    assert!(config.density > 0.0, "density must be positive");
+    assert!(config.skew >= 1.0, "skew is defined as a ratio >= 1");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    (0..config.n_relations)
+        .map(|rel| {
+            let size = config.relation_size(rel);
+            (0..size)
+                .map(|idx| {
+                    let coords: Vec<f64> = (0..config.dimensions)
+                        .map(|_| rng.random_range(-0.5..0.5))
+                        .collect();
+                    // Scores uniform in (0, 1]; avoid 0 because Eq. 2 takes ln σ.
+                    let score: f64 = 1.0 - rng.random_range(0.0..1.0_f64);
+                    Tuple::new(TupleId::new(rel, idx), Vector::from(coords), score)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// The query point used by the synthetic workloads (the origin).
+pub fn synthetic_query(dimensions: usize) -> Vector {
+    Vector::zeros(dimensions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_matches_table2_defaults() {
+        let c = SyntheticConfig::default();
+        assert_eq!(c.n_relations, 2);
+        assert_eq!(c.dimensions, 2);
+        assert_eq!(c.density, 50.0);
+        assert_eq!(c.skew, 1.0);
+    }
+
+    #[test]
+    fn generates_requested_sizes() {
+        let c = SyntheticConfig {
+            n_relations: 3,
+            density: 20.0,
+            ..Default::default()
+        };
+        let rels = generate_synthetic(&c);
+        assert_eq!(rels.len(), 3);
+        for r in &rels {
+            assert_eq!(r.len(), 20);
+        }
+    }
+
+    #[test]
+    fn skew_only_affects_first_relation() {
+        let c = SyntheticConfig {
+            skew: 4.0,
+            density: 50.0,
+            ..Default::default()
+        };
+        assert_eq!(c.relation_size(0), 200);
+        assert_eq!(c.relation_size(1), 50);
+        let rels = generate_synthetic(&c);
+        assert_eq!(rels[0].len(), 200);
+        assert_eq!(rels[1].len(), 50);
+    }
+
+    #[test]
+    fn tuples_are_in_the_unit_cube_with_valid_scores() {
+        let c = SyntheticConfig {
+            dimensions: 8,
+            density: 100.0,
+            ..Default::default()
+        };
+        let rels = generate_synthetic(&c);
+        for r in &rels {
+            for t in r {
+                assert_eq!(t.dim(), 8);
+                assert!(t.vector.iter().all(|x| (-0.5..0.5).contains(x)));
+                assert!(t.score > 0.0 && t.score <= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let c = SyntheticConfig::default();
+        let a = generate_synthetic(&c);
+        let b = generate_synthetic(&c);
+        assert_eq!(a, b);
+        let c2 = c.with_seed(7);
+        let d = generate_synthetic(&c2);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn tuple_ids_are_consistent() {
+        let rels = generate_synthetic(&SyntheticConfig::default());
+        for (ri, r) in rels.iter().enumerate() {
+            for (ti, t) in r.iter().enumerate() {
+                assert_eq!(t.id, TupleId::new(ri, ti));
+            }
+        }
+    }
+
+    #[test]
+    fn query_is_origin() {
+        assert_eq!(synthetic_query(3).as_slice(), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_skew_panics() {
+        let c = SyntheticConfig {
+            skew: 0.5,
+            ..Default::default()
+        };
+        let _ = generate_synthetic(&c);
+    }
+}

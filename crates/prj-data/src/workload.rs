@@ -1,0 +1,122 @@
+//! The operating-parameter grid of Table 2.
+//!
+//! Every experiment of Figure 3 varies exactly one parameter while the others
+//! stay at their (bold) default values; each point is averaged over ten
+//! random data sets. [`Table2`] captures the defaults, [`ParameterGrid`] the
+//! tested values.
+
+use crate::synthetic::SyntheticConfig;
+use serde::{Deserialize, Serialize};
+
+/// The default operating point (bold values of Table 2): `K = 10`, `d = 2`,
+/// `ρ = 50`, `ρ_1/ρ_2 = 1`, `n = 2`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Table2 {
+    /// Number of requested results `K`.
+    pub k: usize,
+    /// Synthetic data configuration (dimensions, density, skew, relations).
+    pub data: SyntheticConfig,
+    /// Number of repetitions averaged per experiment point (Sec. 4.1: ten).
+    pub repetitions: usize,
+}
+
+impl Default for Table2 {
+    fn default() -> Self {
+        Table2 {
+            k: 10,
+            data: SyntheticConfig::default(),
+            repetitions: 10,
+        }
+    }
+}
+
+/// The tested values of every operating parameter (Table 2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParameterGrid {
+    /// Number of results `K`.
+    pub k_values: Vec<usize>,
+    /// Feature-space dimensionality `d`.
+    pub dimension_values: Vec<usize>,
+    /// Density `ρ`.
+    pub density_values: Vec<f64>,
+    /// Skewness `ρ_1/ρ_2`.
+    pub skew_values: Vec<f64>,
+    /// Number of relations `n`.
+    pub relation_counts: Vec<usize>,
+    /// Dominance periods swept by Figures 3(m)/(n); `None` encodes `∞`
+    /// (dominance disabled).
+    pub dominance_periods: Vec<Option<usize>>,
+}
+
+impl Default for ParameterGrid {
+    fn default() -> Self {
+        ParameterGrid {
+            k_values: vec![1, 10, 50],
+            dimension_values: vec![1, 2, 4, 8, 16],
+            density_values: vec![20.0, 50.0, 100.0, 200.0],
+            skew_values: vec![1.0, 2.0, 4.0, 8.0],
+            relation_counts: vec![2, 3, 4],
+            dominance_periods: vec![
+                Some(1),
+                Some(2),
+                Some(4),
+                Some(8),
+                Some(12),
+                Some(16),
+                None,
+            ],
+        }
+    }
+}
+
+impl ParameterGrid {
+    /// A reduced grid for quick smoke runs (CI, doc examples): the same
+    /// parameters with fewer and smaller values.
+    pub fn smoke() -> Self {
+        ParameterGrid {
+            k_values: vec![1, 5],
+            dimension_values: vec![2, 4],
+            density_values: vec![20.0, 50.0],
+            skew_values: vec![1.0, 4.0],
+            relation_counts: vec![2, 3],
+            dominance_periods: vec![Some(4), None],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table2() {
+        let t = Table2::default();
+        assert_eq!(t.k, 10);
+        assert_eq!(t.data.dimensions, 2);
+        assert_eq!(t.data.density, 50.0);
+        assert_eq!(t.data.skew, 1.0);
+        assert_eq!(t.data.n_relations, 2);
+        assert_eq!(t.repetitions, 10);
+    }
+
+    #[test]
+    fn grid_matches_table2_tested_values() {
+        let g = ParameterGrid::default();
+        assert_eq!(g.k_values, vec![1, 10, 50]);
+        assert_eq!(g.dimension_values, vec![1, 2, 4, 8, 16]);
+        assert_eq!(g.density_values, vec![20.0, 50.0, 100.0, 200.0]);
+        assert_eq!(g.skew_values, vec![1.0, 2.0, 4.0, 8.0]);
+        assert_eq!(g.relation_counts, vec![2, 3, 4]);
+        assert_eq!(g.dominance_periods.len(), 7);
+        assert_eq!(g.dominance_periods.last(), Some(&None));
+    }
+
+    #[test]
+    fn smoke_grid_is_smaller() {
+        let g = ParameterGrid::smoke();
+        let d = ParameterGrid::default();
+        assert!(g.k_values.len() < d.k_values.len());
+        assert!(g.dimension_values.len() < d.dimension_values.len());
+        assert!(!g.relation_counts.contains(&4));
+    }
+}

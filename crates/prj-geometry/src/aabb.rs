@@ -1,0 +1,272 @@
+//! Axis-aligned bounding boxes, the building block of the R-tree substrate.
+
+use crate::vector::Vector;
+use serde::{Deserialize, Serialize};
+
+/// An axis-aligned bounding box (AABB, also "MBR" in R-tree terminology) in
+/// `R^d`, stored as per-dimension `[min, max]` intervals.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Aabb {
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+}
+
+impl Aabb {
+    /// A degenerate box covering exactly one point.
+    pub fn from_point(p: &Vector) -> Aabb {
+        Aabb {
+            lower: p.as_slice().to_vec(),
+            upper: p.as_slice().to_vec(),
+        }
+    }
+
+    /// Builds a box from explicit corners.
+    ///
+    /// # Panics
+    /// Panics if the corners have different dimensions or `lower > upper` in
+    /// some dimension.
+    pub fn new(lower: Vec<f64>, upper: Vec<f64>) -> Aabb {
+        assert_eq!(lower.len(), upper.len(), "AABB corner dimension mismatch");
+        assert!(
+            lower.iter().zip(upper.iter()).all(|(l, u)| l <= u),
+            "AABB lower corner must not exceed upper corner"
+        );
+        Aabb { lower, upper }
+    }
+
+    /// The smallest box enclosing all `points`.
+    ///
+    /// # Panics
+    /// Panics if `points` is empty.
+    pub fn enclosing_points<'a, I: IntoIterator<Item = &'a Vector>>(points: I) -> Aabb {
+        let mut iter = points.into_iter();
+        let first = iter.next().expect("enclosing_points of empty iterator");
+        let mut bb = Aabb::from_point(first);
+        for p in iter {
+            bb.expand_to_point(p);
+        }
+        bb
+    }
+
+    /// The smallest box enclosing all `boxes`.
+    ///
+    /// # Panics
+    /// Panics if `boxes` is empty.
+    pub fn enclosing_boxes<'a, I: IntoIterator<Item = &'a Aabb>>(boxes: I) -> Aabb {
+        let mut iter = boxes.into_iter();
+        let mut acc = iter.next().expect("enclosing_boxes of empty iterator").clone();
+        for b in iter {
+            acc.expand_to_box(b);
+        }
+        acc
+    }
+
+    /// Dimensionality of the box.
+    pub fn dim(&self) -> usize {
+        self.lower.len()
+    }
+
+    /// Per-dimension lower corner.
+    pub fn lower(&self) -> &[f64] {
+        &self.lower
+    }
+
+    /// Per-dimension upper corner.
+    pub fn upper(&self) -> &[f64] {
+        &self.upper
+    }
+
+    /// The centre point of the box.
+    pub fn center(&self) -> Vector {
+        Vector::from(
+            self.lower
+                .iter()
+                .zip(self.upper.iter())
+                .map(|(l, u)| 0.5 * (l + u))
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// Grows the box (in place) to cover `p`.
+    pub fn expand_to_point(&mut self, p: &Vector) {
+        assert_eq!(self.dim(), p.dim(), "AABB/point dimension mismatch");
+        for (i, v) in p.iter().enumerate() {
+            if *v < self.lower[i] {
+                self.lower[i] = *v;
+            }
+            if *v > self.upper[i] {
+                self.upper[i] = *v;
+            }
+        }
+    }
+
+    /// Grows the box (in place) to cover `other`.
+    pub fn expand_to_box(&mut self, other: &Aabb) {
+        assert_eq!(self.dim(), other.dim(), "AABB dimension mismatch");
+        for i in 0..self.dim() {
+            if other.lower[i] < self.lower[i] {
+                self.lower[i] = other.lower[i];
+            }
+            if other.upper[i] > self.upper[i] {
+                self.upper[i] = other.upper[i];
+            }
+        }
+    }
+
+    /// The union of this box with another, as a new box.
+    pub fn union(&self, other: &Aabb) -> Aabb {
+        let mut out = self.clone();
+        out.expand_to_box(other);
+        out
+    }
+
+    /// Hyper-volume of the box (product of extents).
+    pub fn volume(&self) -> f64 {
+        self.lower
+            .iter()
+            .zip(self.upper.iter())
+            .map(|(l, u)| u - l)
+            .product()
+    }
+
+    /// Half-perimeter (sum of extents), the classic R*-tree "margin" measure.
+    pub fn margin(&self) -> f64 {
+        self.lower
+            .iter()
+            .zip(self.upper.iter())
+            .map(|(l, u)| u - l)
+            .sum()
+    }
+
+    /// The increase in volume needed to cover `other`.
+    pub fn enlargement(&self, other: &Aabb) -> f64 {
+        self.union(other).volume() - self.volume()
+    }
+
+    /// Whether the point lies inside (or on the border of) the box.
+    pub fn contains_point(&self, p: &Vector) -> bool {
+        assert_eq!(self.dim(), p.dim(), "AABB/point dimension mismatch");
+        p.iter()
+            .enumerate()
+            .all(|(i, v)| *v >= self.lower[i] && *v <= self.upper[i])
+    }
+
+    /// Whether `other` is fully contained in this box.
+    pub fn contains_box(&self, other: &Aabb) -> bool {
+        assert_eq!(self.dim(), other.dim(), "AABB dimension mismatch");
+        (0..self.dim())
+            .all(|i| other.lower[i] >= self.lower[i] && other.upper[i] <= self.upper[i])
+    }
+
+    /// Whether the two boxes intersect (share at least a boundary point).
+    pub fn intersects(&self, other: &Aabb) -> bool {
+        assert_eq!(self.dim(), other.dim(), "AABB dimension mismatch");
+        (0..self.dim())
+            .all(|i| self.lower[i] <= other.upper[i] && other.lower[i] <= self.upper[i])
+    }
+
+    /// Minimum squared Euclidean distance from `p` to any point of the box
+    /// (zero if `p` is inside). This is the "mindist" lower bound driving the
+    /// best-first incremental nearest-neighbour search.
+    pub fn min_distance_squared(&self, p: &Vector) -> f64 {
+        assert_eq!(self.dim(), p.dim(), "AABB/point dimension mismatch");
+        let mut acc = 0.0;
+        for (i, v) in p.iter().enumerate() {
+            let d = if *v < self.lower[i] {
+                self.lower[i] - v
+            } else if *v > self.upper[i] {
+                v - self.upper[i]
+            } else {
+                0.0
+            };
+            acc += d * d;
+        }
+        acc
+    }
+
+    /// Minimum Euclidean distance from `p` to the box.
+    pub fn min_distance(&self, p: &Vector) -> f64 {
+        self.min_distance_squared(p).sqrt()
+    }
+
+    /// Maximum squared Euclidean distance from `p` to any point of the box.
+    pub fn max_distance_squared(&self, p: &Vector) -> f64 {
+        assert_eq!(self.dim(), p.dim(), "AABB/point dimension mismatch");
+        let mut acc = 0.0;
+        for (i, v) in p.iter().enumerate() {
+            let d = (v - self.lower[i]).abs().max((v - self.upper[i]).abs());
+            acc += d * d;
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(x: &[f64]) -> Vector {
+        Vector::from(x)
+    }
+
+    #[test]
+    fn from_point_is_degenerate() {
+        let b = Aabb::from_point(&v(&[1.0, 2.0]));
+        assert_eq!(b.volume(), 0.0);
+        assert!(b.contains_point(&v(&[1.0, 2.0])));
+        assert!(!b.contains_point(&v(&[1.0, 2.1])));
+    }
+
+    #[test]
+    fn enclosing_and_union() {
+        let b = Aabb::enclosing_points([v(&[0.0, 0.0]), v(&[2.0, 1.0]), v(&[1.0, 3.0])].iter());
+        assert_eq!(b.lower(), &[0.0, 0.0]);
+        assert_eq!(b.upper(), &[2.0, 3.0]);
+        assert_eq!(b.volume(), 6.0);
+        assert_eq!(b.margin(), 5.0);
+        let c = Aabb::new(vec![-1.0, -1.0], vec![0.5, 0.5]);
+        let u = b.union(&c);
+        assert_eq!(u.lower(), &[-1.0, -1.0]);
+        assert_eq!(u.upper(), &[2.0, 3.0]);
+        assert!((b.enlargement(&c) - (12.0 - 6.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn containment_and_intersection() {
+        let a = Aabb::new(vec![0.0, 0.0], vec![4.0, 4.0]);
+        let b = Aabb::new(vec![1.0, 1.0], vec![2.0, 2.0]);
+        let c = Aabb::new(vec![5.0, 5.0], vec![6.0, 6.0]);
+        assert!(a.contains_box(&b));
+        assert!(!b.contains_box(&a));
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+        // boxes sharing only an edge still intersect
+        let d = Aabb::new(vec![4.0, 0.0], vec![5.0, 4.0]);
+        assert!(a.intersects(&d));
+    }
+
+    #[test]
+    fn min_max_distance() {
+        let b = Aabb::new(vec![0.0, 0.0], vec![2.0, 2.0]);
+        // point inside
+        assert_eq!(b.min_distance_squared(&v(&[1.0, 1.0])), 0.0);
+        // point left of the box
+        assert!((b.min_distance(&v(&[-3.0, 1.0])) - 3.0).abs() < 1e-12);
+        // corner distance
+        assert!((b.min_distance(&v(&[5.0, 6.0])) - 5.0).abs() < 1e-12);
+        // max distance from origin = opposite corner
+        assert!((b.max_distance_squared(&v(&[0.0, 0.0])) - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn center_is_midpoint() {
+        let b = Aabb::new(vec![0.0, -2.0], vec![4.0, 2.0]);
+        assert!(b.center().approx_eq(&v(&[2.0, 0.0]), 1e-12));
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_corners_panic() {
+        let _ = Aabb::new(vec![1.0], vec![0.0]);
+    }
+}

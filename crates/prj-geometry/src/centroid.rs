@@ -1,0 +1,181 @@
+//! Combination centroids.
+//!
+//! The aggregate score of a combination depends on the distance of each member
+//! from the *centroid* `μ(τ) = argmin_ω Σ_i δ(x(τ_i), ω)` (paper, Sec. 2).
+//! For the squared Euclidean distance used by the paper's reference
+//! aggregation function (Eq. 2) the minimiser is the arithmetic mean; for the
+//! plain Euclidean distance it is the geometric median, computed here with the
+//! Weiszfeld iteration.
+
+use crate::vector::Vector;
+
+/// Arithmetic mean of a non-empty set of points.
+///
+/// This is the minimiser of `Σ_i ‖x_i − ω‖²` and therefore the centroid used
+/// by the Euclidean-squared aggregation function of the paper (Eq. 2 and all
+/// the closed forms of Appendix B).
+///
+/// # Panics
+/// Panics if `points` is empty or the dimensions disagree.
+pub fn mean_centroid(points: &[&Vector]) -> Vector {
+    assert!(!points.is_empty(), "centroid of an empty set of points");
+    let dim = points[0].dim();
+    let mut acc = Vector::zeros(dim);
+    for p in points {
+        acc += p;
+    }
+    acc.scale_in_place(1.0 / points.len() as f64);
+    acc
+}
+
+/// Weighted arithmetic mean `Σ w_i x_i / Σ w_i`.
+///
+/// Used when completing a partial combination: the seen members contribute
+/// their actual locations while the unseen members contribute a common
+/// optimised location with multiplicity `n − m`.
+///
+/// # Panics
+/// Panics if `points` is empty, lengths disagree, or the total weight is not
+/// strictly positive.
+pub fn weighted_mean_centroid(points: &[&Vector], weights: &[f64]) -> Vector {
+    assert!(!points.is_empty(), "centroid of an empty set of points");
+    assert_eq!(points.len(), weights.len(), "points/weights length mismatch");
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "total weight must be positive");
+    let dim = points[0].dim();
+    let mut acc = Vector::zeros(dim);
+    for (p, w) in points.iter().zip(weights.iter()) {
+        acc += &p.scaled(*w);
+    }
+    acc.scale_in_place(1.0 / total);
+    acc
+}
+
+/// Geometric median (Fermat point) of a set of points: the minimiser of
+/// `Σ_i ‖x_i − ω‖`, computed with the Weiszfeld fixed-point iteration.
+///
+/// This is the centroid prescribed by the paper's general definition
+/// `argmin_ω Σ_i δ(x_i, ω)` when `δ` is the *plain* Euclidean distance.
+/// The iteration stops when consecutive iterates move less than `tol` or after
+/// `max_iters` iterations.
+///
+/// # Panics
+/// Panics if `points` is empty.
+pub fn geometric_median(points: &[&Vector], tol: f64, max_iters: usize) -> Vector {
+    assert!(!points.is_empty(), "geometric median of an empty set");
+    if points.len() == 1 {
+        return points[0].clone();
+    }
+    // Start from the mean — a good, cheap initial guess.
+    let mut current = mean_centroid(points);
+    for _ in 0..max_iters {
+        let mut numer = Vector::zeros(current.dim());
+        let mut denom = 0.0;
+        let mut at_point = None;
+        for p in points {
+            let d = p.distance(&current);
+            if d <= tol {
+                at_point = Some((*p).clone());
+                break;
+            }
+            numer += &p.scaled(1.0 / d);
+            denom += 1.0 / d;
+        }
+        // The iterate landed exactly on an input point; Weiszfeld would divide
+        // by zero, and the input point is already a good approximation.
+        if let Some(p) = at_point {
+            return p;
+        }
+        let next = numer.scaled(1.0 / denom);
+        let moved = next.distance(&current);
+        current = next;
+        if moved <= tol {
+            break;
+        }
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(x: &[f64]) -> Vector {
+        Vector::from(x)
+    }
+
+    #[test]
+    fn mean_of_two_points_is_midpoint() {
+        let a = v(&[0.0, 0.0]);
+        let b = v(&[2.0, 4.0]);
+        let c = mean_centroid(&[&a, &b]);
+        assert!(c.approx_eq(&v(&[1.0, 2.0]), 1e-12));
+    }
+
+    #[test]
+    fn mean_of_table1_top_combination() {
+        // Combination τ1^(2) × τ2^(1) × τ3^(1) of the paper's Table 1.
+        let a = v(&[0.0, 1.0]);
+        let b = v(&[1.0, 1.0]);
+        let c = v(&[-1.0, 1.0]);
+        let mu = mean_centroid(&[&a, &b, &c]);
+        assert!(mu.approx_eq(&v(&[0.0, 1.0]), 1e-12));
+    }
+
+    #[test]
+    fn weighted_mean_reduces_to_mean_with_unit_weights() {
+        let a = v(&[1.0, 0.0]);
+        let b = v(&[0.0, 1.0]);
+        let c = v(&[2.0, 2.0]);
+        let m1 = mean_centroid(&[&a, &b, &c]);
+        let m2 = weighted_mean_centroid(&[&a, &b, &c], &[1.0, 1.0, 1.0]);
+        assert!(m1.approx_eq(&m2, 1e-12));
+    }
+
+    #[test]
+    fn weighted_mean_respects_multiplicity() {
+        // A point with weight 2 counts as two copies.
+        let a = v(&[0.0]);
+        let b = v(&[3.0]);
+        let m = weighted_mean_centroid(&[&a, &b], &[2.0, 1.0]);
+        assert!(m.approx_eq(&v(&[1.0]), 1e-12));
+    }
+
+    #[test]
+    fn geometric_median_of_symmetric_points_is_center() {
+        let pts = [
+            v(&[1.0, 0.0]),
+            v(&[-1.0, 0.0]),
+            v(&[0.0, 1.0]),
+            v(&[0.0, -1.0]),
+        ];
+        let refs: Vec<&Vector> = pts.iter().collect();
+        let m = geometric_median(&refs, 1e-10, 500);
+        assert!(m.approx_eq(&v(&[0.0, 0.0]), 1e-6));
+    }
+
+    #[test]
+    fn geometric_median_single_point() {
+        let p = v(&[3.0, -2.0]);
+        let m = geometric_median(&[&p], 1e-10, 10);
+        assert!(m.approx_eq(&p, 1e-12));
+    }
+
+    #[test]
+    fn geometric_median_differs_from_mean_for_skewed_sets() {
+        // Three collinear points: mean is pulled toward the outlier, the median
+        // stays at the middle point.
+        let pts = [v(&[0.0]), v(&[1.0]), v(&[100.0])];
+        let refs: Vec<&Vector> = pts.iter().collect();
+        let med = geometric_median(&refs, 1e-9, 1000);
+        let mean = mean_centroid(&refs);
+        assert!((mean[0] - 33.666_666).abs() < 1e-3);
+        assert!((med[0] - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_centroid_panics() {
+        let _ = mean_centroid(&[]);
+    }
+}

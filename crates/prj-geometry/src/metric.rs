@@ -1,0 +1,229 @@
+//! Distance metrics `δ(·,·)` used for sorted access and proximity weighting.
+
+use crate::vector::Vector;
+use serde::{Deserialize, Serialize};
+
+/// A (pseudo-)metric distance between feature vectors.
+///
+/// Proximity rank join is parameterised by the distance `δ` used both to sort
+/// relations under distance-based access and inside the proximity weighting
+/// functions `g_i`. The paper's reference instantiation uses the Euclidean
+/// distance; the crate also ships the squared Euclidean, Manhattan, Chebyshev
+/// and cosine distances (the latter is the paper's announced future-work
+/// extension).
+pub trait Metric: Send + Sync + std::fmt::Debug {
+    /// Distance between `a` and `b`.
+    fn distance(&self, a: &Vector, b: &Vector) -> f64;
+
+    /// A human-readable name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// The standard Euclidean (L2) distance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Euclidean;
+
+impl Metric for Euclidean {
+    #[inline]
+    fn distance(&self, a: &Vector, b: &Vector) -> f64 {
+        a.distance(b)
+    }
+    fn name(&self) -> &'static str {
+        "euclidean"
+    }
+}
+
+/// The squared Euclidean distance `‖a − b‖²`.
+///
+/// Not a metric in the strict sense (no triangle inequality) but monotone in
+/// the Euclidean distance, hence it induces the same sorted-access order.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SquaredEuclidean;
+
+impl Metric for SquaredEuclidean {
+    #[inline]
+    fn distance(&self, a: &Vector, b: &Vector) -> f64 {
+        a.distance_squared(b)
+    }
+    fn name(&self) -> &'static str {
+        "squared-euclidean"
+    }
+}
+
+/// The Manhattan (L1) distance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Manhattan;
+
+impl Metric for Manhattan {
+    fn distance(&self, a: &Vector, b: &Vector) -> f64 {
+        assert_eq!(a.dim(), b.dim(), "Manhattan distance of mismatched dimensions");
+        a.iter()
+            .zip(b.iter())
+            .map(|(x, y)| (x - y).abs())
+            .sum()
+    }
+    fn name(&self) -> &'static str {
+        "manhattan"
+    }
+}
+
+/// The Chebyshev (L∞) distance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Chebyshev;
+
+impl Metric for Chebyshev {
+    fn distance(&self, a: &Vector, b: &Vector) -> f64 {
+        assert_eq!(a.dim(), b.dim(), "Chebyshev distance of mismatched dimensions");
+        a.iter()
+            .zip(b.iter())
+            .fold(0.0, |acc, (x, y)| acc.max((x - y).abs()))
+    }
+    fn name(&self) -> &'static str {
+        "chebyshev"
+    }
+}
+
+/// Cosine distance `1 − cos(a, b)`.
+///
+/// The distance of either vector to the zero vector is defined as `1.0`
+/// (maximum dissimilarity) so that the function is total.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CosineDistance;
+
+impl Metric for CosineDistance {
+    fn distance(&self, a: &Vector, b: &Vector) -> f64 {
+        let na = a.norm();
+        let nb = b.norm();
+        if na <= f64::EPSILON || nb <= f64::EPSILON {
+            return 1.0;
+        }
+        let cos = (a.dot(b) / (na * nb)).clamp(-1.0, 1.0);
+        1.0 - cos
+    }
+    fn name(&self) -> &'static str {
+        "cosine"
+    }
+}
+
+/// A closed enumeration of the metrics shipped with the crate.
+///
+/// Useful when the metric must be chosen at run time (e.g. from experiment
+/// configuration) and when it must be serialisable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum MetricKind {
+    /// Euclidean (L2) distance, the paper's default.
+    #[default]
+    Euclidean,
+    /// Squared Euclidean distance.
+    SquaredEuclidean,
+    /// Manhattan (L1) distance.
+    Manhattan,
+    /// Chebyshev (L∞) distance.
+    Chebyshev,
+    /// Cosine distance.
+    Cosine,
+}
+
+impl MetricKind {
+    /// Evaluates the selected metric.
+    pub fn distance(&self, a: &Vector, b: &Vector) -> f64 {
+        match self {
+            MetricKind::Euclidean => Euclidean.distance(a, b),
+            MetricKind::SquaredEuclidean => SquaredEuclidean.distance(a, b),
+            MetricKind::Manhattan => Manhattan.distance(a, b),
+            MetricKind::Chebyshev => Chebyshev.distance(a, b),
+            MetricKind::Cosine => CosineDistance.distance(a, b),
+        }
+    }
+
+    /// Name of the selected metric.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MetricKind::Euclidean => Euclidean.name(),
+            MetricKind::SquaredEuclidean => SquaredEuclidean.name(),
+            MetricKind::Manhattan => Manhattan.name(),
+            MetricKind::Chebyshev => Chebyshev.name(),
+            MetricKind::Cosine => CosineDistance.name(),
+        }
+    }
+}
+
+impl Metric for MetricKind {
+    fn distance(&self, a: &Vector, b: &Vector) -> f64 {
+        MetricKind::distance(self, a, b)
+    }
+    fn name(&self) -> &'static str {
+        MetricKind::name(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(x: &[f64]) -> Vector {
+        Vector::from(x)
+    }
+
+    #[test]
+    fn euclidean_matches_pythagoras() {
+        assert_eq!(Euclidean.distance(&v(&[0.0, 0.0]), &v(&[3.0, 4.0])), 5.0);
+        assert_eq!(
+            SquaredEuclidean.distance(&v(&[0.0, 0.0]), &v(&[3.0, 4.0])),
+            25.0
+        );
+    }
+
+    #[test]
+    fn manhattan_and_chebyshev() {
+        let a = v(&[1.0, -2.0, 3.0]);
+        let b = v(&[4.0, 0.0, 3.0]);
+        assert_eq!(Manhattan.distance(&a, &b), 5.0);
+        assert_eq!(Chebyshev.distance(&a, &b), 3.0);
+    }
+
+    #[test]
+    fn cosine_distance_basic() {
+        let a = v(&[1.0, 0.0]);
+        let b = v(&[0.0, 1.0]);
+        assert!((CosineDistance.distance(&a, &b) - 1.0).abs() < 1e-12);
+        assert!((CosineDistance.distance(&a, &a) - 0.0).abs() < 1e-12);
+        let c = v(&[-1.0, 0.0]);
+        assert!((CosineDistance.distance(&a, &c) - 2.0).abs() < 1e-12);
+        // zero vector -> defined as maximum dissimilarity
+        assert_eq!(CosineDistance.distance(&a, &v(&[0.0, 0.0])), 1.0);
+    }
+
+    #[test]
+    fn metric_kind_dispatch() {
+        let a = v(&[0.0, 0.0]);
+        let b = v(&[3.0, 4.0]);
+        assert_eq!(MetricKind::Euclidean.distance(&a, &b), 5.0);
+        assert_eq!(MetricKind::SquaredEuclidean.distance(&a, &b), 25.0);
+        assert_eq!(MetricKind::Manhattan.distance(&a, &b), 7.0);
+        assert_eq!(MetricKind::Chebyshev.distance(&a, &b), 4.0);
+        assert_eq!(MetricKind::Euclidean.name(), "euclidean");
+        assert_eq!(MetricKind::default(), MetricKind::Euclidean);
+    }
+
+    #[test]
+    fn metrics_are_symmetric_and_zero_on_identity() {
+        let kinds = [
+            MetricKind::Euclidean,
+            MetricKind::SquaredEuclidean,
+            MetricKind::Manhattan,
+            MetricKind::Chebyshev,
+            MetricKind::Cosine,
+        ];
+        let a = v(&[1.0, 2.0, -0.5]);
+        let b = v(&[-3.0, 0.25, 4.0]);
+        for k in kinds {
+            assert!(
+                (k.distance(&a, &b) - k.distance(&b, &a)).abs() < 1e-12,
+                "{k:?} not symmetric"
+            );
+            assert!(k.distance(&a, &a).abs() < 1e-12, "{k:?} not zero on identity");
+            assert!(k.distance(&a, &b) >= 0.0, "{k:?} negative");
+        }
+    }
+}

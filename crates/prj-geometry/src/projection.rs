@@ -1,0 +1,171 @@
+//! Projections onto the query→centroid ray (paper Eq. 13 and Eq. 15).
+//!
+//! The key geometric insight of the tight bound for Euclidean aggregation
+//! (Theorem 3.4) is that the optimal locations of the unseen tuples are
+//! collinear with the query `q` and the centroid `ν` of the seen partial
+//! combination. This module provides the ray abstraction and the signed
+//! projection `P(x) = (x − q)ᵀ(ν − q) / ‖ν − q‖` used to reduce the bound
+//! computation to one dimension.
+
+use crate::vector::Vector;
+
+/// A ray originating at `origin` with unit `direction`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ray {
+    origin: Vector,
+    direction: Vector,
+}
+
+impl Ray {
+    /// Builds the ray from `origin` through `target`.
+    ///
+    /// Returns `None` when the two points (numerically) coincide, in which
+    /// case the direction is undefined; callers typically substitute an
+    /// arbitrary canonical direction (the optimum is then rotation-invariant).
+    pub fn through(origin: &Vector, target: &Vector) -> Option<Ray> {
+        let dir = (target - origin).normalized()?;
+        Some(Ray {
+            origin: origin.clone(),
+            direction: dir,
+        })
+    }
+
+    /// Builds a ray from an origin and an already normalised direction.
+    ///
+    /// # Panics
+    /// Panics if `direction` is not unit length (up to 1e-6).
+    pub fn new(origin: Vector, direction: Vector) -> Ray {
+        assert!(
+            (direction.norm() - 1.0).abs() < 1e-6,
+            "ray direction must be unit length"
+        );
+        Ray { origin, direction }
+    }
+
+    /// A ray pointing along the first canonical axis; used when the seen
+    /// partial combination is empty (`M = ∅`) or degenerate and any direction
+    /// is optimal by symmetry.
+    pub fn canonical(origin: &Vector) -> Ray {
+        let dim = origin.dim().max(1);
+        Ray {
+            origin: origin.clone(),
+            direction: Vector::basis(dim, 0),
+        }
+    }
+
+    /// The ray origin (the query point `q`).
+    pub fn origin(&self) -> &Vector {
+        &self.origin
+    }
+
+    /// The unit direction of the ray.
+    pub fn direction(&self) -> &Vector {
+        &self.direction
+    }
+
+    /// Signed length of the projection of `x` onto the ray (paper Eq. 13):
+    /// `P(x) = (x − q)ᵀ u` where `u` is the unit direction.
+    pub fn project(&self, x: &Vector) -> f64 {
+        (x - &self.origin).dot(&self.direction)
+    }
+
+    /// The point at signed distance `theta` along the ray (paper Eq. 15):
+    /// `q + θ·u`.
+    pub fn point_at(&self, theta: f64) -> Vector {
+        &self.origin + &self.direction.scaled(theta)
+    }
+
+    /// Squared distance from `x` to the ray's supporting *line* (the residual
+    /// left out of the 1-D reduction).
+    pub fn residual_squared(&self, x: &Vector) -> f64 {
+        let rel = x - &self.origin;
+        let along = rel.dot(&self.direction);
+        rel.norm_squared() - along * along
+    }
+}
+
+/// Convenience wrapper: projection of `x` onto the ray from `q` through `nu`
+/// (paper Eq. 13). Falls back to the canonical ray when `q == nu`.
+pub fn project_onto_ray(q: &Vector, nu: &Vector, x: &Vector) -> f64 {
+    match Ray::through(q, nu) {
+        Some(ray) => ray.project(x),
+        None => Ray::canonical(q).project(x),
+    }
+}
+
+/// Convenience wrapper: the point at distance `theta` from `q` along the ray
+/// through `nu` (paper Eq. 15). Falls back to the canonical ray when `q == nu`.
+pub fn ray_point(q: &Vector, nu: &Vector, theta: f64) -> Vector {
+    match Ray::through(q, nu) {
+        Some(ray) => ray.point_at(theta),
+        None => Ray::canonical(q).point_at(theta),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(x: &[f64]) -> Vector {
+        Vector::from(x)
+    }
+
+    #[test]
+    fn projection_along_axis() {
+        let q = v(&[0.0, 0.0]);
+        let nu = v(&[2.0, 0.0]);
+        let ray = Ray::through(&q, &nu).unwrap();
+        assert!((ray.project(&v(&[3.0, 4.0])) - 3.0).abs() < 1e-12);
+        assert!((ray.project(&v(&[-1.0, 7.0])) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn point_at_reconstructs_projection() {
+        let q = v(&[1.0, 1.0]);
+        let nu = v(&[4.0, 5.0]);
+        let ray = Ray::through(&q, &nu).unwrap();
+        let p = ray.point_at(2.5);
+        assert!((ray.project(&p) - 2.5).abs() < 1e-12);
+        assert!((p.distance(&q) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn residual_is_perpendicular_distance() {
+        let q = v(&[0.0, 0.0]);
+        let nu = v(&[1.0, 0.0]);
+        let ray = Ray::through(&q, &nu).unwrap();
+        assert!((ray.residual_squared(&v(&[5.0, 3.0])) - 9.0).abs() < 1e-12);
+        assert!(ray.residual_squared(&v(&[5.0, 0.0])).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_ray_falls_back_to_canonical() {
+        let q = v(&[1.0, 2.0]);
+        assert!(Ray::through(&q, &q).is_none());
+        let theta = project_onto_ray(&q, &q, &v(&[3.0, 2.0]));
+        assert!((theta - 2.0).abs() < 1e-12);
+        let p = ray_point(&q, &q, 1.0);
+        assert!(p.approx_eq(&v(&[2.0, 2.0]), 1e-12));
+    }
+
+    #[test]
+    fn paper_example_3_2_projections() {
+        // Example 3.2: partial combination τ1^(1) × τ3^(1) with
+        // x(τ1^(1)) = [0, -0.5], x(τ3^(1)) = [-1, 1], q = 0.
+        // Centroid ν = [-0.5, 0.25]; projections θ1 = -0.22, θ3 = 1.34.
+        let q = v(&[0.0, 0.0]);
+        let nu = v(&[-0.5, 0.25]);
+        let x1 = v(&[0.0, -0.5]);
+        let x3 = v(&[-1.0, 1.0]);
+        let t1 = project_onto_ray(&q, &nu, &x1);
+        let t3 = project_onto_ray(&q, &nu, &x3);
+        assert!((t1 - (-0.2236)).abs() < 1e-3, "theta1 = {t1}");
+        assert!((t3 - 1.3416).abs() < 1e-3, "theta3 = {t3}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_unit_direction_panics() {
+        let _ = Ray::new(v(&[0.0]), v(&[2.0]));
+    }
+}

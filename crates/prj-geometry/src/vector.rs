@@ -1,0 +1,422 @@
+//! Dense `d`-dimensional real vectors.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub, SubAssign};
+
+/// A dense real-valued feature vector `x ∈ R^d`.
+///
+/// Every tuple of a proximity rank join relation carries one of these; the
+/// query point `q` is also a `Vector`. The type intentionally stays simple —
+/// a thin wrapper around `Vec<f64>` with the handful of linear-algebra
+/// operations the bounding schemes need.
+///
+/// # Examples
+///
+/// ```
+/// use prj_geometry::Vector;
+///
+/// let a = Vector::from(vec![1.0, 2.0]);
+/// let b = Vector::from(vec![3.0, -1.0]);
+/// assert_eq!((&a + &b).as_slice(), &[4.0, 1.0]);
+/// assert_eq!(a.dot(&b), 1.0);
+/// ```
+#[derive(Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Vector(Vec<f64>);
+
+impl Vector {
+    /// Creates a vector from its components.
+    pub fn new(components: Vec<f64>) -> Self {
+        Vector(components)
+    }
+
+    /// Creates the all-zero vector of dimension `dim`.
+    pub fn zeros(dim: usize) -> Self {
+        Vector(vec![0.0; dim])
+    }
+
+    /// Creates a vector with every component equal to `value`.
+    pub fn filled(dim: usize, value: f64) -> Self {
+        Vector(vec![value; dim])
+    }
+
+    /// Creates the `i`-th canonical basis vector of dimension `dim`.
+    ///
+    /// # Panics
+    /// Panics if `i >= dim`.
+    pub fn basis(dim: usize, i: usize) -> Self {
+        assert!(i < dim, "basis index {i} out of range for dimension {dim}");
+        let mut v = vec![0.0; dim];
+        v[i] = 1.0;
+        Vector(v)
+    }
+
+    /// The dimensionality `d` of the vector.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Returns `true` when the vector has zero components.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Read-only view of the components.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.0
+    }
+
+    /// Mutable view of the components.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.0
+    }
+
+    /// Consumes the vector and returns its components.
+    pub fn into_inner(self) -> Vec<f64> {
+        self.0
+    }
+
+    /// Iterator over components.
+    pub fn iter(&self) -> std::slice::Iter<'_, f64> {
+        self.0.iter()
+    }
+
+    /// Dot product `xᵀy`.
+    ///
+    /// # Panics
+    /// Panics if the dimensions differ.
+    pub fn dot(&self, other: &Vector) -> f64 {
+        assert_eq!(
+            self.dim(),
+            other.dim(),
+            "dot product of vectors with mismatched dimensions"
+        );
+        self.0
+            .iter()
+            .zip(other.0.iter())
+            .map(|(a, b)| a * b)
+            .sum()
+    }
+
+    /// Squared Euclidean norm `‖x‖²`.
+    #[inline]
+    pub fn norm_squared(&self) -> f64 {
+        self.0.iter().map(|a| a * a).sum()
+    }
+
+    /// Euclidean norm `‖x‖`.
+    #[inline]
+    pub fn norm(&self) -> f64 {
+        self.norm_squared().sqrt()
+    }
+
+    /// L1 (Manhattan) norm.
+    #[inline]
+    pub fn norm_l1(&self) -> f64 {
+        self.0.iter().map(|a| a.abs()).sum()
+    }
+
+    /// L∞ (Chebyshev) norm.
+    #[inline]
+    pub fn norm_linf(&self) -> f64 {
+        self.0.iter().fold(0.0, |acc, a| acc.max(a.abs()))
+    }
+
+    /// Squared Euclidean distance to `other`.
+    pub fn distance_squared(&self, other: &Vector) -> f64 {
+        assert_eq!(self.dim(), other.dim(), "distance of mismatched dimensions");
+        self.0
+            .iter()
+            .zip(other.0.iter())
+            .map(|(a, b)| {
+                let d = a - b;
+                d * d
+            })
+            .sum()
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn distance(&self, other: &Vector) -> f64 {
+        self.distance_squared(other).sqrt()
+    }
+
+    /// Component-wise scaling by `s`.
+    pub fn scaled(&self, s: f64) -> Vector {
+        Vector(self.0.iter().map(|a| a * s).collect())
+    }
+
+    /// Scales the vector in place.
+    pub fn scale_in_place(&mut self, s: f64) {
+        for a in &mut self.0 {
+            *a *= s;
+        }
+    }
+
+    /// Returns a unit-length vector in the same direction, or `None` when the
+    /// norm is (numerically) zero.
+    pub fn normalized(&self) -> Option<Vector> {
+        let n = self.norm();
+        if n <= f64::EPSILON {
+            None
+        } else {
+            Some(self.scaled(1.0 / n))
+        }
+    }
+
+    /// Linear interpolation `(1 - t)·self + t·other`.
+    pub fn lerp(&self, other: &Vector, t: f64) -> Vector {
+        assert_eq!(self.dim(), other.dim(), "lerp of mismatched dimensions");
+        Vector(
+            self.0
+                .iter()
+                .zip(other.0.iter())
+                .map(|(a, b)| (1.0 - t) * a + t * b)
+                .collect(),
+        )
+    }
+
+    /// Returns `true` when all components are finite.
+    pub fn is_finite(&self) -> bool {
+        self.0.iter().all(|a| a.is_finite())
+    }
+
+    /// Component-wise approximate equality within `tol`.
+    pub fn approx_eq(&self, other: &Vector, tol: f64) -> bool {
+        self.dim() == other.dim()
+            && self
+                .0
+                .iter()
+                .zip(other.0.iter())
+                .all(|(a, b)| (a - b).abs() <= tol)
+    }
+}
+
+impl fmt::Debug for Vector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Vector(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v:.4}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<Vec<f64>> for Vector {
+    fn from(v: Vec<f64>) -> Self {
+        Vector(v)
+    }
+}
+
+impl From<&[f64]> for Vector {
+    fn from(v: &[f64]) -> Self {
+        Vector(v.to_vec())
+    }
+}
+
+impl<const N: usize> From<[f64; N]> for Vector {
+    fn from(v: [f64; N]) -> Self {
+        Vector(v.to_vec())
+    }
+}
+
+impl Index<usize> for Vector {
+    type Output = f64;
+    #[inline]
+    fn index(&self, i: usize) -> &f64 {
+        &self.0[i]
+    }
+}
+
+impl IndexMut<usize> for Vector {
+    #[inline]
+    fn index_mut(&mut self, i: usize) -> &mut f64 {
+        &mut self.0[i]
+    }
+}
+
+impl Add for &Vector {
+    type Output = Vector;
+    fn add(self, rhs: &Vector) -> Vector {
+        assert_eq!(self.dim(), rhs.dim(), "adding vectors of mismatched dimensions");
+        Vector(
+            self.0
+                .iter()
+                .zip(rhs.0.iter())
+                .map(|(a, b)| a + b)
+                .collect(),
+        )
+    }
+}
+
+impl Add for Vector {
+    type Output = Vector;
+    fn add(self, rhs: Vector) -> Vector {
+        &self + &rhs
+    }
+}
+
+impl AddAssign<&Vector> for Vector {
+    fn add_assign(&mut self, rhs: &Vector) {
+        assert_eq!(self.dim(), rhs.dim(), "adding vectors of mismatched dimensions");
+        for (a, b) in self.0.iter_mut().zip(rhs.0.iter()) {
+            *a += b;
+        }
+    }
+}
+
+impl Sub for &Vector {
+    type Output = Vector;
+    fn sub(self, rhs: &Vector) -> Vector {
+        assert_eq!(
+            self.dim(),
+            rhs.dim(),
+            "subtracting vectors of mismatched dimensions"
+        );
+        Vector(
+            self.0
+                .iter()
+                .zip(rhs.0.iter())
+                .map(|(a, b)| a - b)
+                .collect(),
+        )
+    }
+}
+
+impl Sub for Vector {
+    type Output = Vector;
+    fn sub(self, rhs: Vector) -> Vector {
+        &self - &rhs
+    }
+}
+
+impl SubAssign<&Vector> for Vector {
+    fn sub_assign(&mut self, rhs: &Vector) {
+        assert_eq!(
+            self.dim(),
+            rhs.dim(),
+            "subtracting vectors of mismatched dimensions"
+        );
+        for (a, b) in self.0.iter_mut().zip(rhs.0.iter()) {
+            *a -= b;
+        }
+    }
+}
+
+impl Mul<f64> for &Vector {
+    type Output = Vector;
+    fn mul(self, rhs: f64) -> Vector {
+        self.scaled(rhs)
+    }
+}
+
+impl Mul<f64> for Vector {
+    type Output = Vector;
+    fn mul(self, rhs: f64) -> Vector {
+        self.scaled(rhs)
+    }
+}
+
+impl Neg for &Vector {
+    type Output = Vector;
+    fn neg(self) -> Vector {
+        self.scaled(-1.0)
+    }
+}
+
+impl Neg for Vector {
+    type Output = Vector;
+    fn neg(self) -> Vector {
+        self.scaled(-1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let v = Vector::from([1.0, 2.0, 3.0]);
+        assert_eq!(v.dim(), 3);
+        assert_eq!(v[1], 2.0);
+        assert_eq!(v.as_slice(), &[1.0, 2.0, 3.0]);
+        let z = Vector::zeros(4);
+        assert_eq!(z.norm(), 0.0);
+        let b = Vector::basis(3, 2);
+        assert_eq!(b.as_slice(), &[0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Vector::from([1.0, 2.0]);
+        let b = Vector::from([3.0, -1.0]);
+        assert_eq!((&a + &b).as_slice(), &[4.0, 1.0]);
+        assert_eq!((&a - &b).as_slice(), &[-2.0, 3.0]);
+        assert_eq!((&a * 2.0).as_slice(), &[2.0, 4.0]);
+        assert_eq!((-&a).as_slice(), &[-1.0, -2.0]);
+        let mut c = a.clone();
+        c += &b;
+        assert_eq!(c.as_slice(), &[4.0, 1.0]);
+        c -= &b;
+        assert!(c.approx_eq(&a, 1e-12));
+    }
+
+    #[test]
+    fn norms_and_distances() {
+        let a = Vector::from([3.0, 4.0]);
+        assert_eq!(a.norm(), 5.0);
+        assert_eq!(a.norm_squared(), 25.0);
+        assert_eq!(a.norm_l1(), 7.0);
+        assert_eq!(a.norm_linf(), 4.0);
+        let b = Vector::from([0.0, 0.0]);
+        assert_eq!(a.distance(&b), 5.0);
+        assert_eq!(a.distance_squared(&b), 25.0);
+    }
+
+    #[test]
+    fn dot_product() {
+        let a = Vector::from([1.0, 2.0, 3.0]);
+        let b = Vector::from([4.0, -5.0, 6.0]);
+        assert_eq!(a.dot(&b), 4.0 - 10.0 + 18.0);
+    }
+
+    #[test]
+    fn normalization() {
+        let a = Vector::from([3.0, 4.0]);
+        let u = a.normalized().unwrap();
+        assert!((u.norm() - 1.0).abs() < 1e-12);
+        assert!(Vector::zeros(2).normalized().is_none());
+    }
+
+    #[test]
+    fn lerp_endpoints() {
+        let a = Vector::from([0.0, 0.0]);
+        let b = Vector::from([2.0, 4.0]);
+        assert!(a.lerp(&b, 0.0).approx_eq(&a, 1e-12));
+        assert!(a.lerp(&b, 1.0).approx_eq(&b, 1e-12));
+        assert!(a.lerp(&b, 0.5).approx_eq(&Vector::from([1.0, 2.0]), 1e-12));
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_dimensions_panic() {
+        let a = Vector::from([1.0]);
+        let b = Vector::from([1.0, 2.0]);
+        let _ = a.dot(&b);
+    }
+
+    #[test]
+    fn finite_check() {
+        assert!(Vector::from([1.0, 2.0]).is_finite());
+        assert!(!Vector::from([f64::NAN, 2.0]).is_finite());
+        assert!(!Vector::from([f64::INFINITY]).is_finite());
+    }
+}

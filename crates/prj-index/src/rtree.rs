@@ -1,0 +1,788 @@
+//! An arena-based R-tree over `d`-dimensional points.
+//!
+//! Design notes:
+//!
+//! * Nodes live in a flat arena (`Vec<Node<T>>`) addressed by [`NodeId`];
+//!   this keeps the structure free of `unsafe`, makes the incremental
+//!   nearest-neighbour search a simple best-first loop over node ids, and
+//!   lets external cursors (the relation sources in `prj-access`) traverse
+//!   the tree without borrowing it mutably or self-referentially.
+//! * Insertion uses the classic Guttman algorithm with quadratic split.
+//! * Bulk loading uses a top-down tiling scheme in the spirit of
+//!   Sort-Tile-Recursive / OMT: items are recursively sorted along the widest
+//!   dimension and partitioned so that every node respects the fanout bound.
+//! * The incremental nearest-neighbour traversal is the Hjaltason–Samet
+//!   best-first algorithm driven by a min-heap keyed on `mindist`, which is
+//!   exactly what the paper's *distance-based access* needs (the related-work
+//!   section credits the same incremental-distance-join line of work).
+
+use prj_geometry::{Aabb, Vector};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Identifier of a node in the tree arena.
+pub type NodeId = usize;
+
+/// Fanout configuration of the tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RTreeConfig {
+    /// Maximum number of entries (or children) per node before a split.
+    pub max_entries: usize,
+    /// Minimum number of entries per node produced by a split.
+    pub min_entries: usize,
+}
+
+impl Default for RTreeConfig {
+    fn default() -> Self {
+        RTreeConfig {
+            max_entries: 8,
+            min_entries: 3,
+        }
+    }
+}
+
+impl RTreeConfig {
+    /// Creates a configuration, validating the classic R-tree invariant
+    /// `2 ≤ min ≤ max / 2`.
+    ///
+    /// # Panics
+    /// Panics if the invariant is violated.
+    pub fn new(max_entries: usize, min_entries: usize) -> Self {
+        assert!(max_entries >= 4, "max_entries must be at least 4");
+        assert!(
+            min_entries >= 2 && min_entries <= max_entries / 2,
+            "min_entries must satisfy 2 <= min <= max/2"
+        );
+        RTreeConfig {
+            max_entries,
+            min_entries,
+        }
+    }
+}
+
+/// A point plus its payload, stored in a leaf.
+#[derive(Debug, Clone)]
+struct PointEntry<T> {
+    point: Vector,
+    data: T,
+}
+
+#[derive(Debug, Clone)]
+enum NodeKind<T> {
+    Leaf(Vec<PointEntry<T>>),
+    Internal(Vec<NodeId>),
+}
+
+#[derive(Debug, Clone)]
+struct Node<T> {
+    bbox: Aabb,
+    kind: NodeKind<T>,
+}
+
+/// An R-tree over points in `R^d` carrying payloads of type `T`.
+#[derive(Debug, Clone)]
+pub struct RTree<T> {
+    config: RTreeConfig,
+    dim: usize,
+    nodes: Vec<Node<T>>,
+    root: Option<NodeId>,
+    len: usize,
+}
+
+/// A nearest-neighbour result: a borrowed point, its payload and its distance
+/// from the query.
+#[derive(Debug)]
+pub struct NearestNeighbor<'a, T> {
+    /// The indexed point.
+    pub point: &'a Vector,
+    /// The payload stored with the point.
+    pub data: &'a T,
+    /// Euclidean distance from the query.
+    pub distance: f64,
+}
+
+impl<T> RTree<T> {
+    /// Creates an empty tree for points of dimension `dim` with the default
+    /// fanout.
+    pub fn new(dim: usize) -> Self {
+        Self::with_config(dim, RTreeConfig::default())
+    }
+
+    /// Creates an empty tree with an explicit fanout configuration.
+    pub fn with_config(dim: usize, config: RTreeConfig) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        RTree {
+            config,
+            dim,
+            nodes: Vec::new(),
+            root: None,
+            len: 0,
+        }
+    }
+
+    /// Bulk-loads a tree from a set of `(point, payload)` pairs using
+    /// top-down tiling. Much faster and better packed than repeated insertion.
+    ///
+    /// # Panics
+    /// Panics if any point has a dimension different from `dim`.
+    pub fn bulk_load(dim: usize, items: Vec<(Vector, T)>) -> Self {
+        Self::bulk_load_with_config(dim, RTreeConfig::default(), items)
+    }
+
+    /// [`RTree::bulk_load`] with an explicit configuration.
+    pub fn bulk_load_with_config(
+        dim: usize,
+        config: RTreeConfig,
+        items: Vec<(Vector, T)>,
+    ) -> Self {
+        let mut tree = Self::with_config(dim, config);
+        if items.is_empty() {
+            return tree;
+        }
+        for (p, _) in &items {
+            assert_eq!(p.dim(), dim, "point dimension mismatch in bulk load");
+        }
+        let entries: Vec<PointEntry<T>> = items
+            .into_iter()
+            .map(|(point, data)| PointEntry { point, data })
+            .collect();
+        tree.len = entries.len();
+        let root = tree.bulk_build(entries);
+        tree.root = Some(root);
+        tree
+    }
+
+    fn bulk_build(&mut self, mut entries: Vec<PointEntry<T>>) -> NodeId {
+        let m = self.config.max_entries;
+        if entries.len() <= m {
+            let bbox = Aabb::enclosing_points(entries.iter().map(|e| &e.point));
+            return self.push_node(Node {
+                bbox,
+                kind: NodeKind::Leaf(entries),
+            });
+        }
+        // Height of the subtree and capacity of each child subtree.
+        let n = entries.len();
+        let height = (n as f64).log(m as f64).ceil() as u32;
+        let child_capacity = m.pow(height - 1).max(1);
+        // Sort along the widest dimension for a reasonable spatial partition.
+        let bbox = Aabb::enclosing_points(entries.iter().map(|e| &e.point));
+        let widest = (0..self.dim)
+            .max_by(|&a, &b| {
+                let ea = bbox.upper()[a] - bbox.lower()[a];
+                let eb = bbox.upper()[b] - bbox.lower()[b];
+                ea.partial_cmp(&eb).unwrap_or(Ordering::Equal)
+            })
+            .unwrap_or(0);
+        entries.sort_by(|a, b| {
+            a.point[widest]
+                .partial_cmp(&b.point[widest])
+                .unwrap_or(Ordering::Equal)
+        });
+        let mut children = Vec::new();
+        let mut rest = entries;
+        while !rest.is_empty() {
+            let take = rest.len().min(child_capacity);
+            let chunk: Vec<PointEntry<T>> = rest.drain(..take).collect();
+            children.push(self.bulk_build(chunk));
+        }
+        let bbox = Aabb::enclosing_boxes(children.iter().map(|&c| &self.nodes[c].bbox));
+        self.push_node(Node {
+            bbox,
+            kind: NodeKind::Internal(children),
+        })
+    }
+
+    fn push_node(&mut self, node: Node<T>) -> NodeId {
+        self.nodes.push(node);
+        self.nodes.len() - 1
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the tree holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Dimensionality of the indexed points.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Inserts a point with its payload (Guttman insertion, quadratic split).
+    ///
+    /// # Panics
+    /// Panics if the point's dimension differs from the tree's.
+    pub fn insert(&mut self, point: Vector, data: T) {
+        assert_eq!(point.dim(), self.dim, "point dimension mismatch");
+        self.len += 1;
+        let entry = PointEntry { point, data };
+        match self.root {
+            None => {
+                let bbox = Aabb::from_point(&entry.point);
+                let id = self.push_node(Node {
+                    bbox,
+                    kind: NodeKind::Leaf(vec![entry]),
+                });
+                self.root = Some(id);
+            }
+            Some(root) => {
+                if let Some(sibling) = self.insert_rec(root, entry) {
+                    // Root split: grow the tree by one level.
+                    let bbox = self.nodes[root].bbox.union(&self.nodes[sibling].bbox);
+                    let new_root = self.push_node(Node {
+                        bbox,
+                        kind: NodeKind::Internal(vec![root, sibling]),
+                    });
+                    self.root = Some(new_root);
+                }
+            }
+        }
+    }
+
+    /// Recursive insertion; returns the id of a new sibling when the node split.
+    fn insert_rec(&mut self, node: NodeId, entry: PointEntry<T>) -> Option<NodeId> {
+        let is_leaf = matches!(self.nodes[node].kind, NodeKind::Leaf(_));
+        if is_leaf {
+            self.nodes[node].bbox.expand_to_point(&entry.point);
+            if let NodeKind::Leaf(entries) = &mut self.nodes[node].kind {
+                entries.push(entry);
+                if entries.len() <= self.config.max_entries {
+                    return None;
+                }
+            }
+            return Some(self.split_leaf(node));
+        }
+        // Choose the child needing the least enlargement (ties: least volume).
+        let child_ids: Vec<NodeId> = match &self.nodes[node].kind {
+            NodeKind::Internal(c) => c.clone(),
+            NodeKind::Leaf(_) => unreachable!(),
+        };
+        let point_box = Aabb::from_point(&entry.point);
+        let mut best = child_ids[0];
+        let mut best_enlargement = f64::INFINITY;
+        let mut best_volume = f64::INFINITY;
+        for &c in &child_ids {
+            let enlargement = self.nodes[c].bbox.enlargement(&point_box);
+            let volume = self.nodes[c].bbox.volume();
+            if enlargement < best_enlargement - 1e-15
+                || ((enlargement - best_enlargement).abs() <= 1e-15 && volume < best_volume)
+            {
+                best = c;
+                best_enlargement = enlargement;
+                best_volume = volume;
+            }
+        }
+        let split = self.insert_rec(best, entry);
+        // Refresh this node's bbox and children list.
+        if let Some(sibling) = split {
+            if let NodeKind::Internal(children) = &mut self.nodes[node].kind {
+                children.push(sibling);
+            }
+        }
+        self.recompute_bbox(node);
+        let overflow = match &self.nodes[node].kind {
+            NodeKind::Internal(children) => children.len() > self.config.max_entries,
+            NodeKind::Leaf(_) => unreachable!(),
+        };
+        if overflow {
+            Some(self.split_internal(node))
+        } else {
+            None
+        }
+    }
+
+    fn recompute_bbox(&mut self, node: NodeId) {
+        let bbox = match &self.nodes[node].kind {
+            NodeKind::Leaf(entries) => Aabb::enclosing_points(entries.iter().map(|e| &e.point)),
+            NodeKind::Internal(children) => {
+                Aabb::enclosing_boxes(children.iter().map(|&c| &self.nodes[c].bbox))
+            }
+        };
+        self.nodes[node].bbox = bbox;
+    }
+
+    /// Quadratic split of an overflowing leaf; returns the new sibling's id.
+    fn split_leaf(&mut self, node: NodeId) -> NodeId {
+        let entries = match &mut self.nodes[node].kind {
+            NodeKind::Leaf(entries) => std::mem::take(entries),
+            NodeKind::Internal(_) => unreachable!("split_leaf on internal node"),
+        };
+        let boxes: Vec<Aabb> = entries.iter().map(|e| Aabb::from_point(&e.point)).collect();
+        let (group_a, group_b) = quadratic_partition(&boxes, self.config.min_entries);
+        let mut a_entries = Vec::new();
+        let mut b_entries = Vec::new();
+        for (i, e) in entries.into_iter().enumerate() {
+            if group_a.contains(&i) {
+                a_entries.push(e);
+            } else {
+                debug_assert!(group_b.contains(&i));
+                b_entries.push(e);
+            }
+        }
+        let a_bbox = Aabb::enclosing_points(a_entries.iter().map(|e| &e.point));
+        let b_bbox = Aabb::enclosing_points(b_entries.iter().map(|e| &e.point));
+        self.nodes[node].bbox = a_bbox;
+        self.nodes[node].kind = NodeKind::Leaf(a_entries);
+        self.push_node(Node {
+            bbox: b_bbox,
+            kind: NodeKind::Leaf(b_entries),
+        })
+    }
+
+    /// Quadratic split of an overflowing internal node; returns the sibling id.
+    fn split_internal(&mut self, node: NodeId) -> NodeId {
+        let children = match &mut self.nodes[node].kind {
+            NodeKind::Internal(children) => std::mem::take(children),
+            NodeKind::Leaf(_) => unreachable!("split_internal on leaf node"),
+        };
+        let boxes: Vec<Aabb> = children.iter().map(|&c| self.nodes[c].bbox.clone()).collect();
+        let (group_a, group_b) = quadratic_partition(&boxes, self.config.min_entries);
+        let mut a_children = Vec::new();
+        let mut b_children = Vec::new();
+        for (i, c) in children.into_iter().enumerate() {
+            if group_a.contains(&i) {
+                a_children.push(c);
+            } else {
+                debug_assert!(group_b.contains(&i));
+                b_children.push(c);
+            }
+        }
+        let a_bbox = Aabb::enclosing_boxes(a_children.iter().map(|&c| &self.nodes[c].bbox));
+        let b_bbox = Aabb::enclosing_boxes(b_children.iter().map(|&c| &self.nodes[c].bbox));
+        self.nodes[node].bbox = a_bbox;
+        self.nodes[node].kind = NodeKind::Internal(a_children);
+        self.push_node(Node {
+            bbox: b_bbox,
+            kind: NodeKind::Internal(b_children),
+        })
+    }
+
+    // ----- low-level traversal API (used by external incremental cursors) ---
+
+    /// The root node id, if the tree is non-empty.
+    pub fn root(&self) -> Option<NodeId> {
+        self.root
+    }
+
+    /// `true` when `node` is a leaf.
+    pub fn is_leaf(&self, node: NodeId) -> bool {
+        matches!(self.nodes[node].kind, NodeKind::Leaf(_))
+    }
+
+    /// Bounding box of `node`.
+    pub fn node_bbox(&self, node: NodeId) -> &Aabb {
+        &self.nodes[node].bbox
+    }
+
+    /// Child node ids of an internal node (empty slice for leaves).
+    pub fn node_children(&self, node: NodeId) -> &[NodeId] {
+        match &self.nodes[node].kind {
+            NodeKind::Internal(children) => children,
+            NodeKind::Leaf(_) => &[],
+        }
+    }
+
+    /// Number of point entries stored in a leaf (0 for internal nodes).
+    pub fn node_entry_count(&self, node: NodeId) -> usize {
+        match &self.nodes[node].kind {
+            NodeKind::Leaf(entries) => entries.len(),
+            NodeKind::Internal(_) => 0,
+        }
+    }
+
+    /// Point and payload of the `idx`-th entry of a leaf.
+    ///
+    /// # Panics
+    /// Panics if `node` is internal or `idx` is out of range.
+    pub fn node_entry(&self, node: NodeId, idx: usize) -> (&Vector, &T) {
+        match &self.nodes[node].kind {
+            NodeKind::Leaf(entries) => {
+                let e = &entries[idx];
+                (&e.point, &e.data)
+            }
+            NodeKind::Internal(_) => panic!("node_entry on internal node"),
+        }
+    }
+
+    // ------------------------------ queries ---------------------------------
+
+    /// Iterates over all `(point, payload)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Vector, &T)> + '_ {
+        self.nodes.iter().flat_map(|n| match &n.kind {
+            NodeKind::Leaf(entries) => entries.iter().map(|e| (&e.point, &e.data)).collect::<Vec<_>>(),
+            NodeKind::Internal(_) => Vec::new(),
+        })
+    }
+
+    /// Returns all entries within Euclidean distance `radius` of `query`.
+    pub fn within_radius(&self, query: &Vector, radius: f64) -> Vec<NearestNeighbor<'_, T>> {
+        let mut out = Vec::new();
+        let Some(root) = self.root else {
+            return out;
+        };
+        let mut stack = vec![root];
+        let r2 = radius * radius;
+        while let Some(node) = stack.pop() {
+            if self.nodes[node].bbox.min_distance_squared(query) > r2 {
+                continue;
+            }
+            match &self.nodes[node].kind {
+                NodeKind::Leaf(entries) => {
+                    for e in entries {
+                        let d2 = e.point.distance_squared(query);
+                        if d2 <= r2 {
+                            out.push(NearestNeighbor {
+                                point: &e.point,
+                                data: &e.data,
+                                distance: d2.sqrt(),
+                            });
+                        }
+                    }
+                }
+                NodeKind::Internal(children) => stack.extend_from_slice(children),
+            }
+        }
+        out
+    }
+
+    /// Returns the `k` nearest neighbours of `query`, closest first.
+    pub fn knn(&self, query: &Vector, k: usize) -> Vec<NearestNeighbor<'_, T>> {
+        self.nearest_iter(query).take(k).collect()
+    }
+
+    /// Best-first incremental nearest-neighbour iterator: yields every indexed
+    /// point in non-decreasing distance from `query`. This is the engine of
+    /// the *distance-based access* used by proximity rank join.
+    pub fn nearest_iter<'a>(&'a self, query: &Vector) -> NearestIter<'a, T> {
+        let mut heap = BinaryHeap::new();
+        if let Some(root) = self.root {
+            heap.push(HeapItem {
+                dist: self.nodes[root].bbox.min_distance(query),
+                target: Target::Node(root),
+            });
+        }
+        NearestIter {
+            tree: self,
+            query: query.clone(),
+            heap,
+        }
+    }
+}
+
+/// Quadratic-split partition of a set of boxes into two groups, each of size
+/// at least `min_entries`. Returns the index sets of the two groups.
+fn quadratic_partition(boxes: &[Aabb], min_entries: usize) -> (Vec<usize>, Vec<usize>) {
+    let n = boxes.len();
+    debug_assert!(n >= 2);
+    // Pick seeds: the pair wasting the most area when joined.
+    let (mut seed_a, mut seed_b, mut worst) = (0, 1, f64::NEG_INFINITY);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let waste = boxes[i].union(&boxes[j]).volume() - boxes[i].volume() - boxes[j].volume();
+            if waste > worst {
+                worst = waste;
+                seed_a = i;
+                seed_b = j;
+            }
+        }
+    }
+    let mut group_a = vec![seed_a];
+    let mut group_b = vec![seed_b];
+    let mut bbox_a = boxes[seed_a].clone();
+    let mut bbox_b = boxes[seed_b].clone();
+    let mut remaining: Vec<usize> = (0..n).filter(|&i| i != seed_a && i != seed_b).collect();
+    while !remaining.is_empty() {
+        // If one group must absorb the rest to reach the minimum fill, do so.
+        if group_a.len() + remaining.len() == min_entries {
+            group_a.extend(remaining.drain(..));
+            break;
+        }
+        if group_b.len() + remaining.len() == min_entries {
+            group_b.extend(remaining.drain(..));
+            break;
+        }
+        // Pick the entry with the greatest preference for one group.
+        let (pos, _) = remaining
+            .iter()
+            .enumerate()
+            .map(|(pos, &i)| {
+                let da = bbox_a.enlargement(&boxes[i]);
+                let db = bbox_b.enlargement(&boxes[i]);
+                (pos, (da - db).abs())
+            })
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(Ordering::Equal))
+            .expect("remaining is non-empty");
+        let i = remaining.swap_remove(pos);
+        let da = bbox_a.enlargement(&boxes[i]);
+        let db = bbox_b.enlargement(&boxes[i]);
+        let to_a = match da.partial_cmp(&db) {
+            Some(Ordering::Less) => true,
+            Some(Ordering::Greater) => false,
+            _ => group_a.len() <= group_b.len(),
+        };
+        if to_a {
+            group_a.push(i);
+            bbox_a.expand_to_box(&boxes[i]);
+        } else {
+            group_b.push(i);
+            bbox_b.expand_to_box(&boxes[i]);
+        }
+    }
+    (group_a, group_b)
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Target {
+    Node(NodeId),
+    Entry(NodeId, usize),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct HeapItem {
+    dist: f64,
+    target: Target,
+}
+
+impl Eq for HeapItem {}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse ordering: BinaryHeap is a max-heap, we need the min distance.
+        other
+            .dist
+            .total_cmp(&self.dist)
+            .then_with(|| match (self.target, other.target) {
+                (Target::Entry(..), Target::Node(_)) => Ordering::Greater,
+                (Target::Node(_), Target::Entry(..)) => Ordering::Less,
+                _ => Ordering::Equal,
+            })
+    }
+}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Best-first incremental nearest-neighbour iterator over an [`RTree`].
+pub struct NearestIter<'a, T> {
+    tree: &'a RTree<T>,
+    query: Vector,
+    heap: BinaryHeap<HeapItem>,
+}
+
+impl<'a, T> Iterator for NearestIter<'a, T> {
+    type Item = NearestNeighbor<'a, T>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while let Some(item) = self.heap.pop() {
+            match item.target {
+                Target::Entry(node, idx) => {
+                    let (point, data) = self.tree.node_entry(node, idx);
+                    return Some(NearestNeighbor {
+                        point,
+                        data,
+                        distance: item.dist,
+                    });
+                }
+                Target::Node(node) => {
+                    if self.tree.is_leaf(node) {
+                        for idx in 0..self.tree.node_entry_count(node) {
+                            let (point, _) = self.tree.node_entry(node, idx);
+                            self.heap.push(HeapItem {
+                                dist: point.distance(&self.query),
+                                target: Target::Entry(node, idx),
+                            });
+                        }
+                    } else {
+                        for &child in self.tree.node_children(node) {
+                            self.heap.push(HeapItem {
+                                dist: self.tree.node_bbox(child).min_distance(&self.query),
+                                target: Target::Node(child),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(x: &[f64]) -> Vector {
+        Vector::from(x)
+    }
+
+    fn grid_points(side: usize) -> Vec<(Vector, usize)> {
+        let mut out = Vec::new();
+        for i in 0..side {
+            for j in 0..side {
+                out.push((v(&[i as f64, j as f64]), i * side + j));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn empty_tree() {
+        let tree: RTree<u32> = RTree::new(2);
+        assert!(tree.is_empty());
+        assert_eq!(tree.len(), 0);
+        assert!(tree.root().is_none());
+        assert!(tree.knn(&v(&[0.0, 0.0]), 3).is_empty());
+        assert_eq!(tree.nearest_iter(&v(&[0.0, 0.0])).count(), 0);
+    }
+
+    #[test]
+    fn insert_and_count() {
+        let mut tree = RTree::new(2);
+        for (p, d) in grid_points(7) {
+            tree.insert(p, d);
+        }
+        assert_eq!(tree.len(), 49);
+        assert_eq!(tree.nearest_iter(&v(&[0.0, 0.0])).count(), 49);
+    }
+
+    #[test]
+    fn bulk_load_and_count() {
+        let tree = RTree::bulk_load(2, grid_points(10));
+        assert_eq!(tree.len(), 100);
+        assert_eq!(tree.nearest_iter(&v(&[5.0, 5.0])).count(), 100);
+    }
+
+    #[test]
+    fn nearest_iter_is_sorted_by_distance() {
+        let tree = RTree::bulk_load(2, grid_points(12));
+        let q = v(&[3.3, 7.1]);
+        let dists: Vec<f64> = tree.nearest_iter(&q).map(|nn| nn.distance).collect();
+        assert_eq!(dists.len(), 144);
+        for w in dists.windows(2) {
+            assert!(w[0] <= w[1] + 1e-12, "not sorted: {} > {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn nearest_iter_matches_linear_scan() {
+        let pts = grid_points(9);
+        let tree = RTree::bulk_load(2, pts.clone());
+        let q = v(&[2.7, 4.2]);
+        let mut expected: Vec<f64> = pts.iter().map(|(p, _)| p.distance(&q)).collect();
+        expected.sort_by(|a, b| a.total_cmp(b));
+        let got: Vec<f64> = tree.nearest_iter(&q).map(|nn| nn.distance).collect();
+        assert_eq!(got.len(), expected.len());
+        for (g, e) in got.iter().zip(expected.iter()) {
+            assert!((g - e).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn insertion_matches_linear_scan() {
+        let pts = grid_points(8);
+        let mut tree = RTree::new(2);
+        for (p, d) in pts.clone() {
+            tree.insert(p, d);
+        }
+        let q = v(&[1.9, 6.4]);
+        let mut expected: Vec<f64> = pts.iter().map(|(p, _)| p.distance(&q)).collect();
+        expected.sort_by(|a, b| a.total_cmp(b));
+        let got: Vec<f64> = tree.nearest_iter(&q).map(|nn| nn.distance).collect();
+        for (g, e) in got.iter().zip(expected.iter()) {
+            assert!((g - e).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn knn_returns_closest_first() {
+        let tree = RTree::bulk_load(2, grid_points(10));
+        let nn = tree.knn(&v(&[0.0, 0.0]), 3);
+        assert_eq!(nn.len(), 3);
+        assert_eq!(nn[0].distance, 0.0);
+        assert!((nn[1].distance - 1.0).abs() < 1e-12);
+        assert!((nn[2].distance - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn within_radius_query() {
+        let tree = RTree::bulk_load(2, grid_points(10));
+        let hits = tree.within_radius(&v(&[0.0, 0.0]), 1.5);
+        // (0,0), (1,0), (0,1), (1,1) are within 1.5
+        assert_eq!(hits.len(), 4);
+        let empty = tree.within_radius(&v(&[100.0, 100.0]), 1.0);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn payloads_are_preserved() {
+        let tree = RTree::bulk_load(2, vec![(v(&[1.0, 1.0]), "a"), (v(&[5.0, 5.0]), "b")]);
+        let nn = tree.knn(&v(&[0.0, 0.0]), 1);
+        assert_eq!(*nn[0].data, "a");
+        let nn = tree.knn(&v(&[6.0, 6.0]), 1);
+        assert_eq!(*nn[0].data, "b");
+    }
+
+    #[test]
+    fn duplicate_points_are_kept() {
+        let mut tree = RTree::new(1);
+        for i in 0..20 {
+            tree.insert(v(&[1.0]), i);
+        }
+        assert_eq!(tree.len(), 20);
+        assert_eq!(tree.nearest_iter(&v(&[0.0])).count(), 20);
+    }
+
+    #[test]
+    fn high_dimensional_points() {
+        let mut items = Vec::new();
+        for i in 0..200 {
+            let p: Vec<f64> = (0..16).map(|j| ((i * 31 + j * 17) % 97) as f64 / 97.0).collect();
+            items.push((Vector::from(p), i));
+        }
+        let tree = RTree::bulk_load(16, items.clone());
+        let q = Vector::filled(16, 0.5);
+        let mut expected: Vec<f64> = items.iter().map(|(p, _)| p.distance(&q)).collect();
+        expected.sort_by(|a, b| a.total_cmp(b));
+        let got: Vec<f64> = tree.nearest_iter(&q).take(50).map(|nn| nn.distance).collect();
+        for (g, e) in got.iter().zip(expected.iter().take(50)) {
+            assert!((g - e).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn config_validation() {
+        let cfg = RTreeConfig::new(8, 3);
+        assert_eq!(cfg.max_entries, 8);
+        let tree = RTree::<u8>::with_config(3, cfg);
+        assert_eq!(tree.dim(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_config_panics() {
+        let _ = RTreeConfig::new(4, 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn dimension_mismatch_panics() {
+        let mut tree = RTree::new(2);
+        tree.insert(v(&[1.0]), 0);
+    }
+
+    #[test]
+    fn iter_visits_everything() {
+        let tree = RTree::bulk_load(2, grid_points(6));
+        let mut payloads: Vec<usize> = tree.iter().map(|(_, &d)| d).collect();
+        payloads.sort_unstable();
+        assert_eq!(payloads, (0..36).collect::<Vec<_>>());
+    }
+}

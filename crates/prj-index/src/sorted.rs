@@ -1,0 +1,139 @@
+//! Score-sorted access path.
+//!
+//! Score-based access (paper access kind B) returns tuples in decreasing
+//! order of score. [`ScoreIndex`] is the corresponding substrate: a
+//! pre-sorted array with incremental consumption and the usual point lookups.
+//! It is deliberately simple — unlike distance-based access there is nothing
+//! geometric to exploit — but it mirrors the [`crate::RTree`] interface so the
+//! access layer can treat both kinds uniformly.
+
+use std::cmp::Ordering;
+
+/// An item carrying a score and a payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoredItem<T> {
+    /// The score; larger is better.
+    pub score: f64,
+    /// The payload.
+    pub data: T,
+}
+
+/// A score-sorted index supporting incremental descending-score access.
+#[derive(Debug, Clone)]
+pub struct ScoreIndex<T> {
+    items: Vec<ScoredItem<T>>,
+}
+
+impl<T> ScoreIndex<T> {
+    /// Builds the index from `(score, payload)` pairs; ties are broken by the
+    /// original insertion order (stable sort), matching the paper's
+    /// deterministic tie-breaking requirement.
+    pub fn build(items: Vec<(f64, T)>) -> Self {
+        let mut items: Vec<ScoredItem<T>> = items
+            .into_iter()
+            .map(|(score, data)| ScoredItem { score, data })
+            .collect();
+        items.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(Ordering::Equal));
+        ScoreIndex { items }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` when the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The `rank`-th best item (0-based), if any.
+    pub fn get(&self, rank: usize) -> Option<&ScoredItem<T>> {
+        self.items.get(rank)
+    }
+
+    /// The best (maximum) score, if any.
+    pub fn max_score(&self) -> Option<f64> {
+        self.items.first().map(|i| i.score)
+    }
+
+    /// The worst (minimum) score, if any.
+    pub fn min_score(&self) -> Option<f64> {
+        self.items.last().map(|i| i.score)
+    }
+
+    /// Iterates over items in descending score order.
+    pub fn iter(&self) -> impl Iterator<Item = &ScoredItem<T>> {
+        self.items.iter()
+    }
+
+    /// Returns all items with score at least `threshold` (descending order).
+    pub fn at_least(&self, threshold: f64) -> &[ScoredItem<T>] {
+        // Items are sorted descending, so find the first index below threshold.
+        let cut = self
+            .items
+            .partition_point(|item| item.score >= threshold);
+        &self.items[..cut]
+    }
+
+    /// Consumes the index and returns the sorted items.
+    pub fn into_sorted_vec(self) -> Vec<ScoredItem<T>> {
+        self.items
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_sorts_descending() {
+        let idx = ScoreIndex::build(vec![(0.2, "c"), (0.9, "a"), (0.5, "b")]);
+        let order: Vec<&str> = idx.iter().map(|i| i.data).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+        assert_eq!(idx.max_score(), Some(0.9));
+        assert_eq!(idx.min_score(), Some(0.2));
+    }
+
+    #[test]
+    fn stable_tie_breaking() {
+        let idx = ScoreIndex::build(vec![(0.5, 1), (0.5, 2), (0.5, 3)]);
+        let order: Vec<i32> = idx.iter().map(|i| i.data).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn rank_access() {
+        let idx = ScoreIndex::build(vec![(1.0, "x"), (3.0, "y"), (2.0, "z")]);
+        assert_eq!(idx.get(0).unwrap().data, "y");
+        assert_eq!(idx.get(2).unwrap().data, "x");
+        assert!(idx.get(3).is_none());
+    }
+
+    #[test]
+    fn at_least_threshold() {
+        let idx = ScoreIndex::build(vec![(0.1, 1), (0.4, 2), (0.7, 3), (0.9, 4)]);
+        let hits = idx.at_least(0.4);
+        assert_eq!(hits.len(), 3);
+        assert!(hits.iter().all(|i| i.score >= 0.4));
+        assert!(idx.at_least(1.5).is_empty());
+        assert_eq!(idx.at_least(0.0).len(), 4);
+    }
+
+    #[test]
+    fn empty_index() {
+        let idx: ScoreIndex<u8> = ScoreIndex::build(vec![]);
+        assert!(idx.is_empty());
+        assert_eq!(idx.len(), 0);
+        assert_eq!(idx.max_score(), None);
+        assert_eq!(idx.min_score(), None);
+    }
+
+    #[test]
+    fn into_sorted_vec_preserves_order() {
+        let idx = ScoreIndex::build(vec![(2.0, "b"), (3.0, "a")]);
+        let v = idx.into_sorted_vec();
+        assert_eq!(v[0].data, "a");
+        assert_eq!(v[1].data, "b");
+    }
+}

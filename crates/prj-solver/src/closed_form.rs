@@ -1,0 +1,200 @@
+//! Closed-form solutions for special cases of the tight-bound optimisation.
+//!
+//! * [`symmetric_distance_optimum`] — paper Eq. 11 / Eq. 29: the distance-based
+//!   bound when all unseen relations share the same minimum distance `δ` from
+//!   the query (problem (10)). The optimal common location of the unseen
+//!   tuples lies on the ray from the query through the centroid of the seen
+//!   partial combination, either at the unconstrained optimum or clamped onto
+//!   the sphere of radius `δ`.
+//! * [`score_based_optimum`] — paper Eq. 41: the *unconstrained* optimum used
+//!   by the score-based tight bound (Appendix C.2).
+//!
+//! Both functions return the optimal location; the caller evaluates the exact
+//! aggregate score at the returned point (which is how the bound value is
+//! obtained throughout `prj-core`, keeping a single source of truth for the
+//! scoring function).
+
+use prj_geometry::Vector;
+
+/// Solves paper Eq. 11 / Eq. 29: the optimal common location `y*` of the
+/// `n − m` unseen tuples completing a partial combination with centroid `nu`
+/// (of the `m` seen tuples), when every unseen tuple must be at distance at
+/// least `delta` from the query `q`.
+///
+/// * `q` — the query point.
+/// * `nu` — the centroid of the seen partial combination; pass `None` when
+///   `m = 0` (the unconstrained optimum is then the query itself, possibly
+///   pushed out to the sphere of radius `delta` in an arbitrary direction).
+/// * `m` — number of seen tuples, `n` — total number of relations.
+/// * `w_q`, `w_mu` — the query- and centroid-proximity weights of Eq. 2.
+/// * `delta` — the common minimum distance of unseen tuples from the query.
+///
+/// # Panics
+/// Panics if `m >= n` or `delta < 0`.
+pub fn symmetric_distance_optimum(
+    q: &Vector,
+    nu: Option<&Vector>,
+    m: usize,
+    n: usize,
+    w_q: f64,
+    w_mu: f64,
+    delta: f64,
+) -> Vector {
+    assert!(m < n, "at least one relation must be unseen (m < n)");
+    assert!(delta >= 0.0, "delta must be non-negative");
+    match nu {
+        None => {
+            // m = 0 (or degenerate): the unconstrained optimum is q itself;
+            // if delta > 0 any point on the sphere is optimal by symmetry, so
+            // pick the first canonical direction.
+            if delta <= 0.0 {
+                q.clone()
+            } else {
+                let dir = Vector::basis(q.dim().max(1), 0);
+                q + &dir.scaled(delta)
+            }
+        }
+        Some(nu) => {
+            let shrink = if m == 0 {
+                0.0
+            } else {
+                (m as f64 * w_mu) / (m as f64 * w_mu + n as f64 * w_q)
+            };
+            let offset = (nu - q).scaled(shrink);
+            if offset.norm() >= delta {
+                q + &offset
+            } else {
+                // Clamp onto the sphere of radius delta along the ray q -> nu.
+                match (nu - q).normalized() {
+                    Some(dir) => q + &dir.scaled(delta),
+                    None => {
+                        // nu coincides with q: any direction works.
+                        if delta <= 0.0 {
+                            q.clone()
+                        } else {
+                            let dir = Vector::basis(q.dim().max(1), 0);
+                            q + &dir.scaled(delta)
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Solves paper Eq. 41: the unconstrained optimal common location of the
+/// unseen tuples under score-based access,
+/// `y* = q + (ν − q)·m·w_μ / (m·w_μ + n·w_q)`.
+///
+/// When `m = 0` (no seen tuples, `nu = None`) the optimum is the query itself.
+///
+/// # Panics
+/// Panics if `m >= n`.
+pub fn score_based_optimum(
+    q: &Vector,
+    nu: Option<&Vector>,
+    m: usize,
+    n: usize,
+    w_q: f64,
+    w_mu: f64,
+) -> Vector {
+    assert!(m < n, "at least one relation must be unseen (m < n)");
+    match nu {
+        None => q.clone(),
+        Some(nu) => {
+            let shrink = if m == 0 {
+                0.0
+            } else {
+                (m as f64 * w_mu) / (m as f64 * w_mu + n as f64 * w_q)
+            };
+            q + &(nu - q).scaled(shrink)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(x: &[f64]) -> Vector {
+        Vector::from(x)
+    }
+
+    #[test]
+    fn unconstrained_optimum_shrinks_toward_query() {
+        // With wq = wmu = 1, m = 1, n = 2: shrink = 1/(1+2) = 1/3.
+        let q = v(&[0.0, 0.0]);
+        let nu = v(&[3.0, 0.0]);
+        let y = symmetric_distance_optimum(&q, Some(&nu), 1, 2, 1.0, 1.0, 0.0);
+        assert!(y.approx_eq(&v(&[1.0, 0.0]), 1e-12));
+    }
+
+    #[test]
+    fn constrained_optimum_clamps_to_sphere() {
+        let q = v(&[0.0, 0.0]);
+        let nu = v(&[3.0, 0.0]);
+        // Unconstrained optimum is at distance 1; with delta = 2 it clamps.
+        let y = symmetric_distance_optimum(&q, Some(&nu), 1, 2, 1.0, 1.0, 2.0);
+        assert!(y.approx_eq(&v(&[2.0, 0.0]), 1e-12));
+        assert!((y.distance(&q) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_example_3_2_partial_tau2() {
+        // Example 3.2, partial combination τ2^(1): x = [1,1], so ν = [1,1];
+        // m = 1, n = 3, ws = wq = wμ = 1, δ1 = 1.
+        // Shrink = 1/(1+3) = 0.25 -> unconstrained at [0.25,0.25], norm ≈ 0.354 < δ1 = 1,
+        // so clamp to the sphere of radius 1: y1* = [√2/2, √2/2].
+        let q = v(&[0.0, 0.0]);
+        let nu = v(&[1.0, 1.0]);
+        let y1 = symmetric_distance_optimum(&q, Some(&nu), 1, 3, 1.0, 1.0, 1.0);
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        assert!(y1.approx_eq(&v(&[s, s]), 1e-9), "{y1:?}");
+        // δ3 = 2√2: clamp to radius 2√2 -> [2, 2].
+        let y3 = symmetric_distance_optimum(&q, Some(&nu), 1, 3, 1.0, 1.0, 2.0 * 2.0_f64.sqrt());
+        assert!(y3.approx_eq(&v(&[2.0, 2.0]), 1e-9), "{y3:?}");
+    }
+
+    #[test]
+    fn empty_partial_combination() {
+        let q = v(&[1.0, 2.0]);
+        let y = symmetric_distance_optimum(&q, None, 0, 3, 1.0, 1.0, 0.0);
+        assert!(y.approx_eq(&q, 1e-12));
+        let y = symmetric_distance_optimum(&q, None, 0, 3, 1.0, 1.0, 1.5);
+        assert!((y.distance(&q) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_centroid_at_query() {
+        let q = v(&[0.0, 0.0]);
+        let y = symmetric_distance_optimum(&q, Some(&q.clone()), 1, 2, 1.0, 1.0, 2.0);
+        assert!((y.distance(&q) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn score_based_optimum_matches_eq_41() {
+        let q = v(&[0.0, 0.0]);
+        let nu = v(&[2.0, 2.0]);
+        // m = 2, n = 3, wq = wmu = 1 -> shrink = 2/(2+3) = 0.4
+        let y = score_based_optimum(&q, Some(&nu), 2, 3, 1.0, 1.0);
+        assert!(y.approx_eq(&v(&[0.8, 0.8]), 1e-12));
+        let y0 = score_based_optimum(&q, None, 0, 3, 1.0, 1.0);
+        assert!(y0.approx_eq(&q, 1e-12));
+    }
+
+    #[test]
+    fn zero_centroid_weight_puts_optimum_at_query() {
+        // With w_mu = 0 the mutual-proximity pull vanishes and the optimum is q.
+        let q = v(&[0.0, 0.0]);
+        let nu = v(&[5.0, 5.0]);
+        let y = symmetric_distance_optimum(&q, Some(&nu), 2, 3, 1.0, 0.0, 0.0);
+        assert!(y.approx_eq(&q, 1e-12));
+    }
+
+    #[test]
+    #[should_panic]
+    fn all_seen_panics() {
+        let q = v(&[0.0]);
+        let _ = symmetric_distance_optimum(&q, Some(&q.clone()), 2, 2, 1.0, 1.0, 0.0);
+    }
+}

@@ -1,0 +1,453 @@
+//! Dense two-phase simplex for small linear programs.
+//!
+//! The dominance test of paper Sec. 3.2.2 / Appendix B.5 asks whether the
+//! polyhedron `{y ∈ R^d | 2(b_α − b_β)ᵀ y ≤ c_β − c_α  ∀β}` is empty, i.e. a
+//! pure *feasibility* linear program (Eq. 35). The feature-space dimension is
+//! small (`d ≤ 16` in the paper's experiments) while the number of constraints
+//! grows with the number of retrieved tuples, so a dense tableau simplex with
+//! Bland's anti-cycling rule is perfectly adequate.
+//!
+//! [`LpSolver`] also exposes a general `minimise cᵀy s.t. Ay ≤ b` interface
+//! (free variables), which is used by tests and available to downstream users.
+
+use crate::SOLVER_EPS;
+
+/// Outcome of a linear program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpOutcome {
+    /// An optimal solution was found.
+    Optimal {
+        /// The optimal point (in the original free variables).
+        x: Vec<f64>,
+        /// The optimal objective value.
+        objective: f64,
+    },
+    /// The constraint system `Ay ≤ b` has no solution.
+    Infeasible,
+    /// The objective is unbounded below on the feasible region.
+    Unbounded,
+}
+
+impl LpOutcome {
+    /// `true` when the program admits a feasible point.
+    pub fn is_feasible(&self) -> bool {
+        !matches!(self, LpOutcome::Infeasible)
+    }
+}
+
+/// A linear program `minimise cᵀy` subject to `A·y ≤ b` with free `y ∈ R^d`.
+#[derive(Debug, Clone)]
+pub struct LpSolver {
+    /// Constraint matrix rows (each of length `dim`).
+    rows: Vec<Vec<f64>>,
+    /// Right-hand sides.
+    rhs: Vec<f64>,
+    /// Objective coefficients (length `dim`).
+    objective: Vec<f64>,
+    dim: usize,
+}
+
+impl LpSolver {
+    /// Creates a feasibility program (zero objective) over `dim` variables.
+    pub fn feasibility(dim: usize) -> LpSolver {
+        LpSolver {
+            rows: Vec::new(),
+            rhs: Vec::new(),
+            objective: vec![0.0; dim],
+            dim,
+        }
+    }
+
+    /// Creates a minimisation program over `dim` variables.
+    ///
+    /// # Panics
+    /// Panics if `objective.len() != dim`.
+    pub fn minimize(dim: usize, objective: Vec<f64>) -> LpSolver {
+        assert_eq!(objective.len(), dim, "objective dimension mismatch");
+        LpSolver {
+            rows: Vec::new(),
+            rhs: Vec::new(),
+            objective,
+            dim,
+        }
+    }
+
+    /// Adds the constraint `aᵀy ≤ b`.
+    ///
+    /// # Panics
+    /// Panics if `a.len() != dim`.
+    pub fn add_constraint(&mut self, a: Vec<f64>, b: f64) -> &mut Self {
+        assert_eq!(a.len(), self.dim, "constraint dimension mismatch");
+        self.rows.push(a);
+        self.rhs.push(b);
+        self
+    }
+
+    /// Number of constraints added so far.
+    pub fn num_constraints(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Solves the program with the two-phase simplex method.
+    pub fn solve(&self) -> LpOutcome {
+        let m = self.rows.len();
+        let d = self.dim;
+        if m == 0 {
+            // No constraints: feasible; unbounded unless the objective is zero.
+            if self.objective.iter().all(|&c| c.abs() <= SOLVER_EPS) {
+                return LpOutcome::Optimal {
+                    x: vec![0.0; d],
+                    objective: 0.0,
+                };
+            }
+            return LpOutcome::Unbounded;
+        }
+
+        // Standard form: y = u − v with u, v ≥ 0; slack s_i ≥ 0 per row;
+        // artificial a_i ≥ 0 for rows whose RHS is negative after slack
+        // insertion (those rows are negated first).
+        let n_struct = 2 * d; // u then v
+        let n_slack = m;
+        // Column layout: [u(0..d) | v(d..2d) | slack(2d..2d+m) | artificial...]
+        let mut needs_artificial = Vec::new();
+        for i in 0..m {
+            if self.rhs[i] < 0.0 {
+                needs_artificial.push(i);
+            }
+        }
+        let n_art = needs_artificial.len();
+        let n_total = n_struct + n_slack + n_art;
+
+        // Tableau rows: coefficients + RHS.
+        let mut tab = vec![vec![0.0; n_total + 1]; m];
+        let mut basis = vec![0usize; m];
+        let mut art_col_of_row = vec![usize::MAX; m];
+        let mut next_art = 0usize;
+        for i in 0..m {
+            let negate = self.rhs[i] < 0.0;
+            let sign = if negate { -1.0 } else { 1.0 };
+            for j in 0..d {
+                tab[i][j] = sign * self.rows[i][j];
+                tab[i][d + j] = -sign * self.rows[i][j];
+            }
+            tab[i][n_struct + i] = sign; // slack coefficient (negated along with the row)
+            tab[i][n_total] = sign * self.rhs[i];
+            if negate {
+                let col = n_struct + n_slack + next_art;
+                tab[i][col] = 1.0;
+                basis[i] = col;
+                art_col_of_row[i] = col;
+                next_art += 1;
+            } else {
+                basis[i] = n_struct + i;
+            }
+        }
+
+        // ---- Phase 1: minimise the sum of artificial variables ----
+        if n_art > 0 {
+            let mut cost = vec![0.0; n_total];
+            for i in 0..m {
+                if art_col_of_row[i] != usize::MAX {
+                    cost[art_col_of_row[i]] = 1.0;
+                }
+            }
+            let phase1 = simplex(&mut tab, &mut basis, &cost, n_total);
+            let value = match phase1 {
+                SimplexResult::Optimal(v) => v,
+                SimplexResult::Unbounded => {
+                    // Phase 1 objective is bounded below by 0; unbounded means
+                    // a numerical breakdown. Treat conservatively as feasible
+                    // unknown -> infeasible is the safe answer for dominance
+                    // (claiming emptiness prunes); we instead report feasible
+                    // to never prune incorrectly.
+                    return LpOutcome::Optimal {
+                        x: vec![0.0; d],
+                        objective: 0.0,
+                    };
+                }
+            };
+            if value > 1e-7 {
+                return LpOutcome::Infeasible;
+            }
+            // Drive any remaining artificial variables out of the basis.
+            for i in 0..m {
+                if basis[i] >= n_struct + n_slack {
+                    // Find a non-artificial column with a nonzero pivot.
+                    let mut pivot_col = None;
+                    for j in 0..(n_struct + n_slack) {
+                        if tab[i][j].abs() > 1e-9 {
+                            pivot_col = Some(j);
+                            break;
+                        }
+                    }
+                    if let Some(j) = pivot_col {
+                        pivot(&mut tab, &mut basis, i, j);
+                    }
+                    // If no pivot column exists the row is redundant; leaving
+                    // the (zero-valued) artificial basic is harmless.
+                }
+            }
+        }
+
+        // ---- Phase 2: minimise the real objective ----
+        let mut cost = vec![0.0; n_total];
+        for j in 0..d {
+            cost[j] = self.objective[j];
+            cost[d + j] = -self.objective[j];
+        }
+        // Forbid re-entry of artificial columns by giving them a huge cost.
+        for i in 0..n_art {
+            cost[n_struct + n_slack + i] = 1e30;
+        }
+        let result = simplex(&mut tab, &mut basis, &cost, n_total);
+        match result {
+            SimplexResult::Unbounded => LpOutcome::Unbounded,
+            SimplexResult::Optimal(obj) => {
+                let mut x = vec![0.0; d];
+                for i in 0..m {
+                    let col = basis[i];
+                    let value = tab[i][n_total];
+                    if col < d {
+                        x[col] += value;
+                    } else if col < 2 * d {
+                        x[col - d] -= value;
+                    }
+                }
+                LpOutcome::Optimal { x, objective: obj }
+            }
+        }
+    }
+}
+
+enum SimplexResult {
+    Optimal(f64),
+    Unbounded,
+}
+
+/// Runs the (revised-in-spirit, dense-in-practice) simplex method on the
+/// tableau, minimising `costᵀ·x`. Uses Bland's rule for anti-cycling.
+fn simplex(
+    tab: &mut [Vec<f64>],
+    basis: &mut [usize],
+    cost: &[f64],
+    n_total: usize,
+) -> SimplexResult {
+    let m = tab.len();
+    let max_iters = 200 * (n_total + m + 1);
+    for _ in 0..max_iters {
+        // Reduced costs: r_j = c_j − c_Bᵀ B⁻¹ A_j. Because the tableau is kept
+        // in canonical form (basis columns are unit vectors), we can compute
+        // them directly.
+        let mut entering = None;
+        for j in 0..n_total {
+            if basis.contains(&j) {
+                continue;
+            }
+            let mut r = cost[j];
+            for i in 0..m {
+                r -= cost[basis[i]] * tab[i][j];
+            }
+            if r < -1e-9 {
+                entering = Some(j);
+                break; // Bland's rule: smallest index
+            }
+        }
+        let Some(col) = entering else {
+            // Optimal: compute objective value.
+            let obj: f64 = (0..m).map(|i| cost[basis[i]] * tab[i][n_total]).sum();
+            return SimplexResult::Optimal(obj);
+        };
+        // Ratio test.
+        let mut leaving: Option<usize> = None;
+        let mut best_ratio = f64::INFINITY;
+        for i in 0..m {
+            if tab[i][col] > 1e-9 {
+                let ratio = tab[i][n_total] / tab[i][col];
+                if ratio < best_ratio - 1e-12
+                    || (ratio < best_ratio + 1e-12
+                        && leaving.is_some_and(|l| basis[i] < basis[l]))
+                {
+                    best_ratio = ratio;
+                    leaving = Some(i);
+                }
+            }
+        }
+        let Some(row) = leaving else {
+            return SimplexResult::Unbounded;
+        };
+        pivot(tab, basis, row, col);
+    }
+    // Iteration limit: return current value (finite but possibly suboptimal).
+    let obj: f64 = (0..m).map(|i| cost[basis[i]] * tab[i][n_total]).sum();
+    SimplexResult::Optimal(obj)
+}
+
+/// Performs a pivot on `(row, col)`: normalises the row and eliminates the
+/// column from all other rows.
+fn pivot(tab: &mut [Vec<f64>], basis: &mut [usize], row: usize, col: usize) {
+    let m = tab.len();
+    let width = tab[0].len();
+    let p = tab[row][col];
+    for j in 0..width {
+        tab[row][j] /= p;
+    }
+    for i in 0..m {
+        if i != row {
+            let factor = tab[i][col];
+            if factor.abs() > 0.0 {
+                for j in 0..width {
+                    tab[i][j] -= factor * tab[row][j];
+                }
+            }
+        }
+    }
+    basis[row] = col;
+}
+
+/// Convenience entry point for the dominance test (paper Eq. 35): returns
+/// `true` when the half-space system `a_iᵀ·y ≤ b_i` admits a solution.
+///
+/// Each constraint is a `(coefficients, rhs)` pair; all coefficient vectors
+/// must share the same dimension.
+pub fn halfspaces_feasible(constraints: &[(Vec<f64>, f64)]) -> bool {
+    if constraints.is_empty() {
+        return true;
+    }
+    let dim = constraints[0].0.len();
+    let mut lp = LpSolver::feasibility(dim);
+    for (a, b) in constraints {
+        // Degenerate (all-zero) normal: the constraint is `0 ≤ b`.
+        if a.iter().all(|c| c.abs() <= SOLVER_EPS) {
+            if *b < -SOLVER_EPS {
+                return false;
+            }
+            continue;
+        }
+        lp.add_constraint(a.clone(), *b);
+    }
+    if lp.num_constraints() == 0 {
+        return true;
+    }
+    lp.solve().is_feasible()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_system_is_feasible() {
+        assert!(halfspaces_feasible(&[]));
+    }
+
+    #[test]
+    fn single_halfspace_is_feasible() {
+        assert!(halfspaces_feasible(&[(vec![1.0, 0.0], -5.0)]));
+    }
+
+    #[test]
+    fn box_is_feasible() {
+        // -1 <= x <= 1, -1 <= y <= 1
+        let cs = vec![
+            (vec![1.0, 0.0], 1.0),
+            (vec![-1.0, 0.0], 1.0),
+            (vec![0.0, 1.0], 1.0),
+            (vec![0.0, -1.0], 1.0),
+        ];
+        assert!(halfspaces_feasible(&cs));
+    }
+
+    #[test]
+    fn contradictory_halfspaces_are_infeasible() {
+        // x <= -1 and x >= 1  (i.e. -x <= -1)
+        let cs = vec![(vec![1.0], -1.0), (vec![-1.0], -1.0)];
+        assert!(!halfspaces_feasible(&cs));
+    }
+
+    #[test]
+    fn three_way_infeasible() {
+        // x + y <= -1, -x <= -1 (x >= 1), -y <= -1 (y >= 1): infeasible.
+        let cs = vec![
+            (vec![1.0, 1.0], -1.0),
+            (vec![-1.0, 0.0], -1.0),
+            (vec![0.0, -1.0], -1.0),
+        ];
+        assert!(!halfspaces_feasible(&cs));
+    }
+
+    #[test]
+    fn zero_normal_constraints() {
+        assert!(halfspaces_feasible(&[(vec![0.0, 0.0], 1.0)]));
+        assert!(!halfspaces_feasible(&[(vec![0.0, 0.0], -1.0)]));
+    }
+
+    #[test]
+    fn minimization_simple() {
+        // min x + y  s.t.  x >= 1 (-x <= -1), y >= 2 (-y <= -2): optimum 3 at (1,2).
+        let mut lp = LpSolver::minimize(2, vec![1.0, 1.0]);
+        lp.add_constraint(vec![-1.0, 0.0], -1.0);
+        lp.add_constraint(vec![0.0, -1.0], -2.0);
+        match lp.solve() {
+            LpOutcome::Optimal { x, objective } => {
+                assert!((objective - 3.0).abs() < 1e-7);
+                assert!((x[0] - 1.0).abs() < 1e-7);
+                assert!((x[1] - 2.0).abs() < 1e-7);
+            }
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn minimization_bounded_polytope() {
+        // min -x - 2y  s.t. x + y <= 4, x <= 3, y <= 2, x >= 0, y >= 0
+        // optimum at (2, 2) with value -6.
+        let mut lp = LpSolver::minimize(2, vec![-1.0, -2.0]);
+        lp.add_constraint(vec![1.0, 1.0], 4.0);
+        lp.add_constraint(vec![1.0, 0.0], 3.0);
+        lp.add_constraint(vec![0.0, 1.0], 2.0);
+        lp.add_constraint(vec![-1.0, 0.0], 0.0);
+        lp.add_constraint(vec![0.0, -1.0], 0.0);
+        match lp.solve() {
+            LpOutcome::Optimal { x, objective } => {
+                assert!((objective + 6.0).abs() < 1e-7, "objective {objective}");
+                assert!((x[0] - 2.0).abs() < 1e-7);
+                assert!((x[1] - 2.0).abs() < 1e-7);
+            }
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        // min -x with only x >= 0 -> unbounded below.
+        let mut lp = LpSolver::minimize(1, vec![-1.0]);
+        lp.add_constraint(vec![-1.0], 0.0);
+        assert_eq!(lp.solve(), LpOutcome::Unbounded);
+    }
+
+    #[test]
+    fn infeasible_detected_by_minimize() {
+        let mut lp = LpSolver::minimize(1, vec![1.0]);
+        lp.add_constraint(vec![1.0], -2.0);
+        lp.add_constraint(vec![-1.0], 1.0);
+        assert_eq!(lp.solve(), LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn feasibility_with_many_redundant_constraints() {
+        // A feasible cone with lots of redundant constraints.
+        let mut cs = Vec::new();
+        for k in 0..40 {
+            let angle = std::f64::consts::PI * (k as f64) / 80.0; // quarter turn
+            cs.push((vec![angle.cos(), angle.sin()], 10.0 + k as f64));
+        }
+        assert!(halfspaces_feasible(&cs));
+    }
+
+    #[test]
+    fn thin_feasible_slab() {
+        // 1 <= x <= 1 + 1e-6 (very thin but non-empty)
+        let cs = vec![(vec![1.0], 1.0 + 1e-6), (vec![-1.0], -1.0)];
+        assert!(halfspaces_feasible(&cs));
+    }
+}

@@ -1,0 +1,70 @@
+//! Quickstart: top-K proximity rank join over synthetic data.
+//!
+//! Generates two relations of scored points around a query, runs the
+//! instance-optimal TBPA algorithm and prints the top combinations together
+//! with the I/O cost (`sumDepths`) compared against the HRJN-style baseline.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use proximity_rank_join::data::{generate_synthetic, SyntheticConfig};
+use proximity_rank_join::prelude::*;
+
+fn main() {
+    // A synthetic workload: 2 relations, 2-D feature space, ~50 tuples each.
+    let config = SyntheticConfig {
+        n_relations: 2,
+        dimensions: 2,
+        density: 50.0,
+        skew: 1.0,
+        seed: 7,
+    };
+    let relations = generate_synthetic(&config);
+    let query = Vector::zeros(config.dimensions);
+
+    // The paper's aggregation function (Eq. 2) with unit weights: high scores,
+    // close to the query, close to each other.
+    let scoring = EuclideanLogScore::new(1.0, 1.0, 1.0);
+
+    let mut problem = ProblemBuilder::new(query, scoring)
+        .k(5)
+        .access_kind(AccessKind::Distance)
+        .relations_from_tuples(relations)
+        .build()
+        .expect("valid problem");
+
+    println!("== Proximity rank join quickstart ==\n");
+    for algorithm in [Algorithm::Cbrr, Algorithm::Tbpa] {
+        let result = algorithm.run(&mut problem).expect("run succeeds");
+        println!(
+            "{:<14} sumDepths = {:<4} cpu = {:.3} ms",
+            algorithm.label(),
+            result.sum_depths(),
+            result.metrics.total_time.as_secs_f64() * 1e3
+        );
+        if algorithm == Algorithm::Tbpa {
+            println!("\nTop-{} combinations (TBPA):", result.combinations.len());
+            for (rank, combo) in result.combinations.iter().enumerate() {
+                let members: Vec<String> = combo
+                    .tuples
+                    .iter()
+                    .map(|t| {
+                        format!(
+                            "{} (score {:.2}, at [{:.2}, {:.2}])",
+                            t.id, t.score, t.vector[0], t.vector[1]
+                        )
+                    })
+                    .collect();
+                println!(
+                    "  #{:<2} S = {:>7.3}   {}",
+                    rank + 1,
+                    combo.score,
+                    members.join("  ×  ")
+                );
+            }
+        }
+    }
+    println!(
+        "\nBoth algorithms return the same top-K; the tight bound simply certifies it after \
+         fewer sorted accesses."
+    );
+}

@@ -1,0 +1,250 @@
+//! Property-based tests (proptest) over the core invariants of the
+//! reproduction:
+//!
+//! 1. **Bound correctness** — at every prefix of a sorted-access run, both
+//!    bounding schemes upper-bound the aggregate score of every combination
+//!    that uses at least one unseen tuple, and the tight bound never exceeds
+//!    the corner bound.
+//! 2. **Tightness** — the tight bound equals the score of an explicit
+//!    continuation (Definition 2.2): completing the maximising partial
+//!    combination with hypothetical tuples at the optimiser's locations
+//!    attains the bound while respecting the access-frontier constraints.
+//! 3. **End-to-end correctness** — all four algorithms return the naive
+//!    baseline's top-K on arbitrary instances.
+//! 4. **Instance-optimal bookkeeping** — TBPA never reads deeper than TBRR on
+//!    any relation (Theorem 3.5).
+
+use proptest::prelude::*;
+use proximity_rank_join::core::bounds::BoundingScheme;
+use proximity_rank_join::core::{
+    naive_rank_join, CornerBound, JoinState, ScoringFunction, TightBound, TightBoundConfig,
+};
+use proximity_rank_join::prelude::*;
+
+/// A generated relation: a list of (coordinates, score) rows.
+type RawRelation = Vec<([f64; 2], f64)>;
+
+fn relation_strategy(max_len: usize) -> impl Strategy<Value = RawRelation> {
+    prop::collection::vec(
+        (
+            prop::array::uniform2(-2.0..2.0f64),
+            0.05..1.0f64,
+        ),
+        1..max_len,
+    )
+}
+
+fn to_tuples(rel: usize, raw: &RawRelation) -> Vec<Tuple> {
+    raw.iter()
+        .enumerate()
+        .map(|(i, (x, s))| Tuple::new(TupleId::new(rel, i), Vector::from(*x), *s))
+        .collect()
+}
+
+/// Enumerates the aggregate score of every combination of the *full*
+/// relations that uses at least one tuple outside the seen prefixes, i.e. the
+/// quantity both bounds must dominate.
+fn best_unseen_combination_score(
+    scoring: &EuclideanLogScore,
+    query: &Vector,
+    relations: &[Vec<Tuple>],
+    depths: &[usize],
+) -> Option<f64> {
+    let n = relations.len();
+    let mut best: Option<f64> = None;
+    let mut counters = vec![0usize; n];
+    loop {
+        let uses_unseen = (0..n).any(|j| counters[j] >= depths[j]);
+        if uses_unseen {
+            let members: Vec<(&Vector, f64)> = (0..n)
+                .map(|j| {
+                    let t = &relations[j][counters[j]];
+                    (&t.vector, t.score)
+                })
+                .collect();
+            let s = scoring.score_members(&members, query);
+            best = Some(best.map_or(s, |b: f64| b.max(s)));
+        }
+        let mut carry = true;
+        for j in 0..n {
+            if !carry {
+                break;
+            }
+            counters[j] += 1;
+            if counters[j] >= relations[j].len() {
+                counters[j] = 0;
+            } else {
+                carry = false;
+            }
+        }
+        if carry {
+            break;
+        }
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Invariant 1 + 2: along a round-robin sorted-access run, the tight bound
+    /// upper-bounds the best still-possible combination, never exceeds the
+    /// corner bound, and both never increase as access deepens.
+    #[test]
+    fn bounds_dominate_every_unseen_combination(
+        raw1 in relation_strategy(7),
+        raw2 in relation_strategy(7),
+    ) {
+        let scoring = EuclideanLogScore::new(1.0, 1.0, 1.0);
+        let query = Vector::from([0.0, 0.0]);
+        // Sort the relations by distance, as distance-based access would.
+        let mut relations = vec![to_tuples(0, &raw1), to_tuples(1, &raw2)];
+        for rel in relations.iter_mut() {
+            rel.sort_by(|a, b| a.distance_to(&query).total_cmp(&b.distance_to(&query)));
+        }
+        let mut state = JoinState::new(query.clone(), AccessKind::Distance, &[1.0, 1.0]);
+        let mut tight = TightBound::new(2, scoring.weights(), TightBoundConfig::default());
+        let mut corner = CornerBound::new(2);
+        let mut depths = vec![0usize; 2];
+        let mut previous_tight = f64::INFINITY;
+        let total: usize = relations.iter().map(|r| r.len()).sum();
+        for step in 0..total {
+            let rel = step % 2;
+            if depths[rel] >= relations[rel].len() {
+                continue;
+            }
+            let tuple = relations[rel][depths[rel]].clone();
+            state.push_tuple(rel, tuple);
+            depths[rel] += 1;
+            let t = tight.update(&state, &scoring, Some(rel));
+            let c = corner.update(&state, &scoring, Some(rel));
+            // Tight never exceeds corner.
+            prop_assert!(t <= c + 1e-7, "tight {t} > corner {c}");
+            // The tight bound never increases under distance-based access.
+            prop_assert!(t <= previous_tight + 1e-7, "bound increased {previous_tight} -> {t}");
+            previous_tight = t;
+            // Both dominate the best combination still using an unseen tuple.
+            if let Some(best) =
+                best_unseen_combination_score(&scoring, &query, &relations, &depths)
+            {
+                prop_assert!(t >= best - 1e-7, "tight bound {t} below achievable {best}");
+                prop_assert!(c >= best - 1e-7, "corner bound {c} below achievable {best}");
+            }
+        }
+    }
+
+    /// Invariant 3: all four algorithms return the naive top-K.
+    #[test]
+    fn algorithms_agree_with_naive(
+        raw1 in relation_strategy(10),
+        raw2 in relation_strategy(10),
+        k in 1usize..6,
+    ) {
+        let mut problem = ProblemBuilder::new(
+            Vector::from([0.0, 0.0]),
+            EuclideanLogScore::new(1.0, 1.0, 1.0),
+        )
+        .k(k)
+        .access_kind(AccessKind::Distance)
+        .relation_from_tuples(to_tuples(0, &raw1))
+        .relation_from_tuples(to_tuples(1, &raw2))
+        .build()
+        .unwrap();
+        let expected = naive_rank_join(&mut problem);
+        for algo in Algorithm::all() {
+            let result = algo.run(&mut problem).unwrap();
+            prop_assert_eq!(result.combinations.len(), expected.combinations.len());
+            for (got, exp) in result.combinations.iter().zip(expected.combinations.iter()) {
+                prop_assert!((got.score - exp.score).abs() < 1e-9,
+                    "{}: {} vs naive {}", algo, got.score, exp.score);
+            }
+        }
+    }
+
+    /// Invariant 3 under score-based access (Appendix C machinery).
+    #[test]
+    fn algorithms_agree_with_naive_score_access(
+        raw1 in relation_strategy(8),
+        raw2 in relation_strategy(8),
+        k in 1usize..4,
+    ) {
+        let mut problem = ProblemBuilder::new(
+            Vector::from([0.0, 0.0]),
+            EuclideanLogScore::new(1.0, 1.0, 1.0),
+        )
+        .k(k)
+        .access_kind(AccessKind::Score)
+        .relation_from_tuples(to_tuples(0, &raw1))
+        .relation_from_tuples(to_tuples(1, &raw2))
+        .build()
+        .unwrap();
+        let expected = naive_rank_join(&mut problem);
+        for algo in Algorithm::all() {
+            let result = algo.run(&mut problem).unwrap();
+            for (got, exp) in result.combinations.iter().zip(expected.combinations.iter()) {
+                prop_assert!((got.score - exp.score).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// Invariant 4: TBPA's per-relation depth never exceeds TBRR's
+    /// (Theorem 3.5), and the tight bound never reads more than the corner
+    /// bound under the same pulling strategy.
+    #[test]
+    fn depth_relationships(
+        raw1 in relation_strategy(10),
+        raw2 in relation_strategy(10),
+    ) {
+        let mut problem = ProblemBuilder::new(
+            Vector::from([0.0, 0.0]),
+            EuclideanLogScore::new(1.0, 1.0, 1.0),
+        )
+        .k(3)
+        .access_kind(AccessKind::Distance)
+        .relation_from_tuples(to_tuples(0, &raw1))
+        .relation_from_tuples(to_tuples(1, &raw2))
+        .build()
+        .unwrap();
+        let tbrr = Algorithm::Tbrr.run(&mut problem).unwrap();
+        let tbpa = Algorithm::Tbpa.run(&mut problem).unwrap();
+        let cbrr = Algorithm::Cbrr.run(&mut problem).unwrap();
+        let cbpa = Algorithm::Cbpa.run(&mut problem).unwrap();
+        for i in 0..2 {
+            prop_assert!(tbpa.stats.depth(i) <= tbrr.stats.depth(i));
+        }
+        prop_assert!(tbrr.sum_depths() <= cbrr.sum_depths());
+        prop_assert!(tbpa.sum_depths() <= cbpa.sum_depths());
+    }
+
+    /// Dominance pruning is purely an optimisation: enabling it changes
+    /// neither the returned combinations nor the access pattern.
+    #[test]
+    fn dominance_is_transparent(
+        raw1 in relation_strategy(9),
+        raw2 in relation_strategy(9),
+        period in 1usize..6,
+    ) {
+        let build = |dominance: Option<usize>| {
+            ProblemBuilder::new(
+                Vector::from([0.0, 0.0]),
+                EuclideanLogScore::new(1.0, 1.0, 1.0),
+            )
+            .k(3)
+            .access_kind(AccessKind::Distance)
+            .dominance_period(dominance)
+            .relation_from_tuples(to_tuples(0, &raw1))
+            .relation_from_tuples(to_tuples(1, &raw2))
+            .build()
+            .unwrap()
+        };
+        let mut plain = build(None);
+        let mut pruned = build(Some(period));
+        let a = Algorithm::Tbpa.run(&mut plain).unwrap();
+        let b = Algorithm::Tbpa.run(&mut pruned).unwrap();
+        prop_assert_eq!(a.sum_depths(), b.sum_depths());
+        prop_assert_eq!(a.combinations.len(), b.combinations.len());
+        for (x, y) in a.combinations.iter().zip(b.combinations.iter()) {
+            prop_assert!((x.score - y.score).abs() < 1e-9);
+        }
+    }
+}

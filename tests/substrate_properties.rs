@@ -1,0 +1,126 @@
+//! Property-based tests for the substrate crates (solver and index), driven
+//! through the facade: the QP and LP solvers that power the tight bound, and
+//! the R-tree that powers distance-based access.
+
+use proptest::prelude::*;
+use proximity_rank_join::index::{RTree, ScoreIndex};
+use proximity_rank_join::solver::{halfspaces_feasible, BoundedQp, Matrix};
+use proximity_rank_join::prelude::Vector;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The active-set QP solution is feasible and no random feasible point
+    /// achieves a lower objective.
+    #[test]
+    fn qp_solution_is_feasible_and_optimal(
+        factors in prop::collection::vec(-1.5..1.5f64, 9),
+        linear in prop::collection::vec(-2.0..2.0f64, 3),
+        bounds in prop::collection::vec(-1.0..2.0f64, 3),
+        samples in prop::collection::vec(prop::collection::vec(-4.0..4.0f64, 3), 50),
+    ) {
+        // Build a symmetric positive-definite Hessian H = MᵀM + I.
+        let m = Matrix::from_rows(3, 3, factors.clone());
+        let mut h = m.transpose().mul(&m);
+        for i in 0..3 {
+            h[(i, i)] += 1.0;
+        }
+        let mut qp = BoundedQp::new(h, linear.clone());
+        for (i, &b) in bounds.iter().enumerate() {
+            qp = qp.lower_bound(i, b);
+        }
+        let sol = qp.solve().expect("PD Hessian must solve");
+        // Feasibility.
+        for (i, &b) in bounds.iter().enumerate() {
+            prop_assert!(sol.theta[i] >= b - 1e-7, "variable {i} violates its bound");
+        }
+        // No random feasible point does better.
+        for sample in &samples {
+            let clamped: Vec<f64> = sample
+                .iter()
+                .zip(bounds.iter())
+                .map(|(&x, &b)| x.max(b))
+                .collect();
+            prop_assert!(
+                qp.objective(&clamped) + 1e-7 >= sol.objective,
+                "random feasible point beats the active-set optimum"
+            );
+        }
+    }
+
+    /// Any half-space system constructed around a witness point is feasible,
+    /// and adding a constraint violated by every point of a bounded box that
+    /// contains the witness plus contradictory slabs becomes infeasible.
+    #[test]
+    fn halfspace_feasibility_with_witness(
+        witness in prop::collection::vec(-3.0..3.0f64, 3),
+        normals in prop::collection::vec(prop::collection::vec(-1.0..1.0f64, 3), 1..12),
+        slack in 0.0..2.0f64,
+    ) {
+        // a·y <= a·witness + slack is satisfied by the witness.
+        let constraints: Vec<(Vec<f64>, f64)> = normals
+            .iter()
+            .map(|a| {
+                let rhs: f64 =
+                    a.iter().zip(witness.iter()).map(|(x, y)| x * y).sum::<f64>() + slack;
+                (a.clone(), rhs)
+            })
+            .collect();
+        prop_assert!(halfspaces_feasible(&constraints));
+        // Append a contradictory pair on the first coordinate: y0 <= -1, -y0 <= -2.
+        let mut infeasible = constraints;
+        infeasible.push((vec![1.0, 0.0, 0.0], -1.0));
+        infeasible.push((vec![-1.0, 0.0, 0.0], -2.0));
+        prop_assert!(!halfspaces_feasible(&infeasible));
+    }
+
+    /// The R-tree's incremental nearest-neighbour stream equals a sorted
+    /// linear scan, for both bulk-loaded and incrementally built trees.
+    #[test]
+    fn rtree_incremental_nn_matches_linear_scan(
+        points in prop::collection::vec(prop::array::uniform3(-10.0..10.0f64), 1..80),
+        query in prop::array::uniform3(-10.0..10.0f64),
+    ) {
+        let q = Vector::from(query);
+        let items: Vec<(Vector, usize)> = points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (Vector::from(*p), i))
+            .collect();
+        let mut expected: Vec<f64> = items.iter().map(|(p, _)| p.distance(&q)).collect();
+        expected.sort_by(|a, b| a.total_cmp(b));
+
+        let bulk = RTree::bulk_load(3, items.clone());
+        let got: Vec<f64> = bulk.nearest_iter(&q).map(|nn| nn.distance).collect();
+        prop_assert_eq!(got.len(), expected.len());
+        for (g, e) in got.iter().zip(expected.iter()) {
+            prop_assert!((g - e).abs() < 1e-9);
+        }
+
+        let mut incremental = RTree::new(3);
+        for (p, d) in items {
+            incremental.insert(p, d);
+        }
+        let got: Vec<f64> = incremental.nearest_iter(&q).map(|nn| nn.distance).collect();
+        for (g, e) in got.iter().zip(expected.iter()) {
+            prop_assert!((g - e).abs() < 1e-9);
+        }
+    }
+
+    /// The score index always yields a non-increasing score sequence and
+    /// `at_least` returns exactly the items above the threshold.
+    #[test]
+    fn score_index_ordering(
+        scores in prop::collection::vec(0.0..1.0f64, 1..60),
+        threshold in 0.0..1.0f64,
+    ) {
+        let idx = ScoreIndex::build(scores.iter().copied().enumerate().map(|(i, s)| (s, i)).collect());
+        let ordered: Vec<f64> = idx.iter().map(|item| item.score).collect();
+        for w in ordered.windows(2) {
+            prop_assert!(w[0] >= w[1]);
+        }
+        let above = idx.at_least(threshold);
+        prop_assert_eq!(above.len(), scores.iter().filter(|&&s| s >= threshold).count());
+        prop_assert!(above.iter().all(|item| item.score >= threshold));
+    }
+}
