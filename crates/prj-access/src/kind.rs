@@ -37,7 +37,6 @@ mod tests {
     #[test]
     fn labels() {
         assert_eq!(AccessKind::Distance.label(), "distance-based");
-        assert_eq!(AccessKind::Score.to_string(), "score-based".replace("score", "score"));
         assert_eq!(AccessKind::Score.to_string(), "score-based");
         assert_eq!(AccessKind::default(), AccessKind::Distance);
     }

@@ -20,6 +20,12 @@
 //! * [`SimulatedService`] — a wrapper emulating a remote search service with
 //!   per-access latency accounting, standing in for the Yahoo!-Local-style
 //!   services of the paper's motivating scenario.
+//! * [`shared`] — relation sources over `Arc`-shared immutable structures
+//!   ([`SharedRTreeRelation`], [`SharedScoreRelation`]): O(1) to create per
+//!   query, so the `prj-engine` catalog can serve many concurrent queries
+//!   from one copy of each relation.
+//! * [`RelationStats`] — per-relation data statistics (cardinality,
+//!   dimensionality, score skew) consumed by the engine's planner.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,6 +33,7 @@
 pub mod buffer;
 pub mod kind;
 pub mod service;
+pub mod shared;
 pub mod source;
 pub mod stats;
 pub mod tuple;
@@ -34,6 +41,7 @@ pub mod tuple;
 pub use buffer::RelationBuffer;
 pub use kind::AccessKind;
 pub use service::{LatencyModel, ServiceMetrics, SimulatedService};
+pub use shared::{SharedRTreeRelation, SharedScoreRelation};
 pub use source::{RTreeRelation, RelationSet, SortedAccess, VecRelation};
-pub use stats::AccessStats;
+pub use stats::{AccessStats, RelationStats};
 pub use tuple::{Tuple, TupleId};

@@ -11,8 +11,8 @@
 use crate::kind::AccessKind;
 use crate::source::SortedAccess;
 use crate::tuple::Tuple;
-use parking_lot::Mutex;
 use std::sync::Arc;
+use std::sync::Mutex;
 use std::time::Duration;
 
 /// A model of per-access latency.
@@ -79,7 +79,7 @@ impl<S: SortedAccess> SimulatedService<S> {
 
     /// A snapshot of the current metrics.
     pub fn metrics(&self) -> ServiceMetrics {
-        *self.metrics.lock()
+        *self.metrics.lock().expect("service metrics lock")
     }
 
     /// Consumes the wrapper and returns the inner relation.
@@ -92,7 +92,7 @@ impl<S: SortedAccess> SortedAccess for SimulatedService<S> {
     fn next_tuple(&mut self) -> Option<Tuple> {
         let result = self.inner.next_tuple();
         if result.is_some() {
-            let mut m = self.metrics.lock();
+            let mut m = self.metrics.lock().expect("service metrics lock");
             let rank = m.accesses;
             m.accesses += 1;
             m.simulated_latency += self.latency.latency_at(rank);
@@ -131,13 +131,7 @@ mod tests {
     fn relation() -> VecRelation {
         let q = Vector::from([0.0, 0.0]);
         let tuples = (0..5)
-            .map(|i| {
-                Tuple::new(
-                    TupleId::new(0, i),
-                    Vector::from([i as f64 + 1.0, 0.0]),
-                    0.5,
-                )
-            })
+            .map(|i| Tuple::new(TupleId::new(0, i), Vector::from([i as f64 + 1.0, 0.0]), 0.5))
             .collect();
         VecRelation::distance_sorted("svc", &q, tuples)
     }
@@ -186,7 +180,7 @@ mod tests {
         let mut svc = SimulatedService::new(relation(), LatencyModel::None);
         let handle = svc.metrics_handle();
         svc.next_tuple();
-        assert_eq!(handle.lock().accesses, 1);
+        assert_eq!(handle.lock().unwrap().accesses, 1);
     }
 
     #[test]

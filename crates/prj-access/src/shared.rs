@@ -1,0 +1,259 @@
+//! Relation sources over *shared, immutable* data structures.
+//!
+//! The single-query sources in [`crate::source`] own their data: building a
+//! [`crate::RTreeRelation`] bulk-loads a fresh R-tree, which is the right
+//! trade-off for one-shot experiments but hopeless for a serving engine where
+//! thousands of queries hit the same few relations. The sources here split a
+//! relation into two parts:
+//!
+//! * the query-independent, immutable payload — the R-tree over the tuples or
+//!   the score-sorted tuple array — shared behind an [`Arc`] and built
+//!   **once** (by the `prj-engine` catalog);
+//! * the per-query cursor state — a [`prj_index::NearestCursor`] frontier or
+//!   a plain index — owned by each [`SortedAccess`] instance.
+//!
+//! Creating a source is therefore O(1) in the relation size, and any number
+//! of concurrent queries can consume the same relation without copying it or
+//! taking locks.
+
+use crate::kind::AccessKind;
+use crate::source::SortedAccess;
+use crate::tuple::{Tuple, TupleId};
+use prj_geometry::Vector;
+use prj_index::{NearestCursor, RTree};
+use std::sync::Arc;
+
+/// A distance-sorted view of an R-tree shared behind an [`Arc`].
+///
+/// Mirrors [`crate::RTreeRelation`]'s access order exactly (both run a
+/// [`NearestCursor`] over the same kind of tree), but many instances can be
+/// created cheaply from one shared tree.
+#[derive(Debug, Clone)]
+pub struct SharedRTreeRelation {
+    name: Arc<str>,
+    query: Vector,
+    tree: Arc<RTree<(TupleId, f64)>>,
+    cursor: NearestCursor,
+    max_score: f64,
+}
+
+impl SharedRTreeRelation {
+    /// Creates a per-query view of `tree`, positioned before the nearest
+    /// tuple to `query`.
+    pub fn new(
+        name: Arc<str>,
+        tree: Arc<RTree<(TupleId, f64)>>,
+        query: Vector,
+        max_score: f64,
+    ) -> Self {
+        let cursor = NearestCursor::new(&tree, &query);
+        SharedRTreeRelation {
+            name,
+            query,
+            tree,
+            cursor,
+            max_score,
+        }
+    }
+
+    /// The shared tree this view reads.
+    pub fn tree(&self) -> &Arc<RTree<(TupleId, f64)>> {
+        &self.tree
+    }
+}
+
+impl SortedAccess for SharedRTreeRelation {
+    fn next_tuple(&mut self) -> Option<Tuple> {
+        let neighbor = self.cursor.next(&self.tree, &self.query)?;
+        let &(id, score) = neighbor.data;
+        Some(Tuple::new(id, neighbor.point.clone(), score))
+    }
+
+    fn kind(&self) -> AccessKind {
+        AccessKind::Distance
+    }
+
+    fn total_len(&self) -> Option<usize> {
+        Some(self.tree.len())
+    }
+
+    fn max_score(&self) -> f64 {
+        self.max_score
+    }
+
+    fn reset(&mut self) {
+        self.cursor.reset(&self.tree, &self.query);
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// A score-sorted view of a shared, pre-sorted tuple array.
+///
+/// The array must be sorted by non-increasing score (ties broken by tuple id,
+/// as [`crate::VecRelation::score_sorted`] does); the view only advances an
+/// index over it. Score order does not depend on the query point, so one
+/// shared array serves every query.
+#[derive(Debug, Clone)]
+pub struct SharedScoreRelation {
+    name: Arc<str>,
+    sorted: Arc<Vec<Tuple>>,
+    cursor: usize,
+    max_score: f64,
+}
+
+impl SharedScoreRelation {
+    /// Creates a view over `sorted`, which must be in non-increasing score
+    /// order.
+    pub fn new(name: Arc<str>, sorted: Arc<Vec<Tuple>>, max_score: f64) -> Self {
+        debug_assert!(
+            sorted.windows(2).all(|w| w[0].score >= w[1].score),
+            "SharedScoreRelation input must be score-sorted"
+        );
+        SharedScoreRelation {
+            name,
+            sorted,
+            cursor: 0,
+            max_score,
+        }
+    }
+}
+
+impl SortedAccess for SharedScoreRelation {
+    fn next_tuple(&mut self) -> Option<Tuple> {
+        let t = self.sorted.get(self.cursor).cloned();
+        if t.is_some() {
+            self.cursor += 1;
+        }
+        t
+    }
+
+    fn kind(&self) -> AccessKind {
+        AccessKind::Score
+    }
+
+    fn total_len(&self) -> Option<usize> {
+        Some(self.sorted.len())
+    }
+
+    fn max_score(&self) -> f64 {
+        self.max_score
+    }
+
+    fn reset(&mut self) {
+        self.cursor = 0;
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::{RTreeRelation, VecRelation};
+
+    fn mk_tuples(rel: usize, n: usize) -> Vec<Tuple> {
+        (0..n)
+            .map(|i| {
+                let x = ((i * 37) % 100) as f64 / 10.0 - 5.0;
+                let y = ((i * 53) % 100) as f64 / 10.0 - 5.0;
+                Tuple::new(
+                    TupleId::new(rel, i),
+                    Vector::from([x, y]),
+                    (i % 10) as f64 / 10.0 + 0.05,
+                )
+            })
+            .collect()
+    }
+
+    fn shared_tree(tuples: &[Tuple]) -> (Arc<RTree<(TupleId, f64)>>, f64) {
+        let items: Vec<(Vector, (TupleId, f64))> = tuples
+            .iter()
+            .map(|t| (t.vector.clone(), (t.id, t.score)))
+            .collect();
+        let max_score = tuples
+            .iter()
+            .map(|t| t.score)
+            .fold(f64::NEG_INFINITY, f64::max);
+        (Arc::new(RTree::bulk_load(2, items)), max_score)
+    }
+
+    #[test]
+    fn shared_rtree_matches_owned_rtree_relation() {
+        let tuples = mk_tuples(0, 60);
+        let query = Vector::from([0.3, -0.2]);
+        let (tree, max_score) = shared_tree(&tuples);
+        let mut owned = RTreeRelation::new("owned", query.clone(), tuples);
+        let mut shared = SharedRTreeRelation::new("shared".into(), tree, query.clone(), max_score);
+        loop {
+            match (owned.next_tuple(), shared.next_tuple()) {
+                (None, None) => break,
+                (Some(a), Some(b)) => {
+                    assert!((a.distance_to(&query) - b.distance_to(&query)).abs() < 1e-12);
+                }
+                (a, b) => panic!("length mismatch: {a:?} vs {b:?}"),
+            }
+        }
+        assert_eq!(shared.kind(), AccessKind::Distance);
+        assert_eq!(shared.total_len(), Some(60));
+        assert_eq!(shared.max_score(), max_score);
+        assert_eq!(shared.name(), "shared");
+    }
+
+    #[test]
+    fn shared_rtree_views_are_independent() {
+        let tuples = mk_tuples(0, 30);
+        let (tree, max_score) = shared_tree(&tuples);
+        let q1 = Vector::from([0.0, 0.0]);
+        let q2 = Vector::from([4.0, -4.0]);
+        let mut v1 = SharedRTreeRelation::new("a".into(), Arc::clone(&tree), q1.clone(), max_score);
+        let mut v2 = SharedRTreeRelation::new("b".into(), tree, q2.clone(), max_score);
+        // Interleave accesses: each view keeps its own frontier.
+        let mut d1 = f64::NEG_INFINITY;
+        let mut d2 = f64::NEG_INFINITY;
+        for _ in 0..30 {
+            let t1 = v1.next_tuple().expect("v1 tuple");
+            let t2 = v2.next_tuple().expect("v2 tuple");
+            assert!(t1.distance_to(&q1) >= d1 - 1e-12);
+            assert!(t2.distance_to(&q2) >= d2 - 1e-12);
+            d1 = t1.distance_to(&q1);
+            d2 = t2.distance_to(&q2);
+        }
+        assert!(v1.next_tuple().is_none());
+        // Reset rewinds only the view, not the shared tree.
+        v1.reset();
+        assert!(v1.next_tuple().is_some());
+    }
+
+    #[test]
+    fn shared_score_relation_matches_vec_relation() {
+        let tuples = mk_tuples(0, 25);
+        let mut owned = VecRelation::score_sorted("owned", tuples.clone());
+        let sorted = Arc::new(owned.sorted_tuples().to_vec());
+        let max_score = owned.max_score();
+        let mut shared = SharedScoreRelation::new("shared".into(), sorted, max_score);
+        loop {
+            match (owned.next_tuple(), shared.next_tuple()) {
+                (None, None) => break,
+                (Some(a), Some(b)) => assert_eq!(a, b),
+                (a, b) => panic!("length mismatch: {a:?} vs {b:?}"),
+            }
+        }
+        shared.reset();
+        assert_eq!(shared.next_tuple().unwrap().score, max_score);
+        assert_eq!(shared.kind(), AccessKind::Score);
+        assert_eq!(shared.total_len(), Some(25));
+    }
+
+    #[test]
+    fn shared_sources_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<SharedRTreeRelation>();
+        assert_send::<SharedScoreRelation>();
+        assert_send::<Box<dyn SortedAccess>>();
+    }
+}

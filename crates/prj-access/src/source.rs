@@ -3,9 +3,7 @@
 use crate::kind::AccessKind;
 use crate::tuple::{Tuple, TupleId};
 use prj_geometry::Vector;
-use prj_index::{NodeId, RTree};
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use prj_index::{NearestCursor, RTree};
 
 /// Pull-based sorted access to one relation (Definition 2.1).
 ///
@@ -13,7 +11,10 @@ use std::collections::BinaryHeap;
 /// [`AccessKind`]: non-decreasing distance from the query for
 /// [`AccessKind::Distance`], non-increasing score for [`AccessKind::Score`].
 /// Once `next_tuple` returns `None` the relation is exhausted and stays so.
-pub trait SortedAccess {
+///
+/// The trait requires `Send` so that whole problem instances — relations
+/// included — can be moved into worker threads by the `prj-engine` executor.
+pub trait SortedAccess: Send {
     /// Returns the next tuple under sorted access, or `None` when exhausted.
     fn next_tuple(&mut self) -> Option<Tuple>;
 
@@ -75,13 +76,20 @@ impl VecRelation {
                 .total_cmp(&distance_to_query(b))
                 .then(a.id.cmp(&b.id))
         });
-        let max_score = sorted.iter().map(|t| t.score).fold(f64::NEG_INFINITY, f64::max);
+        let max_score = sorted
+            .iter()
+            .map(|t| t.score)
+            .fold(f64::NEG_INFINITY, f64::max);
         VecRelation {
             name: name.into(),
             kind: AccessKind::Distance,
             sorted,
             cursor: 0,
-            max_score: if max_score.is_finite() { max_score } else { 1.0 },
+            max_score: if max_score.is_finite() {
+                max_score
+            } else {
+                1.0
+            },
         }
     }
 
@@ -141,48 +149,21 @@ impl SortedAccess for VecRelation {
     }
 }
 
-/// Min-heap item for the incremental nearest-neighbour cursor.
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct Frontier {
-    dist: f64,
-    is_entry: bool,
-    node: NodeId,
-    entry: usize,
-}
-
-impl Eq for Frontier {}
-
-impl Ord for Frontier {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed for use in a max-heap as a min-heap; prefer entries over
-        // nodes at equal distance so results are emitted as early as possible.
-        other
-            .dist
-            .total_cmp(&self.dist)
-            .then_with(|| self.is_entry.cmp(&other.is_entry))
-    }
-}
-
-impl PartialOrd for Frontier {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
 /// A distance-sorted relation backed by the `prj-index` R-tree.
 ///
-/// The relation owns the tree and runs its own best-first incremental
-/// nearest-neighbour cursor over the tree's arena, so it can be stored,
-/// moved and reset freely — this mimics a stateful session with a
-/// location-aware search service.
+/// The relation owns the tree and runs a detached best-first incremental
+/// nearest-neighbour cursor ([`NearestCursor`]) over the tree's arena, so it
+/// can be stored, moved and reset freely — this mimics a stateful session
+/// with a location-aware search service. (For relations *shared* by many
+/// concurrent queries, see [`crate::shared::SharedRTreeRelation`], which runs
+/// the same cursor over an `Arc`'d tree.)
 #[derive(Debug, Clone)]
 pub struct RTreeRelation {
     name: String,
     query: Vector,
     tree: RTree<(TupleId, f64)>,
-    heap: BinaryHeap<Frontier>,
+    cursor: NearestCursor,
     max_score: f64,
-    started: bool,
 }
 
 impl RTreeRelation {
@@ -198,16 +179,18 @@ impl RTreeRelation {
             .map(|t| (t.vector, (t.id, t.score)))
             .collect();
         let tree = RTree::bulk_load(dim, items);
-        let mut rel = RTreeRelation {
+        let cursor = NearestCursor::new(&tree, &query);
+        RTreeRelation {
             name: name.into(),
             query,
             tree,
-            heap: BinaryHeap::new(),
-            max_score: if max_score.is_finite() { max_score } else { 1.0 },
-            started: false,
-        };
-        rel.reset();
-        rel
+            cursor,
+            max_score: if max_score.is_finite() {
+                max_score
+            } else {
+                1.0
+            },
+        }
     }
 
     /// Overrides the maximum-score domain knowledge (`σ_max`).
@@ -224,33 +207,9 @@ impl RTreeRelation {
 
 impl SortedAccess for RTreeRelation {
     fn next_tuple(&mut self) -> Option<Tuple> {
-        while let Some(item) = self.heap.pop() {
-            if item.is_entry {
-                let (point, &(id, score)) = self.tree.node_entry(item.node, item.entry);
-                return Some(Tuple::new(id, point.clone(), score));
-            }
-            if self.tree.is_leaf(item.node) {
-                for idx in 0..self.tree.node_entry_count(item.node) {
-                    let (point, _) = self.tree.node_entry(item.node, idx);
-                    self.heap.push(Frontier {
-                        dist: point.distance(&self.query),
-                        is_entry: true,
-                        node: item.node,
-                        entry: idx,
-                    });
-                }
-            } else {
-                for &child in self.tree.node_children(item.node) {
-                    self.heap.push(Frontier {
-                        dist: self.tree.node_bbox(child).min_distance(&self.query),
-                        is_entry: false,
-                        node: child,
-                        entry: 0,
-                    });
-                }
-            }
-        }
-        None
+        let neighbor = self.cursor.next(&self.tree, &self.query)?;
+        let &(id, score) = neighbor.data;
+        Some(Tuple::new(id, neighbor.point.clone(), score))
     }
 
     fn kind(&self) -> AccessKind {
@@ -266,16 +225,7 @@ impl SortedAccess for RTreeRelation {
     }
 
     fn reset(&mut self) {
-        self.heap.clear();
-        if let Some(root) = self.tree.root() {
-            self.heap.push(Frontier {
-                dist: self.tree.node_bbox(root).min_distance(&self.query),
-                is_entry: false,
-                node: root,
-                entry: 0,
-            });
-        }
-        self.started = true;
+        self.cursor.reset(&self.tree, &self.query);
     }
 
     fn name(&self) -> &str {
@@ -296,7 +246,10 @@ impl RelationSet {
     /// # Panics
     /// Panics if `relations` is empty or the access kinds disagree.
     pub fn new(relations: Vec<Box<dyn SortedAccess>>) -> Self {
-        assert!(!relations.is_empty(), "a rank join needs at least one relation");
+        assert!(
+            !relations.is_empty(),
+            "a rank join needs at least one relation"
+        );
         let kind = relations[0].kind();
         assert!(
             relations.iter().all(|r| r.kind() == kind),
@@ -383,7 +336,9 @@ mod tests {
     fn vec_relation_score_order() {
         let tuples = mk_tuples(0, &[(0.0, 0.0, 0.5), (1.0, 0.0, 0.9), (2.0, 0.0, 0.1)]);
         let mut rel = VecRelation::score_sorted("r", tuples);
-        let s: Vec<f64> = std::iter::from_fn(|| rel.next_tuple()).map(|t| t.score).collect();
+        let s: Vec<f64> = std::iter::from_fn(|| rel.next_tuple())
+            .map(|t| t.score)
+            .collect();
         assert_eq!(s, vec![0.9, 0.5, 0.1]);
         assert_eq!(rel.kind(), AccessKind::Score);
     }

@@ -1,4 +1,7 @@
-//! Access accounting: per-relation depths and the `sumDepths` metric.
+//! Access accounting: per-relation depths and the `sumDepths` metric, plus
+//! per-relation data statistics used by the `prj-engine` planner.
+
+use crate::tuple::Tuple;
 
 /// Records how deep an algorithm has read into each relation.
 ///
@@ -13,9 +16,7 @@ pub struct AccessStats {
 impl AccessStats {
     /// Creates statistics for `n` relations, all at depth 0.
     pub fn new(n: usize) -> Self {
-        AccessStats {
-            depths: vec![0; n],
-        }
+        AccessStats { depths: vec![0; n] }
     }
 
     /// Number of relations tracked.
@@ -50,9 +51,96 @@ impl AccessStats {
     }
 }
 
+/// Summary statistics of one relation's data, computed once at registration
+/// time and consumed by the `prj-engine` planner to choose an algorithm.
+///
+/// The quantities mirror the operating parameters of the paper's evaluation
+/// (Table 2): cardinality stands in for density `ρ`, `dimensions` for `d`,
+/// and the score-distribution moments capture the skew that makes
+/// potential-adaptive pulling pay off.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RelationStats {
+    /// Number of tuples.
+    pub cardinality: usize,
+    /// Dimensionality of the feature vectors (0 for an empty relation).
+    pub dimensions: usize,
+    /// Smallest score present.
+    pub min_score: f64,
+    /// Largest score present (the `σ_max` the bounds use by default).
+    pub max_score: f64,
+    /// Mean score.
+    pub mean_score: f64,
+    /// Standard deviation of the scores.
+    pub score_stddev: f64,
+    /// Fisher moment skewness of the scores (0 for symmetric distributions,
+    /// positive when a few high scores dominate a low-score mass).
+    pub score_skewness: f64,
+}
+
+impl RelationStats {
+    /// Computes the statistics of `tuples` in one pass over the scores.
+    pub fn from_tuples(tuples: &[Tuple]) -> Self {
+        let cardinality = tuples.len();
+        let dimensions = tuples.first().map(|t| t.dim()).unwrap_or(0);
+        if cardinality == 0 {
+            return RelationStats {
+                cardinality,
+                dimensions,
+                min_score: 0.0,
+                max_score: 0.0,
+                mean_score: 0.0,
+                score_stddev: 0.0,
+                score_skewness: 0.0,
+            };
+        }
+        let n = cardinality as f64;
+        let mut min_score = f64::INFINITY;
+        let mut max_score = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        for t in tuples {
+            min_score = min_score.min(t.score);
+            max_score = max_score.max(t.score);
+            sum += t.score;
+        }
+        let mean_score = sum / n;
+        let mut m2 = 0.0;
+        let mut m3 = 0.0;
+        for t in tuples {
+            let d = t.score - mean_score;
+            m2 += d * d;
+            m3 += d * d * d;
+        }
+        let variance = m2 / n;
+        let score_stddev = variance.sqrt();
+        let score_skewness = if score_stddev > 1e-12 {
+            (m3 / n) / (score_stddev * score_stddev * score_stddev)
+        } else {
+            0.0
+        };
+        RelationStats {
+            cardinality,
+            dimensions,
+            min_score,
+            max_score,
+            mean_score,
+            score_stddev,
+            score_skewness,
+        }
+    }
+
+    /// `true` when the score distribution is markedly asymmetric — the regime
+    /// where potential-adaptive pulling out-reads round-robin in the paper's
+    /// skew experiments (Figure 3(g)/(h)).
+    pub fn is_score_skewed(&self) -> bool {
+        self.score_skewness.abs() > 0.5
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::tuple::TupleId;
+    use prj_geometry::Vector;
 
     #[test]
     fn accounting() {
@@ -75,5 +163,52 @@ mod tests {
         let mut s = AccessStats::new(1);
         assert_eq!(s.record_access(0), 1);
         assert_eq!(s.record_access(0), 2);
+    }
+
+    fn tuples_with_scores(scores: &[f64]) -> Vec<Tuple> {
+        scores
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| Tuple::new(TupleId::new(0, i), Vector::from([i as f64, 0.0]), s))
+            .collect()
+    }
+
+    #[test]
+    fn relation_stats_moments() {
+        let stats = RelationStats::from_tuples(&tuples_with_scores(&[0.2, 0.4, 0.6, 0.8]));
+        assert_eq!(stats.cardinality, 4);
+        assert_eq!(stats.dimensions, 2);
+        assert_eq!(stats.min_score, 0.2);
+        assert_eq!(stats.max_score, 0.8);
+        assert!((stats.mean_score - 0.5).abs() < 1e-12);
+        assert!(
+            stats.score_skewness.abs() < 1e-9,
+            "symmetric data has no skew"
+        );
+        assert!(!stats.is_score_skewed());
+    }
+
+    #[test]
+    fn relation_stats_detect_skew() {
+        // A mass of low scores with a few high outliers: positive skew.
+        let mut scores = vec![0.1; 50];
+        scores.extend([0.9, 0.95, 1.0]);
+        let stats = RelationStats::from_tuples(&tuples_with_scores(&scores));
+        assert!(
+            stats.score_skewness > 0.5,
+            "skewness was {}",
+            stats.score_skewness
+        );
+        assert!(stats.is_score_skewed());
+    }
+
+    #[test]
+    fn relation_stats_empty_and_constant() {
+        let empty = RelationStats::from_tuples(&[]);
+        assert_eq!(empty.cardinality, 0);
+        assert_eq!(empty.dimensions, 0);
+        let constant = RelationStats::from_tuples(&tuples_with_scores(&[0.5, 0.5, 0.5]));
+        assert_eq!(constant.score_stddev, 0.0);
+        assert_eq!(constant.score_skewness, 0.0);
     }
 }

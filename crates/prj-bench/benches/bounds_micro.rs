@@ -4,7 +4,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use prj_core::bounds::BoundingScheme;
-use prj_core::{AccessKind, CornerBound, EuclideanLogScore, JoinState, TightBound, TightBoundConfig};
+use prj_core::{
+    AccessKind, CornerBound, EuclideanLogScore, JoinState, TightBound, TightBoundConfig,
+};
 use prj_data::{generate_synthetic, SyntheticConfig};
 use prj_geometry::Vector;
 use std::time::Duration;
@@ -41,14 +43,10 @@ fn bench(c: &mut Criterion) {
     group.measurement_time(Duration::from_secs(1));
     for depth in [5usize, 15, 30] {
         let (state, scoring) = prepared_state(2, depth);
-        group.bench_with_input(
-            BenchmarkId::new("corner_update", depth),
-            &depth,
-            |b, _| {
-                let mut cb = CornerBound::new(2);
-                b.iter(|| cb.update(&state, &scoring, Some(0)));
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("corner_update", depth), &depth, |b, _| {
+            let mut cb = CornerBound::new(2);
+            b.iter(|| cb.update(&state, &scoring, Some(0)));
+        });
         group.bench_with_input(BenchmarkId::new("tight_update", depth), &depth, |b, _| {
             b.iter(|| {
                 // A fresh tight bound evaluated once on the full state measures

@@ -20,13 +20,9 @@ fn bench(c: &mut Criterion) {
                 repetitions: 1,
                 ..Default::default()
             };
-            group.bench_with_input(
-                BenchmarkId::new(algo.id(), city.code),
-                &case,
-                |b, case| {
-                    b.iter(|| run_once(algo, &city.query, city.relations.clone(), case));
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(algo.id(), city.code), &case, |b, case| {
+                b.iter(|| run_once(algo, &city.query, city.relations.clone(), case));
+            });
         }
     }
     group.finish();

@@ -32,13 +32,9 @@ fn bench(c: &mut Criterion) {
                 dominance_period: period,
                 ..Default::default()
             };
-            group.bench_with_input(
-                BenchmarkId::new("TBPA", label),
-                &case,
-                |b, case| {
-                    b.iter(|| run_once(Algorithm::Tbpa, &query, relations.clone(), case));
-                },
-            );
+            group.bench_with_input(BenchmarkId::new("TBPA", label), &case, |b, case| {
+                b.iter(|| run_once(Algorithm::Tbpa, &query, relations.clone(), case));
+            });
         }
     }
     group.finish();

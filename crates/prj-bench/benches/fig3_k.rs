@@ -27,13 +27,9 @@ fn bench(c: &mut Criterion) {
                 repetitions: 1,
                 ..Default::default()
             };
-            group.bench_with_input(
-                BenchmarkId::new(algo.id(), k),
-                &case,
-                |b, case| {
-                    b.iter(|| run_once(algo, &query, relations.clone(), case));
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(algo.id(), k), &case, |b, case| {
+                b.iter(|| run_once(algo, &query, relations.clone(), case));
+            });
         }
     }
     group.finish();

@@ -107,7 +107,8 @@ fn main() {
     }
     if let Some(path) = options.output {
         let mut file = std::fs::File::create(&path).expect("create output file");
-        file.write_all(document.as_bytes()).expect("write output file");
+        file.write_all(document.as_bytes())
+            .expect("write output file");
         eprintln!("wrote {path}");
     }
 }

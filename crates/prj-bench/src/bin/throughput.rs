@@ -1,0 +1,72 @@
+//! Serving-engine throughput benchmark.
+//!
+//! ```text
+//! throughput [--quick] [--queries <n>] [--k <n>] [--threads <a,b,c>]
+//! ```
+//!
+//! Sweeps executor thread counts over one shared catalog of synthetic
+//! relations and reports cold (operator-executing) and warm (cache-hit)
+//! throughput. See `prj_bench::throughput` for the methodology.
+
+use prj_bench::throughput::{render_throughput, run_throughput, ThroughputConfig};
+
+fn parse_args() -> Result<ThroughputConfig, String> {
+    let mut config = ThroughputConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" | "-q" => {
+                config.queries = 64;
+                config.data.density = 30.0;
+            }
+            "--queries" => {
+                let v = args.next().ok_or("--queries requires a value")?;
+                config.queries = v.parse().map_err(|_| format!("bad --queries: {v}"))?;
+            }
+            "--k" => {
+                let v = args.next().ok_or("--k requires a value")?;
+                config.k = v.parse().map_err(|_| format!("bad --k: {v}"))?;
+            }
+            "--threads" => {
+                let v = args.next().ok_or("--threads requires a value")?;
+                config.thread_counts = v
+                    .split(',')
+                    .map(|t| {
+                        t.trim()
+                            .parse()
+                            .map_err(|_| format!("bad thread count: {t}"))
+                    })
+                    .collect::<Result<Vec<usize>, String>>()?;
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: throughput [--quick] [--queries <n>] [--k <n>] [--threads <a,b,c>]"
+                        .to_string(),
+                );
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(config)
+}
+
+fn main() {
+    let config = match parse_args() {
+        Ok(config) => config,
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "prj-engine throughput: {} queries/wave, k={}, {} relations at density {}\n",
+        config.queries, config.k, config.data.n_relations, config.data.density
+    );
+    let outcomes = run_throughput(&config);
+    print!("{}", render_throughput(&outcomes));
+    println!(
+        "\n(cold = every query executes the ProxRJ operator; warm = identical wave served\n\
+         from the LRU result cache; machine has {} CPU(s))",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+}

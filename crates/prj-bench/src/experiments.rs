@@ -9,12 +9,12 @@
 
 use crate::harness::{run_city_case, run_synthetic_case, CaseConfig};
 use crate::report::render_table;
-use prj_core::{
-    Algorithm, AccessKind, EuclideanLogScore, ProblemBuilder, ScoringFunction, TightBound,
-    TightBoundConfig, Tuple, TupleId,
-};
 use prj_core::bounds::BoundingScheme;
 use prj_core::JoinState;
+use prj_core::{
+    AccessKind, Algorithm, EuclideanLogScore, ProblemBuilder, ScoringFunction, TightBound,
+    TightBoundConfig, Tuple, TupleId,
+};
 use prj_data::{all_cities, ParameterGrid, SyntheticConfig, Table2};
 use prj_geometry::Vector;
 
@@ -182,8 +182,7 @@ pub fn table1_and_table3() -> ExperimentTable {
                 let va = Vector::from(a.0);
                 let vb = Vector::from(b.0);
                 let vc = Vector::from(c.0);
-                let score =
-                    scoring.score_members(&[(&va, a.1), (&vb, b.1), (&vc, c.1)], &query);
+                let score = scoring.score_members(&[(&va, a.1), (&vb, b.1), (&vc, c.1)], &query);
                 combos.push((
                     format!("τ1({}) × τ2({}) × τ3({})", i1 + 1, i2 + 1, i3 + 1),
                     score,
@@ -378,7 +377,11 @@ pub fn figure3_vary_relations(quick: bool) -> ExperimentTable {
                 n_relations: n,
                 ..Default::default()
             },
-            repetitions: if n >= 4 { repetitions(quick).min(3) } else { repetitions(quick) },
+            repetitions: if n >= 4 {
+                repetitions(quick).min(3)
+            } else {
+                repetitions(quick)
+            },
             max_accesses: cap,
             ..Default::default()
         };
@@ -534,13 +537,12 @@ pub fn score_access_comparison(quick: bool) -> ExperimentTable {
                 let data_cfg = SyntheticConfig::default().with_seed(4242 + rep * 7);
                 let relations = prj_data::generate_synthetic(&data_cfg);
                 let query = prj_data::synthetic::synthetic_query(data_cfg.dimensions);
-                let mut problem =
-                    ProblemBuilder::new(query, EuclideanLogScore::new(1.0, 1.0, 1.0))
-                        .k(10)
-                        .access_kind(kind)
-                        .relations_from_tuples(relations)
-                        .build()
-                        .expect("valid problem");
+                let mut problem = ProblemBuilder::new(query, EuclideanLogScore::new(1.0, 1.0, 1.0))
+                    .k(10)
+                    .access_kind(kind)
+                    .relations_from_tuples(relations)
+                    .build()
+                    .expect("valid problem");
                 let result = algo.run(&mut problem).expect("reducible scoring");
                 depth_sum += result.sum_depths() as f64;
                 cpu_sum += result.metrics.total_time.as_secs_f64();

@@ -83,7 +83,11 @@ impl AggregatedOutcome {
             sum_depths: runs.iter().map(|r| r.sum_depths as f64).sum::<f64>() / n,
             total_cpu_s: runs.iter().map(|r| r.total_cpu.as_secs_f64()).sum::<f64>() / n,
             bound_cpu_s: runs.iter().map(|r| r.bound_cpu.as_secs_f64()).sum::<f64>() / n,
-            dominance_cpu_s: runs.iter().map(|r| r.dominance_cpu.as_secs_f64()).sum::<f64>() / n,
+            dominance_cpu_s: runs
+                .iter()
+                .map(|r| r.dominance_cpu.as_secs_f64())
+                .sum::<f64>()
+                / n,
             combinations: runs.iter().map(|r| r.combinations as f64).sum::<f64>() / n,
             capped_runs: runs.iter().filter(|r| r.capped).count(),
             repetitions: runs.len(),
@@ -111,7 +115,9 @@ pub fn run_once(
         })
         .build()
         .expect("valid experiment problem");
-    let result = algorithm.run(&mut problem).expect("Euclidean scoring is reducible");
+    let result = algorithm
+        .run(&mut problem)
+        .expect("Euclidean scoring is reducible");
     RunAggregate {
         sum_depths: result.sum_depths(),
         total_cpu: result.metrics.total_time,
@@ -126,20 +132,20 @@ pub fn run_once(
 /// data sets (one distinct seed per repetition, shared across algorithms so
 /// the comparison is paired) and averages the metrics.
 ///
-/// Repetitions are executed in parallel worker threads (crossbeam scoped
-/// threads); each individual run is single-threaded so its CPU timing stays
+/// Repetitions are executed in parallel worker threads (std scoped threads);
+/// each individual run is single-threaded so its CPU timing stays
 /// meaningful.
 pub fn run_synthetic_case(case: &CaseConfig, algorithms: &[Algorithm]) -> Vec<AggregatedOutcome> {
     let reps: Vec<u64> = (0..case.repetitions as u64).collect();
     let mut per_algo: Vec<Vec<RunAggregate>> = vec![Vec::new(); algorithms.len()];
 
-    let results: Vec<Vec<RunAggregate>> = crossbeam::thread::scope(|scope| {
+    let results: Vec<Vec<RunAggregate>> = std::thread::scope(|scope| {
         let handles: Vec<_> = reps
             .iter()
             .map(|&rep| {
                 let case = case.clone();
                 let algorithms = algorithms.to_vec();
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let data_cfg = case.data.with_seed(case.data.seed.wrapping_add(rep * 9973));
                     let relations = prj_data::generate_synthetic(&data_cfg);
                     let query = prj_data::synthetic::synthetic_query(data_cfg.dimensions);
@@ -154,8 +160,7 @@ pub fn run_synthetic_case(case: &CaseConfig, algorithms: &[Algorithm]) -> Vec<Ag
             .into_iter()
             .map(|h| h.join().expect("experiment worker panicked"))
             .collect()
-    })
-    .expect("crossbeam scope");
+    });
 
     for rep_result in results {
         for (ai, run) in rep_result.into_iter().enumerate() {

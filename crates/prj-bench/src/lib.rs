@@ -12,6 +12,9 @@
 //!   (Appendix C).
 //! * [`report`] — plain-text / Markdown rendering of the result tables, used
 //!   both by the `experiments` binary and by `EXPERIMENTS.md`.
+//! * [`throughput`] — a serving-system experiment beyond the paper's figures:
+//!   queries/second through the `prj-engine` subsystem as the worker-thread
+//!   count grows, plus cache-hit vs cold-query cost (the `throughput` bin).
 //!
 //! The Criterion benches under `benches/` measure wall-clock time of the same
 //! workloads at reduced sizes; the `experiments` binary is the tool that
@@ -27,7 +30,9 @@
 pub mod experiments;
 pub mod harness;
 pub mod report;
+pub mod throughput;
 
 pub use experiments::{ExperimentTable, Figure};
 pub use harness::{AggregatedOutcome, CaseConfig, RunAggregate};
 pub use report::render_table;
+pub use throughput::{run_throughput, ThroughputConfig, ThroughputOutcome};

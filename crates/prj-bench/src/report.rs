@@ -62,7 +62,7 @@ mod tests {
         assert!(text.contains("### F3a — sumDepths vs K"));
         assert!(text.contains("averaged over 10 seeds"));
         assert!(text.contains("| 42.0 |") || text.contains("|  42.0 |"));
-        assert_eq!(text.matches('\n').count() >= 6, true);
+        assert!(text.matches('\n').count() >= 6);
         // header separator present
         assert!(text.contains("|---") || text.contains("|-"));
     }

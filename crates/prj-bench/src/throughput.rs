@@ -1,0 +1,214 @@
+//! Serving-engine throughput experiment: queries/second versus worker
+//! threads, and cache-hit versus cold latency.
+//!
+//! This goes beyond the paper's single-query evaluation (Figure 3): it
+//! measures the `prj-engine` subsystem under multi-query load. For each
+//! thread count the same batch of distinct top-k queries over one shared
+//! synthetic catalog is pushed through the executor and timed; a second,
+//! identical wave measures the LRU result cache. Run it with:
+//!
+//! ```text
+//! cargo run --release -p prj-bench --bin throughput
+//! ```
+
+use prj_data::{generate_synthetic, SyntheticConfig};
+use prj_engine::{Engine, EngineBuilder, QuerySpec, RelationId};
+use prj_geometry::Vector;
+use std::time::{Duration, Instant};
+
+/// Configuration of the throughput experiment.
+#[derive(Debug, Clone)]
+pub struct ThroughputConfig {
+    /// Worker-thread counts to sweep (1 = serial baseline).
+    pub thread_counts: Vec<usize>,
+    /// Number of distinct queries per wave.
+    pub queries: usize,
+    /// Requested results per query.
+    pub k: usize,
+    /// Synthetic data parameters for the registered relations.
+    pub data: SyntheticConfig,
+}
+
+impl Default for ThroughputConfig {
+    fn default() -> Self {
+        ThroughputConfig {
+            thread_counts: vec![1, 2, 4, 8],
+            queries: 256,
+            k: 10,
+            data: SyntheticConfig {
+                n_relations: 3,
+                density: 60.0,
+                ..Default::default()
+            },
+        }
+    }
+}
+
+impl ThroughputConfig {
+    /// A small configuration for tests.
+    pub fn smoke() -> Self {
+        ThroughputConfig {
+            thread_counts: vec![1, 2],
+            queries: 24,
+            k: 3,
+            data: SyntheticConfig {
+                n_relations: 2,
+                density: 20.0,
+                ..Default::default()
+            },
+        }
+    }
+}
+
+/// Measurements for one thread count.
+#[derive(Debug, Clone)]
+pub struct ThroughputOutcome {
+    /// Number of worker threads.
+    pub threads: usize,
+    /// Wall-clock time of the cold wave.
+    pub cold_wall: Duration,
+    /// Cold-wave throughput (queries/second).
+    pub cold_qps: f64,
+    /// Wall-clock time of the warm (all-cache-hit) wave.
+    pub warm_wall: Duration,
+    /// Warm-wave throughput (queries/second).
+    pub warm_qps: f64,
+    /// Mean engine-observed latency of cold queries.
+    pub cold_mean_latency: Duration,
+    /// Cache hit rate observed after both waves (should be ~0.5).
+    pub cache_hit_rate: f64,
+}
+
+impl ThroughputOutcome {
+    /// Warm-over-cold throughput ratio (how much cheaper a cache hit is).
+    pub fn cache_speedup(&self) -> f64 {
+        if self.cold_qps > 0.0 {
+            self.warm_qps / self.cold_qps
+        } else {
+            0.0
+        }
+    }
+}
+
+fn query_grid(n: usize, k: usize, ids: &[RelationId]) -> Vec<QuerySpec> {
+    (0..n)
+        .map(|i| {
+            // Distinct points on a spiral inside the unit cube around the
+            // origin, so every spec has its own cache key.
+            let angle = i as f64 * 0.37;
+            let radius = 0.05 + 0.4 * (i as f64 / n as f64);
+            QuerySpec::top_k(
+                ids.to_vec(),
+                Vector::from([radius * angle.cos(), radius * angle.sin()]),
+                k,
+            )
+        })
+        .collect()
+}
+
+/// Runs one wave of queries, waiting for all results; returns the wall time.
+fn run_wave(engine: &Engine, specs: &[QuerySpec], expect_cached: bool) -> Duration {
+    let started = Instant::now();
+    let tickets: Vec<_> = specs.iter().cloned().map(|s| engine.submit(s)).collect();
+    for ticket in tickets {
+        let result = ticket.wait().expect("throughput query");
+        assert_eq!(result.from_cache, expect_cached, "unexpected cache state");
+    }
+    started.elapsed()
+}
+
+/// Runs the experiment: for each thread count, one cold and one warm wave
+/// over a freshly built engine sharing the same generated relations.
+pub fn run_throughput(config: &ThroughputConfig) -> Vec<ThroughputOutcome> {
+    let relations = generate_synthetic(&config.data);
+    config
+        .thread_counts
+        .iter()
+        .map(|&threads| {
+            let engine: Engine = EngineBuilder::default()
+                .threads(threads)
+                .cache_capacity(config.queries * 2)
+                .build();
+            let ids: Vec<RelationId> = relations
+                .iter()
+                .enumerate()
+                .map(|(i, tuples)| engine.register(format!("R{}", i + 1), tuples.clone()))
+                .collect();
+            let specs = query_grid(config.queries, config.k, &ids);
+            let cold_wall = run_wave(&engine, &specs, false);
+            let warm_wall = run_wave(&engine, &specs, true);
+            let stats = engine.stats();
+            ThroughputOutcome {
+                threads,
+                cold_wall,
+                cold_qps: config.queries as f64 / cold_wall.as_secs_f64(),
+                warm_wall,
+                warm_qps: config.queries as f64 / warm_wall.as_secs_f64(),
+                cold_mean_latency: if stats.executed > 0 {
+                    // All cold queries executed; engine means include warm
+                    // hits, so derive the cold mean from the wave wall time.
+                    cold_wall / stats.executed as u32
+                } else {
+                    Duration::ZERO
+                },
+                cache_hit_rate: stats.cache_hit_rate(),
+            }
+        })
+        .collect()
+}
+
+/// Renders the outcomes as an aligned text table.
+pub fn render_throughput(outcomes: &[ThroughputOutcome]) -> String {
+    let mut out = String::from(
+        "threads |   cold wall |   cold q/s |   warm wall |    warm q/s | cache speedup\n\
+         --------+-------------+------------+-------------+-------------+--------------\n",
+    );
+    let serial_qps = outcomes.iter().find(|o| o.threads == 1).map(|o| o.cold_qps);
+    for o in outcomes {
+        let speedup_note = match serial_qps {
+            Some(serial) if o.threads > 1 && serial > 0.0 => {
+                format!("  ({:.2}x vs serial)", o.cold_qps / serial)
+            }
+            _ => String::new(),
+        };
+        out.push_str(&format!(
+            "{:>7} | {:>11.2?} | {:>10.0} | {:>11.2?} | {:>11.0} | {:>12.1}x{}\n",
+            o.threads,
+            o.cold_wall,
+            o.cold_qps,
+            o.warm_wall,
+            o.warm_qps,
+            o.cache_speedup(),
+            speedup_note,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_produces_consistent_outcomes() {
+        let outcomes = run_throughput(&ThroughputConfig::smoke());
+        assert_eq!(outcomes.len(), 2);
+        for o in &outcomes {
+            assert!(o.cold_qps > 0.0);
+            assert!(o.warm_qps > 0.0);
+            // Both waves ran: half the traffic was served from the cache.
+            assert!((o.cache_hit_rate - 0.5).abs() < 1e-9);
+            // Cache hits skip the operator entirely, so the warm wave must
+            // beat the cold wave.
+            assert!(
+                o.warm_qps > o.cold_qps,
+                "warm {} q/s should beat cold {} q/s",
+                o.warm_qps,
+                o.cold_qps
+            );
+        }
+        let table = render_throughput(&outcomes);
+        assert!(table.contains("threads"));
+        assert!(table.lines().count() >= 4);
+    }
+}

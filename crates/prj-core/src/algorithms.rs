@@ -3,15 +3,14 @@
 
 use crate::bounds::{BoundingScheme, CornerBound, TightBound, TightBoundConfig};
 use crate::error::PrjError;
-use crate::operator::{execute, RankJoinResult};
+use crate::operator::{execute, RankJoinResult, StreamingRun};
 use crate::problem::Problem;
 use crate::pull::{PotentialAdaptive, PullStrategy, RoundRobin};
 use crate::scoring::ScoringFunction;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Which bounding scheme an algorithm uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BoundingSchemeKind {
     /// The HRJN-style corner bound (Eq. 3 / 36).
     Corner,
@@ -20,7 +19,7 @@ pub enum BoundingSchemeKind {
 }
 
 /// Which pulling strategy an algorithm uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PullStrategyKind {
     /// Round-robin over the relations.
     RoundRobin,
@@ -29,7 +28,7 @@ pub enum PullStrategyKind {
 }
 
 /// One of the four algorithm instantiations compared in the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Algorithm {
     /// Corner bound + round-robin pulling; equivalent to HRJN.
     Cbrr,
@@ -45,7 +44,12 @@ pub enum Algorithm {
 impl Algorithm {
     /// All four algorithms, in the order used throughout the paper's figures.
     pub fn all() -> [Algorithm; 4] {
-        [Algorithm::Cbrr, Algorithm::Cbpa, Algorithm::Tbrr, Algorithm::Tbpa]
+        [
+            Algorithm::Cbrr,
+            Algorithm::Cbpa,
+            Algorithm::Tbrr,
+            Algorithm::Tbpa,
+        ]
     }
 
     /// The bounding scheme this algorithm uses.
@@ -84,24 +88,19 @@ impl Algorithm {
         }
     }
 
-    /// Runs the algorithm on `problem`.
-    ///
-    /// The problem's relations are reset to the beginning of their sorted
-    /// access first, so the same problem can be solved repeatedly by
-    /// different algorithms.
+    /// Builds this algorithm's bounding scheme for `problem`.
     ///
     /// # Errors
     /// Returns [`PrjError::ScoringNotReducible`] when a tight-bound algorithm
     /// is requested but the scoring function exposes no Euclidean-reduction
     /// weights.
-    pub fn run<S: ScoringFunction>(
+    pub fn make_bound<S: ScoringFunction>(
         &self,
-        problem: &mut Problem<S>,
-    ) -> Result<RankJoinResult, PrjError> {
-        problem.reset();
+        problem: &Problem<S>,
+    ) -> Result<Box<dyn BoundingScheme<S>>, PrjError> {
         let n = problem.num_relations();
         let config = problem.config();
-        let mut bound: Box<dyn BoundingScheme<S>> = match self.bounding() {
+        Ok(match self.bounding() {
             BoundingSchemeKind::Corner => Box::new(CornerBound::new(n)),
             BoundingSchemeKind::Tight => {
                 let weights = problem
@@ -117,12 +116,54 @@ impl Algorithm {
                     },
                 ))
             }
-        };
-        let mut pull: Box<dyn PullStrategy> = match self.pulling() {
+        })
+    }
+
+    /// Builds this algorithm's pulling strategy.
+    pub fn make_pull(&self) -> Box<dyn PullStrategy> {
+        match self.pulling() {
             PullStrategyKind::RoundRobin => Box::new(RoundRobin::new()),
             PullStrategyKind::PotentialAdaptive => Box::new(PotentialAdaptive::new()),
-        };
+        }
+    }
+
+    /// Runs the algorithm on `problem`.
+    ///
+    /// The problem's relations are reset to the beginning of their sorted
+    /// access first, so the same problem can be solved repeatedly by
+    /// different algorithms.
+    ///
+    /// # Errors
+    /// Returns [`PrjError::ScoringNotReducible`] when a tight-bound algorithm
+    /// is requested but the scoring function exposes no Euclidean-reduction
+    /// weights.
+    pub fn run<S: ScoringFunction>(
+        &self,
+        problem: &mut Problem<S>,
+    ) -> Result<RankJoinResult, PrjError> {
+        problem.reset();
+        let mut bound = self.make_bound(problem)?;
+        let mut pull = self.make_pull();
         Ok(execute(problem, bound.as_mut(), pull.as_mut()))
+    }
+
+    /// Starts an owned, incremental run of the algorithm over `problem`
+    /// (resetting its relations first). The returned [`StreamingRun`] is
+    /// `Send`: the `prj-engine` executor moves it into a worker thread and
+    /// pulls results out one at a time.
+    ///
+    /// # Errors
+    /// Returns [`PrjError::ScoringNotReducible`] when a tight-bound algorithm
+    /// is requested but the scoring function exposes no Euclidean-reduction
+    /// weights.
+    pub fn start_streaming<S: ScoringFunction>(
+        &self,
+        mut problem: Problem<S>,
+    ) -> Result<StreamingRun<S>, PrjError> {
+        problem.reset();
+        let bound = self.make_bound(&problem)?;
+        let pull = self.make_pull();
+        Ok(StreamingRun::new(problem, bound, pull))
     }
 }
 
@@ -149,45 +190,51 @@ mod tests {
     }
 
     fn small_problem(k: usize, kind: AccessKind) -> crate::problem::Problem<EuclideanLogScore> {
-        ProblemBuilder::new(Vector::from([0.0, 0.0]), EuclideanLogScore::new(1.0, 1.0, 1.0))
-            .k(k)
-            .access_kind(kind)
-            .relation_from_tuples(mk(
-                0,
-                &[
-                    ([0.2, 0.1], 0.7),
-                    ([-0.5, 0.4], 0.9),
-                    ([1.5, -0.2], 0.95),
-                    ([-2.0, 1.0], 0.3),
-                ],
-            ))
-            .relation_from_tuples(mk(
-                1,
-                &[
-                    ([0.1, -0.3], 0.8),
-                    ([0.9, 0.9], 0.5),
-                    ([-1.2, -0.4], 0.99),
-                    ([2.5, 2.0], 0.6),
-                ],
-            ))
-            .relation_from_tuples(mk(
-                2,
-                &[
-                    ([-0.1, 0.2], 0.6),
-                    ([0.6, -0.8], 0.85),
-                    ([1.1, 1.3], 0.4),
-                    ([-1.8, 2.2], 0.75),
-                ],
-            ))
-            .build()
-            .unwrap()
+        ProblemBuilder::new(
+            Vector::from([0.0, 0.0]),
+            EuclideanLogScore::new(1.0, 1.0, 1.0),
+        )
+        .k(k)
+        .access_kind(kind)
+        .relation_from_tuples(mk(
+            0,
+            &[
+                ([0.2, 0.1], 0.7),
+                ([-0.5, 0.4], 0.9),
+                ([1.5, -0.2], 0.95),
+                ([-2.0, 1.0], 0.3),
+            ],
+        ))
+        .relation_from_tuples(mk(
+            1,
+            &[
+                ([0.1, -0.3], 0.8),
+                ([0.9, 0.9], 0.5),
+                ([-1.2, -0.4], 0.99),
+                ([2.5, 2.0], 0.6),
+            ],
+        ))
+        .relation_from_tuples(mk(
+            2,
+            &[
+                ([-0.1, 0.2], 0.6),
+                ([0.6, -0.8], 0.85),
+                ([1.1, 1.3], 0.4),
+                ([-1.8, 2.2], 0.75),
+            ],
+        ))
+        .build()
+        .unwrap()
     }
 
     #[test]
     fn metadata_accessors() {
         assert_eq!(Algorithm::Cbrr.bounding(), BoundingSchemeKind::Corner);
         assert_eq!(Algorithm::Tbpa.bounding(), BoundingSchemeKind::Tight);
-        assert_eq!(Algorithm::Cbpa.pulling(), PullStrategyKind::PotentialAdaptive);
+        assert_eq!(
+            Algorithm::Cbpa.pulling(),
+            PullStrategyKind::PotentialAdaptive
+        );
         assert_eq!(Algorithm::Tbrr.pulling(), PullStrategyKind::RoundRobin);
         assert_eq!(Algorithm::Cbrr.label(), "CBRR (HRJN)");
         assert_eq!(Algorithm::Tbpa.to_string(), "TBPA");

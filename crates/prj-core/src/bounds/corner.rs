@@ -105,7 +105,10 @@ mod tests {
     use prj_geometry::Vector;
 
     fn push(state: &mut JoinState, rel: usize, idx: usize, x: [f64; 2], score: f64) {
-        state.push_tuple(rel, Tuple::new(TupleId::new(rel, idx), Vector::from(x), score));
+        state.push_tuple(
+            rel,
+            Tuple::new(TupleId::new(rel, idx), Vector::from(x), score),
+        );
     }
 
     /// Table-1 state after two accesses per relation; Example 3.1 reports the

@@ -29,7 +29,10 @@ use std::time::Duration;
 
 /// A bounding scheme: maintains an upper bound on the aggregate score of any
 /// combination that uses at least one unseen tuple.
-pub trait BoundingScheme<S: ScoringFunction> {
+///
+/// The trait requires `Send` so that in-flight runs (which own their bounding
+/// scheme) can be moved into worker threads by the `prj-engine` executor.
+pub trait BoundingScheme<S: ScoringFunction>: Send {
     /// Recomputes the bound after a sorted access.
     ///
     /// `accessed` is the index of the relation that produced a new tuple

@@ -105,12 +105,8 @@ impl SubsetState {
             .expect("extend_with_new_tuple: relation not in subset");
         let first_new = self.partials.len();
         // Iterate over the cartesian product of the other members' seen ranks.
-        let other_members: Vec<usize> = self
-            .members
-            .iter()
-            .copied()
-            .filter(|&m| m != rel)
-            .collect();
+        let other_members: Vec<usize> =
+            self.members.iter().copied().filter(|&m| m != rel).collect();
         if other_members.iter().any(|&m| depths[m] == 0) {
             // Some member has no seen tuple yet: no combination can be formed.
             return first_new;
@@ -159,7 +155,7 @@ impl SubsetState {
 /// Builds the registry for all proper subsets of `{0, …, n−1}` (including the
 /// empty set, excluding the full set), ordered by mask value.
 pub fn proper_subsets(n: usize) -> Vec<SubsetState> {
-    assert!(n >= 1 && n < 32, "unsupported number of relations: {n}");
+    assert!((1..32).contains(&n), "unsupported number of relations: {n}");
     let full = (1u32 << n) - 1;
     (0..full).map(|mask| SubsetState::new(mask, n)).collect()
 }

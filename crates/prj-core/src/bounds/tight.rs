@@ -106,10 +106,7 @@ impl TightBound {
 
     /// Cached subset bound `t_M` for the subset with the given bitmask.
     pub fn subset_bound(&self, mask: u32) -> Option<f64> {
-        self.subsets
-            .iter()
-            .find(|s| s.mask == mask)
-            .map(|s| s.best)
+        self.subsets.iter().find(|s| s.mask == mask).map(|s| s.best)
     }
 
     /// Total number of partial combinations currently tracked.
@@ -143,7 +140,10 @@ impl TightBound {
             members.push((&tuple.vector, tuple.score));
         }
         let unseen: Vec<usize> = (0..n).filter(|j| !subset.contains(*j)).collect();
-        debug_assert!(!unseen.is_empty(), "proper subsets always have unseen relations");
+        debug_assert!(
+            !unseen.is_empty(),
+            "proper subsets always have unseen relations"
+        );
 
         let nu = if m > 0 {
             Some(mean_centroid(&seen_points))
@@ -174,13 +174,10 @@ impl TightBound {
                 // Theorem 3.4 reduction: optimal unseen locations lie on the
                 // ray from the query through the centroid of the seen part.
                 let ray = match &nu {
-                    Some(nu) => {
-                        Ray::through(query, nu).unwrap_or_else(|| Ray::canonical(query))
-                    }
+                    Some(nu) => Ray::through(query, nu).unwrap_or_else(|| Ray::canonical(query)),
                     None => Ray::canonical(query),
                 };
-                let mut qp =
-                    BoundedQp::ray_problem(n, self.weights.w_q, self.weights.w_mu);
+                let mut qp = BoundedQp::ray_problem(n, self.weights.w_q, self.weights.w_mu);
                 for (pos, &rel) in subset.members.iter().enumerate() {
                     let theta = ray.project(seen_points[pos]);
                     qp = qp.fix(rel, theta);
@@ -297,13 +294,15 @@ impl<S: ScoringFunction> BoundingScheme<S> for TightBound {
         // before anything has been optimised.
         let recompute = accessed.is_none()
             || self.bound.is_infinite()
-            || self.access_count % self.config.recompute_every == 0;
+            || self
+                .access_count
+                .is_multiple_of(self.config.recompute_every);
         let run_dominance = state.kind() == AccessKind::Distance
             && accessed.is_some()
             && self
                 .config
                 .dominance_period
-                .is_some_and(|p| self.access_count % p.max(1) == 0);
+                .is_some_and(|p| self.access_count.is_multiple_of(p.max(1)));
 
         for subset_index in 0..self.subsets.len() {
             // Feasibility: the subset only describes potential results if every
@@ -342,9 +341,7 @@ impl<S: ScoringFunction> BoundingScheme<S> for TightBound {
                     }
                 }
             }
-            if run_dominance
-                && accessed.is_some_and(|i| self.subsets[subset_index].contains(i))
-            {
+            if run_dominance && accessed.is_some_and(|i| self.subsets[subset_index].contains(i)) {
                 self.run_dominance_tests(state, subset_index);
             }
             // Score-based access: Algorithm 3 keeps only the best partial
@@ -439,7 +436,10 @@ mod tests {
     use prj_access::{Tuple, TupleId};
 
     fn push(state: &mut JoinState, rel: usize, idx: usize, x: [f64; 2], score: f64) {
-        state.push_tuple(rel, Tuple::new(TupleId::new(rel, idx), Vector::from(x), score));
+        state.push_tuple(
+            rel,
+            Tuple::new(TupleId::new(rel, idx), Vector::from(x), score),
+        );
     }
 
     /// Builds the Table 1 state (two tuples seen from each of the three
@@ -610,11 +610,8 @@ mod tests {
     fn dominance_pruning_does_not_change_the_bound() {
         let scoring = EuclideanLogScore::new(1.0, 1.0, 1.0);
         let mk = |dominance: Option<usize>| {
-            let mut state = JoinState::new(
-                Vector::from([0.0, 0.0]),
-                AccessKind::Distance,
-                &[1.0, 1.0],
-            );
+            let mut state =
+                JoinState::new(Vector::from([0.0, 0.0]), AccessKind::Distance, &[1.0, 1.0]);
             let mut tb = TightBound::new(
                 2,
                 scoring.weights(),
@@ -645,7 +642,10 @@ mod tests {
         let (without, _) = mk(None);
         let (with, tb_with) = mk(Some(1));
         for (a, b) in without.iter().zip(with.iter()) {
-            assert!((a - b).abs() < 1e-6, "dominance changed the bound: {a} vs {b}");
+            assert!(
+                (a - b).abs() < 1e-6,
+                "dominance changed the bound: {a} vs {b}"
+            );
         }
         // With period 1 on this workload at least one partial should get pruned
         // eventually; if not, the test still validated bound equality.
@@ -676,11 +676,8 @@ mod tests {
     fn recompute_block_keeps_bound_conservative() {
         let scoring = EuclideanLogScore::new(1.0, 1.0, 1.0);
         let run = |every: usize| {
-            let mut state = JoinState::new(
-                Vector::from([0.0, 0.0]),
-                AccessKind::Distance,
-                &[1.0, 1.0],
-            );
+            let mut state =
+                JoinState::new(Vector::from([0.0, 0.0]), AccessKind::Distance, &[1.0, 1.0]);
             let mut tb = TightBound::new(
                 2,
                 scoring.weights(),

@@ -109,7 +109,10 @@ impl TopKBuffer {
 
     /// The best score seen so far, or `−∞` if none.
     pub fn best_score(&self) -> f64 {
-        self.entries.first().map(|e| e.score).unwrap_or(f64::NEG_INFINITY)
+        self.entries
+            .first()
+            .map(|e| e.score)
+            .unwrap_or(f64::NEG_INFINITY)
     }
 
     /// The retained combinations, best first.
@@ -196,7 +199,11 @@ mod tests {
         buf.insert(combo(&[5], -1.0));
         buf.insert(combo(&[1], -1.0));
         buf.insert(combo(&[3], -1.0));
-        let ids: Vec<usize> = buf.as_slice().iter().map(|c| c.tuples[0].id.index).collect();
+        let ids: Vec<usize> = buf
+            .as_slice()
+            .iter()
+            .map(|c| c.tuples[0].id.index)
+            .collect();
         assert_eq!(ids, vec![1, 3]);
     }
 

@@ -50,7 +50,10 @@ pub fn dominance_coefficients(
     weights: Weights,
 ) -> DominanceCoefficients {
     let m = seen.len();
-    assert!(m >= 1, "dominance is undefined for the empty partial combination");
+    assert!(
+        m >= 1,
+        "dominance is undefined for the empty partial combination"
+    );
     assert_eq!(m + unseen_sigma_max.len(), n, "arity mismatch");
     let k = (n - m) as f64;
     let mf = m as f64;
@@ -142,7 +145,12 @@ mod tests {
         let n = 4;
         let coeffs = dominance_coefficients(&q, &seen, &unseen_sigma, n, weights);
         let a = shared_quadratic_coefficient(2, n, weights);
-        for y_raw in [v(&[0.3, 0.4]), v(&[-1.0, 2.0]), v(&[0.0, 0.0]), v(&[5.0, -3.0])] {
+        for y_raw in [
+            v(&[0.3, 0.4]),
+            v(&[-1.0, 2.0]),
+            v(&[0.0, 0.0]),
+            v(&[5.0, -3.0]),
+        ] {
             // y is query-centred; the actual completion location is q + y.
             let loc = &q + &y_raw;
             let members = vec![

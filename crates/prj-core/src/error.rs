@@ -56,7 +56,9 @@ mod tests {
 
     #[test]
     fn error_messages_are_informative() {
-        assert!(PrjError::NoRelations.to_string().contains("no input relations"));
+        assert!(PrjError::NoRelations
+            .to_string()
+            .contains("no input relations"));
         assert!(PrjError::InvalidK.to_string().contains("K"));
         assert!(PrjError::DimensionMismatch {
             expected: 2,
@@ -67,6 +69,8 @@ mod tests {
         assert!(PrjError::NonPositiveScore { score: 0.0 }
             .to_string()
             .contains("positive"));
-        assert!(PrjError::ScoringNotReducible.to_string().contains("Euclidean"));
+        assert!(PrjError::ScoringNotReducible
+            .to_string()
+            .contains("Euclidean"));
     }
 }

@@ -71,7 +71,7 @@ pub use bounds::{BoundingScheme, CornerBound, TightBound, TightBoundConfig};
 pub use combination::{ScoredCombination, TopKBuffer};
 pub use error::PrjError;
 pub use naive::naive_rank_join;
-pub use operator::{execute, RankJoinResult, RunMetrics};
+pub use operator::{execute, RankJoinResult, RunMetrics, StreamingRun};
 pub use problem::{Problem, ProblemBuilder, ProxRjConfig, RelationBackend};
 pub use pull::{PotentialAdaptive, PullStrategy, RoundRobin};
 pub use scoring::{CosineSimilarityScore, EuclideanLogScore, ScoringFunction, Weights};

@@ -89,14 +89,16 @@ mod tests {
 
     #[test]
     fn naive_reads_everything_and_ranks_table1() {
-        let mut problem =
-            ProblemBuilder::new(Vector::from([0.0, 0.0]), EuclideanLogScore::new(1.0, 1.0, 1.0))
-                .k(8)
-                .relation_from_tuples(mk(0, &[([0.0, -0.5], 0.5), ([0.0, 1.0], 1.0)]))
-                .relation_from_tuples(mk(1, &[([1.0, 1.0], 1.0), ([-2.0, 2.0], 0.8)]))
-                .relation_from_tuples(mk(2, &[([-1.0, 1.0], 1.0), ([-2.0, -2.0], 0.4)]))
-                .build()
-                .unwrap();
+        let mut problem = ProblemBuilder::new(
+            Vector::from([0.0, 0.0]),
+            EuclideanLogScore::new(1.0, 1.0, 1.0),
+        )
+        .k(8)
+        .relation_from_tuples(mk(0, &[([0.0, -0.5], 0.5), ([0.0, 1.0], 1.0)]))
+        .relation_from_tuples(mk(1, &[([1.0, 1.0], 1.0), ([-2.0, 2.0], 0.8)]))
+        .relation_from_tuples(mk(2, &[([-1.0, 1.0], 1.0), ([-2.0, -2.0], 0.4)]))
+        .build()
+        .unwrap();
         let result = naive_rank_join(&mut problem);
         assert_eq!(result.sum_depths(), 6);
         assert_eq!(result.combinations.len(), 8);

@@ -7,6 +7,16 @@
 //! scheme* recomputes an upper bound `t` on the score of any combination
 //! still using an unseen tuple. The operator stops as soon as the K-th best
 //! retained score reaches `t` (or every relation is exhausted).
+//!
+//! Two drivers share the same stepping core:
+//!
+//! * [`execute`] — run to completion and return the full top-K
+//!   ([`RankJoinResult`]), the original one-shot entry point;
+//! * [`StreamingRun`] — an owned, `Send` run that can be stepped
+//!   incrementally: [`StreamingRun::next_certified`] performs only as many
+//!   sorted accesses as needed to certify the *next* result, mirroring the
+//!   paper's incremental pulling model. This is the entry point the
+//!   `prj-engine` serving layer uses.
 
 use crate::bounds::BoundingScheme;
 use crate::combination::{ScoredCombination, TopKBuffer};
@@ -20,9 +30,11 @@ use std::time::{Duration, Instant};
 /// Instrumentation collected during one ProxRJ execution.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunMetrics {
-    /// Total wall-clock time of the execution (excluding, per the paper's
-    /// methodology, nothing — tuples are local — but dominated by bound
-    /// computation and combination formation).
+    /// Wall-clock time spent actively executing the operator, dominated by
+    /// bound computation and combination formation. For an incremental
+    /// [`StreamingRun`] this excludes time spent idle between
+    /// [`StreamingRun::next_certified`] calls, so it measures engine work,
+    /// not consumer pacing; for [`execute`] the two coincide.
     pub total_time: Duration,
     /// Wall-clock time spent inside `updateBound`.
     pub bound_time: Duration,
@@ -64,6 +76,198 @@ impl RankJoinResult {
     }
 }
 
+/// The stepping core shared by [`execute`] and [`StreamingRun`]: the mutable
+/// state of one in-flight Algorithm 1 run, minus the problem / bound / pull,
+/// which the caller owns (so the core can be driven through either borrowed
+/// or owned handles).
+struct RunCore {
+    k: usize,
+    config: crate::problem::ProxRjConfig,
+    n: usize,
+    query: prj_geometry::Vector,
+    state: JoinState,
+    output: TopKBuffer,
+    stats: AccessStats,
+    metrics: RunMetrics,
+    t: f64,
+    /// Identities of the results already handed out by `next_certified`,
+    /// in emission order. Tracked by identity rather than by buffer index:
+    /// a late near-tie can insert ahead of an already-emitted entry and
+    /// shift buffer positions.
+    emitted: Vec<Vec<prj_access::TupleId>>,
+    done: bool,
+    /// Time spent actively stepping the operator (excludes any time an
+    /// incremental run sits idle between `next_certified` calls).
+    work_time: std::time::Duration,
+}
+
+impl RunCore {
+    /// Sets up the run and computes the initial bound (nothing read yet, so
+    /// this is the best conceivable score).
+    fn new<S: ScoringFunction>(problem: &Problem<S>, bound: &mut dyn BoundingScheme<S>) -> RunCore {
+        let setup_started = Instant::now();
+        let n = problem.num_relations();
+        let k = problem.k();
+        let config = problem.config();
+        let query = problem.query().clone();
+        let kind = problem.access_kind();
+        let max_scores = problem.relations().max_scores();
+
+        let state = JoinState::new(query.clone(), kind, &max_scores);
+        let mut metrics = RunMetrics::default();
+        let bound_started = Instant::now();
+        let t = bound.update(&state, problem.scoring(), None);
+        metrics.bound_time += bound_started.elapsed();
+        metrics.bound_updates += 1;
+
+        RunCore {
+            k,
+            config,
+            n,
+            query,
+            state,
+            output: TopKBuffer::new(k),
+            stats: AccessStats::new(n),
+            metrics,
+            t,
+            emitted: Vec::new(),
+            done: false,
+            work_time: setup_started.elapsed(),
+        }
+    }
+
+    /// One iteration of Algorithm 1's main loop, with its duration charged to
+    /// the run's active work time. Returns `false` once the run has
+    /// terminated (certified top-K, access cap, or exhaustion).
+    fn step<S: ScoringFunction>(
+        &mut self,
+        problem: &mut Problem<S>,
+        bound: &mut dyn BoundingScheme<S>,
+        pull: &mut dyn PullStrategy,
+    ) -> bool {
+        let step_started = Instant::now();
+        let progressed = self.step_inner(problem, bound, pull);
+        self.work_time += step_started.elapsed();
+        progressed
+    }
+
+    fn step_inner<S: ScoringFunction>(
+        &mut self,
+        problem: &mut Problem<S>,
+        bound: &mut dyn BoundingScheme<S>,
+        pull: &mut dyn PullStrategy,
+    ) -> bool {
+        if self.done {
+            return false;
+        }
+        // Termination (Algorithm 1, line 3): K results whose worst score
+        // already matches the bound on anything still unseen.
+        if self.output.len() >= self.k
+            && self.output.kth_score() >= self.t - self.config.termination_tolerance
+        {
+            self.done = true;
+            return false;
+        }
+        if let Some(cap) = self.config.max_accesses {
+            if self.stats.sum_depths() >= cap {
+                self.metrics.hit_access_cap = true;
+                self.done = true;
+                return false;
+            }
+        }
+        // Pulling strategy (line 4).
+        let potentials: Vec<f64> = (0..self.n).map(|i| bound.potential(i)).collect();
+        let Some(i) = pull.choose_input(&self.state, &potentials) else {
+            // Every relation is exhausted: the retained top-K is exact.
+            self.done = true;
+            return false;
+        };
+        // Sorted access (line 5).
+        match problem.relations_mut().relation_mut(i).next_tuple() {
+            None => {
+                self.state.mark_exhausted(i);
+                let bound_started = Instant::now();
+                self.t = bound.update(&self.state, problem.scoring(), None);
+                self.metrics.bound_time += bound_started.elapsed();
+                self.metrics.bound_updates += 1;
+            }
+            Some(tuple) => {
+                self.stats.record_access(i);
+                // Join with the seen prefixes of the other relations (line 6–7),
+                // *before* adding the new tuple to its own buffer.
+                self.metrics.combinations_formed += form_combinations(
+                    problem.scoring(),
+                    &self.state,
+                    &self.query,
+                    i,
+                    &tuple,
+                    &mut self.output,
+                );
+                // Line 8: add the tuple to P_i, recording its distance from the
+                // query under the aggregation function's own metric δ.
+                let dist = problem.scoring().distance(&tuple.vector, &self.query);
+                self.state.push_tuple_with_distance(i, tuple, dist);
+                // Line 9: update the bound.
+                let bound_started = Instant::now();
+                self.t = bound.update(&self.state, problem.scoring(), Some(i));
+                self.metrics.bound_time += bound_started.elapsed();
+                self.metrics.bound_updates += 1;
+            }
+        }
+        true
+    }
+
+    /// Steps until the next result is *certified* — its retained score
+    /// reaches the bound on anything still unseen — and returns it. Returns
+    /// the remaining buffered results once the run has terminated, then
+    /// `None`.
+    fn next_certified<S: ScoringFunction>(
+        &mut self,
+        problem: &mut Problem<S>,
+        bound: &mut dyn BoundingScheme<S>,
+        pull: &mut dyn PullStrategy,
+    ) -> Option<ScoredCombination> {
+        loop {
+            // The best buffered entry not yet emitted, located by identity:
+            // a near-tie formed later can insert *ahead* of emitted entries
+            // (ids break exact ties), so buffer indexes are not stable.
+            let next = self
+                .output
+                .as_slice()
+                .iter()
+                .find(|c| !self.emitted.contains(&c.ids()))
+                .cloned();
+            if let Some(combo) = next {
+                // The entry is final once nothing unseen can beat it: every
+                // future combination uses at least one unseen tuple and
+                // therefore scores at most `t`. Anything that later sorts
+                // above an emitted entry is itself within tolerance of `t`
+                // (t never increases), so it is certified too.
+                if self.done || combo.score >= self.t - self.config.termination_tolerance {
+                    self.emitted.push(combo.ids());
+                    return Some(combo);
+                }
+            } else if self.done {
+                return None;
+            }
+            self.step(problem, bound, pull);
+        }
+    }
+
+    /// Consumes the core into the final result (the run must be done).
+    fn finalize<S: ScoringFunction>(mut self, bound: &dyn BoundingScheme<S>) -> RankJoinResult {
+        self.metrics.final_bound = self.t;
+        self.metrics.dominance_time = bound.dominance_time();
+        self.metrics.dominated_partials = bound.dominated_count();
+        self.metrics.total_time = self.work_time;
+        RankJoinResult {
+            combinations: self.output.into_sorted_vec(),
+            stats: self.stats,
+            metrics: self.metrics,
+        }
+    }
+}
+
 /// Executes Algorithm 1 with the given bounding scheme and pulling strategy.
 ///
 /// The relations of `problem` are consumed from their current position;
@@ -73,79 +277,75 @@ pub fn execute<S: ScoringFunction>(
     bound: &mut dyn BoundingScheme<S>,
     pull: &mut dyn PullStrategy,
 ) -> RankJoinResult {
-    let started = Instant::now();
-    let n = problem.num_relations();
-    let k = problem.k();
-    let config = problem.config();
-    let query = problem.query().clone();
-    let kind = problem.access_kind();
-    let max_scores = problem.relations().max_scores();
+    let mut core = RunCore::new(problem, bound);
+    while core.step(problem, bound, pull) {}
+    core.finalize(bound)
+}
 
-    let mut state = JoinState::new(query.clone(), kind, &max_scores);
-    let mut output = TopKBuffer::new(k);
-    let mut stats = AccessStats::new(n);
-    let mut metrics = RunMetrics::default();
+/// An owned, incremental Algorithm 1 run: the paper's pulling model as a
+/// pull-based API.
+///
+/// Unlike [`execute`], which drives the run to completion, a `StreamingRun`
+/// owns its problem, bounding scheme and pulling strategy, and performs
+/// sorted accesses lazily: each [`next_certified`](Self::next_certified) call
+/// does only the work needed to certify one more result. Because it owns
+/// everything and all the operator state is `Send`, a run can be moved into a
+/// worker thread and its results streamed out through a channel — exactly
+/// how the `prj-engine` executor serves queries.
+pub struct StreamingRun<S: ScoringFunction> {
+    problem: Problem<S>,
+    bound: Box<dyn BoundingScheme<S>>,
+    pull: Box<dyn PullStrategy>,
+    core: RunCore,
+}
 
-    // Initial bound: nothing read, so this is the best conceivable score.
-    let bound_started = Instant::now();
-    let mut t = bound.update(&state, problem.scoring(), None);
-    metrics.bound_time += bound_started.elapsed();
-    metrics.bound_updates += 1;
-
-    loop {
-        // Termination (Algorithm 1, line 3): K results whose worst score
-        // already matches the bound on anything still unseen.
-        if output.len() >= k && output.kth_score() >= t - config.termination_tolerance {
-            break;
-        }
-        if let Some(cap) = config.max_accesses {
-            if stats.sum_depths() >= cap {
-                metrics.hit_access_cap = true;
-                break;
-            }
-        }
-        // Pulling strategy (line 4).
-        let potentials: Vec<f64> = (0..n).map(|i| bound.potential(i)).collect();
-        let Some(i) = pull.choose_input(&state, &potentials) else {
-            // Every relation is exhausted: the retained top-K is exact.
-            break;
-        };
-        // Sorted access (line 5).
-        match problem.relations_mut().relation_mut(i).next_tuple() {
-            None => {
-                state.mark_exhausted(i);
-                let bound_started = Instant::now();
-                t = bound.update(&state, problem.scoring(), None);
-                metrics.bound_time += bound_started.elapsed();
-                metrics.bound_updates += 1;
-            }
-            Some(tuple) => {
-                stats.record_access(i);
-                // Join with the seen prefixes of the other relations (line 6–7),
-                // *before* adding the new tuple to its own buffer.
-                metrics.combinations_formed +=
-                    form_combinations(problem.scoring(), &state, &query, i, &tuple, &mut output);
-                // Line 8: add the tuple to P_i, recording its distance from the
-                // query under the aggregation function's own metric δ.
-                let dist = problem.scoring().distance(&tuple.vector, &query);
-                state.push_tuple_with_distance(i, tuple, dist);
-                // Line 9: update the bound.
-                let bound_started = Instant::now();
-                t = bound.update(&state, problem.scoring(), Some(i));
-                metrics.bound_time += bound_started.elapsed();
-                metrics.bound_updates += 1;
-            }
+impl<S: ScoringFunction> StreamingRun<S> {
+    /// Starts a run over `problem` (from the relations' current positions).
+    pub fn new(
+        problem: Problem<S>,
+        mut bound: Box<dyn BoundingScheme<S>>,
+        pull: Box<dyn PullStrategy>,
+    ) -> Self {
+        let core = RunCore::new(&problem, bound.as_mut());
+        StreamingRun {
+            problem,
+            bound,
+            pull,
+            core,
         }
     }
 
-    metrics.final_bound = t;
-    metrics.dominance_time = bound.dominance_time();
-    metrics.dominated_partials = bound.dominated_count();
-    metrics.total_time = started.elapsed();
-    RankJoinResult {
-        combinations: output.into_sorted_vec(),
-        stats,
-        metrics,
+    /// Returns the next certified result, performing only as many sorted
+    /// accesses as needed; `None` once the top-K has been fully emitted.
+    pub fn next_certified(&mut self) -> Option<ScoredCombination> {
+        self.core
+            .next_certified(&mut self.problem, self.bound.as_mut(), self.pull.as_mut())
+    }
+
+    /// Number of results already emitted by
+    /// [`next_certified`](Self::next_certified).
+    pub fn emitted(&self) -> usize {
+        self.core.emitted.len()
+    }
+
+    /// Per-relation depths read so far.
+    pub fn stats(&self) -> &AccessStats {
+        &self.core.stats
+    }
+
+    /// Drives the run to completion and returns the full result; equivalent
+    /// to having called [`execute`] on the same problem.
+    pub fn into_result(mut self) -> RankJoinResult {
+        while self
+            .core
+            .step(&mut self.problem, self.bound.as_mut(), self.pull.as_mut())
+        {}
+        self.core.finalize(self.bound.as_ref())
+    }
+
+    /// Gives back the problem (e.g. to rerun it), discarding run state.
+    pub fn into_problem(self) -> Problem<S> {
+        self.problem
     }
 }
 
@@ -176,7 +376,13 @@ fn form_combinations<S: ScoringFunction>(
                 if j == new_relation {
                     tuples.push(new_tuple.clone());
                 } else {
-                    tuples.push(state.buffer(j).get(counters[oi]).expect("seen rank").clone());
+                    tuples.push(
+                        state
+                            .buffer(j)
+                            .get(counters[oi])
+                            .expect("seen rank")
+                            .clone(),
+                    );
                     oi += 1;
                 }
             }
@@ -224,32 +430,36 @@ mod tests {
                 .map(|(i, (x, s))| Tuple::new(TupleId::new(rel, i), Vector::from(*x), *s))
                 .collect()
         };
-        ProblemBuilder::new(Vector::from([0.0, 0.0]), EuclideanLogScore::new(1.0, 1.0, 1.0))
-            .k(k)
-            .access_kind(AccessKind::Distance)
-            .relation_from_tuples(mk(0, &[([0.0, -0.5], 0.5), ([0.0, 1.0], 1.0)]))
-            .relation_from_tuples(mk(1, &[([1.0, 1.0], 1.0), ([-2.0, 2.0], 0.8)]))
-            .relation_from_tuples(mk(2, &[([-1.0, 1.0], 1.0), ([-2.0, -2.0], 0.4)]))
-            .build()
-            .unwrap()
+        ProblemBuilder::new(
+            Vector::from([0.0, 0.0]),
+            EuclideanLogScore::new(1.0, 1.0, 1.0),
+        )
+        .k(k)
+        .access_kind(AccessKind::Distance)
+        .relation_from_tuples(mk(0, &[([0.0, -0.5], 0.5), ([0.0, 1.0], 1.0)]))
+        .relation_from_tuples(mk(1, &[([1.0, 1.0], 1.0), ([-2.0, 2.0], 0.8)]))
+        .relation_from_tuples(mk(2, &[([-1.0, 1.0], 1.0), ([-2.0, -2.0], 0.4)]))
+        .build()
+        .unwrap()
     }
 
     #[test]
     fn tight_bound_round_robin_finds_table1_top1() {
         let mut problem = table1_problem(1);
-        let mut bound = TightBound::new(
-            3,
-            problem.scoring().weights(),
-            TightBoundConfig::default(),
-        );
+        let mut bound =
+            TightBound::new(3, problem.scoring().weights(), TightBoundConfig::default());
         let mut pull = RoundRobin::new();
         let result = execute(&mut problem, &mut bound, &mut pull);
         assert_eq!(result.combinations.len(), 1);
         assert!((result.combinations[0].score - (-7.0)).abs() < 0.05);
-        let ids: Vec<usize> = result.combinations[0].tuples.iter().map(|t| t.id.index).collect();
+        let ids: Vec<usize> = result.combinations[0]
+            .tuples
+            .iter()
+            .map(|t| t.id.index)
+            .collect();
         assert_eq!(ids, vec![1, 0, 0]); // τ1^(2) × τ2^(1) × τ3^(1)
-        // All three relations only have two tuples; the tight bound should not
-        // need to exhaust them all (Example 3.1 certifies after 6 accesses).
+                                        // All three relations only have two tuples; the tight bound should not
+                                        // need to exhaust them all (Example 3.1 certifies after 6 accesses).
         assert!(result.sum_depths() <= 6);
     }
 
@@ -272,11 +482,8 @@ mod tests {
     #[test]
     fn top_k_larger_than_cross_product_returns_everything() {
         let mut problem = table1_problem(20);
-        let mut bound = TightBound::new(
-            3,
-            problem.scoring().weights(),
-            TightBoundConfig::default(),
-        );
+        let mut bound =
+            TightBound::new(3, problem.scoring().weights(), TightBoundConfig::default());
         let mut pull = PotentialAdaptive::new();
         let result = execute(&mut problem, &mut bound, &mut pull);
         // Only 8 combinations exist.
@@ -306,18 +513,92 @@ mod tests {
     #[test]
     fn metrics_are_populated() {
         let mut problem = table1_problem(2);
-        let mut bound = TightBound::new(
-            3,
-            problem.scoring().weights(),
-            TightBoundConfig::default(),
-        );
+        let mut bound =
+            TightBound::new(3, problem.scoring().weights(), TightBoundConfig::default());
         let mut pull = RoundRobin::new();
         let result = execute(&mut problem, &mut bound, &mut pull);
         assert!(result.metrics.bound_updates >= result.sum_depths());
         assert!(result.metrics.combinations_formed >= result.combinations.len());
-        assert!(result.metrics.final_bound.is_finite() || result.metrics.final_bound == f64::NEG_INFINITY);
+        assert!(
+            result.metrics.final_bound.is_finite()
+                || result.metrics.final_bound == f64::NEG_INFINITY
+        );
         assert!(result.metrics.total_time >= result.metrics.bound_time);
         assert!(result.best_score().is_some());
+    }
+
+    #[test]
+    fn streaming_run_matches_execute() {
+        let mut problem = table1_problem(8);
+        let mut bound =
+            TightBound::new(3, problem.scoring().weights(), TightBoundConfig::default());
+        let mut pull = RoundRobin::new();
+        let batch = execute(&mut problem, &mut bound, &mut pull);
+
+        let problem = table1_problem(8);
+        let bound = Box::new(TightBound::new(
+            3,
+            problem.scoring().weights(),
+            TightBoundConfig::default(),
+        ));
+        let mut run = StreamingRun::new(problem, bound, Box::new(RoundRobin::new()));
+        let mut streamed = Vec::new();
+        while let Some(combo) = run.next_certified() {
+            streamed.push(combo);
+        }
+        assert_eq!(streamed.len(), batch.combinations.len());
+        for (s, b) in streamed.iter().zip(batch.combinations.iter()) {
+            assert_eq!(s, b, "streamed results must match batch results exactly");
+        }
+        assert_eq!(run.emitted(), streamed.len());
+    }
+
+    #[test]
+    fn streaming_results_arrive_in_score_order_and_incrementally() {
+        let problem = table1_problem(8);
+        let bound = Box::new(TightBound::new(
+            3,
+            problem.scoring().weights(),
+            TightBoundConfig::default(),
+        ));
+        let mut run = StreamingRun::new(problem, bound, Box::new(RoundRobin::new()));
+        let first = run.next_certified().expect("at least one result");
+        let depth_after_first = run.stats().sum_depths();
+        let mut previous = first.score;
+        let mut count = 1;
+        while let Some(combo) = run.next_certified() {
+            assert!(combo.score <= previous + 1e-12, "scores must not increase");
+            previous = combo.score;
+            count += 1;
+        }
+        // Emitting the full cross product requires exhausting the relations,
+        // so the first certified result must have been cheaper than the rest.
+        assert!(depth_after_first <= run.stats().sum_depths());
+        assert_eq!(count, 8);
+    }
+
+    #[test]
+    fn streaming_into_result_equals_execute() {
+        let mut problem = table1_problem(2);
+        let mut bound = CornerBound::new(3);
+        let mut pull = RoundRobin::new();
+        let batch = execute(&mut problem, &mut bound, &mut pull);
+
+        let problem = table1_problem(2);
+        let run = StreamingRun::new(
+            problem,
+            Box::new(CornerBound::new(3)),
+            Box::new(RoundRobin::new()),
+        );
+        let streamed = run.into_result();
+        assert_eq!(streamed.combinations, batch.combinations);
+        assert_eq!(streamed.stats, batch.stats);
+    }
+
+    #[test]
+    fn streaming_run_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<StreamingRun<EuclideanLogScore>>();
     }
 
     #[test]
@@ -328,30 +609,33 @@ mod tests {
                 .map(|(i, (x, s))| Tuple::new(TupleId::new(rel, i), Vector::from(*x), *s))
                 .collect()
         };
-        let mut problem =
-            ProblemBuilder::new(Vector::from([0.0, 0.0]), EuclideanLogScore::new(1.0, 1.0, 1.0))
-                .k(2)
-                .access_kind(AccessKind::Score)
-                .relation_from_tuples(mk(
-                    0,
-                    &[([0.1, 0.0], 0.9), ([2.0, 0.0], 0.8), ([0.2, 0.1], 0.3)],
-                ))
-                .relation_from_tuples(mk(
-                    1,
-                    &[([0.0, 0.1], 1.0), ([0.0, 3.0], 0.7), ([-0.2, 0.0], 0.2)],
-                ))
-                .build()
-                .unwrap();
-        let mut bound = TightBound::new(
-            2,
-            problem.scoring().weights(),
-            TightBoundConfig::default(),
-        );
+        let mut problem = ProblemBuilder::new(
+            Vector::from([0.0, 0.0]),
+            EuclideanLogScore::new(1.0, 1.0, 1.0),
+        )
+        .k(2)
+        .access_kind(AccessKind::Score)
+        .relation_from_tuples(mk(
+            0,
+            &[([0.1, 0.0], 0.9), ([2.0, 0.0], 0.8), ([0.2, 0.1], 0.3)],
+        ))
+        .relation_from_tuples(mk(
+            1,
+            &[([0.0, 0.1], 1.0), ([0.0, 3.0], 0.7), ([-0.2, 0.0], 0.2)],
+        ))
+        .build()
+        .unwrap();
+        let mut bound =
+            TightBound::new(2, problem.scoring().weights(), TightBoundConfig::default());
         let mut pull = RoundRobin::new();
         let result = execute(&mut problem, &mut bound, &mut pull);
         assert_eq!(result.combinations.len(), 2);
         // The best pair is the two high-score tuples sitting next to the query.
-        let ids: Vec<usize> = result.combinations[0].tuples.iter().map(|t| t.id.index).collect();
+        let ids: Vec<usize> = result.combinations[0]
+            .tuples
+            .iter()
+            .map(|t| t.id.index)
+            .collect();
         assert_eq!(ids, vec![0, 0]);
     }
 }

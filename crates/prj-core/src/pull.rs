@@ -13,7 +13,10 @@
 use crate::state::JoinState;
 
 /// A pulling strategy: decides which relation the operator accesses next.
-pub trait PullStrategy {
+///
+/// The trait requires `Send` so that in-flight runs (which own their pulling
+/// strategy) can be moved into worker threads by the `prj-engine` executor.
+pub trait PullStrategy: Send {
     /// Chooses the next relation to access.
     ///
     /// `potentials[i]` is the bounding scheme's potential of relation `i`
@@ -108,7 +111,11 @@ mod tests {
     use prj_geometry::Vector;
 
     fn state(n: usize) -> JoinState {
-        JoinState::new(Vector::from([0.0, 0.0]), AccessKind::Distance, &vec![1.0; n])
+        JoinState::new(
+            Vector::from([0.0, 0.0]),
+            AccessKind::Distance,
+            &vec![1.0; n],
+        )
     }
 
     fn push(state: &mut JoinState, rel: usize, idx: usize, d: f64) {
@@ -122,7 +129,9 @@ mod tests {
     fn round_robin_cycles() {
         let s = state(3);
         let mut rr = RoundRobin::new();
-        let picks: Vec<usize> = (0..6).map(|_| rr.choose_input(&s, &[0.0; 3]).unwrap()).collect();
+        let picks: Vec<usize> = (0..6)
+            .map(|_| rr.choose_input(&s, &[0.0; 3]).unwrap())
+            .collect();
         assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
         assert_eq!(rr.name(), "RR");
     }
@@ -132,7 +141,9 @@ mod tests {
         let mut s = state(3);
         s.mark_exhausted(1);
         let mut rr = RoundRobin::new();
-        let picks: Vec<usize> = (0..4).map(|_| rr.choose_input(&s, &[0.0; 3]).unwrap()).collect();
+        let picks: Vec<usize> = (0..4)
+            .map(|_| rr.choose_input(&s, &[0.0; 3]).unwrap())
+            .collect();
         assert_eq!(picks, vec![0, 2, 0, 2]);
         s.mark_exhausted(0);
         s.mark_exhausted(2);

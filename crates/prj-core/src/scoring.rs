@@ -16,10 +16,9 @@
 //! baseline).
 
 use prj_geometry::{mean_centroid, CosineDistance, Euclidean, Metric, Vector};
-use serde::{Deserialize, Serialize};
 
 /// The `(w_s, w_q, w_μ)` weights of the Euclidean-log aggregation (Eq. 2).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Weights {
     /// Weight of the (log-)score term.
     pub w_s: f64,
@@ -98,7 +97,11 @@ pub trait ScoringFunction: Send + Sync {
         let parts: Vec<f64> = members
             .iter()
             .map(|(v, sigma)| {
-                self.proximity_weighted_score(*sigma, self.distance(v, query), self.distance(v, &mu))
+                self.proximity_weighted_score(
+                    *sigma,
+                    self.distance(v, query),
+                    self.distance(v, &mu),
+                )
             })
             .collect();
         self.aggregate(&parts)
@@ -126,7 +129,7 @@ pub trait ScoringFunction: Send + Sync {
 ///
 /// Scores must be strictly positive (they are in `(0, 1]` in the paper, which
 /// makes `S(τ) ∈ (−∞, 0]`).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct EuclideanLogScore {
     weights: Weights,
 }
@@ -147,14 +150,6 @@ impl EuclideanLogScore {
     /// The weight triple.
     pub fn weights(&self) -> Weights {
         self.weights
-    }
-}
-
-impl Default for EuclideanLogScore {
-    fn default() -> Self {
-        EuclideanLogScore {
-            weights: Weights::default(),
-        }
     }
 }
 
@@ -193,7 +188,7 @@ impl ScoringFunction for EuclideanLogScore {
 /// cosine similarity"). No tight-bound reduction is provided, so it can be
 /// used with the corner-bound algorithms (CBRR/CBPA) and the exhaustive
 /// baseline.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CosineSimilarityScore {
     /// Weight of the (linear) score term.
     pub w_s: f64,
@@ -236,6 +231,7 @@ impl ScoringFunction for CosineSimilarityScore {
 }
 
 #[cfg(test)]
+#[allow(clippy::type_complexity, clippy::needless_range_loop)]
 mod tests {
     use super::*;
 
@@ -262,16 +258,41 @@ mod tests {
         let s = EuclideanLogScore::new(1.0, 1.0, 1.0);
         let (r1, r2, r3) = table1();
         // τ1^(2) × τ2^(1) × τ3^(1) -> -7.0
-        let top = score_combo(&s, &[(&r1[1].0, r1[1].1), (&r2[0].0, r2[0].1), (&r3[0].0, r3[0].1)]);
+        let top = score_combo(
+            &s,
+            &[
+                (&r1[1].0, r1[1].1),
+                (&r2[0].0, r2[0].1),
+                (&r3[0].0, r3[0].1),
+            ],
+        );
         assert!((top - (-7.0)).abs() < 0.05, "expected -7.0, got {top}");
         // τ1^(1) × τ2^(1) × τ3^(1) -> -8.4
-        let second =
-            score_combo(&s, &[(&r1[0].0, r1[0].1), (&r2[0].0, r2[0].1), (&r3[0].0, r3[0].1)]);
-        assert!((second - (-8.4)).abs() < 0.05, "expected -8.4, got {second}");
+        let second = score_combo(
+            &s,
+            &[
+                (&r1[0].0, r1[0].1),
+                (&r2[0].0, r2[0].1),
+                (&r3[0].0, r3[0].1),
+            ],
+        );
+        assert!(
+            (second - (-8.4)).abs() < 0.05,
+            "expected -8.4, got {second}"
+        );
         // τ1^(2) × τ2^(2) × τ3^(2) -> -29.5 (worst)
-        let worst =
-            score_combo(&s, &[(&r1[1].0, r1[1].1), (&r2[1].0, r2[1].1), (&r3[1].0, r3[1].1)]);
-        assert!((worst - (-29.5)).abs() < 0.05, "expected -29.5, got {worst}");
+        let worst = score_combo(
+            &s,
+            &[
+                (&r1[1].0, r1[1].1),
+                (&r2[1].0, r2[1].1),
+                (&r3[1].0, r3[1].1),
+            ],
+        );
+        assert!(
+            (worst - (-29.5)).abs() < 0.05,
+            "expected -29.5, got {worst}"
+        );
     }
 
     #[test]

@@ -18,10 +18,9 @@ use prj_access::{Tuple, TupleId};
 use prj_geometry::Vector;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// The kind of point of interest stored in each of the three relations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CityKind {
     /// Hotels, ranked by number of stars (normalised to `(0, 1]`).
     Hotels,

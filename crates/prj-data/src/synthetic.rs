@@ -12,11 +12,10 @@ use prj_access::{Tuple, TupleId};
 use prj_geometry::Vector;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// Configuration of the synthetic generator; the defaults are the bold values
 /// of Table 2 (`K` lives in the workload, not here).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SyntheticConfig {
     /// Number of relations `n` (Table 2 default: 2).
     pub n_relations: usize,

@@ -6,11 +6,10 @@
 //! tested values.
 
 use crate::synthetic::SyntheticConfig;
-use serde::{Deserialize, Serialize};
 
 /// The default operating point (bold values of Table 2): `K = 10`, `d = 2`,
 /// `ρ = 50`, `ρ_1/ρ_2 = 1`, `n = 2`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Table2 {
     /// Number of requested results `K`.
     pub k: usize,
@@ -31,7 +30,7 @@ impl Default for Table2 {
 }
 
 /// The tested values of every operating parameter (Table 2).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ParameterGrid {
     /// Number of results `K`.
     pub k_values: Vec<usize>,
@@ -56,15 +55,7 @@ impl Default for ParameterGrid {
             density_values: vec![20.0, 50.0, 100.0, 200.0],
             skew_values: vec![1.0, 2.0, 4.0, 8.0],
             relation_counts: vec![2, 3, 4],
-            dominance_periods: vec![
-                Some(1),
-                Some(2),
-                Some(4),
-                Some(8),
-                Some(12),
-                Some(16),
-                None,
-            ],
+            dominance_periods: vec![Some(1), Some(2), Some(4), Some(8), Some(12), Some(16), None],
         }
     }
 }

@@ -1,0 +1,267 @@
+//! The relation catalog: register once, share everywhere.
+//!
+//! A serving engine cannot afford to bulk-load an R-tree per query the way
+//! the one-shot [`prj_core::ProblemBuilder`] does. The [`Catalog`] therefore
+//! builds each relation's access structures exactly once at registration
+//! time —
+//!
+//! * an R-tree over the tuples for distance-based access,
+//! * a score-sorted tuple array for score-based access,
+//! * [`RelationStats`] for the planner —
+//!
+//! and hands them out behind [`Arc`]s. Creating a per-query [`SortedAccess`]
+//! view ([`CatalogRelation::distance_view`] / [`CatalogRelation::score_view`])
+//! is O(1) in the relation size, so thousands of concurrent queries share one
+//! copy of the data without locks on the read path.
+
+use prj_access::{
+    RelationStats, SharedRTreeRelation, SharedScoreRelation, SortedAccess, Tuple, TupleId,
+    VecRelation,
+};
+use prj_core::ScoringFunction;
+use prj_geometry::Vector;
+use prj_index::RTree;
+use std::sync::{Arc, RwLock};
+
+/// Identifier of a registered relation, returned by [`Catalog::register`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RelationId(pub(crate) usize);
+
+impl RelationId {
+    /// The raw index of the relation in registration order.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+/// One registered relation: the raw tuples plus the shared, immutable access
+/// structures built from them.
+#[derive(Debug)]
+pub struct CatalogRelation {
+    name: Arc<str>,
+    tuples: Arc<Vec<Tuple>>,
+    /// R-tree over the tuples (distance-based access path).
+    rtree: Arc<RTree<(TupleId, f64)>>,
+    /// Tuples in non-increasing score order (score-based access path).
+    score_sorted: Arc<Vec<Tuple>>,
+    stats: RelationStats,
+}
+
+impl CatalogRelation {
+    fn build(name: &str, tuples: Vec<Tuple>) -> Self {
+        let stats = RelationStats::from_tuples(&tuples);
+        let dim = stats.dimensions.max(1);
+        let items: Vec<(Vector, (TupleId, f64))> = tuples
+            .iter()
+            .map(|t| (t.vector.clone(), (t.id, t.score)))
+            .collect();
+        let rtree = Arc::new(RTree::bulk_load(dim, items));
+        // Reuse VecRelation's ordering (score desc, ties by id) so catalog
+        // views are indistinguishable from single-query sources.
+        let score_sorted = Arc::new(
+            VecRelation::score_sorted(name.to_string(), tuples.clone())
+                .sorted_tuples()
+                .to_vec(),
+        );
+        CatalogRelation {
+            name: Arc::from(name),
+            tuples: Arc::new(tuples),
+            rtree,
+            score_sorted,
+            stats,
+        }
+    }
+
+    /// The relation's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The registered tuples, in registration order.
+    pub fn tuples(&self) -> &Arc<Vec<Tuple>> {
+        &self.tuples
+    }
+
+    /// The shared R-tree.
+    pub fn rtree(&self) -> &Arc<RTree<(TupleId, f64)>> {
+        &self.rtree
+    }
+
+    /// Data statistics computed at registration time.
+    pub fn stats(&self) -> RelationStats {
+        self.stats
+    }
+
+    /// An O(1) distance-based sorted-access view for `query`, walking the
+    /// shared R-tree (Euclidean frontier).
+    pub fn distance_view(&self, query: Vector) -> Box<dyn SortedAccess> {
+        Box::new(SharedRTreeRelation::new(
+            Arc::clone(&self.name),
+            Arc::clone(&self.rtree),
+            query,
+            self.stats.max_score,
+        ))
+    }
+
+    /// An O(1) score-based sorted-access view (query-independent).
+    pub fn score_view(&self) -> Box<dyn SortedAccess> {
+        Box::new(SharedScoreRelation::new(
+            Arc::clone(&self.name),
+            Arc::clone(&self.score_sorted),
+            self.stats.max_score,
+        ))
+    }
+
+    /// A distance-based view sorted under the *scoring function's own*
+    /// distance `δ` — the fallback for non-Euclidean scorings, where the
+    /// R-tree's Euclidean frontier would disagree with the proximity terms.
+    /// O(n log n) per query (the tuples are re-sorted), used only when the
+    /// planner has no shared structure that matches `δ`.
+    pub fn distance_view_by<S: ScoringFunction>(
+        &self,
+        scoring: &S,
+        query: &Vector,
+    ) -> Box<dyn SortedAccess> {
+        let q = query.clone();
+        let rel = VecRelation::distance_sorted_by(
+            self.name.to_string(),
+            self.tuples.as_ref().clone(),
+            move |t| scoring.distance(&t.vector, &q),
+        )
+        .with_max_score(self.stats.max_score);
+        Box::new(rel)
+    }
+}
+
+/// A concurrent registry of relations.
+///
+/// Registration takes a write lock; queries only ever take the read lock for
+/// the instant it takes to clone the relevant [`Arc`]s.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    relations: RwLock<Vec<Arc<CatalogRelation>>>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Registers a relation, building its shared access structures, and
+    /// returns its id. Tuple ids should be tagged with the relation's
+    /// registration index for readable results (the engine does not rewrite
+    /// them).
+    pub fn register(&self, name: impl AsRef<str>, tuples: Vec<Tuple>) -> RelationId {
+        let relation = Arc::new(CatalogRelation::build(name.as_ref(), tuples));
+        let mut relations = self.relations.write().expect("catalog lock");
+        relations.push(relation);
+        RelationId(relations.len() - 1)
+    }
+
+    /// The relation registered under `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` does not come from this catalog.
+    pub fn relation(&self, id: RelationId) -> Arc<CatalogRelation> {
+        Arc::clone(&self.relations.read().expect("catalog lock")[id.0])
+    }
+
+    /// Snapshots the relations registered under `ids`, in order.
+    pub fn snapshot(&self, ids: &[RelationId]) -> Vec<Arc<CatalogRelation>> {
+        let relations = self.relations.read().expect("catalog lock");
+        ids.iter().map(|id| Arc::clone(&relations[id.0])).collect()
+    }
+
+    /// Number of registered relations.
+    pub fn len(&self) -> usize {
+        self.relations.read().expect("catalog lock").len()
+    }
+
+    /// `true` when no relation has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Ids of all registered relations, in registration order.
+    pub fn all_ids(&self) -> Vec<RelationId> {
+        (0..self.len()).map(RelationId).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prj_access::AccessKind;
+
+    fn mk_tuples(rel: usize, n: usize) -> Vec<Tuple> {
+        (0..n)
+            .map(|i| {
+                let x = ((i * 37) % 100) as f64 / 10.0 - 5.0;
+                let y = ((i * 53) % 100) as f64 / 10.0 - 5.0;
+                Tuple::new(
+                    TupleId::new(rel, i),
+                    Vector::from([x, y]),
+                    (i % 10) as f64 / 10.0 + 0.05,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn register_and_snapshot() {
+        let catalog = Catalog::new();
+        let a = catalog.register("hotels", mk_tuples(0, 20));
+        let b = catalog.register("restaurants", mk_tuples(1, 30));
+        assert_eq!(catalog.len(), 2);
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        let snap = catalog.snapshot(&[b, a]);
+        assert_eq!(snap[0].name(), "restaurants");
+        assert_eq!(snap[1].name(), "hotels");
+        assert_eq!(snap[0].stats().cardinality, 30);
+        assert_eq!(catalog.all_ids(), vec![a, b]);
+    }
+
+    #[test]
+    fn views_share_rather_than_copy() {
+        let catalog = Catalog::new();
+        let id = catalog.register("r", mk_tuples(0, 40));
+        let rel = catalog.relation(id);
+        let v1 = rel.distance_view(Vector::from([0.0, 0.0]));
+        let v2 = rel.distance_view(Vector::from([1.0, 1.0]));
+        assert_eq!(v1.kind(), AccessKind::Distance);
+        assert_eq!(v2.total_len(), Some(40));
+        // Three users of the tree: the catalog entry and the two views.
+        assert_eq!(Arc::strong_count(rel.rtree()), 3);
+    }
+
+    #[test]
+    fn score_view_is_score_sorted() {
+        let catalog = Catalog::new();
+        let id = catalog.register("r", mk_tuples(0, 25));
+        let mut view = catalog.relation(id).score_view();
+        let mut previous = f64::INFINITY;
+        let mut count = 0;
+        while let Some(t) = view.next_tuple() {
+            assert!(t.score <= previous);
+            previous = t.score;
+            count += 1;
+        }
+        assert_eq!(count, 25);
+    }
+
+    #[test]
+    fn distance_view_orders_by_distance() {
+        let catalog = Catalog::new();
+        let id = catalog.register("r", mk_tuples(0, 35));
+        let query = Vector::from([0.5, -0.5]);
+        let mut view = catalog.relation(id).distance_view(query.clone());
+        let mut previous = f64::NEG_INFINITY;
+        while let Some(t) = view.next_tuple() {
+            let d = t.distance_to(&query);
+            assert!(d >= previous - 1e-12);
+            previous = d;
+        }
+    }
+}

@@ -1,0 +1,700 @@
+//! The engine façade: the piece that turns the ProxRJ library into a
+//! multi-query serving system.
+//!
+//! A query's life: [`Engine::submit`] computes its cache key and returns a
+//! memoised result immediately on a hit; on a miss it snapshots the catalog
+//! relations (Arc clones), asks the [`Planner`] for an algorithm, builds a
+//! [`prj_core::Problem`] out of O(1) shared-index views, and hands the run to
+//! the [`Executor`]'s thread pool. The caller gets a [`QueryTicket`] to wait
+//! on; [`Engine::stream`] instead returns a [`ResultStream`] whose
+//! [`next_result`](ResultStream::next_result) pulls certified results one at
+//! a time out of an incremental [`prj_core::StreamingRun`], mirroring the
+//! paper's pulling model end to end.
+
+use crate::cache::{CacheKey, CacheMetrics, CachedExecution, ResultCache};
+use crate::catalog::{Catalog, CatalogRelation, RelationId};
+use crate::executor::Executor;
+use crate::planner::{Plan, Planner, PlannerConfig};
+use crate::stats::{EngineStats, EngineStatsSnapshot, QueryRecord};
+use prj_access::AccessKind;
+use prj_core::{
+    Algorithm, CosineSimilarityScore, EuclideanLogScore, PrjError, ProblemBuilder, RankJoinResult,
+    ScoredCombination, ScoringFunction,
+};
+use prj_geometry::Vector;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::mpsc::{sync_channel, Receiver};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Capacity of a stream's in-flight buffer: the producer runs at most this
+/// many certified results ahead of the consumer (backpressure mirroring the
+/// incremental pulling model).
+const STREAM_BUFFER: usize = 8;
+
+/// Scoring functions usable as cache-key components.
+///
+/// The fingerprint must change whenever the function would score some
+/// combination differently; collisions across *different* scoring families
+/// are avoided by hashing the name alongside the parameters.
+pub trait CacheFingerprint {
+    /// A 64-bit digest of the scoring parameters.
+    fn cache_fingerprint(&self) -> u64;
+}
+
+impl CacheFingerprint for EuclideanLogScore {
+    fn cache_fingerprint(&self) -> u64 {
+        let w = self.weights();
+        let mut h = DefaultHasher::new();
+        "euclidean-log".hash(&mut h);
+        w.w_s.to_bits().hash(&mut h);
+        w.w_q.to_bits().hash(&mut h);
+        w.w_mu.to_bits().hash(&mut h);
+        h.finish()
+    }
+}
+
+impl CacheFingerprint for CosineSimilarityScore {
+    fn cache_fingerprint(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        "cosine-similarity".hash(&mut h);
+        self.w_s.to_bits().hash(&mut h);
+        self.w_q.to_bits().hash(&mut h);
+        self.w_mu.to_bits().hash(&mut h);
+        h.finish()
+    }
+}
+
+/// Errors surfaced by the engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// The underlying operator rejected the query.
+    Prj(PrjError),
+    /// The worker executing the query disappeared (it panicked).
+    WorkerLost,
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Prj(e) => write!(f, "operator error: {e}"),
+            EngineError::WorkerLost => write!(f, "engine worker disappeared"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<PrjError> for EngineError {
+    fn from(e: PrjError) -> Self {
+        EngineError::Prj(e)
+    }
+}
+
+/// One top-k request against registered relations.
+#[derive(Debug, Clone)]
+pub struct QuerySpec<S = EuclideanLogScore> {
+    /// The relations to join, in join order.
+    pub relations: Vec<RelationId>,
+    /// The query point `q`.
+    pub query: Vector,
+    /// Number of requested results `K`.
+    pub k: usize,
+    /// The aggregation function.
+    pub scoring: S,
+    /// Sorted-access kind (Definition 2.1).
+    pub access_kind: AccessKind,
+    /// Pin a specific algorithm, or let the planner choose (`None`).
+    pub algorithm: Option<Algorithm>,
+}
+
+impl QuerySpec<EuclideanLogScore> {
+    /// A distance-access top-k query under the paper's default scoring
+    /// (Eq. 2 with unit weights).
+    pub fn top_k(relations: Vec<RelationId>, query: Vector, k: usize) -> Self {
+        QuerySpec {
+            relations,
+            query,
+            k,
+            scoring: EuclideanLogScore::default(),
+            access_kind: AccessKind::Distance,
+            algorithm: None,
+        }
+    }
+}
+
+impl<S> QuerySpec<S> {
+    /// Pins the operator instantiation instead of consulting the planner.
+    pub fn with_algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = Some(algorithm);
+        self
+    }
+
+    /// Selects the sorted-access kind.
+    pub fn with_access_kind(mut self, kind: AccessKind) -> Self {
+        self.access_kind = kind;
+        self
+    }
+
+    /// Replaces the scoring function.
+    pub fn with_scoring<T>(self, scoring: T) -> QuerySpec<T> {
+        QuerySpec {
+            relations: self.relations,
+            query: self.query,
+            k: self.k,
+            scoring,
+            access_kind: self.access_kind,
+            algorithm: self.algorithm,
+        }
+    }
+}
+
+/// The outcome of one engine query.
+#[derive(Debug, Clone)]
+pub struct EngineResult {
+    execution: Arc<CachedExecution>,
+    /// Whether the result was served from the cache.
+    pub from_cache: bool,
+    /// End-to-end latency observed by the engine.
+    pub latency: Duration,
+}
+
+impl EngineResult {
+    /// The top-K combinations, best first.
+    pub fn combinations(&self) -> &[ScoredCombination] {
+        &self.execution.result.combinations
+    }
+
+    /// The full operator result (depths, metrics).
+    pub fn result(&self) -> &RankJoinResult {
+        &self.execution.result
+    }
+
+    /// The plan the result was produced with.
+    pub fn plan(&self) -> &Plan {
+        &self.execution.plan
+    }
+}
+
+/// A handle to an in-flight query submitted to the pool.
+#[derive(Debug)]
+pub struct QueryTicket {
+    receiver: Receiver<Result<EngineResult, EngineError>>,
+}
+
+impl QueryTicket {
+    /// Blocks until the result is available.
+    pub fn wait(self) -> Result<EngineResult, EngineError> {
+        self.receiver.recv().unwrap_or(Err(EngineError::WorkerLost))
+    }
+}
+
+enum StreamInner {
+    /// Replaying a cached execution.
+    Replay {
+        execution: Arc<CachedExecution>,
+        cursor: usize,
+    },
+    /// Receiving from a live incremental run on a worker thread.
+    Live(Receiver<ScoredCombination>),
+}
+
+/// A streaming query: results are pulled one at a time, each produced with
+/// only as many sorted accesses as its certification required.
+pub struct ResultStream {
+    inner: StreamInner,
+    /// The plan the stream runs under.
+    pub plan: Plan,
+    /// Whether the stream replays a cached execution.
+    pub from_cache: bool,
+}
+
+impl ResultStream {
+    /// The next certified result, best first; `None` once the top-K is
+    /// exhausted. On a live stream this blocks while the worker performs the
+    /// accesses the next result needs.
+    pub fn next_result(&mut self) -> Option<ScoredCombination> {
+        match &mut self.inner {
+            StreamInner::Replay { execution, cursor } => {
+                let combo = execution.result.combinations.get(*cursor).cloned();
+                *cursor += combo.is_some() as usize;
+                combo
+            }
+            StreamInner::Live(receiver) => receiver.recv().ok(),
+        }
+    }
+}
+
+/// Configuration builder for [`Engine`].
+#[derive(Debug, Clone)]
+pub struct EngineBuilder {
+    threads: usize,
+    cache_capacity: usize,
+    planner: PlannerConfig,
+}
+
+impl Default for EngineBuilder {
+    fn default() -> Self {
+        EngineBuilder {
+            threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            cache_capacity: 1024,
+            planner: PlannerConfig::default(),
+        }
+    }
+}
+
+impl EngineBuilder {
+    /// Number of worker threads (default: available parallelism).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Result-cache capacity in entries (default 1024; 0 disables caching).
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Planner thresholds.
+    pub fn planner_config(mut self, config: PlannerConfig) -> Self {
+        self.planner = config;
+        self
+    }
+
+    /// Builds the engine.
+    pub fn build<S>(self) -> Engine<S>
+    where
+        S: ScoringFunction + Clone + CacheFingerprint + 'static,
+    {
+        Engine {
+            catalog: Arc::new(Catalog::new()),
+            executor: Executor::new(self.threads),
+            cache: Arc::new(ResultCache::new(self.cache_capacity)),
+            stats: Arc::new(EngineStats::new()),
+            planner: Planner::with_config(self.planner),
+            _scoring: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A concurrent query-serving engine over the ProxRJ operator.
+pub struct Engine<S = EuclideanLogScore>
+where
+    S: ScoringFunction + Clone + CacheFingerprint + 'static,
+{
+    catalog: Arc<Catalog>,
+    executor: Executor,
+    cache: Arc<ResultCache>,
+    stats: Arc<EngineStats>,
+    planner: Planner,
+    _scoring: std::marker::PhantomData<fn() -> S>,
+}
+
+impl<S> Engine<S>
+where
+    S: ScoringFunction + Clone + CacheFingerprint + 'static,
+{
+    /// An engine with default settings.
+    pub fn new() -> Self {
+        EngineBuilder::default().build()
+    }
+
+    /// A configuration builder.
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::default()
+    }
+
+    /// Registers a relation in the catalog (builds its shared indexes once).
+    pub fn register(&self, name: impl AsRef<str>, tuples: Vec<prj_access::Tuple>) -> RelationId {
+        self.catalog.register(name, tuples)
+    }
+
+    /// The shared catalog.
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        &self.catalog
+    }
+
+    /// Number of executor worker threads.
+    pub fn threads(&self) -> usize {
+        self.executor.threads()
+    }
+
+    /// Engine-level statistics.
+    pub fn stats(&self) -> EngineStatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Result-cache counters.
+    pub fn cache_metrics(&self) -> CacheMetrics {
+        self.cache.metrics()
+    }
+
+    fn cache_key(&self, spec: &QuerySpec<S>) -> CacheKey {
+        CacheKey::new(
+            spec.relations.iter().map(|r| r.index()).collect(),
+            &spec.query,
+            spec.k,
+            spec.access_kind,
+            spec.algorithm,
+            spec.scoring.cache_fingerprint(),
+        )
+    }
+
+    /// Plans the query and builds a problem out of O(1) shared-index views.
+    fn prepare(&self, spec: &QuerySpec<S>) -> Result<(Plan, prj_core::Problem<S>), EngineError> {
+        let snapshot: Vec<Arc<CatalogRelation>> = self.catalog.snapshot(&spec.relations);
+        let reducible = spec.scoring.euclidean_weights().is_some();
+        let plan = match spec.algorithm {
+            Some(algorithm) => Plan {
+                algorithm,
+                dominance_period: None,
+                rationale: "algorithm pinned by the query".to_string(),
+            },
+            None => {
+                let stats: Vec<_> = snapshot.iter().map(|r| r.stats()).collect();
+                self.planner.plan(reducible, &stats)
+            }
+        };
+        let mut builder = ProblemBuilder::new(spec.query.clone(), spec.scoring.clone())
+            .k(spec.k)
+            .access_kind(spec.access_kind)
+            .dominance_period(plan.dominance_period);
+        for relation in &snapshot {
+            let view = match spec.access_kind {
+                AccessKind::Distance if reducible => relation.distance_view(spec.query.clone()),
+                // Non-Euclidean proximity: the shared R-tree's Euclidean
+                // frontier would disagree with the scoring's own distance, so
+                // fall back to a per-query sort under δ.
+                AccessKind::Distance => relation.distance_view_by(&spec.scoring, &spec.query),
+                AccessKind::Score => relation.score_view(),
+            };
+            builder = builder.relation(view);
+        }
+        let problem = builder.build().map_err(EngineError::Prj)?;
+        Ok((plan, problem))
+    }
+
+    /// Submits a query to the pool and returns a ticket to wait on.
+    ///
+    /// Cache hits and planning errors resolve the ticket immediately; misses
+    /// run on a worker thread.
+    pub fn submit(&self, spec: QuerySpec<S>) -> QueryTicket {
+        let started = Instant::now();
+        let (sender, receiver) = sync_channel(1);
+        let key = self.cache_key(&spec);
+
+        if let Some(execution) = self.cache.get(&key) {
+            let latency = started.elapsed();
+            self.stats.record(QueryRecord {
+                latency,
+                sum_depths: 0,
+                bound_updates: 0,
+                from_cache: true,
+            });
+            let _ = sender.send(Ok(EngineResult {
+                execution,
+                from_cache: true,
+                latency,
+            }));
+            return QueryTicket { receiver };
+        }
+
+        let prepared = self.prepare(&spec);
+        match prepared {
+            Err(e) => {
+                let _ = sender.send(Err(e));
+            }
+            Ok((plan, mut problem)) => {
+                let cache = Arc::clone(&self.cache);
+                let stats = Arc::clone(&self.stats);
+                self.executor.spawn(move || {
+                    // Re-check the cache at execution time: a duplicate query
+                    // queued behind the first execution of this key should be
+                    // served from its result, not re-run (thundering herd).
+                    if let Some(execution) = cache.get(&key) {
+                        let latency = started.elapsed();
+                        stats.record(QueryRecord {
+                            latency,
+                            sum_depths: 0,
+                            bound_updates: 0,
+                            from_cache: true,
+                        });
+                        let _ = sender.send(Ok(EngineResult {
+                            execution,
+                            from_cache: true,
+                            latency,
+                        }));
+                        return;
+                    }
+                    let outcome = plan.algorithm.run(&mut problem).map_err(EngineError::Prj);
+                    let response = outcome.map(|result| {
+                        let latency = started.elapsed();
+                        stats.record(QueryRecord {
+                            latency,
+                            sum_depths: result.stats.sum_depths(),
+                            bound_updates: result.metrics.bound_updates,
+                            from_cache: false,
+                        });
+                        let execution = Arc::new(CachedExecution { result, plan });
+                        cache.insert(key, Arc::clone(&execution));
+                        EngineResult {
+                            execution,
+                            from_cache: false,
+                            latency,
+                        }
+                    });
+                    let _ = sender.send(response);
+                });
+            }
+        }
+        QueryTicket { receiver }
+    }
+
+    /// Runs one query to completion (submit + wait).
+    pub fn query(&self, spec: QuerySpec<S>) -> Result<EngineResult, EngineError> {
+        self.submit(spec).wait()
+    }
+
+    /// Submits a batch and waits for every result, preserving order.
+    pub fn query_batch(&self, specs: Vec<QuerySpec<S>>) -> Vec<Result<EngineResult, EngineError>> {
+        let tickets: Vec<QueryTicket> = specs.into_iter().map(|s| self.submit(s)).collect();
+        tickets.into_iter().map(|t| t.wait()).collect()
+    }
+
+    /// Opens a streaming query: results are certified and delivered one at a
+    /// time (the paper's incremental pulling model), with backpressure.
+    ///
+    /// A fully drained stream populates the result cache just like a batch
+    /// query; a cache hit replays the memoised combinations. Live streams run
+    /// on a dedicated thread rather than a pool worker: their producer is
+    /// consumer-paced (it blocks once it runs a few results
+    /// ahead), and a slow or idle consumer must not starve the pool that
+    /// serves batch queries.
+    pub fn stream(&self, spec: QuerySpec<S>) -> Result<ResultStream, EngineError> {
+        let started = Instant::now();
+        let key = self.cache_key(&spec);
+        if let Some(execution) = self.cache.get(&key) {
+            self.stats.record(QueryRecord {
+                latency: started.elapsed(),
+                sum_depths: 0,
+                bound_updates: 0,
+                from_cache: true,
+            });
+            let plan = execution.plan.clone();
+            return Ok(ResultStream {
+                inner: StreamInner::Replay {
+                    execution,
+                    cursor: 0,
+                },
+                plan,
+                from_cache: true,
+            });
+        }
+
+        let (plan, problem) = self.prepare(&spec)?;
+        let mut run = plan
+            .algorithm
+            .start_streaming(problem)
+            .map_err(EngineError::Prj)?;
+        let (sender, receiver) = sync_channel(STREAM_BUFFER);
+        let cache = Arc::clone(&self.cache);
+        let stats = Arc::clone(&self.stats);
+        let worker_plan = plan.clone();
+        std::thread::Builder::new()
+            .name("prj-engine-stream".to_string())
+            .spawn(move || {
+                while let Some(combo) = run.next_certified() {
+                    if sender.send(combo).is_err() {
+                        // Consumer dropped the stream: abandon the run
+                        // without caching the partial result.
+                        return;
+                    }
+                }
+                let result = run.into_result();
+                stats.record(QueryRecord {
+                    // The operator tracks its active stepping time, so the
+                    // recorded latency measures engine work, not how slowly
+                    // the consumer drained the stream.
+                    latency: result.metrics.total_time,
+                    sum_depths: result.stats.sum_depths(),
+                    bound_updates: result.metrics.bound_updates,
+                    from_cache: false,
+                });
+                cache.insert(
+                    key,
+                    Arc::new(CachedExecution {
+                        result,
+                        plan: worker_plan,
+                    }),
+                );
+                // Dropping the sender closes the stream.
+            })
+            .expect("spawn stream thread");
+        Ok(ResultStream {
+            inner: StreamInner::Live(receiver),
+            plan,
+            from_cache: false,
+        })
+    }
+}
+
+impl<S> Default for Engine<S>
+where
+    S: ScoringFunction + Clone + CacheFingerprint + 'static,
+{
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prj_access::{Tuple, TupleId};
+
+    fn table1() -> Vec<Vec<Tuple>> {
+        let mk = |rel: usize, rows: &[([f64; 2], f64)]| -> Vec<Tuple> {
+            rows.iter()
+                .enumerate()
+                .map(|(i, (x, s))| Tuple::new(TupleId::new(rel, i), Vector::from(*x), *s))
+                .collect()
+        };
+        vec![
+            mk(0, &[([0.0, -0.5], 0.5), ([0.0, 1.0], 1.0)]),
+            mk(1, &[([1.0, 1.0], 1.0), ([-2.0, 2.0], 0.8)]),
+            mk(2, &[([-1.0, 1.0], 1.0), ([-2.0, -2.0], 0.4)]),
+        ]
+    }
+
+    fn table1_engine() -> (Engine, Vec<RelationId>) {
+        let engine: Engine = EngineBuilder::default().threads(2).build();
+        let ids = table1()
+            .into_iter()
+            .enumerate()
+            .map(|(i, tuples)| engine.register(format!("R{}", i + 1), tuples))
+            .collect();
+        (engine, ids)
+    }
+
+    #[test]
+    fn serves_the_paper_example() {
+        let (engine, ids) = table1_engine();
+        let spec = QuerySpec::top_k(ids, Vector::from([0.0, 0.0]), 1)
+            .with_scoring(EuclideanLogScore::new(1.0, 1.0, 1.0));
+        let result = engine.query(spec).expect("query");
+        assert_eq!(result.combinations().len(), 1);
+        // Example 3.1: the top combination scores -7.
+        assert!((result.combinations()[0].score - (-7.0)).abs() < 0.05);
+        assert!(!result.from_cache);
+    }
+
+    #[test]
+    fn second_identical_query_hits_the_cache() {
+        let (engine, ids) = table1_engine();
+        let spec = QuerySpec::top_k(ids, Vector::from([0.0, 0.0]), 2);
+        let cold = engine.query(spec.clone()).expect("cold");
+        let warm = engine.query(spec).expect("warm");
+        assert!(!cold.from_cache);
+        assert!(warm.from_cache);
+        assert_eq!(cold.combinations(), warm.combinations());
+        let stats = engine.stats();
+        assert_eq!(stats.queries, 2);
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.executed, 1);
+        assert_eq!(engine.cache_metrics().hits, 1);
+    }
+
+    #[test]
+    fn different_parameters_do_not_share_cache_entries() {
+        let (engine, ids) = table1_engine();
+        let base = QuerySpec::top_k(ids, Vector::from([0.0, 0.0]), 2);
+        engine.query(base.clone()).expect("first");
+        let different_k = QuerySpec {
+            k: 3,
+            ..base.clone()
+        };
+        assert!(!engine.query(different_k).expect("k=3").from_cache);
+        let different_q = QuerySpec {
+            query: Vector::from([0.1, 0.0]),
+            ..base.clone()
+        };
+        assert!(!engine.query(different_q).expect("moved q").from_cache);
+        let different_w = base
+            .clone()
+            .with_scoring(EuclideanLogScore::new(2.0, 1.0, 1.0));
+        assert!(!engine.query(different_w).expect("weights").from_cache);
+        let pinned = base.with_algorithm(Algorithm::Cbrr);
+        assert!(!engine.query(pinned).expect("pinned").from_cache);
+    }
+
+    #[test]
+    fn streaming_matches_batch_and_populates_cache() {
+        let (engine, ids) = table1_engine();
+        let spec = QuerySpec::top_k(ids, Vector::from([0.0, 0.0]), 8);
+        let batch = engine.query(spec.clone()).expect("batch");
+        engine.cache.clear();
+        let mut stream = engine.stream(spec.clone()).expect("stream");
+        let mut streamed = Vec::new();
+        while let Some(combo) = stream.next_result() {
+            streamed.push(combo);
+        }
+        assert_eq!(streamed.as_slice(), batch.combinations());
+        // The drained stream cached its execution; a replayed stream agrees.
+        let mut replay = engine.stream(spec).expect("replay");
+        assert!(replay.from_cache);
+        let mut replayed = Vec::new();
+        while let Some(combo) = replay.next_result() {
+            replayed.push(combo);
+        }
+        assert_eq!(replayed, streamed);
+    }
+
+    #[test]
+    fn pinned_algorithm_is_respected() {
+        let (engine, ids) = table1_engine();
+        let spec =
+            QuerySpec::top_k(ids, Vector::from([0.0, 0.0]), 1).with_algorithm(Algorithm::Cbrr);
+        let result = engine.query(spec).expect("query");
+        assert_eq!(result.plan().algorithm, Algorithm::Cbrr);
+        assert!(result.plan().rationale.contains("pinned"));
+    }
+
+    #[test]
+    fn cosine_scoring_is_served_with_corner_bound() {
+        let engine: Engine<CosineSimilarityScore> = EngineBuilder::default().threads(1).build();
+        let mk = |rel: usize, rows: &[([f64; 2], f64)]| -> Vec<Tuple> {
+            rows.iter()
+                .enumerate()
+                .map(|(i, (x, s))| Tuple::new(TupleId::new(rel, i), Vector::from(*x), *s))
+                .collect()
+        };
+        let a = engine.register("a", mk(0, &[([0.5, 0.1], 0.9), ([0.0, 1.0], 0.8)]));
+        let b = engine.register("b", mk(1, &[([0.8, 0.2], 0.7), ([-1.0, 0.1], 0.6)]));
+        let spec = QuerySpec {
+            relations: vec![a, b],
+            query: Vector::from([1.0, 0.0]),
+            k: 1,
+            scoring: CosineSimilarityScore::default(),
+            access_kind: AccessKind::Distance,
+            algorithm: None,
+        };
+        let result = engine.query(spec).expect("cosine query");
+        assert!(matches!(
+            result.plan().algorithm,
+            Algorithm::Cbrr | Algorithm::Cbpa
+        ));
+        assert_eq!(result.combinations().len(), 1);
+    }
+
+    #[test]
+    fn invalid_query_reports_an_operator_error() {
+        let (engine, ids) = table1_engine();
+        let spec = QuerySpec::top_k(ids, Vector::from([0.0, 0.0]), 0);
+        match engine.query(spec) {
+            Err(EngineError::Prj(PrjError::InvalidK)) => {}
+            other => panic!("expected InvalidK, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! # prj-engine — a concurrent query-serving subsystem over ProxRJ
+//!
+//! The other `prj-*` crates reproduce the *Proximity Rank Join* operator
+//! (Martinenghi & Tagliasacchi, PVLDB 2010) as a single-shot library call:
+//! build a [`prj_core::Problem`], run an [`prj_core::Algorithm`], get a
+//! top-K. This crate adds the execution layer that turns that operator into
+//! a multi-query serving engine:
+//!
+//! * [`catalog`] — relations are registered **once**; their R-tree, their
+//!   score-sorted array and their [`prj_access::RelationStats`] are built at
+//!   registration time and shared behind [`std::sync::Arc`]s, so creating a
+//!   per-query sorted-access view is O(1) and thousands of concurrent
+//!   queries read one copy of the data.
+//! * [`planner`] — per query, chooses among the paper's four instantiations
+//!   (CBRR/CBPA/TBRR/TBPA) and decides whether to enable the LP dominance
+//!   test, using the relation statistics: the tight bound whenever the
+//!   scoring admits the Euclidean reduction, potential-adaptive pulling under
+//!   cardinality imbalance or score skew, dominance testing for deep runs.
+//! * [`executor`] — a fixed pool of worker threads (std threads + channels,
+//!   no external runtime) running batches of queries in parallel;
+//!   [`engine::Engine::stream`] exposes the paper's incremental pulling model
+//!   as a streaming [`engine::ResultStream::next_result`] API with
+//!   backpressure, backed by [`prj_core::StreamingRun`].
+//! * [`cache`] — an LRU result cache keyed by (relations, query point bits,
+//!   `k`, scoring parameters, algorithm), with hit/miss/eviction metrics;
+//!   ProxRJ runs are pure, so memoised results are byte-identical to cold
+//!   ones.
+//! * [`stats`] — engine-wide aggregation of the operator's metrics (depths,
+//!   bound evaluations, latency percentiles) on top of
+//!   [`prj_access::AccessStats`].
+//!
+//! ## Example
+//!
+//! ```
+//! use prj_engine::{Engine, EngineBuilder, QuerySpec};
+//! use prj_access::{Tuple, TupleId};
+//! use prj_geometry::Vector;
+//!
+//! // The paper's Table 1 relations, registered once.
+//! let mk = |rel: usize, rows: &[([f64; 2], f64)]| -> Vec<Tuple> {
+//!     rows.iter()
+//!         .enumerate()
+//!         .map(|(i, (x, s))| Tuple::new(TupleId::new(rel, i), Vector::from(*x), *s))
+//!         .collect()
+//! };
+//! let engine: Engine = EngineBuilder::default().threads(2).build();
+//! let r1 = engine.register("R1", mk(0, &[([0.0, -0.5], 0.5), ([0.0, 1.0], 1.0)]));
+//! let r2 = engine.register("R2", mk(1, &[([1.0, 1.0], 1.0), ([-2.0, 2.0], 0.8)]));
+//! let r3 = engine.register("R3", mk(2, &[([-1.0, 1.0], 1.0), ([-2.0, -2.0], 0.4)]));
+//!
+//! // Serve queries concurrently; identical queries hit the result cache.
+//! let spec = QuerySpec::top_k(vec![r1, r2, r3], Vector::from([0.0, 0.0]), 1);
+//! let cold = engine.query(spec.clone()).unwrap();
+//! let warm = engine.query(spec).unwrap();
+//! assert!((cold.combinations()[0].score - (-7.0)).abs() < 0.05); // Example 3.1
+//! assert!(!cold.from_cache);
+//! assert!(warm.from_cache);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod catalog;
+pub mod engine;
+pub mod executor;
+pub mod planner;
+pub mod stats;
+
+pub use cache::{CacheKey, CacheMetrics, CachedExecution, ResultCache};
+pub use catalog::{Catalog, CatalogRelation, RelationId};
+pub use engine::{
+    CacheFingerprint, Engine, EngineBuilder, EngineError, EngineResult, QuerySpec, QueryTicket,
+    ResultStream,
+};
+pub use executor::Executor;
+pub use planner::{Plan, Planner, PlannerConfig};
+pub use stats::{EngineStats, EngineStatsSnapshot, QueryRecord};

@@ -1,0 +1,209 @@
+//! Engine-level statistics: aggregation of per-query operator metrics.
+//!
+//! Every query — cold or cached — contributes one [`QueryRecord`] built from
+//! the operator's [`prj_core::RunMetrics`] and [`prj_access::AccessStats`].
+//! The aggregate keeps running totals (depths, bound evaluations, latency
+//! extremes) plus a bounded ring of recent latencies for percentile
+//! estimates, so observing a long-lived engine costs O(1) memory.
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// How many recent latencies the percentile ring retains.
+const LATENCY_RING: usize = 4096;
+
+/// One served query, as recorded by the engine.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryRecord {
+    /// End-to-end latency observed by the engine (queueing + execution).
+    pub latency: Duration,
+    /// `sumDepths` of the run (0 for cache hits — no access was performed).
+    pub sum_depths: usize,
+    /// Number of `updateBound` evaluations (0 for cache hits).
+    pub bound_updates: usize,
+    /// Whether the result came from the cache.
+    pub from_cache: bool,
+}
+
+#[derive(Debug, Default)]
+struct Totals {
+    queries: u64,
+    cache_hits: u64,
+    executed: u64,
+    total_latency: Duration,
+    min_latency: Option<Duration>,
+    max_latency: Duration,
+    total_sum_depths: u64,
+    total_bound_updates: u64,
+    recent_latencies: Vec<Duration>,
+    ring_cursor: usize,
+}
+
+/// Thread-safe aggregate of everything the engine has served.
+#[derive(Debug, Default)]
+pub struct EngineStats {
+    totals: Mutex<Totals>,
+}
+
+impl EngineStats {
+    /// Creates an empty aggregate.
+    pub fn new() -> Self {
+        EngineStats::default()
+    }
+
+    /// Records one served query.
+    pub fn record(&self, record: QueryRecord) {
+        let mut t = self.totals.lock().expect("stats lock");
+        t.queries += 1;
+        if record.from_cache {
+            t.cache_hits += 1;
+        } else {
+            t.executed += 1;
+        }
+        t.total_latency += record.latency;
+        t.min_latency = Some(
+            t.min_latency
+                .map_or(record.latency, |m| m.min(record.latency)),
+        );
+        t.max_latency = t.max_latency.max(record.latency);
+        t.total_sum_depths += record.sum_depths as u64;
+        t.total_bound_updates += record.bound_updates as u64;
+        if t.recent_latencies.len() < LATENCY_RING {
+            t.recent_latencies.push(record.latency);
+        } else {
+            let cursor = t.ring_cursor;
+            t.recent_latencies[cursor] = record.latency;
+            t.ring_cursor = (cursor + 1) % LATENCY_RING;
+        }
+    }
+
+    /// A point-in-time snapshot.
+    pub fn snapshot(&self) -> EngineStatsSnapshot {
+        let t = self.totals.lock().expect("stats lock");
+        let mut recent = t.recent_latencies.clone();
+        recent.sort_unstable();
+        let percentile = |p: f64| -> Duration {
+            if recent.is_empty() {
+                Duration::ZERO
+            } else {
+                let idx = ((recent.len() - 1) as f64 * p).floor() as usize;
+                recent[idx]
+            }
+        };
+        EngineStatsSnapshot {
+            queries: t.queries,
+            cache_hits: t.cache_hits,
+            executed: t.executed,
+            mean_latency: if t.queries == 0 {
+                Duration::ZERO
+            } else {
+                t.total_latency / t.queries as u32
+            },
+            min_latency: t.min_latency.unwrap_or(Duration::ZERO),
+            max_latency: t.max_latency,
+            p50_latency: percentile(0.50),
+            p95_latency: percentile(0.95),
+            total_sum_depths: t.total_sum_depths,
+            total_bound_updates: t.total_bound_updates,
+        }
+    }
+}
+
+/// Point-in-time engine statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineStatsSnapshot {
+    /// Total queries served (cold + cached).
+    pub queries: u64,
+    /// Queries answered from the result cache.
+    pub cache_hits: u64,
+    /// Queries that actually ran the operator.
+    pub executed: u64,
+    /// Mean end-to-end latency.
+    pub mean_latency: Duration,
+    /// Fastest query.
+    pub min_latency: Duration,
+    /// Slowest query.
+    pub max_latency: Duration,
+    /// Median latency over the recent ring.
+    pub p50_latency: Duration,
+    /// 95th-percentile latency over the recent ring.
+    pub p95_latency: Duration,
+    /// Sum of `sumDepths` over all executed runs — the paper's I/O metric,
+    /// aggregated fleet-wide.
+    pub total_sum_depths: u64,
+    /// Total `updateBound` evaluations over all executed runs.
+    pub total_bound_updates: u64,
+}
+
+impl EngineStatsSnapshot {
+    /// Cache hit rate in `[0, 1]`.
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.queries as f64
+        }
+    }
+
+    /// Mean sorted accesses per *executed* (non-cached) query.
+    pub fn mean_sum_depths(&self) -> f64 {
+        if self.executed == 0 {
+            0.0
+        } else {
+            self.total_sum_depths as f64 / self.executed as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(us: u64, depths: usize, cached: bool) -> QueryRecord {
+        QueryRecord {
+            latency: Duration::from_micros(us),
+            sum_depths: depths,
+            bound_updates: depths + 1,
+            from_cache: cached,
+        }
+    }
+
+    #[test]
+    fn aggregates_totals() {
+        let stats = EngineStats::new();
+        stats.record(record(100, 10, false));
+        stats.record(record(300, 20, false));
+        stats.record(record(20, 0, true));
+        let snap = stats.snapshot();
+        assert_eq!(snap.queries, 3);
+        assert_eq!(snap.cache_hits, 1);
+        assert_eq!(snap.executed, 2);
+        assert_eq!(snap.total_sum_depths, 30);
+        assert_eq!(snap.total_bound_updates, 10 + 1 + 20 + 1 + 1);
+        assert_eq!(snap.min_latency, Duration::from_micros(20));
+        assert_eq!(snap.max_latency, Duration::from_micros(300));
+        assert_eq!(snap.mean_latency, Duration::from_micros(140));
+        assert!((snap.cache_hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((snap.mean_sum_depths() - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentiles_over_recent_ring() {
+        let stats = EngineStats::new();
+        for us in 1..=100 {
+            stats.record(record(us, 1, false));
+        }
+        let snap = stats.snapshot();
+        assert_eq!(snap.p50_latency, Duration::from_micros(50));
+        assert_eq!(snap.p95_latency, Duration::from_micros(95));
+    }
+
+    #[test]
+    fn empty_snapshot_is_zero() {
+        let snap = EngineStats::new().snapshot();
+        assert_eq!(snap.queries, 0);
+        assert_eq!(snap.mean_latency, Duration::ZERO);
+        assert_eq!(snap.cache_hit_rate(), 0.0);
+        assert_eq!(snap.mean_sum_depths(), 0.0);
+    }
+}

@@ -1,0 +1,178 @@
+//! Integration tests for the serving engine: concurrent execution must be
+//! indistinguishable from direct `Algorithm::run` calls, and the cache must
+//! short-circuit re-execution.
+
+use prj_core::{Algorithm, EuclideanLogScore, ProblemBuilder, RelationBackend};
+use prj_data::{generate_synthetic, SyntheticConfig};
+use prj_engine::{Engine, EngineBuilder, QuerySpec, RelationId};
+use prj_geometry::Vector;
+
+fn synthetic_engine(threads: usize) -> (Engine, Vec<RelationId>, Vec<Vec<prj_core::Tuple>>) {
+    let relations = generate_synthetic(&SyntheticConfig {
+        n_relations: 3,
+        density: 40.0,
+        ..Default::default()
+    });
+    let engine: Engine = EngineBuilder::default().threads(threads).build();
+    let ids = relations
+        .iter()
+        .enumerate()
+        .map(|(i, tuples)| engine.register(format!("R{}", i + 1), tuples.clone()))
+        .collect();
+    (engine, ids, relations)
+}
+
+/// Runs the same query directly through the library, using the R-tree
+/// backend so the sorted-access order matches the engine's shared R-tree
+/// views tuple for tuple.
+fn direct_run(
+    relations: &[Vec<prj_core::Tuple>],
+    query: &Vector,
+    k: usize,
+    algorithm: Algorithm,
+) -> prj_core::RankJoinResult {
+    let mut problem = ProblemBuilder::new(query.clone(), EuclideanLogScore::default())
+        .k(k)
+        .backend(RelationBackend::RTree)
+        .relations_from_tuples(relations.to_vec())
+        .build()
+        .expect("valid problem");
+    algorithm.run(&mut problem).expect("reducible scoring")
+}
+
+fn query_grid(n: usize) -> Vec<(Vector, usize)> {
+    (0..n)
+        .map(|i| {
+            let x = (i % 8) as f64 / 16.0 - 0.25;
+            let y = (i / 8) as f64 / 16.0 - 0.25;
+            (Vector::from([x, y]), 1 + i % 5)
+        })
+        .collect()
+}
+
+#[test]
+fn concurrent_queries_match_direct_runs_exactly() {
+    let (engine, ids, relations) = synthetic_engine(4);
+    let queries = query_grid(32);
+
+    // Submit everything up front so the queries genuinely overlap on the
+    // pool, then compare each to a fresh single-threaded library run.
+    let tickets: Vec<_> = queries
+        .iter()
+        .map(|(q, k)| {
+            engine.submit(
+                QuerySpec::top_k(ids.clone(), q.clone(), *k).with_algorithm(Algorithm::Tbpa),
+            )
+        })
+        .collect();
+    for (ticket, (q, k)) in tickets.into_iter().zip(queries.iter()) {
+        let served = ticket.wait().expect("engine result");
+        let direct = direct_run(&relations, q, *k, Algorithm::Tbpa);
+        assert_eq!(
+            served.combinations(),
+            direct.combinations.as_slice(),
+            "engine result must be byte-identical to Algorithm::run"
+        );
+        assert_eq!(served.result().stats, direct.stats, "same sorted accesses");
+    }
+}
+
+#[test]
+fn planned_queries_match_direct_runs_under_the_planned_algorithm() {
+    let (engine, ids, relations) = synthetic_engine(4);
+    for (q, k) in query_grid(12) {
+        let served = engine
+            .query(QuerySpec::top_k(ids.clone(), q.clone(), k))
+            .expect("engine result");
+        let planned = served.plan().algorithm;
+        let direct = direct_run(&relations, &q, k, planned);
+        assert_eq!(served.combinations(), direct.combinations.as_slice());
+    }
+}
+
+#[test]
+fn cache_hits_skip_re_execution() {
+    let (engine, ids, _) = synthetic_engine(4);
+    let spec = QuerySpec::top_k(ids, Vector::from([0.0, 0.0]), 5);
+
+    let cold = engine.query(spec.clone()).expect("cold query");
+    assert!(!cold.from_cache);
+
+    // 16 concurrent identical queries: every one must be served from the
+    // cache without running the operator again.
+    let tickets: Vec<_> = (0..16).map(|_| engine.submit(spec.clone())).collect();
+    for ticket in tickets {
+        let warm = ticket.wait().expect("warm query");
+        assert!(warm.from_cache);
+        assert_eq!(warm.combinations(), cold.combinations());
+        // A cached result performs no sorted accesses of its own: the depths
+        // reported are the memoised cold run's.
+        assert_eq!(warm.result().stats, cold.result().stats);
+    }
+
+    let stats = engine.stats();
+    assert_eq!(stats.queries, 17);
+    assert_eq!(stats.executed, 1, "only the cold query may execute");
+    assert_eq!(stats.cache_hits, 16);
+    let cache = engine.cache_metrics();
+    assert_eq!(cache.hits, 16);
+    assert_eq!(cache.entries, 1);
+}
+
+#[test]
+fn streaming_and_batch_agree_under_concurrency() {
+    let (engine, ids, relations) = synthetic_engine(4);
+    let query = Vector::from([0.1, -0.1]);
+    let k = 6;
+    let spec = QuerySpec::top_k(ids, query.clone(), k).with_algorithm(Algorithm::Tbrr);
+
+    let mut streams: Vec<_> = (0..4)
+        .map(|_| engine.stream(spec.clone()).expect("stream"))
+        .collect();
+    let direct = direct_run(&relations, &query, k, Algorithm::Tbrr);
+    for stream in &mut streams {
+        let mut got = Vec::new();
+        while let Some(combo) = stream.next_result() {
+            got.push(combo);
+        }
+        assert_eq!(got.as_slice(), direct.combinations.as_slice());
+    }
+}
+
+#[test]
+fn mixed_workload_is_consistent() {
+    // A cold round followed by two concurrent warm rounds: once the cold
+    // round has completed, repeats must be pure cache hits.
+    let (engine, ids, _) = synthetic_engine(8);
+    let queries = query_grid(24);
+    let cold: Vec<_> = queries
+        .iter()
+        .map(|(q, k)| engine.submit(QuerySpec::top_k(ids.clone(), q.clone(), *k)))
+        .collect();
+    for ticket in cold {
+        assert!(!ticket
+            .wait()
+            .expect("cold result")
+            .combinations()
+            .is_empty());
+    }
+    let warm: Vec<_> = (0..2)
+        .flat_map(|_| {
+            queries
+                .iter()
+                .map(|(q, k)| engine.submit(QuerySpec::top_k(ids.clone(), q.clone(), *k)))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    for ticket in warm {
+        let result = ticket.wait().expect("warm result");
+        assert!(result.from_cache);
+    }
+    let stats = engine.stats();
+    assert_eq!(stats.queries, 72);
+    assert_eq!(
+        stats.executed, 24,
+        "each distinct spec executes exactly once"
+    );
+    assert_eq!(stats.cache_hits, 48);
+}

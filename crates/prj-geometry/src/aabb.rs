@@ -1,11 +1,10 @@
 //! Axis-aligned bounding boxes, the building block of the R-tree substrate.
 
 use crate::vector::Vector;
-use serde::{Deserialize, Serialize};
 
 /// An axis-aligned bounding box (AABB, also "MBR" in R-tree terminology) in
 /// `R^d`, stored as per-dimension `[min, max]` intervals.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Aabb {
     lower: Vec<f64>,
     upper: Vec<f64>,
@@ -54,7 +53,10 @@ impl Aabb {
     /// Panics if `boxes` is empty.
     pub fn enclosing_boxes<'a, I: IntoIterator<Item = &'a Aabb>>(boxes: I) -> Aabb {
         let mut iter = boxes.into_iter();
-        let mut acc = iter.next().expect("enclosing_boxes of empty iterator").clone();
+        let mut acc = iter
+            .next()
+            .expect("enclosing_boxes of empty iterator")
+            .clone();
         for b in iter {
             acc.expand_to_box(b);
         }
@@ -154,15 +156,13 @@ impl Aabb {
     /// Whether `other` is fully contained in this box.
     pub fn contains_box(&self, other: &Aabb) -> bool {
         assert_eq!(self.dim(), other.dim(), "AABB dimension mismatch");
-        (0..self.dim())
-            .all(|i| other.lower[i] >= self.lower[i] && other.upper[i] <= self.upper[i])
+        (0..self.dim()).all(|i| other.lower[i] >= self.lower[i] && other.upper[i] <= self.upper[i])
     }
 
     /// Whether the two boxes intersect (share at least a boundary point).
     pub fn intersects(&self, other: &Aabb) -> bool {
         assert_eq!(self.dim(), other.dim(), "AABB dimension mismatch");
-        (0..self.dim())
-            .all(|i| self.lower[i] <= other.upper[i] && other.lower[i] <= self.upper[i])
+        (0..self.dim()).all(|i| self.lower[i] <= other.upper[i] && other.lower[i] <= self.upper[i])
     }
 
     /// Minimum squared Euclidean distance from `p` to any point of the box

@@ -39,7 +39,11 @@ pub fn mean_centroid(points: &[&Vector]) -> Vector {
 /// strictly positive.
 pub fn weighted_mean_centroid(points: &[&Vector], weights: &[f64]) -> Vector {
     assert!(!points.is_empty(), "centroid of an empty set of points");
-    assert_eq!(points.len(), weights.len(), "points/weights length mismatch");
+    assert_eq!(
+        points.len(),
+        weights.len(),
+        "points/weights length mismatch"
+    );
     let total: f64 = weights.iter().sum();
     assert!(total > 0.0, "total weight must be positive");
     let dim = points[0].dim();

@@ -1,7 +1,6 @@
 //! Distance metrics `δ(·,·)` used for sorted access and proximity weighting.
 
 use crate::vector::Vector;
-use serde::{Deserialize, Serialize};
 
 /// A (pseudo-)metric distance between feature vectors.
 ///
@@ -20,7 +19,7 @@ pub trait Metric: Send + Sync + std::fmt::Debug {
 }
 
 /// The standard Euclidean (L2) distance.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Euclidean;
 
 impl Metric for Euclidean {
@@ -37,7 +36,7 @@ impl Metric for Euclidean {
 ///
 /// Not a metric in the strict sense (no triangle inequality) but monotone in
 /// the Euclidean distance, hence it induces the same sorted-access order.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SquaredEuclidean;
 
 impl Metric for SquaredEuclidean {
@@ -51,16 +50,17 @@ impl Metric for SquaredEuclidean {
 }
 
 /// The Manhattan (L1) distance.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Manhattan;
 
 impl Metric for Manhattan {
     fn distance(&self, a: &Vector, b: &Vector) -> f64 {
-        assert_eq!(a.dim(), b.dim(), "Manhattan distance of mismatched dimensions");
-        a.iter()
-            .zip(b.iter())
-            .map(|(x, y)| (x - y).abs())
-            .sum()
+        assert_eq!(
+            a.dim(),
+            b.dim(),
+            "Manhattan distance of mismatched dimensions"
+        );
+        a.iter().zip(b.iter()).map(|(x, y)| (x - y).abs()).sum()
     }
     fn name(&self) -> &'static str {
         "manhattan"
@@ -68,12 +68,16 @@ impl Metric for Manhattan {
 }
 
 /// The Chebyshev (L∞) distance.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Chebyshev;
 
 impl Metric for Chebyshev {
     fn distance(&self, a: &Vector, b: &Vector) -> f64 {
-        assert_eq!(a.dim(), b.dim(), "Chebyshev distance of mismatched dimensions");
+        assert_eq!(
+            a.dim(),
+            b.dim(),
+            "Chebyshev distance of mismatched dimensions"
+        );
         a.iter()
             .zip(b.iter())
             .fold(0.0, |acc, (x, y)| acc.max((x - y).abs()))
@@ -87,7 +91,7 @@ impl Metric for Chebyshev {
 ///
 /// The distance of either vector to the zero vector is defined as `1.0`
 /// (maximum dissimilarity) so that the function is total.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CosineDistance;
 
 impl Metric for CosineDistance {
@@ -109,7 +113,7 @@ impl Metric for CosineDistance {
 ///
 /// Useful when the metric must be chosen at run time (e.g. from experiment
 /// configuration) and when it must be serialisable.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum MetricKind {
     /// Euclidean (L2) distance, the paper's default.
     #[default]
@@ -222,7 +226,10 @@ mod tests {
                 (k.distance(&a, &b) - k.distance(&b, &a)).abs() < 1e-12,
                 "{k:?} not symmetric"
             );
-            assert!(k.distance(&a, &a).abs() < 1e-12, "{k:?} not zero on identity");
+            assert!(
+                k.distance(&a, &a).abs() < 1e-12,
+                "{k:?} not zero on identity"
+            );
             assert!(k.distance(&a, &b) >= 0.0, "{k:?} negative");
         }
     }

@@ -1,6 +1,5 @@
 //! Dense `d`-dimensional real vectors.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub, SubAssign};
 
@@ -21,7 +20,7 @@ use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub, SubAssign};
 /// assert_eq!((&a + &b).as_slice(), &[4.0, 1.0]);
 /// assert_eq!(a.dot(&b), 1.0);
 /// ```
-#[derive(Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Clone, PartialEq, Default)]
 pub struct Vector(Vec<f64>);
 
 impl Vector {
@@ -95,11 +94,7 @@ impl Vector {
             other.dim(),
             "dot product of vectors with mismatched dimensions"
         );
-        self.0
-            .iter()
-            .zip(other.0.iter())
-            .map(|(a, b)| a * b)
-            .sum()
+        self.0.iter().zip(other.0.iter()).map(|(a, b)| a * b).sum()
     }
 
     /// Squared Euclidean norm `‖x‖²`.
@@ -245,7 +240,11 @@ impl IndexMut<usize> for Vector {
 impl Add for &Vector {
     type Output = Vector;
     fn add(self, rhs: &Vector) -> Vector {
-        assert_eq!(self.dim(), rhs.dim(), "adding vectors of mismatched dimensions");
+        assert_eq!(
+            self.dim(),
+            rhs.dim(),
+            "adding vectors of mismatched dimensions"
+        );
         Vector(
             self.0
                 .iter()
@@ -265,7 +264,11 @@ impl Add for Vector {
 
 impl AddAssign<&Vector> for Vector {
     fn add_assign(&mut self, rhs: &Vector) {
-        assert_eq!(self.dim(), rhs.dim(), "adding vectors of mismatched dimensions");
+        assert_eq!(
+            self.dim(),
+            rhs.dim(),
+            "adding vectors of mismatched dimensions"
+        );
         for (a, b) in self.0.iter_mut().zip(rhs.0.iter()) {
             *a += b;
         }

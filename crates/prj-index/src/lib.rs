@@ -17,6 +17,11 @@
 //!   tree also exposes a low-level arena traversal API so that external
 //!   cursors (e.g. `prj-access`'s relation sources) can run their own
 //!   incremental searches without holding borrows.
+//! * [`cursor::NearestCursor`] — a detached incremental nearest-neighbour
+//!   cursor built on that arena API: it owns only its traversal frontier and
+//!   borrows the tree per call, so many concurrent queries can walk one
+//!   immutable tree shared behind an `Arc` (the access path used by the
+//!   `prj-engine` catalog).
 //! * [`sorted::ScoreIndex`] — a score-sorted access path (a sorted array with
 //!   incremental consumption), the analogue for score-based access.
 //!
@@ -25,8 +30,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cursor;
 pub mod rtree;
 pub mod sorted;
 
+pub use cursor::NearestCursor;
 pub use rtree::{NearestIter, NearestNeighbor, NodeId, RTree, RTreeConfig};
 pub use sorted::{ScoreIndex, ScoredItem};

@@ -18,7 +18,6 @@
 
 use prj_geometry::{Aabb, Vector};
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
 /// Identifier of a node in the tree arena.
 pub type NodeId = usize;
@@ -130,11 +129,7 @@ impl<T> RTree<T> {
     }
 
     /// [`RTree::bulk_load`] with an explicit configuration.
-    pub fn bulk_load_with_config(
-        dim: usize,
-        config: RTreeConfig,
-        items: Vec<(Vector, T)>,
-    ) -> Self {
+    pub fn bulk_load_with_config(dim: usize, config: RTreeConfig, items: Vec<(Vector, T)>) -> Self {
         let mut tree = Self::with_config(dim, config);
         if items.is_empty() {
             return tree;
@@ -340,7 +335,10 @@ impl<T> RTree<T> {
             NodeKind::Internal(children) => std::mem::take(children),
             NodeKind::Leaf(_) => unreachable!("split_internal on leaf node"),
         };
-        let boxes: Vec<Aabb> = children.iter().map(|&c| self.nodes[c].bbox.clone()).collect();
+        let boxes: Vec<Aabb> = children
+            .iter()
+            .map(|&c| self.nodes[c].bbox.clone())
+            .collect();
         let (group_a, group_b) = quadratic_partition(&boxes, self.config.min_entries);
         let mut a_children = Vec::new();
         let mut b_children = Vec::new();
@@ -414,7 +412,10 @@ impl<T> RTree<T> {
     /// Iterates over all `(point, payload)` pairs in unspecified order.
     pub fn iter(&self) -> impl Iterator<Item = (&Vector, &T)> + '_ {
         self.nodes.iter().flat_map(|n| match &n.kind {
-            NodeKind::Leaf(entries) => entries.iter().map(|e| (&e.point, &e.data)).collect::<Vec<_>>(),
+            NodeKind::Leaf(entries) => entries
+                .iter()
+                .map(|e| (&e.point, &e.data))
+                .collect::<Vec<_>>(),
             NodeKind::Internal(_) => Vec::new(),
         })
     }
@@ -459,17 +460,10 @@ impl<T> RTree<T> {
     /// point in non-decreasing distance from `query`. This is the engine of
     /// the *distance-based access* used by proximity rank join.
     pub fn nearest_iter<'a>(&'a self, query: &Vector) -> NearestIter<'a, T> {
-        let mut heap = BinaryHeap::new();
-        if let Some(root) = self.root {
-            heap.push(HeapItem {
-                dist: self.nodes[root].bbox.min_distance(query),
-                target: Target::Node(root),
-            });
-        }
         NearestIter {
+            cursor: crate::cursor::NearestCursor::new(self, query),
             tree: self,
             query: query.clone(),
-            heap,
         }
     }
 }
@@ -499,11 +493,11 @@ fn quadratic_partition(boxes: &[Aabb], min_entries: usize) -> (Vec<usize>, Vec<u
     while !remaining.is_empty() {
         // If one group must absorb the rest to reach the minimum fill, do so.
         if group_a.len() + remaining.len() == min_entries {
-            group_a.extend(remaining.drain(..));
+            group_a.append(&mut remaining);
             break;
         }
         if group_b.len() + remaining.len() == min_entries {
-            group_b.extend(remaining.drain(..));
+            group_b.append(&mut remaining);
             break;
         }
         // Pick the entry with the greatest preference for one group.
@@ -536,82 +530,20 @@ fn quadratic_partition(boxes: &[Aabb], min_entries: usize) -> (Vec<usize>, Vec<u
     (group_a, group_b)
 }
 
-#[derive(Debug, Clone, Copy, PartialEq)]
-enum Target {
-    Node(NodeId),
-    Entry(NodeId, usize),
-}
-
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct HeapItem {
-    dist: f64,
-    target: Target,
-}
-
-impl Eq for HeapItem {}
-
-impl Ord for HeapItem {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse ordering: BinaryHeap is a max-heap, we need the min distance.
-        other
-            .dist
-            .total_cmp(&self.dist)
-            .then_with(|| match (self.target, other.target) {
-                (Target::Entry(..), Target::Node(_)) => Ordering::Greater,
-                (Target::Node(_), Target::Entry(..)) => Ordering::Less,
-                _ => Ordering::Equal,
-            })
-    }
-}
-
-impl PartialOrd for HeapItem {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-/// Best-first incremental nearest-neighbour iterator over an [`RTree`].
+/// Best-first incremental nearest-neighbour iterator over an [`RTree`]: a
+/// borrowing convenience wrapper around [`crate::cursor::NearestCursor`],
+/// which holds the single implementation of the traversal.
 pub struct NearestIter<'a, T> {
+    cursor: crate::cursor::NearestCursor,
     tree: &'a RTree<T>,
     query: Vector,
-    heap: BinaryHeap<HeapItem>,
 }
 
 impl<'a, T> Iterator for NearestIter<'a, T> {
     type Item = NearestNeighbor<'a, T>;
 
     fn next(&mut self) -> Option<Self::Item> {
-        while let Some(item) = self.heap.pop() {
-            match item.target {
-                Target::Entry(node, idx) => {
-                    let (point, data) = self.tree.node_entry(node, idx);
-                    return Some(NearestNeighbor {
-                        point,
-                        data,
-                        distance: item.dist,
-                    });
-                }
-                Target::Node(node) => {
-                    if self.tree.is_leaf(node) {
-                        for idx in 0..self.tree.node_entry_count(node) {
-                            let (point, _) = self.tree.node_entry(node, idx);
-                            self.heap.push(HeapItem {
-                                dist: point.distance(&self.query),
-                                target: Target::Entry(node, idx),
-                            });
-                        }
-                    } else {
-                        for &child in self.tree.node_children(node) {
-                            self.heap.push(HeapItem {
-                                dist: self.tree.node_bbox(child).min_distance(&self.query),
-                                target: Target::Node(child),
-                            });
-                        }
-                    }
-                }
-            }
-        }
-        None
+        self.cursor.next(self.tree, &self.query)
     }
 }
 
@@ -744,14 +676,20 @@ mod tests {
     fn high_dimensional_points() {
         let mut items = Vec::new();
         for i in 0..200 {
-            let p: Vec<f64> = (0..16).map(|j| ((i * 31 + j * 17) % 97) as f64 / 97.0).collect();
+            let p: Vec<f64> = (0..16)
+                .map(|j| ((i * 31 + j * 17) % 97) as f64 / 97.0)
+                .collect();
             items.push((Vector::from(p), i));
         }
         let tree = RTree::bulk_load(16, items.clone());
         let q = Vector::filled(16, 0.5);
         let mut expected: Vec<f64> = items.iter().map(|(p, _)| p.distance(&q)).collect();
         expected.sort_by(|a, b| a.total_cmp(b));
-        let got: Vec<f64> = tree.nearest_iter(&q).take(50).map(|nn| nn.distance).collect();
+        let got: Vec<f64> = tree
+            .nearest_iter(&q)
+            .take(50)
+            .map(|nn| nn.distance)
+            .collect();
         for (g, e) in got.iter().zip(expected.iter().take(50)) {
             assert!((g - e).abs() < 1e-9);
         }

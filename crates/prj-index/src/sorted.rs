@@ -70,9 +70,7 @@ impl<T> ScoreIndex<T> {
     /// Returns all items with score at least `threshold` (descending order).
     pub fn at_least(&self, threshold: f64) -> &[ScoredItem<T>] {
         // Items are sorted descending, so find the first index below threshold.
-        let cut = self
-            .items
-            .partition_point(|item| item.score >= threshold);
+        let cut = self.items.partition_point(|item| item.score >= threshold);
         &self.items[..cut]
     }
 

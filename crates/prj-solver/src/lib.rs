@@ -21,6 +21,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Dense linear-algebra kernels index rows/columns explicitly; iterator
+// rewrites obscure the correspondence with the textbook formulations.
+#![allow(clippy::needless_range_loop)]
 
 pub mod closed_form;
 pub mod linalg;
@@ -39,6 +42,6 @@ pub const SOLVER_EPS: f64 = 1e-9;
 mod tests {
     #[test]
     fn eps_is_small() {
-        assert!(super::SOLVER_EPS < 1e-6);
+        const { assert!(super::SOLVER_EPS < 1e-6) };
     }
 }

@@ -264,8 +264,7 @@ fn simplex(
             if tab[i][col] > 1e-9 {
                 let ratio = tab[i][n_total] / tab[i][col];
                 if ratio < best_ratio - 1e-12
-                    || (ratio < best_ratio + 1e-12
-                        && leaving.is_some_and(|l| basis[i] < basis[l]))
+                    || (ratio < best_ratio + 1e-12 && leaving.is_some_and(|l| basis[i] < basis[l]))
                 {
                     best_ratio = ratio;
                     leaving = Some(i);

@@ -150,7 +150,12 @@ impl BoundedQp {
     /// Evaluates the objective `½θᵀHθ + cᵀθ` at an arbitrary point.
     pub fn objective(&self, theta: &[f64]) -> f64 {
         0.5 * self.h.quadratic_form(theta)
-            + self.c.iter().zip(theta.iter()).map(|(a, b)| a * b).sum::<f64>()
+            + self
+                .c
+                .iter()
+                .zip(theta.iter())
+                .map(|(a, b)| a * b)
+                .sum::<f64>()
     }
 
     /// Solves the program with a primal active-set method.
@@ -207,7 +212,9 @@ impl BoundedQp {
 
         // Working set: indices (into 0..n) of lower bounds treated as active.
         let mut working: Vec<bool> = (0..n)
-            .map(|i| self.fixed[i].is_none() && self.lower[i].is_some_and(|l| theta[i] <= l + SOLVER_EPS))
+            .map(|i| {
+                self.fixed[i].is_none() && self.lower[i].is_some_and(|l| theta[i] <= l + SOLVER_EPS)
+            })
             .collect();
 
         let max_iters = 20 * (n + 1) * (n + 1);
@@ -358,7 +365,10 @@ mod tests {
         let qp = BoundedQp::new(Matrix::identity(1), vec![0.0])
             .fix(0, 1.0)
             .lower_bound(0, 2.0);
-        assert_eq!(qp.solve().unwrap_err(), QpError::InfeasibleFixing { index: 0 });
+        assert_eq!(
+            qp.solve().unwrap_err(),
+            QpError::InfeasibleFixing { index: 0 }
+        );
     }
 
     #[test]
@@ -369,7 +379,11 @@ mod tests {
         let h = BoundedQp::ray_hessian(n, wq, wmu);
         for i in 0..n {
             for j in 0..n {
-                let p = if i == j { 1.0 - 1.0 / n as f64 } else { -1.0 / n as f64 };
+                let p = if i == j {
+                    1.0 - 1.0 / n as f64
+                } else {
+                    -1.0 / n as f64
+                };
                 let expected = wmu * p + if i == j { wq } else { 0.0 };
                 assert!((h[(i, j)] - expected).abs() < 1e-12);
             }
@@ -392,7 +406,10 @@ mod tests {
         let theta = [1.0, -2.0, 4.0];
         let mean = (1.0 - 2.0 + 4.0) / 3.0;
         let manual: f64 = theta.iter().map(|t| 2.0 * t * t).sum::<f64>()
-            + theta.iter().map(|t| 0.5 * (t - mean) * (t - mean)).sum::<f64>();
+            + theta
+                .iter()
+                .map(|t| 0.5 * (t - mean) * (t - mean))
+                .sum::<f64>();
         assert!((qp.objective(&theta) - manual).abs() < 1e-9);
     }
 
@@ -414,7 +431,12 @@ mod tests {
                 best = best.min(qp.objective(&[1.5, t1, t2]));
             }
         }
-        assert!(sol.objective <= best + 1e-6, "{} vs grid {}", sol.objective, best);
+        assert!(
+            sol.objective <= best + 1e-6,
+            "{} vs grid {}",
+            sol.objective,
+            best
+        );
         // Feasibility of the returned point.
         assert_eq!(sol.theta[0], 1.5);
         assert!(sol.theta[1] >= 1.0 - 1e-9);

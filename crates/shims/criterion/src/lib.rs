@@ -1,0 +1,243 @@
+//! Offline stand-in for the subset of the `criterion` benchmarking API used
+//! by this workspace.
+//!
+//! The build environment has no network access, so the bench targets link
+//! against this local crate instead of crates.io `criterion`. It implements a
+//! plain warm-up + timed-loop harness and prints one mean-per-iteration line
+//! per benchmark. Statistical machinery (outlier analysis, HTML reports) is
+//! intentionally absent; wall-clock means are enough to compare the four
+//! ProxRJ algorithms against each other.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Benchmark driver, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\nbenchmark group: {name}");
+        BenchmarkGroup {
+            name,
+            sample_size: self.sample_size,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            _criterion: self,
+        }
+    }
+}
+
+/// Identifier of one benchmark within a group: a function name plus a
+/// parameter value, mirroring `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.function, self.parameter)
+    }
+}
+
+/// A group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the warm-up duration per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the measurement duration per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark over an explicit input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            report: None,
+        };
+        f(&mut bencher, input);
+        self.print_report(&id.to_string(), bencher.report);
+        self
+    }
+
+    /// Runs one benchmark without an explicit input.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            report: None,
+        };
+        f(&mut bencher);
+        self.print_report(&id.to_string(), bencher.report);
+        self
+    }
+
+    fn print_report(&self, id: &str, report: Option<IterReport>) {
+        match report {
+            Some(r) => println!(
+                "  {}/{}: {:>12.3} us/iter  ({} iters)",
+                self.name,
+                id,
+                r.mean.as_secs_f64() * 1e6,
+                r.iterations
+            ),
+            None => println!("  {}/{}: no measurement", self.name, id),
+        }
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+#[derive(Debug, Clone, Copy)]
+struct IterReport {
+    mean: Duration,
+    iterations: u64,
+}
+
+/// Timing harness handed to the benchmark closure.
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    report: Option<IterReport>,
+}
+
+impl Bencher {
+    /// Times repeated invocations of `f` and records the mean.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: run until the warm-up budget is spent (at least once).
+        let warm_start = Instant::now();
+        loop {
+            black_box(f());
+            if warm_start.elapsed() >= self.warm_up_time {
+                break;
+            }
+        }
+        // Measurement: at least `sample_size` iterations, continuing until the
+        // measurement budget is spent.
+        let mut iterations = 0u64;
+        let start = Instant::now();
+        loop {
+            black_box(f());
+            iterations += 1;
+            if iterations >= self.sample_size as u64 && start.elapsed() >= self.measurement_time {
+                break;
+            }
+        }
+        let mean = start.elapsed() / iterations.max(1) as u32;
+        self.report = Some(IterReport { mean, iterations });
+    }
+}
+
+/// Mirrors `criterion::criterion_group!` (simple form only).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Mirrors `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_mean() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(5);
+        group.warm_up_time(Duration::from_millis(1));
+        group.measurement_time(Duration::from_millis(5));
+        let mut ran = 0u32;
+        group.bench_with_input(BenchmarkId::new("count", 1), &3u32, |b, &x| {
+            b.iter(|| {
+                ran += 1;
+                x * 2
+            });
+        });
+        group.finish();
+        assert!(ran >= 5);
+    }
+
+    #[test]
+    fn id_formats_as_function_slash_parameter() {
+        assert_eq!(BenchmarkId::new("algo", 10).to_string(), "algo/10");
+    }
+}

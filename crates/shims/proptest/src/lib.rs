@@ -1,0 +1,364 @@
+//! Offline stand-in for the subset of the `proptest` API this workspace uses.
+//!
+//! The build environment has no network access, so the property tests link
+//! against this local crate instead of crates.io `proptest`. It keeps the
+//! same surface — the [`proptest!`] macro, range / tuple / collection / array
+//! strategies, `prop_assert*` — but drives them with a simple deterministic
+//! random sampler (seeded from the test name) instead of proptest's
+//! shrinking test runner. Failures therefore report the failing values via
+//! the ordinary assertion message rather than a minimised counterexample.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A generator of random values, mirroring `proptest::strategy::Strategy`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            self.start + (self.end - self.start) * rng.next_f64()
+        }
+    }
+
+    macro_rules! int_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u64;
+                    self.start + (rng.next_u64() % span) as $t
+                }
+            }
+        )*};
+    }
+
+    int_strategy!(usize, u64, u32, u16, u8);
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+    }
+
+    /// Always produces a clone of the given value (`proptest::strategy::Just`).
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`prop::collection`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Number of elements a collection strategy may produce.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        /// Exclusive upper bound.
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> Self {
+            SizeRange {
+                min: exact,
+                max: exact + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a size drawn from a [`SizeRange`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.size.max - self.size.min) as u64;
+            let len = self.size.min + (rng.next_u64() % span.max(1)) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Mirrors `proptest::collection::vec`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod array {
+    //! Fixed-size array strategies (`prop::array`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy producing `[S::Value; N]` from one element strategy.
+    #[derive(Debug, Clone)]
+    pub struct UniformArrayStrategy<S, const N: usize> {
+        element: S,
+    }
+
+    impl<S: Strategy, const N: usize> Strategy for UniformArrayStrategy<S, N> {
+        type Value = [S::Value; N];
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            std::array::from_fn(|_| self.element.sample(rng))
+        }
+    }
+
+    /// Mirrors `proptest::array::uniform2`.
+    pub fn uniform2<S: Strategy>(element: S) -> UniformArrayStrategy<S, 2> {
+        UniformArrayStrategy { element }
+    }
+
+    /// Mirrors `proptest::array::uniform3`.
+    pub fn uniform3<S: Strategy>(element: S) -> UniformArrayStrategy<S, 3> {
+        UniformArrayStrategy { element }
+    }
+
+    /// Mirrors `proptest::array::uniform4`.
+    pub fn uniform4<S: Strategy>(element: S) -> UniformArrayStrategy<S, 4> {
+        UniformArrayStrategy { element }
+    }
+}
+
+pub mod test_runner {
+    //! Configuration and the deterministic sampler.
+
+    /// Mirrors `proptest::test_runner::Config` (the `cases` knob only).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of random cases each property runs.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A configuration running `cases` random cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+
+    /// Deterministic xoshiro256**-style sampler, seeded from the test name so
+    /// every `cargo test` run replays the same cases.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    impl TestRng {
+        /// Creates a sampler seeded by hashing `name` (FNV-1a).
+        pub fn from_name(name: &str) -> Self {
+            let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                seed ^= b as u64;
+                seed = seed.wrapping_mul(0x1000_0000_01b3);
+            }
+            // SplitMix64 expansion into the xoshiro state.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            TestRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+
+        /// The next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+
+        /// A uniform `f64` in `[0, 1)`.
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+/// `prop::` paths as re-exported by the real proptest prelude.
+pub mod prop {
+    pub use crate::array;
+    pub use crate::collection;
+}
+
+pub mod prelude {
+    //! Mirrors `proptest::prelude`.
+
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Mirrors `proptest::proptest!`: runs each property over `cases` sampled
+/// inputs. Unlike the real proptest there is no shrinking; a failing case
+/// panics with the ordinary assertion message.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $crate::test_runner::Config::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+            for __case in 0..__config.cases {
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)*
+                $body
+            }
+        }
+    )*};
+}
+
+/// Mirrors `proptest::prop_assert!` (panics instead of returning `Err`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Mirrors `proptest::prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Mirrors `proptest::prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Mirrors `proptest::prop_assume!`: skips the current case.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            continue;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Range strategies stay in bounds.
+        #[test]
+        fn f64_range_in_bounds(x in -2.0..2.0f64) {
+            prop_assert!((-2.0..2.0).contains(&x));
+        }
+
+        /// Collections honour their size range, tuples compose.
+        #[test]
+        fn vec_of_tuples(
+            rows in prop::collection::vec((prop::array::uniform2(-1.0..1.0f64), 0.1..1.0f64), 1..7),
+            k in 1usize..5,
+        ) {
+            prop_assert!(!rows.is_empty() && rows.len() < 7);
+            prop_assert!((1..5).contains(&k));
+            for ([a, b], s) in rows {
+                prop_assert!((-1.0..1.0).contains(&a));
+                prop_assert!((-1.0..1.0).contains(&b));
+                prop_assert!((0.1..1.0).contains(&s));
+            }
+        }
+
+        /// Exact-size collections produce exactly that many elements.
+        #[test]
+        fn exact_size_vec(xs in prop::collection::vec(0.0..1.0f64, 9)) {
+            prop_assert_eq!(xs.len(), 9);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        let strat = crate::collection::vec(0.0..1.0f64, 5);
+        let mut a = crate::test_runner::TestRng::from_name("x");
+        let mut b = crate::test_runner::TestRng::from_name("x");
+        assert_eq!(strat.sample(&mut a), strat.sample(&mut b));
+    }
+}

@@ -40,12 +40,7 @@ fn main() {
         .collect();
 
     // The query descriptor: an image belonging to the second theme.
-    let query = Vector::from(
-        themes[1]
-            .iter()
-            .map(|&c| c + 0.02)
-            .collect::<Vec<f64>>(),
-    );
+    let query = Vector::from(themes[1].iter().map(|&c| c + 0.02).collect::<Vec<f64>>());
 
     let repos = vec![
         repository(0, 400, &themes, &mut rng),
@@ -100,6 +95,11 @@ fn main() {
                 )
             })
             .collect();
-        println!("  #{} S = {:>8.3}  {}", rank + 1, combo.score, line.join(" | "));
+        println!(
+            "  #{} S = {:>8.3}  {}",
+            rank + 1,
+            combo.score,
+            line.join(" | ")
+        );
     }
 }

@@ -81,7 +81,10 @@ fn main() {
         (0b110, "{R2,R3}"),
     ];
     for (mask, label) in subsets {
-        println!("  t_M for M = {label} : {:>6.1}", tight.subset_bound(mask).unwrap());
+        println!(
+            "  t_M for M = {label} : {:>6.1}",
+            tight.subset_bound(mask).unwrap()
+        );
     }
     let t = BoundingScheme::<EuclideanLogScore>::bound(&tight);
     let tc = BoundingScheme::<EuclideanLogScore>::bound(&corner);

@@ -39,7 +39,10 @@ fn main() {
         .build()
         .expect("valid problem");
 
-    println!("{:<14} {:>9} {:>12} {:>12}", "algorithm", "sumDepths", "cpu (ms)", "bound (ms)");
+    println!(
+        "{:<14} {:>9} {:>12} {:>12}",
+        "algorithm", "sumDepths", "cpu (ms)", "bound (ms)"
+    );
     let mut best = None;
     for algorithm in Algorithm::all() {
         let result = algorithm.run(&mut problem).expect("run succeeds");

@@ -12,6 +12,9 @@
 //! * [`access`] — sorted-access abstraction (distance-based / score-based).
 //! * [`core`] — the ProxRJ operator, bounding schemes, dominance and pulling
 //!   strategies (CBRR = HRJN, CBPA = HRJN*, TBRR, TBPA).
+//! * [`engine`] — the concurrent query-serving subsystem: a relation
+//!   catalog with `Arc`-shared indexes, a statistics-driven planner, a
+//!   thread-pool executor with streaming results, and an LRU result cache.
 //! * [`data`] — synthetic and city data set generators used by the evaluation.
 //!
 //! ## Quickstart
@@ -49,6 +52,7 @@
 pub use prj_access as access;
 pub use prj_core as core;
 pub use prj_data as data;
+pub use prj_engine as engine;
 pub use prj_geometry as geometry;
 pub use prj_index as index;
 pub use prj_solver as solver;
@@ -61,5 +65,6 @@ pub mod prelude {
         PullStrategyKind, RankJoinResult, ScoredCombination, Tuple, TupleId,
     };
     pub use prj_data::{CityDataSet, SyntheticConfig};
+    pub use prj_engine::{Engine, EngineBuilder, QuerySpec, RelationId};
     pub use prj_geometry::{Euclidean, Metric, Vector};
 }

@@ -280,7 +280,11 @@ fn recompute_blocks_trade_accesses_for_correct_results() {
     });
     let tbpa_blocked = Algorithm::Tbpa.run(&mut blocked).unwrap();
     let tbpa_fresh = Algorithm::Tbpa.run(&mut baseline).unwrap();
-    for (got, exp) in tbpa_blocked.combinations.iter().zip(expected.combinations.iter()) {
+    for (got, exp) in tbpa_blocked
+        .combinations
+        .iter()
+        .zip(expected.combinations.iter())
+    {
         assert!((got.score - exp.score).abs() < 1e-9);
     }
     // Stale bounds can only delay termination, never accelerate it.

@@ -22,12 +22,15 @@ fn table1_relations() -> Vec<Vec<Tuple>> {
 }
 
 fn table1_problem(k: usize) -> proximity_rank_join::core::Problem<EuclideanLogScore> {
-    ProblemBuilder::new(Vector::from([0.0, 0.0]), EuclideanLogScore::new(1.0, 1.0, 1.0))
-        .k(k)
-        .access_kind(AccessKind::Distance)
-        .relations_from_tuples(table1_relations())
-        .build()
-        .unwrap()
+    ProblemBuilder::new(
+        Vector::from([0.0, 0.0]),
+        EuclideanLogScore::new(1.0, 1.0, 1.0),
+    )
+    .k(k)
+    .access_kind(AccessKind::Distance)
+    .relations_from_tuples(table1_relations())
+    .build()
+    .unwrap()
 }
 
 /// Table 1: the eight combination scores, in the paper's order.
@@ -54,7 +57,10 @@ fn example_3_1_top1_for_all_algorithms() {
     for algo in Algorithm::all() {
         let result = algo.run(&mut problem).unwrap();
         assert_eq!(result.combinations.len(), 1, "{algo}");
-        assert!((result.combinations[0].score - (-7.0)).abs() < 0.05, "{algo}");
+        assert!(
+            (result.combinations[0].score - (-7.0)).abs() < 0.05,
+            "{algo}"
+        );
         let indices: Vec<usize> = result.combinations[0]
             .tuples
             .iter()
@@ -113,13 +119,13 @@ fn theorem_3_1_witness_corner_bound_cannot_certify() {
     let mut tight = TightBound::new(2, scoring.weights(), TightBoundConfig::default());
     let mut corner = CornerBound::new(2);
     // p1 = 2, p2 = 1 as in the proof.
-    let accesses: [(usize, usize, [f64; 2]); 3] = [
-        (0, 0, [0.0, -0.5]),
-        (1, 0, [0.0, 2.0]),
-        (0, 1, [0.0, 1.0]),
-    ];
+    let accesses: [(usize, usize, [f64; 2]); 3] =
+        [(0, 0, [0.0, -0.5]), (1, 0, [0.0, 2.0]), (0, 1, [0.0, 1.0])];
     for (rel, idx, x) in accesses {
-        state.push_tuple(rel, Tuple::new(TupleId::new(rel, idx), Vector::from(x), 1.0));
+        state.push_tuple(
+            rel,
+            Tuple::new(TupleId::new(rel, idx), Vector::from(x), 1.0),
+        );
         tight.update(&state, &scoring, Some(rel));
         corner.update(&state, &scoring, Some(rel));
     }
@@ -141,7 +147,10 @@ fn theorem_3_1_witness_corner_bound_cannot_certify() {
         corner_bound - tight_bound > 0.5,
         "tight bound {tight_bound} should be markedly tighter than the corner bound {corner_bound}"
     );
-    assert!(tight_bound >= best_seen - 1e-9, "the bound must stay correct");
+    assert!(
+        tight_bound >= best_seen - 1e-9,
+        "the bound must stay correct"
+    );
 }
 
 /// Example 3.2 numbers are covered by unit tests in `prj-core`; here we check

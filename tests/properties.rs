@@ -26,10 +26,7 @@ type RawRelation = Vec<([f64; 2], f64)>;
 
 fn relation_strategy(max_len: usize) -> impl Strategy<Value = RawRelation> {
     prop::collection::vec(
-        (
-            prop::array::uniform2(-2.0..2.0f64),
-            0.05..1.0f64,
-        ),
+        (prop::array::uniform2(-2.0..2.0f64), 0.05..1.0f64),
         1..max_len,
     )
 }

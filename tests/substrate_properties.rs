@@ -4,8 +4,8 @@
 
 use proptest::prelude::*;
 use proximity_rank_join::index::{RTree, ScoreIndex};
-use proximity_rank_join::solver::{halfspaces_feasible, BoundedQp, Matrix};
 use proximity_rank_join::prelude::Vector;
+use proximity_rank_join::solver::{halfspaces_feasible, BoundedQp, Matrix};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
