@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bounds_micro-0afb14985d4a5043.d: crates/prj-bench/benches/bounds_micro.rs
+
+/root/repo/target/debug/deps/bounds_micro-0afb14985d4a5043: crates/prj-bench/benches/bounds_micro.rs
+
+crates/prj-bench/benches/bounds_micro.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bounds_micro-e9333523e07799d0.d: crates/prj-bench/benches/bounds_micro.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbounds_micro-e9333523e07799d0.rmeta: crates/prj-bench/benches/bounds_micro.rs Cargo.toml
+
+crates/prj-bench/benches/bounds_micro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/correctness-18f60ba2ab685243.d: tests/correctness.rs
+
+/root/repo/target/debug/deps/correctness-18f60ba2ab685243: tests/correctness.rs
+
+tests/correctness.rs:

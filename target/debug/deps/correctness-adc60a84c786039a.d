@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/correctness-adc60a84c786039a.d: tests/correctness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcorrectness-adc60a84c786039a.rmeta: tests/correctness.rs Cargo.toml
+
+tests/correctness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine-133985fe4f2b211c.d: crates/prj-engine/tests/engine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine-133985fe4f2b211c.rmeta: crates/prj-engine/tests/engine.rs Cargo.toml
+
+crates/prj-engine/tests/engine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

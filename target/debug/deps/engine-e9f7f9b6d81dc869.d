@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine-e9f7f9b6d81dc869.d: crates/prj-engine/tests/engine.rs
+
+/root/repo/target/debug/deps/engine-e9f7f9b6d81dc869: crates/prj-engine/tests/engine.rs
+
+crates/prj-engine/tests/engine.rs:

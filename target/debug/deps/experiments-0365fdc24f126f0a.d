@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/experiments-0365fdc24f126f0a.d: crates/prj-bench/src/bin/experiments.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexperiments-0365fdc24f126f0a.rmeta: crates/prj-bench/src/bin/experiments.rs Cargo.toml
+
+crates/prj-bench/src/bin/experiments.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

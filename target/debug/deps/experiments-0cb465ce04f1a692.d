@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-0cb465ce04f1a692.d: crates/prj-bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-0cb465ce04f1a692: crates/prj-bench/src/bin/experiments.rs
+
+crates/prj-bench/src/bin/experiments.rs:

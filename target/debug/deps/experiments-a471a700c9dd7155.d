@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-a471a700c9dd7155.d: crates/prj-bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-a471a700c9dd7155: crates/prj-bench/src/bin/experiments.rs
+
+crates/prj-bench/src/bin/experiments.rs:

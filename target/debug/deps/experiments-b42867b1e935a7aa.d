@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/experiments-b42867b1e935a7aa.d: crates/prj-bench/src/bin/experiments.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexperiments-b42867b1e935a7aa.rmeta: crates/prj-bench/src/bin/experiments.rs Cargo.toml
+
+crates/prj-bench/src/bin/experiments.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_cities-18977de50af7d26a.d: crates/prj-bench/benches/fig3_cities.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_cities-18977de50af7d26a.rmeta: crates/prj-bench/benches/fig3_cities.rs Cargo.toml
+
+crates/prj-bench/benches/fig3_cities.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

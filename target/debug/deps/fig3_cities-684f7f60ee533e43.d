@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_cities-684f7f60ee533e43.d: crates/prj-bench/benches/fig3_cities.rs
+
+/root/repo/target/debug/deps/fig3_cities-684f7f60ee533e43: crates/prj-bench/benches/fig3_cities.rs
+
+crates/prj-bench/benches/fig3_cities.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_density-0947332768d8ae8a.d: crates/prj-bench/benches/fig3_density.rs
+
+/root/repo/target/debug/deps/fig3_density-0947332768d8ae8a: crates/prj-bench/benches/fig3_density.rs
+
+crates/prj-bench/benches/fig3_density.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_density-ac27e63362a9c5cb.d: crates/prj-bench/benches/fig3_density.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_density-ac27e63362a9c5cb.rmeta: crates/prj-bench/benches/fig3_density.rs Cargo.toml
+
+crates/prj-bench/benches/fig3_density.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

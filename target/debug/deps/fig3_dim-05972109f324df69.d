@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_dim-05972109f324df69.d: crates/prj-bench/benches/fig3_dim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_dim-05972109f324df69.rmeta: crates/prj-bench/benches/fig3_dim.rs Cargo.toml
+
+crates/prj-bench/benches/fig3_dim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_dim-70b3f2b0460cbd7f.d: crates/prj-bench/benches/fig3_dim.rs
+
+/root/repo/target/debug/deps/fig3_dim-70b3f2b0460cbd7f: crates/prj-bench/benches/fig3_dim.rs
+
+crates/prj-bench/benches/fig3_dim.rs:

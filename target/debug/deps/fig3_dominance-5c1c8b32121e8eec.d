@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_dominance-5c1c8b32121e8eec.d: crates/prj-bench/benches/fig3_dominance.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_dominance-5c1c8b32121e8eec.rmeta: crates/prj-bench/benches/fig3_dominance.rs Cargo.toml
+
+crates/prj-bench/benches/fig3_dominance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

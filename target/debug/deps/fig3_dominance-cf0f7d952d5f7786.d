@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_dominance-cf0f7d952d5f7786.d: crates/prj-bench/benches/fig3_dominance.rs
+
+/root/repo/target/debug/deps/fig3_dominance-cf0f7d952d5f7786: crates/prj-bench/benches/fig3_dominance.rs
+
+crates/prj-bench/benches/fig3_dominance.rs:

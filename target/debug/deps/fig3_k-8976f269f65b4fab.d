@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_k-8976f269f65b4fab.d: crates/prj-bench/benches/fig3_k.rs
+
+/root/repo/target/debug/deps/fig3_k-8976f269f65b4fab: crates/prj-bench/benches/fig3_k.rs
+
+crates/prj-bench/benches/fig3_k.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_k-bb23d68fe6a61fe7.d: crates/prj-bench/benches/fig3_k.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_k-bb23d68fe6a61fe7.rmeta: crates/prj-bench/benches/fig3_k.rs Cargo.toml
+
+crates/prj-bench/benches/fig3_k.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

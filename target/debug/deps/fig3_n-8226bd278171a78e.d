@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_n-8226bd278171a78e.d: crates/prj-bench/benches/fig3_n.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_n-8226bd278171a78e.rmeta: crates/prj-bench/benches/fig3_n.rs Cargo.toml
+
+crates/prj-bench/benches/fig3_n.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_n-f1a69b7d23e82820.d: crates/prj-bench/benches/fig3_n.rs
+
+/root/repo/target/debug/deps/fig3_n-f1a69b7d23e82820: crates/prj-bench/benches/fig3_n.rs
+
+crates/prj-bench/benches/fig3_n.rs:

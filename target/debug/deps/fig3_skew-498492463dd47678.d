@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_skew-498492463dd47678.d: crates/prj-bench/benches/fig3_skew.rs
+
+/root/repo/target/debug/deps/fig3_skew-498492463dd47678: crates/prj-bench/benches/fig3_skew.rs
+
+crates/prj-bench/benches/fig3_skew.rs:

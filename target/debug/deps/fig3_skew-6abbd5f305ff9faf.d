@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_skew-6abbd5f305ff9faf.d: crates/prj-bench/benches/fig3_skew.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_skew-6abbd5f305ff9faf.rmeta: crates/prj-bench/benches/fig3_skew.rs Cargo.toml
+
+crates/prj-bench/benches/fig3_skew.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

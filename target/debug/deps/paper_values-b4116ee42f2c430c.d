@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_values-b4116ee42f2c430c.d: tests/paper_values.rs
+
+/root/repo/target/debug/deps/paper_values-b4116ee42f2c430c: tests/paper_values.rs
+
+tests/paper_values.rs:

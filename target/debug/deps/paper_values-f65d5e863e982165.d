@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_values-f65d5e863e982165.d: tests/paper_values.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_values-f65d5e863e982165.rmeta: tests/paper_values.rs Cargo.toml
+
+tests/paper_values.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

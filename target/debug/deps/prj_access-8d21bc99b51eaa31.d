@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/prj_access-8d21bc99b51eaa31.d: crates/prj-access/src/lib.rs crates/prj-access/src/buffer.rs crates/prj-access/src/kind.rs crates/prj-access/src/service.rs crates/prj-access/src/shared.rs crates/prj-access/src/source.rs crates/prj-access/src/stats.rs crates/prj-access/src/tuple.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprj_access-8d21bc99b51eaa31.rmeta: crates/prj-access/src/lib.rs crates/prj-access/src/buffer.rs crates/prj-access/src/kind.rs crates/prj-access/src/service.rs crates/prj-access/src/shared.rs crates/prj-access/src/source.rs crates/prj-access/src/stats.rs crates/prj-access/src/tuple.rs Cargo.toml
+
+crates/prj-access/src/lib.rs:
+crates/prj-access/src/buffer.rs:
+crates/prj-access/src/kind.rs:
+crates/prj-access/src/service.rs:
+crates/prj-access/src/shared.rs:
+crates/prj-access/src/source.rs:
+crates/prj-access/src/stats.rs:
+crates/prj-access/src/tuple.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

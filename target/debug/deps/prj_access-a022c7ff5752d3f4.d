@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/prj_access-a022c7ff5752d3f4.d: crates/prj-access/src/lib.rs crates/prj-access/src/buffer.rs crates/prj-access/src/kind.rs crates/prj-access/src/service.rs crates/prj-access/src/shared.rs crates/prj-access/src/source.rs crates/prj-access/src/stats.rs crates/prj-access/src/tuple.rs
+
+/root/repo/target/debug/deps/prj_access-a022c7ff5752d3f4: crates/prj-access/src/lib.rs crates/prj-access/src/buffer.rs crates/prj-access/src/kind.rs crates/prj-access/src/service.rs crates/prj-access/src/shared.rs crates/prj-access/src/source.rs crates/prj-access/src/stats.rs crates/prj-access/src/tuple.rs
+
+crates/prj-access/src/lib.rs:
+crates/prj-access/src/buffer.rs:
+crates/prj-access/src/kind.rs:
+crates/prj-access/src/service.rs:
+crates/prj-access/src/shared.rs:
+crates/prj-access/src/source.rs:
+crates/prj-access/src/stats.rs:
+crates/prj-access/src/tuple.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/prj_access-cd7aa297885d3614.d: crates/prj-access/src/lib.rs crates/prj-access/src/buffer.rs crates/prj-access/src/kind.rs crates/prj-access/src/service.rs crates/prj-access/src/shared.rs crates/prj-access/src/source.rs crates/prj-access/src/stats.rs crates/prj-access/src/tuple.rs
+
+/root/repo/target/debug/deps/libprj_access-cd7aa297885d3614.rlib: crates/prj-access/src/lib.rs crates/prj-access/src/buffer.rs crates/prj-access/src/kind.rs crates/prj-access/src/service.rs crates/prj-access/src/shared.rs crates/prj-access/src/source.rs crates/prj-access/src/stats.rs crates/prj-access/src/tuple.rs
+
+/root/repo/target/debug/deps/libprj_access-cd7aa297885d3614.rmeta: crates/prj-access/src/lib.rs crates/prj-access/src/buffer.rs crates/prj-access/src/kind.rs crates/prj-access/src/service.rs crates/prj-access/src/shared.rs crates/prj-access/src/source.rs crates/prj-access/src/stats.rs crates/prj-access/src/tuple.rs
+
+crates/prj-access/src/lib.rs:
+crates/prj-access/src/buffer.rs:
+crates/prj-access/src/kind.rs:
+crates/prj-access/src/service.rs:
+crates/prj-access/src/shared.rs:
+crates/prj-access/src/source.rs:
+crates/prj-access/src/stats.rs:
+crates/prj-access/src/tuple.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/prj_bench-24702dcaa7c44880.d: crates/prj-bench/src/lib.rs crates/prj-bench/src/experiments.rs crates/prj-bench/src/harness.rs crates/prj-bench/src/report.rs crates/prj-bench/src/throughput.rs
+
+/root/repo/target/debug/deps/libprj_bench-24702dcaa7c44880.rlib: crates/prj-bench/src/lib.rs crates/prj-bench/src/experiments.rs crates/prj-bench/src/harness.rs crates/prj-bench/src/report.rs crates/prj-bench/src/throughput.rs
+
+/root/repo/target/debug/deps/libprj_bench-24702dcaa7c44880.rmeta: crates/prj-bench/src/lib.rs crates/prj-bench/src/experiments.rs crates/prj-bench/src/harness.rs crates/prj-bench/src/report.rs crates/prj-bench/src/throughput.rs
+
+crates/prj-bench/src/lib.rs:
+crates/prj-bench/src/experiments.rs:
+crates/prj-bench/src/harness.rs:
+crates/prj-bench/src/report.rs:
+crates/prj-bench/src/throughput.rs:

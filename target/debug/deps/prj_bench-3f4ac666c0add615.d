@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/prj_bench-3f4ac666c0add615.d: crates/prj-bench/src/lib.rs crates/prj-bench/src/experiments.rs crates/prj-bench/src/harness.rs crates/prj-bench/src/report.rs crates/prj-bench/src/throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprj_bench-3f4ac666c0add615.rmeta: crates/prj-bench/src/lib.rs crates/prj-bench/src/experiments.rs crates/prj-bench/src/harness.rs crates/prj-bench/src/report.rs crates/prj-bench/src/throughput.rs Cargo.toml
+
+crates/prj-bench/src/lib.rs:
+crates/prj-bench/src/experiments.rs:
+crates/prj-bench/src/harness.rs:
+crates/prj-bench/src/report.rs:
+crates/prj-bench/src/throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prj_bench-4d3153574ed69612.d: crates/prj-bench/src/lib.rs crates/prj-bench/src/experiments.rs crates/prj-bench/src/harness.rs crates/prj-bench/src/report.rs crates/prj-bench/src/throughput.rs
+
+/root/repo/target/debug/deps/prj_bench-4d3153574ed69612: crates/prj-bench/src/lib.rs crates/prj-bench/src/experiments.rs crates/prj-bench/src/harness.rs crates/prj-bench/src/report.rs crates/prj-bench/src/throughput.rs
+
+crates/prj-bench/src/lib.rs:
+crates/prj-bench/src/experiments.rs:
+crates/prj-bench/src/harness.rs:
+crates/prj-bench/src/report.rs:
+crates/prj-bench/src/throughput.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/prj_core-aa2b5d140a5256b0.d: crates/prj-core/src/lib.rs crates/prj-core/src/algorithms.rs crates/prj-core/src/bounds/mod.rs crates/prj-core/src/bounds/corner.rs crates/prj-core/src/bounds/partial.rs crates/prj-core/src/bounds/tight.rs crates/prj-core/src/combination.rs crates/prj-core/src/dominance.rs crates/prj-core/src/error.rs crates/prj-core/src/naive.rs crates/prj-core/src/operator.rs crates/prj-core/src/problem.rs crates/prj-core/src/pull.rs crates/prj-core/src/scoring.rs crates/prj-core/src/state.rs
+
+/root/repo/target/debug/deps/libprj_core-aa2b5d140a5256b0.rlib: crates/prj-core/src/lib.rs crates/prj-core/src/algorithms.rs crates/prj-core/src/bounds/mod.rs crates/prj-core/src/bounds/corner.rs crates/prj-core/src/bounds/partial.rs crates/prj-core/src/bounds/tight.rs crates/prj-core/src/combination.rs crates/prj-core/src/dominance.rs crates/prj-core/src/error.rs crates/prj-core/src/naive.rs crates/prj-core/src/operator.rs crates/prj-core/src/problem.rs crates/prj-core/src/pull.rs crates/prj-core/src/scoring.rs crates/prj-core/src/state.rs
+
+/root/repo/target/debug/deps/libprj_core-aa2b5d140a5256b0.rmeta: crates/prj-core/src/lib.rs crates/prj-core/src/algorithms.rs crates/prj-core/src/bounds/mod.rs crates/prj-core/src/bounds/corner.rs crates/prj-core/src/bounds/partial.rs crates/prj-core/src/bounds/tight.rs crates/prj-core/src/combination.rs crates/prj-core/src/dominance.rs crates/prj-core/src/error.rs crates/prj-core/src/naive.rs crates/prj-core/src/operator.rs crates/prj-core/src/problem.rs crates/prj-core/src/pull.rs crates/prj-core/src/scoring.rs crates/prj-core/src/state.rs
+
+crates/prj-core/src/lib.rs:
+crates/prj-core/src/algorithms.rs:
+crates/prj-core/src/bounds/mod.rs:
+crates/prj-core/src/bounds/corner.rs:
+crates/prj-core/src/bounds/partial.rs:
+crates/prj-core/src/bounds/tight.rs:
+crates/prj-core/src/combination.rs:
+crates/prj-core/src/dominance.rs:
+crates/prj-core/src/error.rs:
+crates/prj-core/src/naive.rs:
+crates/prj-core/src/operator.rs:
+crates/prj-core/src/problem.rs:
+crates/prj-core/src/pull.rs:
+crates/prj-core/src/scoring.rs:
+crates/prj-core/src/state.rs:

@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/prj_core-dd1fc5b795891b15.d: crates/prj-core/src/lib.rs crates/prj-core/src/algorithms.rs crates/prj-core/src/bounds/mod.rs crates/prj-core/src/bounds/corner.rs crates/prj-core/src/bounds/partial.rs crates/prj-core/src/bounds/tight.rs crates/prj-core/src/combination.rs crates/prj-core/src/dominance.rs crates/prj-core/src/error.rs crates/prj-core/src/naive.rs crates/prj-core/src/operator.rs crates/prj-core/src/problem.rs crates/prj-core/src/pull.rs crates/prj-core/src/scoring.rs crates/prj-core/src/state.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprj_core-dd1fc5b795891b15.rmeta: crates/prj-core/src/lib.rs crates/prj-core/src/algorithms.rs crates/prj-core/src/bounds/mod.rs crates/prj-core/src/bounds/corner.rs crates/prj-core/src/bounds/partial.rs crates/prj-core/src/bounds/tight.rs crates/prj-core/src/combination.rs crates/prj-core/src/dominance.rs crates/prj-core/src/error.rs crates/prj-core/src/naive.rs crates/prj-core/src/operator.rs crates/prj-core/src/problem.rs crates/prj-core/src/pull.rs crates/prj-core/src/scoring.rs crates/prj-core/src/state.rs Cargo.toml
+
+crates/prj-core/src/lib.rs:
+crates/prj-core/src/algorithms.rs:
+crates/prj-core/src/bounds/mod.rs:
+crates/prj-core/src/bounds/corner.rs:
+crates/prj-core/src/bounds/partial.rs:
+crates/prj-core/src/bounds/tight.rs:
+crates/prj-core/src/combination.rs:
+crates/prj-core/src/dominance.rs:
+crates/prj-core/src/error.rs:
+crates/prj-core/src/naive.rs:
+crates/prj-core/src/operator.rs:
+crates/prj-core/src/problem.rs:
+crates/prj-core/src/pull.rs:
+crates/prj-core/src/scoring.rs:
+crates/prj-core/src/state.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

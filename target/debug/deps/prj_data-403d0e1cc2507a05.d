@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/prj_data-403d0e1cc2507a05.d: crates/prj-data/src/lib.rs crates/prj-data/src/cities.rs crates/prj-data/src/synthetic.rs crates/prj-data/src/workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprj_data-403d0e1cc2507a05.rmeta: crates/prj-data/src/lib.rs crates/prj-data/src/cities.rs crates/prj-data/src/synthetic.rs crates/prj-data/src/workload.rs Cargo.toml
+
+crates/prj-data/src/lib.rs:
+crates/prj-data/src/cities.rs:
+crates/prj-data/src/synthetic.rs:
+crates/prj-data/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

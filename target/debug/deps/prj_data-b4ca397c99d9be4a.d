@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/prj_data-b4ca397c99d9be4a.d: crates/prj-data/src/lib.rs crates/prj-data/src/cities.rs crates/prj-data/src/synthetic.rs crates/prj-data/src/workload.rs
+
+/root/repo/target/debug/deps/prj_data-b4ca397c99d9be4a: crates/prj-data/src/lib.rs crates/prj-data/src/cities.rs crates/prj-data/src/synthetic.rs crates/prj-data/src/workload.rs
+
+crates/prj-data/src/lib.rs:
+crates/prj-data/src/cities.rs:
+crates/prj-data/src/synthetic.rs:
+crates/prj-data/src/workload.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/prj_data-bcea4a6fab2820a2.d: crates/prj-data/src/lib.rs crates/prj-data/src/cities.rs crates/prj-data/src/synthetic.rs crates/prj-data/src/workload.rs
+
+/root/repo/target/debug/deps/libprj_data-bcea4a6fab2820a2.rlib: crates/prj-data/src/lib.rs crates/prj-data/src/cities.rs crates/prj-data/src/synthetic.rs crates/prj-data/src/workload.rs
+
+/root/repo/target/debug/deps/libprj_data-bcea4a6fab2820a2.rmeta: crates/prj-data/src/lib.rs crates/prj-data/src/cities.rs crates/prj-data/src/synthetic.rs crates/prj-data/src/workload.rs
+
+crates/prj-data/src/lib.rs:
+crates/prj-data/src/cities.rs:
+crates/prj-data/src/synthetic.rs:
+crates/prj-data/src/workload.rs:

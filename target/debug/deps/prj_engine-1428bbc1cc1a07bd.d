@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/prj_engine-1428bbc1cc1a07bd.d: crates/prj-engine/src/lib.rs crates/prj-engine/src/cache.rs crates/prj-engine/src/catalog.rs crates/prj-engine/src/engine.rs crates/prj-engine/src/executor.rs crates/prj-engine/src/planner.rs crates/prj-engine/src/stats.rs
+
+/root/repo/target/debug/deps/libprj_engine-1428bbc1cc1a07bd.rlib: crates/prj-engine/src/lib.rs crates/prj-engine/src/cache.rs crates/prj-engine/src/catalog.rs crates/prj-engine/src/engine.rs crates/prj-engine/src/executor.rs crates/prj-engine/src/planner.rs crates/prj-engine/src/stats.rs
+
+/root/repo/target/debug/deps/libprj_engine-1428bbc1cc1a07bd.rmeta: crates/prj-engine/src/lib.rs crates/prj-engine/src/cache.rs crates/prj-engine/src/catalog.rs crates/prj-engine/src/engine.rs crates/prj-engine/src/executor.rs crates/prj-engine/src/planner.rs crates/prj-engine/src/stats.rs
+
+crates/prj-engine/src/lib.rs:
+crates/prj-engine/src/cache.rs:
+crates/prj-engine/src/catalog.rs:
+crates/prj-engine/src/engine.rs:
+crates/prj-engine/src/executor.rs:
+crates/prj-engine/src/planner.rs:
+crates/prj-engine/src/stats.rs:

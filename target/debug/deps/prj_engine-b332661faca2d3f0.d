@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/prj_engine-b332661faca2d3f0.d: crates/prj-engine/src/lib.rs crates/prj-engine/src/cache.rs crates/prj-engine/src/catalog.rs crates/prj-engine/src/engine.rs crates/prj-engine/src/executor.rs crates/prj-engine/src/planner.rs crates/prj-engine/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprj_engine-b332661faca2d3f0.rmeta: crates/prj-engine/src/lib.rs crates/prj-engine/src/cache.rs crates/prj-engine/src/catalog.rs crates/prj-engine/src/engine.rs crates/prj-engine/src/executor.rs crates/prj-engine/src/planner.rs crates/prj-engine/src/stats.rs Cargo.toml
+
+crates/prj-engine/src/lib.rs:
+crates/prj-engine/src/cache.rs:
+crates/prj-engine/src/catalog.rs:
+crates/prj-engine/src/engine.rs:
+crates/prj-engine/src/executor.rs:
+crates/prj-engine/src/planner.rs:
+crates/prj-engine/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

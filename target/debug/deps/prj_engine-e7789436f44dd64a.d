@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/prj_engine-e7789436f44dd64a.d: crates/prj-engine/src/lib.rs crates/prj-engine/src/cache.rs crates/prj-engine/src/catalog.rs crates/prj-engine/src/engine.rs crates/prj-engine/src/executor.rs crates/prj-engine/src/planner.rs crates/prj-engine/src/stats.rs
+
+/root/repo/target/debug/deps/prj_engine-e7789436f44dd64a: crates/prj-engine/src/lib.rs crates/prj-engine/src/cache.rs crates/prj-engine/src/catalog.rs crates/prj-engine/src/engine.rs crates/prj-engine/src/executor.rs crates/prj-engine/src/planner.rs crates/prj-engine/src/stats.rs
+
+crates/prj-engine/src/lib.rs:
+crates/prj-engine/src/cache.rs:
+crates/prj-engine/src/catalog.rs:
+crates/prj-engine/src/engine.rs:
+crates/prj-engine/src/executor.rs:
+crates/prj-engine/src/planner.rs:
+crates/prj-engine/src/stats.rs:

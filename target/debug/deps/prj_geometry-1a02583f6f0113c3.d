@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/prj_geometry-1a02583f6f0113c3.d: crates/prj-geometry/src/lib.rs crates/prj-geometry/src/aabb.rs crates/prj-geometry/src/centroid.rs crates/prj-geometry/src/metric.rs crates/prj-geometry/src/projection.rs crates/prj-geometry/src/vector.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprj_geometry-1a02583f6f0113c3.rmeta: crates/prj-geometry/src/lib.rs crates/prj-geometry/src/aabb.rs crates/prj-geometry/src/centroid.rs crates/prj-geometry/src/metric.rs crates/prj-geometry/src/projection.rs crates/prj-geometry/src/vector.rs Cargo.toml
+
+crates/prj-geometry/src/lib.rs:
+crates/prj-geometry/src/aabb.rs:
+crates/prj-geometry/src/centroid.rs:
+crates/prj-geometry/src/metric.rs:
+crates/prj-geometry/src/projection.rs:
+crates/prj-geometry/src/vector.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

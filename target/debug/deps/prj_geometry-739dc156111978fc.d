@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/prj_geometry-739dc156111978fc.d: crates/prj-geometry/src/lib.rs crates/prj-geometry/src/aabb.rs crates/prj-geometry/src/centroid.rs crates/prj-geometry/src/metric.rs crates/prj-geometry/src/projection.rs crates/prj-geometry/src/vector.rs
+
+/root/repo/target/debug/deps/prj_geometry-739dc156111978fc: crates/prj-geometry/src/lib.rs crates/prj-geometry/src/aabb.rs crates/prj-geometry/src/centroid.rs crates/prj-geometry/src/metric.rs crates/prj-geometry/src/projection.rs crates/prj-geometry/src/vector.rs
+
+crates/prj-geometry/src/lib.rs:
+crates/prj-geometry/src/aabb.rs:
+crates/prj-geometry/src/centroid.rs:
+crates/prj-geometry/src/metric.rs:
+crates/prj-geometry/src/projection.rs:
+crates/prj-geometry/src/vector.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/prj_geometry-e0baa51b4fe258ec.d: crates/prj-geometry/src/lib.rs crates/prj-geometry/src/aabb.rs crates/prj-geometry/src/centroid.rs crates/prj-geometry/src/metric.rs crates/prj-geometry/src/projection.rs crates/prj-geometry/src/vector.rs
+
+/root/repo/target/debug/deps/libprj_geometry-e0baa51b4fe258ec.rlib: crates/prj-geometry/src/lib.rs crates/prj-geometry/src/aabb.rs crates/prj-geometry/src/centroid.rs crates/prj-geometry/src/metric.rs crates/prj-geometry/src/projection.rs crates/prj-geometry/src/vector.rs
+
+/root/repo/target/debug/deps/libprj_geometry-e0baa51b4fe258ec.rmeta: crates/prj-geometry/src/lib.rs crates/prj-geometry/src/aabb.rs crates/prj-geometry/src/centroid.rs crates/prj-geometry/src/metric.rs crates/prj-geometry/src/projection.rs crates/prj-geometry/src/vector.rs
+
+crates/prj-geometry/src/lib.rs:
+crates/prj-geometry/src/aabb.rs:
+crates/prj-geometry/src/centroid.rs:
+crates/prj-geometry/src/metric.rs:
+crates/prj-geometry/src/projection.rs:
+crates/prj-geometry/src/vector.rs:

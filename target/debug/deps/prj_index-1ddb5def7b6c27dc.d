@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/prj_index-1ddb5def7b6c27dc.d: crates/prj-index/src/lib.rs crates/prj-index/src/cursor.rs crates/prj-index/src/rtree.rs crates/prj-index/src/sorted.rs
+
+/root/repo/target/debug/deps/libprj_index-1ddb5def7b6c27dc.rlib: crates/prj-index/src/lib.rs crates/prj-index/src/cursor.rs crates/prj-index/src/rtree.rs crates/prj-index/src/sorted.rs
+
+/root/repo/target/debug/deps/libprj_index-1ddb5def7b6c27dc.rmeta: crates/prj-index/src/lib.rs crates/prj-index/src/cursor.rs crates/prj-index/src/rtree.rs crates/prj-index/src/sorted.rs
+
+crates/prj-index/src/lib.rs:
+crates/prj-index/src/cursor.rs:
+crates/prj-index/src/rtree.rs:
+crates/prj-index/src/sorted.rs:

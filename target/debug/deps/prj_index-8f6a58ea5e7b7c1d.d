@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/prj_index-8f6a58ea5e7b7c1d.d: crates/prj-index/src/lib.rs crates/prj-index/src/cursor.rs crates/prj-index/src/rtree.rs crates/prj-index/src/sorted.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprj_index-8f6a58ea5e7b7c1d.rmeta: crates/prj-index/src/lib.rs crates/prj-index/src/cursor.rs crates/prj-index/src/rtree.rs crates/prj-index/src/sorted.rs Cargo.toml
+
+crates/prj-index/src/lib.rs:
+crates/prj-index/src/cursor.rs:
+crates/prj-index/src/rtree.rs:
+crates/prj-index/src/sorted.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

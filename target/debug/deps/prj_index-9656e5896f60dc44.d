@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/prj_index-9656e5896f60dc44.d: crates/prj-index/src/lib.rs crates/prj-index/src/cursor.rs crates/prj-index/src/rtree.rs crates/prj-index/src/sorted.rs
+
+/root/repo/target/debug/deps/prj_index-9656e5896f60dc44: crates/prj-index/src/lib.rs crates/prj-index/src/cursor.rs crates/prj-index/src/rtree.rs crates/prj-index/src/sorted.rs
+
+crates/prj-index/src/lib.rs:
+crates/prj-index/src/cursor.rs:
+crates/prj-index/src/rtree.rs:
+crates/prj-index/src/sorted.rs:

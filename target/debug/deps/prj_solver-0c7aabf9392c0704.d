@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/prj_solver-0c7aabf9392c0704.d: crates/prj-solver/src/lib.rs crates/prj-solver/src/closed_form.rs crates/prj-solver/src/linalg.rs crates/prj-solver/src/lp.rs crates/prj-solver/src/qp.rs
+
+/root/repo/target/debug/deps/libprj_solver-0c7aabf9392c0704.rlib: crates/prj-solver/src/lib.rs crates/prj-solver/src/closed_form.rs crates/prj-solver/src/linalg.rs crates/prj-solver/src/lp.rs crates/prj-solver/src/qp.rs
+
+/root/repo/target/debug/deps/libprj_solver-0c7aabf9392c0704.rmeta: crates/prj-solver/src/lib.rs crates/prj-solver/src/closed_form.rs crates/prj-solver/src/linalg.rs crates/prj-solver/src/lp.rs crates/prj-solver/src/qp.rs
+
+crates/prj-solver/src/lib.rs:
+crates/prj-solver/src/closed_form.rs:
+crates/prj-solver/src/linalg.rs:
+crates/prj-solver/src/lp.rs:
+crates/prj-solver/src/qp.rs:

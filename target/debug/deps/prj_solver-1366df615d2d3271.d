@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/prj_solver-1366df615d2d3271.d: crates/prj-solver/src/lib.rs crates/prj-solver/src/closed_form.rs crates/prj-solver/src/linalg.rs crates/prj-solver/src/lp.rs crates/prj-solver/src/qp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprj_solver-1366df615d2d3271.rmeta: crates/prj-solver/src/lib.rs crates/prj-solver/src/closed_form.rs crates/prj-solver/src/linalg.rs crates/prj-solver/src/lp.rs crates/prj-solver/src/qp.rs Cargo.toml
+
+crates/prj-solver/src/lib.rs:
+crates/prj-solver/src/closed_form.rs:
+crates/prj-solver/src/linalg.rs:
+crates/prj-solver/src/lp.rs:
+crates/prj-solver/src/qp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

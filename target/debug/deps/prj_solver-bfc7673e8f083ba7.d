@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prj_solver-bfc7673e8f083ba7.d: crates/prj-solver/src/lib.rs crates/prj-solver/src/closed_form.rs crates/prj-solver/src/linalg.rs crates/prj-solver/src/lp.rs crates/prj-solver/src/qp.rs
+
+/root/repo/target/debug/deps/prj_solver-bfc7673e8f083ba7: crates/prj-solver/src/lib.rs crates/prj-solver/src/closed_form.rs crates/prj-solver/src/linalg.rs crates/prj-solver/src/lp.rs crates/prj-solver/src/qp.rs
+
+crates/prj-solver/src/lib.rs:
+crates/prj-solver/src/closed_form.rs:
+crates/prj-solver/src/linalg.rs:
+crates/prj-solver/src/lp.rs:
+crates/prj-solver/src/qp.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-2e144ac3dace64b4.d: tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-2e144ac3dace64b4.rmeta: tests/properties.rs Cargo.toml
+
+tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

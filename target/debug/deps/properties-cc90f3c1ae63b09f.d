@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-cc90f3c1ae63b09f.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-cc90f3c1ae63b09f: tests/properties.rs
+
+tests/properties.rs:

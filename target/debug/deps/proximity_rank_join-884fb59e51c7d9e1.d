@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proximity_rank_join-884fb59e51c7d9e1.d: src/lib.rs
+
+/root/repo/target/debug/deps/proximity_rank_join-884fb59e51c7d9e1: src/lib.rs
+
+src/lib.rs:

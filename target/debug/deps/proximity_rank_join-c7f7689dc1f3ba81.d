@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proximity_rank_join-c7f7689dc1f3ba81.d: src/lib.rs
+
+/root/repo/target/debug/deps/libproximity_rank_join-c7f7689dc1f3ba81.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libproximity_rank_join-c7f7689dc1f3ba81.rmeta: src/lib.rs
+
+src/lib.rs:

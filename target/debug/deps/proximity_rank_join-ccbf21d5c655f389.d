@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proximity_rank_join-ccbf21d5c655f389.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproximity_rank_join-ccbf21d5c655f389.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/substrate_properties-542431381dd69986.d: tests/substrate_properties.rs
+
+/root/repo/target/debug/deps/substrate_properties-542431381dd69986: tests/substrate_properties.rs
+
+tests/substrate_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/throughput-654d00a131146af5.d: crates/prj-bench/src/bin/throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libthroughput-654d00a131146af5.rmeta: crates/prj-bench/src/bin/throughput.rs Cargo.toml
+
+crates/prj-bench/src/bin/throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

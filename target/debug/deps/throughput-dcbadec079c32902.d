@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/throughput-dcbadec079c32902.d: crates/prj-bench/src/bin/throughput.rs
+
+/root/repo/target/debug/deps/throughput-dcbadec079c32902: crates/prj-bench/src/bin/throughput.rs
+
+crates/prj-bench/src/bin/throughput.rs:

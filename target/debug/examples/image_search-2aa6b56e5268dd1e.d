@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/image_search-2aa6b56e5268dd1e.d: examples/image_search.rs Cargo.toml
+
+/root/repo/target/debug/examples/libimage_search-2aa6b56e5268dd1e.rmeta: examples/image_search.rs Cargo.toml
+
+examples/image_search.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

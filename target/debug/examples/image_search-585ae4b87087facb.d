@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/image_search-585ae4b87087facb.d: examples/image_search.rs
+
+/root/repo/target/debug/examples/image_search-585ae4b87087facb: examples/image_search.rs
+
+examples/image_search.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/paper_example-37f9f34596b44605.d: examples/paper_example.rs
+
+/root/repo/target/debug/examples/paper_example-37f9f34596b44605: examples/paper_example.rs
+
+examples/paper_example.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/paper_example-3f6cd5589a72112f.d: examples/paper_example.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpaper_example-3f6cd5589a72112f.rmeta: examples/paper_example.rs Cargo.toml
+
+examples/paper_example.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-2a9ecf7a939e0f59.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-2a9ecf7a939e0f59: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/serving-96feef1603245762.d: examples/serving.rs
+
+/root/repo/target/debug/examples/serving-96feef1603245762: examples/serving.rs
+
+examples/serving.rs:

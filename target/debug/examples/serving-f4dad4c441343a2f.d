@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/serving-f4dad4c441343a2f.d: examples/serving.rs Cargo.toml
+
+/root/repo/target/debug/examples/libserving-f4dad4c441343a2f.rmeta: examples/serving.rs Cargo.toml
+
+examples/serving.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trip_planner-26ac072c3690d503.d: examples/trip_planner.rs
+
+/root/repo/target/debug/examples/trip_planner-26ac072c3690d503: examples/trip_planner.rs
+
+examples/trip_planner.rs:

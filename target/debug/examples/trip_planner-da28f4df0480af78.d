@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/trip_planner-da28f4df0480af78.d: examples/trip_planner.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtrip_planner-da28f4df0480af78.rmeta: examples/trip_planner.rs Cargo.toml
+
+examples/trip_planner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

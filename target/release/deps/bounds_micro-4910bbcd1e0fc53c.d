@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bounds_micro-4910bbcd1e0fc53c.d: crates/prj-bench/benches/bounds_micro.rs
+
+/root/repo/target/release/deps/bounds_micro-4910bbcd1e0fc53c: crates/prj-bench/benches/bounds_micro.rs
+
+crates/prj-bench/benches/bounds_micro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/correctness-f605c2b95d915cd1.d: tests/correctness.rs
+
+/root/repo/target/release/deps/correctness-f605c2b95d915cd1: tests/correctness.rs
+
+tests/correctness.rs:

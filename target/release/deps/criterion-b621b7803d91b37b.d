@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/criterion-b621b7803d91b37b.d: crates/shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/criterion-b621b7803d91b37b: crates/shims/criterion/src/lib.rs
+
+crates/shims/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/engine-4dfe59e8119783b9.d: crates/prj-engine/tests/engine.rs
+
+/root/repo/target/release/deps/engine-4dfe59e8119783b9: crates/prj-engine/tests/engine.rs
+
+crates/prj-engine/tests/engine.rs:

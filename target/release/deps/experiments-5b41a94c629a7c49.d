@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-5b41a94c629a7c49.d: crates/prj-bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-5b41a94c629a7c49: crates/prj-bench/src/bin/experiments.rs
+
+crates/prj-bench/src/bin/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-c531b25060d5fad7.d: crates/prj-bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-c531b25060d5fad7: crates/prj-bench/src/bin/experiments.rs
+
+crates/prj-bench/src/bin/experiments.rs:

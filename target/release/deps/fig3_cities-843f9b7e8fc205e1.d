@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_cities-843f9b7e8fc205e1.d: crates/prj-bench/benches/fig3_cities.rs
+
+/root/repo/target/release/deps/fig3_cities-843f9b7e8fc205e1: crates/prj-bench/benches/fig3_cities.rs
+
+crates/prj-bench/benches/fig3_cities.rs:

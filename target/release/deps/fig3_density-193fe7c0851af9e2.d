@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_density-193fe7c0851af9e2.d: crates/prj-bench/benches/fig3_density.rs
+
+/root/repo/target/release/deps/fig3_density-193fe7c0851af9e2: crates/prj-bench/benches/fig3_density.rs
+
+crates/prj-bench/benches/fig3_density.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_dim-c5024fccc4d2628f.d: crates/prj-bench/benches/fig3_dim.rs
+
+/root/repo/target/release/deps/fig3_dim-c5024fccc4d2628f: crates/prj-bench/benches/fig3_dim.rs
+
+crates/prj-bench/benches/fig3_dim.rs:

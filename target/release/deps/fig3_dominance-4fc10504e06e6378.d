@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_dominance-4fc10504e06e6378.d: crates/prj-bench/benches/fig3_dominance.rs
+
+/root/repo/target/release/deps/fig3_dominance-4fc10504e06e6378: crates/prj-bench/benches/fig3_dominance.rs
+
+crates/prj-bench/benches/fig3_dominance.rs:

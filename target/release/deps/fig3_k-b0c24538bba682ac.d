@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_k-b0c24538bba682ac.d: crates/prj-bench/benches/fig3_k.rs
+
+/root/repo/target/release/deps/fig3_k-b0c24538bba682ac: crates/prj-bench/benches/fig3_k.rs
+
+crates/prj-bench/benches/fig3_k.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_n-766189cda516279d.d: crates/prj-bench/benches/fig3_n.rs
+
+/root/repo/target/release/deps/fig3_n-766189cda516279d: crates/prj-bench/benches/fig3_n.rs
+
+crates/prj-bench/benches/fig3_n.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_skew-f44c2a5e9b96eb50.d: crates/prj-bench/benches/fig3_skew.rs
+
+/root/repo/target/release/deps/fig3_skew-f44c2a5e9b96eb50: crates/prj-bench/benches/fig3_skew.rs
+
+crates/prj-bench/benches/fig3_skew.rs:

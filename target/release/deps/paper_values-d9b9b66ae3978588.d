@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_values-d9b9b66ae3978588.d: tests/paper_values.rs
+
+/root/repo/target/release/deps/paper_values-d9b9b66ae3978588: tests/paper_values.rs
+
+tests/paper_values.rs:

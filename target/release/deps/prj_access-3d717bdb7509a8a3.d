@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/prj_access-3d717bdb7509a8a3.d: crates/prj-access/src/lib.rs crates/prj-access/src/buffer.rs crates/prj-access/src/kind.rs crates/prj-access/src/service.rs crates/prj-access/src/shared.rs crates/prj-access/src/source.rs crates/prj-access/src/stats.rs crates/prj-access/src/tuple.rs
+
+/root/repo/target/release/deps/prj_access-3d717bdb7509a8a3: crates/prj-access/src/lib.rs crates/prj-access/src/buffer.rs crates/prj-access/src/kind.rs crates/prj-access/src/service.rs crates/prj-access/src/shared.rs crates/prj-access/src/source.rs crates/prj-access/src/stats.rs crates/prj-access/src/tuple.rs
+
+crates/prj-access/src/lib.rs:
+crates/prj-access/src/buffer.rs:
+crates/prj-access/src/kind.rs:
+crates/prj-access/src/service.rs:
+crates/prj-access/src/shared.rs:
+crates/prj-access/src/source.rs:
+crates/prj-access/src/stats.rs:
+crates/prj-access/src/tuple.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/prj_access-ba1c6022acbecb2f.d: crates/prj-access/src/lib.rs crates/prj-access/src/buffer.rs crates/prj-access/src/kind.rs crates/prj-access/src/service.rs crates/prj-access/src/shared.rs crates/prj-access/src/source.rs crates/prj-access/src/stats.rs crates/prj-access/src/tuple.rs
+
+/root/repo/target/release/deps/libprj_access-ba1c6022acbecb2f.rlib: crates/prj-access/src/lib.rs crates/prj-access/src/buffer.rs crates/prj-access/src/kind.rs crates/prj-access/src/service.rs crates/prj-access/src/shared.rs crates/prj-access/src/source.rs crates/prj-access/src/stats.rs crates/prj-access/src/tuple.rs
+
+/root/repo/target/release/deps/libprj_access-ba1c6022acbecb2f.rmeta: crates/prj-access/src/lib.rs crates/prj-access/src/buffer.rs crates/prj-access/src/kind.rs crates/prj-access/src/service.rs crates/prj-access/src/shared.rs crates/prj-access/src/source.rs crates/prj-access/src/stats.rs crates/prj-access/src/tuple.rs
+
+crates/prj-access/src/lib.rs:
+crates/prj-access/src/buffer.rs:
+crates/prj-access/src/kind.rs:
+crates/prj-access/src/service.rs:
+crates/prj-access/src/shared.rs:
+crates/prj-access/src/source.rs:
+crates/prj-access/src/stats.rs:
+crates/prj-access/src/tuple.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/prj_bench-ae2051d3fd424114.d: crates/prj-bench/src/lib.rs crates/prj-bench/src/experiments.rs crates/prj-bench/src/harness.rs crates/prj-bench/src/report.rs crates/prj-bench/src/throughput.rs
+
+/root/repo/target/release/deps/libprj_bench-ae2051d3fd424114.rlib: crates/prj-bench/src/lib.rs crates/prj-bench/src/experiments.rs crates/prj-bench/src/harness.rs crates/prj-bench/src/report.rs crates/prj-bench/src/throughput.rs
+
+/root/repo/target/release/deps/libprj_bench-ae2051d3fd424114.rmeta: crates/prj-bench/src/lib.rs crates/prj-bench/src/experiments.rs crates/prj-bench/src/harness.rs crates/prj-bench/src/report.rs crates/prj-bench/src/throughput.rs
+
+crates/prj-bench/src/lib.rs:
+crates/prj-bench/src/experiments.rs:
+crates/prj-bench/src/harness.rs:
+crates/prj-bench/src/report.rs:
+crates/prj-bench/src/throughput.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/prj_bench-f13541a4646f44da.d: crates/prj-bench/src/lib.rs crates/prj-bench/src/experiments.rs crates/prj-bench/src/harness.rs crates/prj-bench/src/report.rs crates/prj-bench/src/throughput.rs
+
+/root/repo/target/release/deps/prj_bench-f13541a4646f44da: crates/prj-bench/src/lib.rs crates/prj-bench/src/experiments.rs crates/prj-bench/src/harness.rs crates/prj-bench/src/report.rs crates/prj-bench/src/throughput.rs
+
+crates/prj-bench/src/lib.rs:
+crates/prj-bench/src/experiments.rs:
+crates/prj-bench/src/harness.rs:
+crates/prj-bench/src/report.rs:
+crates/prj-bench/src/throughput.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/prj_data-91db266891771762.d: crates/prj-data/src/lib.rs crates/prj-data/src/cities.rs crates/prj-data/src/synthetic.rs crates/prj-data/src/workload.rs
+
+/root/repo/target/release/deps/libprj_data-91db266891771762.rlib: crates/prj-data/src/lib.rs crates/prj-data/src/cities.rs crates/prj-data/src/synthetic.rs crates/prj-data/src/workload.rs
+
+/root/repo/target/release/deps/libprj_data-91db266891771762.rmeta: crates/prj-data/src/lib.rs crates/prj-data/src/cities.rs crates/prj-data/src/synthetic.rs crates/prj-data/src/workload.rs
+
+crates/prj-data/src/lib.rs:
+crates/prj-data/src/cities.rs:
+crates/prj-data/src/synthetic.rs:
+crates/prj-data/src/workload.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/prj_data-e18a33ec6ecb4fed.d: crates/prj-data/src/lib.rs crates/prj-data/src/cities.rs crates/prj-data/src/synthetic.rs crates/prj-data/src/workload.rs
+
+/root/repo/target/release/deps/prj_data-e18a33ec6ecb4fed: crates/prj-data/src/lib.rs crates/prj-data/src/cities.rs crates/prj-data/src/synthetic.rs crates/prj-data/src/workload.rs
+
+crates/prj-data/src/lib.rs:
+crates/prj-data/src/cities.rs:
+crates/prj-data/src/synthetic.rs:
+crates/prj-data/src/workload.rs:

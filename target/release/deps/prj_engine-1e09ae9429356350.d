@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/prj_engine-1e09ae9429356350.d: crates/prj-engine/src/lib.rs crates/prj-engine/src/cache.rs crates/prj-engine/src/catalog.rs crates/prj-engine/src/engine.rs crates/prj-engine/src/executor.rs crates/prj-engine/src/planner.rs crates/prj-engine/src/stats.rs
+
+/root/repo/target/release/deps/prj_engine-1e09ae9429356350: crates/prj-engine/src/lib.rs crates/prj-engine/src/cache.rs crates/prj-engine/src/catalog.rs crates/prj-engine/src/engine.rs crates/prj-engine/src/executor.rs crates/prj-engine/src/planner.rs crates/prj-engine/src/stats.rs
+
+crates/prj-engine/src/lib.rs:
+crates/prj-engine/src/cache.rs:
+crates/prj-engine/src/catalog.rs:
+crates/prj-engine/src/engine.rs:
+crates/prj-engine/src/executor.rs:
+crates/prj-engine/src/planner.rs:
+crates/prj-engine/src/stats.rs:

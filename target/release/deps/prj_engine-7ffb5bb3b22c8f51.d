@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/prj_engine-7ffb5bb3b22c8f51.d: crates/prj-engine/src/lib.rs crates/prj-engine/src/cache.rs crates/prj-engine/src/catalog.rs crates/prj-engine/src/engine.rs crates/prj-engine/src/executor.rs crates/prj-engine/src/planner.rs crates/prj-engine/src/stats.rs
+
+/root/repo/target/release/deps/libprj_engine-7ffb5bb3b22c8f51.rlib: crates/prj-engine/src/lib.rs crates/prj-engine/src/cache.rs crates/prj-engine/src/catalog.rs crates/prj-engine/src/engine.rs crates/prj-engine/src/executor.rs crates/prj-engine/src/planner.rs crates/prj-engine/src/stats.rs
+
+/root/repo/target/release/deps/libprj_engine-7ffb5bb3b22c8f51.rmeta: crates/prj-engine/src/lib.rs crates/prj-engine/src/cache.rs crates/prj-engine/src/catalog.rs crates/prj-engine/src/engine.rs crates/prj-engine/src/executor.rs crates/prj-engine/src/planner.rs crates/prj-engine/src/stats.rs
+
+crates/prj-engine/src/lib.rs:
+crates/prj-engine/src/cache.rs:
+crates/prj-engine/src/catalog.rs:
+crates/prj-engine/src/engine.rs:
+crates/prj-engine/src/executor.rs:
+crates/prj-engine/src/planner.rs:
+crates/prj-engine/src/stats.rs:

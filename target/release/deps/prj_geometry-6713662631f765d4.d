@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/prj_geometry-6713662631f765d4.d: crates/prj-geometry/src/lib.rs crates/prj-geometry/src/aabb.rs crates/prj-geometry/src/centroid.rs crates/prj-geometry/src/metric.rs crates/prj-geometry/src/projection.rs crates/prj-geometry/src/vector.rs
+
+/root/repo/target/release/deps/prj_geometry-6713662631f765d4: crates/prj-geometry/src/lib.rs crates/prj-geometry/src/aabb.rs crates/prj-geometry/src/centroid.rs crates/prj-geometry/src/metric.rs crates/prj-geometry/src/projection.rs crates/prj-geometry/src/vector.rs
+
+crates/prj-geometry/src/lib.rs:
+crates/prj-geometry/src/aabb.rs:
+crates/prj-geometry/src/centroid.rs:
+crates/prj-geometry/src/metric.rs:
+crates/prj-geometry/src/projection.rs:
+crates/prj-geometry/src/vector.rs:

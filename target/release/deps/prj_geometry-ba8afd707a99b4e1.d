@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/prj_geometry-ba8afd707a99b4e1.d: crates/prj-geometry/src/lib.rs crates/prj-geometry/src/aabb.rs crates/prj-geometry/src/centroid.rs crates/prj-geometry/src/metric.rs crates/prj-geometry/src/projection.rs crates/prj-geometry/src/vector.rs
+
+/root/repo/target/release/deps/libprj_geometry-ba8afd707a99b4e1.rlib: crates/prj-geometry/src/lib.rs crates/prj-geometry/src/aabb.rs crates/prj-geometry/src/centroid.rs crates/prj-geometry/src/metric.rs crates/prj-geometry/src/projection.rs crates/prj-geometry/src/vector.rs
+
+/root/repo/target/release/deps/libprj_geometry-ba8afd707a99b4e1.rmeta: crates/prj-geometry/src/lib.rs crates/prj-geometry/src/aabb.rs crates/prj-geometry/src/centroid.rs crates/prj-geometry/src/metric.rs crates/prj-geometry/src/projection.rs crates/prj-geometry/src/vector.rs
+
+crates/prj-geometry/src/lib.rs:
+crates/prj-geometry/src/aabb.rs:
+crates/prj-geometry/src/centroid.rs:
+crates/prj-geometry/src/metric.rs:
+crates/prj-geometry/src/projection.rs:
+crates/prj-geometry/src/vector.rs:

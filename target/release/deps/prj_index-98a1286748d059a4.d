@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/prj_index-98a1286748d059a4.d: crates/prj-index/src/lib.rs crates/prj-index/src/cursor.rs crates/prj-index/src/rtree.rs crates/prj-index/src/sorted.rs
+
+/root/repo/target/release/deps/prj_index-98a1286748d059a4: crates/prj-index/src/lib.rs crates/prj-index/src/cursor.rs crates/prj-index/src/rtree.rs crates/prj-index/src/sorted.rs
+
+crates/prj-index/src/lib.rs:
+crates/prj-index/src/cursor.rs:
+crates/prj-index/src/rtree.rs:
+crates/prj-index/src/sorted.rs:

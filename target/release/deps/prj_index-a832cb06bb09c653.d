@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/prj_index-a832cb06bb09c653.d: crates/prj-index/src/lib.rs crates/prj-index/src/cursor.rs crates/prj-index/src/rtree.rs crates/prj-index/src/sorted.rs
+
+/root/repo/target/release/deps/libprj_index-a832cb06bb09c653.rlib: crates/prj-index/src/lib.rs crates/prj-index/src/cursor.rs crates/prj-index/src/rtree.rs crates/prj-index/src/sorted.rs
+
+/root/repo/target/release/deps/libprj_index-a832cb06bb09c653.rmeta: crates/prj-index/src/lib.rs crates/prj-index/src/cursor.rs crates/prj-index/src/rtree.rs crates/prj-index/src/sorted.rs
+
+crates/prj-index/src/lib.rs:
+crates/prj-index/src/cursor.rs:
+crates/prj-index/src/rtree.rs:
+crates/prj-index/src/sorted.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/prj_solver-26a2a52da13e2159.d: crates/prj-solver/src/lib.rs crates/prj-solver/src/closed_form.rs crates/prj-solver/src/linalg.rs crates/prj-solver/src/lp.rs crates/prj-solver/src/qp.rs
+
+/root/repo/target/release/deps/libprj_solver-26a2a52da13e2159.rlib: crates/prj-solver/src/lib.rs crates/prj-solver/src/closed_form.rs crates/prj-solver/src/linalg.rs crates/prj-solver/src/lp.rs crates/prj-solver/src/qp.rs
+
+/root/repo/target/release/deps/libprj_solver-26a2a52da13e2159.rmeta: crates/prj-solver/src/lib.rs crates/prj-solver/src/closed_form.rs crates/prj-solver/src/linalg.rs crates/prj-solver/src/lp.rs crates/prj-solver/src/qp.rs
+
+crates/prj-solver/src/lib.rs:
+crates/prj-solver/src/closed_form.rs:
+crates/prj-solver/src/linalg.rs:
+crates/prj-solver/src/lp.rs:
+crates/prj-solver/src/qp.rs:

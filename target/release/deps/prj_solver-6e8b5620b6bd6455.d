@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/prj_solver-6e8b5620b6bd6455.d: crates/prj-solver/src/lib.rs crates/prj-solver/src/closed_form.rs crates/prj-solver/src/linalg.rs crates/prj-solver/src/lp.rs crates/prj-solver/src/qp.rs
+
+/root/repo/target/release/deps/prj_solver-6e8b5620b6bd6455: crates/prj-solver/src/lib.rs crates/prj-solver/src/closed_form.rs crates/prj-solver/src/linalg.rs crates/prj-solver/src/lp.rs crates/prj-solver/src/qp.rs
+
+crates/prj-solver/src/lib.rs:
+crates/prj-solver/src/closed_form.rs:
+crates/prj-solver/src/linalg.rs:
+crates/prj-solver/src/lp.rs:
+crates/prj-solver/src/qp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-7001e56ee37bb671.d: tests/properties.rs
+
+/root/repo/target/release/deps/properties-7001e56ee37bb671: tests/properties.rs
+
+tests/properties.rs:

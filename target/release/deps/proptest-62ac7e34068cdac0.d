@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest-62ac7e34068cdac0.d: crates/shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/proptest-62ac7e34068cdac0: crates/shims/proptest/src/lib.rs
+
+crates/shims/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proximity_rank_join-28298cb28dee5ff5.d: src/lib.rs
+
+/root/repo/target/release/deps/proximity_rank_join-28298cb28dee5ff5: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proximity_rank_join-c3d4ae18b6179b9b.d: src/lib.rs
+
+/root/repo/target/release/deps/libproximity_rank_join-c3d4ae18b6179b9b.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libproximity_rank_join-c3d4ae18b6179b9b.rmeta: src/lib.rs
+
+src/lib.rs:

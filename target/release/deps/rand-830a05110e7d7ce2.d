@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand-830a05110e7d7ce2.d: crates/shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/rand-830a05110e7d7ce2: crates/shims/rand/src/lib.rs
+
+crates/shims/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/substrate_properties-83dbb5dbae04c65a.d: tests/substrate_properties.rs
+
+/root/repo/target/release/deps/substrate_properties-83dbb5dbae04c65a: tests/substrate_properties.rs
+
+tests/substrate_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/throughput-5f25b18d6409f8f9.d: crates/prj-bench/src/bin/throughput.rs
+
+/root/repo/target/release/deps/throughput-5f25b18d6409f8f9: crates/prj-bench/src/bin/throughput.rs
+
+crates/prj-bench/src/bin/throughput.rs:

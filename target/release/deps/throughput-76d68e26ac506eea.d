@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/throughput-76d68e26ac506eea.d: crates/prj-bench/src/bin/throughput.rs
+
+/root/repo/target/release/deps/throughput-76d68e26ac506eea: crates/prj-bench/src/bin/throughput.rs
+
+crates/prj-bench/src/bin/throughput.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/image_search-9f6629cc10a34f95.d: examples/image_search.rs
+
+/root/repo/target/release/examples/image_search-9f6629cc10a34f95: examples/image_search.rs
+
+examples/image_search.rs:

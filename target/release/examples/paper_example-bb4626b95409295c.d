@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/paper_example-bb4626b95409295c.d: examples/paper_example.rs
+
+/root/repo/target/release/examples/paper_example-bb4626b95409295c: examples/paper_example.rs
+
+examples/paper_example.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-37a0358d3bd7c1e6.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-37a0358d3bd7c1e6: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/serving-bf041855347d39f7.d: examples/serving.rs
+
+/root/repo/target/release/examples/serving-bf041855347d39f7: examples/serving.rs
+
+examples/serving.rs:

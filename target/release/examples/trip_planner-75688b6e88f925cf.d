@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/trip_planner-75688b6e88f925cf.d: examples/trip_planner.rs
+
+/root/repo/target/release/examples/trip_planner-75688b6e88f925cf: examples/trip_planner.rs
+
+examples/trip_planner.rs:
