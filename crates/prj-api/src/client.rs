@@ -1,0 +1,112 @@
+//! A minimal blocking TCP client for the `prj-serve` front-end.
+//!
+//! One connection, one request in flight at a time: write a wire line, read
+//! the answer line(s). Streaming queries read `item` lines until the `end`
+//! marker. The client is deliberately dependency-free (std `TcpStream` +
+//! `BufRead`), mirroring how thin a consumer of the [`crate::wire`] format
+//! can be.
+
+use crate::error::{ApiError, ErrorKind};
+use crate::request::{QueryRequest, Request};
+use crate::response::{Response, ResultRow, StatsReport};
+use crate::wire;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A blocking client over one TCP connection.
+#[derive(Debug)]
+pub struct ApiClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl ApiClient {
+    /// Connects to a `prj-serve` listener.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<ApiClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(ApiClient {
+            reader,
+            writer: stream,
+        })
+    }
+
+    fn send(&mut self, request: &Request) -> Result<(), ApiError> {
+        let mut line = wire::encode_request(request)?;
+        line.push('\n');
+        self.writer.write_all(line.as_bytes()).map_err(ApiError::io)
+    }
+
+    fn read_response(&mut self) -> Result<Response, ApiError> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).map_err(ApiError::io)?;
+        if n == 0 {
+            return Err(ApiError::new(
+                ErrorKind::Io,
+                "connection closed by the server",
+            ));
+        }
+        wire::decode_response(&line)
+    }
+
+    /// Sends one request and reads one response. Server-side failures are
+    /// folded into the `Err` side.
+    ///
+    /// Do not use this for [`Request::Stream`] — the server answers a
+    /// stream with *many* lines; use [`ApiClient::stream`] instead.
+    pub fn call(&mut self, request: &Request) -> Result<Response, ApiError> {
+        self.send(request)?;
+        self.read_response()?.into_result()
+    }
+
+    /// Runs a top-k query to completion, returning the rows and whether the
+    /// engine served them from its cache.
+    pub fn top_k(&mut self, query: QueryRequest) -> Result<(Vec<ResultRow>, bool), ApiError> {
+        match self.call(&Request::TopK(query))? {
+            Response::Results {
+                rows, from_cache, ..
+            } => Ok((rows, from_cache)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Runs a streaming query, invoking `on_row` as each incrementally
+    /// certified result arrives, and returns the total row count.
+    pub fn stream(
+        &mut self,
+        query: QueryRequest,
+        mut on_row: impl FnMut(ResultRow),
+    ) -> Result<usize, ApiError> {
+        self.send(&Request::Stream(query))?;
+        loop {
+            match self.read_response()?.into_result()? {
+                Response::StreamItem(row) => on_row(row),
+                Response::StreamEnd { count } => return Ok(count),
+                other => return Err(unexpected(&other)),
+            }
+        }
+    }
+
+    /// Collects a streaming query into a vector.
+    pub fn stream_collect(&mut self, query: QueryRequest) -> Result<Vec<ResultRow>, ApiError> {
+        let mut rows = Vec::new();
+        self.stream(query, |row| rows.push(row))?;
+        Ok(rows)
+    }
+
+    /// Fetches the engine statistics snapshot.
+    pub fn stats(&mut self) -> Result<StatsReport, ApiError> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(report) => Ok(report),
+            other => Err(unexpected(&other)),
+        }
+    }
+}
+
+fn unexpected(response: &Response) -> ApiError {
+    ApiError::new(
+        ErrorKind::Internal,
+        format!("server sent an unexpected response: {response:?}"),
+    )
+}

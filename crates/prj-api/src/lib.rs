@@ -1,0 +1,53 @@
+//! # prj-api — the versioned request/response protocol of the ProxRJ engine
+//!
+//! The serving layer (`prj-engine`) executes proximity rank joins; this
+//! crate defines the *boundary* clients talk to it through. The boundary is
+//! deliberately transport-agnostic: [`Request`] and [`Response`] are plain
+//! data, usable in-process (hand a `Request` to a `prj-engine` `Session`)
+//! or over any byte transport via the [`wire`] codec — a line-delimited,
+//! versioned text format served by the `prj-serve` TCP front-end and
+//! consumed by [`client::ApiClient`].
+//!
+//! ## The request model
+//!
+//! | Request | Effect |
+//! |---|---|
+//! | [`Request::RegisterRelation`] | create a relation, build its shared indexes |
+//! | [`Request::AppendTuples`] | append tuples to a relation (bumps its epoch) |
+//! | [`Request::DropRelation`] | drop a relation (bumps its epoch) |
+//! | [`Request::TopK`] | run one top-k query to completion |
+//! | [`Request::Stream`] | run one top-k query, results delivered incrementally |
+//! | [`Request::Stats`] | engine statistics snapshot |
+//!
+//! Queries reference relations by id or by name ([`RelationRef`]) and pick
+//! their scoring function by registry name plus parameters
+//! ([`ScoringSelector`]); the set of scoring names is extensible at runtime
+//! on the engine side. Mutations return the relation's new *epoch* — the
+//! counter the engine's result cache is keyed by, which is what makes a
+//! stale cached top-k unservable after an append or drop.
+//!
+//! ## Versioning
+//!
+//! Every wire line is prefixed with `prj/1` ([`PROTOCOL_VERSION`]). A
+//! decoder that sees any other version answers with
+//! [`ErrorKind::Version`] rather than guessing, so incompatible clients
+//! fail loudly at the first exchange.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod error;
+pub mod request;
+pub mod response;
+pub mod wire;
+
+pub use client::ApiClient;
+pub use error::{ApiError, ErrorKind};
+pub use request::{QueryRequest, RelationRef, Request, ScoringSelector, TupleData};
+pub use response::{Response, ResultRow, StatsReport};
+
+/// The protocol version spoken by this build; the `1` of the `prj/1` wire
+/// prefix. Bump on any incompatible change to the request or response
+/// grammar.
+pub const PROTOCOL_VERSION: u32 = 1;

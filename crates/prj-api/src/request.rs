@@ -1,0 +1,175 @@
+//! The request model: everything a client can ask the engine to do.
+
+use prj_access::AccessKind;
+use prj_core::Algorithm;
+
+/// One tuple as supplied by a client: a location plus a score. The engine
+/// assigns [`prj_access::TupleId`]s (relation index + arrival rank) on
+/// ingestion, so clients never manufacture ids.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TupleData {
+    /// Feature-vector coordinates.
+    pub coords: Vec<f64>,
+    /// Score `σ` (strictly positive for the paper's Eq. 2 scoring).
+    pub score: f64,
+}
+
+impl TupleData {
+    /// Creates a tuple payload.
+    pub fn new(coords: impl Into<Vec<f64>>, score: f64) -> TupleData {
+        TupleData {
+            coords: coords.into(),
+            score,
+        }
+    }
+}
+
+/// A reference to a catalog relation, by registration id or by name.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum RelationRef {
+    /// The id returned by [`crate::Response::Registered`].
+    Id(usize),
+    /// The name the relation was registered under.
+    Name(String),
+}
+
+impl From<usize> for RelationRef {
+    fn from(id: usize) -> Self {
+        RelationRef::Id(id)
+    }
+}
+
+impl From<&str> for RelationRef {
+    fn from(name: &str) -> Self {
+        RelationRef::Name(name.to_string())
+    }
+}
+
+impl std::fmt::Display for RelationRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RelationRef::Id(id) => write!(f, "#{id}"),
+            RelationRef::Name(name) => f.write_str(name),
+        }
+    }
+}
+
+/// Picks a scoring function out of the engine's runtime registry: a family
+/// name (e.g. `"euclidean-log"`) plus the family's parameters (for the
+/// built-ins, the `(w_s, w_q, w_μ)` weights; empty = the family default).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoringSelector {
+    /// Registry name of the scoring family.
+    pub name: String,
+    /// Parameters handed to the family's factory.
+    pub params: Vec<f64>,
+}
+
+impl ScoringSelector {
+    /// Selects `name` with its default parameters.
+    pub fn named(name: impl Into<String>) -> ScoringSelector {
+        ScoringSelector {
+            name: name.into(),
+            params: Vec::new(),
+        }
+    }
+
+    /// Selects `name` with explicit parameters.
+    pub fn with_params(name: impl Into<String>, params: impl Into<Vec<f64>>) -> ScoringSelector {
+        ScoringSelector {
+            name: name.into(),
+            params: params.into(),
+        }
+    }
+}
+
+/// One top-k query. Optional fields fall back to the serving session's
+/// defaults, so a minimal request is just relations + query point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryRequest {
+    /// The relations to join, in join order.
+    pub relations: Vec<RelationRef>,
+    /// The query point `q`.
+    pub query: Vec<f64>,
+    /// Number of requested results `K` (session default when `None`).
+    pub k: Option<usize>,
+    /// Scoring function (session default when `None`).
+    pub scoring: Option<ScoringSelector>,
+    /// Sorted-access kind (session default when `None`).
+    pub access: Option<AccessKind>,
+    /// Pin an operator instantiation (planner's choice when `None`).
+    pub algorithm: Option<Algorithm>,
+}
+
+impl QueryRequest {
+    /// A query over `relations` at point `query` with session defaults for
+    /// everything else.
+    pub fn new(relations: Vec<RelationRef>, query: impl Into<Vec<f64>>) -> QueryRequest {
+        QueryRequest {
+            relations,
+            query: query.into(),
+            k: None,
+            scoring: None,
+            access: None,
+            algorithm: None,
+        }
+    }
+
+    /// Sets `K`.
+    pub fn k(mut self, k: usize) -> Self {
+        self.k = Some(k);
+        self
+    }
+
+    /// Sets the scoring selector.
+    pub fn scoring(mut self, scoring: ScoringSelector) -> Self {
+        self.scoring = Some(scoring);
+        self
+    }
+
+    /// Sets the sorted-access kind.
+    pub fn access(mut self, access: AccessKind) -> Self {
+        self.access = Some(access);
+        self
+    }
+
+    /// Pins the algorithm.
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = Some(algorithm);
+        self
+    }
+}
+
+/// A protocol request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Creates a relation and builds its shared access structures.
+    RegisterRelation {
+        /// Catalog name (wire-safe identifier: `[A-Za-z0-9_.-]+`).
+        name: String,
+        /// Initial contents (may be empty).
+        tuples: Vec<TupleData>,
+    },
+    /// Appends tuples to an existing relation, bumping its epoch.
+    AppendTuples {
+        /// The relation to mutate.
+        relation: RelationRef,
+        /// Tuples to append.
+        tuples: Vec<TupleData>,
+    },
+    /// Drops a relation, bumping its epoch; subsequent queries referencing
+    /// it fail with [`crate::ErrorKind::RelationDropped`].
+    DropRelation {
+        /// The relation to drop.
+        relation: RelationRef,
+    },
+    /// One top-k query, run to completion.
+    TopK(QueryRequest),
+    /// One top-k query with incremental result delivery (the paper's
+    /// pulling model): the engine answers with a sequence of
+    /// [`crate::Response::StreamItem`]s closed by a
+    /// [`crate::Response::StreamEnd`].
+    Stream(QueryRequest),
+    /// Engine statistics snapshot.
+    Stats,
+}

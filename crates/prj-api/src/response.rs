@@ -1,0 +1,96 @@
+//! The response model: everything the engine can answer.
+
+use crate::error::ApiError;
+
+/// One result combination: its aggregate score and the member tuples as
+/// `(relation index, tuple index)` pairs, in join order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultRow {
+    /// Aggregate score `S(τ)`.
+    pub score: f64,
+    /// Member tuple identities, in join order.
+    pub tuples: Vec<(usize, usize)>,
+}
+
+/// Engine statistics as reported to clients.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsReport {
+    /// Total queries served (cold + cached).
+    pub queries: u64,
+    /// Queries answered from the result cache.
+    pub cache_hits: u64,
+    /// Queries that ran the operator.
+    pub executed: u64,
+    /// Live (non-dropped) relations in the catalog.
+    pub relations: usize,
+    /// Entries resident in the result cache.
+    pub cache_entries: usize,
+    /// Cache entries purged by mutation-driven invalidation.
+    pub cache_invalidations: u64,
+    /// Fleet-wide `sumDepths` (the paper's I/O metric).
+    pub total_sum_depths: u64,
+}
+
+/// A protocol response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// A relation was registered.
+    Registered {
+        /// Its catalog id (stable for the catalog's lifetime).
+        id: usize,
+        /// The name it was registered under.
+        name: String,
+        /// Its initial epoch (0).
+        epoch: u64,
+        /// Number of tuples ingested.
+        cardinality: usize,
+    },
+    /// Tuples were appended.
+    Appended {
+        /// The mutated relation.
+        id: usize,
+        /// Its new epoch (strictly greater than before the append).
+        epoch: u64,
+        /// Its new cardinality.
+        cardinality: usize,
+    },
+    /// A relation was dropped.
+    Dropped {
+        /// The dropped relation.
+        id: usize,
+        /// Its new epoch.
+        epoch: u64,
+    },
+    /// A completed top-k query.
+    Results {
+        /// The top-K combinations, best first.
+        rows: Vec<ResultRow>,
+        /// Whether the result was served from the epoch-keyed cache.
+        from_cache: bool,
+        /// Short id of the operator instantiation that (originally)
+        /// produced the result, e.g. `TBPA`.
+        algorithm: String,
+    },
+    /// One incrementally certified result of a [`crate::Request::Stream`].
+    StreamItem(ResultRow),
+    /// End of a result stream.
+    StreamEnd {
+        /// Number of items delivered before the end marker.
+        count: usize,
+    },
+    /// Statistics snapshot.
+    Stats(StatsReport),
+    /// The request failed.
+    Error(ApiError),
+}
+
+impl Response {
+    /// Folds the error variant into a `Result`, which is how clients
+    /// usually want to consume a response.
+    pub fn into_result(self) -> Result<Response, ApiError> {
+        match self {
+            Response::Error(e) => Err(e),
+            other => Ok(other),
+        }
+    }
+}

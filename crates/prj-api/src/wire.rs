@@ -1,0 +1,743 @@
+//! The line wire codec: `prj/1 …`, one message per line.
+//!
+//! The format is a versioned, human-readable text protocol chosen so that a
+//! round-trip needs nothing beyond a TCP stream and `BufRead::read_line` —
+//! no serialisation dependency, debuggable with `nc`. Grammar (one message
+//! per `\n`-terminated line):
+//!
+//! ```text
+//! request  := "prj/1" SP verb (SP key "=" value)*
+//! verb     := "register" | "append" | "drop" | "topk" | "stream" | "stats"
+//! tuples   := tuple (";" tuple)*          tuple  := f64 ("," f64)* ":" f64
+//! rels     := ref ("," ref)*              ref    := "#" usize | ident
+//! scoring  := ident [":" f64 ("," f64)*]
+//!
+//! response := "prj/1" SP "ok" SP form (SP key "=" value)*
+//!           | "prj/1" SP "err" SP "kind=" code SP "msg=" rest-of-line
+//! row      := f64 "@" usize ":" usize ("+" usize ":" usize)*
+//! ```
+//!
+//! Floats are emitted with Rust's shortest-round-trip formatting, so decode
+//! ∘ encode is the identity on every finite and non-finite value. Relation
+//! names are restricted to `[A-Za-z0-9_.-]+` (and must not start with `#`,
+//! which introduces id references) so they never collide with the grammar's
+//! separators.
+
+use crate::error::{ApiError, ErrorKind};
+use crate::request::{QueryRequest, RelationRef, Request, ScoringSelector, TupleData};
+use crate::response::{Response, ResultRow, StatsReport};
+use crate::PROTOCOL_VERSION;
+use prj_access::AccessKind;
+use prj_core::Algorithm;
+use std::fmt::Write as _;
+
+/// `true` when `name` is usable on the wire without escaping.
+pub fn is_wire_safe_name(name: &str) -> bool {
+    !name.is_empty()
+        && !name.starts_with('#')
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '.' | '-'))
+}
+
+fn version_prefix() -> String {
+    format!("prj/{PROTOCOL_VERSION}")
+}
+
+/// Splits off and checks the `prj/N` prefix, returning the rest of the line.
+fn strip_version(line: &str) -> Result<&str, ApiError> {
+    let line = line.trim_end_matches(['\r', '\n']);
+    let (head, rest) = line
+        .split_once(' ')
+        .map(|(h, r)| (h, r.trim_start()))
+        .unwrap_or((line, ""));
+    let Some(version) = head.strip_prefix("prj/") else {
+        return Err(ApiError::malformed(format!(
+            "expected a prj/{PROTOCOL_VERSION} message, got {head:?}"
+        )));
+    };
+    if version != PROTOCOL_VERSION.to_string() {
+        return Err(ApiError::new(
+            ErrorKind::Version,
+            format!("peer speaks prj/{version}, this build speaks prj/{PROTOCOL_VERSION}"),
+        ));
+    }
+    Ok(rest)
+}
+
+/// Key=value fields after the verb. `msg` is handled separately because its
+/// value runs to the end of the line.
+fn parse_fields(rest: &str) -> Result<Vec<(&str, &str)>, ApiError> {
+    let mut fields = Vec::new();
+    for token in rest.split_whitespace() {
+        let (key, value) = token
+            .split_once('=')
+            .ok_or_else(|| ApiError::malformed(format!("field {token:?} is not key=value")))?;
+        fields.push((key, value));
+    }
+    Ok(fields)
+}
+
+fn field<'a>(fields: &[(&str, &'a str)], key: &str) -> Option<&'a str> {
+    fields.iter().find(|(k, _)| *k == key).map(|(_, v)| *v)
+}
+
+fn require<'a>(fields: &[(&str, &'a str)], key: &str, verb: &str) -> Result<&'a str, ApiError> {
+    field(fields, key)
+        .ok_or_else(|| ApiError::malformed(format!("{verb} request is missing {key}=")))
+}
+
+fn parse_f64(s: &str) -> Result<f64, ApiError> {
+    s.parse::<f64>()
+        .map_err(|_| ApiError::malformed(format!("{s:?} is not a number")))
+}
+
+fn parse_usize(s: &str) -> Result<usize, ApiError> {
+    s.parse::<usize>()
+        .map_err(|_| ApiError::malformed(format!("{s:?} is not a non-negative integer")))
+}
+
+fn parse_u64(s: &str) -> Result<u64, ApiError> {
+    s.parse::<u64>()
+        .map_err(|_| ApiError::malformed(format!("{s:?} is not a non-negative integer")))
+}
+
+fn parse_f64_list(s: &str) -> Result<Vec<f64>, ApiError> {
+    if s.is_empty() {
+        return Ok(Vec::new());
+    }
+    s.split(',').map(parse_f64).collect()
+}
+
+fn encode_f64_list(out: &mut String, values: &[f64]) {
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{v:?}");
+    }
+}
+
+fn parse_relation_ref(s: &str) -> Result<RelationRef, ApiError> {
+    if let Some(id) = s.strip_prefix('#') {
+        return Ok(RelationRef::Id(parse_usize(id)?));
+    }
+    if !is_wire_safe_name(s) {
+        return Err(ApiError::malformed(format!(
+            "{s:?} is not a valid relation reference (want #<id> or [A-Za-z0-9_.-]+)"
+        )));
+    }
+    Ok(RelationRef::Name(s.to_string()))
+}
+
+fn encode_relation_ref(r: &RelationRef) -> Result<String, ApiError> {
+    match r {
+        RelationRef::Id(id) => Ok(format!("#{id}")),
+        RelationRef::Name(name) => {
+            if !is_wire_safe_name(name) {
+                return Err(ApiError::malformed(format!(
+                    "relation name {name:?} is not wire-safe ([A-Za-z0-9_.-]+)"
+                )));
+            }
+            Ok(name.clone())
+        }
+    }
+}
+
+fn parse_tuples(s: &str) -> Result<Vec<TupleData>, ApiError> {
+    if s.is_empty() {
+        return Ok(Vec::new());
+    }
+    s.split(';')
+        .map(|t| {
+            let (coords, score) = t.rsplit_once(':').ok_or_else(|| {
+                ApiError::malformed(format!("tuple {t:?} is missing its :score suffix"))
+            })?;
+            Ok(TupleData {
+                coords: parse_f64_list(coords)?,
+                score: parse_f64(score)?,
+            })
+        })
+        .collect()
+}
+
+fn encode_tuples(tuples: &[TupleData]) -> String {
+    let mut out = String::new();
+    for (i, t) in tuples.iter().enumerate() {
+        if i > 0 {
+            out.push(';');
+        }
+        encode_f64_list(&mut out, &t.coords);
+        let _ = write!(out, ":{:?}", t.score);
+    }
+    out
+}
+
+fn parse_access(s: &str) -> Result<AccessKind, ApiError> {
+    match s {
+        "distance" => Ok(AccessKind::Distance),
+        "score" => Ok(AccessKind::Score),
+        _ => Err(ApiError::malformed(format!(
+            "{s:?} is not an access kind (distance|score)"
+        ))),
+    }
+}
+
+fn encode_access(kind: AccessKind) -> &'static str {
+    match kind {
+        AccessKind::Distance => "distance",
+        AccessKind::Score => "score",
+    }
+}
+
+fn parse_algorithm(s: &str) -> Result<Algorithm, ApiError> {
+    match s.to_ascii_uppercase().as_str() {
+        "CBRR" => Ok(Algorithm::Cbrr),
+        "CBPA" => Ok(Algorithm::Cbpa),
+        "TBRR" => Ok(Algorithm::Tbrr),
+        "TBPA" => Ok(Algorithm::Tbpa),
+        _ => Err(ApiError::malformed(format!(
+            "{s:?} is not an algorithm (cbrr|cbpa|tbrr|tbpa)"
+        ))),
+    }
+}
+
+fn parse_scoring(s: &str) -> Result<ScoringSelector, ApiError> {
+    let (name, params) = match s.split_once(':') {
+        Some((name, params)) => (name, parse_f64_list(params)?),
+        None => (s, Vec::new()),
+    };
+    if !is_wire_safe_name(name) {
+        return Err(ApiError::malformed(format!(
+            "scoring name {name:?} is not wire-safe"
+        )));
+    }
+    Ok(ScoringSelector {
+        name: name.to_string(),
+        params,
+    })
+}
+
+fn encode_scoring(s: &ScoringSelector) -> Result<String, ApiError> {
+    if !is_wire_safe_name(&s.name) {
+        return Err(ApiError::malformed(format!(
+            "scoring name {:?} is not wire-safe",
+            s.name
+        )));
+    }
+    let mut out = s.name.clone();
+    if !s.params.is_empty() {
+        out.push(':');
+        encode_f64_list(&mut out, &s.params);
+    }
+    Ok(out)
+}
+
+fn parse_query(fields: &[(&str, &str)], verb: &str) -> Result<QueryRequest, ApiError> {
+    let rels = require(fields, "rels", verb)?;
+    if rels.is_empty() {
+        return Err(ApiError::malformed(format!(
+            "{verb}: rels= must be non-empty"
+        )));
+    }
+    let relations = rels
+        .split(',')
+        .map(parse_relation_ref)
+        .collect::<Result<Vec<_>, _>>()?;
+    let query = parse_f64_list(require(fields, "q", verb)?)?;
+    let k = field(fields, "k").map(parse_usize).transpose()?;
+    let scoring = field(fields, "scoring").map(parse_scoring).transpose()?;
+    let access = field(fields, "access").map(parse_access).transpose()?;
+    let algorithm = field(fields, "algo").map(parse_algorithm).transpose()?;
+    Ok(QueryRequest {
+        relations,
+        query,
+        k,
+        scoring,
+        access,
+        algorithm,
+    })
+}
+
+fn encode_query(out: &mut String, q: &QueryRequest) -> Result<(), ApiError> {
+    out.push_str(" rels=");
+    for (i, r) in q.relations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&encode_relation_ref(r)?);
+    }
+    out.push_str(" q=");
+    encode_f64_list(out, &q.query);
+    if let Some(k) = q.k {
+        let _ = write!(out, " k={k}");
+    }
+    if let Some(scoring) = &q.scoring {
+        let _ = write!(out, " scoring={}", encode_scoring(scoring)?);
+    }
+    if let Some(access) = q.access {
+        let _ = write!(out, " access={}", encode_access(access));
+    }
+    if let Some(algo) = q.algorithm {
+        let _ = write!(out, " algo={}", algo.id().to_ascii_lowercase());
+    }
+    Ok(())
+}
+
+/// Encodes a request as one wire line (no trailing newline).
+///
+/// # Errors
+/// Fails with [`ErrorKind::Malformed`] when a name is not wire-safe.
+pub fn encode_request(request: &Request) -> Result<String, ApiError> {
+    let mut out = version_prefix();
+    match request {
+        Request::RegisterRelation { name, tuples } => {
+            if !is_wire_safe_name(name) {
+                return Err(ApiError::malformed(format!(
+                    "relation name {name:?} is not wire-safe ([A-Za-z0-9_.-]+)"
+                )));
+            }
+            let _ = write!(
+                out,
+                " register name={name} tuples={}",
+                encode_tuples(tuples)
+            );
+        }
+        Request::AppendTuples { relation, tuples } => {
+            let _ = write!(
+                out,
+                " append rel={} tuples={}",
+                encode_relation_ref(relation)?,
+                encode_tuples(tuples)
+            );
+        }
+        Request::DropRelation { relation } => {
+            let _ = write!(out, " drop rel={}", encode_relation_ref(relation)?);
+        }
+        Request::TopK(q) => {
+            out.push_str(" topk");
+            encode_query(&mut out, q)?;
+        }
+        Request::Stream(q) => {
+            out.push_str(" stream");
+            encode_query(&mut out, q)?;
+        }
+        Request::Stats => out.push_str(" stats"),
+    }
+    Ok(out)
+}
+
+/// Decodes one request line.
+///
+/// # Errors
+/// [`ErrorKind::Version`] on a version mismatch, [`ErrorKind::Malformed`]
+/// on anything unparseable.
+pub fn decode_request(line: &str) -> Result<Request, ApiError> {
+    let rest = strip_version(line)?;
+    let (verb, rest) = rest
+        .split_once(' ')
+        .map(|(v, r)| (v, r.trim_start()))
+        .unwrap_or((rest, ""));
+    let fields = parse_fields(rest)?;
+    match verb {
+        "register" => {
+            let name = require(&fields, "name", verb)?;
+            if !is_wire_safe_name(name) {
+                return Err(ApiError::malformed(format!(
+                    "relation name {name:?} is not wire-safe"
+                )));
+            }
+            Ok(Request::RegisterRelation {
+                name: name.to_string(),
+                tuples: parse_tuples(field(&fields, "tuples").unwrap_or(""))?,
+            })
+        }
+        "append" => Ok(Request::AppendTuples {
+            relation: parse_relation_ref(require(&fields, "rel", verb)?)?,
+            tuples: parse_tuples(field(&fields, "tuples").unwrap_or(""))?,
+        }),
+        "drop" => Ok(Request::DropRelation {
+            relation: parse_relation_ref(require(&fields, "rel", verb)?)?,
+        }),
+        "topk" => Ok(Request::TopK(parse_query(&fields, verb)?)),
+        "stream" => Ok(Request::Stream(parse_query(&fields, verb)?)),
+        "stats" => Ok(Request::Stats),
+        "" => Err(ApiError::malformed("empty request line")),
+        other => Err(ApiError::malformed(format!("unknown verb {other:?}"))),
+    }
+}
+
+fn encode_row(out: &mut String, row: &ResultRow) {
+    let _ = write!(out, "{:?}@", row.score);
+    for (i, (rel, idx)) in row.tuples.iter().enumerate() {
+        if i > 0 {
+            out.push('+');
+        }
+        let _ = write!(out, "{rel}:{idx}");
+    }
+}
+
+fn parse_row(s: &str) -> Result<ResultRow, ApiError> {
+    let (score, members) = s
+        .split_once('@')
+        .ok_or_else(|| ApiError::malformed(format!("row {s:?} is missing its score@ prefix")))?;
+    let tuples = if members.is_empty() {
+        Vec::new()
+    } else {
+        members
+            .split('+')
+            .map(|m| {
+                let (rel, idx) = m.split_once(':').ok_or_else(|| {
+                    ApiError::malformed(format!("row member {m:?} is not rel:idx"))
+                })?;
+                Ok((parse_usize(rel)?, parse_usize(idx)?))
+            })
+            .collect::<Result<Vec<_>, ApiError>>()?
+    };
+    Ok(ResultRow {
+        score: parse_f64(score)?,
+        tuples,
+    })
+}
+
+fn parse_rows(s: &str) -> Result<Vec<ResultRow>, ApiError> {
+    if s.is_empty() {
+        return Ok(Vec::new());
+    }
+    s.split(';').map(parse_row).collect()
+}
+
+/// Encodes a response as one wire line (no trailing newline).
+pub fn encode_response(response: &Response) -> String {
+    let mut out = version_prefix();
+    match response {
+        Response::Registered {
+            id,
+            name,
+            epoch,
+            cardinality,
+        } => {
+            let _ = write!(
+                out,
+                " ok registered id={id} name={name} epoch={epoch} n={cardinality}"
+            );
+        }
+        Response::Appended {
+            id,
+            epoch,
+            cardinality,
+        } => {
+            let _ = write!(out, " ok appended id={id} epoch={epoch} n={cardinality}");
+        }
+        Response::Dropped { id, epoch } => {
+            let _ = write!(out, " ok dropped id={id} epoch={epoch}");
+        }
+        Response::Results {
+            rows,
+            from_cache,
+            algorithm,
+        } => {
+            let _ = write!(
+                out,
+                " ok results cached={from_cache} algo={algorithm} rows="
+            );
+            for (i, row) in rows.iter().enumerate() {
+                if i > 0 {
+                    out.push(';');
+                }
+                encode_row(&mut out, row);
+            }
+        }
+        Response::StreamItem(row) => {
+            out.push_str(" ok item row=");
+            encode_row(&mut out, row);
+        }
+        Response::StreamEnd { count } => {
+            let _ = write!(out, " ok end n={count}");
+        }
+        Response::Stats(s) => {
+            let _ = write!(
+                out,
+                " ok stats queries={} cache_hits={} executed={} relations={} \
+                 cache_entries={} invalidations={} sum_depths={}",
+                s.queries,
+                s.cache_hits,
+                s.executed,
+                s.relations,
+                s.cache_entries,
+                s.cache_invalidations,
+                s.total_sum_depths
+            );
+        }
+        Response::Error(e) => {
+            // The message runs to the end of the line, so strip newlines.
+            let msg = e.message.replace(['\r', '\n'], " ");
+            let _ = write!(out, " err kind={} msg={}", e.kind.code(), msg);
+        }
+    }
+    out
+}
+
+/// Decodes one response line. A well-formed `err` line decodes to
+/// `Ok(Response::Error(..))`; the `Err` side is for lines this codec cannot
+/// understand at all.
+pub fn decode_response(line: &str) -> Result<Response, ApiError> {
+    let rest = strip_version(line)?;
+    if let Some(err) = rest.strip_prefix("err ") {
+        let fields = parse_fields(err.split_once(" msg=").map(|(f, _)| f).unwrap_or(err))?;
+        let kind = require(&fields, "kind", "err")?;
+        let kind = ErrorKind::from_code(kind)
+            .ok_or_else(|| ApiError::malformed(format!("unknown error kind {kind:?}")))?;
+        let message = err
+            .split_once("msg=")
+            .map(|(_, m)| m.to_string())
+            .unwrap_or_default();
+        return Ok(Response::Error(ApiError { kind, message }));
+    }
+    let Some(ok) = rest.strip_prefix("ok ") else {
+        return Err(ApiError::malformed(format!(
+            "expected an ok/err response, got {rest:?}"
+        )));
+    };
+    let (form, rest) = ok
+        .split_once(' ')
+        .map(|(f, r)| (f, r.trim_start()))
+        .unwrap_or((ok, ""));
+    let fields = parse_fields(rest)?;
+    match form {
+        "registered" => Ok(Response::Registered {
+            id: parse_usize(require(&fields, "id", form)?)?,
+            name: require(&fields, "name", form)?.to_string(),
+            epoch: parse_u64(require(&fields, "epoch", form)?)?,
+            cardinality: parse_usize(require(&fields, "n", form)?)?,
+        }),
+        "appended" => Ok(Response::Appended {
+            id: parse_usize(require(&fields, "id", form)?)?,
+            epoch: parse_u64(require(&fields, "epoch", form)?)?,
+            cardinality: parse_usize(require(&fields, "n", form)?)?,
+        }),
+        "dropped" => Ok(Response::Dropped {
+            id: parse_usize(require(&fields, "id", form)?)?,
+            epoch: parse_u64(require(&fields, "epoch", form)?)?,
+        }),
+        "results" => Ok(Response::Results {
+            rows: parse_rows(field(&fields, "rows").unwrap_or(""))?,
+            from_cache: require(&fields, "cached", form)? == "true",
+            algorithm: require(&fields, "algo", form)?.to_string(),
+        }),
+        "item" => Ok(Response::StreamItem(parse_row(require(
+            &fields, "row", form,
+        )?)?)),
+        "end" => Ok(Response::StreamEnd {
+            count: parse_usize(require(&fields, "n", form)?)?,
+        }),
+        "stats" => Ok(Response::Stats(StatsReport {
+            queries: parse_u64(require(&fields, "queries", form)?)?,
+            cache_hits: parse_u64(require(&fields, "cache_hits", form)?)?,
+            executed: parse_u64(require(&fields, "executed", form)?)?,
+            relations: parse_usize(require(&fields, "relations", form)?)?,
+            cache_entries: parse_usize(require(&fields, "cache_entries", form)?)?,
+            cache_invalidations: parse_u64(require(&fields, "invalidations", form)?)?,
+            total_sum_depths: parse_u64(require(&fields, "sum_depths", form)?)?,
+        })),
+        other => Err(ApiError::malformed(format!(
+            "unknown response form {other:?}"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request_round_trip(request: Request) {
+        let line = encode_request(&request).expect("encode");
+        assert!(line.starts_with("prj/1 "), "versioned: {line}");
+        let decoded = decode_request(&line).expect("decode");
+        assert_eq!(decoded, request, "wire line was: {line}");
+    }
+
+    fn response_round_trip(response: Response) {
+        let line = encode_response(&response);
+        assert!(line.starts_with("prj/1 "), "versioned: {line}");
+        let decoded = decode_response(&line).expect("decode");
+        assert_eq!(decoded, response, "wire line was: {line}");
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        request_round_trip(Request::RegisterRelation {
+            name: "hotels-2.a_b".to_string(),
+            tuples: vec![
+                TupleData::new([0.0, -0.5], 0.5),
+                TupleData::new([1e-7, 2.25], 1.0),
+            ],
+        });
+        request_round_trip(Request::RegisterRelation {
+            name: "empty".to_string(),
+            tuples: Vec::new(),
+        });
+        request_round_trip(Request::AppendTuples {
+            relation: RelationRef::Id(3),
+            tuples: vec![TupleData::new([0.125], 0.25)],
+        });
+        request_round_trip(Request::DropRelation {
+            relation: RelationRef::Name("hotels".to_string()),
+        });
+        request_round_trip(Request::TopK(QueryRequest::new(
+            vec![RelationRef::Id(0), RelationRef::Name("r2".to_string())],
+            [0.0, 0.0],
+        )));
+        request_round_trip(Request::Stream(
+            QueryRequest::new(vec![RelationRef::Id(1)], [0.5, -0.5])
+                .k(7)
+                .scoring(ScoringSelector::with_params(
+                    "euclidean-log",
+                    [1.0, 2.0, 0.5],
+                ))
+                .access(AccessKind::Score)
+                .algorithm(Algorithm::Tbpa),
+        ));
+        request_round_trip(Request::Stats);
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        response_round_trip(Response::Registered {
+            id: 0,
+            name: "hotels".to_string(),
+            epoch: 0,
+            cardinality: 2,
+        });
+        response_round_trip(Response::Appended {
+            id: 4,
+            epoch: 7,
+            cardinality: 19,
+        });
+        response_round_trip(Response::Dropped { id: 1, epoch: 2 });
+        response_round_trip(Response::Results {
+            rows: vec![
+                ResultRow {
+                    score: -7.0,
+                    tuples: vec![(0, 1), (1, 0), (2, 0)],
+                },
+                ResultRow {
+                    score: -8.4,
+                    tuples: vec![(0, 0), (1, 0), (2, 0)],
+                },
+            ],
+            from_cache: true,
+            algorithm: "TBRR".to_string(),
+        });
+        response_round_trip(Response::Results {
+            rows: Vec::new(),
+            from_cache: false,
+            algorithm: "CBPA".to_string(),
+        });
+        response_round_trip(Response::StreamItem(ResultRow {
+            score: -1.5e-9,
+            tuples: vec![(0, 3)],
+        }));
+        response_round_trip(Response::StreamEnd { count: 8 });
+        response_round_trip(Response::Stats(StatsReport {
+            queries: 10,
+            cache_hits: 4,
+            executed: 6,
+            relations: 3,
+            cache_entries: 5,
+            cache_invalidations: 2,
+            total_sum_depths: 123,
+        }));
+        response_round_trip(Response::Error(ApiError::new(
+            ErrorKind::UnknownRelation,
+            "no relation named bars; try register first",
+        )));
+    }
+
+    #[test]
+    fn floats_round_trip_exactly() {
+        for value in [
+            0.1 + 0.2,
+            f64::MIN_POSITIVE,
+            -1.0 / 3.0,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            1e308,
+        ] {
+            let request = Request::TopK(QueryRequest::new(vec![RelationRef::Id(0)], [value]));
+            let line = encode_request(&request).unwrap();
+            match decode_request(&line).unwrap() {
+                Request::TopK(q) => assert_eq!(q.query[0].to_bits(), value.to_bits()),
+                other => panic!("unexpected decode: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn version_mismatch_is_detected() {
+        let err = decode_request("prj/2 stats").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Version);
+        let err = decode_response("prj/0 ok end n=1").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Version);
+        let err = decode_request("http/1.1 GET /").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Malformed);
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected() {
+        for line in [
+            "prj/1",
+            "prj/1 frobnicate x=1",
+            "prj/1 register tuples=1:1",                // missing name
+            "prj/1 register name=a;b tuples=",          // unsafe name
+            "prj/1 topk q=0.0",                         // missing rels
+            "prj/1 topk rels= q=0.0",                   // empty rels
+            "prj/1 topk rels=#x q=0.0",                 // bad id
+            "prj/1 topk rels=a q=zero",                 // bad float
+            "prj/1 topk rels=a q=0.0 algo=newton",      // bad algorithm
+            "prj/1 topk rels=a q=0.0 access=telepathy", // bad access kind
+            "prj/1 append rel=a tuples=1,2",            // tuple missing score
+            "prj/1 stats k",                            // token without =
+        ] {
+            assert!(
+                decode_request(line).is_err(),
+                "line should be rejected: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn error_messages_survive_spaces_and_equals_signs() {
+        let original = Response::Error(ApiError::new(
+            ErrorKind::InvalidParams,
+            "weights must satisfy w_q > 0, got w_q = 0 (and w_s = 2)",
+        ));
+        let line = encode_response(&original);
+        assert_eq!(decode_response(&line).unwrap(), original);
+    }
+
+    #[test]
+    fn newlines_in_error_messages_cannot_break_framing() {
+        let line = encode_response(&Response::Error(ApiError::new(
+            ErrorKind::Internal,
+            "first\nsecond",
+        )));
+        assert!(!line.contains('\n'));
+        match decode_response(&line).unwrap() {
+            Response::Error(e) => assert_eq!(e.message, "first second"),
+            other => panic!("unexpected decode: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wire_safe_names() {
+        assert!(is_wire_safe_name("hotels"));
+        assert!(is_wire_safe_name("r2-d2_v1.5"));
+        assert!(!is_wire_safe_name(""));
+        assert!(!is_wire_safe_name("#3"));
+        assert!(!is_wire_safe_name("two words"));
+        assert!(!is_wire_safe_name("a=b"));
+        assert!(!is_wire_safe_name("a;b"));
+        assert!(!is_wire_safe_name("a,b"));
+    }
+}

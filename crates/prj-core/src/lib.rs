@@ -74,7 +74,9 @@ pub use naive::naive_rank_join;
 pub use operator::{execute, RankJoinResult, RunMetrics, StreamingRun};
 pub use problem::{Problem, ProblemBuilder, ProxRjConfig, RelationBackend};
 pub use pull::{PotentialAdaptive, PullStrategy, RoundRobin};
-pub use scoring::{CosineSimilarityScore, EuclideanLogScore, ScoringFunction, Weights};
+pub use scoring::{
+    fingerprint, CosineSimilarityScore, EuclideanLogScore, ScoringFunction, ScoringSpec, Weights,
+};
 pub use state::JoinState;
 
 // Re-exported so downstream users only need `prj-core` for the common case.

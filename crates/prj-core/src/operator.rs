@@ -256,7 +256,17 @@ impl RunCore {
 
     /// Consumes the core into the final result (the run must be done).
     fn finalize<S: ScoringFunction>(mut self, bound: &dyn BoundingScheme<S>) -> RankJoinResult {
-        self.metrics.final_bound = self.t;
+        // On an early-exhaustion run — every relation drained before the
+        // bound certified the top-K — no unseen combination exists at all,
+        // so the final bound is −∞ by definition. Set it structurally
+        // rather than trusting the bounding scheme's last exhaustion
+        // update, so the metric can never surface a stale (or default)
+        // value for a run that ended this way.
+        self.metrics.final_bound = if self.state.all_exhausted() {
+            f64::NEG_INFINITY
+        } else {
+            self.t
+        };
         self.metrics.dominance_time = bound.dominance_time();
         self.metrics.dominated_partials = bound.dominated_count();
         self.metrics.total_time = self.work_time;
@@ -416,6 +426,7 @@ fn form_combinations<S: ScoringFunction>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::algorithms::Algorithm;
     use crate::bounds::{CornerBound, TightBound, TightBoundConfig};
     use crate::problem::ProblemBuilder;
     use crate::pull::{PotentialAdaptive, RoundRobin};
@@ -525,6 +536,45 @@ mod tests {
         );
         assert!(result.metrics.total_time >= result.metrics.bound_time);
         assert!(result.best_score().is_some());
+    }
+
+    #[test]
+    fn final_bound_is_populated_on_early_exhaustion() {
+        // k far larger than the cross product: every relation drains before
+        // the bound can certify, and the run terminates by exhaustion. The
+        // final bound must reflect that (−∞: nothing unseen remains), not
+        // sit at the RunMetrics default of 0.0.
+        for algo in Algorithm::all() {
+            let mut problem = table1_problem(50);
+            let result = algo.run(&mut problem).unwrap();
+            assert_eq!(result.combinations.len(), 8, "{algo}: full cross product");
+            assert_eq!(
+                result.metrics.final_bound,
+                f64::NEG_INFINITY,
+                "{algo}: exhausted run must report the certified -inf bound"
+            );
+        }
+        // The streaming driver shares the same finalisation.
+        let problem = table1_problem(50);
+        let bound = Box::new(TightBound::new(
+            3,
+            problem.scoring().weights(),
+            TightBoundConfig::default(),
+        ));
+        let mut run = StreamingRun::new(problem, bound, Box::new(RoundRobin::new()));
+        while run.next_certified().is_some() {}
+        let result = run.into_result();
+        assert_eq!(result.metrics.final_bound, f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn final_bound_is_finite_on_certified_runs() {
+        // A certified top-1 stops with unseen tuples left; the recorded
+        // bound is the finite value that certified the result.
+        let mut problem = table1_problem(1);
+        let result = Algorithm::Tbrr.run(&mut problem).unwrap();
+        assert!(result.metrics.final_bound.is_finite());
+        assert!(result.combinations[0].score >= result.metrics.final_bound - 1e-9);
     }
 
     #[test]

@@ -16,6 +16,9 @@
 //! baseline).
 
 use prj_geometry::{mean_centroid, CosineDistance, Euclidean, Metric, Vector};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 /// The `(w_s, w_q, w_μ)` weights of the Euclidean-log aggregation (Eq. 2).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -121,6 +124,83 @@ pub trait ScoringFunction: Send + Sync {
     }
 }
 
+/// A scoring function that can be served and memoised by a query engine.
+///
+/// `ScoringSpec` extends [`ScoringFunction`] with the one obligation a
+/// result cache needs: a *fingerprint* of the scoring parameters. A cached
+/// top-k result may only be replayed for a later query when every input that
+/// determines the output matches, and the scoring function is one of those
+/// inputs; folding the fingerprint into the trait makes new scoring
+/// functions cache-safe by construction — they cannot be registered with an
+/// engine without saying how they key the cache.
+///
+/// Implementations are used as trait objects (`Arc<dyn ScoringSpec>`), so
+/// the engine can dispatch over scorings registered at runtime.
+pub trait ScoringSpec: ScoringFunction + std::fmt::Debug {
+    /// A 64-bit digest of everything that affects scores: the scoring
+    /// family *and* its parameters.
+    ///
+    /// The digest must change whenever the function would score some
+    /// combination differently; collisions across *different* scoring
+    /// families are avoided by hashing a unique family name alongside the
+    /// parameters (see [`fingerprint`] for the canonical helper).
+    fn cache_fingerprint(&self) -> u64;
+}
+
+/// Canonical fingerprint helper: hashes a unique scoring-family `name`
+/// together with the parameter list. Collisions across families are avoided
+/// by the name; collisions within a family by the bit patterns of the
+/// parameters.
+pub fn fingerprint(name: &str, params: &[f64]) -> u64 {
+    let mut h = DefaultHasher::new();
+    name.hash(&mut h);
+    for p in params {
+        p.to_bits().hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Forwarding impl so shared trait objects (`Arc<dyn ScoringSpec>`, or any
+/// `Arc<S>`) can be used wherever a `ScoringFunction` is expected — in
+/// particular as the `S` of a [`crate::Problem`]. Every method forwards,
+/// including the defaulted ones, so implementations that override
+/// `aggregate`, `distance` or `centroid` keep their behaviour behind the
+/// `Arc`.
+impl<T: ScoringFunction + ?Sized> ScoringFunction for Arc<T> {
+    fn proximity_weighted_score(
+        &self,
+        sigma: f64,
+        dist_to_query: f64,
+        dist_to_centroid: f64,
+    ) -> f64 {
+        (**self).proximity_weighted_score(sigma, dist_to_query, dist_to_centroid)
+    }
+
+    fn aggregate(&self, parts: &[f64]) -> f64 {
+        (**self).aggregate(parts)
+    }
+
+    fn distance(&self, a: &Vector, b: &Vector) -> f64 {
+        (**self).distance(a, b)
+    }
+
+    fn centroid(&self, points: &[&Vector]) -> Vector {
+        (**self).centroid(points)
+    }
+
+    fn score_members(&self, members: &[Member<'_>], query: &Vector) -> f64 {
+        (**self).score_members(members, query)
+    }
+
+    fn euclidean_weights(&self) -> Option<Weights> {
+        (**self).euclidean_weights()
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
 /// The paper's reference aggregation function (Eq. 2):
 ///
 /// ```text
@@ -172,6 +252,13 @@ impl ScoringFunction for EuclideanLogScore {
 
     fn name(&self) -> &'static str {
         "euclidean-log"
+    }
+}
+
+impl ScoringSpec for EuclideanLogScore {
+    fn cache_fingerprint(&self) -> u64 {
+        let w = self.weights;
+        fingerprint(ScoringFunction::name(self), &[w.w_s, w.w_q, w.w_mu])
     }
 }
 
@@ -227,6 +314,15 @@ impl ScoringFunction for CosineSimilarityScore {
 
     fn name(&self) -> &'static str {
         "cosine-similarity"
+    }
+}
+
+impl ScoringSpec for CosineSimilarityScore {
+    fn cache_fingerprint(&self) -> u64 {
+        fingerprint(
+            ScoringFunction::name(self),
+            &[self.w_s, self.w_q, self.w_mu],
+        )
     }
 }
 
@@ -398,5 +494,40 @@ mod tests {
     fn empty_combination_panics() {
         let s = EuclideanLogScore::default();
         let _ = s.score_members(&[], &v(&[0.0]));
+    }
+
+    #[test]
+    fn fingerprints_separate_families_and_parameters() {
+        let a = EuclideanLogScore::new(1.0, 1.0, 1.0);
+        let b = EuclideanLogScore::new(2.0, 1.0, 1.0);
+        let c = CosineSimilarityScore::new(1.0, 1.0, 1.0);
+        assert_eq!(a.cache_fingerprint(), a.cache_fingerprint());
+        assert_ne!(a.cache_fingerprint(), b.cache_fingerprint());
+        assert_ne!(
+            a.cache_fingerprint(),
+            c.cache_fingerprint(),
+            "same parameters, different families must not collide"
+        );
+        assert_eq!(fingerprint("x", &[1.0, 2.0]), fingerprint("x", &[1.0, 2.0]));
+        assert_ne!(fingerprint("x", &[1.0, 2.0]), fingerprint("y", &[1.0, 2.0]));
+    }
+
+    #[test]
+    fn arc_trait_objects_forward_every_method() {
+        let concrete = CosineSimilarityScore::new(1.0, 2.0, 0.5);
+        let shared: std::sync::Arc<dyn ScoringSpec> = std::sync::Arc::new(concrete);
+        let q = v(&[1.0, 0.0]);
+        let x = v(&[0.0, 1.0]);
+        // `distance` is overridden to cosine distance; the Arc must forward
+        // to the override, not the Euclidean default.
+        assert!((shared.distance(&q, &x) - concrete.distance(&q, &x)).abs() < 1e-12);
+        assert_eq!(shared.name(), "cosine-similarity");
+        assert!(shared.euclidean_weights().is_none());
+        assert_eq!(shared.cache_fingerprint(), concrete.cache_fingerprint());
+        let members = [(&x, 0.5)];
+        assert!(
+            (shared.score_members(&members, &q) - concrete.score_members(&members, &q)).abs()
+                < 1e-12
+        );
     }
 }

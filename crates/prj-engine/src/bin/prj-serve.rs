@@ -1,0 +1,198 @@
+//! `prj-serve` — the line-delimited TCP front-end for the ProxRJ engine.
+//!
+//! ```text
+//! cargo run --release -p prj-engine --bin prj-serve -- [OPTIONS]
+//!
+//! OPTIONS:
+//!     --addr HOST:PORT   listen address (default 127.0.0.1:7878; port 0 = ephemeral)
+//!     --threads N        engine worker threads (default: available parallelism)
+//!     --cache N          result-cache capacity in entries (default 1024)
+//!     --table1           preload the paper's Table 1 relations as R1, R2, R3
+//!     --self-check       bind an ephemeral port, run one client round-trip, exit
+//! ```
+//!
+//! The protocol is `prj-api`'s `prj/1` line format; try it by hand:
+//!
+//! ```text
+//! $ nc 127.0.0.1 7878
+//! prj/1 register name=hotels tuples=0.0,-0.5:0.5;0.0,1.0:1.0
+//! prj/1 ok registered id=0 name=hotels epoch=0 n=2
+//! prj/1 topk rels=hotels q=0.0,0.0 k=1
+//! prj/1 ok results cached=false algo=TBRR rows=-0.9431471805599453@0:0
+//! ```
+
+use prj_api::{ApiClient, QueryRequest, Request, TupleData};
+use prj_engine::{EngineBuilder, Server, Session};
+use std::sync::Arc;
+
+struct Options {
+    addr: String,
+    threads: Option<usize>,
+    cache: usize,
+    table1: bool,
+    self_check: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut options = Options {
+        addr: "127.0.0.1:7878".to_string(),
+        threads: None,
+        cache: 1024,
+        table1: false,
+        self_check: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} expects a value"));
+        match arg.as_str() {
+            "--addr" => options.addr = value("--addr")?,
+            "--threads" => {
+                options.threads = Some(
+                    value("--threads")?
+                        .parse()
+                        .map_err(|_| "--threads expects an integer".to_string())?,
+                )
+            }
+            "--cache" => {
+                options.cache = value("--cache")?
+                    .parse()
+                    .map_err(|_| "--cache expects an integer".to_string())?
+            }
+            "--table1" => options.table1 = true,
+            "--self-check" => options.self_check = true,
+            "--help" | "-h" => {
+                println!(
+                    "prj-serve: TCP front-end for the ProxRJ engine\n\
+                     usage: prj-serve [--addr HOST:PORT] [--threads N] [--cache N] \
+                     [--table1] [--self-check]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    Ok(options)
+}
+
+fn build_session(options: &Options) -> Arc<Session> {
+    let mut builder = EngineBuilder::default().cache_capacity(options.cache);
+    if let Some(threads) = options.threads {
+        builder = builder.threads(threads);
+    }
+    let engine = Arc::new(builder.build());
+    let session = Arc::new(Session::new(Arc::clone(&engine)));
+    if options.table1 {
+        type Table1Row<'a> = (&'a str, &'a [([f64; 2], f64)]);
+        let table1: [Table1Row; 3] = [
+            ("R1", &[([0.0, -0.5], 0.5), ([0.0, 1.0], 1.0)]),
+            ("R2", &[([1.0, 1.0], 1.0), ([-2.0, 2.0], 0.8)]),
+            ("R3", &[([-1.0, 1.0], 1.0), ([-2.0, -2.0], 0.4)]),
+        ];
+        for (name, rows) in table1 {
+            session.handle(Request::RegisterRelation {
+                name: name.to_string(),
+                tuples: rows
+                    .iter()
+                    .map(|(x, s)| TupleData::new(x.to_vec(), *s))
+                    .collect(),
+            });
+        }
+        println!("preloaded Table 1 relations: R1, R2, R3");
+    }
+    session
+}
+
+/// Boots the server on an ephemeral port and runs one full client
+/// round-trip against it: register → topk → append → topk (invalidated) →
+/// stats. Exits non-zero on any mismatch, which makes it a cheap CI smoke
+/// test of the whole binary.
+fn self_check(options: &Options) -> Result<(), String> {
+    let session = build_session(options);
+    let server = Server::bind("127.0.0.1:0", session).map_err(|e| format!("bind failed: {e}"))?;
+    let addr = server.local_addr();
+    let mut client = ApiClient::connect(addr).map_err(|e| format!("connect failed: {e}"))?;
+
+    let hotels_id = match client
+        .call(&Request::RegisterRelation {
+            name: "hotels".to_string(),
+            tuples: vec![
+                TupleData::new([0.0, -0.5], 0.5),
+                TupleData::new([0.0, 1.0], 1.0),
+            ],
+        })
+        .map_err(|e| format!("register failed: {e}"))?
+    {
+        prj_api::Response::Registered { id, .. } => id,
+        other => return Err(format!("unexpected register response: {other:?}")),
+    };
+    let (rows, from_cache) = client
+        .top_k(QueryRequest::new(vec!["hotels".into()], [0.0, 0.0]).k(1))
+        .map_err(|e| format!("topk failed: {e}"))?;
+    if rows.len() != 1 || from_cache {
+        return Err(format!(
+            "unexpected cold topk: {rows:?} cached={from_cache}"
+        ));
+    }
+    client
+        .call(&Request::AppendTuples {
+            relation: "hotels".into(),
+            tuples: vec![TupleData::new([0.0, 0.0], 1.0)],
+        })
+        .map_err(|e| format!("append failed: {e}"))?;
+    let (rows, from_cache) = client
+        .top_k(QueryRequest::new(vec!["hotels".into()], [0.0, 0.0]).k(1))
+        .map_err(|e| format!("post-append topk failed: {e}"))?;
+    if from_cache || rows[0].tuples != vec![(hotels_id, 2)] {
+        return Err(format!(
+            "append was not observed: {rows:?} cached={from_cache}"
+        ));
+    }
+    let stats = client.stats().map_err(|e| format!("stats failed: {e}"))?;
+    let expected_relations = if options.table1 { 4 } else { 1 };
+    if stats.queries != 2 || stats.relations != expected_relations {
+        return Err(format!("unexpected stats: {stats:?}"));
+    }
+    server.shutdown();
+    println!("self-check ok: served {} queries on {addr}", stats.queries);
+    Ok(())
+}
+
+fn main() {
+    let options = match parse_args() {
+        Ok(options) => options,
+        Err(e) => {
+            eprintln!("prj-serve: {e}");
+            std::process::exit(2);
+        }
+    };
+    if options.self_check {
+        if let Err(e) = self_check(&options) {
+            eprintln!("prj-serve self-check FAILED: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+    let session = build_session(&options);
+    let server = match Server::bind(&options.addr, Arc::clone(&session)) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("prj-serve: cannot bind {}: {e}", options.addr);
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "prj-serve listening on {} (prj/{} line protocol, {} worker threads)",
+        server.local_addr(),
+        prj_api::PROTOCOL_VERSION,
+        session.engine().threads(),
+    );
+    let addr = server.local_addr();
+    println!(
+        "try: printf 'prj/1 stats\\n' | nc {} {}",
+        addr.ip(),
+        addr.port()
+    );
+    loop {
+        std::thread::park();
+    }
+}

@@ -1,11 +1,20 @@
-//! The LRU result cache.
+//! The epoch-keyed LRU result cache.
 //!
 //! Serving workloads repeat themselves — the same "hotels + restaurants
 //! near the convention centre" top-k is asked again and again — and a ProxRJ
-//! run is pure: given the same relations, query point, `k`, scoring
-//! parameters and algorithm it returns the same combinations. The engine
-//! therefore memoises completed runs behind an [`Arc`], keyed by exactly
-//! those inputs, with least-recently-used eviction and hit/miss metrics.
+//! run is pure: given the same relation *contents*, query point, `k`,
+//! scoring parameters and algorithm it returns the same combinations. The
+//! engine therefore memoises completed runs behind an [`Arc`], keyed by
+//! exactly those inputs, with least-recently-used eviction and
+//! hit/miss/invalidation metrics.
+//!
+//! Relation contents are represented in the key by `(relation index,
+//! epoch)` pairs: the catalog bumps a relation's epoch on every append or
+//! drop, so a query that runs after a mutation carries a different key and
+//! *cannot* match a pre-mutation entry. That makes staleness structurally
+//! impossible rather than a matter of carefully ordered invalidation calls;
+//! [`ResultCache::invalidate_relation`] additionally purges the unreachable
+//! entries eagerly so they stop occupying capacity.
 //!
 //! Keys quantise nothing: two query points must be bit-identical to share an
 //! entry ([`f64::to_bits`]), which keeps cached results byte-identical to
@@ -21,7 +30,8 @@ use std::sync::{Arc, Mutex};
 /// Cache key: every input that determines a run's output.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct CacheKey {
-    relations: Vec<usize>,
+    /// The joined relations as `(index, epoch)` pairs, in join order.
+    relations: Vec<(usize, u64)>,
     query_bits: Vec<u64>,
     k: usize,
     access_kind: AccessKind,
@@ -29,15 +39,17 @@ pub struct CacheKey {
     /// which is deterministic for fixed relations, so `None` is itself a
     /// valid key component.
     algorithm: Option<Algorithm>,
-    /// Fingerprint of the scoring parameters (see
-    /// [`crate::engine::CacheFingerprint`]).
+    /// Fingerprint of the scoring family and parameters
+    /// ([`prj_core::ScoringSpec::cache_fingerprint`]).
     scoring_fingerprint: u64,
 }
 
 impl CacheKey {
-    /// Builds a key from the run's determining inputs.
+    /// Builds a key from the run's determining inputs. `relations` pairs
+    /// each relation index with the epoch of the snapshot the run reads, so
+    /// the key must be built from the same snapshot that is executed.
     pub fn new(
-        relations: Vec<usize>,
+        relations: Vec<(usize, u64)>,
         query: &Vector,
         k: usize,
         access_kind: AccessKind,
@@ -52,6 +64,11 @@ impl CacheKey {
             algorithm,
             scoring_fingerprint,
         }
+    }
+
+    /// `true` when the key reads relation `index` (at any epoch).
+    pub fn uses_relation(&self, index: usize) -> bool {
+        self.relations.iter().any(|(r, _)| *r == index)
     }
 }
 
@@ -74,6 +91,8 @@ pub struct CacheMetrics {
     pub misses: u64,
     /// Entries evicted to make room.
     pub evictions: u64,
+    /// Entries purged because a relation they read was mutated.
+    pub invalidations: u64,
     /// Entries currently resident.
     pub entries: usize,
 }
@@ -97,6 +116,7 @@ struct CacheInner {
     hits: u64,
     misses: u64,
     evictions: u64,
+    invalidations: u64,
 }
 
 /// A thread-safe LRU cache of completed executions.
@@ -162,6 +182,22 @@ impl ResultCache {
         inner.entries.insert(key, (value, clock));
     }
 
+    /// Purges every entry whose key reads relation `index`.
+    ///
+    /// Correctness never depends on this — post-mutation keys carry the new
+    /// epoch and cannot match old entries — but the old entries have become
+    /// unreachable garbage, so a mutation reclaims their capacity eagerly
+    /// instead of waiting for LRU pressure. Returns the number of purged
+    /// entries.
+    pub fn invalidate_relation(&self, index: usize) -> usize {
+        let mut inner = self.inner.lock().expect("cache lock");
+        let before = inner.entries.len();
+        inner.entries.retain(|key, _| !key.uses_relation(index));
+        let purged = before - inner.entries.len();
+        inner.invalidations += purged as u64;
+        purged
+    }
+
     /// Current counters.
     pub fn metrics(&self) -> CacheMetrics {
         let inner = self.inner.lock().expect("cache lock");
@@ -169,6 +205,7 @@ impl ResultCache {
             hits: inner.hits,
             misses: inner.misses,
             evictions: inner.evictions,
+            invalidations: inner.invalidations,
             entries: inner.entries.len(),
         }
     }
@@ -186,8 +223,12 @@ mod tests {
     use prj_core::RunMetrics;
 
     fn key(q: f64, k: usize) -> CacheKey {
+        key_at_epochs(q, k, 0, 0)
+    }
+
+    fn key_at_epochs(q: f64, k: usize, e0: u64, e1: u64) -> CacheKey {
         CacheKey::new(
-            vec![0, 1],
+            vec![(0, e0), (1, e1)],
             &Vector::from([q, 0.0]),
             k,
             AccessKind::Distance,
@@ -225,6 +266,41 @@ mod tests {
         assert_eq!(m.misses, 3);
         assert_eq!(m.entries, 1);
         assert!((m.hit_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn different_epochs_never_share_an_entry() {
+        let cache = ResultCache::new(4);
+        cache.insert(key_at_epochs(1.0, 5, 0, 0), dummy_execution());
+        assert!(cache.get(&key_at_epochs(1.0, 5, 1, 0)).is_none());
+        assert!(cache.get(&key_at_epochs(1.0, 5, 0, 1)).is_none());
+        assert!(cache.get(&key_at_epochs(1.0, 5, 0, 0)).is_some());
+    }
+
+    #[test]
+    fn invalidation_purges_entries_reading_the_relation() {
+        let cache = ResultCache::new(8);
+        cache.insert(key(1.0, 1), dummy_execution());
+        cache.insert(key(2.0, 1), dummy_execution());
+        let other = CacheKey::new(
+            vec![(7, 0)],
+            &Vector::from([0.0, 0.0]),
+            1,
+            AccessKind::Distance,
+            None,
+            7,
+        );
+        cache.insert(other.clone(), dummy_execution());
+        // Relation 1 is read by the two `key(..)` entries, not by `other`.
+        assert_eq!(cache.invalidate_relation(1), 2);
+        assert!(cache.get(&key(1.0, 1)).is_none());
+        assert!(cache.get(&key(2.0, 1)).is_none());
+        assert!(cache.get(&other).is_some());
+        let m = cache.metrics();
+        assert_eq!(m.invalidations, 2);
+        assert_eq!(m.entries, 1);
+        // Invalidating a relation nothing reads is a no-op.
+        assert_eq!(cache.invalidate_relation(42), 0);
     }
 
     #[test]

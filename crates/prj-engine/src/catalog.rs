@@ -1,9 +1,9 @@
-//! The relation catalog: register once, share everywhere.
+//! The relation catalog: register once, share everywhere, mutate behind
+//! epochs.
 //!
 //! A serving engine cannot afford to bulk-load an R-tree per query the way
 //! the one-shot [`prj_core::ProblemBuilder`] does. The [`Catalog`] therefore
-//! builds each relation's access structures exactly once at registration
-//! time —
+//! builds each relation's access structures at registration time —
 //!
 //! * an R-tree over the tuples for distance-based access,
 //! * a score-sorted tuple array for score-based access,
@@ -13,6 +13,25 @@
 //! view ([`CatalogRelation::distance_view`] / [`CatalogRelation::score_view`])
 //! is O(1) in the relation size, so thousands of concurrent queries share one
 //! copy of the data without locks on the read path.
+//!
+//! ## Mutation and epochs
+//!
+//! Relations are *mutable*: [`Catalog::append`] adds tuples and
+//! [`Catalog::drop_relation`] removes a relation. Every mutation bumps the
+//! relation's **epoch**, a monotone counter carried by each
+//! [`CatalogRelation`] snapshot. Mutations are copy-on-write: an append
+//! clones the shared R-tree and extends it with the engine's *incremental*
+//! insert (no bulk re-load), publishes the new snapshot under the bumped
+//! epoch, and leaves in-flight queries reading their old `Arc`s untouched.
+//! The engine keys its result cache by `(relation, epoch)` pairs, which is
+//! what makes a memoised pre-mutation result unservable afterwards.
+//!
+//! The cost model is read-optimised: an append pays O(relation) to publish
+//! its snapshot (tree clone + incremental inserts + score re-sort) so that
+//! readers pay nothing — the right trade for the serving engine's
+//! read-mostly workloads. Mutations are serialised by a dedicated mutex
+//! (readers never touch it), so that cost is paid once per append, not per
+//! optimistic retry.
 
 use prj_access::{
     RelationStats, SharedRTreeRelation, SharedScoreRelation, SortedAccess, Tuple, TupleId,
@@ -34,8 +53,56 @@ impl RelationId {
     }
 }
 
-/// One registered relation: the raw tuples plus the shared, immutable access
-/// structures built from them.
+/// Catalog lookup / mutation failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CatalogError {
+    /// The id does not come from this catalog.
+    UnknownId(usize),
+    /// No live relation is registered under the name.
+    UnknownName(String),
+    /// The relation existed but has been dropped.
+    Dropped(usize),
+    /// Appended tuples do not match the relation's dimensionality.
+    DimensionMismatch {
+        /// The relation's dimensionality.
+        expected: usize,
+        /// The offending tuple's dimensionality.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CatalogError::UnknownId(id) => write!(f, "no relation with id {id}"),
+            CatalogError::UnknownName(name) => write!(f, "no relation named {name:?}"),
+            CatalogError::Dropped(id) => write!(f, "relation {id} has been dropped"),
+            CatalogError::DimensionMismatch { expected, got } => {
+                write!(
+                    f,
+                    "tuple dimension {got} does not match relation dimension {expected}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CatalogError {}
+
+/// The result of a successful catalog mutation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MutationOutcome {
+    /// The mutated relation.
+    pub id: RelationId,
+    /// Its epoch after the mutation (strictly greater than before).
+    pub epoch: u64,
+    /// Its cardinality after the mutation (0 for a drop).
+    pub cardinality: usize,
+}
+
+/// One immutable snapshot of a relation: the raw tuples plus the shared
+/// access structures built from them, stamped with the epoch it was
+/// published at.
 #[derive(Debug)]
 pub struct CatalogRelation {
     name: Arc<str>,
@@ -45,10 +112,11 @@ pub struct CatalogRelation {
     /// Tuples in non-increasing score order (score-based access path).
     score_sorted: Arc<Vec<Tuple>>,
     stats: RelationStats,
+    epoch: u64,
 }
 
 impl CatalogRelation {
-    fn build(name: &str, tuples: Vec<Tuple>) -> Self {
+    fn build(name: &str, tuples: Vec<Tuple>, epoch: u64) -> Self {
         let stats = RelationStats::from_tuples(&tuples);
         let dim = stats.dimensions.max(1);
         let items: Vec<(Vector, (TupleId, f64))> = tuples
@@ -56,6 +124,16 @@ impl CatalogRelation {
             .map(|t| (t.vector.clone(), (t.id, t.score)))
             .collect();
         let rtree = Arc::new(RTree::bulk_load(dim, items));
+        Self::assemble(Arc::from(name), tuples, rtree, stats, epoch)
+    }
+
+    fn assemble(
+        name: Arc<str>,
+        tuples: Vec<Tuple>,
+        rtree: Arc<RTree<(TupleId, f64)>>,
+        stats: RelationStats,
+        epoch: u64,
+    ) -> Self {
         // Reuse VecRelation's ordering (score desc, ties by id) so catalog
         // views are indistinguishable from single-query sources.
         let score_sorted = Arc::new(
@@ -64,12 +142,38 @@ impl CatalogRelation {
                 .to_vec(),
         );
         CatalogRelation {
-            name: Arc::from(name),
+            name,
             tuples: Arc::new(tuples),
             rtree,
             score_sorted,
             stats,
+            epoch,
         }
+    }
+
+    /// A new snapshot with `extra` appended, at `epoch`. The R-tree is
+    /// extended copy-on-write with the incremental insert path — no bulk
+    /// re-load — so in-flight readers of the old snapshot are unaffected.
+    fn appended(&self, extra: Vec<Tuple>, epoch: u64) -> CatalogRelation {
+        if self.tuples.is_empty() {
+            // The empty snapshot's R-tree was built with a placeholder
+            // dimensionality; rebuild from scratch.
+            return CatalogRelation::build(&self.name, extra, epoch);
+        }
+        let mut tuples = self.tuples.as_ref().clone();
+        let mut rtree = self.rtree.as_ref().clone();
+        for t in &extra {
+            rtree.insert(t.vector.clone(), (t.id, t.score));
+        }
+        tuples.extend(extra);
+        let stats = RelationStats::from_tuples(&tuples);
+        Self::assemble(
+            Arc::clone(&self.name),
+            tuples,
+            Arc::new(rtree),
+            stats,
+            epoch,
+        )
     }
 
     /// The relation's name.
@@ -77,7 +181,13 @@ impl CatalogRelation {
         &self.name
     }
 
-    /// The registered tuples, in registration order.
+    /// The epoch this snapshot was published at (0 for the initial
+    /// registration, +1 per mutation).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The tuples, in ingestion order.
     pub fn tuples(&self) -> &Arc<Vec<Tuple>> {
         &self.tuples
     }
@@ -87,7 +197,7 @@ impl CatalogRelation {
         &self.rtree
     }
 
-    /// Data statistics computed at registration time.
+    /// Data statistics computed when the snapshot was published.
     pub fn stats(&self) -> RelationStats {
         self.stats
     }
@@ -133,13 +243,36 @@ impl CatalogRelation {
     }
 }
 
-/// A concurrent registry of relations.
+/// One catalog slot. Ids are never reused: a dropped slot stays occupied so
+/// later references fail with [`CatalogError::Dropped`] rather than
+/// silently resolving to some other relation. A `Reserved` slot holds an id
+/// whose relation is still being built outside the lock; it reads as
+/// unknown until the registration publishes.
+#[derive(Debug)]
+enum Slot {
+    Live(Arc<CatalogRelation>),
+    Reserved,
+    Dropped,
+}
+
+/// A concurrent registry of mutable relations.
 ///
-/// Registration takes a write lock; queries only ever take the read lock for
-/// the instant it takes to clone the relevant [`Arc`]s.
+/// Queries only ever take the read lock for the instant it takes to clone
+/// the relevant [`Arc`]s — and the write lock is held just as briefly:
+/// index building (bulk load on registration, copy-on-write extension on
+/// append) happens *outside* any lock, and only the final slot swap is
+/// locked. Appends use optimistic concurrency: the new snapshot is built
+/// from the current one and published only if the base is unchanged,
+/// retrying otherwise, so no append is ever lost. Nothing that can panic
+/// runs under the lock, so a bad batch can never poison it.
 #[derive(Debug, Default)]
 pub struct Catalog {
-    relations: RwLock<Vec<Arc<CatalogRelation>>>,
+    slots: RwLock<Vec<Slot>>,
+    /// Serialises appends/drops so that an append's copy-on-write rebuild
+    /// (O(relation) per publish) is never raced by another mutation and
+    /// then thrown away in the optimistic-retry loop. Readers never touch
+    /// this lock.
+    mutations: std::sync::Mutex<()>,
 }
 
 impl Catalog {
@@ -148,44 +281,239 @@ impl Catalog {
         Catalog::default()
     }
 
-    /// Registers a relation, building its shared access structures, and
-    /// returns its id. Tuple ids should be tagged with the relation's
-    /// registration index for readable results (the engine does not rewrite
-    /// them).
-    pub fn register(&self, name: impl AsRef<str>, tuples: Vec<Tuple>) -> RelationId {
-        let relation = Arc::new(CatalogRelation::build(name.as_ref(), tuples));
-        let mut relations = self.relations.write().expect("catalog lock");
-        relations.push(relation);
-        RelationId(relations.len() - 1)
-    }
-
-    /// The relation registered under `id`.
+    /// Registers a relation, building its shared access structures (outside
+    /// any lock), and returns its id. Tuple ids should be tagged with the
+    /// relation's registration index for readable results (the engine does
+    /// not rewrite them); use [`Catalog::register_rows`] to have ids
+    /// assigned — and the batch validated — for you.
     ///
     /// # Panics
-    /// Panics if `id` does not come from this catalog.
-    pub fn relation(&self, id: RelationId) -> Arc<CatalogRelation> {
-        Arc::clone(&self.relations.read().expect("catalog lock")[id.0])
+    /// Panics (without touching the catalog lock) if the tuples do not
+    /// share one dimensionality.
+    pub fn register(&self, name: impl AsRef<str>, tuples: Vec<Tuple>) -> RelationId {
+        let relation = Arc::new(CatalogRelation::build(name.as_ref(), tuples, 0));
+        let mut slots = self.slots.write().expect("catalog lock");
+        slots.push(Slot::Live(relation));
+        RelationId(slots.len() - 1)
     }
 
-    /// Snapshots the relations registered under `ids`, in order.
-    pub fn snapshot(&self, ids: &[RelationId]) -> Vec<Arc<CatalogRelation>> {
-        let relations = self.relations.read().expect("catalog lock");
-        ids.iter().map(|id| Arc::clone(&relations[id.0])).collect()
+    /// Registers a relation from raw `(location, score)` rows, assigning
+    /// [`TupleId`]s (relation index + arrival rank). The id is reserved
+    /// under the lock, the indexes are built outside it, and the relation
+    /// is then published — concurrent queries are never blocked behind an
+    /// index build.
+    ///
+    /// # Errors
+    /// [`CatalogError::DimensionMismatch`] when the rows do not share one
+    /// dimensionality (checked before anything is built, so a bad batch has
+    /// no effect beyond burning one id).
+    pub fn register_rows(
+        &self,
+        name: impl AsRef<str>,
+        rows: Vec<(Vector, f64)>,
+    ) -> Result<(RelationId, usize), CatalogError> {
+        if let Some(first) = rows.first() {
+            let expected = first.0.dim();
+            for (v, _) in &rows {
+                if v.dim() != expected {
+                    return Err(CatalogError::DimensionMismatch {
+                        expected,
+                        got: v.dim(),
+                    });
+                }
+            }
+        }
+        let index = {
+            let mut slots = self.slots.write().expect("catalog lock");
+            slots.push(Slot::Reserved);
+            slots.len() - 1
+        };
+        let tuples: Vec<Tuple> = rows
+            .into_iter()
+            .enumerate()
+            .map(|(i, (v, s))| Tuple::new(TupleId::new(index, i), v, s))
+            .collect();
+        let cardinality = tuples.len();
+        let relation = Arc::new(CatalogRelation::build(name.as_ref(), tuples, 0));
+        let mut slots = self.slots.write().expect("catalog lock");
+        slots[index] = Slot::Live(relation);
+        Ok((RelationId(index), cardinality))
     }
 
-    /// Number of registered relations.
+    /// Appends to a live relation via optimistic copy-on-write: snapshot
+    /// the current relation, build the extended snapshot outside any lock,
+    /// then publish it only if the base is still current — retrying against
+    /// the new base otherwise, so concurrent appends are serialised without
+    /// ever holding the lock across an index build and none is lost.
+    fn append_with(
+        &self,
+        id: RelationId,
+        make_tuples: impl Fn(&CatalogRelation) -> Vec<Tuple>,
+    ) -> Result<MutationOutcome, CatalogError> {
+        // With mutations serialised, the optimistic publish below succeeds
+        // on the first pass; the retry loop remains as a correctness
+        // backstop, not as the concurrency mechanism.
+        let _mutations = self.mutations.lock().expect("mutation lock");
+        loop {
+            let current = self.relation(id)?;
+            let tuples = make_tuples(&current);
+            Self::check_dimensions(&current, &tuples)?;
+            let epoch = current.epoch + 1;
+            let next = Arc::new(current.appended(tuples, epoch));
+            let cardinality = next.tuples.len();
+            let mut slots = self.slots.write().expect("catalog lock");
+            match &slots[id.0] {
+                Slot::Live(base) if Arc::ptr_eq(base, &current) => {
+                    slots[id.0] = Slot::Live(next);
+                    return Ok(MutationOutcome {
+                        id,
+                        epoch,
+                        cardinality,
+                    });
+                }
+                // A concurrent mutation published first: rebuild from the
+                // new base.
+                Slot::Live(_) => continue,
+                Slot::Reserved => return Err(CatalogError::UnknownId(id.0)),
+                Slot::Dropped => return Err(CatalogError::Dropped(id.0)),
+            }
+        }
+    }
+
+    /// Appends pre-tagged tuples to a live relation, publishing a new
+    /// snapshot under a bumped epoch (copy-on-write; see the module docs).
+    ///
+    /// # Errors
+    /// [`CatalogError::UnknownId`] / [`CatalogError::Dropped`] for bad
+    /// targets, [`CatalogError::DimensionMismatch`] when a tuple's
+    /// dimensionality disagrees with the relation's.
+    pub fn append(
+        &self,
+        id: RelationId,
+        tuples: Vec<Tuple>,
+    ) -> Result<MutationOutcome, CatalogError> {
+        self.append_with(id, |_| tuples.clone())
+    }
+
+    /// Appends raw `(location, score)` rows, assigning [`TupleId`]s from
+    /// the relation's cardinality at publication time (so concurrent
+    /// appends can never produce colliding ids).
+    pub fn append_rows(
+        &self,
+        id: RelationId,
+        rows: Vec<(Vector, f64)>,
+    ) -> Result<MutationOutcome, CatalogError> {
+        self.append_with(id, |current| {
+            let base = current.tuples.len();
+            rows.iter()
+                .enumerate()
+                .map(|(i, (v, s))| Tuple::new(TupleId::new(id.0, base + i), v.clone(), *s))
+                .collect()
+        })
+    }
+
+    /// Drops a live relation, bumping its epoch. The id is never reused;
+    /// later lookups fail with [`CatalogError::Dropped`].
+    pub fn drop_relation(&self, id: RelationId) -> Result<MutationOutcome, CatalogError> {
+        let _mutations = self.mutations.lock().expect("mutation lock");
+        let mut slots = self.slots.write().expect("catalog lock");
+        let current = Self::live(&slots, id)?;
+        let epoch = current.epoch + 1;
+        slots[id.0] = Slot::Dropped;
+        Ok(MutationOutcome {
+            id,
+            epoch,
+            cardinality: 0,
+        })
+    }
+
+    fn live(slots: &[Slot], id: RelationId) -> Result<Arc<CatalogRelation>, CatalogError> {
+        match slots.get(id.0) {
+            // A reserved slot's registration has not published yet, so the
+            // id is not yet known to any caller.
+            None | Some(Slot::Reserved) => Err(CatalogError::UnknownId(id.0)),
+            Some(Slot::Dropped) => Err(CatalogError::Dropped(id.0)),
+            Some(Slot::Live(relation)) => Ok(Arc::clone(relation)),
+        }
+    }
+
+    fn check_dimensions(current: &CatalogRelation, tuples: &[Tuple]) -> Result<(), CatalogError> {
+        let expected = if current.tuples.is_empty() {
+            tuples.first().map_or(0, |t| t.dim())
+        } else {
+            current.stats.dimensions
+        };
+        for t in tuples {
+            if t.dim() != expected {
+                return Err(CatalogError::DimensionMismatch {
+                    expected,
+                    got: t.dim(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The live relation registered under `id`.
+    pub fn relation(&self, id: RelationId) -> Result<Arc<CatalogRelation>, CatalogError> {
+        Self::live(&self.slots.read().expect("catalog lock"), id)
+    }
+
+    /// Snapshots the live relations registered under `ids`, in order. Each
+    /// snapshot carries the epoch it was published at, so the caller can
+    /// build an epoch-consistent cache key from the same snapshot it
+    /// queries.
+    pub fn snapshot(&self, ids: &[RelationId]) -> Result<Vec<Arc<CatalogRelation>>, CatalogError> {
+        let slots = self.slots.read().expect("catalog lock");
+        ids.iter().map(|id| Self::live(&slots, *id)).collect()
+    }
+
+    /// Resolves a name to the id of the most recently registered *live*
+    /// relation with that name.
+    pub fn lookup(&self, name: &str) -> Option<RelationId> {
+        let slots = self.slots.read().expect("catalog lock");
+        slots
+            .iter()
+            .enumerate()
+            .rev()
+            .find_map(|(i, slot)| match slot {
+                Slot::Live(relation) if relation.name() == name => Some(RelationId(i)),
+                _ => None,
+            })
+    }
+
+    /// Number of catalog slots ever allocated (live + dropped); ids range
+    /// over `0..len()`.
     pub fn len(&self) -> usize {
-        self.relations.read().expect("catalog lock").len()
+        self.slots.read().expect("catalog lock").len()
     }
 
-    /// `true` when no relation has been registered.
+    /// Number of live (not dropped) relations.
+    pub fn live_len(&self) -> usize {
+        self.slots
+            .read()
+            .expect("catalog lock")
+            .iter()
+            .filter(|s| matches!(s, Slot::Live(_)))
+            .count()
+    }
+
+    /// `true` when no relation has ever been registered.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    /// Ids of all registered relations, in registration order.
+    /// Ids of all live relations, in registration order.
     pub fn all_ids(&self) -> Vec<RelationId> {
-        (0..self.len()).map(RelationId).collect()
+        let slots = self.slots.read().expect("catalog lock");
+        slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| match slot {
+                Slot::Live(_) => Some(RelationId(i)),
+                Slot::Reserved | Slot::Dropped => None,
+            })
+            .collect()
     }
 }
 
@@ -216,18 +544,21 @@ mod tests {
         assert_eq!(catalog.len(), 2);
         assert_eq!(a.index(), 0);
         assert_eq!(b.index(), 1);
-        let snap = catalog.snapshot(&[b, a]);
+        let snap = catalog.snapshot(&[b, a]).unwrap();
         assert_eq!(snap[0].name(), "restaurants");
         assert_eq!(snap[1].name(), "hotels");
         assert_eq!(snap[0].stats().cardinality, 30);
+        assert_eq!(snap[0].epoch(), 0);
         assert_eq!(catalog.all_ids(), vec![a, b]);
+        assert_eq!(catalog.lookup("hotels"), Some(a));
+        assert_eq!(catalog.lookup("bars"), None);
     }
 
     #[test]
     fn views_share_rather_than_copy() {
         let catalog = Catalog::new();
         let id = catalog.register("r", mk_tuples(0, 40));
-        let rel = catalog.relation(id);
+        let rel = catalog.relation(id).unwrap();
         let v1 = rel.distance_view(Vector::from([0.0, 0.0]));
         let v2 = rel.distance_view(Vector::from([1.0, 1.0]));
         assert_eq!(v1.kind(), AccessKind::Distance);
@@ -240,7 +571,7 @@ mod tests {
     fn score_view_is_score_sorted() {
         let catalog = Catalog::new();
         let id = catalog.register("r", mk_tuples(0, 25));
-        let mut view = catalog.relation(id).score_view();
+        let mut view = catalog.relation(id).unwrap().score_view();
         let mut previous = f64::INFINITY;
         let mut count = 0;
         while let Some(t) = view.next_tuple() {
@@ -256,12 +587,183 @@ mod tests {
         let catalog = Catalog::new();
         let id = catalog.register("r", mk_tuples(0, 35));
         let query = Vector::from([0.5, -0.5]);
-        let mut view = catalog.relation(id).distance_view(query.clone());
+        let mut view = catalog.relation(id).unwrap().distance_view(query.clone());
         let mut previous = f64::NEG_INFINITY;
         while let Some(t) = view.next_tuple() {
             let d = t.distance_to(&query);
             assert!(d >= previous - 1e-12);
             previous = d;
         }
+    }
+
+    #[test]
+    fn append_bumps_epoch_and_leaves_old_snapshots_readable() {
+        let catalog = Catalog::new();
+        let id = catalog.register("r", mk_tuples(0, 10));
+        let before = catalog.relation(id).unwrap();
+        assert_eq!(before.epoch(), 0);
+
+        let outcome = catalog
+            .append_rows(id, vec![(Vector::from([9.0, 9.0]), 0.5)])
+            .unwrap();
+        assert_eq!(outcome.epoch, 1);
+        assert_eq!(outcome.cardinality, 11);
+
+        // The pre-mutation snapshot is untouched (copy-on-write).
+        assert_eq!(before.tuples().len(), 10);
+        assert_eq!(before.rtree().len(), 10);
+
+        let after = catalog.relation(id).unwrap();
+        assert_eq!(after.epoch(), 1);
+        assert_eq!(after.tuples().len(), 11);
+        assert_eq!(after.rtree().len(), 11);
+        // Ids keep counting from the previous cardinality.
+        assert_eq!(after.tuples().last().unwrap().id, TupleId::new(0, 10));
+        // The appended tuple is reachable through the distance view.
+        let mut view = after.distance_view(Vector::from([9.0, 9.0]));
+        let first = view.next_tuple().unwrap();
+        assert_eq!(first.id, TupleId::new(0, 10));
+    }
+
+    #[test]
+    fn appended_score_view_stays_sorted() {
+        let catalog = Catalog::new();
+        let id = catalog.register("r", mk_tuples(0, 12));
+        catalog
+            .append_rows(
+                id,
+                vec![
+                    (Vector::from([0.5, 0.5]), 0.99),
+                    (Vector::from([1.5, -0.5]), 0.01),
+                ],
+            )
+            .unwrap();
+        let mut view = catalog.relation(id).unwrap().score_view();
+        let mut previous = f64::INFINITY;
+        let mut count = 0;
+        while let Some(t) = view.next_tuple() {
+            assert!(t.score <= previous);
+            previous = t.score;
+            count += 1;
+        }
+        assert_eq!(count, 14);
+    }
+
+    #[test]
+    fn append_to_empty_relation_establishes_dimensionality() {
+        let catalog = Catalog::new();
+        let (id, n) = catalog.register_rows("fresh", Vec::new()).unwrap();
+        assert_eq!(n, 0);
+        let outcome = catalog
+            .append_rows(id, vec![(Vector::from([1.0, 2.0]), 0.7)])
+            .unwrap();
+        assert_eq!(outcome.cardinality, 1);
+        let rel = catalog.relation(id).unwrap();
+        assert_eq!(rel.stats().dimensions, 2);
+        assert_eq!(rel.rtree().len(), 1);
+    }
+
+    #[test]
+    fn mixed_dimension_registration_is_a_typed_error_and_cannot_poison_the_lock() {
+        let catalog = Catalog::new();
+        let err = catalog
+            .register_rows(
+                "bad",
+                vec![(Vector::from([1.0]), 0.5), (Vector::from([1.0, 2.0]), 0.5)],
+            )
+            .unwrap_err();
+        assert!(matches!(err, CatalogError::DimensionMismatch { .. }));
+        // The catalog stays fully usable afterwards (no poisoned lock, no
+        // half-registered slot visible).
+        assert_eq!(catalog.live_len(), 0);
+        let ok = catalog.register_rows("good", vec![(Vector::from([1.0]), 0.5)]);
+        assert!(ok.is_ok());
+        assert_eq!(catalog.live_len(), 1);
+    }
+
+    #[test]
+    fn concurrent_appends_are_all_retained() {
+        // Optimistic copy-on-write must serialise racing appends without
+        // losing any (a lost update would silently drop client data).
+        let catalog = Arc::new(Catalog::new());
+        let id = catalog.register("r", mk_tuples(0, 4));
+        std::thread::scope(|scope| {
+            for worker in 0..4 {
+                let catalog = Arc::clone(&catalog);
+                scope.spawn(move || {
+                    for i in 0..8 {
+                        let x = worker as f64 + i as f64 / 10.0;
+                        catalog
+                            .append_rows(id, vec![(Vector::from([x, -x]), 0.5)])
+                            .unwrap();
+                    }
+                });
+            }
+        });
+        let relation = catalog.relation(id).unwrap();
+        assert_eq!(relation.tuples().len(), 4 + 32);
+        assert_eq!(relation.epoch(), 32);
+        assert_eq!(relation.rtree().len(), 36);
+        // Ids are dense and unique.
+        let mut indices: Vec<usize> = relation.tuples().iter().map(|t| t.id.index).collect();
+        indices.sort_unstable();
+        assert_eq!(indices, (0..36).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn dimension_mismatch_is_rejected() {
+        let catalog = Catalog::new();
+        let id = catalog.register("r", mk_tuples(0, 5));
+        let err = catalog
+            .append_rows(id, vec![(Vector::from([1.0, 2.0, 3.0]), 0.7)])
+            .unwrap_err();
+        assert_eq!(
+            err,
+            CatalogError::DimensionMismatch {
+                expected: 2,
+                got: 3
+            }
+        );
+        // The failed append must not have bumped the epoch.
+        assert_eq!(catalog.relation(id).unwrap().epoch(), 0);
+    }
+
+    #[test]
+    fn drop_makes_later_access_fail_without_reusing_the_id() {
+        let catalog = Catalog::new();
+        let a = catalog.register("a", mk_tuples(0, 5));
+        let b = catalog.register("b", mk_tuples(1, 5));
+        let outcome = catalog.drop_relation(a).unwrap();
+        assert_eq!(outcome.epoch, 1);
+        assert_eq!(catalog.relation(a).unwrap_err(), CatalogError::Dropped(0));
+        assert_eq!(
+            catalog.snapshot(&[a, b]).unwrap_err(),
+            CatalogError::Dropped(0)
+        );
+        assert_eq!(catalog.lookup("a"), None);
+        assert_eq!(catalog.live_len(), 1);
+        assert_eq!(catalog.len(), 2);
+        assert_eq!(catalog.all_ids(), vec![b]);
+        // A new registration does not resurrect the dropped id.
+        let c = catalog.register("c", mk_tuples(2, 5));
+        assert_eq!(c.index(), 2);
+        assert_eq!(
+            catalog.drop_relation(a).unwrap_err(),
+            CatalogError::Dropped(0)
+        );
+        assert_eq!(
+            catalog.relation(RelationId(99)).unwrap_err(),
+            CatalogError::UnknownId(99)
+        );
+    }
+
+    #[test]
+    fn lookup_resolves_the_most_recent_live_name() {
+        let catalog = Catalog::new();
+        let old = catalog.register("r", mk_tuples(0, 3));
+        let new = catalog.register("r", mk_tuples(1, 4));
+        assert_eq!(catalog.lookup("r"), Some(new));
+        catalog.drop_relation(new).unwrap();
+        assert_eq!(catalog.lookup("r"), Some(old));
     }
 }

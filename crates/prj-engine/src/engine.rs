@@ -1,29 +1,41 @@
 //! The engine façade: the piece that turns the ProxRJ library into a
 //! multi-query serving system.
 //!
-//! A query's life: [`Engine::submit`] computes its cache key and returns a
-//! memoised result immediately on a hit; on a miss it snapshots the catalog
-//! relations (Arc clones), asks the [`Planner`] for an algorithm, builds a
-//! [`prj_core::Problem`] out of O(1) shared-index views, and hands the run to
-//! the [`Executor`]'s thread pool. The caller gets a [`QueryTicket`] to wait
-//! on; [`Engine::stream`] instead returns a [`ResultStream`] whose
+//! A query's life: [`Engine::submit`] snapshots the catalog relations (Arc
+//! clones stamped with their epochs), derives the cache key from that same
+//! snapshot and returns a memoised result immediately on a hit; on a miss it
+//! asks the [`Planner`] for an algorithm, builds a [`prj_core::Problem`] out
+//! of O(1) shared-index views, and hands the run to the [`Executor`]'s
+//! thread pool. The caller gets a [`QueryTicket`] to wait on;
+//! [`Engine::stream`] instead returns a [`ResultStream`] whose
 //! [`next_result`](ResultStream::next_result) pulls certified results one at
 //! a time out of an incremental [`prj_core::StreamingRun`], mirroring the
 //! paper's pulling model end to end.
+//!
+//! Scoring is an *open set*: a [`QuerySpec`] carries an
+//! `Arc<dyn ScoringSpec>` and the engine exposes a
+//! [`ScoringRegistry`](crate::registry::ScoringRegistry) that resolves
+//! wire-level `(name, params)` selectors — including families registered at
+//! runtime by embedding code. Mutations ([`Engine::append_rows`],
+//! [`Engine::drop_relation`]) bump the target relation's epoch, which the
+//! cache key incorporates, so a stale memoised result can never be served.
+//!
+//! Most callers should not drive `Engine` directly but go through
+//! [`crate::session::Session`], which speaks the versioned `prj-api`
+//! request/response protocol.
 
 use crate::cache::{CacheKey, CacheMetrics, CachedExecution, ResultCache};
-use crate::catalog::{Catalog, CatalogRelation, RelationId};
+use crate::catalog::{Catalog, CatalogError, CatalogRelation, MutationOutcome, RelationId};
 use crate::executor::Executor;
 use crate::planner::{Plan, Planner, PlannerConfig};
+use crate::registry::ScoringRegistry;
 use crate::stats::{EngineStats, EngineStatsSnapshot, QueryRecord};
 use prj_access::AccessKind;
 use prj_core::{
-    Algorithm, CosineSimilarityScore, EuclideanLogScore, PrjError, ProblemBuilder, RankJoinResult,
-    ScoredCombination, ScoringFunction,
+    Algorithm, EuclideanLogScore, PrjError, ProblemBuilder, RankJoinResult, ScoredCombination,
+    ScoringSpec,
 };
 use prj_geometry::Vector;
-use std::collections::hash_map::DefaultHasher;
-use std::hash::{Hash, Hasher};
 use std::sync::mpsc::{sync_channel, Receiver};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -33,39 +45,6 @@ use std::time::{Duration, Instant};
 /// incremental pulling model).
 const STREAM_BUFFER: usize = 8;
 
-/// Scoring functions usable as cache-key components.
-///
-/// The fingerprint must change whenever the function would score some
-/// combination differently; collisions across *different* scoring families
-/// are avoided by hashing the name alongside the parameters.
-pub trait CacheFingerprint {
-    /// A 64-bit digest of the scoring parameters.
-    fn cache_fingerprint(&self) -> u64;
-}
-
-impl CacheFingerprint for EuclideanLogScore {
-    fn cache_fingerprint(&self) -> u64 {
-        let w = self.weights();
-        let mut h = DefaultHasher::new();
-        "euclidean-log".hash(&mut h);
-        w.w_s.to_bits().hash(&mut h);
-        w.w_q.to_bits().hash(&mut h);
-        w.w_mu.to_bits().hash(&mut h);
-        h.finish()
-    }
-}
-
-impl CacheFingerprint for CosineSimilarityScore {
-    fn cache_fingerprint(&self) -> u64 {
-        let mut h = DefaultHasher::new();
-        "cosine-similarity".hash(&mut h);
-        self.w_s.to_bits().hash(&mut h);
-        self.w_q.to_bits().hash(&mut h);
-        self.w_mu.to_bits().hash(&mut h);
-        h.finish()
-    }
-}
-
 /// Errors surfaced by the engine.
 #[derive(Debug, Clone, PartialEq)]
 pub enum EngineError {
@@ -73,6 +52,18 @@ pub enum EngineError {
     Prj(PrjError),
     /// The worker executing the query disappeared (it panicked).
     WorkerLost,
+    /// A referenced relation is unknown, dropped, or the mutation was
+    /// rejected by the catalog.
+    Catalog(CatalogError),
+    /// The requested scoring name is not in the registry.
+    UnknownScoring(String),
+    /// The scoring factory rejected the parameters.
+    InvalidScoringParams {
+        /// The scoring family.
+        name: String,
+        /// The factory's rejection message.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -80,6 +71,13 @@ impl std::fmt::Display for EngineError {
         match self {
             EngineError::Prj(e) => write!(f, "operator error: {e}"),
             EngineError::WorkerLost => write!(f, "engine worker disappeared"),
+            EngineError::Catalog(e) => write!(f, "catalog error: {e}"),
+            EngineError::UnknownScoring(name) => {
+                write!(f, "no scoring family registered as {name:?}")
+            }
+            EngineError::InvalidScoringParams { name, reason } => {
+                write!(f, "invalid parameters for scoring {name:?}: {reason}")
+            }
         }
     }
 }
@@ -92,9 +90,19 @@ impl From<PrjError> for EngineError {
     }
 }
 
+impl From<CatalogError> for EngineError {
+    fn from(e: CatalogError) -> Self {
+        EngineError::Catalog(e)
+    }
+}
+
 /// One top-k request against registered relations.
+///
+/// The scoring function is a shared [`ScoringSpec`] trait object, so specs
+/// are not generic over the scoring family and any runtime-registered
+/// family can be queried through the same engine.
 #[derive(Debug, Clone)]
-pub struct QuerySpec<S = EuclideanLogScore> {
+pub struct QuerySpec {
     /// The relations to join, in join order.
     pub relations: Vec<RelationId>,
     /// The query point `q`.
@@ -102,14 +110,14 @@ pub struct QuerySpec<S = EuclideanLogScore> {
     /// Number of requested results `K`.
     pub k: usize,
     /// The aggregation function.
-    pub scoring: S,
+    pub scoring: Arc<dyn ScoringSpec>,
     /// Sorted-access kind (Definition 2.1).
     pub access_kind: AccessKind,
     /// Pin a specific algorithm, or let the planner choose (`None`).
     pub algorithm: Option<Algorithm>,
 }
 
-impl QuerySpec<EuclideanLogScore> {
+impl QuerySpec {
     /// A distance-access top-k query under the paper's default scoring
     /// (Eq. 2 with unit weights).
     pub fn top_k(relations: Vec<RelationId>, query: Vector, k: usize) -> Self {
@@ -117,14 +125,12 @@ impl QuerySpec<EuclideanLogScore> {
             relations,
             query,
             k,
-            scoring: EuclideanLogScore::default(),
+            scoring: Arc::new(EuclideanLogScore::default()),
             access_kind: AccessKind::Distance,
             algorithm: None,
         }
     }
-}
 
-impl<S> QuerySpec<S> {
     /// Pins the operator instantiation instead of consulting the planner.
     pub fn with_algorithm(mut self, algorithm: Algorithm) -> Self {
         self.algorithm = Some(algorithm);
@@ -138,15 +144,16 @@ impl<S> QuerySpec<S> {
     }
 
     /// Replaces the scoring function.
-    pub fn with_scoring<T>(self, scoring: T) -> QuerySpec<T> {
-        QuerySpec {
-            relations: self.relations,
-            query: self.query,
-            k: self.k,
-            scoring,
-            access_kind: self.access_kind,
-            algorithm: self.algorithm,
-        }
+    pub fn with_scoring(mut self, scoring: impl ScoringSpec + 'static) -> Self {
+        self.scoring = Arc::new(scoring);
+        self
+    }
+
+    /// Replaces the scoring function with an already-shared instance (e.g.
+    /// one resolved from the [`ScoringRegistry`]).
+    pub fn with_shared_scoring(mut self, scoring: Arc<dyn ScoringSpec>) -> Self {
+        self.scoring = scoring;
+        self
     }
 }
 
@@ -196,8 +203,10 @@ enum StreamInner {
         execution: Arc<CachedExecution>,
         cursor: usize,
     },
-    /// Receiving from a live incremental run on a worker thread.
-    Live(Receiver<ScoredCombination>),
+    /// Receiving from a live incremental run on a worker thread. The
+    /// producer sends `Err` if it panics, so a failed run is
+    /// distinguishable from a completed one.
+    Live(Receiver<Result<ScoredCombination, EngineError>>),
 }
 
 /// A streaming query: results are pulled one at a time, each produced with
@@ -208,12 +217,17 @@ pub struct ResultStream {
     pub plan: Plan,
     /// Whether the stream replays a cached execution.
     pub from_cache: bool,
+    error: Option<EngineError>,
 }
 
 impl ResultStream {
     /// The next certified result, best first; `None` once the top-K is
     /// exhausted. On a live stream this blocks while the worker performs the
     /// accesses the next result needs.
+    ///
+    /// `None` means either clean completion or a failed run — check
+    /// [`ResultStream::error`] to tell them apart before treating the
+    /// drained rows as the full top-K.
     pub fn next_result(&mut self) -> Option<ScoredCombination> {
         match &mut self.inner {
             StreamInner::Replay { execution, cursor } => {
@@ -221,8 +235,21 @@ impl ResultStream {
                 *cursor += combo.is_some() as usize;
                 combo
             }
-            StreamInner::Live(receiver) => receiver.recv().ok(),
+            StreamInner::Live(receiver) => match receiver.recv() {
+                Ok(Ok(combo)) => Some(combo),
+                Ok(Err(e)) => {
+                    self.error = Some(e);
+                    None
+                }
+                Err(_) => None,
+            },
         }
+    }
+
+    /// The error that terminated the stream, if the producer failed instead
+    /// of completing.
+    pub fn error(&self) -> Option<&EngineError> {
+        self.error.as_ref()
     }
 }
 
@@ -263,39 +290,30 @@ impl EngineBuilder {
         self
     }
 
-    /// Builds the engine.
-    pub fn build<S>(self) -> Engine<S>
-    where
-        S: ScoringFunction + Clone + CacheFingerprint + 'static,
-    {
+    /// Builds the engine (scoring registry pre-loaded with the built-ins).
+    pub fn build(self) -> Engine {
         Engine {
             catalog: Arc::new(Catalog::new()),
             executor: Executor::new(self.threads),
             cache: Arc::new(ResultCache::new(self.cache_capacity)),
             stats: Arc::new(EngineStats::new()),
             planner: Planner::with_config(self.planner),
-            _scoring: std::marker::PhantomData,
+            registry: Arc::new(ScoringRegistry::with_builtins()),
         }
     }
 }
 
 /// A concurrent query-serving engine over the ProxRJ operator.
-pub struct Engine<S = EuclideanLogScore>
-where
-    S: ScoringFunction + Clone + CacheFingerprint + 'static,
-{
+pub struct Engine {
     catalog: Arc<Catalog>,
     executor: Executor,
     cache: Arc<ResultCache>,
     stats: Arc<EngineStats>,
     planner: Planner,
-    _scoring: std::marker::PhantomData<fn() -> S>,
+    registry: Arc<ScoringRegistry>,
 }
 
-impl<S> Engine<S>
-where
-    S: ScoringFunction + Clone + CacheFingerprint + 'static,
-{
+impl Engine {
     /// An engine with default settings.
     pub fn new() -> Self {
         EngineBuilder::default().build()
@@ -311,9 +329,45 @@ where
         self.catalog.register(name, tuples)
     }
 
+    /// Appends pre-tagged tuples to a relation; bumps its epoch and purges
+    /// the now-unreachable cache entries.
+    pub fn append(
+        &self,
+        id: RelationId,
+        tuples: Vec<prj_access::Tuple>,
+    ) -> Result<MutationOutcome, EngineError> {
+        let outcome = self.catalog.append(id, tuples)?;
+        self.cache.invalidate_relation(id.index());
+        Ok(outcome)
+    }
+
+    /// Appends raw `(location, score)` rows (tuple ids assigned under the
+    /// catalog lock); bumps the epoch and purges stale cache entries.
+    pub fn append_rows(
+        &self,
+        id: RelationId,
+        rows: Vec<(Vector, f64)>,
+    ) -> Result<MutationOutcome, EngineError> {
+        let outcome = self.catalog.append_rows(id, rows)?;
+        self.cache.invalidate_relation(id.index());
+        Ok(outcome)
+    }
+
+    /// Drops a relation; bumps its epoch and purges stale cache entries.
+    pub fn drop_relation(&self, id: RelationId) -> Result<MutationOutcome, EngineError> {
+        let outcome = self.catalog.drop_relation(id)?;
+        self.cache.invalidate_relation(id.index());
+        Ok(outcome)
+    }
+
     /// The shared catalog.
     pub fn catalog(&self) -> &Arc<Catalog> {
         &self.catalog
+    }
+
+    /// The scoring registry; register new families here at any time.
+    pub fn scoring_registry(&self) -> &Arc<ScoringRegistry> {
+        &self.registry
     }
 
     /// Number of executor worker threads.
@@ -331,20 +385,50 @@ where
         self.cache.metrics()
     }
 
-    fn cache_key(&self, spec: &QuerySpec<S>) -> CacheKey {
-        CacheKey::new(
-            spec.relations.iter().map(|r| r.index()).collect(),
+    /// Snapshots the referenced relations and derives the cache key *from
+    /// that snapshot*, so the epochs in the key always describe exactly the
+    /// data the run would read (no key/snapshot race around mutations).
+    fn snapshot_and_key(
+        &self,
+        spec: &QuerySpec,
+    ) -> Result<(Vec<Arc<CatalogRelation>>, CacheKey), EngineError> {
+        let snapshot = self.catalog.snapshot(&spec.relations)?;
+        // Validate the query's dimensionality up front: catalog views skip
+        // `ProblemBuilder`'s per-tuple checks (they would be O(n) per
+        // query), so without this a mismatched query would panic a worker
+        // instead of returning a typed error.
+        for relation in &snapshot {
+            let stats = relation.stats();
+            if stats.cardinality > 0 && stats.dimensions != spec.query.dim() {
+                return Err(EngineError::Prj(PrjError::DimensionMismatch {
+                    expected: stats.dimensions,
+                    found: spec.query.dim(),
+                }));
+            }
+        }
+        let relations = spec
+            .relations
+            .iter()
+            .zip(snapshot.iter())
+            .map(|(id, rel)| (id.index(), rel.epoch()))
+            .collect();
+        let key = CacheKey::new(
+            relations,
             &spec.query,
             spec.k,
             spec.access_kind,
             spec.algorithm,
             spec.scoring.cache_fingerprint(),
-        )
+        );
+        Ok((snapshot, key))
     }
 
     /// Plans the query and builds a problem out of O(1) shared-index views.
-    fn prepare(&self, spec: &QuerySpec<S>) -> Result<(Plan, prj_core::Problem<S>), EngineError> {
-        let snapshot: Vec<Arc<CatalogRelation>> = self.catalog.snapshot(&spec.relations);
+    fn prepare(
+        &self,
+        spec: &QuerySpec,
+        snapshot: &[Arc<CatalogRelation>],
+    ) -> Result<(Plan, prj_core::Problem<Arc<dyn ScoringSpec>>), EngineError> {
         let reducible = spec.scoring.euclidean_weights().is_some();
         let plan = match spec.algorithm {
             Some(algorithm) => Plan {
@@ -357,11 +441,11 @@ where
                 self.planner.plan(reducible, &stats)
             }
         };
-        let mut builder = ProblemBuilder::new(spec.query.clone(), spec.scoring.clone())
+        let mut builder = ProblemBuilder::new(spec.query.clone(), Arc::clone(&spec.scoring))
             .k(spec.k)
             .access_kind(spec.access_kind)
             .dominance_period(plan.dominance_period);
-        for relation in &snapshot {
+        for relation in snapshot {
             let view = match spec.access_kind {
                 AccessKind::Distance if reducible => relation.distance_view(spec.query.clone()),
                 // Non-Euclidean proximity: the shared R-tree's Euclidean
@@ -380,10 +464,16 @@ where
     ///
     /// Cache hits and planning errors resolve the ticket immediately; misses
     /// run on a worker thread.
-    pub fn submit(&self, spec: QuerySpec<S>) -> QueryTicket {
+    pub fn submit(&self, spec: QuerySpec) -> QueryTicket {
         let started = Instant::now();
         let (sender, receiver) = sync_channel(1);
-        let key = self.cache_key(&spec);
+        let (snapshot, key) = match self.snapshot_and_key(&spec) {
+            Ok(snapshot_and_key) => snapshot_and_key,
+            Err(e) => {
+                let _ = sender.send(Err(e));
+                return QueryTicket { receiver };
+            }
+        };
 
         if let Some(execution) = self.cache.get(&key) {
             let latency = started.elapsed();
@@ -401,8 +491,7 @@ where
             return QueryTicket { receiver };
         }
 
-        let prepared = self.prepare(&spec);
-        match prepared {
+        match self.prepare(&spec, &snapshot) {
             Err(e) => {
                 let _ = sender.send(Err(e));
             }
@@ -453,12 +542,12 @@ where
     }
 
     /// Runs one query to completion (submit + wait).
-    pub fn query(&self, spec: QuerySpec<S>) -> Result<EngineResult, EngineError> {
+    pub fn query(&self, spec: QuerySpec) -> Result<EngineResult, EngineError> {
         self.submit(spec).wait()
     }
 
     /// Submits a batch and waits for every result, preserving order.
-    pub fn query_batch(&self, specs: Vec<QuerySpec<S>>) -> Vec<Result<EngineResult, EngineError>> {
+    pub fn query_batch(&self, specs: Vec<QuerySpec>) -> Vec<Result<EngineResult, EngineError>> {
         let tickets: Vec<QueryTicket> = specs.into_iter().map(|s| self.submit(s)).collect();
         tickets.into_iter().map(|t| t.wait()).collect()
     }
@@ -472,9 +561,9 @@ where
     /// consumer-paced (it blocks once it runs a few results
     /// ahead), and a slow or idle consumer must not starve the pool that
     /// serves batch queries.
-    pub fn stream(&self, spec: QuerySpec<S>) -> Result<ResultStream, EngineError> {
+    pub fn stream(&self, spec: QuerySpec) -> Result<ResultStream, EngineError> {
         let started = Instant::now();
-        let key = self.cache_key(&spec);
+        let (snapshot, key) = self.snapshot_and_key(&spec)?;
         if let Some(execution) = self.cache.get(&key) {
             self.stats.record(QueryRecord {
                 latency: started.elapsed(),
@@ -490,10 +579,11 @@ where
                 },
                 plan,
                 from_cache: true,
+                error: None,
             });
         }
 
-        let (plan, problem) = self.prepare(&spec)?;
+        let (plan, problem) = self.prepare(&spec, &snapshot)?;
         let mut run = plan
             .algorithm
             .start_streaming(problem)
@@ -505,45 +595,52 @@ where
         std::thread::Builder::new()
             .name("prj-engine-stream".to_string())
             .spawn(move || {
-                while let Some(combo) = run.next_certified() {
-                    if sender.send(combo).is_err() {
-                        // Consumer dropped the stream: abandon the run
-                        // without caching the partial result.
-                        return;
+                let panic_sender = sender.clone();
+                let worker = std::panic::AssertUnwindSafe(move || {
+                    while let Some(combo) = run.next_certified() {
+                        if sender.send(Ok(combo)).is_err() {
+                            // Consumer dropped the stream: abandon the run
+                            // without caching the partial result.
+                            return;
+                        }
                     }
-                }
-                let result = run.into_result();
-                stats.record(QueryRecord {
-                    // The operator tracks its active stepping time, so the
-                    // recorded latency measures engine work, not how slowly
-                    // the consumer drained the stream.
-                    latency: result.metrics.total_time,
-                    sum_depths: result.stats.sum_depths(),
-                    bound_updates: result.metrics.bound_updates,
-                    from_cache: false,
+                    let result = run.into_result();
+                    stats.record(QueryRecord {
+                        // The operator tracks its active stepping time, so
+                        // the recorded latency measures engine work, not how
+                        // slowly the consumer drained the stream.
+                        latency: result.metrics.total_time,
+                        sum_depths: result.stats.sum_depths(),
+                        bound_updates: result.metrics.bound_updates,
+                        from_cache: false,
+                    });
+                    cache.insert(
+                        key,
+                        Arc::new(CachedExecution {
+                            result,
+                            plan: worker_plan,
+                        }),
+                    );
+                    // Dropping the sender closes the stream.
                 });
-                cache.insert(
-                    key,
-                    Arc::new(CachedExecution {
-                        result,
-                        plan: worker_plan,
-                    }),
-                );
-                // Dropping the sender closes the stream.
+                // A panicking run must be reported, not mistaken for clean
+                // completion: the consumer would otherwise serve a
+                // truncated stream as the full top-K.
+                if std::panic::catch_unwind(worker).is_err() {
+                    let _ = panic_sender.send(Err(EngineError::WorkerLost));
+                }
             })
             .expect("spawn stream thread");
         Ok(ResultStream {
             inner: StreamInner::Live(receiver),
             plan,
             from_cache: false,
+            error: None,
         })
     }
 }
 
-impl<S> Default for Engine<S>
-where
-    S: ScoringFunction + Clone + CacheFingerprint + 'static,
-{
+impl Default for Engine {
     fn default() -> Self {
         Engine::new()
     }
@@ -553,6 +650,7 @@ where
 mod tests {
     use super::*;
     use prj_access::{Tuple, TupleId};
+    use prj_core::CosineSimilarityScore;
 
     fn table1() -> Vec<Vec<Tuple>> {
         let mk = |rel: usize, rows: &[([f64; 2], f64)]| -> Vec<Tuple> {
@@ -569,7 +667,7 @@ mod tests {
     }
 
     fn table1_engine() -> (Engine, Vec<RelationId>) {
-        let engine: Engine = EngineBuilder::default().threads(2).build();
+        let engine = EngineBuilder::default().threads(2).build();
         let ids = table1()
             .into_iter()
             .enumerate()
@@ -630,6 +728,47 @@ mod tests {
     }
 
     #[test]
+    fn mutation_invalidates_cached_results() {
+        let (engine, ids) = table1_engine();
+        let spec = QuerySpec::top_k(ids.clone(), Vector::from([0.0, 0.0]), 1);
+        let cold = engine.query(spec.clone()).expect("cold");
+        assert!(engine.query(spec.clone()).expect("warm").from_cache);
+
+        // Append a perfect tuple right on the query point to R1: the old
+        // memoised top-1 is now wrong and must not be served.
+        engine
+            .append_rows(ids[0], vec![(Vector::from([0.0, 0.0]), 1.0)])
+            .expect("append");
+        let fresh = engine.query(spec.clone()).expect("post-mutation");
+        assert!(!fresh.from_cache, "mutation must invalidate the cache");
+        assert!(
+            fresh.combinations()[0].score > cold.combinations()[0].score,
+            "the appended tuple improves the best combination"
+        );
+        assert_eq!(fresh.combinations()[0].tuples[0].id, TupleId::new(0, 2));
+        // And the fresh result is itself cacheable under the new epoch.
+        assert!(engine.query(spec).expect("re-warm").from_cache);
+    }
+
+    #[test]
+    fn dropped_relations_fail_with_a_typed_error() {
+        let (engine, ids) = table1_engine();
+        engine.drop_relation(ids[1]).expect("drop");
+        let spec = QuerySpec::top_k(ids.clone(), Vector::from([0.0, 0.0]), 1);
+        match engine.query(spec) {
+            Err(EngineError::Catalog(CatalogError::Dropped(index))) => {
+                assert_eq!(index, ids[1].index())
+            }
+            other => panic!("expected a dropped-relation error, got {other:?}"),
+        }
+        // Double drop is also typed.
+        assert!(matches!(
+            engine.drop_relation(ids[1]),
+            Err(EngineError::Catalog(CatalogError::Dropped(_)))
+        ));
+    }
+
+    #[test]
     fn streaming_matches_batch_and_populates_cache() {
         let (engine, ids) = table1_engine();
         let spec = QuerySpec::top_k(ids, Vector::from([0.0, 0.0]), 8);
@@ -663,7 +802,7 @@ mod tests {
 
     #[test]
     fn cosine_scoring_is_served_with_corner_bound() {
-        let engine: Engine<CosineSimilarityScore> = EngineBuilder::default().threads(1).build();
+        let engine = EngineBuilder::default().threads(1).build();
         let mk = |rel: usize, rows: &[([f64; 2], f64)]| -> Vec<Tuple> {
             rows.iter()
                 .enumerate()
@@ -672,20 +811,26 @@ mod tests {
         };
         let a = engine.register("a", mk(0, &[([0.5, 0.1], 0.9), ([0.0, 1.0], 0.8)]));
         let b = engine.register("b", mk(1, &[([0.8, 0.2], 0.7), ([-1.0, 0.1], 0.6)]));
-        let spec = QuerySpec {
-            relations: vec![a, b],
-            query: Vector::from([1.0, 0.0]),
-            k: 1,
-            scoring: CosineSimilarityScore::default(),
-            access_kind: AccessKind::Distance,
-            algorithm: None,
-        };
+        let spec = QuerySpec::top_k(vec![a, b], Vector::from([1.0, 0.0]), 1)
+            .with_scoring(CosineSimilarityScore::default());
         let result = engine.query(spec).expect("cosine query");
         assert!(matches!(
             result.plan().algorithm,
             Algorithm::Cbrr | Algorithm::Cbpa
         ));
         assert_eq!(result.combinations().len(), 1);
+    }
+
+    #[test]
+    fn registry_resolved_scoring_is_queryable() {
+        let (engine, ids) = table1_engine();
+        let scoring = engine
+            .scoring_registry()
+            .resolve("euclidean-log", &[1.0, 1.0, 1.0])
+            .expect("builtin");
+        let spec = QuerySpec::top_k(ids, Vector::from([0.0, 0.0]), 1).with_shared_scoring(scoring);
+        let result = engine.query(spec).expect("query");
+        assert!((result.combinations()[0].score - (-7.0)).abs() < 0.05);
     }
 
     #[test]

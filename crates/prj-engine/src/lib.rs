@@ -4,58 +4,76 @@
 //! (Martinenghi & Tagliasacchi, PVLDB 2010) as a single-shot library call:
 //! build a [`prj_core::Problem`], run an [`prj_core::Algorithm`], get a
 //! top-K. This crate adds the execution layer that turns that operator into
-//! a multi-query serving engine:
+//! a multi-query serving engine.
 //!
-//! * [`catalog`] — relations are registered **once**; their R-tree, their
-//!   score-sorted array and their [`prj_access::RelationStats`] are built at
-//!   registration time and shared behind [`std::sync::Arc`]s, so creating a
-//!   per-query sorted-access view is O(1) and thousands of concurrent
-//!   queries read one copy of the data.
+//! **The entry point is [`Session`]**: it speaks the versioned `prj-api`
+//! request/response protocol ([`prj_api::Request`] in,
+//! [`prj_api::Response`] out), owns the client-facing defaults (scoring,
+//! `k`, access kind), and routes to the layers below:
+//!
+//! * [`catalog`] — *mutable* relations behind epoch counters: registration
+//!   builds each relation's R-tree, score-sorted array and
+//!   [`prj_access::RelationStats`] once and shares them behind
+//!   [`std::sync::Arc`]s; appends extend the R-tree copy-on-write with the
+//!   incremental insert path and publish a new snapshot under a bumped
+//!   epoch; drops retire the id forever.
+//! * [`registry`] — the open set of scoring functions: families are
+//!   registered at runtime as factories producing
+//!   [`prj_core::ScoringSpec`] trait objects, whose cache fingerprint is
+//!   part of the trait — so anything servable is cache-safe by
+//!   construction.
 //! * [`planner`] — per query, chooses among the paper's four instantiations
 //!   (CBRR/CBPA/TBRR/TBPA) and decides whether to enable the LP dominance
-//!   test, using the relation statistics: the tight bound whenever the
-//!   scoring admits the Euclidean reduction, potential-adaptive pulling under
-//!   cardinality imbalance or score skew, dominance testing for deep runs.
-//! * [`executor`] — a fixed pool of worker threads (std threads + channels,
-//!   no external runtime) running batches of queries in parallel;
-//!   [`engine::Engine::stream`] exposes the paper's incremental pulling model
-//!   as a streaming [`engine::ResultStream::next_result`] API with
-//!   backpressure, backed by [`prj_core::StreamingRun`].
-//! * [`cache`] — an LRU result cache keyed by (relations, query point bits,
-//!   `k`, scoring parameters, algorithm), with hit/miss/eviction metrics;
-//!   ProxRJ runs are pure, so memoised results are byte-identical to cold
-//!   ones.
-//! * [`stats`] — engine-wide aggregation of the operator's metrics (depths,
-//!   bound evaluations, latency percentiles) on top of
-//!   [`prj_access::AccessStats`].
+//!   test, using the relation statistics.
+//! * [`engine`] — the execution façade: a fixed worker pool
+//!   ([`executor`]), batched and streaming queries
+//!   ([`Engine::stream`] exposes the paper's incremental pulling model
+//!   with backpressure), and epoch-consistent cache keying.
+//! * [`cache`] — an LRU result cache keyed by (relations *with their
+//!   epochs*, query point bits, `k`, scoring fingerprint, algorithm): a
+//!   mutation changes the key, so a stale memoised result can never be
+//!   served, and [`cache::ResultCache::invalidate_relation`] reclaims the
+//!   orphaned entries eagerly.
+//! * [`server`] — a minimal line-delimited TCP front-end (the `prj-serve`
+//!   binary) forwarding wire requests to a shared [`Session`].
+//! * [`stats`] — engine-wide aggregation of the operator's metrics.
 //!
 //! ## Example
 //!
 //! ```
-//! use prj_engine::{Engine, EngineBuilder, QuerySpec};
-//! use prj_access::{Tuple, TupleId};
-//! use prj_geometry::Vector;
+//! use prj_engine::{EngineBuilder, Session};
+//! use prj_api::{QueryRequest, Request, Response, TupleData};
+//! use std::sync::Arc;
 //!
-//! // The paper's Table 1 relations, registered once.
-//! let mk = |rel: usize, rows: &[([f64; 2], f64)]| -> Vec<Tuple> {
-//!     rows.iter()
-//!         .enumerate()
-//!         .map(|(i, (x, s))| Tuple::new(TupleId::new(rel, i), Vector::from(*x), *s))
-//!         .collect()
-//! };
-//! let engine: Engine = EngineBuilder::default().threads(2).build();
-//! let r1 = engine.register("R1", mk(0, &[([0.0, -0.5], 0.5), ([0.0, 1.0], 1.0)]));
-//! let r2 = engine.register("R2", mk(1, &[([1.0, 1.0], 1.0), ([-2.0, 2.0], 0.8)]));
-//! let r3 = engine.register("R3", mk(2, &[([-1.0, 1.0], 1.0), ([-2.0, -2.0], 0.4)]));
+//! // A session over a fresh engine; relations arrive through the API.
+//! let engine = Arc::new(EngineBuilder::default().threads(2).build());
+//! let session = Session::new(engine);
+//! for (name, rows) in [
+//!     ("R1", vec![([0.0, -0.5], 0.5), ([0.0, 1.0], 1.0)]),
+//!     ("R2", vec![([1.0, 1.0], 1.0), ([-2.0, 2.0], 0.8)]),
+//!     ("R3", vec![([-1.0, 1.0], 1.0), ([-2.0, -2.0], 0.4)]),
+//! ] {
+//!     session.handle(Request::RegisterRelation {
+//!         name: name.to_string(),
+//!         tuples: rows.into_iter().map(|(x, s)| TupleData::new(x.to_vec(), s)).collect(),
+//!     });
+//! }
 //!
-//! // Serve queries concurrently; identical queries hit the result cache.
-//! let spec = QuerySpec::top_k(vec![r1, r2, r3], Vector::from([0.0, 0.0]), 1);
-//! let cold = engine.query(spec.clone()).unwrap();
-//! let warm = engine.query(spec).unwrap();
-//! assert!((cold.combinations()[0].score - (-7.0)).abs() < 0.05); // Example 3.1
-//! assert!(!cold.from_cache);
-//! assert!(warm.from_cache);
+//! // The paper's Example 3.1, served by relation name.
+//! let request = Request::TopK(
+//!     QueryRequest::new(vec!["R1".into(), "R2".into(), "R3".into()], [0.0, 0.0]).k(1),
+//! );
+//! match session.handle(request) {
+//!     Response::Results { rows, .. } => {
+//!         assert!((rows[0].score - (-7.0)).abs() < 0.05);
+//!     }
+//!     other => panic!("unexpected response: {other:?}"),
+//! }
 //! ```
+//!
+//! The lower-level [`Engine`] API ([`QuerySpec`], [`QueryTicket`],
+//! [`ResultStream`]) remains available for embedders that want to skip the
+//! protocol layer.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -65,14 +83,19 @@ pub mod catalog;
 pub mod engine;
 pub mod executor;
 pub mod planner;
+pub mod registry;
+pub mod server;
+pub mod session;
 pub mod stats;
 
 pub use cache::{CacheKey, CacheMetrics, CachedExecution, ResultCache};
-pub use catalog::{Catalog, CatalogRelation, RelationId};
+pub use catalog::{Catalog, CatalogError, CatalogRelation, MutationOutcome, RelationId};
 pub use engine::{
-    CacheFingerprint, Engine, EngineBuilder, EngineError, EngineResult, QuerySpec, QueryTicket,
-    ResultStream,
+    Engine, EngineBuilder, EngineError, EngineResult, QuerySpec, QueryTicket, ResultStream,
 };
 pub use executor::Executor;
 pub use planner::{Plan, Planner, PlannerConfig};
+pub use registry::{ScoringFactory, ScoringRegistry};
+pub use server::Server;
+pub use session::{Dispatch, Session, SessionBuilder, SessionStream};
 pub use stats::{EngineStats, EngineStatsSnapshot, QueryRecord};

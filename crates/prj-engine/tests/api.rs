@@ -1,0 +1,242 @@
+//! End-to-end tests of the `prj-api` boundary, including the acceptance
+//! criterion of the API redesign: a scoring function defined *outside*
+//! `prj-core`/`prj-engine` — right here in the test — can be registered at
+//! runtime via [`prj_core::ScoringSpec`] and served through
+//! [`Request::TopK`] with correct cache keying, and a mutation request
+//! observably invalidates previously cached results for that relation.
+
+use prj_api::{ErrorKind, QueryRequest, Request, Response, ScoringSelector, TupleData};
+use prj_core::{fingerprint, ScoringFunction, ScoringSpec, Weights};
+use prj_engine::{EngineBuilder, Session};
+use prj_geometry::{Manhattan, Metric, Vector};
+use std::sync::Arc;
+
+/// A scoring family the engine has never heard of at compile time:
+/// score term minus Manhattan (L1) distances to the query and centroid.
+/// L1 is not Euclidean, so the engine must serve it through the
+/// corner-bound algorithms with per-query δ-sorted views.
+#[derive(Debug, Clone, Copy)]
+struct ManhattanScore {
+    w_s: f64,
+    w_q: f64,
+    w_mu: f64,
+}
+
+impl ScoringFunction for ManhattanScore {
+    fn proximity_weighted_score(&self, sigma: f64, dq: f64, dmu: f64) -> f64 {
+        self.w_s * sigma - self.w_q * dq - self.w_mu * dmu
+    }
+
+    fn distance(&self, a: &Vector, b: &Vector) -> f64 {
+        Manhattan.distance(a, b)
+    }
+
+    fn name(&self) -> &'static str {
+        "manhattan"
+    }
+}
+
+impl ScoringSpec for ManhattanScore {
+    fn cache_fingerprint(&self) -> u64 {
+        fingerprint(
+            ScoringFunction::name(self),
+            &[self.w_s, self.w_q, self.w_mu],
+        )
+    }
+}
+
+fn session_with_manhattan() -> Session {
+    let engine = Arc::new(EngineBuilder::default().threads(2).build());
+    engine.scoring_registry().register("manhattan", |params| {
+        let w = match params {
+            [] => Weights::default(),
+            [w_s, w_q, w_mu] => Weights {
+                w_s: *w_s,
+                w_q: *w_q,
+                w_mu: *w_mu,
+            },
+            _ => return Err("expected no parameters or [w_s, w_q, w_mu]".to_string()),
+        };
+        Ok(Arc::new(ManhattanScore {
+            w_s: w.w_s,
+            w_q: w.w_q,
+            w_mu: w.w_mu,
+        }) as _)
+    });
+    let session = Session::new(engine);
+    for (name, rows) in [
+        ("shops", vec![([0.5, 0.0], 0.9), ([3.0, 3.0], 1.0)]),
+        ("cafes", vec![([0.0, 0.5], 0.8), ([-3.0, 3.0], 1.0)]),
+    ] {
+        let response = session.handle(Request::RegisterRelation {
+            name: name.to_string(),
+            tuples: rows
+                .into_iter()
+                .map(|(x, s)| TupleData::new(x.to_vec(), s))
+                .collect(),
+        });
+        assert!(
+            matches!(response, Response::Registered { .. }),
+            "register failed: {response:?}"
+        );
+    }
+    session
+}
+
+fn manhattan_query(params: &[f64]) -> QueryRequest {
+    QueryRequest::new(vec!["shops".into(), "cafes".into()], [0.0, 0.0])
+        .k(1)
+        .scoring(ScoringSelector::with_params("manhattan", params.to_vec()))
+}
+
+fn rows_of(response: Response) -> (Vec<prj_api::ResultRow>, bool) {
+    match response {
+        Response::Results {
+            rows, from_cache, ..
+        } => (rows, from_cache),
+        other => panic!("expected results, got {other:?}"),
+    }
+}
+
+/// Exhaustive oracle under the test-local scoring, over the current
+/// relation contents.
+fn best_score(shops: &[([f64; 2], f64)], cafes: &[([f64; 2], f64)], w: [f64; 3]) -> f64 {
+    let scoring = ManhattanScore {
+        w_s: w[0],
+        w_q: w[1],
+        w_mu: w[2],
+    };
+    let q = Vector::from([0.0, 0.0]);
+    let mut best = f64::NEG_INFINITY;
+    for (xa, sa) in shops {
+        for (xb, sb) in cafes {
+            let a = Vector::from(*xa);
+            let b = Vector::from(*xb);
+            let score = scoring.score_members(&[(&a, *sa), (&b, *sb)], &q);
+            best = best.max(score);
+        }
+    }
+    best
+}
+
+#[test]
+fn out_of_crate_scoring_is_registered_and_served() {
+    let session = session_with_manhattan();
+    let shops = [([0.5, 0.0], 0.9), ([3.0, 3.0], 1.0)];
+    let cafes = [([0.0, 0.5], 0.8), ([-3.0, 3.0], 1.0)];
+
+    let (rows, from_cache) = rows_of(session.handle(Request::TopK(manhattan_query(&[]))));
+    assert!(!from_cache);
+    assert_eq!(rows.len(), 1);
+    let expected = best_score(&shops, &cafes, [1.0, 1.0, 1.0]);
+    assert!(
+        (rows[0].score - expected).abs() < 1e-9,
+        "engine {} vs oracle {expected}",
+        rows[0].score
+    );
+    assert_eq!(rows[0].tuples, vec![(0, 0), (1, 0)]);
+}
+
+#[test]
+fn custom_scoring_cache_keying_is_correct() {
+    let session = session_with_manhattan();
+
+    // Same name + same parameters: second query is a cache hit.
+    let (cold, from_cache) = rows_of(session.handle(Request::TopK(manhattan_query(&[]))));
+    assert!(!from_cache);
+    let (warm, from_cache) = rows_of(session.handle(Request::TopK(manhattan_query(&[]))));
+    assert!(from_cache, "identical custom-scoring query must hit");
+    assert_eq!(warm, cold);
+
+    // Same family, different parameters: must miss (parameters are in the
+    // fingerprint).
+    let (_, from_cache) = rows_of(session.handle(Request::TopK(manhattan_query(&[2.0, 1.0, 1.0]))));
+    assert!(!from_cache, "different parameters must not share an entry");
+
+    // Different family with identical parameters: must also miss (the
+    // family name is in the fingerprint).
+    let (_, from_cache) = rows_of(session.handle(Request::TopK(
+        manhattan_query(&[]).scoring(ScoringSelector::named("cosine-similarity")),
+    )));
+    assert!(!from_cache, "different families must not share an entry");
+}
+
+#[test]
+fn mutation_invalidates_custom_scoring_results() {
+    let session = session_with_manhattan();
+    let (cold, _) = rows_of(session.handle(Request::TopK(manhattan_query(&[]))));
+    assert!(rows_of(session.handle(Request::TopK(manhattan_query(&[])))).1);
+
+    // Append a perfect shop on the query point: epoch bump, cache miss, and
+    // the new tuple must win.
+    match session.handle(Request::AppendTuples {
+        relation: "shops".into(),
+        tuples: vec![TupleData::new([0.0, 0.0], 1.0)],
+    }) {
+        Response::Appended { epoch: 1, .. } => {}
+        other => panic!("append failed: {other:?}"),
+    }
+    let (fresh, from_cache) = rows_of(session.handle(Request::TopK(manhattan_query(&[]))));
+    assert!(
+        !from_cache,
+        "post-mutation query must not see the old entry"
+    );
+    assert!(fresh[0].score > cold[0].score);
+    assert_eq!(fresh[0].tuples[0], (0, 2), "the appended tuple wins");
+
+    let shops = [([0.5, 0.0], 0.9), ([3.0, 3.0], 1.0), ([0.0, 0.0], 1.0)];
+    let cafes = [([0.0, 0.5], 0.8), ([-3.0, 3.0], 1.0)];
+    let expected = best_score(&shops, &cafes, [1.0, 1.0, 1.0]);
+    assert!((fresh[0].score - expected).abs() < 1e-9);
+
+    // Dropping a queried relation invalidates and then fails loudly: the
+    // name stops resolving, and a stale id reports the drop explicitly.
+    session.handle(Request::DropRelation {
+        relation: "cafes".into(),
+    });
+    match session.handle(Request::TopK(manhattan_query(&[]))) {
+        Response::Error(e) => assert_eq!(e.kind, ErrorKind::UnknownRelation),
+        other => panic!("expected an unknown-relation error, got {other:?}"),
+    }
+    match session.handle(Request::TopK(
+        QueryRequest::new(
+            vec![prj_api::RelationRef::Id(0), prj_api::RelationRef::Id(1)],
+            [0.0, 0.0],
+        )
+        .k(1)
+        .scoring(ScoringSelector::named("manhattan")),
+    )) {
+        Response::Error(e) => assert_eq!(e.kind, ErrorKind::RelationDropped),
+        other => panic!("expected a dropped-relation error, got {other:?}"),
+    }
+}
+
+#[test]
+fn unregistered_family_stays_unknown_until_registered() {
+    let engine = Arc::new(EngineBuilder::default().threads(1).build());
+    let session = Session::new(Arc::clone(&engine));
+    session.handle(Request::RegisterRelation {
+        name: "r".to_string(),
+        tuples: vec![TupleData::new([0.0], 0.5)],
+    });
+    let query = || {
+        Request::TopK(
+            QueryRequest::new(vec!["r".into()], [0.0])
+                .k(1)
+                .scoring(ScoringSelector::named("manhattan")),
+        )
+    };
+    match session.handle(query()) {
+        Response::Error(e) => assert_eq!(e.kind, ErrorKind::UnknownScoring),
+        other => panic!("expected unknown-scoring, got {other:?}"),
+    }
+    // Runtime registration flips the same request to success.
+    engine.scoring_registry().register("manhattan", |_| {
+        Ok(Arc::new(ManhattanScore {
+            w_s: 1.0,
+            w_q: 1.0,
+            w_mu: 1.0,
+        }) as _)
+    });
+    assert!(matches!(session.handle(query()), Response::Results { .. }));
+}

@@ -1,0 +1,145 @@
+//! Property tests for cache correctness under mutation: `AppendTuples` /
+//! `DropRelation` bump the relation epoch, and a post-mutation query never
+//! returns the pre-mutation cached result.
+
+use prj_api::{QueryRequest, Request, Response, TupleData};
+use prj_core::{EuclideanLogScore, ScoringFunction};
+use prj_engine::{EngineBuilder, Session};
+use prj_geometry::Vector;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn register(session: &Session, name: &str, rows: &[([f64; 2], f64)]) {
+    let response = session.handle(Request::RegisterRelation {
+        name: name.to_string(),
+        tuples: rows
+            .iter()
+            .map(|(x, s)| TupleData::new(x.to_vec(), *s))
+            .collect(),
+    });
+    assert!(matches!(response, Response::Registered { .. }));
+}
+
+fn top1(session: &Session, q: [f64; 2]) -> (prj_api::ResultRow, bool) {
+    match session.handle(Request::TopK(
+        QueryRequest::new(vec!["a".into(), "b".into()], q.to_vec()).k(1),
+    )) {
+        Response::Results {
+            mut rows,
+            from_cache,
+            ..
+        } => (rows.remove(0), from_cache),
+        other => panic!("query failed: {other:?}"),
+    }
+}
+
+/// Exhaustive oracle over the current contents under Eq. 2 unit weights.
+fn oracle_top1(a: &[([f64; 2], f64)], b: &[([f64; 2], f64)], q: [f64; 2]) -> f64 {
+    let scoring = EuclideanLogScore::default();
+    let query = Vector::from(q);
+    let mut best = f64::NEG_INFINITY;
+    for (xa, sa) in a {
+        for (xb, sb) in b {
+            let va = Vector::from(*xa);
+            let vb = Vector::from(*xb);
+            best = best.max(scoring.score_members(&[(&va, *sa), (&vb, *sb)], &query));
+        }
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random initial contents, then a random sequence of appends, each
+    /// followed by the same query: every append bumps the epoch by exactly
+    /// one, the post-append query is never served from the cache, and its
+    /// result always matches an exhaustive oracle over the *current*
+    /// contents (i.e. it can never be the memoised pre-mutation answer).
+    #[test]
+    fn appends_bump_epochs_and_never_serve_stale_results(
+        a in prop::collection::vec((prop::array::uniform2(-3.0..3.0f64), 0.1..1.0f64), 1..5),
+        b in prop::collection::vec((prop::array::uniform2(-3.0..3.0f64), 0.1..1.0f64), 1..5),
+        appends in prop::collection::vec(
+            ((prop::array::uniform2(-3.0..3.0f64), 0.1..1.0f64), 0usize..2),
+            1..5,
+        ),
+        q in prop::array::uniform2(-1.0..1.0f64),
+    ) {
+        let engine = Arc::new(EngineBuilder::default().threads(2).build());
+        let session = Session::new(engine);
+        let mut contents = [a.clone(), b.clone()];
+        register(&session, "a", &a);
+        register(&session, "b", &b);
+
+        // Warm the cache.
+        let (cold, from_cache) = top1(&session, q);
+        prop_assert!(!from_cache);
+        prop_assert!((cold.score - oracle_top1(&contents[0], &contents[1], q)).abs() < 1e-9);
+        let (_, from_cache) = top1(&session, q);
+        prop_assert!(from_cache, "repeat without mutation must hit");
+
+        let mut expected_epochs = [0u64; 2];
+        for ((x, s), target) in appends {
+            let name = if target == 0 { "a" } else { "b" };
+            let response = session.handle(Request::AppendTuples {
+                relation: name.into(),
+                tuples: vec![TupleData::new(x.to_vec(), s)],
+            });
+            expected_epochs[target] += 1;
+            match response {
+                Response::Appended { id, epoch, cardinality } => {
+                    prop_assert_eq!(id, target);
+                    prop_assert_eq!(epoch, expected_epochs[target], "epoch bumps by one");
+                    contents[target].push((x, s));
+                    prop_assert_eq!(cardinality, contents[target].len());
+                }
+                other => { prop_assert!(false, "append failed: {:?}", other); }
+            }
+
+            let (row, from_cache) = top1(&session, q);
+            prop_assert!(!from_cache, "post-mutation query must not be served from cache");
+            let fresh = oracle_top1(&contents[0], &contents[1], q);
+            prop_assert!(
+                (row.score - fresh).abs() < 1e-9,
+                "post-mutation result {} must match the current contents ({})",
+                row.score, fresh
+            );
+            // And the fresh answer becomes cacheable under the new epochs.
+            let (_, from_cache) = top1(&session, q);
+            prop_assert!(from_cache, "repeat after mutation must hit the new entry");
+        }
+    }
+
+    /// Dropping a relation bumps its epoch and purges its cache entries:
+    /// queries over a re-registered same-name relation can never see the
+    /// dropped relation's memoised results.
+    #[test]
+    fn drops_purge_and_reregistration_does_not_resurrect_results(
+        a in prop::collection::vec((prop::array::uniform2(-3.0..3.0f64), 0.1..1.0f64), 1..4),
+        b in prop::collection::vec((prop::array::uniform2(-3.0..3.0f64), 0.1..1.0f64), 1..4),
+        b2 in prop::collection::vec((prop::array::uniform2(-3.0..3.0f64), 0.1..1.0f64), 1..4),
+        q in prop::array::uniform2(-1.0..1.0f64),
+    ) {
+        let engine = Arc::new(EngineBuilder::default().threads(2).build());
+        let session = Session::new(Arc::clone(&engine));
+        register(&session, "a", &a);
+        register(&session, "b", &b);
+        let _ = top1(&session, q);
+        prop_assert!(top1(&session, q).1, "warm before the drop");
+
+        match session.handle(Request::DropRelation { relation: "b".into() }) {
+            Response::Dropped { id: 1, epoch: 1 } => {}
+            other => { prop_assert!(false, "drop failed: {:?}", other); }
+        }
+        prop_assert!(engine.cache_metrics().invalidations >= 1, "drop purges entries");
+
+        // Re-register the name with different contents: the fresh query
+        // must reflect b2, not the memoised result over b.
+        register(&session, "b", &b2);
+        let (row, from_cache) = top1(&session, q);
+        prop_assert!(!from_cache);
+        let fresh = oracle_top1(&a, &b2, q);
+        prop_assert!((row.score - fresh).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,78 @@
+//! The `prj-api` request/response boundary, in process: a [`Session`] over
+//! the engine serving registrations, top-k queries, streaming, runtime
+//! scoring extension, and mutations with epoch-based cache invalidation —
+//! exactly the traffic `prj-serve` takes over TCP, minus the socket.
+//!
+//! ```text
+//! cargo run --release --example api_session
+//! ```
+
+use proximity_rank_join::api::{QueryRequest, Request, Response, ScoringSelector, TupleData};
+use proximity_rank_join::engine::{EngineBuilder, Session};
+use proximity_rank_join::prelude::*;
+use std::sync::Arc;
+
+fn show(label: &str, response: &Response) {
+    println!("{label:<28} -> {response:?}");
+}
+
+fn main() {
+    let engine = Arc::new(EngineBuilder::default().cache_capacity(256).build());
+
+    // The scoring set is open: register a custom family at runtime. The
+    // ScoringSpec trait folds the cache fingerprint in, so the engine can
+    // memoise results for this family safely.
+    engine
+        .scoring_registry()
+        .register("heavy-proximity", |params| {
+            let pull = params.first().copied().unwrap_or(4.0);
+            if pull <= 0.0 {
+                return Err("the query pull must be positive".to_string());
+            }
+            Ok(Arc::new(EuclideanLogScore::new(1.0, pull, 1.0)) as _)
+        });
+
+    let session = Session::builder(Arc::clone(&engine)).default_k(3).build();
+
+    // Ingest the paper's Table 1 through the protocol.
+    for (name, rows) in [
+        ("R1", vec![([0.0, -0.5], 0.5), ([0.0, 1.0], 1.0)]),
+        ("R2", vec![([1.0, 1.0], 1.0), ([-2.0, 2.0], 0.8)]),
+        ("R3", vec![([-1.0, 1.0], 1.0), ([-2.0, -2.0], 0.4)]),
+    ] {
+        let response = session.handle(Request::RegisterRelation {
+            name: name.to_string(),
+            tuples: rows
+                .into_iter()
+                .map(|(x, s)| TupleData::new(x.to_vec(), s))
+                .collect(),
+        });
+        show("register", &response);
+    }
+
+    let query = || QueryRequest::new(vec!["R1".into(), "R2".into(), "R3".into()], [0.0, 0.0]).k(1);
+
+    // Example 3.1 by relation name; the repeat is a cache hit.
+    show("topk (cold)", &session.handle(Request::TopK(query())));
+    show("topk (warm)", &session.handle(Request::TopK(query())));
+
+    // The runtime-registered scoring family, selected by name + parameters.
+    show(
+        "topk custom scoring",
+        &session.handle(Request::TopK(
+            query().scoring(ScoringSelector::with_params("heavy-proximity", [8.0])),
+        )),
+    );
+
+    // Mutation: the epoch bump makes the memoised -7 result unservable.
+    show(
+        "append to R1",
+        &session.handle(Request::AppendTuples {
+            relation: "R1".into(),
+            tuples: vec![TupleData::new([0.0, 0.0], 1.0)],
+        }),
+    );
+    show("topk after append", &session.handle(Request::TopK(query())));
+
+    show("stats", &session.handle(Request::Stats));
+}

@@ -12,9 +12,14 @@
 //! * [`access`] — sorted-access abstraction (distance-based / score-based).
 //! * [`core`] — the ProxRJ operator, bounding schemes, dominance and pulling
 //!   strategies (CBRR = HRJN, CBPA = HRJN*, TBRR, TBPA).
-//! * [`engine`] — the concurrent query-serving subsystem: a relation
-//!   catalog with `Arc`-shared indexes, a statistics-driven planner, a
-//!   thread-pool executor with streaming results, and an LRU result cache.
+//! * [`engine`] — the concurrent query-serving subsystem: a mutable
+//!   relation catalog with `Arc`-shared indexes and epoch counters, a
+//!   runtime-extensible scoring registry, a statistics-driven planner, a
+//!   thread-pool executor with streaming results, an epoch-keyed LRU result
+//!   cache, and the `Session` / `prj-serve` serving entry points.
+//! * [`api`] — the versioned, transport-agnostic request/response protocol
+//!   (`Request`/`Response`/`ApiError`), its line wire codec, and a TCP
+//!   client.
 //! * [`data`] — synthetic and city data set generators used by the evaluation.
 //!
 //! ## Quickstart
@@ -50,6 +55,7 @@
 //! ```
 
 pub use prj_access as access;
+pub use prj_api as api;
 pub use prj_core as core;
 pub use prj_data as data;
 pub use prj_engine as engine;
@@ -60,11 +66,12 @@ pub use prj_solver as solver;
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use prj_access::{AccessKind, AccessStats, SortedAccess};
+    pub use prj_api::{ApiError, QueryRequest, RelationRef, Request, Response, TupleData};
     pub use prj_core::{
         Algorithm, BoundingSchemeKind, EuclideanLogScore, ProblemBuilder, ProxRjConfig,
-        PullStrategyKind, RankJoinResult, ScoredCombination, Tuple, TupleId,
+        PullStrategyKind, RankJoinResult, ScoredCombination, ScoringSpec, Tuple, TupleId,
     };
     pub use prj_data::{CityDataSet, SyntheticConfig};
-    pub use prj_engine::{Engine, EngineBuilder, QuerySpec, RelationId};
+    pub use prj_engine::{Engine, EngineBuilder, QuerySpec, RelationId, Session};
     pub use prj_geometry::{Euclidean, Metric, Vector};
 }
