@@ -32,6 +32,7 @@
 
 pub mod buffer;
 pub mod kind;
+pub mod merge;
 pub mod service;
 pub mod shared;
 pub mod source;
@@ -40,8 +41,9 @@ pub mod tuple;
 
 pub use buffer::RelationBuffer;
 pub use kind::AccessKind;
+pub use merge::{HeadMerge, MergeOrder, MergedAccess};
 pub use service::{LatencyModel, ServiceMetrics, SimulatedService};
-pub use shared::{SharedRTreeRelation, SharedScoreRelation};
+pub use shared::{SharedOrderedRelation, SharedRTreeRelation, SharedScoreRelation};
 pub use source::{RTreeRelation, RelationSet, SortedAccess, VecRelation};
 pub use stats::{AccessStats, RelationStats};
 pub use tuple::{Tuple, TupleId};

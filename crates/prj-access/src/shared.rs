@@ -151,6 +151,72 @@ impl SortedAccess for SharedScoreRelation {
     }
 }
 
+/// A sorted-access view over a *shared, already-sorted* tuple array of
+/// either access kind.
+///
+/// This is the shared-payload counterpart of
+/// [`crate::VecRelation::distance_sorted_by`]: when a non-Euclidean scoring
+/// forces a per-query sort under its own distance `δ`, the engine sorts the
+/// relation **once** per query, wraps the result in an `Arc`, and hands
+/// every partitioned execution unit its own O(1) cursor over that one
+/// array — instead of each unit re-cloning and re-sorting the relation.
+/// The caller is responsible for the array actually being in the order the
+/// `kind` promises.
+#[derive(Debug, Clone)]
+pub struct SharedOrderedRelation {
+    name: Arc<str>,
+    sorted: Arc<Vec<Tuple>>,
+    cursor: usize,
+    kind: AccessKind,
+    max_score: f64,
+}
+
+impl SharedOrderedRelation {
+    /// Creates a view over `sorted`, which must already be in the sorted
+    /// order `kind` promises (non-decreasing `δ` for
+    /// [`AccessKind::Distance`], non-increasing score for
+    /// [`AccessKind::Score`]).
+    pub fn new(name: Arc<str>, sorted: Arc<Vec<Tuple>>, kind: AccessKind, max_score: f64) -> Self {
+        SharedOrderedRelation {
+            name,
+            sorted,
+            cursor: 0,
+            kind,
+            max_score,
+        }
+    }
+}
+
+impl SortedAccess for SharedOrderedRelation {
+    fn next_tuple(&mut self) -> Option<Tuple> {
+        let t = self.sorted.get(self.cursor).cloned();
+        if t.is_some() {
+            self.cursor += 1;
+        }
+        t
+    }
+
+    fn kind(&self) -> AccessKind {
+        self.kind
+    }
+
+    fn total_len(&self) -> Option<usize> {
+        Some(self.sorted.len())
+    }
+
+    fn max_score(&self) -> f64 {
+        self.max_score
+    }
+
+    fn reset(&mut self) {
+        self.cursor = 0;
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -250,10 +316,44 @@ mod tests {
     }
 
     #[test]
+    fn shared_ordered_relation_walks_the_given_order() {
+        // One sorted array, two independent cursors.
+        let tuples = mk_tuples(0, 12);
+        let query = Vector::from([0.4, -0.6]);
+        let sorted = {
+            let mut t = tuples.clone();
+            let q = query.clone();
+            t.sort_by(|a, b| {
+                a.distance_to(&q)
+                    .total_cmp(&b.distance_to(&q))
+                    .then(a.id.cmp(&b.id))
+            });
+            Arc::new(t)
+        };
+        let mut a =
+            SharedOrderedRelation::new("r".into(), Arc::clone(&sorted), AccessKind::Distance, 0.95);
+        let mut b =
+            SharedOrderedRelation::new("r".into(), Arc::clone(&sorted), AccessKind::Distance, 0.95);
+        assert_eq!(a.kind(), AccessKind::Distance);
+        assert_eq!(a.total_len(), Some(12));
+        assert_eq!(a.max_score(), 0.95);
+        let _ = b.next_tuple();
+        let walked: Vec<Tuple> = std::iter::from_fn(|| a.next_tuple()).collect();
+        assert_eq!(
+            walked.as_slice(),
+            sorted.as_slice(),
+            "cursor b is independent"
+        );
+        a.reset();
+        assert_eq!(a.next_tuple().unwrap(), sorted[0]);
+    }
+
+    #[test]
     fn shared_sources_are_send() {
         fn assert_send<T: Send>() {}
         assert_send::<SharedRTreeRelation>();
         assert_send::<SharedScoreRelation>();
+        assert_send::<SharedOrderedRelation>();
         assert_send::<Box<dyn SortedAccess>>();
     }
 }

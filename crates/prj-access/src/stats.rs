@@ -49,6 +49,22 @@ impl AccessStats {
     pub fn max_depth(&self) -> usize {
         self.depths.iter().copied().max().unwrap_or(0)
     }
+
+    /// Adds `other`'s per-relation depths into `self` elementwise, used to
+    /// aggregate the depths of per-shard runs into one whole-query figure.
+    ///
+    /// # Panics
+    /// Panics when the two track a different number of relations.
+    pub fn absorb(&mut self, other: &AccessStats) {
+        assert_eq!(
+            self.depths.len(),
+            other.depths.len(),
+            "cannot absorb stats over a different relation count"
+        );
+        for (d, o) in self.depths.iter_mut().zip(other.depths.iter()) {
+            *d += o;
+        }
+    }
 }
 
 /// Summary statistics of one relation's data, computed once at registration
@@ -134,6 +150,71 @@ impl RelationStats {
     pub fn is_score_skewed(&self) -> bool {
         self.score_skewness.abs() > 0.5
     }
+
+    /// Combines per-shard statistics into whole-relation statistics without
+    /// revisiting the tuples: min/max/cardinality compose directly, and the
+    /// mean/stddev/skewness are recovered from each part's first three raw
+    /// moments. Exact up to floating-point rounding, which is all the
+    /// planner's threshold comparisons need.
+    pub fn combine(parts: &[RelationStats]) -> RelationStats {
+        let cardinality: usize = parts.iter().map(|p| p.cardinality).sum();
+        let dimensions = parts
+            .iter()
+            .filter(|p| p.cardinality > 0)
+            .map(|p| p.dimensions)
+            .max()
+            .unwrap_or(0);
+        if cardinality == 0 {
+            return RelationStats {
+                cardinality: 0,
+                dimensions,
+                min_score: 0.0,
+                max_score: 0.0,
+                mean_score: 0.0,
+                score_stddev: 0.0,
+                score_skewness: 0.0,
+            };
+        }
+        let n = cardinality as f64;
+        let mut min_score = f64::INFINITY;
+        let mut max_score = f64::NEG_INFINITY;
+        // Raw moment sums Σx, Σx², Σx³ reconstructed from each part's
+        // (mean, stddev, skewness).
+        let (mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0);
+        for p in parts.iter().filter(|p| p.cardinality > 0) {
+            min_score = min_score.min(p.min_score);
+            max_score = max_score.max(p.max_score);
+            let m = p.cardinality as f64;
+            let mu = p.mean_score;
+            let var = p.score_stddev * p.score_stddev;
+            let e2 = var + mu * mu;
+            // skew = E[(x-μ)³]/σ³  ⇒  E[x³] = skew·σ³ + 3μE[x²] − 2μ³.
+            let central3 = p.score_skewness * p.score_stddev.powi(3);
+            let e3 = central3 + 3.0 * mu * e2 - 2.0 * mu * mu * mu;
+            s1 += m * mu;
+            s2 += m * e2;
+            s3 += m * e3;
+        }
+        let mean_score = s1 / n;
+        let variance = (s2 / n - mean_score * mean_score).max(0.0);
+        let score_stddev = variance.sqrt();
+        let score_skewness = if score_stddev > 1e-12 {
+            let central3 =
+                s3 / n - 3.0 * mean_score * (s2 / n) + 2.0 * mean_score * mean_score * mean_score;
+            central3 / score_stddev.powi(3)
+        } else {
+            0.0
+        };
+        RelationStats {
+            cardinality,
+            dimensions,
+            min_score,
+            max_score,
+            mean_score,
+            score_stddev,
+            score_skewness,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -200,6 +281,72 @@ mod tests {
             stats.score_skewness
         );
         assert!(stats.is_score_skewed());
+    }
+
+    #[test]
+    fn absorb_sums_depths_elementwise() {
+        let mut a = AccessStats::new(2);
+        a.record_access(0);
+        a.record_access(1);
+        let mut b = AccessStats::new(2);
+        b.record_access(1);
+        b.record_access(1);
+        a.absorb(&b);
+        assert_eq!(a.depths(), &[1, 3]);
+        assert_eq!(a.sum_depths(), 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn absorb_rejects_mismatched_arity() {
+        AccessStats::new(2).absorb(&AccessStats::new(3));
+    }
+
+    #[test]
+    fn combine_matches_from_tuples() {
+        // Deterministic, deliberately skewed scores split across 3 parts.
+        let scores: Vec<f64> = (0..60)
+            .map(|i| {
+                let u = ((i * 37) % 100) as f64 / 100.0 + 0.005;
+                u * u * u // cubing skews the distribution
+            })
+            .collect();
+        let all = tuples_with_scores(&scores);
+        let whole = RelationStats::from_tuples(&all);
+        let parts: Vec<RelationStats> = (0..3)
+            .map(|s| {
+                let chunk: Vec<Tuple> = all
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| i % 3 == s)
+                    .map(|(_, t)| t.clone())
+                    .collect();
+                RelationStats::from_tuples(&chunk)
+            })
+            .collect();
+        let combined = RelationStats::combine(&parts);
+        assert_eq!(combined.cardinality, whole.cardinality);
+        assert_eq!(combined.dimensions, whole.dimensions);
+        assert_eq!(combined.min_score, whole.min_score);
+        assert_eq!(combined.max_score, whole.max_score);
+        assert!((combined.mean_score - whole.mean_score).abs() < 1e-9);
+        assert!((combined.score_stddev - whole.score_stddev).abs() < 1e-9);
+        assert!((combined.score_skewness - whole.score_skewness).abs() < 1e-6);
+    }
+
+    #[test]
+    fn combine_handles_empty_parts() {
+        let empty = RelationStats::from_tuples(&[]);
+        let some = RelationStats::from_tuples(&tuples_with_scores(&[0.3, 0.7]));
+        let combined = RelationStats::combine(&[empty, some, empty]);
+        assert_eq!(combined.cardinality, 2);
+        assert_eq!(combined.dimensions, 2);
+        assert_eq!(combined.min_score, 0.3);
+        assert_eq!(combined.max_score, 0.7);
+        assert!((combined.mean_score - 0.5).abs() < 1e-12);
+        let all_empty = RelationStats::combine(&[empty, empty]);
+        assert_eq!(all_empty.cardinality, 0);
+        assert_eq!(all_empty.max_score, 0.0);
     }
 
     #[test]

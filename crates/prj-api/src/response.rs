@@ -13,7 +13,7 @@ pub struct ResultRow {
 }
 
 /// Engine statistics as reported to clients.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct StatsReport {
     /// Total queries served (cold + cached).
     pub queries: u64,
@@ -29,6 +29,15 @@ pub struct StatsReport {
     pub cache_invalidations: u64,
     /// Fleet-wide `sumDepths` (the paper's I/O metric).
     pub total_sum_depths: u64,
+    /// Number of spatial shards every relation is partitioned into (1 =
+    /// unsharded).
+    pub shards: usize,
+    /// Per-shard total sorted accesses performed by partitioned execution
+    /// units, indexed by shard (empty until a query executes).
+    pub shard_depths: Vec<u64>,
+    /// Per-shard total execution-unit wall time in microseconds, indexed by
+    /// shard (parallel to `shard_depths`).
+    pub shard_micros: Vec<u64>,
 }
 
 /// A protocol response.

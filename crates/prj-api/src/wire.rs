@@ -109,6 +109,22 @@ fn parse_f64_list(s: &str) -> Result<Vec<f64>, ApiError> {
     s.split(',').map(parse_f64).collect()
 }
 
+fn parse_u64_list(s: &str) -> Result<Vec<u64>, ApiError> {
+    if s.is_empty() {
+        return Ok(Vec::new());
+    }
+    s.split(',').map(parse_u64).collect()
+}
+
+fn encode_u64_list(out: &mut String, values: &[u64]) {
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{v}");
+    }
+}
+
 fn encode_f64_list(out: &mut String, values: &[f64]) {
     for (i, v) in values.iter().enumerate() {
         if i > 0 {
@@ -153,6 +169,12 @@ fn parse_tuples(s: &str) -> Result<Vec<TupleData>, ApiError> {
             let (coords, score) = t.rsplit_once(':').ok_or_else(|| {
                 ApiError::malformed(format!("tuple {t:?} is missing its :score suffix"))
             })?;
+            if coords.is_empty() {
+                // The grammar requires at least one coordinate per tuple.
+                return Err(ApiError::malformed(format!(
+                    "tuple {t:?} has no coordinates"
+                )));
+            }
             Ok(TupleData {
                 coords: parse_f64_list(coords)?,
                 score: parse_f64(score)?,
@@ -459,15 +481,26 @@ pub fn encode_response(response: &Response) -> String {
             let _ = write!(
                 out,
                 " ok stats queries={} cache_hits={} executed={} relations={} \
-                 cache_entries={} invalidations={} sum_depths={}",
+                 cache_entries={} invalidations={} sum_depths={} shards={}",
                 s.queries,
                 s.cache_hits,
                 s.executed,
                 s.relations,
                 s.cache_entries,
                 s.cache_invalidations,
-                s.total_sum_depths
+                s.total_sum_depths,
+                s.shards.max(1),
             );
+            // Per-shard breakdowns are omitted while empty (nothing has
+            // executed yet) so the common line stays short.
+            if !s.shard_depths.is_empty() {
+                out.push_str(" shard_depths=");
+                encode_u64_list(&mut out, &s.shard_depths);
+            }
+            if !s.shard_micros.is_empty() {
+                out.push_str(" shard_micros=");
+                encode_u64_list(&mut out, &s.shard_micros);
+            }
         }
         Response::Error(e) => {
             // The message runs to the end of the line, so strip newlines.
@@ -539,6 +572,14 @@ pub fn decode_response(line: &str) -> Result<Response, ApiError> {
             cache_entries: parse_usize(require(&fields, "cache_entries", form)?)?,
             cache_invalidations: parse_u64(require(&fields, "invalidations", form)?)?,
             total_sum_depths: parse_u64(require(&fields, "sum_depths", form)?)?,
+            // Absent on lines from pre-sharding peers: default to one shard
+            // and no breakdown.
+            shards: field(&fields, "shards")
+                .map(parse_usize)
+                .transpose()?
+                .unwrap_or(1),
+            shard_depths: parse_u64_list(field(&fields, "shard_depths").unwrap_or(""))?,
+            shard_micros: parse_u64_list(field(&fields, "shard_micros").unwrap_or(""))?,
         })),
         other => Err(ApiError::malformed(format!(
             "unknown response form {other:?}"
@@ -647,11 +688,42 @@ mod tests {
             cache_entries: 5,
             cache_invalidations: 2,
             total_sum_depths: 123,
+            shards: 1,
+            shard_depths: Vec::new(),
+            shard_micros: Vec::new(),
+        }));
+        response_round_trip(Response::Stats(StatsReport {
+            queries: 7,
+            cache_hits: 0,
+            executed: 7,
+            relations: 2,
+            cache_entries: 7,
+            cache_invalidations: 0,
+            total_sum_depths: 456,
+            shards: 4,
+            shard_depths: vec![100, 0, 300, 56],
+            shard_micros: vec![90, 0, 250, 40],
         }));
         response_round_trip(Response::Error(ApiError::new(
             ErrorKind::UnknownRelation,
             "no relation named bars; try register first",
         )));
+    }
+
+    #[test]
+    fn stats_without_shard_fields_decode_with_defaults() {
+        // A pre-sharding peer's stats line still decodes (one shard, no
+        // breakdown).
+        let line = "prj/1 ok stats queries=1 cache_hits=0 executed=1 relations=1 \
+                    cache_entries=1 invalidations=0 sum_depths=9";
+        match decode_response(line).unwrap() {
+            Response::Stats(s) => {
+                assert_eq!(s.shards, 1);
+                assert!(s.shard_depths.is_empty());
+                assert!(s.shard_micros.is_empty());
+            }
+            other => panic!("unexpected decode: {other:?}"),
+        }
     }
 
     #[test]

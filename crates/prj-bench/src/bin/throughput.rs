@@ -38,11 +38,17 @@ fn parse_args() -> Result<ThroughputConfig, String> {
                     })
                     .collect::<Result<Vec<usize>, String>>()?;
             }
+            "--shards" => {
+                let v = args.next().ok_or("--shards requires a value")?;
+                config.shards = v.parse().map_err(|_| format!("bad --shards: {v}"))?;
+                if config.shards == 0 {
+                    return Err("--shards must be at least 1".to_string());
+                }
+            }
             "--help" | "-h" => {
-                return Err(
-                    "usage: throughput [--quick] [--queries <n>] [--k <n>] [--threads <a,b,c>]"
-                        .to_string(),
-                );
+                return Err("usage: throughput [--quick] [--queries <n>] [--k <n>] \
+                     [--threads <a,b,c>] [--shards <n>]"
+                    .to_string());
             }
             other => return Err(format!("unknown argument: {other}")),
         }
@@ -59,8 +65,8 @@ fn main() {
         }
     };
     println!(
-        "prj-engine throughput: {} queries/wave, k={}, {} relations at density {}\n",
-        config.queries, config.k, config.data.n_relations, config.data.density
+        "prj-engine throughput: {} queries/wave, k={}, {} relations at density {}, {} shard(s)\n",
+        config.queries, config.k, config.data.n_relations, config.data.density, config.shards
     );
     let outcomes = run_throughput(&config);
     print!("{}", render_throughput(&outcomes));

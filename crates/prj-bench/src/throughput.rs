@@ -25,6 +25,8 @@ pub struct ThroughputConfig {
     pub queries: usize,
     /// Requested results per query.
     pub k: usize,
+    /// Spatial shards per relation (1 = unsharded).
+    pub shards: usize,
     /// Synthetic data parameters for the registered relations.
     pub data: SyntheticConfig,
 }
@@ -35,6 +37,7 @@ impl Default for ThroughputConfig {
             thread_counts: vec![1, 2, 4, 8],
             queries: 256,
             k: 10,
+            shards: 1,
             data: SyntheticConfig {
                 n_relations: 3,
                 density: 60.0,
@@ -51,6 +54,7 @@ impl ThroughputConfig {
             thread_counts: vec![1, 2],
             queries: 24,
             k: 3,
+            shards: 1,
             data: SyntheticConfig {
                 n_relations: 2,
                 density: 20.0,
@@ -128,6 +132,7 @@ pub fn run_throughput(config: &ThroughputConfig) -> Vec<ThroughputOutcome> {
             let engine: Engine = EngineBuilder::default()
                 .threads(threads)
                 .cache_capacity(config.queries * 2)
+                .shards(config.shards)
                 .build();
             let ids: Vec<RelationId> = relations
                 .iter()
@@ -188,6 +193,19 @@ pub fn render_throughput(outcomes: &[ThroughputOutcome]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn sharded_smoke_run_matches_unsharded_counts() {
+        let outcomes = run_throughput(&ThroughputConfig {
+            shards: 4,
+            ..ThroughputConfig::smoke()
+        });
+        assert_eq!(outcomes.len(), 2);
+        for o in &outcomes {
+            assert!(o.cold_qps > 0.0);
+            assert!((o.cache_hit_rate - 0.5).abs() < 1e-9);
+        }
+    }
 
     #[test]
     fn smoke_run_produces_consistent_outcomes() {

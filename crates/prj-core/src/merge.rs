@@ -1,0 +1,343 @@
+//! Bound-aware merging of partitioned (sharded) ProxRJ runs.
+//!
+//! The ProxRJ combination space factorises over any partition of the first
+//! relation: a combination `τ_1 × … × τ_n` belongs to exactly one part —
+//! the one holding `τ_1`. A sharded execution therefore runs one complete
+//! ProxRJ instance per part (each with the *global* `K`, each certified by
+//! its own bound `t_j`) and recombines them here:
+//!
+//! * [`merge_results`] — k-way merges completed per-part results into the
+//!   exact global top-K. Because any part-`j` combination missing from part
+//!   `j`'s output scores at most `t_j`, the merged bound `t = max_j t_j`
+//!   upper-bounds every unreturned combination, so the paper's stopping
+//!   condition — `K`-th retained score ≥ `t` — carries over to the merged
+//!   result verbatim. [`RankJoinResult::certifies_top_k`] checks exactly
+//!   this invariant and is what the differential test harness asserts.
+//! * [`CertifiedMerge`] — the same recombination for *incremental* runs:
+//!   each part emits certified results in non-increasing score order
+//!   ([`crate::StreamingRun::next_certified`]), and the merge keeps a
+//!   one-result lookahead per part, always yielding the globally best head.
+//!   Each emitted result is therefore certified globally while each part
+//!   has only done the work its own next result required.
+//!
+//! Ties are resolved by [`ScoredCombination::compare`] (score, then member
+//! tuple ids), which makes merged output independent of shard assignment —
+//! the property the differential suite pins down bit-for-bit.
+
+use crate::combination::{ScoredCombination, TopKBuffer};
+use crate::operator::{RankJoinResult, RunMetrics};
+use prj_access::{AccessStats, HeadMerge};
+use std::cmp::Ordering;
+
+impl RankJoinResult {
+    /// `true` when the result is certified exact for `top_k(k)`: either the
+    /// `k`-th retained score reaches the final bound (within `tolerance`),
+    /// or fewer than `k` combinations exist at all and the bound collapsed
+    /// to `−∞` (exhaustion). This is the validity condition the `sumDepths`
+    /// metric is reported under — the run stopped *because* nothing unseen
+    /// could improve the answer, not because it gave up.
+    pub fn certifies_top_k(&self, k: usize, tolerance: f64) -> bool {
+        if self.metrics.hit_access_cap {
+            return false;
+        }
+        if self.combinations.len() < k {
+            return self.metrics.final_bound == f64::NEG_INFINITY;
+        }
+        match self.combinations.get(k.saturating_sub(1)) {
+            Some(kth) => kth.score >= self.metrics.final_bound - tolerance,
+            None => true, // k == 0: nothing to certify
+        }
+    }
+}
+
+/// Merges completed per-part results into the exact global top-`k`.
+///
+/// Every part must cover a disjoint slice of the combination space and have
+/// been run with the same `k`, relation arity and scoring function. The
+/// merged metrics aggregate the parts' *work* (times, bound updates, depths
+/// sum elementwise), and the merged `final_bound` is the maximum of the
+/// parts' bounds — the tightest value that still upper-bounds every
+/// combination no part returned.
+///
+/// # Panics
+/// Panics when `parts` is empty or the parts disagree on relation arity.
+pub fn merge_results(k: usize, parts: Vec<RankJoinResult>) -> RankJoinResult {
+    assert!(!parts.is_empty(), "cannot merge zero partial results");
+    let n = parts[0].stats.num_relations();
+    let mut output = TopKBuffer::new(k);
+    let mut stats = AccessStats::new(n);
+    let mut metrics = RunMetrics {
+        final_bound: f64::NEG_INFINITY,
+        ..RunMetrics::default()
+    };
+    for part in parts {
+        stats.absorb(&part.stats);
+        metrics.total_time += part.metrics.total_time;
+        metrics.bound_time += part.metrics.bound_time;
+        metrics.dominance_time += part.metrics.dominance_time;
+        metrics.bound_updates += part.metrics.bound_updates;
+        metrics.combinations_formed += part.metrics.combinations_formed;
+        metrics.dominated_partials += part.metrics.dominated_partials;
+        metrics.hit_access_cap |= part.metrics.hit_access_cap;
+        metrics.final_bound = metrics.final_bound.max(part.metrics.final_bound);
+        for combo in part.combinations {
+            output.insert(combo);
+        }
+    }
+    RankJoinResult {
+        combinations: output.into_sorted_vec(),
+        stats,
+        metrics,
+    }
+}
+
+/// An incremental k-way merge over per-part certified result streams.
+///
+/// `pull(j)` must return part `j`'s next certified result (non-increasing
+/// in score within each part), or `None` once the part is exhausted. The
+/// merge holds one lookahead head per part — filled lazily, so constructing
+/// it costs nothing — and emits at most `limit` results in the globally
+/// sorted order of [`ScoredCombination::compare`].
+pub struct CertifiedMerge<P> {
+    pull: P,
+    /// The shared k-way head-merge mechanism (`prj_access::HeadMerge`),
+    /// instantiated here over scored combinations.
+    merge: HeadMerge<ScoredCombination>,
+    emitted: usize,
+    limit: usize,
+}
+
+impl<P: FnMut(usize) -> Option<ScoredCombination>> CertifiedMerge<P> {
+    /// A merge over `parts` sources, emitting at most `limit` results.
+    pub fn new(parts: usize, limit: usize, pull: P) -> Self {
+        CertifiedMerge {
+            pull,
+            merge: HeadMerge::new(parts),
+            emitted: 0,
+            limit,
+        }
+    }
+
+    /// Number of results emitted so far.
+    pub fn emitted(&self) -> usize {
+        self.emitted
+    }
+
+    /// The current lookahead heads, one per part (`None` for parts whose
+    /// stream is drained or not yet primed). A pulled-but-unemitted head is
+    /// certified yet outside the merged output, so when a consumer stops at
+    /// `limit` the tightest valid bound on everything unreturned is the
+    /// maximum over these head scores and the parts' own residual bounds.
+    pub fn heads(&self) -> &[Option<ScoredCombination>] {
+        self.merge.heads()
+    }
+
+    /// The next globally certified result, best first; `None` once `limit`
+    /// results have been emitted or every part is exhausted.
+    pub fn next_merged(&mut self) -> Option<ScoredCombination> {
+        if self.emitted >= self.limit {
+            return None;
+        }
+        let pull = &mut self.pull;
+        let combo = self.merge.next(|a, b| a.compare(b), &mut *pull)?;
+        debug_assert!(
+            self.merge
+                .heads()
+                .iter()
+                .flatten()
+                .all(|head| combo.compare(head) != Ordering::Greater),
+            "part streams must be non-increasing"
+        );
+        self.emitted += 1;
+        Some(combo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::Algorithm;
+    use crate::problem::ProblemBuilder;
+    use crate::scoring::EuclideanLogScore;
+    use prj_access::{Tuple, TupleId};
+    use prj_geometry::Vector;
+
+    fn mk(rel: usize, rows: &[([f64; 2], f64)]) -> Vec<Tuple> {
+        rows.iter()
+            .enumerate()
+            .map(|(i, (x, s))| Tuple::new(TupleId::new(rel, i), Vector::from(*x), *s))
+            .collect()
+    }
+
+    fn table1() -> Vec<Vec<Tuple>> {
+        vec![
+            mk(0, &[([0.0, -0.5], 0.5), ([0.0, 1.0], 1.0)]),
+            mk(1, &[([1.0, 1.0], 1.0), ([-2.0, 2.0], 0.8)]),
+            mk(2, &[([-1.0, 1.0], 1.0), ([-2.0, -2.0], 0.4)]),
+        ]
+    }
+
+    /// Runs Table 1 with the first relation restricted to one tuple each —
+    /// a two-way partition of the combination space — and checks the merge
+    /// against the unpartitioned run.
+    #[test]
+    fn merged_partition_runs_equal_the_whole_run() {
+        let k = 8;
+        let whole = {
+            let mut problem = ProblemBuilder::new(
+                Vector::from([0.0, 0.0]),
+                EuclideanLogScore::new(1.0, 1.0, 1.0),
+            )
+            .k(k)
+            .relations_from_tuples(table1())
+            .build()
+            .unwrap();
+            Algorithm::Tbrr.run(&mut problem).unwrap()
+        };
+
+        let parts: Vec<RankJoinResult> = (0..2)
+            .map(|part| {
+                let mut rels = table1();
+                rels[0] = vec![rels[0][part].clone()];
+                let mut problem = ProblemBuilder::new(
+                    Vector::from([0.0, 0.0]),
+                    EuclideanLogScore::new(1.0, 1.0, 1.0),
+                )
+                .k(k)
+                .relations_from_tuples(rels)
+                .build()
+                .unwrap();
+                Algorithm::Tbrr.run(&mut problem).unwrap()
+            })
+            .collect();
+        let merged = merge_results(k, parts);
+        assert_eq!(merged.combinations, whole.combinations);
+        assert!(merged.certifies_top_k(k, 1e-9));
+        assert_eq!(merged.stats.num_relations(), 3);
+        // Both partitions exhausted, so the merged bound collapsed.
+        assert_eq!(merged.metrics.final_bound, f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn merged_bound_is_the_max_of_part_bounds() {
+        let mk_result = |scores: &[f64], bound: f64| RankJoinResult {
+            combinations: scores
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| {
+                    ScoredCombination::new(
+                        vec![Tuple::new(TupleId::new(0, i), Vector::from([s, 0.0]), 0.5)],
+                        s,
+                    )
+                })
+                .collect(),
+            stats: AccessStats::new(1),
+            metrics: RunMetrics {
+                final_bound: bound,
+                ..RunMetrics::default()
+            },
+        };
+        let merged = merge_results(
+            2,
+            vec![mk_result(&[-1.0, -3.0], -4.0), mk_result(&[-2.0], -2.5)],
+        );
+        assert_eq!(merged.metrics.final_bound, -2.5);
+        let scores: Vec<f64> = merged.combinations.iter().map(|c| c.score).collect();
+        assert_eq!(scores, vec![-1.0, -2.0]);
+        assert!(merged.certifies_top_k(2, 1e-9));
+        // A part that only certified down to −2.5 cannot certify a top-3
+        // whose 3rd entry would sit below that bound.
+        let merged = merge_results(
+            3,
+            vec![mk_result(&[-1.0, -3.0], -4.0), mk_result(&[-2.0], -2.5)],
+        );
+        assert!(!merged.certifies_top_k(3, 1e-9));
+    }
+
+    #[test]
+    fn certified_merge_interleaves_streams_in_global_order() {
+        let part_results: Vec<Vec<ScoredCombination>> =
+            vec![vec![-1.0, -4.0, -6.0], vec![-2.0, -3.0], vec![], vec![-5.0]]
+                .into_iter()
+                .enumerate()
+                .map(|(rel, scores)| {
+                    scores
+                        .into_iter()
+                        .enumerate()
+                        .map(|(i, s)| {
+                            ScoredCombination::new(
+                                vec![Tuple::new(TupleId::new(rel, i), Vector::from([0.0]), 0.5)],
+                                s,
+                            )
+                        })
+                        .collect()
+                })
+                .collect();
+        let mut cursors = vec![0usize; part_results.len()];
+        let mut merge = CertifiedMerge::new(4, 5, |j| {
+            let combo = part_results[j].get(cursors[j]).cloned();
+            cursors[j] += combo.is_some() as usize;
+            combo
+        });
+        let mut scores = Vec::new();
+        while let Some(combo) = merge.next_merged() {
+            scores.push(combo.score);
+        }
+        // Limit 5 cuts the 6-long union.
+        assert_eq!(scores, vec![-1.0, -2.0, -3.0, -4.0, -5.0]);
+        assert_eq!(merge.emitted(), 5);
+        assert!(merge.next_merged().is_none());
+    }
+
+    #[test]
+    fn certified_merge_breaks_ties_by_ids() {
+        let combo = |rel: usize, idx: usize, score: f64| {
+            ScoredCombination::new(
+                vec![Tuple::new(TupleId::new(rel, idx), Vector::from([0.0]), 0.5)],
+                score,
+            )
+        };
+        let parts = [vec![combo(0, 7, -1.0)], vec![combo(0, 2, -1.0)]];
+        let mut cursors = [0usize; 2];
+        let mut merge = CertifiedMerge::new(2, 10, |j| {
+            let c = parts[j].get(cursors[j]).cloned();
+            cursors[j] += c.is_some() as usize;
+            c
+        });
+        let ids: Vec<usize> = std::iter::from_fn(|| merge.next_merged())
+            .map(|c| c.tuples[0].id.index)
+            .collect();
+        assert_eq!(ids, vec![2, 7], "equal scores order by member ids");
+    }
+
+    #[test]
+    fn certifies_top_k_edge_cases() {
+        let empty = RankJoinResult {
+            combinations: Vec::new(),
+            stats: AccessStats::new(1),
+            metrics: RunMetrics {
+                final_bound: f64::NEG_INFINITY,
+                ..RunMetrics::default()
+            },
+        };
+        assert!(empty.certifies_top_k(5, 1e-9), "exhausted empty result");
+        let capped = RankJoinResult {
+            metrics: RunMetrics {
+                final_bound: f64::NEG_INFINITY,
+                hit_access_cap: true,
+                ..RunMetrics::default()
+            },
+            ..empty
+        };
+        assert!(
+            !capped.certifies_top_k(5, 1e-9),
+            "capped run is uncertified"
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn merging_nothing_panics() {
+        let _ = merge_results(1, Vec::new());
+    }
+}

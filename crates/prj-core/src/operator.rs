@@ -161,9 +161,18 @@ impl RunCore {
             return false;
         }
         // Termination (Algorithm 1, line 3): K results whose worst score
-        // already matches the bound on anything still unseen.
+        // *strictly dominates* the bound on anything still unseen (beyond
+        // the numerical tolerance). Requiring strict dominance instead of
+        // the paper's `≥` makes the returned set deterministic under score
+        // ties: an unseen combination tying the K-th score keeps the bound
+        // at that score, so the run reads on until every tying combination
+        // has been formed and the by-id tie-break (the paper leaves the
+        // criterion open) resolves them — independent of traversal order,
+        // pulling strategy, or shard layout. With distinct scores the bound
+        // drops strictly below the K-th score anyway, so this reads no
+        // deeper on generic inputs.
         if self.output.len() >= self.k
-            && self.output.kth_score() >= self.t - self.config.termination_tolerance
+            && self.output.kth_score() >= self.t + self.config.termination_tolerance
         {
             self.done = true;
             return false;
@@ -238,12 +247,13 @@ impl RunCore {
                 .find(|c| !self.emitted.contains(&c.ids()))
                 .cloned();
             if let Some(combo) = next {
-                // The entry is final once nothing unseen can beat it: every
-                // future combination uses at least one unseen tuple and
-                // therefore scores at most `t`. Anything that later sorts
-                // above an emitted entry is itself within tolerance of `t`
-                // (t never increases), so it is certified too.
-                if self.done || combo.score >= self.t - self.config.termination_tolerance {
+                // The entry is final once nothing unseen can beat *or tie*
+                // it: every future combination uses at least one unseen
+                // tuple and therefore scores at most `t`, so strict
+                // dominance over `t` certifies both the score rank and the
+                // by-id tie-break (an unseen tie could win on ids; see
+                // `step_inner`).
+                if self.done || combo.score >= self.t + self.config.termination_tolerance {
                     self.emitted.push(combo.ids());
                     return Some(combo);
                 }
@@ -341,6 +351,23 @@ impl<S: ScoringFunction> StreamingRun<S> {
     /// Per-relation depths read so far.
     pub fn stats(&self) -> &AccessStats {
         &self.core.stats
+    }
+
+    /// The current upper bound `t` on any combination that still uses an
+    /// unseen tuple, or `−∞` once every relation is exhausted. Sharded
+    /// executions use this to aggregate a valid merged bound out of
+    /// partially drained runs.
+    pub fn current_bound(&self) -> f64 {
+        if self.core.state.all_exhausted() {
+            f64::NEG_INFINITY
+        } else {
+            self.core.t
+        }
+    }
+
+    /// Instrumentation collected so far (work time, bound evaluations).
+    pub fn metrics(&self) -> &RunMetrics {
+        &self.core.metrics
     }
 
     /// Drives the run to completion and returns the full result; equivalent

@@ -19,7 +19,11 @@ pub struct ProxRjConfig {
     /// experiments; `None` = unlimited). When the cap is hit the current
     /// top-K is returned even though it may not be certified.
     pub max_accesses: Option<usize>,
-    /// Numerical slack used by the termination test `kth_score ≥ t − tol`.
+    /// Numerical margin used by the termination test `kth_score ≥ t + tol`:
+    /// the K-th retained score must *strictly dominate* the bound before
+    /// the run stops, so score ties at the boundary are read through and
+    /// resolved by the deterministic id tie-break instead of depending on
+    /// traversal order.
     pub termination_tolerance: f64,
 }
 

@@ -7,6 +7,7 @@
 //!     --addr HOST:PORT   listen address (default 127.0.0.1:7878; port 0 = ephemeral)
 //!     --threads N        engine worker threads (default: available parallelism)
 //!     --cache N          result-cache capacity in entries (default 1024)
+//!     --shards N         spatial shards per relation (default 1 = unsharded)
 //!     --table1           preload the paper's Table 1 relations as R1, R2, R3
 //!     --self-check       bind an ephemeral port, run one client round-trip, exit
 //! ```
@@ -29,6 +30,7 @@ struct Options {
     addr: String,
     threads: Option<usize>,
     cache: usize,
+    shards: usize,
     table1: bool,
     self_check: bool,
 }
@@ -38,6 +40,7 @@ fn parse_args() -> Result<Options, String> {
         addr: "127.0.0.1:7878".to_string(),
         threads: None,
         cache: 1024,
+        shards: 1,
         table1: false,
         self_check: false,
     };
@@ -58,13 +61,21 @@ fn parse_args() -> Result<Options, String> {
                     .parse()
                     .map_err(|_| "--cache expects an integer".to_string())?
             }
+            "--shards" => {
+                options.shards = value("--shards")?
+                    .parse()
+                    .map_err(|_| "--shards expects an integer".to_string())?;
+                if options.shards == 0 {
+                    return Err("--shards must be at least 1".to_string());
+                }
+            }
             "--table1" => options.table1 = true,
             "--self-check" => options.self_check = true,
             "--help" | "-h" => {
                 println!(
                     "prj-serve: TCP front-end for the ProxRJ engine\n\
                      usage: prj-serve [--addr HOST:PORT] [--threads N] [--cache N] \
-                     [--table1] [--self-check]"
+                     [--shards N] [--table1] [--self-check]"
                 );
                 std::process::exit(0);
             }
@@ -75,7 +86,9 @@ fn parse_args() -> Result<Options, String> {
 }
 
 fn build_session(options: &Options) -> Arc<Session> {
-    let mut builder = EngineBuilder::default().cache_capacity(options.cache);
+    let mut builder = EngineBuilder::default()
+        .cache_capacity(options.cache)
+        .shards(options.shards);
     if let Some(threads) = options.threads {
         builder = builder.threads(threads);
     }
@@ -151,6 +164,18 @@ fn self_check(options: &Options) -> Result<(), String> {
     let expected_relations = if options.table1 { 4 } else { 1 };
     if stats.queries != 2 || stats.relations != expected_relations {
         return Err(format!("unexpected stats: {stats:?}"));
+    }
+    if stats.shards != options.shards {
+        return Err(format!(
+            "engine reports {} shards, expected {}",
+            stats.shards, options.shards
+        ));
+    }
+    if stats.shard_depths.iter().sum::<u64>() != stats.total_sum_depths {
+        return Err(format!(
+            "per-shard depths {:?} do not add up to sumDepths {}",
+            stats.shard_depths, stats.total_sum_depths
+        ));
     }
     server.shutdown();
     println!("self-check ok: served {} queries on {addr}", stats.queries);

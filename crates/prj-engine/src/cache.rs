@@ -9,10 +9,11 @@
 //! hit/miss/invalidation metrics.
 //!
 //! Relation contents are represented in the key by `(relation index,
-//! epoch)` pairs: the catalog bumps a relation's epoch on every append or
-//! drop, so a query that runs after a mutation carries a different key and
-//! *cannot* match a pre-mutation entry. That makes staleness structurally
-//! impossible rather than a matter of carefully ordered invalidation calls;
+//! per-shard epoch vector)` pairs: the catalog bumps a shard's epoch on
+//! every append that lands on it (and the whole vector on a drop), so a
+//! query that runs after a mutation carries a different key and *cannot*
+//! match a pre-mutation entry. That makes staleness structurally impossible
+//! rather than a matter of carefully ordered invalidation calls;
 //! [`ResultCache::invalidate_relation`] additionally purges the unreachable
 //! entries eagerly so they stop occupying capacity.
 //!
@@ -30,8 +31,9 @@ use std::sync::{Arc, Mutex};
 /// Cache key: every input that determines a run's output.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct CacheKey {
-    /// The joined relations as `(index, epoch)` pairs, in join order.
-    relations: Vec<(usize, u64)>,
+    /// The joined relations as `(index, per-shard epoch vector)` pairs, in
+    /// join order.
+    relations: Vec<(usize, Vec<u64>)>,
     query_bits: Vec<u64>,
     k: usize,
     access_kind: AccessKind,
@@ -46,10 +48,11 @@ pub struct CacheKey {
 
 impl CacheKey {
     /// Builds a key from the run's determining inputs. `relations` pairs
-    /// each relation index with the epoch of the snapshot the run reads, so
-    /// the key must be built from the same snapshot that is executed.
+    /// each relation index with the epoch vector of the snapshot the run
+    /// reads, so the key must be built from the same snapshot that is
+    /// executed.
     pub fn new(
-        relations: Vec<(usize, u64)>,
+        relations: Vec<(usize, Vec<u64>)>,
         query: &Vector,
         k: usize,
         access_kind: AccessKind,
@@ -223,10 +226,10 @@ mod tests {
     use prj_core::RunMetrics;
 
     fn key(q: f64, k: usize) -> CacheKey {
-        key_at_epochs(q, k, 0, 0)
+        key_at_epochs(q, k, vec![0, 0], vec![0])
     }
 
-    fn key_at_epochs(q: f64, k: usize, e0: u64, e1: u64) -> CacheKey {
+    fn key_at_epochs(q: f64, k: usize, e0: Vec<u64>, e1: Vec<u64>) -> CacheKey {
         CacheKey::new(
             vec![(0, e0), (1, e1)],
             &Vector::from([q, 0.0]),
@@ -269,12 +272,25 @@ mod tests {
     }
 
     #[test]
-    fn different_epochs_never_share_an_entry() {
+    fn different_epoch_vectors_never_share_an_entry() {
         let cache = ResultCache::new(4);
-        cache.insert(key_at_epochs(1.0, 5, 0, 0), dummy_execution());
-        assert!(cache.get(&key_at_epochs(1.0, 5, 1, 0)).is_none());
-        assert!(cache.get(&key_at_epochs(1.0, 5, 0, 1)).is_none());
-        assert!(cache.get(&key_at_epochs(1.0, 5, 0, 0)).is_some());
+        cache.insert(
+            key_at_epochs(1.0, 5, vec![0, 0], vec![0]),
+            dummy_execution(),
+        );
+        // Bumping any single shard of either relation changes the key.
+        assert!(cache
+            .get(&key_at_epochs(1.0, 5, vec![1, 0], vec![0]))
+            .is_none());
+        assert!(cache
+            .get(&key_at_epochs(1.0, 5, vec![0, 1], vec![0]))
+            .is_none());
+        assert!(cache
+            .get(&key_at_epochs(1.0, 5, vec![0, 0], vec![1]))
+            .is_none());
+        assert!(cache
+            .get(&key_at_epochs(1.0, 5, vec![0, 0], vec![0]))
+            .is_some());
     }
 
     #[test]
@@ -283,7 +299,7 @@ mod tests {
         cache.insert(key(1.0, 1), dummy_execution());
         cache.insert(key(2.0, 1), dummy_execution());
         let other = CacheKey::new(
-            vec![(7, 0)],
+            vec![(7, vec![0])],
             &Vector::from([0.0, 0.0]),
             1,
             AccessKind::Distance,

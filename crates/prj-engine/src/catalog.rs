@@ -1,46 +1,53 @@
 //! The relation catalog: register once, share everywhere, mutate behind
-//! epochs.
+//! per-shard epochs.
 //!
 //! A serving engine cannot afford to bulk-load an R-tree per query the way
 //! the one-shot [`prj_core::ProblemBuilder`] does. The [`Catalog`] therefore
-//! builds each relation's access structures at registration time —
-//!
-//! * an R-tree over the tuples for distance-based access,
-//! * a score-sorted tuple array for score-based access,
-//! * [`RelationStats`] for the planner —
-//!
-//! and hands them out behind [`Arc`]s. Creating a per-query [`SortedAccess`]
-//! view ([`CatalogRelation::distance_view`] / [`CatalogRelation::score_view`])
-//! is O(1) in the relation size, so thousands of concurrent queries share one
+//! builds each relation's access structures at registration time and hands
+//! them out behind [`Arc`]s. Creating a per-query [`SortedAccess`] view is
+//! O(1) in the relation size, so thousands of concurrent queries share one
 //! copy of the data without locks on the read path.
 //!
-//! ## Mutation and epochs
+//! ## Sharding
+//!
+//! Each relation is partitioned into `S` spatial shards by the catalog's
+//! [`ShardingPolicy`] (hash-by-grid-cell; `S = 1` disables partitioning).
+//! Every shard is a self-contained [`RelationShard`]: its own tuple slice,
+//! R-tree, score-sorted array, [`RelationStats`] and **epoch** counter.
+//! Shard-local views ([`CatalogRelation::shard_distance_view`], …) drive the
+//! executor's partitioned runs; merged views
+//! ([`CatalogRelation::distance_view`], …) recombine the shards into one
+//! globally sorted access stream via [`prj_access::MergedAccess`], so
+//! unsharded consumers observe exactly the Definition 2.1 contract.
+//!
+//! ## Mutation and epoch vectors
 //!
 //! Relations are *mutable*: [`Catalog::append`] adds tuples and
-//! [`Catalog::drop_relation`] removes a relation. Every mutation bumps the
-//! relation's **epoch**, a monotone counter carried by each
-//! [`CatalogRelation`] snapshot. Mutations are copy-on-write: an append
-//! clones the shared R-tree and extends it with the engine's *incremental*
-//! insert (no bulk re-load), publishes the new snapshot under the bumped
-//! epoch, and leaves in-flight queries reading their old `Arc`s untouched.
-//! The engine keys its result cache by `(relation, epoch)` pairs, which is
-//! what makes a memoised pre-mutation result unservable afterwards.
+//! [`Catalog::drop_relation`] removes a relation. Mutations are
+//! copy-on-write and **shard-local**: an append routes each new tuple to its
+//! shard, clones only the touched shards' R-trees (an O(|relation|/S)
+//! publish instead of O(|relation|)), extends them with the engine's
+//! incremental insert, and bumps only those shards' epochs. In-flight
+//! queries keep reading their old `Arc`s untouched. The engine keys its
+//! result cache by each relation's **epoch vector**
+//! ([`CatalogRelation::epochs`]), which is what makes a memoised
+//! pre-mutation result structurally unservable afterwards — ingest on one
+//! shard invalidates exactly the results that could have read that shard's
+//! relation, and nothing needs carefully ordered invalidation calls.
 //!
-//! The cost model is read-optimised: an append pays O(relation) to publish
-//! its snapshot (tree clone + incremental inserts + score re-sort) so that
-//! readers pay nothing — the right trade for the serving engine's
-//! read-mostly workloads. Mutations are serialised by a dedicated mutex
-//! (readers never touch it), so that cost is paid once per append, not per
-//! optimistic retry.
+//! Mutations are serialised by a dedicated mutex (readers never touch it);
+//! nothing that can panic runs under the slot lock, so a bad batch can
+//! never poison it.
 
+use crate::sharding::ShardingPolicy;
 use prj_access::{
-    RelationStats, SharedRTreeRelation, SharedScoreRelation, SortedAccess, Tuple, TupleId,
-    VecRelation,
+    MergeOrder, MergedAccess, RelationStats, SharedRTreeRelation, SharedScoreRelation,
+    SortedAccess, Tuple, TupleId, VecRelation,
 };
 use prj_core::ScoringFunction;
 use prj_geometry::Vector;
 use prj_index::RTree;
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 
 /// Identifier of a registered relation, returned by [`Catalog::register`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -94,29 +101,30 @@ impl std::error::Error for CatalogError {}
 pub struct MutationOutcome {
     /// The mutated relation.
     pub id: RelationId,
-    /// Its epoch after the mutation (strictly greater than before).
+    /// The sum of the relation's per-shard epochs after the mutation
+    /// (strictly greater than before; see [`CatalogRelation::epochs`] for
+    /// the full vector).
     pub epoch: u64,
     /// Its cardinality after the mutation (0 for a drop).
     pub cardinality: usize,
 }
 
-/// One immutable snapshot of a relation: the raw tuples plus the shared
-/// access structures built from them, stamped with the epoch it was
+/// One immutable shard of a relation: a disjoint slice of the tuples plus
+/// the access structures built from them, stamped with the epoch it was
 /// published at.
 #[derive(Debug)]
-pub struct CatalogRelation {
-    name: Arc<str>,
+pub struct RelationShard {
     tuples: Arc<Vec<Tuple>>,
-    /// R-tree over the tuples (distance-based access path).
+    /// R-tree over the shard's tuples (distance-based access path).
     rtree: Arc<RTree<(TupleId, f64)>>,
-    /// Tuples in non-increasing score order (score-based access path).
+    /// The shard's tuples in non-increasing score order (score-based path).
     score_sorted: Arc<Vec<Tuple>>,
     stats: RelationStats,
     epoch: u64,
 }
 
-impl CatalogRelation {
-    fn build(name: &str, tuples: Vec<Tuple>, epoch: u64) -> Self {
+impl RelationShard {
+    fn build(tuples: Vec<Tuple>, epoch: u64) -> Self {
         let stats = RelationStats::from_tuples(&tuples);
         let dim = stats.dimensions.max(1);
         let items: Vec<(Vector, (TupleId, f64))> = tuples
@@ -124,11 +132,10 @@ impl CatalogRelation {
             .map(|t| (t.vector.clone(), (t.id, t.score)))
             .collect();
         let rtree = Arc::new(RTree::bulk_load(dim, items));
-        Self::assemble(Arc::from(name), tuples, rtree, stats, epoch)
+        Self::assemble(tuples, rtree, stats, epoch)
     }
 
     fn assemble(
-        name: Arc<str>,
         tuples: Vec<Tuple>,
         rtree: Arc<RTree<(TupleId, f64)>>,
         stats: RelationStats,
@@ -137,12 +144,11 @@ impl CatalogRelation {
         // Reuse VecRelation's ordering (score desc, ties by id) so catalog
         // views are indistinguishable from single-query sources.
         let score_sorted = Arc::new(
-            VecRelation::score_sorted(name.to_string(), tuples.clone())
+            VecRelation::score_sorted(String::new(), tuples.clone())
                 .sorted_tuples()
                 .to_vec(),
         );
-        CatalogRelation {
-            name,
+        RelationShard {
             tuples: Arc::new(tuples),
             rtree,
             score_sorted,
@@ -151,14 +157,16 @@ impl CatalogRelation {
         }
     }
 
-    /// A new snapshot with `extra` appended, at `epoch`. The R-tree is
-    /// extended copy-on-write with the incremental insert path — no bulk
-    /// re-load — so in-flight readers of the old snapshot are unaffected.
-    fn appended(&self, extra: Vec<Tuple>, epoch: u64) -> CatalogRelation {
+    /// A new shard snapshot with `extra` appended at a bumped epoch. The
+    /// R-tree is extended copy-on-write with the incremental insert path —
+    /// no bulk re-load — so in-flight readers of the old shard are
+    /// unaffected, and only this shard's structures are rebuilt.
+    fn appended(&self, extra: Vec<Tuple>) -> RelationShard {
+        let epoch = self.epoch + 1;
         if self.tuples.is_empty() {
-            // The empty snapshot's R-tree was built with a placeholder
+            // The empty shard's R-tree was built with a placeholder
             // dimensionality; rebuild from scratch.
-            return CatalogRelation::build(&self.name, extra, epoch);
+            return RelationShard::build(extra, epoch);
         }
         let mut tuples = self.tuples.as_ref().clone();
         let mut rtree = self.rtree.as_ref().clone();
@@ -167,13 +175,75 @@ impl CatalogRelation {
         }
         tuples.extend(extra);
         let stats = RelationStats::from_tuples(&tuples);
-        Self::assemble(
-            Arc::clone(&self.name),
-            tuples,
-            Arc::new(rtree),
+        Self::assemble(tuples, Arc::new(rtree), stats, epoch)
+    }
+
+    /// The epoch this shard snapshot was published at (0 at registration,
+    /// +1 per append that touched this shard).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The shard's tuples, in ingestion order.
+    pub fn tuples(&self) -> &Arc<Vec<Tuple>> {
+        &self.tuples
+    }
+
+    /// The shard's shared R-tree.
+    pub fn rtree(&self) -> &Arc<RTree<(TupleId, f64)>> {
+        &self.rtree
+    }
+
+    /// Statistics of this shard's slice of the relation.
+    pub fn stats(&self) -> RelationStats {
+        self.stats
+    }
+}
+
+/// One immutable snapshot of a relation: its shards plus combined
+/// statistics, published atomically in the catalog slot.
+#[derive(Debug)]
+pub struct CatalogRelation {
+    name: Arc<str>,
+    shards: Vec<Arc<RelationShard>>,
+    /// Whole-relation statistics, combined from the shard statistics.
+    stats: RelationStats,
+}
+
+impl CatalogRelation {
+    fn build(name: &str, tuples: Vec<Tuple>, policy: &ShardingPolicy) -> Self {
+        let shards: Vec<Arc<RelationShard>> = policy
+            .partition(tuples, |t| &t.vector)
+            .into_iter()
+            .map(|bucket| Arc::new(RelationShard::build(bucket, 0)))
+            .collect();
+        Self::from_shards(Arc::from(name), shards)
+    }
+
+    fn from_shards(name: Arc<str>, shards: Vec<Arc<RelationShard>>) -> Self {
+        let per_shard: Vec<RelationStats> = shards.iter().map(|s| s.stats).collect();
+        let stats = RelationStats::combine(&per_shard);
+        CatalogRelation {
+            name,
+            shards,
             stats,
-            epoch,
-        )
+        }
+    }
+
+    /// A new snapshot with `extra` appended: the touched shards are rebuilt
+    /// copy-on-write at bumped epochs, untouched shards are shared as-is.
+    fn appended(&self, extra: Vec<Tuple>, policy: &ShardingPolicy) -> CatalogRelation {
+        let mut shards = self.shards.clone();
+        for (j, bucket) in policy
+            .partition(extra, |t| &t.vector)
+            .into_iter()
+            .enumerate()
+        {
+            if !bucket.is_empty() {
+                shards[j] = Arc::new(shards[j].appended(bucket));
+            }
+        }
+        Self::from_shards(Arc::clone(&self.name), shards)
     }
 
     /// The relation's name.
@@ -181,65 +251,139 @@ impl CatalogRelation {
         &self.name
     }
 
-    /// The epoch this snapshot was published at (0 for the initial
-    /// registration, +1 per mutation).
+    /// Number of shards (the catalog policy's shard count).
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Shard `j` of this snapshot.
+    pub fn shard(&self, j: usize) -> &RelationShard {
+        &self.shards[j]
+    }
+
+    /// The per-shard epoch vector. A mutation bumps exactly the entries of
+    /// the shards it touched; the engine folds this vector into its cache
+    /// keys, so any ingest makes pre-mutation entries unreachable.
+    pub fn epochs(&self) -> Vec<u64> {
+        self.shards.iter().map(|s| s.epoch).collect()
+    }
+
+    /// The sum of the per-shard epochs — the scalar "version" reported on
+    /// the API surface (0 at registration, +1 per single-shard append).
     pub fn epoch(&self) -> u64 {
-        self.epoch
+        self.shards.iter().map(|s| s.epoch).sum()
     }
 
-    /// The tuples, in ingestion order.
-    pub fn tuples(&self) -> &Arc<Vec<Tuple>> {
-        &self.tuples
+    /// Total number of tuples across all shards.
+    pub fn cardinality(&self) -> usize {
+        self.stats.cardinality
     }
 
-    /// The shared R-tree.
-    pub fn rtree(&self) -> &Arc<RTree<(TupleId, f64)>> {
-        &self.rtree
+    /// Every tuple of the relation, concatenated shard by shard. O(n); used
+    /// by the non-Euclidean fallback path and by tests — hot paths go
+    /// through the shared per-shard structures instead.
+    pub fn all_tuples(&self) -> Vec<Tuple> {
+        let mut all = Vec::with_capacity(self.cardinality());
+        for shard in &self.shards {
+            all.extend(shard.tuples.iter().cloned());
+        }
+        all
     }
 
-    /// Data statistics computed when the snapshot was published.
+    /// Whole-relation statistics (combined over the shards).
     pub fn stats(&self) -> RelationStats {
         self.stats
     }
 
-    /// An O(1) distance-based sorted-access view for `query`, walking the
-    /// shared R-tree (Euclidean frontier).
-    pub fn distance_view(&self, query: Vector) -> Box<dyn SortedAccess> {
+    /// An O(1) distance-based sorted-access view of **shard `j`**, walking
+    /// that shard's R-tree (Euclidean frontier).
+    pub fn shard_distance_view(&self, j: usize, query: Vector) -> Box<dyn SortedAccess> {
+        let shard = &self.shards[j];
         Box::new(SharedRTreeRelation::new(
             Arc::clone(&self.name),
-            Arc::clone(&self.rtree),
+            Arc::clone(&shard.rtree),
             query,
-            self.stats.max_score,
+            shard.stats.max_score,
         ))
     }
 
-    /// An O(1) score-based sorted-access view (query-independent).
-    pub fn score_view(&self) -> Box<dyn SortedAccess> {
+    /// An O(1) score-based sorted-access view of **shard `j`**.
+    pub fn shard_score_view(&self, j: usize) -> Box<dyn SortedAccess> {
+        let shard = &self.shards[j];
         Box::new(SharedScoreRelation::new(
             Arc::clone(&self.name),
-            Arc::clone(&self.score_sorted),
-            self.stats.max_score,
+            Arc::clone(&shard.score_sorted),
+            shard.stats.max_score,
         ))
     }
 
-    /// A distance-based view sorted under the *scoring function's own*
-    /// distance `δ` — the fallback for non-Euclidean scorings, where the
-    /// R-tree's Euclidean frontier would disagree with the proximity terms.
-    /// O(n log n) per query (the tuples are re-sorted), used only when the
-    /// planner has no shared structure that matches `δ`.
-    pub fn distance_view_by<S: ScoringFunction>(
+    /// A distance view of shard `j` sorted under the scoring function's own
+    /// distance `δ` — the non-Euclidean fallback ( O(|shard| log |shard|) ).
+    pub fn shard_distance_view_by<S: ScoringFunction>(
         &self,
+        j: usize,
         scoring: &S,
         query: &Vector,
     ) -> Box<dyn SortedAccess> {
         let q = query.clone();
         let rel = VecRelation::distance_sorted_by(
             self.name.to_string(),
-            self.tuples.as_ref().clone(),
+            self.shards[j].tuples.as_ref().clone(),
             move |t| scoring.distance(&t.vector, &q),
         )
+        .with_max_score(self.shards[j].stats.max_score);
+        Box::new(rel)
+    }
+
+    /// A whole-relation distance-based view: the shards' Euclidean
+    /// frontiers recombined into one globally sorted stream
+    /// ([`MergedAccess`]; the wrapper is skipped for a single shard). O(S)
+    /// to build.
+    pub fn distance_view(&self, query: Vector) -> Box<dyn SortedAccess> {
+        if self.shards.len() == 1 {
+            return self.shard_distance_view(0, query);
+        }
+        let parts: Vec<Box<dyn SortedAccess>> = (0..self.shards.len())
+            .map(|j| self.shard_distance_view(j, query.clone()))
+            .collect();
+        let q = query;
+        Box::new(self.merged(
+            parts,
+            MergeOrder::AscendingBy(Box::new(move |t| t.distance_to(&q))),
+        ))
+    }
+
+    /// A whole-relation score-based view (shards merged by score).
+    pub fn score_view(&self) -> Box<dyn SortedAccess> {
+        if self.shards.len() == 1 {
+            return self.shard_score_view(0);
+        }
+        let parts: Vec<Box<dyn SortedAccess>> = (0..self.shards.len())
+            .map(|j| self.shard_score_view(j))
+            .collect();
+        Box::new(self.merged(parts, MergeOrder::DescendingScore))
+    }
+
+    /// A whole-relation distance view under the scoring function's own `δ`
+    /// — the fallback for non-Euclidean scorings, where the R-trees'
+    /// Euclidean frontiers would disagree with the proximity terms. O(n log
+    /// n) per query; the sort's id tie-break makes the order independent of
+    /// the shard layout.
+    pub fn distance_view_by<S: ScoringFunction>(
+        &self,
+        scoring: &S,
+        query: &Vector,
+    ) -> Box<dyn SortedAccess> {
+        let q = query.clone();
+        let rel = VecRelation::distance_sorted_by(self.name.to_string(), self.all_tuples(), {
+            move |t| scoring.distance(&t.vector, &q)
+        })
         .with_max_score(self.stats.max_score);
         Box::new(rel)
+    }
+
+    fn merged(&self, parts: Vec<Box<dyn SortedAccess>>, order: MergeOrder) -> MergedAccess {
+        MergedAccess::new(self.name.to_string(), parts, order)
     }
 }
 
@@ -255,12 +399,12 @@ enum Slot {
     Dropped,
 }
 
-/// A concurrent registry of mutable relations.
+/// A concurrent registry of mutable, sharded relations.
 ///
 /// Queries only ever take the read lock for the instant it takes to clone
 /// the relevant [`Arc`]s — and the write lock is held just as briefly:
-/// index building (bulk load on registration, copy-on-write extension on
-/// append) happens *outside* any lock, and only the final slot swap is
+/// index building (bulk load on registration, copy-on-write shard extension
+/// on append) happens *outside* any lock, and only the final slot swap is
 /// locked. Appends use optimistic concurrency: the new snapshot is built
 /// from the current one and published only if the base is unchanged,
 /// retrying otherwise, so no append is ever lost. Nothing that can panic
@@ -269,16 +413,31 @@ enum Slot {
 pub struct Catalog {
     slots: RwLock<Vec<Slot>>,
     /// Serialises appends/drops so that an append's copy-on-write rebuild
-    /// (O(relation) per publish) is never raced by another mutation and
-    /// then thrown away in the optimistic-retry loop. Readers never touch
-    /// this lock.
-    mutations: std::sync::Mutex<()>,
+    /// is never raced by another mutation and then thrown away in the
+    /// optimistic-retry loop. Readers never touch this lock.
+    mutations: Mutex<()>,
+    policy: ShardingPolicy,
 }
 
 impl Catalog {
-    /// Creates an empty catalog.
+    /// Creates an empty, unsharded catalog (one shard per relation).
     pub fn new() -> Self {
         Catalog::default()
+    }
+
+    /// Creates an empty catalog partitioning every relation under `policy`.
+    pub fn with_policy(policy: ShardingPolicy) -> Self {
+        Catalog {
+            slots: RwLock::new(Vec::new()),
+            mutations: Mutex::new(()),
+            policy,
+        }
+    }
+
+    /// The sharding policy every relation of this catalog is partitioned
+    /// under.
+    pub fn policy(&self) -> ShardingPolicy {
+        self.policy
     }
 
     /// Registers a relation, building its shared access structures (outside
@@ -291,7 +450,7 @@ impl Catalog {
     /// Panics (without touching the catalog lock) if the tuples do not
     /// share one dimensionality.
     pub fn register(&self, name: impl AsRef<str>, tuples: Vec<Tuple>) -> RelationId {
-        let relation = Arc::new(CatalogRelation::build(name.as_ref(), tuples, 0));
+        let relation = Arc::new(CatalogRelation::build(name.as_ref(), tuples, &self.policy));
         let mut slots = self.slots.write().expect("catalog lock");
         slots.push(Slot::Live(relation));
         RelationId(slots.len() - 1)
@@ -334,17 +493,18 @@ impl Catalog {
             .map(|(i, (v, s))| Tuple::new(TupleId::new(index, i), v, s))
             .collect();
         let cardinality = tuples.len();
-        let relation = Arc::new(CatalogRelation::build(name.as_ref(), tuples, 0));
+        let relation = Arc::new(CatalogRelation::build(name.as_ref(), tuples, &self.policy));
         let mut slots = self.slots.write().expect("catalog lock");
         slots[index] = Slot::Live(relation);
         Ok((RelationId(index), cardinality))
     }
 
     /// Appends to a live relation via optimistic copy-on-write: snapshot
-    /// the current relation, build the extended snapshot outside any lock,
-    /// then publish it only if the base is still current — retrying against
-    /// the new base otherwise, so concurrent appends are serialised without
-    /// ever holding the lock across an index build and none is lost.
+    /// the current relation, build the extended snapshot outside any lock
+    /// (rebuilding only the shards the new tuples land on), then publish it
+    /// only if the base is still current — retrying against the new base
+    /// otherwise, so concurrent appends are serialised without ever holding
+    /// the lock across an index build and none is lost.
     fn append_with(
         &self,
         id: RelationId,
@@ -358,9 +518,9 @@ impl Catalog {
             let current = self.relation(id)?;
             let tuples = make_tuples(&current);
             Self::check_dimensions(&current, &tuples)?;
-            let epoch = current.epoch + 1;
-            let next = Arc::new(current.appended(tuples, epoch));
-            let cardinality = next.tuples.len();
+            let next = Arc::new(current.appended(tuples, &self.policy));
+            let epoch = next.epoch();
+            let cardinality = next.cardinality();
             let mut slots = self.slots.write().expect("catalog lock");
             match &slots[id.0] {
                 Slot::Live(base) if Arc::ptr_eq(base, &current) => {
@@ -381,7 +541,8 @@ impl Catalog {
     }
 
     /// Appends pre-tagged tuples to a live relation, publishing a new
-    /// snapshot under a bumped epoch (copy-on-write; see the module docs).
+    /// snapshot whose touched shards carry bumped epochs (copy-on-write;
+    /// see the module docs).
     ///
     /// # Errors
     /// [`CatalogError::UnknownId`] / [`CatalogError::Dropped`] for bad
@@ -404,7 +565,7 @@ impl Catalog {
         rows: Vec<(Vector, f64)>,
     ) -> Result<MutationOutcome, CatalogError> {
         self.append_with(id, |current| {
-            let base = current.tuples.len();
+            let base = current.cardinality();
             rows.iter()
                 .enumerate()
                 .map(|(i, (v, s))| Tuple::new(TupleId::new(id.0, base + i), v.clone(), *s))
@@ -412,13 +573,13 @@ impl Catalog {
         })
     }
 
-    /// Drops a live relation, bumping its epoch. The id is never reused;
-    /// later lookups fail with [`CatalogError::Dropped`].
+    /// Drops a live relation. The id is never reused; later lookups fail
+    /// with [`CatalogError::Dropped`].
     pub fn drop_relation(&self, id: RelationId) -> Result<MutationOutcome, CatalogError> {
         let _mutations = self.mutations.lock().expect("mutation lock");
         let mut slots = self.slots.write().expect("catalog lock");
         let current = Self::live(&slots, id)?;
-        let epoch = current.epoch + 1;
+        let epoch = current.epoch() + 1;
         slots[id.0] = Slot::Dropped;
         Ok(MutationOutcome {
             id,
@@ -438,7 +599,7 @@ impl Catalog {
     }
 
     fn check_dimensions(current: &CatalogRelation, tuples: &[Tuple]) -> Result<(), CatalogError> {
-        let expected = if current.tuples.is_empty() {
+        let expected = if current.cardinality() == 0 {
             tuples.first().map_or(0, |t| t.dim())
         } else {
             current.stats.dimensions
@@ -460,8 +621,8 @@ impl Catalog {
     }
 
     /// Snapshots the live relations registered under `ids`, in order. Each
-    /// snapshot carries the epoch it was published at, so the caller can
-    /// build an epoch-consistent cache key from the same snapshot it
+    /// snapshot carries the epoch vector it was published at, so the caller
+    /// can build an epoch-consistent cache key from the same snapshot it
     /// queries.
     pub fn snapshot(&self, ids: &[RelationId]) -> Result<Vec<Arc<CatalogRelation>>, CatalogError> {
         let slots = self.slots.read().expect("catalog lock");
@@ -549,6 +710,8 @@ mod tests {
         assert_eq!(snap[1].name(), "hotels");
         assert_eq!(snap[0].stats().cardinality, 30);
         assert_eq!(snap[0].epoch(), 0);
+        assert_eq!(snap[0].epochs(), vec![0]);
+        assert_eq!(snap[0].num_shards(), 1);
         assert_eq!(catalog.all_ids(), vec![a, b]);
         assert_eq!(catalog.lookup("hotels"), Some(a));
         assert_eq!(catalog.lookup("bars"), None);
@@ -563,15 +726,51 @@ mod tests {
         let v2 = rel.distance_view(Vector::from([1.0, 1.0]));
         assert_eq!(v1.kind(), AccessKind::Distance);
         assert_eq!(v2.total_len(), Some(40));
-        // Three users of the tree: the catalog entry and the two views.
-        assert_eq!(Arc::strong_count(rel.rtree()), 3);
+        // Three users of the tree: the catalog shard and the two views.
+        assert_eq!(Arc::strong_count(rel.shard(0).rtree()), 3);
     }
 
     #[test]
-    fn score_view_is_score_sorted() {
-        let catalog = Catalog::new();
-        let id = catalog.register("r", mk_tuples(0, 25));
-        let mut view = catalog.relation(id).unwrap().score_view();
+    fn sharded_registration_partitions_all_tuples() {
+        let catalog = Catalog::with_policy(ShardingPolicy::new(4));
+        let id = catalog.register("r", mk_tuples(0, 60));
+        let rel = catalog.relation(id).unwrap();
+        assert_eq!(rel.num_shards(), 4);
+        assert_eq!(rel.cardinality(), 60);
+        assert_eq!(rel.epochs(), vec![0, 0, 0, 0]);
+        let per_shard: usize = (0..4).map(|j| rel.shard(j).tuples().len()).sum();
+        assert_eq!(per_shard, 60);
+        // Every tuple sits on the shard the policy assigns it to.
+        let policy = catalog.policy();
+        for j in 0..4 {
+            for t in rel.shard(j).tuples().iter() {
+                assert_eq!(policy.shard_of(&t.vector), j);
+            }
+        }
+        // Combined stats agree with a direct computation.
+        let direct = RelationStats::from_tuples(&rel.all_tuples());
+        assert_eq!(rel.stats().cardinality, direct.cardinality);
+        assert_eq!(rel.stats().max_score, direct.max_score);
+    }
+
+    #[test]
+    fn merged_views_traverse_all_shards_in_sorted_order() {
+        let catalog = Catalog::with_policy(ShardingPolicy::new(3));
+        let id = catalog.register("r", mk_tuples(0, 35));
+        let rel = catalog.relation(id).unwrap();
+        let query = Vector::from([0.5, -0.5]);
+        let mut view = rel.distance_view(query.clone());
+        let mut previous = f64::NEG_INFINITY;
+        let mut count = 0;
+        while let Some(t) = view.next_tuple() {
+            let d = t.distance_to(&query);
+            assert!(d >= previous - 1e-12);
+            previous = d;
+            count += 1;
+        }
+        assert_eq!(count, 35);
+
+        let mut view = rel.score_view();
         let mut previous = f64::INFINITY;
         let mut count = 0;
         while let Some(t) = view.next_tuple() {
@@ -579,47 +778,41 @@ mod tests {
             previous = t.score;
             count += 1;
         }
-        assert_eq!(count, 25);
+        assert_eq!(count, 35);
     }
 
     #[test]
-    fn distance_view_orders_by_distance() {
-        let catalog = Catalog::new();
-        let id = catalog.register("r", mk_tuples(0, 35));
-        let query = Vector::from([0.5, -0.5]);
-        let mut view = catalog.relation(id).unwrap().distance_view(query.clone());
-        let mut previous = f64::NEG_INFINITY;
-        while let Some(t) = view.next_tuple() {
-            let d = t.distance_to(&query);
-            assert!(d >= previous - 1e-12);
-            previous = d;
-        }
-    }
-
-    #[test]
-    fn append_bumps_epoch_and_leaves_old_snapshots_readable() {
-        let catalog = Catalog::new();
+    fn append_bumps_only_the_touched_shard_epoch() {
+        let catalog = Catalog::with_policy(ShardingPolicy::new(4));
         let id = catalog.register("r", mk_tuples(0, 10));
         let before = catalog.relation(id).unwrap();
         assert_eq!(before.epoch(), 0);
 
-        let outcome = catalog
-            .append_rows(id, vec![(Vector::from([9.0, 9.0]), 0.5)])
-            .unwrap();
+        let point = Vector::from([9.0, 9.0]);
+        let target = catalog.policy().shard_of(&point);
+        let outcome = catalog.append_rows(id, vec![(point, 0.5)]).unwrap();
         assert_eq!(outcome.epoch, 1);
         assert_eq!(outcome.cardinality, 11);
 
         // The pre-mutation snapshot is untouched (copy-on-write).
-        assert_eq!(before.tuples().len(), 10);
-        assert_eq!(before.rtree().len(), 10);
+        assert_eq!(before.cardinality(), 10);
 
         let after = catalog.relation(id).unwrap();
-        assert_eq!(after.epoch(), 1);
-        assert_eq!(after.tuples().len(), 11);
-        assert_eq!(after.rtree().len(), 11);
+        assert_eq!(after.cardinality(), 11);
+        let epochs = after.epochs();
+        for (j, epoch) in epochs.iter().enumerate() {
+            assert_eq!(*epoch, u64::from(j == target), "shard {j}");
+        }
+        // Untouched shards still share the old snapshot's structures.
+        for j in (0..4).filter(|&j| j != target) {
+            assert!(Arc::ptr_eq(before.shard(j).rtree(), after.shard(j).rtree()));
+        }
         // Ids keep counting from the previous cardinality.
-        assert_eq!(after.tuples().last().unwrap().id, TupleId::new(0, 10));
-        // The appended tuple is reachable through the distance view.
+        assert_eq!(
+            after.shard(target).tuples().last().unwrap().id,
+            TupleId::new(0, 10)
+        );
+        // The appended tuple is reachable through the merged distance view.
         let mut view = after.distance_view(Vector::from([9.0, 9.0]));
         let first = view.next_tuple().unwrap();
         assert_eq!(first.id, TupleId::new(0, 10));
@@ -627,7 +820,7 @@ mod tests {
 
     #[test]
     fn appended_score_view_stays_sorted() {
-        let catalog = Catalog::new();
+        let catalog = Catalog::with_policy(ShardingPolicy::new(2));
         let id = catalog.register("r", mk_tuples(0, 12));
         catalog
             .append_rows(
@@ -660,7 +853,7 @@ mod tests {
         assert_eq!(outcome.cardinality, 1);
         let rel = catalog.relation(id).unwrap();
         assert_eq!(rel.stats().dimensions, 2);
-        assert_eq!(rel.rtree().len(), 1);
+        assert_eq!(rel.shard(0).rtree().len(), 1);
     }
 
     #[test]
@@ -684,8 +877,9 @@ mod tests {
     #[test]
     fn concurrent_appends_are_all_retained() {
         // Optimistic copy-on-write must serialise racing appends without
-        // losing any (a lost update would silently drop client data).
-        let catalog = Arc::new(Catalog::new());
+        // losing any (a lost update would silently drop client data) —
+        // including across shards.
+        let catalog = Arc::new(Catalog::with_policy(ShardingPolicy::new(3)));
         let id = catalog.register("r", mk_tuples(0, 4));
         std::thread::scope(|scope| {
             for worker in 0..4 {
@@ -701,11 +895,10 @@ mod tests {
             }
         });
         let relation = catalog.relation(id).unwrap();
-        assert_eq!(relation.tuples().len(), 4 + 32);
+        assert_eq!(relation.cardinality(), 4 + 32);
         assert_eq!(relation.epoch(), 32);
-        assert_eq!(relation.rtree().len(), 36);
-        // Ids are dense and unique.
-        let mut indices: Vec<usize> = relation.tuples().iter().map(|t| t.id.index).collect();
+        // Ids are dense and unique across shards.
+        let mut indices: Vec<usize> = relation.all_tuples().iter().map(|t| t.id.index).collect();
         indices.sort_unstable();
         assert_eq!(indices, (0..36).collect::<Vec<_>>());
     }

@@ -2,15 +2,20 @@
 //! multi-query serving system.
 //!
 //! A query's life: [`Engine::submit`] snapshots the catalog relations (Arc
-//! clones stamped with their epochs), derives the cache key from that same
-//! snapshot and returns a memoised result immediately on a hit; on a miss it
-//! asks the [`Planner`] for an algorithm, builds a [`prj_core::Problem`] out
-//! of O(1) shared-index views, and hands the run to the [`Executor`]'s
-//! thread pool. The caller gets a [`QueryTicket`] to wait on;
+//! clones stamped with their per-shard epoch vectors), derives the cache
+//! key from that same snapshot and returns a memoised result immediately on
+//! a hit; on a miss it builds one *execution unit* per (non-empty) shard of
+//! the driving relation — each planned by the [`Planner`] from its own
+//! shard statistics, each a [`prj_core::Problem`] out of O(1) shared-index
+//! views — and hands the fan-out to the [`Executor`]'s thread pool, where
+//! the certified per-unit top-Ks recombine exactly through
+//! [`prj_core::merge_results`] (the shard count is unobservable through
+//! results). The caller gets a [`QueryTicket`] to wait on;
 //! [`Engine::stream`] instead returns a [`ResultStream`] whose
-//! [`next_result`](ResultStream::next_result) pulls certified results one at
-//! a time out of an incremental [`prj_core::StreamingRun`], mirroring the
-//! paper's pulling model end to end.
+//! [`next_result`](ResultStream::next_result) pulls certified results one
+//! at a time out of incremental [`prj_core::StreamingRun`]s (lazily merged
+//! by [`prj_core::CertifiedMerge`] when sharded), mirroring the paper's
+//! pulling model end to end.
 //!
 //! Scoring is an *open set*: a [`QuerySpec`] carries an
 //! `Arc<dyn ScoringSpec>` and the engine exposes a
@@ -29,11 +34,12 @@ use crate::catalog::{Catalog, CatalogError, CatalogRelation, MutationOutcome, Re
 use crate::executor::Executor;
 use crate::planner::{Plan, Planner, PlannerConfig};
 use crate::registry::ScoringRegistry;
-use crate::stats::{EngineStats, EngineStatsSnapshot, QueryRecord};
-use prj_access::AccessKind;
+use crate::sharding::ShardingPolicy;
+use crate::stats::{EngineStats, EngineStatsSnapshot, QueryRecord, UnitRecord};
+use prj_access::{AccessKind, RelationStats};
 use prj_core::{
-    Algorithm, EuclideanLogScore, PrjError, ProblemBuilder, RankJoinResult, ScoredCombination,
-    ScoringSpec,
+    merge_results, Algorithm, CertifiedMerge, EuclideanLogScore, PrjError, Problem, ProblemBuilder,
+    RankJoinResult, RunMetrics, ScoredCombination, ScoringSpec, StreamingRun,
 };
 use prj_geometry::Vector;
 use std::sync::mpsc::{sync_channel, Receiver};
@@ -259,6 +265,7 @@ pub struct EngineBuilder {
     threads: usize,
     cache_capacity: usize,
     planner: PlannerConfig,
+    sharding: ShardingPolicy,
 }
 
 impl Default for EngineBuilder {
@@ -267,6 +274,7 @@ impl Default for EngineBuilder {
             threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
             cache_capacity: 1024,
             planner: PlannerConfig::default(),
+            sharding: ShardingPolicy::default(),
         }
     }
 }
@@ -290,10 +298,28 @@ impl EngineBuilder {
         self
     }
 
+    /// Number of spatial shards every relation is partitioned into
+    /// (default 1 = unsharded). Sharding is engine-internal: queries and
+    /// results are identical for every shard count; only ingest isolation,
+    /// parallelism and the stats breakdown change.
+    ///
+    /// # Panics
+    /// Panics when `shards` is 0.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.sharding = ShardingPolicy::new(shards);
+        self
+    }
+
+    /// Full control over the sharding policy (shard count + grid cell).
+    pub fn sharding_policy(mut self, policy: ShardingPolicy) -> Self {
+        self.sharding = policy;
+        self
+    }
+
     /// Builds the engine (scoring registry pre-loaded with the built-ins).
     pub fn build(self) -> Engine {
         Engine {
-            catalog: Arc::new(Catalog::new()),
+            catalog: Arc::new(Catalog::with_policy(self.sharding)),
             executor: Executor::new(self.threads),
             cache: Arc::new(ResultCache::new(self.cache_capacity)),
             stats: Arc::new(EngineStats::new()),
@@ -301,6 +327,88 @@ impl EngineBuilder {
             registry: Arc::new(ScoringRegistry::with_builtins()),
         }
     }
+}
+
+/// One partitioned execution unit: shard `shard` of the driving relation
+/// joined against whole-relation merged views of the others, with its own
+/// per-shard plan.
+struct ExecutionUnit {
+    shard: usize,
+    plan: Plan,
+    problem: Problem<Arc<dyn ScoringSpec>>,
+}
+
+/// Summarises per-unit plans into the plan reported for the whole query.
+fn merged_plan(units: &[ExecutionUnit]) -> Plan {
+    if units.len() == 1 {
+        return units[0].plan.clone();
+    }
+    let per_unit: Vec<String> = units
+        .iter()
+        .map(|u| format!("s{}:{}", u.shard, u.plan.algorithm.id()))
+        .collect();
+    Plan {
+        algorithm: units[0].plan.algorithm,
+        dominance_period: units[0].plan.dominance_period,
+        rationale: format!(
+            "partitioned over {} driving shards ({})",
+            units.len(),
+            per_unit.join(", ")
+        ),
+    }
+}
+
+/// Runs every unit — in parallel when there is more than one — and merges
+/// the certified per-unit results into the exact global top-`k`. Returns
+/// the merged result plus one [`UnitRecord`] per unit that ran (sparse:
+/// shards whose driving slice was empty contribute none).
+fn run_units(
+    units: Vec<ExecutionUnit>,
+    k: usize,
+) -> Result<(RankJoinResult, Vec<UnitRecord>), EngineError> {
+    let outcomes: Vec<(usize, Result<RankJoinResult, PrjError>, Duration)> = if units.len() == 1 {
+        let mut unit = units.into_iter().next().expect("one unit");
+        let started = Instant::now();
+        let outcome = unit.plan.algorithm.run(&mut unit.problem);
+        vec![(unit.shard, outcome, started.elapsed())]
+    } else {
+        // Units are pure CPU work over disjoint shard structures; scoped
+        // threads keep the fan-out off the engine's worker pool so a
+        // sharded query can never deadlock a small pool against itself.
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = units
+                .into_iter()
+                .map(|mut unit| {
+                    scope.spawn(move || {
+                        let started = Instant::now();
+                        let outcome = unit.plan.algorithm.run(&mut unit.problem);
+                        (unit.shard, outcome, started.elapsed())
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("unit thread panicked"))
+                .collect()
+        })
+    };
+    let mut parts = Vec::with_capacity(outcomes.len());
+    let mut unit_records = Vec::with_capacity(outcomes.len());
+    for (shard, outcome, elapsed) in outcomes {
+        let result = outcome.map_err(EngineError::Prj)?;
+        unit_records.push(UnitRecord {
+            shard,
+            sum_depths: result.sum_depths(),
+            latency: elapsed,
+        });
+        parts.push(result);
+    }
+    let merged = if parts.len() == 1 {
+        parts.pop().expect("one part")
+    } else {
+        merge_results(k, parts)
+    };
+    Ok((merged, unit_records))
 }
 
 /// A concurrent query-serving engine over the ProxRJ operator.
@@ -375,6 +483,11 @@ impl Engine {
         self.executor.threads()
     }
 
+    /// Number of spatial shards per relation (1 = unsharded).
+    pub fn shards(&self) -> usize {
+        self.catalog.policy().shards()
+    }
+
     /// Engine-level statistics.
     pub fn stats(&self) -> EngineStatsSnapshot {
         self.stats.snapshot()
@@ -392,6 +505,12 @@ impl Engine {
         &self,
         spec: &QuerySpec,
     ) -> Result<(Vec<Arc<CatalogRelation>>, CacheKey), EngineError> {
+        // Reject the zero-relation query before anything indexes into the
+        // snapshot: the typed error `ProblemBuilder` used to produce, not a
+        // panic.
+        if spec.relations.is_empty() {
+            return Err(EngineError::Prj(PrjError::NoRelations));
+        }
         let snapshot = self.catalog.snapshot(&spec.relations)?;
         // Validate the query's dimensionality up front: catalog views skip
         // `ProblemBuilder`'s per-tuple checks (they would be O(n) per
@@ -410,7 +529,7 @@ impl Engine {
             .relations
             .iter()
             .zip(snapshot.iter())
-            .map(|(id, rel)| (id.index(), rel.epoch()))
+            .map(|(id, rel)| (id.index(), rel.epochs()))
             .collect();
         let key = CacheKey::new(
             relations,
@@ -423,13 +542,74 @@ impl Engine {
         Ok((snapshot, key))
     }
 
-    /// Plans the query and builds a problem out of O(1) shared-index views.
-    fn prepare(
+    /// Plans and builds the partitioned execution units for one query.
+    ///
+    /// The combination space factorises over the *driving* (first)
+    /// relation's shards: unit `j` joins shard `j` of relation 1 with
+    /// whole-relation merged views of the others, so every combination is
+    /// produced by exactly one unit and the per-unit top-K runs recombine
+    /// exactly ([`prj_core::merge`]). Units whose driving shard is empty
+    /// cannot produce a combination and are skipped. Each unit is planned
+    /// from its own statistics — its driving shard's [`RelationStats`] plus
+    /// the other relations' combined stats — so a skewed shard can run
+    /// potential-adaptive while its siblings stay round-robin.
+    fn prepare_units(
         &self,
         spec: &QuerySpec,
         snapshot: &[Arc<CatalogRelation>],
-    ) -> Result<(Plan, prj_core::Problem<Arc<dyn ScoringSpec>>), EngineError> {
+    ) -> Result<Vec<ExecutionUnit>, EngineError> {
         let reducible = spec.scoring.euclidean_weights().is_some();
+        let shards = snapshot[0].num_shards();
+        let nonempty: Vec<usize> = (0..shards)
+            .filter(|&j| snapshot[0].shard(j).stats().cardinality > 0)
+            .collect();
+        // An entirely empty driving relation still needs one unit so the
+        // query produces a well-formed (empty) result with real metrics.
+        let selected = if shards == 1 || nonempty.is_empty() {
+            vec![0]
+        } else {
+            nonempty
+        };
+        // Non-Euclidean fallback: the per-query sort under the scoring's
+        // own δ is done ONCE per non-driving relation and shared across all
+        // units behind an Arc — each unit only gets its own O(1) cursor —
+        // instead of every unit re-cloning and re-sorting the relation.
+        let delta_sorted: Vec<Option<Arc<Vec<prj_access::Tuple>>>> = snapshot
+            .iter()
+            .enumerate()
+            .map(|(idx, relation)| {
+                let needed = idx != 0
+                    && selected.len() > 1
+                    && spec.access_kind == AccessKind::Distance
+                    && !reducible;
+                needed.then(|| {
+                    let mut tuples = relation.all_tuples();
+                    // The exact order `VecRelation::distance_sorted_by`
+                    // would produce: δ ascending, ties by tuple id.
+                    tuples.sort_by(|a, b| {
+                        spec.scoring
+                            .distance(&a.vector, &spec.query)
+                            .total_cmp(&spec.scoring.distance(&b.vector, &spec.query))
+                            .then(a.id.cmp(&b.id))
+                    });
+                    Arc::new(tuples)
+                })
+            })
+            .collect();
+        selected
+            .into_iter()
+            .map(|j| self.prepare_unit(spec, snapshot, &delta_sorted, reducible, j))
+            .collect()
+    }
+
+    fn prepare_unit(
+        &self,
+        spec: &QuerySpec,
+        snapshot: &[Arc<CatalogRelation>],
+        delta_sorted: &[Option<Arc<Vec<prj_access::Tuple>>>],
+        reducible: bool,
+        shard: usize,
+    ) -> Result<ExecutionUnit, EngineError> {
         let plan = match spec.algorithm {
             Some(algorithm) => Plan {
                 algorithm,
@@ -437,7 +617,17 @@ impl Engine {
                 rationale: "algorithm pinned by the query".to_string(),
             },
             None => {
-                let stats: Vec<_> = snapshot.iter().map(|r| r.stats()).collect();
+                let stats: Vec<RelationStats> = snapshot
+                    .iter()
+                    .enumerate()
+                    .map(|(idx, r)| {
+                        if idx == 0 && r.num_shards() > 1 {
+                            r.shard(shard).stats()
+                        } else {
+                            r.stats()
+                        }
+                    })
+                    .collect();
                 self.planner.plan(reducible, &stats)
             }
         };
@@ -445,19 +635,48 @@ impl Engine {
             .k(spec.k)
             .access_kind(spec.access_kind)
             .dominance_period(plan.dominance_period);
-        for relation in snapshot {
-            let view = match spec.access_kind {
-                AccessKind::Distance if reducible => relation.distance_view(spec.query.clone()),
-                // Non-Euclidean proximity: the shared R-tree's Euclidean
-                // frontier would disagree with the scoring's own distance, so
-                // fall back to a per-query sort under δ.
-                AccessKind::Distance => relation.distance_view_by(&spec.scoring, &spec.query),
-                AccessKind::Score => relation.score_view(),
+        for (idx, relation) in snapshot.iter().enumerate() {
+            let view = if idx == 0 {
+                // The driving relation contributes only its shard.
+                match spec.access_kind {
+                    AccessKind::Distance if reducible => {
+                        relation.shard_distance_view(shard, spec.query.clone())
+                    }
+                    AccessKind::Distance => {
+                        relation.shard_distance_view_by(shard, &spec.scoring, &spec.query)
+                    }
+                    AccessKind::Score => relation.shard_score_view(shard),
+                }
+            } else {
+                // Non-driving relations are read whole, through the
+                // shard-merged globally sorted views.
+                match spec.access_kind {
+                    AccessKind::Distance if reducible => relation.distance_view(spec.query.clone()),
+                    // Non-Euclidean proximity: the shared R-trees' Euclidean
+                    // frontiers would disagree with the scoring's own
+                    // distance, so fall back to a per-query sort under δ —
+                    // computed once in `prepare_units` when several units
+                    // share it.
+                    AccessKind::Distance => match &delta_sorted[idx] {
+                        Some(sorted) => Box::new(prj_access::SharedOrderedRelation::new(
+                            Arc::from(relation.name()),
+                            Arc::clone(sorted),
+                            AccessKind::Distance,
+                            relation.stats().max_score,
+                        )),
+                        None => relation.distance_view_by(&spec.scoring, &spec.query),
+                    },
+                    AccessKind::Score => relation.score_view(),
+                }
             };
             builder = builder.relation(view);
         }
         let problem = builder.build().map_err(EngineError::Prj)?;
-        Ok((plan, problem))
+        Ok(ExecutionUnit {
+            shard,
+            plan,
+            problem,
+        })
     }
 
     /// Submits a query to the pool and returns a ticket to wait on.
@@ -479,9 +698,8 @@ impl Engine {
             let latency = started.elapsed();
             self.stats.record(QueryRecord {
                 latency,
-                sum_depths: 0,
-                bound_updates: 0,
                 from_cache: true,
+                ..QueryRecord::default()
             });
             let _ = sender.send(Ok(EngineResult {
                 execution,
@@ -491,11 +709,13 @@ impl Engine {
             return QueryTicket { receiver };
         }
 
-        match self.prepare(&spec, &snapshot) {
+        match self.prepare_units(&spec, &snapshot) {
             Err(e) => {
                 let _ = sender.send(Err(e));
             }
-            Ok((plan, mut problem)) => {
+            Ok(units) => {
+                let plan = merged_plan(&units);
+                let k = spec.k;
                 let cache = Arc::clone(&self.cache);
                 let stats = Arc::clone(&self.stats);
                 self.executor.spawn(move || {
@@ -506,9 +726,8 @@ impl Engine {
                         let latency = started.elapsed();
                         stats.record(QueryRecord {
                             latency,
-                            sum_depths: 0,
-                            bound_updates: 0,
                             from_cache: true,
+                            ..QueryRecord::default()
                         });
                         let _ = sender.send(Ok(EngineResult {
                             execution,
@@ -517,14 +736,15 @@ impl Engine {
                         }));
                         return;
                     }
-                    let outcome = plan.algorithm.run(&mut problem).map_err(EngineError::Prj);
-                    let response = outcome.map(|result| {
+                    let outcome = run_units(units, k);
+                    let response = outcome.map(|(result, unit_records)| {
                         let latency = started.elapsed();
                         stats.record(QueryRecord {
                             latency,
                             sum_depths: result.stats.sum_depths(),
                             bound_updates: result.metrics.bound_updates,
                             from_cache: false,
+                            units: unit_records,
                         });
                         let execution = Arc::new(CachedExecution { result, plan });
                         cache.insert(key, Arc::clone(&execution));
@@ -567,9 +787,8 @@ impl Engine {
         if let Some(execution) = self.cache.get(&key) {
             self.stats.record(QueryRecord {
                 latency: started.elapsed(),
-                sum_depths: 0,
-                bound_updates: 0,
                 from_cache: true,
+                ..QueryRecord::default()
             });
             let plan = execution.plan.clone();
             return Ok(ResultStream {
@@ -583,11 +802,21 @@ impl Engine {
             });
         }
 
-        let (plan, problem) = self.prepare(&spec, &snapshot)?;
-        let mut run = plan
-            .algorithm
-            .start_streaming(problem)
-            .map_err(EngineError::Prj)?;
+        let units = self.prepare_units(&spec, &snapshot)?;
+        let plan = merged_plan(&units);
+        let k = spec.k;
+        // Start every unit's incremental run up front, so planning and
+        // bound-setup failures surface as typed errors before a thread
+        // spawns.
+        let mut runs: Vec<(usize, StreamingRun<Arc<dyn ScoringSpec>>)> = Vec::new();
+        for unit in units {
+            let run = unit
+                .plan
+                .algorithm
+                .start_streaming(unit.problem)
+                .map_err(EngineError::Prj)?;
+            runs.push((unit.shard, run));
+        }
         let (sender, receiver) = sync_channel(STREAM_BUFFER);
         let cache = Arc::clone(&self.cache);
         let stats = Arc::clone(&self.stats);
@@ -597,30 +826,11 @@ impl Engine {
             .spawn(move || {
                 let panic_sender = sender.clone();
                 let worker = std::panic::AssertUnwindSafe(move || {
-                    while let Some(combo) = run.next_certified() {
-                        if sender.send(Ok(combo)).is_err() {
-                            // Consumer dropped the stream: abandon the run
-                            // without caching the partial result.
-                            return;
-                        }
+                    if runs.len() == 1 {
+                        Self::stream_single(runs, sender, cache, stats, key, worker_plan);
+                    } else {
+                        Self::stream_merged(runs, k, sender, cache, stats, key, worker_plan);
                     }
-                    let result = run.into_result();
-                    stats.record(QueryRecord {
-                        // The operator tracks its active stepping time, so
-                        // the recorded latency measures engine work, not how
-                        // slowly the consumer drained the stream.
-                        latency: result.metrics.total_time,
-                        sum_depths: result.stats.sum_depths(),
-                        bound_updates: result.metrics.bound_updates,
-                        from_cache: false,
-                    });
-                    cache.insert(
-                        key,
-                        Arc::new(CachedExecution {
-                            result,
-                            plan: worker_plan,
-                        }),
-                    );
                     // Dropping the sender closes the stream.
                 });
                 // A panicking run must be reported, not mistaken for clean
@@ -637,6 +847,118 @@ impl Engine {
             from_cache: false,
             error: None,
         })
+    }
+
+    /// The unsharded streaming producer: one incremental run, drained into
+    /// the channel, cached on completion.
+    fn stream_single(
+        runs: Vec<(usize, StreamingRun<Arc<dyn ScoringSpec>>)>,
+        sender: std::sync::mpsc::SyncSender<Result<ScoredCombination, EngineError>>,
+        cache: Arc<ResultCache>,
+        stats: Arc<EngineStats>,
+        key: CacheKey,
+        plan: Plan,
+    ) {
+        let (shard, mut run) = runs.into_iter().next().expect("one run");
+        while let Some(combo) = run.next_certified() {
+            if sender.send(Ok(combo)).is_err() {
+                // Consumer dropped the stream: abandon the run without
+                // caching the partial result.
+                return;
+            }
+        }
+        let result = run.into_result();
+        stats.record(QueryRecord {
+            // The operator tracks its active stepping time, so the
+            // recorded latency measures engine work, not how slowly the
+            // consumer drained the stream.
+            latency: result.metrics.total_time,
+            sum_depths: result.stats.sum_depths(),
+            bound_updates: result.metrics.bound_updates,
+            from_cache: false,
+            units: vec![UnitRecord {
+                shard,
+                sum_depths: result.stats.sum_depths(),
+                latency: result.metrics.total_time,
+            }],
+        });
+        cache.insert(key, Arc::new(CachedExecution { result, plan }));
+    }
+
+    /// The sharded streaming producer: per-unit incremental runs merged
+    /// lazily through [`CertifiedMerge`] — each emitted result is globally
+    /// certified while every unit has only done the work its own next
+    /// result required. On completion the emitted top-K (exact by the
+    /// partition argument; see [`prj_core::merge`]) is cached together with
+    /// the aggregated access stats and a valid merged bound.
+    #[allow(clippy::too_many_arguments)]
+    fn stream_merged(
+        runs: Vec<(usize, StreamingRun<Arc<dyn ScoringSpec>>)>,
+        k: usize,
+        sender: std::sync::mpsc::SyncSender<Result<ScoredCombination, EngineError>>,
+        cache: Arc<ResultCache>,
+        stats: Arc<EngineStats>,
+        key: CacheKey,
+        plan: Plan,
+    ) {
+        let shards: Vec<usize> = runs.iter().map(|(s, _)| *s).collect();
+        let mut sources: Vec<StreamingRun<Arc<dyn ScoringSpec>>> =
+            runs.into_iter().map(|(_, r)| r).collect();
+        let mut emitted: Vec<ScoredCombination> = Vec::new();
+        let head_scores: Vec<Option<f64>> = {
+            let mut merge = CertifiedMerge::new(sources.len(), k, |j| sources[j].next_certified());
+            while let Some(combo) = merge.next_merged() {
+                emitted.push(combo.clone());
+                if sender.send(Ok(combo)).is_err() {
+                    // Consumer dropped the stream: abandon the runs without
+                    // caching the partial result.
+                    return;
+                }
+            }
+            merge
+                .heads()
+                .iter()
+                .map(|h| h.as_ref().map(|c| c.score))
+                .collect()
+        };
+        // Anything unreturned is either a pulled-but-unemitted head or
+        // still unseen inside some unit, so the tightest valid bound is the
+        // max over head scores and residual unit bounds.
+        let mut final_bound = f64::NEG_INFINITY;
+        let mut merged_stats = prj_access::AccessStats::new(sources[0].stats().num_relations());
+        let mut metrics = RunMetrics::default();
+        let mut unit_records = Vec::with_capacity(sources.len());
+        for (j, source) in sources.iter().enumerate() {
+            final_bound = final_bound.max(source.current_bound());
+            if let Some(Some(score)) = head_scores.get(j) {
+                final_bound = final_bound.max(*score);
+            }
+            merged_stats.absorb(source.stats());
+            let m = source.metrics();
+            metrics.total_time += m.total_time;
+            metrics.bound_time += m.bound_time;
+            metrics.bound_updates += m.bound_updates;
+            metrics.combinations_formed += m.combinations_formed;
+            unit_records.push(UnitRecord {
+                shard: shards[j],
+                sum_depths: source.stats().sum_depths(),
+                latency: m.total_time,
+            });
+        }
+        metrics.final_bound = final_bound;
+        let result = RankJoinResult {
+            combinations: emitted,
+            stats: merged_stats,
+            metrics,
+        };
+        stats.record(QueryRecord {
+            latency: result.metrics.total_time,
+            sum_depths: result.stats.sum_depths(),
+            bound_updates: result.metrics.bound_updates,
+            from_cache: false,
+            units: unit_records,
+        });
+        cache.insert(key, Arc::new(CachedExecution { result, plan }));
     }
 }
 
@@ -834,6 +1156,74 @@ mod tests {
     }
 
     #[test]
+    fn sharded_engine_is_indistinguishable_through_results() {
+        let (engine, _) = table1_engine();
+        let baseline = {
+            let ids = engine.catalog().all_ids();
+            engine
+                .query(QuerySpec::top_k(ids, Vector::from([0.0, 0.0]), 8))
+                .expect("baseline")
+        };
+        for shards in [2, 4] {
+            let sharded = EngineBuilder::default().threads(2).shards(shards).build();
+            assert_eq!(sharded.shards(), shards);
+            let ids: Vec<RelationId> = table1()
+                .into_iter()
+                .enumerate()
+                .map(|(i, tuples)| sharded.register(format!("R{}", i + 1), tuples))
+                .collect();
+            let result = sharded
+                .query(QuerySpec::top_k(ids, Vector::from([0.0, 0.0]), 8))
+                .expect("sharded");
+            assert_eq!(
+                result.combinations(),
+                baseline.combinations(),
+                "shards={shards}"
+            );
+            // The per-shard lanes account for exactly the accesses made.
+            let stats = sharded.stats();
+            assert_eq!(
+                stats.per_shard.iter().map(|l| l.sum_depths).sum::<u64>(),
+                stats.total_sum_depths
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_plan_reports_the_partitioning() {
+        let engine = EngineBuilder::default().threads(1).shards(4).build();
+        // Spread tuples widely so several driving shards are populated.
+        let tuples: Vec<Tuple> = (0..24)
+            .map(|i| {
+                Tuple::new(
+                    TupleId::new(0, i),
+                    Vector::from([(i % 6) as f64 * 2.0 - 5.0, (i / 6) as f64 * 2.0 - 3.0]),
+                    0.2 + (i % 7) as f64 / 10.0,
+                )
+            })
+            .collect();
+        let populated = {
+            let policy = engine.catalog().policy();
+            tuples
+                .iter()
+                .map(|t| policy.shard_of(&t.vector))
+                .collect::<std::collections::HashSet<_>>()
+                .len()
+        };
+        let id = engine.register("r", tuples);
+        let result = engine
+            .query(QuerySpec::top_k(vec![id], Vector::from([0.0, 0.0]), 3))
+            .expect("query");
+        if populated > 1 {
+            assert!(
+                result.plan().rationale.contains("partitioned over"),
+                "rationale: {}",
+                result.plan().rationale
+            );
+        }
+    }
+
+    #[test]
     fn invalid_query_reports_an_operator_error() {
         let (engine, ids) = table1_engine();
         let spec = QuerySpec::top_k(ids, Vector::from([0.0, 0.0]), 0);
@@ -841,5 +1231,52 @@ mod tests {
             Err(EngineError::Prj(PrjError::InvalidK)) => {}
             other => panic!("expected InvalidK, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn zero_relation_query_is_a_typed_error_not_a_panic() {
+        let (engine, _) = table1_engine();
+        let spec = QuerySpec::top_k(Vec::new(), Vector::from([0.0, 0.0]), 3);
+        match engine.query(spec.clone()) {
+            Err(EngineError::Prj(PrjError::NoRelations)) => {}
+            other => panic!("expected NoRelations, got {other:?}"),
+        }
+        match engine.stream(spec) {
+            Err(EngineError::Prj(PrjError::NoRelations)) => {}
+            other => panic!(
+                "expected NoRelations from stream, got {:?}",
+                other.as_ref().map(|_| "a stream")
+            ),
+        }
+    }
+
+    #[test]
+    fn idle_shards_gain_no_unit_records() {
+        // All tuples in one grid cell: only one driving shard is populated,
+        // so exactly one lane may accumulate units.
+        let engine = EngineBuilder::default().threads(1).shards(4).build();
+        let tuples: Vec<Tuple> = (0..6)
+            .map(|i| {
+                Tuple::new(
+                    TupleId::new(0, i),
+                    Vector::from([0.1 + i as f64 * 0.05, 0.2]),
+                    0.3 + i as f64 / 10.0,
+                )
+            })
+            .collect();
+        let id = engine.register("r", tuples);
+        for k in 1..4 {
+            engine
+                .query(QuerySpec::top_k(vec![id], Vector::from([0.0, 0.0]), k))
+                .expect("query");
+        }
+        let stats = engine.stats();
+        let active: Vec<_> = stats.per_shard.iter().filter(|l| l.units > 0).collect();
+        assert_eq!(active.len(), 1, "one populated shard, one active lane");
+        assert_eq!(active[0].units, 3);
+        assert_eq!(
+            stats.per_shard.iter().map(|l| l.sum_depths).sum::<u64>(),
+            stats.total_sum_depths
+        );
     }
 }

@@ -11,29 +11,36 @@
 //! [`prj_api::Response`] out), owns the client-facing defaults (scoring,
 //! `k`, access kind), and routes to the layers below:
 //!
-//! * [`catalog`] — *mutable* relations behind epoch counters: registration
-//!   builds each relation's R-tree, score-sorted array and
-//!   [`prj_access::RelationStats`] once and shares them behind
-//!   [`std::sync::Arc`]s; appends extend the R-tree copy-on-write with the
-//!   incremental insert path and publish a new snapshot under a bumped
-//!   epoch; drops retire the id forever.
+//! * [`catalog`] — *mutable, sharded* relations behind per-shard epoch
+//!   counters: registration partitions each relation under the catalog's
+//!   [`sharding::ShardingPolicy`] (hash-by-grid-cell; 1 shard = unsharded)
+//!   and builds every shard's R-tree, score-sorted array and
+//!   [`prj_access::RelationStats`] once, shared behind
+//!   [`std::sync::Arc`]s; appends rebuild only the touched shards
+//!   copy-on-write (an O(n/S) publish) and bump their epochs; drops retire
+//!   the id forever.
 //! * [`registry`] — the open set of scoring functions: families are
 //!   registered at runtime as factories producing
 //!   [`prj_core::ScoringSpec`] trait objects, whose cache fingerprint is
 //!   part of the trait — so anything servable is cache-safe by
 //!   construction.
-//! * [`planner`] — per query, chooses among the paper's four instantiations
-//!   (CBRR/CBPA/TBRR/TBPA) and decides whether to enable the LP dominance
-//!   test, using the relation statistics.
+//! * [`planner`] — per execution unit, chooses among the paper's four
+//!   instantiations (CBRR/CBPA/TBRR/TBPA) and decides whether to enable
+//!   the LP dominance test, using the unit's (per-shard) relation
+//!   statistics.
 //! * [`engine`] — the execution façade: a fixed worker pool
 //!   ([`executor`]), batched and streaming queries
 //!   ([`Engine::stream`] exposes the paper's incremental pulling model
-//!   with backpressure), and epoch-consistent cache keying.
+//!   with backpressure), partitioned execution fanned over the driving
+//!   relation's shards and recombined by `prj_core`'s bound-aware merges
+//!   (shard count is unobservable through results), and epoch-consistent
+//!   cache keying.
 //! * [`cache`] — an LRU result cache keyed by (relations *with their
-//!   epochs*, query point bits, `k`, scoring fingerprint, algorithm): a
-//!   mutation changes the key, so a stale memoised result can never be
-//!   served, and [`cache::ResultCache::invalidate_relation`] reclaims the
-//!   orphaned entries eagerly.
+//!   per-shard epoch vectors*, query point bits, `k`, scoring fingerprint,
+//!   algorithm): a mutation changes the key, so a stale memoised result
+//!   can never be served, and
+//!   [`cache::ResultCache::invalidate_relation`] reclaims the orphaned
+//!   entries eagerly.
 //! * [`server`] — a minimal line-delimited TCP front-end (the `prj-serve`
 //!   binary) forwarding wire requests to a shared [`Session`].
 //! * [`stats`] — engine-wide aggregation of the operator's metrics.
@@ -86,10 +93,13 @@ pub mod planner;
 pub mod registry;
 pub mod server;
 pub mod session;
+pub mod sharding;
 pub mod stats;
 
 pub use cache::{CacheKey, CacheMetrics, CachedExecution, ResultCache};
-pub use catalog::{Catalog, CatalogError, CatalogRelation, MutationOutcome, RelationId};
+pub use catalog::{
+    Catalog, CatalogError, CatalogRelation, MutationOutcome, RelationId, RelationShard,
+};
 pub use engine::{
     Engine, EngineBuilder, EngineError, EngineResult, QuerySpec, QueryTicket, ResultStream,
 };
@@ -98,4 +108,5 @@ pub use planner::{Plan, Planner, PlannerConfig};
 pub use registry::{ScoringFactory, ScoringRegistry};
 pub use server::Server;
 pub use session::{Dispatch, Session, SessionBuilder, SessionStream};
-pub use stats::{EngineStats, EngineStatsSnapshot, QueryRecord};
+pub use sharding::ShardingPolicy;
+pub use stats::{EngineStats, EngineStatsSnapshot, QueryRecord, ShardLane, UnitRecord};

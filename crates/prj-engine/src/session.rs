@@ -291,6 +291,13 @@ impl Session {
                     cache_entries: cache.entries,
                     cache_invalidations: cache.invalidations,
                     total_sum_depths: stats.total_sum_depths,
+                    shards: self.engine.shards(),
+                    shard_depths: stats.per_shard.iter().map(|l| l.sum_depths).collect(),
+                    shard_micros: stats
+                        .per_shard
+                        .iter()
+                        .map(|l| l.total_latency.as_micros() as u64)
+                        .collect(),
                 })
             }
         }))

@@ -12,8 +12,21 @@ use std::time::Duration;
 /// How many recent latencies the percentile ring retains.
 const LATENCY_RING: usize = 4096;
 
-/// One served query, as recorded by the engine.
+/// One partitioned execution unit's contribution to a query, tagged with
+/// the shard it ran on. Sparse by construction: shards whose driving slice
+/// was empty run no unit and therefore contribute no record.
 #[derive(Debug, Clone, Copy)]
+pub struct UnitRecord {
+    /// The driving-relation shard the unit covered.
+    pub shard: usize,
+    /// Sorted accesses the unit performed.
+    pub sum_depths: usize,
+    /// The unit's wall time.
+    pub latency: Duration,
+}
+
+/// One served query, as recorded by the engine.
+#[derive(Debug, Clone, Default)]
 pub struct QueryRecord {
     /// End-to-end latency observed by the engine (queueing + execution).
     pub latency: Duration,
@@ -23,6 +36,9 @@ pub struct QueryRecord {
     pub bound_updates: usize,
     /// Whether the result came from the cache.
     pub from_cache: bool,
+    /// The execution units that actually ran, one per covered shard (empty
+    /// for cache hits).
+    pub units: Vec<UnitRecord>,
 }
 
 #[derive(Debug, Default)]
@@ -37,6 +53,31 @@ struct Totals {
     total_bound_updates: u64,
     recent_latencies: Vec<Duration>,
     ring_cursor: usize,
+    /// Per-shard lanes, grown on demand to the widest record seen.
+    shards: Vec<ShardLane>,
+}
+
+/// Aggregate work one shard's execution units have performed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardLane {
+    /// Execution units that actually ran on this shard (a query whose
+    /// driving slice of this shard was empty contributes none).
+    pub units: u64,
+    /// Total sorted accesses performed by this shard's units.
+    pub sum_depths: u64,
+    /// Total wall time spent in this shard's units.
+    pub total_latency: Duration,
+}
+
+impl ShardLane {
+    /// Mean unit latency on this shard.
+    pub fn mean_latency(&self) -> Duration {
+        if self.units == 0 {
+            Duration::ZERO
+        } else {
+            self.total_latency / self.units as u32
+        }
+    }
 }
 
 /// Thread-safe aggregate of everything the engine has served.
@@ -68,6 +109,15 @@ impl EngineStats {
         t.max_latency = t.max_latency.max(record.latency);
         t.total_sum_depths += record.sum_depths as u64;
         t.total_bound_updates += record.bound_updates as u64;
+        for unit in &record.units {
+            if t.shards.len() <= unit.shard {
+                t.shards.resize(unit.shard + 1, ShardLane::default());
+            }
+            let lane = &mut t.shards[unit.shard];
+            lane.units += 1;
+            lane.sum_depths += unit.sum_depths as u64;
+            lane.total_latency += unit.latency;
+        }
         if t.recent_latencies.len() < LATENCY_RING {
             t.recent_latencies.push(record.latency);
         } else {
@@ -105,12 +155,13 @@ impl EngineStats {
             p95_latency: percentile(0.95),
             total_sum_depths: t.total_sum_depths,
             total_bound_updates: t.total_bound_updates,
+            per_shard: t.shards.clone(),
         }
     }
 }
 
 /// Point-in-time engine statistics.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EngineStatsSnapshot {
     /// Total queries served (cold + cached).
     pub queries: u64,
@@ -133,6 +184,9 @@ pub struct EngineStatsSnapshot {
     pub total_sum_depths: u64,
     /// Total `updateBound` evaluations over all executed runs.
     pub total_bound_updates: u64,
+    /// Per-shard depth/latency breakdown of partitioned executions, indexed
+    /// by shard (empty until a sharded query executes).
+    pub per_shard: Vec<ShardLane>,
 }
 
 impl EngineStatsSnapshot {
@@ -165,6 +219,7 @@ mod tests {
             sum_depths: depths,
             bound_updates: depths + 1,
             from_cache: cached,
+            ..QueryRecord::default()
         }
     }
 
@@ -196,6 +251,47 @@ mod tests {
         let snap = stats.snapshot();
         assert_eq!(snap.p50_latency, Duration::from_micros(50));
         assert_eq!(snap.p95_latency, Duration::from_micros(95));
+    }
+
+    fn unit(shard: usize, depths: usize, us: u64) -> UnitRecord {
+        UnitRecord {
+            shard,
+            sum_depths: depths,
+            latency: Duration::from_micros(us),
+        }
+    }
+
+    #[test]
+    fn per_shard_lanes_accumulate_only_units_that_ran() {
+        let stats = EngineStats::new();
+        stats.record(QueryRecord {
+            latency: Duration::from_micros(100),
+            sum_depths: 30,
+            units: vec![unit(0, 10, 40), unit(1, 20, 60)],
+            ..QueryRecord::default()
+        });
+        stats.record(QueryRecord {
+            latency: Duration::from_micros(50),
+            sum_depths: 4,
+            // Shard 1's driving slice was empty this time: no unit ran
+            // there, so its lane must not be touched. Shard 2 grows the
+            // lane vector.
+            units: vec![unit(0, 1, 10), unit(2, 3, 30)],
+            ..QueryRecord::default()
+        });
+        // A cache hit contributes nothing per shard.
+        stats.record(record(5, 0, true));
+        let snap = stats.snapshot();
+        assert_eq!(snap.per_shard.len(), 3);
+        assert_eq!(snap.per_shard[0].units, 2);
+        assert_eq!(snap.per_shard[0].sum_depths, 11);
+        assert_eq!(snap.per_shard[0].total_latency, Duration::from_micros(50));
+        assert_eq!(snap.per_shard[1].units, 1, "idle shard gains no unit");
+        assert_eq!(snap.per_shard[1].sum_depths, 20);
+        assert_eq!(snap.per_shard[1].mean_latency(), Duration::from_micros(60));
+        assert_eq!(snap.per_shard[2].units, 1);
+        assert_eq!(snap.per_shard[2].sum_depths, 3);
+        assert_eq!(snap.per_shard[2].mean_latency(), Duration::from_micros(30));
     }
 
     #[test]

@@ -1,6 +1,11 @@
 //! Property tests for cache correctness under mutation: `AppendTuples` /
-//! `DropRelation` bump the relation epoch, and a post-mutation query never
-//! returns the pre-mutation cached result.
+//! `DropRelation` bump the relation's (per-shard) epochs, and a
+//! post-mutation query never returns the pre-mutation cached result.
+//!
+//! Every property runs at several shard counts: with sharding the cache key
+//! folds in the full epoch *vector*, and a single-tuple append bumps
+//! exactly one entry of it — the scalar epoch reported on the API surface
+//! is the vector's sum, so the `+1 per append` contract is unchanged.
 
 use prj_api::{QueryRequest, Request, Response, TupleData};
 use prj_core::{EuclideanLogScore, ScoringFunction};
@@ -66,8 +71,9 @@ proptest! {
         ),
         q in prop::array::uniform2(-1.0..1.0f64),
     ) {
-        let engine = Arc::new(EngineBuilder::default().threads(2).build());
-        let session = Session::new(engine);
+        for shards in [1usize, 3] {
+        let engine = Arc::new(EngineBuilder::default().threads(2).shards(shards).build());
+        let session = Session::new(Arc::clone(&engine));
         let mut contents = [a.clone(), b.clone()];
         register(&session, "a", &a);
         register(&session, "b", &b);
@@ -80,7 +86,7 @@ proptest! {
         prop_assert!(from_cache, "repeat without mutation must hit");
 
         let mut expected_epochs = [0u64; 2];
-        for ((x, s), target) in appends {
+        for &((x, s), target) in &appends {
             let name = if target == 0 { "a" } else { "b" };
             let response = session.handle(Request::AppendTuples {
                 relation: name.into(),
@@ -90,9 +96,17 @@ proptest! {
             match response {
                 Response::Appended { id, epoch, cardinality } => {
                     prop_assert_eq!(id, target);
-                    prop_assert_eq!(epoch, expected_epochs[target], "epoch bumps by one");
+                    prop_assert_eq!(epoch, expected_epochs[target], "epoch (vector sum) bumps by one");
                     contents[target].push((x, s));
                     prop_assert_eq!(cardinality, contents[target].len());
+                    // The epoch vector sums to the scalar epoch, has one
+                    // entry per shard, and a single-tuple append bumped
+                    // exactly one entry.
+                    let rel_id = engine.catalog().lookup(name).expect("lookup");
+                    let rel = engine.catalog().relation(rel_id).expect("relation");
+                    let epochs = rel.epochs();
+                    prop_assert_eq!(epochs.len(), shards);
+                    prop_assert_eq!(epochs.iter().sum::<u64>(), epoch);
                 }
                 other => { prop_assert!(false, "append failed: {:?}", other); }
             }
@@ -109,6 +123,7 @@ proptest! {
             let (_, from_cache) = top1(&session, q);
             prop_assert!(from_cache, "repeat after mutation must hit the new entry");
         }
+        }
     }
 
     /// Dropping a relation bumps its epoch and purges its cache entries:
@@ -121,7 +136,8 @@ proptest! {
         b2 in prop::collection::vec((prop::array::uniform2(-3.0..3.0f64), 0.1..1.0f64), 1..4),
         q in prop::array::uniform2(-1.0..1.0f64),
     ) {
-        let engine = Arc::new(EngineBuilder::default().threads(2).build());
+        for shards in [1usize, 4] {
+        let engine = Arc::new(EngineBuilder::default().threads(2).shards(shards).build());
         let session = Session::new(Arc::clone(&engine));
         register(&session, "a", &a);
         register(&session, "b", &b);
@@ -141,5 +157,6 @@ proptest! {
         prop_assert!(!from_cache);
         let fresh = oracle_top1(&a, &b2, q);
         prop_assert!((row.score - fresh).abs() < 1e-9);
+        }
     }
 }

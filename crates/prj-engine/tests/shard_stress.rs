@@ -1,0 +1,297 @@
+//! Concurrency stress: interleaved mutations and queries over a sharded
+//! engine must never serve a pre-mutation cached result.
+//!
+//! The cache key folds in each relation's per-shard **epoch vector**, so
+//! staleness is structurally impossible — these tests hammer that claim
+//! from multiple threads:
+//!
+//! * an appender keeps publishing strictly *improving* tuples while a query
+//!   thread asserts the served top-1 score is (a) always an exact oracle
+//!   value of some published prefix and (b) monotonically non-decreasing —
+//!   a stale cached answer would violate monotonicity;
+//! * drop/re-register churn must never leak a dropped relation's memoised
+//!   results into queries over its successor;
+//! * a single-shard append must bump exactly one entry of the epoch vector
+//!   and still invalidate every cached result that read the relation.
+
+use prj_api::{QueryRequest, Request, Response, TupleData};
+use prj_core::{EuclideanLogScore, ScoringFunction};
+use prj_engine::{EngineBuilder, Session, ShardingPolicy};
+use prj_geometry::Vector;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+const SHARDS: usize = 4;
+
+fn register(session: &Session, name: &str, rows: &[([f64; 2], f64)]) {
+    let response = session.handle(Request::RegisterRelation {
+        name: name.to_string(),
+        tuples: rows
+            .iter()
+            .map(|(x, s)| TupleData::new(x.to_vec(), *s))
+            .collect(),
+    });
+    assert!(
+        matches!(response, Response::Registered { .. }),
+        "{response:?}"
+    );
+}
+
+fn top1_score(session: &Session, rels: &[&str], q: [f64; 2]) -> f64 {
+    match session.handle(Request::TopK(
+        QueryRequest::new(rels.iter().map(|r| (*r).into()).collect(), q.to_vec()).k(1),
+    )) {
+        Response::Results { rows, .. } => rows[0].score,
+        other => panic!("query failed: {other:?}"),
+    }
+}
+
+/// Oracle top-1 score over explicit contents (Eq. 2 unit weights).
+fn oracle(a: &[([f64; 2], f64)], b: &[([f64; 2], f64)], q: [f64; 2]) -> f64 {
+    let scoring = EuclideanLogScore::default();
+    let query = Vector::from(q);
+    let mut best = f64::NEG_INFINITY;
+    for (xa, sa) in a {
+        for (xb, sb) in b {
+            let va = Vector::from(*xa);
+            let vb = Vector::from(*xb);
+            best = best.max(scoring.score_members(&[(&va, *sa), (&vb, *sb)], &query));
+        }
+    }
+    best
+}
+
+/// Appends that only ever *improve* the best combination, raced against a
+/// querying thread: every observed top-1 must be an exact oracle value of
+/// some published prefix, and the sequence of observations must be
+/// non-decreasing. A stale cached result would replay an older (strictly
+/// lower) score after a newer one was observed.
+#[test]
+fn racing_appends_never_serve_stale_results() {
+    let engine = Arc::new(EngineBuilder::default().threads(2).shards(SHARDS).build());
+    let session = Arc::new(Session::new(Arc::clone(&engine)));
+    let q = [0.0, 0.0];
+    let base_a = vec![([2.0, 2.0], 0.3), ([-2.0, 1.0], 0.4)];
+    let base_b = vec![([1.5, -1.5], 0.5), ([-1.0, -2.0], 0.6)];
+    register(&session, "a", &base_a);
+    register(&session, "b", &base_b);
+
+    // Precompute the improving append sequence and the oracle score after
+    // each prefix: each new tuple sits closer to the query with a higher
+    // score, so the oracle sequence strictly increases.
+    const APPENDS: usize = 24;
+    let mut contents_a = base_a.clone();
+    let mut appended = Vec::new();
+    let mut oracle_after: Vec<u64> = vec![oracle(&contents_a, &base_b, q).to_bits()];
+    for i in 0..APPENDS {
+        // Spread directions so the appends land on different grid cells
+        // (and hence shards); an exponential score ramp (+20 in ln σ per
+        // step) dwarfs every distance term, so each append strictly
+        // improves the oracle no matter where it lands.
+        let angle = i as f64 * 2.4;
+        let tuple = (
+            [0.4 * angle.cos(), 0.4 * angle.sin()],
+            (20.0 * (i as f64 + 1.0)).exp(),
+        );
+        contents_a.push(tuple);
+        appended.push(tuple);
+        oracle_after.push(oracle(&contents_a, &base_b, q).to_bits());
+    }
+    for w in oracle_after.windows(2) {
+        assert!(
+            f64::from_bits(w[1]) > f64::from_bits(w[0]),
+            "test setup: every append must improve the oracle"
+        );
+    }
+
+    let done = Arc::new(AtomicBool::new(false));
+    let observations = std::thread::scope(|scope| {
+        let appender = {
+            let session = Arc::clone(&session);
+            let done = Arc::clone(&done);
+            let appended = appended.clone();
+            scope.spawn(move || {
+                for (x, s) in appended {
+                    let response = session.handle(Request::AppendTuples {
+                        relation: "a".into(),
+                        tuples: vec![TupleData::new(x.to_vec(), s)],
+                    });
+                    assert!(
+                        matches!(response, Response::Appended { .. }),
+                        "{response:?}"
+                    );
+                }
+                done.store(true, Ordering::SeqCst);
+            })
+        };
+        let querier = {
+            let session = Arc::clone(&session);
+            let done = Arc::clone(&done);
+            scope.spawn(move || {
+                let mut seen = Vec::new();
+                while !done.load(Ordering::SeqCst) {
+                    seen.push(top1_score(&session, &["a", "b"], q).to_bits());
+                }
+                seen
+            })
+        };
+        appender.join().expect("appender");
+        querier.join().expect("querier")
+    });
+
+    // Every observation is an exact prefix-oracle value…
+    for bits in &observations {
+        assert!(
+            oracle_after.contains(bits),
+            "observed score {} is no prefix oracle value",
+            f64::from_bits(*bits)
+        );
+    }
+    // …and the prefix index never goes backwards (stale replay would).
+    let indices: Vec<usize> = observations
+        .iter()
+        .map(|bits| oracle_after.iter().position(|o| o == bits).unwrap())
+        .collect();
+    for w in indices.windows(2) {
+        assert!(
+            w[1] >= w[0],
+            "served results went backwards in time: {indices:?}"
+        );
+    }
+
+    // Quiesced: the final answer matches the full oracle and re-caches.
+    let final_bits = top1_score(&session, &["a", "b"], q).to_bits();
+    assert_eq!(final_bits, *oracle_after.last().unwrap());
+    match session.handle(Request::TopK(
+        QueryRequest::new(vec!["a".into(), "b".into()], q.to_vec()).k(1),
+    )) {
+        Response::Results { from_cache, .. } => assert!(from_cache, "quiesced repeat must hit"),
+        other => panic!("{other:?}"),
+    }
+}
+
+/// Drop/re-register churn raced against queries: every response is either a
+/// typed error (relation momentarily gone) or an exact oracle value of one
+/// of the two generations — never a mixture, never a stale leak after the
+/// final generation settles.
+#[test]
+fn drop_reregister_churn_never_leaks_old_generations() {
+    let engine = Arc::new(EngineBuilder::default().threads(2).shards(SHARDS).build());
+    let session = Arc::new(Session::new(Arc::clone(&engine)));
+    let q = [0.2, -0.1];
+    let a = vec![([0.4, 0.4], 0.9), ([-1.0, 2.0], 0.2)];
+    let gen0 = vec![([0.1, -0.3], 0.8), ([2.0, 2.0], 0.3)];
+    let gen1 = vec![([-0.2, 0.1], 0.95), ([1.0, -1.0], 0.4)];
+    register(&session, "a", &a);
+    register(&session, "b", &gen0);
+    let valid = [
+        oracle(&a, &gen0, q).to_bits(),
+        oracle(&a, &gen1, q).to_bits(),
+    ];
+    assert_ne!(valid[0], valid[1], "generations must be distinguishable");
+
+    let done = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|scope| {
+        let churner = {
+            let session = Arc::clone(&session);
+            let done = Arc::clone(&done);
+            let (gen0, gen1) = (gen0.clone(), gen1.clone());
+            scope.spawn(move || {
+                for round in 0..12 {
+                    let next = if round % 2 == 0 { &gen1 } else { &gen0 };
+                    session.handle(Request::DropRelation {
+                        relation: "b".into(),
+                    });
+                    register(&session, "b", next);
+                }
+                done.store(true, Ordering::SeqCst);
+            })
+        };
+        let querier = {
+            let session = Arc::clone(&session);
+            let done = Arc::clone(&done);
+            scope.spawn(move || {
+                while !done.load(Ordering::SeqCst) {
+                    match session.handle(Request::TopK(
+                        QueryRequest::new(vec!["a".into(), "b".into()], q.to_vec()).k(1),
+                    )) {
+                        Response::Results { rows, .. } => {
+                            assert!(
+                                valid.contains(&rows[0].score.to_bits()),
+                                "score {} belongs to neither generation",
+                                rows[0].score
+                            );
+                        }
+                        // The relation may be mid-churn (dropped, or its
+                        // name momentarily unbound): typed errors only.
+                        Response::Error(_) => {}
+                        other => panic!("unexpected response: {other:?}"),
+                    }
+                }
+            })
+        };
+        churner.join().expect("churner");
+        querier.join().expect("querier");
+    });
+
+    // Settled on gen0 (12 rounds flip to gen0 last): fresh query agrees.
+    assert_eq!(top1_score(&session, &["a", "b"], q).to_bits(), valid[0]);
+}
+
+/// White-box epoch-vector check: a single-tuple append bumps exactly the
+/// targeted shard's epoch, leaves sibling shards' structures shared, and
+/// still unkeys every cached result over the relation.
+#[test]
+fn single_shard_append_bumps_one_epoch_entry_and_invalidates() {
+    let policy = ShardingPolicy::new(SHARDS);
+    let engine = Arc::new(
+        EngineBuilder::default()
+            .threads(1)
+            .sharding_policy(policy)
+            .build(),
+    );
+    // Spread registration points over the plane so several shards are
+    // populated.
+    let rows: Vec<(Vector, f64)> = (0..32)
+        .map(|i| {
+            (
+                Vector::from([(i % 8) as f64 * 1.7 - 6.0, (i / 8) as f64 * 1.9 - 3.0]),
+                0.3 + (i % 5) as f64 / 10.0,
+            )
+        })
+        .collect();
+    let (id, _) = engine.catalog().register_rows("r", rows).unwrap();
+
+    // Probe a point and find its shard; append there.
+    let probe = Vector::from([4.25, 3.75]);
+    let target = policy.shard_of(&probe);
+
+    let spec = prj_engine::QuerySpec::top_k(vec![id], Vector::from([0.0, 0.0]), 2);
+    let cold = engine.query(spec.clone()).expect("cold");
+    assert!(!cold.from_cache);
+    assert!(engine.query(spec.clone()).expect("warm").from_cache);
+
+    let before = engine.catalog().relation(id).unwrap();
+    engine.append_rows(id, vec![(probe, 0.99)]).expect("append");
+    let after = engine.catalog().relation(id).unwrap();
+
+    let (before_epochs, after_epochs) = (before.epochs(), after.epochs());
+    for j in 0..SHARDS {
+        let expected = before_epochs[j] + u64::from(j == target);
+        assert_eq!(after_epochs[j], expected, "shard {j}");
+        if j != target {
+            assert!(
+                Arc::ptr_eq(before.shard(j).rtree(), after.shard(j).rtree()),
+                "untouched shard {j} must share its R-tree"
+            );
+        }
+    }
+
+    // The epoch-vector key makes the memoised result unreachable.
+    let fresh = engine.query(spec.clone()).expect("fresh");
+    assert!(
+        !fresh.from_cache,
+        "append must invalidate the cached result"
+    );
+    assert!(engine.query(spec).expect("rewarm").from_cache);
+}
