@@ -19,6 +19,12 @@ impl AccessStats {
         AccessStats { depths: vec![0; n] }
     }
 
+    /// Reconstructs statistics from explicit per-relation depths — used
+    /// when a remote worker's accounting is rehydrated from the wire.
+    pub fn from_depths(depths: Vec<usize>) -> Self {
+        AccessStats { depths }
+    }
+
     /// Number of relations tracked.
     pub fn num_relations(&self) -> usize {
         self.depths.len()

@@ -5,37 +5,193 @@
 //! marker. The client is deliberately dependency-free (std `TcpStream` +
 //! `BufRead`), mirroring how thin a consumer of the [`crate::wire`] format
 //! can be.
+//!
+//! ## Robustness
+//!
+//! [`ClientConfig`] adds the guard rails a cluster caller needs: a connect
+//! timeout with bounded retries and exponential backoff (a worker that is
+//! restarting should not fail the first dial), and read/write timeouts so a
+//! hung peer surfaces as a typed [`ErrorKind::Io`] error instead of wedging
+//! the caller forever.
+//!
+//! ## Version negotiation
+//!
+//! [`ApiClient::negotiate`] performs one [`Request::Hello`] exchange: a
+//! `prj/2` peer answers with the common version, a pre-cluster peer rejects
+//! the `prj/2` prefix with a version error — which the client reads as
+//! "speak `prj/1`". All later requests are encoded at the negotiated
+//! version; without negotiation every pre-existing request kind is encoded
+//! at `prj/1`, which every server accepts.
 
 use crate::error::{ApiError, ErrorKind};
-use crate::request::{QueryRequest, Request};
-use crate::response::{Response, ResultRow, StatsReport};
+use crate::request::{QueryRequest, Request, UnitRequest};
+use crate::response::{Response, ResultRow, StatsReport, UnitOutcome};
 use crate::wire;
+use crate::{MIN_PROTOCOL_VERSION, PROTOCOL_VERSION};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Connection-robustness knobs for [`ApiClient::connect_with`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientConfig {
+    /// Per-attempt connect timeout (`None` = the OS default).
+    pub connect_timeout: Option<Duration>,
+    /// Additional connect attempts after the first failure.
+    pub connect_retries: u32,
+    /// Backoff before the first retry; doubles per attempt.
+    pub retry_backoff: Duration,
+    /// Read timeout on the established stream (`None` = block forever).
+    /// Beware that long-running streaming queries are paced by the engine,
+    /// so a timeout shorter than a query's compute time will fire on
+    /// perfectly healthy peers.
+    pub read_timeout: Option<Duration>,
+    /// Write timeout on the established stream (`None` = block forever).
+    pub write_timeout: Option<Duration>,
+}
+
+impl Default for ClientConfig {
+    /// Bounded dialing (3 retries, 50 ms initial backoff, 5 s per-attempt
+    /// timeout), unbounded reads/writes — the interactive default.
+    fn default() -> Self {
+        ClientConfig {
+            connect_timeout: Some(Duration::from_secs(5)),
+            connect_retries: 3,
+            retry_backoff: Duration::from_millis(50),
+            read_timeout: None,
+            write_timeout: None,
+        }
+    }
+}
+
+impl ClientConfig {
+    /// A config with the given read *and* write timeouts — what a cluster
+    /// coordinator uses so one hung worker cannot wedge a query forever.
+    pub fn with_timeouts(timeout: Duration) -> Self {
+        ClientConfig {
+            read_timeout: Some(timeout),
+            write_timeout: Some(timeout),
+            ..ClientConfig::default()
+        }
+    }
+}
 
 /// A blocking client over one TCP connection.
 #[derive(Debug)]
 pub struct ApiClient {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    /// The protocol version requests are encoded at; `None` until
+    /// [`ApiClient::negotiate`] runs, in which case each request is sent at
+    /// the lowest version able to carry it.
+    version: Option<u32>,
 }
 
 impl ApiClient {
-    /// Connects to a `prj-serve` listener.
+    /// Connects to a `prj-serve` listener with the default config.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<ApiClient> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true).ok();
-        let reader = BufReader::new(stream.try_clone()?);
-        Ok(ApiClient {
-            reader,
-            writer: stream,
-        })
+        Self::connect_with(addr, &ClientConfig::default())
+    }
+
+    /// Connects with explicit timeouts and retry behaviour. Each address
+    /// the name resolves to is tried once per attempt; attempts beyond the
+    /// first sleep `retry_backoff · 2^(attempt-1)` first.
+    pub fn connect_with<A: ToSocketAddrs>(
+        addr: A,
+        config: &ClientConfig,
+    ) -> std::io::Result<ApiClient> {
+        let addrs: Vec<std::net::SocketAddr> = addr.to_socket_addrs()?.collect();
+        if addrs.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "address resolved to nothing",
+            ));
+        }
+        let mut backoff = config.retry_backoff;
+        let mut last_err = None;
+        for attempt in 0..=config.connect_retries {
+            if attempt > 0 {
+                std::thread::sleep(backoff);
+                backoff = backoff.saturating_mul(2);
+            }
+            for target in &addrs {
+                let dialed = match config.connect_timeout {
+                    Some(timeout) => TcpStream::connect_timeout(target, timeout),
+                    None => TcpStream::connect(target),
+                };
+                match dialed {
+                    Ok(stream) => {
+                        stream.set_nodelay(true).ok();
+                        stream.set_read_timeout(config.read_timeout)?;
+                        stream.set_write_timeout(config.write_timeout)?;
+                        let reader = BufReader::new(stream.try_clone()?);
+                        return Ok(ApiClient {
+                            reader,
+                            writer: stream,
+                            version: None,
+                        });
+                    }
+                    Err(e) => last_err = Some(e),
+                }
+            }
+        }
+        Err(last_err.unwrap_or_else(|| std::io::Error::other("connect failed")))
+    }
+
+    /// The negotiated protocol version, if [`ApiClient::negotiate`] ran.
+    pub fn version(&self) -> Option<u32> {
+        self.version
+    }
+
+    /// Negotiates the protocol version with one [`Request::Hello`]
+    /// round-trip and pins it for all later requests. A peer that rejects
+    /// the `prj/2` prefix with a version error is a `prj/1` server — not a
+    /// failure. Returns the negotiated version.
+    pub fn negotiate(&mut self) -> Result<u32, ApiError> {
+        let hello = Request::Hello {
+            max_version: PROTOCOL_VERSION,
+        };
+        self.send_at(&hello, PROTOCOL_VERSION)?;
+        let version = match self.read_response()? {
+            Response::HelloAck { version } => version.clamp(MIN_PROTOCOL_VERSION, PROTOCOL_VERSION),
+            Response::Error(e) if matches!(e.kind, ErrorKind::Version | ErrorKind::Malformed) => {
+                // Pre-cluster peers reject either the prj/2 prefix
+                // (version) or the unknown hello verb (malformed); both
+                // mean "speak prj/1".
+                MIN_PROTOCOL_VERSION
+            }
+            Response::Error(e) => return Err(e),
+            other => {
+                return Err(ApiError::new(
+                    ErrorKind::Internal,
+                    format!("unexpected hello answer: {other:?}"),
+                ))
+            }
+        };
+        self.version = Some(version);
+        Ok(version)
+    }
+
+    fn send_at(&mut self, request: &Request, version: u32) -> Result<(), ApiError> {
+        let mut line = wire::encode_request_at(request, version)?;
+        line.push('\n');
+        self.writer.write_all(line.as_bytes()).map_err(ApiError::io)
     }
 
     fn send(&mut self, request: &Request) -> Result<(), ApiError> {
-        let mut line = wire::encode_request(request)?;
-        line.push('\n');
-        self.writer.write_all(line.as_bytes()).map_err(ApiError::io)
+        let needed = wire::request_version(request);
+        let version = match self.version {
+            // A negotiated prj/1 peer cannot be sent cluster messages.
+            Some(negotiated) if negotiated < needed => {
+                return Err(ApiError::new(
+                    ErrorKind::Version,
+                    format!("peer negotiated prj/{negotiated}, request requires prj/{needed}"),
+                ));
+            }
+            Some(negotiated) => negotiated,
+            None => needed,
+        };
+        self.send_at(request, version)
     }
 
     fn read_response(&mut self) -> Result<Response, ApiError> {
@@ -99,6 +255,15 @@ impl ApiClient {
     pub fn stats(&mut self) -> Result<StatsReport, ApiError> {
         match self.call(&Request::Stats)? {
             Response::Stats(report) => Ok(report),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Cluster-internal: executes one driving-shard unit on a worker
+    /// (`prj/2`; negotiate first).
+    pub fn execute_unit(&mut self, unit: UnitRequest) -> Result<UnitOutcome, ApiError> {
+        match self.call(&Request::ExecuteUnit(unit))? {
+            Response::Unit(outcome) => Ok(outcome),
             other => Err(unexpected(&other)),
         }
     }

@@ -18,6 +18,10 @@
 //! | [`Request::TopK`] | run one top-k query to completion |
 //! | [`Request::Stream`] | run one top-k query, results delivered incrementally |
 //! | [`Request::Stats`] | engine statistics snapshot |
+//! | [`Request::Hello`] | negotiate the protocol version (`prj/2`) |
+//! | [`Request::ExecuteUnit`] | cluster-internal: run one driving-shard unit (`prj/2`) |
+//! | [`Request::ShardAssignment`] | cluster-internal: install a worker's shard set (`prj/2`) |
+//! | [`Request::WorkerStats`] | cluster-internal: worker work counters (`prj/2`) |
 //!
 //! Queries reference relations by id or by name ([`RelationRef`]) and pick
 //! their scoring function by registry name plus parameters
@@ -26,12 +30,26 @@
 //! counter the engine's result cache is keyed by, which is what makes a
 //! stale cached top-k unservable after an append or drop.
 //!
-//! ## Versioning
+//! ## Versioning and negotiation
 //!
-//! Every wire line is prefixed with `prj/1` ([`PROTOCOL_VERSION`]). A
-//! decoder that sees any other version answers with
-//! [`ErrorKind::Version`] rather than guessing, so incompatible clients
-//! fail loudly at the first exchange.
+//! Every wire line is prefixed with `prj/N`. This build understands
+//! [`MIN_PROTOCOL_VERSION`]`..=`[`PROTOCOL_VERSION`] (`prj/1` and `prj/2`):
+//! the original `prj/1` request grammar is unchanged under either prefix,
+//! while the cluster-internal messages introduced by `prj/2`
+//! ([`Request::Hello`], [`Request::ExecuteUnit`],
+//! [`Request::ShardAssignment`], [`Request::WorkerStats`]) are only valid
+//! on `prj/2` lines — a `prj/1` peer sending one gets a typed
+//! [`ErrorKind::Version`] answer, never a dropped connection. Versions
+//! outside the supported range answer with [`ErrorKind::Version`] rather
+//! than guessing, so incompatible clients fail loudly at the first
+//! exchange.
+//!
+//! A server answers every request at the version the request arrived in,
+//! so `prj/1` clients keep round-tripping against `prj/2` servers
+//! unchanged. New clients discover a peer's ceiling with a
+//! [`Request::Hello`] exchange ([`client::ApiClient::negotiate`]): an old
+//! server rejects the `prj/2` prefix with a version error and the client
+//! falls back to `prj/1`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -42,12 +60,15 @@ pub mod request;
 pub mod response;
 pub mod wire;
 
-pub use client::ApiClient;
+pub use client::{ApiClient, ClientConfig};
 pub use error::{ApiError, ErrorKind};
-pub use request::{QueryRequest, RelationRef, Request, ScoringSelector, TupleData};
-pub use response::{Response, ResultRow, StatsReport};
+pub use request::{QueryRequest, RelationRef, Request, ScoringSelector, TupleData, UnitRequest};
+pub use response::{Response, ResultRow, StatsReport, UnitMember, UnitOutcome, UnitRow};
 
-/// The protocol version spoken by this build; the `1` of the `prj/1` wire
-/// prefix. Bump on any incompatible change to the request or response
+/// The newest protocol version spoken by this build; the `2` of the `prj/2`
+/// wire prefix. Bump on any incompatible change to the request or response
 /// grammar.
-pub const PROTOCOL_VERSION: u32 = 1;
+pub const PROTOCOL_VERSION: u32 = 2;
+
+/// The oldest protocol version this build still decodes and answers.
+pub const MIN_PROTOCOL_VERSION: u32 = 1;

@@ -140,6 +140,47 @@ impl QueryRequest {
     }
 }
 
+/// One cluster-internal execution unit: shard `shard` of the driving
+/// relation joined against whole-relation views of the others, with the
+/// coordinator's plan pinned (`prj/2` only).
+///
+/// The coordinator snapshots its catalog, plans each unit, and ships this
+/// description to the worker owning the shard; the worker replays the unit
+/// against its replicated catalog and returns a [`crate::UnitOutcome`].
+/// The per-relation `epochs` are the coordinator snapshot's epoch vectors:
+/// a worker whose replica disagrees answers
+/// [`crate::ErrorKind::StaleEpoch`] instead of computing an answer over
+/// different data, which is what keeps distributed results bit-identical
+/// to local ones.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnitRequest {
+    /// The relations to join, in join order (ids: replicated catalogs
+    /// assign the same registration indices as the coordinator).
+    pub relations: Vec<RelationRef>,
+    /// Per-relation epoch vectors of the coordinator snapshot, in join
+    /// order.
+    pub epochs: Vec<Vec<u64>>,
+    /// Index (into `relations`) of the driving relation the combination
+    /// space is partitioned by.
+    pub drive: usize,
+    /// The driving-relation shard this unit covers.
+    pub shard: usize,
+    /// The query point `q`.
+    pub query: Vec<f64>,
+    /// Number of requested results `K` (the *global* K; every unit runs
+    /// with it).
+    pub k: usize,
+    /// Scoring function, resolved by the worker's registry.
+    pub scoring: ScoringSelector,
+    /// Sorted-access kind.
+    pub access: AccessKind,
+    /// The operator instantiation the coordinator planned for this unit.
+    pub algorithm: Algorithm,
+    /// LP dominance-test period the coordinator planned (`None` =
+    /// disabled).
+    pub dominance_period: Option<usize>,
+}
+
 /// A protocol request.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -172,4 +213,27 @@ pub enum Request {
     Stream(QueryRequest),
     /// Engine statistics snapshot.
     Stats,
+    /// Protocol negotiation: the sender's highest supported version. The
+    /// peer answers [`crate::Response::HelloAck`] with the version both
+    /// sides will speak (`min` of the two ceilings). A pre-`prj/2` server
+    /// rejects the unknown `prj/2` prefix with a typed version error,
+    /// which a negotiating client reads as "speak `prj/1`".
+    Hello {
+        /// Highest protocol version the sender supports.
+        max_version: u32,
+    },
+    /// Cluster-internal (`prj/2`): execute one driving-shard unit against
+    /// the worker's replicated catalog.
+    ExecuteUnit(UnitRequest),
+    /// Cluster-internal (`prj/2`): install the set of driving shards this
+    /// worker owns under a topology generation, so its work counters and
+    /// diagnostics can name them.
+    ShardAssignment {
+        /// Topology generation the assignment belongs to.
+        generation: u64,
+        /// The driving shards assigned to this worker.
+        shards: Vec<usize>,
+    },
+    /// Cluster-internal (`prj/2`): the worker's work counters.
+    WorkerStats,
 }

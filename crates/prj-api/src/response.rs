@@ -40,6 +40,55 @@ pub struct StatsReport {
     pub shard_micros: Vec<u64>,
 }
 
+/// One member tuple of a [`UnitRow`], with its full contents so the
+/// coordinator can rehydrate the combination without re-reading its own
+/// catalog (`prj/2` only).
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnitMember {
+    /// The tuple's relation registration index ([`prj_access::TupleId`]'s
+    /// `relation`).
+    pub relation: usize,
+    /// The tuple's arrival rank within the relation.
+    pub index: usize,
+    /// The tuple's score `σ`.
+    pub score: f64,
+    /// The tuple's feature-vector coordinates.
+    pub coords: Vec<f64>,
+}
+
+/// One combination of a cluster-internal unit result (`prj/2` only).
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnitRow {
+    /// Aggregate score `S(τ)`.
+    pub score: f64,
+    /// Member tuples, in join order, with full contents.
+    pub members: Vec<UnitMember>,
+}
+
+/// The outcome of one [`crate::Request::ExecuteUnit`]: the unit's certified
+/// top-K plus exactly the accounting the coordinator's bound-aware merge
+/// needs (`prj/2` only). Floats round-trip bit-exactly, so a merged
+/// distributed answer is indistinguishable from a local one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnitOutcome {
+    /// The unit's top-K combinations, best first.
+    pub rows: Vec<UnitRow>,
+    /// The unit's final upper bound `t_j` when it stopped (−∞ on
+    /// exhaustion); the merged bound is the max over units.
+    pub final_bound: f64,
+    /// Per-relation sorted-access depths, in join order.
+    pub depths: Vec<u64>,
+    /// Number of `updateBound` evaluations.
+    pub bound_updates: u64,
+    /// Number of combinations formed.
+    pub combinations_formed: u64,
+    /// Active execution time in microseconds.
+    pub micros: u64,
+    /// `true` when the unit stopped on an access cap instead of the
+    /// termination condition (the merged result is then uncertified).
+    pub capped: bool,
+}
+
 /// A protocol response.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
@@ -89,6 +138,34 @@ pub enum Response {
     },
     /// Statistics snapshot.
     Stats(StatsReport),
+    /// Answer to [`crate::Request::Hello`]: the version both sides will
+    /// speak from here on.
+    HelloAck {
+        /// The negotiated protocol version.
+        version: u32,
+    },
+    /// Answer to [`crate::Request::ExecuteUnit`] (`prj/2`).
+    Unit(UnitOutcome),
+    /// Answer to [`crate::Request::ShardAssignment`] (`prj/2`).
+    AssignmentAck {
+        /// The installed topology generation.
+        generation: u64,
+        /// The installed shard set.
+        shards: Vec<usize>,
+    },
+    /// Answer to [`crate::Request::WorkerStats`] (`prj/2`).
+    WorkerReport {
+        /// Topology generation of the worker's current assignment.
+        generation: u64,
+        /// The driving shards assigned to this worker.
+        shards: Vec<usize>,
+        /// Execution units served since boot.
+        units: u64,
+        /// Total sorted accesses performed by those units.
+        depths: u64,
+        /// Live relations in the worker's replicated catalog.
+        relations: usize,
+    },
     /// The request failed.
     Error(ApiError),
 }

@@ -1,4 +1,4 @@
-//! The line wire codec: `prj/1 …`, one message per line.
+//! The line wire codec: `prj/1 …` / `prj/2 …`, one message per line.
 //!
 //! The format is a versioned, human-readable text protocol chosen so that a
 //! round-trip needs nothing beyond a TCP stream and `BufRead::read_line` —
@@ -6,15 +6,19 @@
 //! per `\n`-terminated line):
 //!
 //! ```text
-//! request  := "prj/1" SP verb (SP key "=" value)*
+//! request  := "prj/" ver SP verb (SP key "=" value)*
 //! verb     := "register" | "append" | "drop" | "topk" | "stream" | "stats"
+//!           | "hello" | "unit" | "assign" | "wstats"        (prj/2 only)
 //! tuples   := tuple (";" tuple)*          tuple  := f64 ("," f64)* ":" f64
 //! rels     := ref ("," ref)*              ref    := "#" usize | ident
 //! scoring  := ident [":" f64 ("," f64)*]
+//! epochs   := u64-list ("|" u64-list)*
 //!
-//! response := "prj/1" SP "ok" SP form (SP key "=" value)*
-//!           | "prj/1" SP "err" SP "kind=" code SP "msg=" rest-of-line
+//! response := "prj/" ver SP "ok" SP form (SP key "=" value)*
+//!           | "prj/" ver SP "err" SP "kind=" code SP "msg=" rest-of-line
 //! row      := f64 "@" usize ":" usize ("+" usize ":" usize)*
+//! urow     := f64 "@" umember ("+" umember)*
+//! umember  := usize ":" usize ":" f64 ":" f64 ("," f64)*
 //! ```
 //!
 //! Floats are emitted with Rust's shortest-round-trip formatting, so decode
@@ -22,11 +26,22 @@
 //! names are restricted to `[A-Za-z0-9_.-]+` (and must not start with `#`,
 //! which introduces id references) so they never collide with the grammar's
 //! separators.
+//!
+//! ## Version handling
+//!
+//! The decoder accepts every version in
+//! [`MIN_PROTOCOL_VERSION`]`..=`[`PROTOCOL_VERSION`]. The pre-existing
+//! verbs and forms are identical under either prefix; the cluster-internal
+//! verbs require `prj/2` and decode to a *typed* [`ErrorKind::Version`]
+//! error on a `prj/1` line. Responses are expected to be encoded at the
+//! version the request arrived in ([`encode_response_at`]); encoding an
+//! error at `prj/1` downgrades post-`prj/1` error kinds to `internal` so
+//! old peers never read a code outside their vocabulary.
 
 use crate::error::{ApiError, ErrorKind};
-use crate::request::{QueryRequest, RelationRef, Request, ScoringSelector, TupleData};
-use crate::response::{Response, ResultRow, StatsReport};
-use crate::PROTOCOL_VERSION;
+use crate::request::{QueryRequest, RelationRef, Request, ScoringSelector, TupleData, UnitRequest};
+use crate::response::{Response, ResultRow, StatsReport, UnitMember, UnitOutcome, UnitRow};
+use crate::{MIN_PROTOCOL_VERSION, PROTOCOL_VERSION};
 use prj_access::AccessKind;
 use prj_core::Algorithm;
 use std::fmt::Write as _;
@@ -40,12 +55,54 @@ pub fn is_wire_safe_name(name: &str) -> bool {
             .all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '.' | '-'))
 }
 
-fn version_prefix() -> String {
-    format!("prj/{PROTOCOL_VERSION}")
+fn version_prefix(version: u32) -> String {
+    format!("prj/{version}")
 }
 
-/// Splits off and checks the `prj/N` prefix, returning the rest of the line.
-fn strip_version(line: &str) -> Result<&str, ApiError> {
+/// The lowest protocol version able to carry `request`: the original kinds
+/// stay encodable at `prj/1` (so they keep working against old servers),
+/// the cluster-internal kinds need `prj/2`.
+pub fn request_version(request: &Request) -> u32 {
+    match request {
+        Request::RegisterRelation { .. }
+        | Request::AppendTuples { .. }
+        | Request::DropRelation { .. }
+        | Request::TopK(_)
+        | Request::Stream(_)
+        | Request::Stats => MIN_PROTOCOL_VERSION,
+        Request::Hello { .. }
+        | Request::ExecuteUnit(_)
+        | Request::ShardAssignment { .. }
+        | Request::WorkerStats => PROTOCOL_VERSION,
+    }
+}
+
+/// The lowest protocol version able to carry `response`.
+pub fn response_version(response: &Response) -> u32 {
+    match response {
+        Response::Registered { .. }
+        | Response::Appended { .. }
+        | Response::Dropped { .. }
+        | Response::Results { .. }
+        | Response::StreamItem(_)
+        | Response::StreamEnd { .. }
+        | Response::Stats(_)
+        // The negotiation answer must be expressible in *every* dialect —
+        // a conservative peer probing with `prj/1 hello` deserves a real
+        // ack, not an error (old servers reject the verb as malformed,
+        // which the negotiating client already handles).
+        | Response::HelloAck { .. }
+        | Response::Error(_) => MIN_PROTOCOL_VERSION,
+        Response::Unit(_)
+        | Response::AssignmentAck { .. }
+        | Response::WorkerReport { .. } => PROTOCOL_VERSION,
+    }
+}
+
+/// Splits off and checks the `prj/N` prefix, returning the version and the
+/// rest of the line. Versions outside the supported range are a typed
+/// [`ErrorKind::Version`] error.
+fn strip_version(line: &str) -> Result<(u32, &str), ApiError> {
     let line = line.trim_end_matches(['\r', '\n']);
     let (head, rest) = line
         .split_once(' ')
@@ -53,16 +110,22 @@ fn strip_version(line: &str) -> Result<&str, ApiError> {
         .unwrap_or((line, ""));
     let Some(version) = head.strip_prefix("prj/") else {
         return Err(ApiError::malformed(format!(
-            "expected a prj/{PROTOCOL_VERSION} message, got {head:?}"
+            "expected a prj/{MIN_PROTOCOL_VERSION}..prj/{PROTOCOL_VERSION} message, got {head:?}"
         )));
     };
-    if version != PROTOCOL_VERSION.to_string() {
+    let parsed: u32 = version.parse().map_err(|_| {
+        ApiError::malformed(format!("{version:?} is not a protocol version number"))
+    })?;
+    if !(MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&parsed) {
         return Err(ApiError::new(
             ErrorKind::Version,
-            format!("peer speaks prj/{version}, this build speaks prj/{PROTOCOL_VERSION}"),
+            format!(
+                "peer speaks prj/{parsed}, this build speaks \
+                 prj/{MIN_PROTOCOL_VERSION}..prj/{PROTOCOL_VERSION}"
+            ),
         ));
     }
-    Ok(rest)
+    Ok((parsed, rest))
 }
 
 /// Key=value fields after the verb. `msg` is handled separately because its
@@ -131,6 +194,39 @@ fn encode_f64_list(out: &mut String, values: &[f64]) {
             out.push(',');
         }
         let _ = write!(out, "{v:?}");
+    }
+}
+
+fn parse_usize_list(s: &str) -> Result<Vec<usize>, ApiError> {
+    if s.is_empty() {
+        return Ok(Vec::new());
+    }
+    s.split(',').map(parse_usize).collect()
+}
+
+fn encode_usize_list(out: &mut String, values: &[usize]) {
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{v}");
+    }
+}
+
+/// `epochs`: per-relation epoch vectors, `|`-separated, each a comma list.
+fn parse_epochs(s: &str) -> Result<Vec<Vec<u64>>, ApiError> {
+    if s.is_empty() {
+        return Ok(Vec::new());
+    }
+    s.split('|').map(parse_u64_list).collect()
+}
+
+fn encode_epochs(out: &mut String, epochs: &[Vec<u64>]) {
+    for (i, vector) in epochs.iter().enumerate() {
+        if i > 0 {
+            out.push('|');
+        }
+        encode_u64_list(out, vector);
     }
 }
 
@@ -306,12 +402,111 @@ fn encode_query(out: &mut String, q: &QueryRequest) -> Result<(), ApiError> {
     Ok(())
 }
 
-/// Encodes a request as one wire line (no trailing newline).
+/// `umember`: `rel:idx:score:coords` (coords comma-separated; exactly
+/// three `:`-separated heads, so `splitn(4, ':')`).
+fn parse_unit_member(s: &str) -> Result<UnitMember, ApiError> {
+    let mut parts = s.splitn(4, ':');
+    let (Some(rel), Some(idx), Some(score), Some(coords)) =
+        (parts.next(), parts.next(), parts.next(), parts.next())
+    else {
+        return Err(ApiError::malformed(format!(
+            "unit member {s:?} is not rel:idx:score:coords"
+        )));
+    };
+    let coords = parse_f64_list(coords)?;
+    if coords.is_empty() {
+        return Err(ApiError::malformed(format!(
+            "unit member {s:?} has no coordinates"
+        )));
+    }
+    Ok(UnitMember {
+        relation: parse_usize(rel)?,
+        index: parse_usize(idx)?,
+        score: parse_f64(score)?,
+        coords,
+    })
+}
+
+fn encode_unit_member(out: &mut String, m: &UnitMember) {
+    let _ = write!(out, "{}:{}:{:?}:", m.relation, m.index, m.score);
+    encode_f64_list(out, &m.coords);
+}
+
+fn parse_unit_row(s: &str) -> Result<UnitRow, ApiError> {
+    let (score, members) = s
+        .split_once('@')
+        .ok_or_else(|| ApiError::malformed(format!("unit row {s:?} is missing its score@")))?;
+    if members.is_empty() {
+        return Err(ApiError::malformed(format!(
+            "unit row {s:?} has no members"
+        )));
+    }
+    Ok(UnitRow {
+        score: parse_f64(score)?,
+        members: members
+            .split('+')
+            .map(parse_unit_member)
+            .collect::<Result<_, _>>()?,
+    })
+}
+
+fn parse_unit_rows(s: &str) -> Result<Vec<UnitRow>, ApiError> {
+    if s.is_empty() {
+        return Ok(Vec::new());
+    }
+    s.split(';').map(parse_unit_row).collect()
+}
+
+fn encode_unit_rows(out: &mut String, rows: &[UnitRow]) {
+    for (i, row) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(';');
+        }
+        let _ = write!(out, "{:?}@", row.score);
+        for (j, member) in row.members.iter().enumerate() {
+            if j > 0 {
+                out.push('+');
+            }
+            encode_unit_member(out, member);
+        }
+    }
+}
+
+/// Rejects encoding a message at a version that cannot carry it.
+fn check_encodable(version: u32, needed: u32) -> Result<(), ApiError> {
+    if !(MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&version) {
+        return Err(ApiError::new(
+            ErrorKind::Version,
+            format!("cannot encode at unsupported version prj/{version}"),
+        ));
+    }
+    if version < needed {
+        return Err(ApiError::new(
+            ErrorKind::Version,
+            format!("message requires prj/{needed}, cannot encode at prj/{version}"),
+        ));
+    }
+    Ok(())
+}
+
+/// Encodes a request as one wire line (no trailing newline), at the lowest
+/// version able to carry it — pre-existing kinds stay `prj/1` lines, so
+/// they keep working against pre-cluster servers.
 ///
 /// # Errors
 /// Fails with [`ErrorKind::Malformed`] when a name is not wire-safe.
 pub fn encode_request(request: &Request) -> Result<String, ApiError> {
-    let mut out = version_prefix();
+    encode_request_at(request, request_version(request))
+}
+
+/// Encodes a request at an explicit (e.g. negotiated) protocol version.
+///
+/// # Errors
+/// [`ErrorKind::Version`] when `version` cannot carry the request kind,
+/// [`ErrorKind::Malformed`] when a name is not wire-safe.
+pub fn encode_request_at(request: &Request, version: u32) -> Result<String, ApiError> {
+    check_encodable(version, request_version(request))?;
+    let mut out = version_prefix(version);
     match request {
         Request::RegisterRelation { name, tuples } => {
             if !is_wire_safe_name(name) {
@@ -345,25 +540,83 @@ pub fn encode_request(request: &Request) -> Result<String, ApiError> {
             encode_query(&mut out, q)?;
         }
         Request::Stats => out.push_str(" stats"),
+        Request::Hello { max_version } => {
+            let _ = write!(out, " hello max={max_version}");
+        }
+        Request::ExecuteUnit(unit) => {
+            out.push_str(" unit rels=");
+            for (i, r) in unit.relations.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&encode_relation_ref(r)?);
+            }
+            out.push_str(" epochs=");
+            encode_epochs(&mut out, &unit.epochs);
+            let _ = write!(out, " drive={} shard={} q=", unit.drive, unit.shard);
+            encode_f64_list(&mut out, &unit.query);
+            let _ = write!(
+                out,
+                " k={} scoring={} access={} algo={}",
+                unit.k,
+                encode_scoring(&unit.scoring)?,
+                encode_access(unit.access),
+                unit.algorithm.id().to_ascii_lowercase(),
+            );
+            if let Some(period) = unit.dominance_period {
+                let _ = write!(out, " period={period}");
+            }
+        }
+        Request::ShardAssignment { generation, shards } => {
+            let _ = write!(out, " assign gen={generation} shards=");
+            encode_usize_list(&mut out, shards);
+        }
+        Request::WorkerStats => out.push_str(" wstats"),
     }
     Ok(out)
 }
 
-/// Decodes one request line.
+/// Decodes one request line; see [`decode_request_versioned`] when the
+/// caller also needs the version the line arrived in.
 ///
 /// # Errors
 /// [`ErrorKind::Version`] on a version mismatch, [`ErrorKind::Malformed`]
 /// on anything unparseable.
 pub fn decode_request(line: &str) -> Result<Request, ApiError> {
-    let rest = strip_version(line)?;
+    decode_request_versioned(line).map(|(_, request)| request)
+}
+
+/// Decodes one request line, returning the protocol version it arrived in
+/// — which is the version the response should be encoded at.
+///
+/// # Errors
+/// [`ErrorKind::Version`] on an unsupported version *or* a cluster-internal
+/// verb on a `prj/1` line, [`ErrorKind::Malformed`] on anything
+/// unparseable.
+pub fn decode_request_versioned(line: &str) -> Result<(u32, Request), ApiError> {
+    let (version, rest) = strip_version(line)?;
     let (verb, rest) = rest
         .split_once(' ')
         .map(|(v, r)| (v, r.trim_start()))
         .unwrap_or((rest, ""));
+    // Cluster-internal verbs entered the grammar with prj/2; on a prj/1
+    // line they are a *typed* version error (the peer may understand the
+    // answer and upgrade), never a dropped connection.
+    if version < 2 && matches!(verb, "unit" | "assign" | "wstats") {
+        return Err(ApiError::new(
+            ErrorKind::Version,
+            format!("the {verb:?} verb is cluster-internal and requires prj/2"),
+        ));
+    }
     let fields = parse_fields(rest)?;
+    let request = decode_request_body(verb, &fields)?;
+    Ok((version, request))
+}
+
+fn decode_request_body(verb: &str, fields: &[(&str, &str)]) -> Result<Request, ApiError> {
     match verb {
         "register" => {
-            let name = require(&fields, "name", verb)?;
+            let name = require(fields, "name", verb)?;
             if !is_wire_safe_name(name) {
                 return Err(ApiError::malformed(format!(
                     "relation name {name:?} is not wire-safe"
@@ -371,19 +624,66 @@ pub fn decode_request(line: &str) -> Result<Request, ApiError> {
             }
             Ok(Request::RegisterRelation {
                 name: name.to_string(),
-                tuples: parse_tuples(field(&fields, "tuples").unwrap_or(""))?,
+                tuples: parse_tuples(field(fields, "tuples").unwrap_or(""))?,
             })
         }
         "append" => Ok(Request::AppendTuples {
-            relation: parse_relation_ref(require(&fields, "rel", verb)?)?,
-            tuples: parse_tuples(field(&fields, "tuples").unwrap_or(""))?,
+            relation: parse_relation_ref(require(fields, "rel", verb)?)?,
+            tuples: parse_tuples(field(fields, "tuples").unwrap_or(""))?,
         }),
         "drop" => Ok(Request::DropRelation {
-            relation: parse_relation_ref(require(&fields, "rel", verb)?)?,
+            relation: parse_relation_ref(require(fields, "rel", verb)?)?,
         }),
-        "topk" => Ok(Request::TopK(parse_query(&fields, verb)?)),
-        "stream" => Ok(Request::Stream(parse_query(&fields, verb)?)),
+        "topk" => Ok(Request::TopK(parse_query(fields, verb)?)),
+        "stream" => Ok(Request::Stream(parse_query(fields, verb)?)),
         "stats" => Ok(Request::Stats),
+        "hello" => Ok(Request::Hello {
+            max_version: require(fields, "max", verb)?
+                .parse()
+                .map_err(|_| ApiError::malformed("hello max= is not a version number"))?,
+        }),
+        "unit" => {
+            let rels = require(fields, "rels", verb)?;
+            if rels.is_empty() {
+                return Err(ApiError::malformed("unit: rels= must be non-empty"));
+            }
+            let relations = rels
+                .split(',')
+                .map(parse_relation_ref)
+                .collect::<Result<Vec<_>, _>>()?;
+            let epochs = parse_epochs(require(fields, "epochs", verb)?)?;
+            if epochs.len() != relations.len() {
+                return Err(ApiError::malformed(format!(
+                    "unit: {} relations but {} epoch vectors",
+                    relations.len(),
+                    epochs.len()
+                )));
+            }
+            let drive = parse_usize(require(fields, "drive", verb)?)?;
+            if drive >= relations.len() {
+                return Err(ApiError::malformed(format!(
+                    "unit: drive={drive} is out of range for {} relations",
+                    relations.len()
+                )));
+            }
+            Ok(Request::ExecuteUnit(UnitRequest {
+                relations,
+                epochs,
+                drive,
+                shard: parse_usize(require(fields, "shard", verb)?)?,
+                query: parse_f64_list(require(fields, "q", verb)?)?,
+                k: parse_usize(require(fields, "k", verb)?)?,
+                scoring: parse_scoring(require(fields, "scoring", verb)?)?,
+                access: parse_access(require(fields, "access", verb)?)?,
+                algorithm: parse_algorithm(require(fields, "algo", verb)?)?,
+                dominance_period: field(fields, "period").map(parse_usize).transpose()?,
+            }))
+        }
+        "assign" => Ok(Request::ShardAssignment {
+            generation: parse_u64(require(fields, "gen", verb)?)?,
+            shards: parse_usize_list(field(fields, "shards").unwrap_or(""))?,
+        }),
+        "wstats" => Ok(Request::WorkerStats),
         "" => Err(ApiError::malformed("empty request line")),
         other => Err(ApiError::malformed(format!("unknown verb {other:?}"))),
     }
@@ -429,9 +729,47 @@ fn parse_rows(s: &str) -> Result<Vec<ResultRow>, ApiError> {
     s.split(';').map(parse_row).collect()
 }
 
-/// Encodes a response as one wire line (no trailing newline).
+/// Encodes a response as one wire line (no trailing newline), at the
+/// lowest version able to carry it.
 pub fn encode_response(response: &Response) -> String {
-    let mut out = version_prefix();
+    encode_response_at(response, response_version(response))
+}
+
+/// Encodes a response at the version the request arrived in, so every peer
+/// reads answers in its own dialect. A `version` unable to carry the
+/// response (a cluster-internal form at `prj/1` — only reachable through a
+/// server bug, since those forms only answer `prj/2` requests) is encoded
+/// as a typed internal error instead. Error kinds outside the `prj/1`
+/// vocabulary are downgraded to `internal` with the original code kept in
+/// the message.
+pub fn encode_response_at(response: &Response, version: u32) -> String {
+    let version = version.clamp(MIN_PROTOCOL_VERSION, PROTOCOL_VERSION);
+    if version < response_version(response) {
+        return encode_response_at(
+            &Response::Error(ApiError::new(
+                ErrorKind::Internal,
+                format!(
+                    "response form requires prj/{}, peer speaks prj/{version}",
+                    response_version(response)
+                ),
+            )),
+            version,
+        );
+    }
+    if version < PROTOCOL_VERSION {
+        if let Response::Error(e) = response {
+            if !e.kind.known_to_v1() {
+                return encode_response_at(
+                    &Response::Error(ApiError::new(
+                        ErrorKind::Internal,
+                        format!("[{}] {}", e.kind.code(), e.message),
+                    )),
+                    version,
+                );
+            }
+        }
+    }
+    let mut out = version_prefix(version);
     match response {
         Response::Registered {
             id,
@@ -502,6 +840,38 @@ pub fn encode_response(response: &Response) -> String {
                 encode_u64_list(&mut out, &s.shard_micros);
             }
         }
+        Response::HelloAck { version } => {
+            let _ = write!(out, " ok hello ver={version}");
+        }
+        Response::Unit(unit) => {
+            let _ = write!(
+                out,
+                " ok unit bound={:?} updates={} formed={} micros={} capped={} depths=",
+                unit.final_bound,
+                unit.bound_updates,
+                unit.combinations_formed,
+                unit.micros,
+                unit.capped,
+            );
+            encode_u64_list(&mut out, &unit.depths);
+            out.push_str(" rows=");
+            encode_unit_rows(&mut out, &unit.rows);
+        }
+        Response::AssignmentAck { generation, shards } => {
+            let _ = write!(out, " ok assigned gen={generation} shards=");
+            encode_usize_list(&mut out, shards);
+        }
+        Response::WorkerReport {
+            generation,
+            shards,
+            units,
+            depths,
+            relations,
+        } => {
+            let _ = write!(out, " ok worker gen={generation} shards=");
+            encode_usize_list(&mut out, shards);
+            let _ = write!(out, " units={units} depths={depths} relations={relations}");
+        }
         Response::Error(e) => {
             // The message runs to the end of the line, so strip newlines.
             let msg = e.message.replace(['\r', '\n'], " ");
@@ -515,7 +885,7 @@ pub fn encode_response(response: &Response) -> String {
 /// `Ok(Response::Error(..))`; the `Err` side is for lines this codec cannot
 /// understand at all.
 pub fn decode_response(line: &str) -> Result<Response, ApiError> {
-    let rest = strip_version(line)?;
+    let (version, rest) = strip_version(line)?;
     if let Some(err) = rest.strip_prefix("err ") {
         let fields = parse_fields(err.split_once(" msg=").map(|(f, _)| f).unwrap_or(err))?;
         let kind = require(&fields, "kind", "err")?;
@@ -536,6 +906,12 @@ pub fn decode_response(line: &str) -> Result<Response, ApiError> {
         .split_once(' ')
         .map(|(f, r)| (f, r.trim_start()))
         .unwrap_or((ok, ""));
+    if version < 2 && matches!(form, "unit" | "assigned" | "worker") {
+        return Err(ApiError::new(
+            ErrorKind::Version,
+            format!("the {form:?} response form is cluster-internal and requires prj/2"),
+        ));
+    }
     let fields = parse_fields(rest)?;
     match form {
         "registered" => Ok(Response::Registered {
@@ -581,6 +957,31 @@ pub fn decode_response(line: &str) -> Result<Response, ApiError> {
             shard_depths: parse_u64_list(field(&fields, "shard_depths").unwrap_or(""))?,
             shard_micros: parse_u64_list(field(&fields, "shard_micros").unwrap_or(""))?,
         })),
+        "hello" => Ok(Response::HelloAck {
+            version: require(&fields, "ver", form)?
+                .parse()
+                .map_err(|_| ApiError::malformed("hello ver= is not a version number"))?,
+        }),
+        "unit" => Ok(Response::Unit(UnitOutcome {
+            rows: parse_unit_rows(field(&fields, "rows").unwrap_or(""))?,
+            final_bound: parse_f64(require(&fields, "bound", form)?)?,
+            depths: parse_u64_list(field(&fields, "depths").unwrap_or(""))?,
+            bound_updates: parse_u64(require(&fields, "updates", form)?)?,
+            combinations_formed: parse_u64(require(&fields, "formed", form)?)?,
+            micros: parse_u64(require(&fields, "micros", form)?)?,
+            capped: require(&fields, "capped", form)? == "true",
+        })),
+        "assigned" => Ok(Response::AssignmentAck {
+            generation: parse_u64(require(&fields, "gen", form)?)?,
+            shards: parse_usize_list(field(&fields, "shards").unwrap_or(""))?,
+        }),
+        "worker" => Ok(Response::WorkerReport {
+            generation: parse_u64(require(&fields, "gen", form)?)?,
+            shards: parse_usize_list(field(&fields, "shards").unwrap_or(""))?,
+            units: parse_u64(require(&fields, "units", form)?)?,
+            depths: parse_u64(require(&fields, "depths", form)?)?,
+            relations: parse_usize(require(&fields, "relations", form)?)?,
+        }),
         other => Err(ApiError::malformed(format!(
             "unknown response form {other:?}"
         ))),
@@ -747,12 +1148,203 @@ mod tests {
 
     #[test]
     fn version_mismatch_is_detected() {
-        let err = decode_request("prj/2 stats").unwrap_err();
+        let err = decode_request("prj/3 stats").unwrap_err();
         assert_eq!(err.kind, ErrorKind::Version);
         let err = decode_response("prj/0 ok end n=1").unwrap_err();
         assert_eq!(err.kind, ErrorKind::Version);
         let err = decode_request("http/1.1 GET /").unwrap_err();
         assert_eq!(err.kind, ErrorKind::Malformed);
+    }
+
+    #[test]
+    fn both_supported_versions_decode_legacy_messages() {
+        // The original grammar is identical under either prefix, and the
+        // decoder reports which version the line arrived in.
+        for version in [1, 2] {
+            let (v, request) = decode_request_versioned(&format!("prj/{version} stats")).unwrap();
+            assert_eq!(v, version);
+            assert_eq!(request, Request::Stats);
+            let line = format!("prj/{version} ok end n=3");
+            assert_eq!(
+                decode_response(&line).unwrap(),
+                Response::StreamEnd { count: 3 }
+            );
+        }
+    }
+
+    fn sample_unit_request() -> Request {
+        Request::ExecuteUnit(UnitRequest {
+            relations: vec![RelationRef::Id(0), RelationRef::Name("r2".to_string())],
+            epochs: vec![vec![0, 3, 0], vec![1]],
+            drive: 0,
+            shard: 2,
+            query: vec![0.5, -0.25],
+            k: 7,
+            scoring: ScoringSelector::with_params("euclidean-log", [1.0, 2.0, 0.5]),
+            access: AccessKind::Distance,
+            algorithm: Algorithm::Tbpa,
+            dominance_period: Some(50),
+        })
+    }
+
+    #[test]
+    fn cluster_requests_round_trip_at_v2() {
+        for request in [
+            Request::Hello { max_version: 2 },
+            sample_unit_request(),
+            Request::ShardAssignment {
+                generation: 4,
+                shards: vec![0, 2, 5],
+            },
+            Request::ShardAssignment {
+                generation: 0,
+                shards: Vec::new(),
+            },
+            Request::WorkerStats,
+        ] {
+            let line = encode_request(&request).expect("encode");
+            assert!(line.starts_with("prj/2 "), "versioned: {line}");
+            assert_eq!(decode_request(&line).expect("decode"), request);
+        }
+    }
+
+    #[test]
+    fn hello_ack_round_trips_in_both_dialects() {
+        // The negotiation answer is version-agnostic: a conservative peer
+        // probing with `prj/1 hello` gets a real ack.
+        let ack = Response::HelloAck { version: 2 };
+        for version in [1, 2] {
+            let line = encode_response_at(&ack, version);
+            assert!(
+                line.starts_with(&format!("prj/{version} ok hello")),
+                "{line}"
+            );
+            assert_eq!(decode_response(&line).unwrap(), ack);
+        }
+    }
+
+    #[test]
+    fn cluster_responses_round_trip_at_v2() {
+        for response in [
+            Response::Unit(UnitOutcome {
+                rows: vec![
+                    UnitRow {
+                        score: -7.25,
+                        members: vec![
+                            UnitMember {
+                                relation: 0,
+                                index: 3,
+                                score: 0.5,
+                                coords: vec![0.0, -0.5],
+                            },
+                            UnitMember {
+                                relation: 1,
+                                index: 0,
+                                score: 1.0,
+                                coords: vec![1e-7, 2.25],
+                            },
+                        ],
+                    },
+                    UnitRow {
+                        score: f64::NEG_INFINITY,
+                        members: vec![UnitMember {
+                            relation: 0,
+                            index: 0,
+                            score: 0.125,
+                            coords: vec![3.0],
+                        }],
+                    },
+                ],
+                final_bound: f64::NEG_INFINITY,
+                depths: vec![4, 9],
+                bound_updates: 13,
+                combinations_formed: 20,
+                micros: 843,
+                capped: false,
+            }),
+            Response::Unit(UnitOutcome {
+                rows: Vec::new(),
+                final_bound: -2.5,
+                depths: vec![0, 0],
+                bound_updates: 0,
+                combinations_formed: 0,
+                micros: 1,
+                capped: true,
+            }),
+            Response::AssignmentAck {
+                generation: 9,
+                shards: vec![1, 3],
+            },
+            Response::WorkerReport {
+                generation: 9,
+                shards: vec![1, 3],
+                units: 17,
+                depths: 1234,
+                relations: 3,
+            },
+        ] {
+            let line = encode_response(&response);
+            assert!(line.starts_with("prj/2 "), "versioned: {line}");
+            assert_eq!(decode_response(&line).expect("decode"), response);
+        }
+    }
+
+    #[test]
+    fn cluster_messages_on_v1_are_typed_version_errors() {
+        for line in [
+            "prj/1 unit rels=#0 epochs=0 drive=0 shard=0 q=0.0 k=1 \
+             scoring=euclidean-log access=distance algo=tbrr",
+            "prj/1 assign gen=0 shards=",
+            "prj/1 wstats",
+        ] {
+            let err = decode_request(line).unwrap_err();
+            assert_eq!(err.kind, ErrorKind::Version, "line: {line}");
+        }
+        let err = decode_response(
+            "prj/1 ok unit bound=0.0 updates=0 formed=0 micros=0 \
+                                   capped=false depths= rows=",
+        )
+        .unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Version);
+        // Encoding a cluster request at prj/1 is refused up front.
+        let err = encode_request_at(&sample_unit_request(), 1).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Version);
+    }
+
+    #[test]
+    fn post_v1_error_kinds_downgrade_when_answering_v1_peers() {
+        let error = ApiError::new(ErrorKind::WorkerUnavailable, "worker 2 is gone");
+        let line = encode_response_at(&Response::Error(error.clone()), 1);
+        assert!(line.starts_with("prj/1 err kind=internal"), "line: {line}");
+        match decode_response(&line).unwrap() {
+            Response::Error(e) => {
+                assert_eq!(e.kind, ErrorKind::Internal);
+                assert!(
+                    e.message.contains("worker-unavailable"),
+                    "msg: {}",
+                    e.message
+                );
+            }
+            other => panic!("unexpected decode: {other:?}"),
+        }
+        // The same error at prj/2 keeps its kind.
+        let line = encode_response_at(&Response::Error(error.clone()), 2);
+        assert_eq!(decode_response(&line).unwrap(), Response::Error(error));
+    }
+
+    #[test]
+    fn responses_echo_the_requested_version() {
+        let end = Response::StreamEnd { count: 1 };
+        assert!(encode_response_at(&end, 1).starts_with("prj/1 "));
+        assert!(encode_response_at(&end, 2).starts_with("prj/2 "));
+        // A cluster-only form demanded at v1 degrades to a typed error
+        // rather than emitting a line the peer cannot parse.
+        let ack = Response::AssignmentAck {
+            generation: 1,
+            shards: vec![0],
+        };
+        let line = encode_response_at(&ack, 1);
+        assert!(line.starts_with("prj/1 err kind=internal"), "line: {line}");
     }
 
     #[test]

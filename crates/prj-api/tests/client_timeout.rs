@@ -1,0 +1,104 @@
+//! Regression tests for the client's robustness knobs: a hung peer cannot
+//! wedge a caller forever, and a briefly-absent listener is reached through
+//! the connect retry/backoff.
+
+use prj_api::{ApiClient, ClientConfig, ErrorKind, Request};
+use std::net::TcpListener;
+use std::time::{Duration, Instant};
+
+#[test]
+fn a_stalled_listener_surfaces_a_typed_io_error_instead_of_hanging() {
+    // A listener that accepts the connection and then never answers — the
+    // pathological peer the read timeout exists for.
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    std::thread::spawn(move || {
+        let Ok((stream, _)) = listener.accept() else {
+            return;
+        };
+        // Hold the socket open, reading nothing, answering nothing.
+        std::thread::sleep(Duration::from_secs(10));
+        drop(stream);
+    });
+
+    let config = ClientConfig {
+        read_timeout: Some(Duration::from_millis(150)),
+        write_timeout: Some(Duration::from_millis(150)),
+        ..ClientConfig::default()
+    };
+    let mut client = ApiClient::connect_with(addr, &config).expect("connect");
+    let started = Instant::now();
+    let err = client
+        .call(&Request::Stats)
+        .expect_err("the stalled peer never answers");
+    assert_eq!(
+        err.kind,
+        ErrorKind::Io,
+        "timeout is a typed transport error"
+    );
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "the call must time out, not hang (took {:?})",
+        started.elapsed()
+    );
+}
+
+#[test]
+fn negotiation_against_a_stalled_listener_times_out_too() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    std::thread::spawn(move || {
+        let Ok((stream, _)) = listener.accept() else {
+            return;
+        };
+        std::thread::sleep(Duration::from_secs(10));
+        drop(stream);
+    });
+    let config = ClientConfig::with_timeouts(Duration::from_millis(150));
+    let mut client = ApiClient::connect_with(addr, &config).expect("connect");
+    let err = client.negotiate().expect_err("no hello answer ever comes");
+    assert_eq!(err.kind, ErrorKind::Io);
+}
+
+#[test]
+fn connect_retries_reach_a_listener_that_comes_up_late() {
+    // Reserve an ephemeral address, release it, and only re-bind it after
+    // a delay — the "worker is restarting" scenario the backoff covers.
+    let addr = {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        listener.local_addr().expect("addr")
+    };
+    let binder = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(120));
+        let listener = TcpListener::bind(addr).expect("re-bind reserved address");
+        // Accept one connection so the dial completes.
+        let _ = listener.accept();
+    });
+    let config = ClientConfig {
+        connect_timeout: Some(Duration::from_millis(250)),
+        connect_retries: 8,
+        retry_backoff: Duration::from_millis(30),
+        ..ClientConfig::default()
+    };
+    let client = ApiClient::connect_with(addr, &config);
+    binder.join().expect("binder thread");
+    assert!(client.is_ok(), "retries must reach the late listener");
+}
+
+#[test]
+fn exhausted_retries_fail_with_the_underlying_error() {
+    // Nothing ever listens here.
+    let addr = {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        listener.local_addr().expect("addr")
+    };
+    let config = ClientConfig {
+        connect_timeout: Some(Duration::from_millis(100)),
+        connect_retries: 2,
+        retry_backoff: Duration::from_millis(10),
+        ..ClientConfig::default()
+    };
+    let started = Instant::now();
+    assert!(ApiClient::connect_with(addr, &config).is_err());
+    assert!(started.elapsed() < Duration::from_secs(5));
+}

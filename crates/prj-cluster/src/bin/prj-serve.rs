@@ -1,0 +1,502 @@
+//! `prj-serve` — the line-delimited TCP front-end for the ProxRJ engine,
+//! in three roles: standalone server, cluster worker, cluster coordinator.
+//!
+//! ```text
+//! cargo run --release -p prj-cluster --bin prj-serve -- [OPTIONS]
+//!
+//! OPTIONS:
+//!     --addr HOST:PORT   listen address (default 127.0.0.1:7878; port 0 = ephemeral)
+//!     --threads N        engine worker threads (default: available parallelism)
+//!     --cache N          result-cache capacity in entries (default 1024)
+//!     --shards N         spatial shards per relation (default 1 = unsharded)
+//!     --table1           preload the paper's Table 1 relations as R1, R2, R3
+//!     --self-check       bind an ephemeral port, run one client round-trip, exit
+//!
+//!   cluster roles:
+//!     --worker                serve as a cluster worker (adds the prj/2
+//!                             cluster-internal verbs; catalogs replicate in
+//!                             from a coordinator)
+//!     --coordinator           serve as a cluster coordinator
+//!     --workers A,B,C         comma-separated worker addresses
+//!     --topology FILE         topology file (worker/shards/replicas lines)
+//!     --replicas N            owners per driving shard (default 1)
+//!     --cluster-self-check N  spawn N local worker processes, run the
+//!                             distributed round-trip + worker-kill check, exit
+//! ```
+//!
+//! The protocol is `prj-api`'s line format (`prj/1` legacy, `prj/2`
+//! negotiated); try it by hand:
+//!
+//! ```text
+//! $ nc 127.0.0.1 7878
+//! prj/1 register name=hotels tuples=0.0,-0.5:0.5;0.0,1.0:1.0
+//! prj/1 ok registered id=0 name=hotels epoch=0 n=2
+//! prj/1 topk rels=hotels q=0.0,0.0 k=1
+//! prj/1 ok results cached=false algo=TBRR rows=-0.9431471805599453@0:0
+//! ```
+
+use prj_api::{ApiClient, ErrorKind, QueryRequest, Request, Response, TupleData};
+use prj_cluster::{ClusterTopology, Coordinator, WorkerSession};
+use prj_engine::{EngineBuilder, Server, Session};
+use std::sync::Arc;
+
+#[derive(Clone)]
+struct Options {
+    addr: String,
+    threads: Option<usize>,
+    cache: usize,
+    shards: usize,
+    table1: bool,
+    self_check: bool,
+    worker: bool,
+    coordinator: bool,
+    workers: Vec<String>,
+    topology: Option<String>,
+    replicas: usize,
+    cluster_self_check: Option<usize>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut options = Options {
+        addr: "127.0.0.1:7878".to_string(),
+        threads: None,
+        cache: 1024,
+        shards: 1,
+        table1: false,
+        self_check: false,
+        worker: false,
+        coordinator: false,
+        workers: Vec::new(),
+        topology: None,
+        replicas: 1,
+        cluster_self_check: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} expects a value"));
+        match arg.as_str() {
+            "--addr" => options.addr = value("--addr")?,
+            "--threads" => {
+                options.threads = Some(
+                    value("--threads")?
+                        .parse()
+                        .map_err(|_| "--threads expects an integer".to_string())?,
+                )
+            }
+            "--cache" => {
+                options.cache = value("--cache")?
+                    .parse()
+                    .map_err(|_| "--cache expects an integer".to_string())?
+            }
+            "--shards" => {
+                options.shards = value("--shards")?
+                    .parse()
+                    .map_err(|_| "--shards expects an integer".to_string())?;
+                if options.shards == 0 {
+                    return Err("--shards must be at least 1".to_string());
+                }
+            }
+            "--replicas" => {
+                options.replicas = value("--replicas")?
+                    .parse()
+                    .map_err(|_| "--replicas expects an integer".to_string())?
+            }
+            "--workers" => {
+                options.workers = value("--workers")?
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect()
+            }
+            "--topology" => options.topology = Some(value("--topology")?),
+            "--worker" => options.worker = true,
+            "--coordinator" => options.coordinator = true,
+            "--cluster-self-check" => {
+                options.cluster_self_check = Some(
+                    value("--cluster-self-check")?
+                        .parse()
+                        .map_err(|_| "--cluster-self-check expects a worker count".to_string())?,
+                )
+            }
+            "--table1" => options.table1 = true,
+            "--self-check" => options.self_check = true,
+            "--help" | "-h" => {
+                println!(
+                    "prj-serve: TCP front-end for the ProxRJ engine\n\
+                     usage: prj-serve [--addr HOST:PORT] [--threads N] [--cache N] \
+                     [--shards N] [--table1] [--self-check]\n\
+                     cluster: [--worker] [--coordinator --workers A,B,C | --topology FILE] \
+                     [--replicas N] [--cluster-self-check N]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    if options.worker && options.coordinator {
+        return Err("--worker and --coordinator are mutually exclusive".to_string());
+    }
+    Ok(options)
+}
+
+fn build_engine(options: &Options) -> Arc<prj_engine::Engine> {
+    let mut builder = EngineBuilder::default()
+        .cache_capacity(options.cache)
+        .shards(options.shards);
+    if let Some(threads) = options.threads {
+        builder = builder.threads(threads);
+    }
+    Arc::new(builder.build())
+}
+
+/// The paper's Table 1 relations — the single source for every `--table1`
+/// preload path (standalone and coordinator).
+const TABLE1: [(&str, [([f64; 2], f64); 2]); 3] = [
+    ("R1", [([0.0, -0.5], 0.5), ([0.0, 1.0], 1.0)]),
+    ("R2", [([1.0, 1.0], 1.0), ([-2.0, 2.0], 0.8)]),
+    ("R3", [([-1.0, 1.0], 1.0), ([-2.0, -2.0], 0.4)]),
+];
+
+/// Preloads Table 1 through whatever dispatch path the role uses (the
+/// coordinator must register through its replication path, not directly).
+fn preload_table1(dispatch: impl Fn(Request) -> Response) -> Result<(), String> {
+    for (name, rows) in TABLE1 {
+        let response = dispatch(Request::RegisterRelation {
+            name: name.to_string(),
+            tuples: rows
+                .iter()
+                .map(|(x, s)| TupleData::new(x.to_vec(), *s))
+                .collect(),
+        });
+        if let Response::Error(e) = response {
+            return Err(format!("table1 preload of {name} failed: {e}"));
+        }
+    }
+    println!("preloaded Table 1 relations: R1, R2, R3");
+    Ok(())
+}
+
+fn build_session(options: &Options) -> Result<Arc<Session>, String> {
+    let engine = build_engine(options);
+    let session = Arc::new(Session::new(engine));
+    if options.table1 {
+        preload_table1(|request| session.handle(request))?;
+    }
+    Ok(session)
+}
+
+fn topology_from(options: &Options) -> Result<ClusterTopology, String> {
+    match &options.topology {
+        Some(path) => {
+            let topology = ClusterTopology::from_file(std::path::Path::new(path))
+                .map_err(|e| e.to_string())?;
+            if !options.workers.is_empty() {
+                return Err("--topology and --workers are mutually exclusive".to_string());
+            }
+            Ok(topology)
+        }
+        None => ClusterTopology::new(options.workers.clone(), options.shards, options.replicas)
+            .map_err(|e| e.to_string()),
+    }
+}
+
+/// Boots the server on an ephemeral port and runs one full client
+/// round-trip against it: register → topk → append → topk (invalidated) →
+/// stats. Exits non-zero on any mismatch, which makes it a cheap CI smoke
+/// test of the whole binary.
+fn self_check(options: &Options) -> Result<(), String> {
+    let session = build_session(options)?;
+    let server = Server::bind("127.0.0.1:0", session).map_err(|e| format!("bind failed: {e}"))?;
+    let addr = server.local_addr();
+    let mut client = ApiClient::connect(addr).map_err(|e| format!("connect failed: {e}"))?;
+    // The standalone server negotiates prj/2 even though clients may stay
+    // on prj/1.
+    let version = client
+        .negotiate()
+        .map_err(|e| format!("negotiate failed: {e}"))?;
+    if version != prj_api::PROTOCOL_VERSION {
+        return Err(format!("negotiated prj/{version}, expected prj/2"));
+    }
+
+    let hotels_id = match client
+        .call(&Request::RegisterRelation {
+            name: "hotels".to_string(),
+            tuples: vec![
+                TupleData::new([0.0, -0.5], 0.5),
+                TupleData::new([0.0, 1.0], 1.0),
+            ],
+        })
+        .map_err(|e| format!("register failed: {e}"))?
+    {
+        Response::Registered { id, .. } => id,
+        other => return Err(format!("unexpected register response: {other:?}")),
+    };
+    let (rows, from_cache) = client
+        .top_k(QueryRequest::new(vec!["hotels".into()], [0.0, 0.0]).k(1))
+        .map_err(|e| format!("topk failed: {e}"))?;
+    if rows.len() != 1 || from_cache {
+        return Err(format!(
+            "unexpected cold topk: {rows:?} cached={from_cache}"
+        ));
+    }
+    client
+        .call(&Request::AppendTuples {
+            relation: "hotels".into(),
+            tuples: vec![TupleData::new([0.0, 0.0], 1.0)],
+        })
+        .map_err(|e| format!("append failed: {e}"))?;
+    let (rows, from_cache) = client
+        .top_k(QueryRequest::new(vec!["hotels".into()], [0.0, 0.0]).k(1))
+        .map_err(|e| format!("post-append topk failed: {e}"))?;
+    if from_cache || rows[0].tuples != vec![(hotels_id, 2)] {
+        return Err(format!(
+            "append was not observed: {rows:?} cached={from_cache}"
+        ));
+    }
+    let stats = client.stats().map_err(|e| format!("stats failed: {e}"))?;
+    let expected_relations = if options.table1 { 4 } else { 1 };
+    if stats.queries != 2 || stats.relations != expected_relations {
+        return Err(format!("unexpected stats: {stats:?}"));
+    }
+    if stats.shards != options.shards {
+        return Err(format!(
+            "engine reports {} shards, expected {}",
+            stats.shards, options.shards
+        ));
+    }
+    if stats.shard_depths.iter().sum::<u64>() != stats.total_sum_depths {
+        return Err(format!(
+            "per-shard depths {:?} do not add up to sumDepths {}",
+            stats.shard_depths, stats.total_sum_depths
+        ));
+    }
+    server.shutdown();
+    println!("self-check ok: served {} queries on {addr}", stats.queries);
+    Ok(())
+}
+
+fn spawn_worker(shards: usize) -> Result<prj_cluster::SpawnedWorker, String> {
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    prj_cluster::spawn_worker_process(&exe, shards, 2)
+}
+
+/// Spawns `n` worker processes on loopback, drives a coordinator through a
+/// register → query → append → query round-trip verified against a local
+/// single-process engine, then kills a worker and checks the failure
+/// semantics: exact completion via a replica, or a typed error — never a
+/// truncated result.
+fn cluster_self_check(options: &Options, n: usize) -> Result<(), String> {
+    if n == 0 {
+        return Err("--cluster-self-check needs at least one worker".to_string());
+    }
+    let shards = options.shards.max(2);
+    let replicas = n.min(2);
+    println!("cluster-self-check: spawning {n} workers (shards={shards}, replicas={replicas})");
+    let workers: Vec<prj_cluster::SpawnedWorker> = (0..n)
+        .map(|_| spawn_worker(shards))
+        .collect::<Result<_, _>>()?;
+    let addrs: Vec<String> = workers.iter().map(|w| w.addr().to_string()).collect();
+    println!("cluster-self-check: workers on {addrs:?}");
+
+    let topology = ClusterTopology::new(addrs, shards, replicas).map_err(|e| e.to_string())?;
+    let coordinator = Coordinator::builder(topology)
+        .threads(2)
+        .build()
+        .map_err(|e| format!("coordinator bootstrap failed: {e}"))?;
+
+    // A single-process reference engine over the same data.
+    let reference = Session::new(Arc::new(
+        EngineBuilder::default().threads(2).shards(shards).build(),
+    ));
+
+    let dataset: Vec<(String, Vec<TupleData>)> = (0..2)
+        .map(|rel| {
+            let tuples = (0..40)
+                .map(|i| {
+                    let x = ((i * 37 + rel * 11) % 100) as f64 / 10.0 - 5.0;
+                    let y = ((i * 53 + rel * 7) % 100) as f64 / 10.0 - 5.0;
+                    TupleData::new([x, y], ((i % 10) as f64 + 1.0) / 10.0)
+                })
+                .collect();
+            (format!("rel{rel}"), tuples)
+        })
+        .collect();
+    for (name, tuples) in &dataset {
+        for handler in [
+            coordinator.dispatch_one(Request::RegisterRelation {
+                name: name.clone(),
+                tuples: tuples.clone(),
+            }),
+            reference.handle(Request::RegisterRelation {
+                name: name.clone(),
+                tuples: tuples.clone(),
+            }),
+        ] {
+            if let Response::Error(e) = handler {
+                return Err(format!("register {name} failed: {e}"));
+            }
+        }
+    }
+
+    let query =
+        || Request::TopK(QueryRequest::new(vec!["rel0".into(), "rel1".into()], [0.3, -0.8]).k(5));
+    let expect_same = |tag: &str, a: Response, b: Response| -> Result<(), String> {
+        match (a, b) {
+            (Response::Results { rows: lhs, .. }, Response::Results { rows: rhs, .. }) => {
+                if lhs != rhs {
+                    return Err(format!("{tag}: cluster {lhs:?} != local {rhs:?}"));
+                }
+                Ok(())
+            }
+            (a, b) => Err(format!("{tag}: unexpected responses {a:?} / {b:?}")),
+        }
+    };
+    expect_same(
+        "cold query",
+        coordinator.dispatch_one(query()),
+        reference.handle(query()),
+    )?;
+
+    let append = Request::AppendTuples {
+        relation: "rel0".into(),
+        tuples: vec![TupleData::new([0.3, -0.8], 0.95)],
+    };
+    if let Response::Error(e) = coordinator.dispatch_one(append.clone()) {
+        return Err(format!("replicated append failed: {e}"));
+    }
+    if let Response::Error(e) = reference.handle(append) {
+        return Err(format!("local append failed: {e}"));
+    }
+    expect_same(
+        "post-append query",
+        coordinator.dispatch_one(query()),
+        reference.handle(query()),
+    )?;
+
+    // Kill the first worker and re-query — at a *fresh* query point, so
+    // the answer cannot come out of the result cache and must execute.
+    // With replicas the cluster must still answer exactly; without, the
+    // only acceptable outcome is a typed error.
+    let mut workers = workers;
+    drop(workers.remove(0));
+    println!("cluster-self-check: killed worker 0");
+    let fresh_query =
+        || Request::TopK(QueryRequest::new(vec!["rel0".into(), "rel1".into()], [-1.1, 2.4]).k(5));
+    match coordinator.dispatch_one(fresh_query()) {
+        Response::Results { rows, .. } => {
+            let Response::Results { rows: expected, .. } = reference.handle(fresh_query()) else {
+                return Err("reference engine failed".to_string());
+            };
+            if rows != expected {
+                return Err("post-kill results diverged from the local engine".to_string());
+            }
+            if n == 1 {
+                return Err("single-worker cluster answered after its worker died".to_string());
+            }
+            println!("cluster-self-check: post-kill query served exactly via replicas");
+        }
+        Response::Error(e)
+            if matches!(
+                e.kind,
+                ErrorKind::WorkerUnavailable | ErrorKind::Degraded | ErrorKind::Io
+            ) =>
+        {
+            println!(
+                "cluster-self-check: post-kill query failed typed ({})",
+                e.kind.code()
+            );
+        }
+        other => return Err(format!("post-kill query: unexpected response {other:?}")),
+    }
+    println!("cluster-self-check ok");
+    Ok(())
+}
+
+fn serve(options: &Options) -> Result<(), String> {
+    let role = if options.worker {
+        "worker"
+    } else if options.coordinator {
+        "coordinator"
+    } else {
+        "server"
+    };
+    let (server, threads) = if options.worker {
+        let engine = build_engine(options);
+        let threads = engine.threads();
+        let worker = Arc::new(WorkerSession::new(engine));
+        (
+            Server::bind(&options.addr, worker)
+                .map_err(|e| format!("cannot bind {}: {e}", options.addr))?,
+            threads,
+        )
+    } else if options.coordinator {
+        let topology = topology_from(options)?;
+        let mut builder = Coordinator::builder(topology).cache_capacity(options.cache);
+        if let Some(threads) = options.threads {
+            builder = builder.threads(threads);
+        }
+        let coordinator = builder
+            .build()
+            .map_err(|e| format!("coordinator bootstrap failed: {e}"))?;
+        let threads = coordinator.engine().threads();
+        if options.table1 {
+            // Preload through the coordinator so the fleet replicates it.
+            preload_table1(|request| coordinator.dispatch_one(request))?;
+        }
+        (
+            Server::bind(&options.addr, Arc::new(coordinator))
+                .map_err(|e| format!("cannot bind {}: {e}", options.addr))?,
+            threads,
+        )
+    } else {
+        let session = build_session(options)?;
+        let threads = session.engine().threads();
+        (
+            Server::bind(&options.addr, session)
+                .map_err(|e| format!("cannot bind {}: {e}", options.addr))?,
+            threads,
+        )
+    };
+    let addr = server.local_addr();
+    println!(
+        "prj-serve {role} listening on {addr} (prj/{} line protocol, {} worker threads)",
+        prj_api::PROTOCOL_VERSION,
+        threads,
+    );
+    println!(
+        "try: printf 'prj/1 stats\\n' | nc {} {}",
+        addr.ip(),
+        addr.port()
+    );
+    loop {
+        std::thread::park();
+    }
+}
+
+fn main() {
+    let options = match parse_args() {
+        Ok(options) => options,
+        Err(e) => {
+            eprintln!("prj-serve: {e}");
+            std::process::exit(2);
+        }
+    };
+    if options.self_check {
+        if let Err(e) = self_check(&options) {
+            eprintln!("prj-serve self-check FAILED: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+    if let Some(n) = options.cluster_self_check {
+        if let Err(e) = cluster_self_check(&options, n) {
+            eprintln!("prj-serve cluster-self-check FAILED: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+    if let Err(e) = serve(&options) {
+        eprintln!("prj-serve: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,65 @@
+//! # prj-cluster — distributed shard execution for the ProxRJ engine
+//!
+//! PR 3 sharded the catalog and partitioned execution *inside one
+//! process*; this crate distributes those shards **across worker
+//! processes** behind the same client-facing `Request` surface. The paper's
+//! ProxRJ operator certifies its top-K from bound-aware merges of
+//! independently executed units, which is precisely the property that makes
+//! scatter-gather across processes *exact* rather than approximate: each
+//! worker returns `(certified top-K, final bound t_j)` for its driving
+//! shards, and the coordinator's merged bound `max_j t_j` carries the
+//! paper's stopping condition over verbatim. The distributed differential
+//! harness asserts the consequence — cluster answers are **bit-identical**
+//! (ids, score bits, ordering, certified stop) to the single-process
+//! sharded engine and the naive oracle.
+//!
+//! ## The pieces
+//!
+//! * [`topology`] — [`ClusterTopology`] (worker list + shard count +
+//!   replication factor, parsable from a file) compiled into a
+//!   [`ShardRouter`] with a *generation* the engine folds into every cache
+//!   key.
+//! * [`pool`] — [`WorkerPool`]: per-worker stacks of persistent,
+//!   `prj/2`-negotiated TCP connections with connect retry/backoff and
+//!   read/write timeouts.
+//! * [`coordinator`] — [`Coordinator`]: the authoritative catalog.
+//!   Mutations apply locally and replicate to every worker **before**
+//!   acking; queries fan per-driving-shard units over the pool (with
+//!   replica failover and a re-snapshot retry on stale epochs) and
+//!   recombine through `prj-engine`'s bound-aware merges.
+//! * [`worker`] — [`WorkerSession`]: a full engine replica serving the
+//!   ordinary protocol plus the cluster-internal `prj/2` verbs
+//!   (`ExecuteUnit`, `ShardAssignment`, `WorkerStats`), with the epoch
+//!   check that refuses to compute over data the coordinator did not
+//!   snapshot.
+//!
+//! The `prj-serve` binary (this crate) serves all three roles:
+//!
+//! ```text
+//! prj-serve --worker --shards 4 --addr 127.0.0.1:7001
+//! prj-serve --worker --shards 4 --addr 127.0.0.1:7002
+//! prj-serve --coordinator --shards 4 --replicas 2 \
+//!           --workers 127.0.0.1:7001,127.0.0.1:7002
+//! ```
+//!
+//! Failure semantics are typed, never silent: a dead worker's units fail
+//! over to replicas or surface `worker-unavailable`; a replica at the
+//! wrong epochs answers `stale-epoch` and is retried after a fresh
+//! snapshot; replication failures ack as `degraded`. A truncated result
+//! set is structurally impossible — units either return their certified
+//! top-K or an error.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coordinator;
+pub mod pool;
+pub mod process;
+pub mod topology;
+pub mod worker;
+
+pub use coordinator::{Coordinator, CoordinatorBuilder};
+pub use pool::WorkerPool;
+pub use process::{spawn_worker_process, SpawnedWorker};
+pub use topology::{ClusterTopology, ShardRouter, TopologyError};
+pub use worker::WorkerSession;

@@ -1,0 +1,72 @@
+//! Spawning `prj-serve --worker` child processes — shared by the binary's
+//! `--cluster-self-check` and the distributed test harness, so the
+//! announce-line protocol and the stdout-drain strategy live in one place.
+
+use std::io::BufRead;
+use std::path::Path;
+use std::process::{Child, Command, Stdio};
+
+/// A spawned worker child process. Killed (and reaped) on drop.
+pub struct SpawnedWorker {
+    child: Child,
+    addr: String,
+}
+
+impl SpawnedWorker {
+    /// The loopback address the worker announced.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+}
+
+impl Drop for SpawnedWorker {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Spawns `exe --worker --addr 127.0.0.1:0 --shards N --threads T` and
+/// waits for its "listening on ADDR" announcement. The rest of the child's
+/// stdout is drained in a background thread so the child can never block
+/// on a full pipe; the child is killed and reaped if it exits (or goes
+/// silent) before announcing.
+pub fn spawn_worker_process(
+    exe: &Path,
+    shards: usize,
+    threads: usize,
+) -> Result<SpawnedWorker, String> {
+    let mut child = Command::new(exe)
+        .args([
+            "--worker",
+            "--addr",
+            "127.0.0.1:0",
+            "--shards",
+            &shards.to_string(),
+            "--threads",
+            &threads.to_string(),
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .map_err(|e| format!("spawn worker {}: {e}", exe.display()))?;
+    let stdout = child
+        .stdout
+        .take()
+        .ok_or_else(|| "no worker stdout".to_string())?;
+    let mut lines = std::io::BufReader::new(stdout).lines();
+    let mut announced = None;
+    for line in lines.by_ref().map_while(Result::ok) {
+        if let Some(rest) = line.split("listening on ").nth(1) {
+            announced = rest.split_whitespace().next().map(str::to_string);
+            break;
+        }
+    }
+    let Some(addr) = announced.filter(|a| !a.is_empty()) else {
+        let _ = child.kill();
+        let _ = child.wait();
+        return Err("worker exited before announcing its address".to_string());
+    };
+    std::thread::spawn(move || for _ in lines.map_while(Result::ok) {});
+    Ok(SpawnedWorker { child, addr })
+}

@@ -54,6 +54,14 @@ use std::sync::{Arc, Mutex, RwLock};
 pub struct RelationId(pub(crate) usize);
 
 impl RelationId {
+    /// Rebuilds an id from a raw registration index — for callers (like a
+    /// cluster worker) that receive indices over the wire. The index is
+    /// *not* checked here; the catalog answers
+    /// [`CatalogError::UnknownId`] on first use if it never existed.
+    pub fn from_index(index: usize) -> RelationId {
+        RelationId(index)
+    }
+
     /// The raw index of the relation in registration order.
     pub fn index(&self) -> usize {
         self.0
@@ -97,7 +105,7 @@ impl std::fmt::Display for CatalogError {
 impl std::error::Error for CatalogError {}
 
 /// The result of a successful catalog mutation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MutationOutcome {
     /// The mutated relation.
     pub id: RelationId,
@@ -107,6 +115,10 @@ pub struct MutationOutcome {
     pub epoch: u64,
     /// Its cardinality after the mutation (0 for a drop).
     pub cardinality: usize,
+    /// The shards the mutation landed on (every shard for a drop). This is
+    /// what lets the engine's per-shard unit cache purge only the entries
+    /// the mutation actually made unreachable.
+    pub touched_shards: Vec<usize>,
 }
 
 /// One immutable shard of a relation: a disjoint slice of the tuples plus
@@ -232,8 +244,14 @@ impl CatalogRelation {
 
     /// A new snapshot with `extra` appended: the touched shards are rebuilt
     /// copy-on-write at bumped epochs, untouched shards are shared as-is.
-    fn appended(&self, extra: Vec<Tuple>, policy: &ShardingPolicy) -> CatalogRelation {
+    /// Also returns the indices of the shards that were touched.
+    fn appended(
+        &self,
+        extra: Vec<Tuple>,
+        policy: &ShardingPolicy,
+    ) -> (CatalogRelation, Vec<usize>) {
         let mut shards = self.shards.clone();
+        let mut touched = Vec::new();
         for (j, bucket) in policy
             .partition(extra, |t| &t.vector)
             .into_iter()
@@ -241,9 +259,10 @@ impl CatalogRelation {
         {
             if !bucket.is_empty() {
                 shards[j] = Arc::new(shards[j].appended(bucket));
+                touched.push(j);
             }
         }
-        Self::from_shards(Arc::clone(&self.name), shards)
+        (Self::from_shards(Arc::clone(&self.name), shards), touched)
     }
 
     /// The relation's name.
@@ -518,7 +537,8 @@ impl Catalog {
             let current = self.relation(id)?;
             let tuples = make_tuples(&current);
             Self::check_dimensions(&current, &tuples)?;
-            let next = Arc::new(current.appended(tuples, &self.policy));
+            let (appended, touched_shards) = current.appended(tuples, &self.policy);
+            let next = Arc::new(appended);
             let epoch = next.epoch();
             let cardinality = next.cardinality();
             let mut slots = self.slots.write().expect("catalog lock");
@@ -529,6 +549,7 @@ impl Catalog {
                         id,
                         epoch,
                         cardinality,
+                        touched_shards,
                     });
                 }
                 // A concurrent mutation published first: rebuild from the
@@ -580,11 +601,13 @@ impl Catalog {
         let mut slots = self.slots.write().expect("catalog lock");
         let current = Self::live(&slots, id)?;
         let epoch = current.epoch() + 1;
+        let touched_shards = (0..current.num_shards()).collect();
         slots[id.0] = Slot::Dropped;
         Ok(MutationOutcome {
             id,
             epoch,
             cardinality: 0,
+            touched_shards,
         })
     }
 

@@ -29,7 +29,7 @@
 //! [`crate::session::Session`], which speaks the versioned `prj-api`
 //! request/response protocol.
 
-use crate::cache::{CacheKey, CacheMetrics, CachedExecution, ResultCache};
+use crate::cache::{CacheKey, CacheMetrics, CachedExecution, ResultCache, UnitCache, UnitKey};
 use crate::catalog::{Catalog, CatalogError, CatalogRelation, MutationOutcome, RelationId};
 use crate::executor::Executor;
 use crate::planner::{Plan, Planner, PlannerConfig};
@@ -37,13 +37,14 @@ use crate::registry::ScoringRegistry;
 use crate::sharding::ShardingPolicy;
 use crate::stats::{EngineStats, EngineStatsSnapshot, QueryRecord, UnitRecord};
 use prj_access::{AccessKind, RelationStats};
+use prj_api::ScoringSelector;
 use prj_core::{
     merge_results, Algorithm, CertifiedMerge, EuclideanLogScore, PrjError, Problem, ProblemBuilder,
     RankJoinResult, RunMetrics, ScoredCombination, ScoringSpec, StreamingRun,
 };
 use prj_geometry::Vector;
 use std::sync::mpsc::{sync_channel, Receiver};
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 use std::time::{Duration, Instant};
 
 /// Capacity of a stream's in-flight buffer: the producer runs at most this
@@ -70,6 +71,20 @@ pub enum EngineError {
         /// The factory's rejection message.
         reason: String,
     },
+    /// A remote worker needed for an execution unit is unreachable and no
+    /// replica could take over.
+    WorkerUnavailable {
+        /// The driving shard whose unit could not be executed.
+        shard: usize,
+        /// What went wrong on the last attempt.
+        detail: String,
+    },
+    /// The cluster is in a degraded state: the request could not be
+    /// completed exactly, and a partial answer would be a lie.
+    Degraded(String),
+    /// A worker replica's catalog epochs disagree with the coordinator
+    /// snapshot that planned the unit; re-snapshot and retry.
+    StaleReplica(String),
 }
 
 impl std::fmt::Display for EngineError {
@@ -84,6 +99,11 @@ impl std::fmt::Display for EngineError {
             EngineError::InvalidScoringParams { name, reason } => {
                 write!(f, "invalid parameters for scoring {name:?}: {reason}")
             }
+            EngineError::WorkerUnavailable { shard, detail } => {
+                write!(f, "no worker available for driving shard {shard}: {detail}")
+            }
+            EngineError::Degraded(detail) => write!(f, "cluster degraded: {detail}"),
+            EngineError::StaleReplica(detail) => write!(f, "stale replica: {detail}"),
         }
     }
 }
@@ -117,6 +137,11 @@ pub struct QuerySpec {
     pub k: usize,
     /// The aggregation function.
     pub scoring: Arc<dyn ScoringSpec>,
+    /// The wire-expressible `(name, params)` identity of `scoring`, when
+    /// known — what a remote backend ships to workers so their registries
+    /// resolve the *same* function. `None` for ad-hoc scorings injected via
+    /// [`QuerySpec::with_scoring`]; such queries execute locally only.
+    pub selector: Option<ScoringSelector>,
     /// Sorted-access kind (Definition 2.1).
     pub access_kind: AccessKind,
     /// Pin a specific algorithm, or let the planner choose (`None`).
@@ -132,6 +157,9 @@ impl QuerySpec {
             query,
             k,
             scoring: Arc::new(EuclideanLogScore::default()),
+            // The default scoring is the registry's "euclidean-log" with
+            // default weights, so it stays remotely executable.
+            selector: Some(ScoringSelector::named("euclidean-log")),
             access_kind: AccessKind::Distance,
             algorithm: None,
         }
@@ -149,16 +177,30 @@ impl QuerySpec {
         self
     }
 
-    /// Replaces the scoring function.
+    /// Replaces the scoring function with an ad-hoc instance. The spec
+    /// loses its wire selector: the instance may not exist in any remote
+    /// registry, so such queries are executed locally.
     pub fn with_scoring(mut self, scoring: impl ScoringSpec + 'static) -> Self {
         self.scoring = Arc::new(scoring);
+        self.selector = None;
         self
     }
 
     /// Replaces the scoring function with an already-shared instance (e.g.
-    /// one resolved from the [`ScoringRegistry`]).
+    /// one resolved from the [`ScoringRegistry`]). Clears the wire selector
+    /// — use [`QuerySpec::with_selector`] to restore one.
     pub fn with_shared_scoring(mut self, scoring: Arc<dyn ScoringSpec>) -> Self {
         self.scoring = scoring;
+        self.selector = None;
+        self
+    }
+
+    /// Declares the wire-expressible registry identity of the current
+    /// scoring, re-enabling remote execution for it. The caller must
+    /// guarantee the selector resolves to an *identical* function on every
+    /// worker's registry.
+    pub fn with_selector(mut self, selector: ScoringSelector) -> Self {
+        self.selector = Some(selector);
         self
     }
 }
@@ -259,11 +301,68 @@ impl ResultStream {
     }
 }
 
+/// Everything a [`RemoteUnitBackend`] needs to ship one execution unit to
+/// a worker process: the coordinator snapshot's identity (relation ids +
+/// epoch vectors), the query, and the *pinned* per-unit plan — the worker
+/// replays exactly this plan, so distributed execution is bit-identical to
+/// local execution by construction.
+#[derive(Debug, Clone)]
+pub struct RemoteUnitCall {
+    /// The relations to join, in join order (registration ids; replicated
+    /// catalogs assign the same ids as the coordinator).
+    pub relations: Vec<RelationId>,
+    /// Per-relation epoch vectors of the snapshot this unit was planned
+    /// from; the worker must refuse to execute at any other epochs.
+    pub epochs: Vec<Vec<u64>>,
+    /// Index (into `relations`) of the driving relation.
+    pub drive: usize,
+    /// The driving-relation shard this unit covers.
+    pub shard: usize,
+    /// The query point.
+    pub query: Vector,
+    /// The global `K`.
+    pub k: usize,
+    /// The scoring's registry identity.
+    pub selector: ScoringSelector,
+    /// Sorted-access kind.
+    pub access_kind: AccessKind,
+    /// The planned operator instantiation.
+    pub algorithm: Algorithm,
+    /// The planned LP dominance-test period.
+    pub dominance_period: Option<usize>,
+}
+
+/// A pluggable executor for shipping execution units to remote worker
+/// processes. Installed with [`Engine::set_remote_backend`]; `prj-cluster`
+/// provides the TCP implementation (pooled persistent connections over the
+/// `prj/2` wire protocol, replica failover).
+///
+/// Contract: [`RemoteUnitBackend::execute`] either returns the *complete,
+/// certified* unit result — bit-identical to what running the same plan
+/// locally would produce — or a typed error
+/// ([`EngineError::WorkerUnavailable`] / [`EngineError::StaleReplica`] /
+/// [`EngineError::Degraded`]). Silently truncated results are forbidden;
+/// the merge machinery has no way to detect them.
+pub trait RemoteUnitBackend: Send + Sync {
+    /// The topology generation, folded into every cache key so entries
+    /// computed under an older worker layout become unreachable after a
+    /// failover or rebalance.
+    fn generation(&self) -> u64;
+
+    /// `true` when units of this driving shard should be executed
+    /// remotely; `false` falls back to local execution.
+    fn routes(&self, shard: usize) -> bool;
+
+    /// Executes one unit remotely, returning its rehydrated result.
+    fn execute(&self, call: &RemoteUnitCall) -> Result<RankJoinResult, EngineError>;
+}
+
 /// Configuration builder for [`Engine`].
 #[derive(Debug, Clone)]
 pub struct EngineBuilder {
     threads: usize,
     cache_capacity: usize,
+    unit_cache_capacity: usize,
     planner: PlannerConfig,
     sharding: ShardingPolicy,
 }
@@ -273,6 +372,7 @@ impl Default for EngineBuilder {
         EngineBuilder {
             threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
             cache_capacity: 1024,
+            unit_cache_capacity: 4096,
             planner: PlannerConfig::default(),
             sharding: ShardingPolicy::default(),
         }
@@ -289,6 +389,15 @@ impl EngineBuilder {
     /// Result-cache capacity in entries (default 1024; 0 disables caching).
     pub fn cache_capacity(mut self, capacity: usize) -> Self {
         self.cache_capacity = capacity;
+        self
+    }
+
+    /// Per-shard unit-cache capacity in entries (default 4096; 0 disables
+    /// it). Only consulted for partitioned (sharded) batch executions; it
+    /// is what lets a single-shard epoch bump re-execute one unit instead
+    /// of the whole query.
+    pub fn unit_cache_capacity(mut self, capacity: usize) -> Self {
+        self.unit_cache_capacity = capacity;
         self
     }
 
@@ -322,9 +431,11 @@ impl EngineBuilder {
             catalog: Arc::new(Catalog::with_policy(self.sharding)),
             executor: Executor::new(self.threads),
             cache: Arc::new(ResultCache::new(self.cache_capacity)),
+            unit_cache: Arc::new(UnitCache::new(self.unit_cache_capacity)),
             stats: Arc::new(EngineStats::new()),
             planner: Planner::with_config(self.planner),
             registry: Arc::new(ScoringRegistry::with_builtins()),
+            remote: RwLock::new(None),
         }
     }
 }
@@ -358,33 +469,145 @@ fn merged_plan(units: &[ExecutionUnit]) -> Plan {
     }
 }
 
+/// The owned, `Send` bundle one query's unit executions share: where to
+/// look up memoised units, where to ship remote ones, and the key
+/// ingredients both need. Built from the same snapshot the units were
+/// prepared from, so its epochs always describe exactly the data a unit
+/// reads.
+struct UnitExecContext {
+    unit_cache: Arc<UnitCache>,
+    /// Unit caching is only worthwhile for partitioned executions; a
+    /// single-unit query is covered by the whole-query cache.
+    use_unit_cache: bool,
+    backend: Option<Arc<dyn RemoteUnitBackend>>,
+    relations: Vec<RelationId>,
+    epochs: Vec<Vec<u64>>,
+    drive: usize,
+    query: Vector,
+    k: usize,
+    access_kind: AccessKind,
+    selector: Option<ScoringSelector>,
+    scoring_fingerprint: u64,
+    generation: u64,
+}
+
+/// How one unit's result was obtained.
+struct UnitOutcome {
+    shard: usize,
+    result: RankJoinResult,
+    elapsed: Duration,
+    /// `false` when the result came out of the unit cache (no accesses
+    /// were performed for it this query).
+    fresh: bool,
+}
+
+impl UnitExecContext {
+    fn unit_key(&self, shard: usize, plan: &Plan) -> UnitKey {
+        let drive_epoch = self.epochs[self.drive]
+            .get(shard)
+            .copied()
+            .unwrap_or_default();
+        let others = self
+            .relations
+            .iter()
+            .zip(self.epochs.iter())
+            .enumerate()
+            .filter(|(idx, _)| *idx != self.drive)
+            .map(|(_, (id, epochs))| (id.index(), epochs.clone()))
+            .collect();
+        UnitKey::new(
+            (self.relations[self.drive].index(), shard, drive_epoch),
+            others,
+            &self.query,
+            self.k,
+            self.access_kind,
+            plan,
+            self.scoring_fingerprint,
+            self.generation,
+        )
+    }
+
+    /// Executes one unit: unit-cache lookup, then remote dispatch when the
+    /// backend routes the shard, local execution otherwise.
+    fn execute(&self, unit: ExecutionUnit) -> Result<UnitOutcome, EngineError> {
+        let mut unit = unit;
+        let key = self
+            .use_unit_cache
+            .then(|| self.unit_key(unit.shard, &unit.plan));
+        if let Some(key) = &key {
+            if let Some(hit) = self.unit_cache.get(key) {
+                return Ok(UnitOutcome {
+                    shard: unit.shard,
+                    result: (*hit).clone(),
+                    elapsed: Duration::ZERO,
+                    fresh: false,
+                });
+            }
+        }
+        let started = Instant::now();
+        let remote = self.backend.as_ref().filter(|b| b.routes(unit.shard));
+        let result = match remote {
+            Some(backend) => {
+                let selector = self.selector.clone().ok_or_else(|| {
+                    EngineError::Degraded(
+                        "the query's scoring has no wire selector; it cannot be \
+                         executed on remote workers"
+                            .to_string(),
+                    )
+                })?;
+                backend.execute(&RemoteUnitCall {
+                    relations: self.relations.clone(),
+                    epochs: self.epochs.clone(),
+                    drive: self.drive,
+                    shard: unit.shard,
+                    query: self.query.clone(),
+                    k: self.k,
+                    selector,
+                    access_kind: self.access_kind,
+                    algorithm: unit.plan.algorithm,
+                    dominance_period: unit.plan.dominance_period,
+                })?
+            }
+            None => unit
+                .plan
+                .algorithm
+                .run(&mut unit.problem)
+                .map_err(EngineError::Prj)?,
+        };
+        let elapsed = started.elapsed();
+        if let Some(key) = key {
+            self.unit_cache.insert(key, Arc::new(result.clone()));
+        }
+        Ok(UnitOutcome {
+            shard: unit.shard,
+            result,
+            elapsed,
+            fresh: true,
+        })
+    }
+}
+
 /// Runs every unit — in parallel when there is more than one — and merges
 /// the certified per-unit results into the exact global top-`k`. Returns
-/// the merged result plus one [`UnitRecord`] per unit that ran (sparse:
-/// shards whose driving slice was empty contribute none).
+/// the merged result plus one [`UnitRecord`] per unit that *freshly* ran
+/// (sparse: empty driving slices and unit-cache hits contribute none).
 fn run_units(
     units: Vec<ExecutionUnit>,
     k: usize,
+    ctx: &UnitExecContext,
 ) -> Result<(RankJoinResult, Vec<UnitRecord>), EngineError> {
-    let outcomes: Vec<(usize, Result<RankJoinResult, PrjError>, Duration)> = if units.len() == 1 {
-        let mut unit = units.into_iter().next().expect("one unit");
-        let started = Instant::now();
-        let outcome = unit.plan.algorithm.run(&mut unit.problem);
-        vec![(unit.shard, outcome, started.elapsed())]
+    let outcomes: Vec<Result<UnitOutcome, EngineError>> = if units.len() == 1 {
+        let unit = units.into_iter().next().expect("one unit");
+        vec![ctx.execute(unit)]
     } else {
-        // Units are pure CPU work over disjoint shard structures; scoped
-        // threads keep the fan-out off the engine's worker pool so a
-        // sharded query can never deadlock a small pool against itself.
+        // Units are pure CPU work over disjoint shard structures — or
+        // blocking network calls to distinct workers; scoped threads keep
+        // the fan-out off the engine's worker pool so a sharded query can
+        // never deadlock a small pool against itself.
         std::thread::scope(|scope| {
             let handles: Vec<_> = units
                 .into_iter()
-                .map(|mut unit| {
-                    scope.spawn(move || {
-                        let started = Instant::now();
-                        let outcome = unit.plan.algorithm.run(&mut unit.problem);
-                        (unit.shard, outcome, started.elapsed())
-                    })
-                })
+                .map(|unit| scope.spawn(move || ctx.execute(unit)))
                 .collect();
             handles
                 .into_iter()
@@ -394,14 +617,16 @@ fn run_units(
     };
     let mut parts = Vec::with_capacity(outcomes.len());
     let mut unit_records = Vec::with_capacity(outcomes.len());
-    for (shard, outcome, elapsed) in outcomes {
-        let result = outcome.map_err(EngineError::Prj)?;
-        unit_records.push(UnitRecord {
-            shard,
-            sum_depths: result.sum_depths(),
-            latency: elapsed,
-        });
-        parts.push(result);
+    for outcome in outcomes {
+        let outcome = outcome?;
+        if outcome.fresh {
+            unit_records.push(UnitRecord {
+                shard: outcome.shard,
+                sum_depths: outcome.result.sum_depths(),
+                latency: outcome.elapsed,
+            });
+        }
+        parts.push(outcome.result);
     }
     let merged = if parts.len() == 1 {
         parts.pop().expect("one part")
@@ -416,9 +641,13 @@ pub struct Engine {
     catalog: Arc<Catalog>,
     executor: Executor,
     cache: Arc<ResultCache>,
+    unit_cache: Arc<UnitCache>,
     stats: Arc<EngineStats>,
     planner: Planner,
     registry: Arc<ScoringRegistry>,
+    /// The remote execution backend, when this engine coordinates a
+    /// cluster; `None` executes everything locally.
+    remote: RwLock<Option<Arc<dyn RemoteUnitBackend>>>,
 }
 
 impl Engine {
@@ -438,7 +667,9 @@ impl Engine {
     }
 
     /// Appends pre-tagged tuples to a relation; bumps its epoch and purges
-    /// the now-unreachable cache entries.
+    /// the now-unreachable cache entries. Whole-query entries reading the
+    /// relation all die; per-shard unit entries survive unless the append
+    /// landed on their driving shard (or they read the relation whole).
     pub fn append(
         &self,
         id: RelationId,
@@ -446,6 +677,8 @@ impl Engine {
     ) -> Result<MutationOutcome, EngineError> {
         let outcome = self.catalog.append(id, tuples)?;
         self.cache.invalidate_relation(id.index());
+        self.unit_cache
+            .invalidate_shards(id.index(), &outcome.touched_shards);
         Ok(outcome)
     }
 
@@ -458,6 +691,8 @@ impl Engine {
     ) -> Result<MutationOutcome, EngineError> {
         let outcome = self.catalog.append_rows(id, rows)?;
         self.cache.invalidate_relation(id.index());
+        self.unit_cache
+            .invalidate_shards(id.index(), &outcome.touched_shards);
         Ok(outcome)
     }
 
@@ -465,7 +700,30 @@ impl Engine {
     pub fn drop_relation(&self, id: RelationId) -> Result<MutationOutcome, EngineError> {
         let outcome = self.catalog.drop_relation(id)?;
         self.cache.invalidate_relation(id.index());
+        self.unit_cache.invalidate_relation(id.index());
         Ok(outcome)
+    }
+
+    /// Installs the remote execution backend: from now on, execution units
+    /// whose driving shard the backend routes are shipped to workers
+    /// instead of running locally, and every cache key carries the
+    /// backend's topology generation.
+    pub fn set_remote_backend(&self, backend: Arc<dyn RemoteUnitBackend>) {
+        *self.remote.write().expect("remote backend lock") = Some(backend);
+    }
+
+    /// Removes the remote backend; execution falls back to local.
+    pub fn clear_remote_backend(&self) {
+        *self.remote.write().expect("remote backend lock") = None;
+    }
+
+    fn remote_backend(&self) -> Option<Arc<dyn RemoteUnitBackend>> {
+        self.remote.read().expect("remote backend lock").clone()
+    }
+
+    /// The current cluster topology generation (0 without a backend).
+    pub fn topology_generation(&self) -> u64 {
+        self.remote_backend().map_or(0, |b| b.generation())
     }
 
     /// The shared catalog.
@@ -498,6 +756,11 @@ impl Engine {
         self.cache.metrics()
     }
 
+    /// Per-shard unit-cache counters.
+    pub fn unit_cache_metrics(&self) -> CacheMetrics {
+        self.unit_cache.metrics()
+    }
+
     /// Snapshots the referenced relations and derives the cache key *from
     /// that snapshot*, so the epochs in the key always describe exactly the
     /// data the run would read (no key/snapshot race around mutations).
@@ -512,19 +775,7 @@ impl Engine {
             return Err(EngineError::Prj(PrjError::NoRelations));
         }
         let snapshot = self.catalog.snapshot(&spec.relations)?;
-        // Validate the query's dimensionality up front: catalog views skip
-        // `ProblemBuilder`'s per-tuple checks (they would be O(n) per
-        // query), so without this a mismatched query would panic a worker
-        // instead of returning a typed error.
-        for relation in &snapshot {
-            let stats = relation.stats();
-            if stats.cardinality > 0 && stats.dimensions != spec.query.dim() {
-                return Err(EngineError::Prj(PrjError::DimensionMismatch {
-                    expected: stats.dimensions,
-                    found: spec.query.dim(),
-                }));
-            }
-        }
+        Self::validate_dimensions(spec, &snapshot)?;
         let relations = spec
             .relations
             .iter()
@@ -538,30 +789,61 @@ impl Engine {
             spec.access_kind,
             spec.algorithm,
             spec.scoring.cache_fingerprint(),
+            self.topology_generation(),
         );
         Ok((snapshot, key))
     }
 
+    /// Validates the query's dimensionality up front: catalog views skip
+    /// `ProblemBuilder`'s per-tuple checks (they would be O(n) per query),
+    /// so without this a mismatched query would panic a worker instead of
+    /// returning a typed error.
+    fn validate_dimensions(
+        spec: &QuerySpec,
+        snapshot: &[Arc<CatalogRelation>],
+    ) -> Result<(), EngineError> {
+        for relation in snapshot {
+            let stats = relation.stats();
+            if stats.cardinality > 0 && stats.dimensions != spec.query.dim() {
+                return Err(EngineError::Prj(PrjError::DimensionMismatch {
+                    expected: stats.dimensions,
+                    found: spec.query.dim(),
+                }));
+            }
+        }
+        Ok(())
+    }
+
     /// Plans and builds the partitioned execution units for one query.
     ///
-    /// The combination space factorises over the *driving* (first)
-    /// relation's shards: unit `j` joins shard `j` of relation 1 with
-    /// whole-relation merged views of the others, so every combination is
-    /// produced by exactly one unit and the per-unit top-K runs recombine
-    /// exactly ([`prj_core::merge`]). Units whose driving shard is empty
-    /// cannot produce a combination and are skipped. Each unit is planned
-    /// from its own statistics — its driving shard's [`RelationStats`] plus
-    /// the other relations' combined stats — so a skewed shard can run
+    /// The combination space factorises over the *driving* relation's
+    /// shards — chosen by the planner's estimated-`sumDepths` cost model
+    /// ([`Planner::choose_driving`]), not blindly "first" — so unit `j`
+    /// joins shard `j` of the driving relation with whole-relation merged
+    /// views of the others, every combination is produced by exactly one
+    /// unit, and the per-unit top-K runs recombine exactly
+    /// ([`prj_core::merge`]). Units whose driving shard is empty cannot
+    /// produce a combination and are skipped. Each unit is planned from its
+    /// own statistics — its driving shard's [`RelationStats`] plus the
+    /// other relations' combined stats — so a skewed shard can run
     /// potential-adaptive while its siblings stay round-robin.
+    ///
+    /// Returns the driving relation index alongside the units.
     fn prepare_units(
         &self,
         spec: &QuerySpec,
         snapshot: &[Arc<CatalogRelation>],
-    ) -> Result<Vec<ExecutionUnit>, EngineError> {
+    ) -> Result<(usize, Vec<ExecutionUnit>), EngineError> {
         let reducible = spec.scoring.euclidean_weights().is_some();
-        let shards = snapshot[0].num_shards();
+        let drive = if snapshot.len() > 1 {
+            let stats: Vec<RelationStats> = snapshot.iter().map(|r| r.stats()).collect();
+            self.planner.choose_driving(&stats)
+        } else {
+            0
+        };
+        let shards = snapshot[drive].num_shards();
         let nonempty: Vec<usize> = (0..shards)
-            .filter(|&j| snapshot[0].shard(j).stats().cardinality > 0)
+            .filter(|&j| snapshot[drive].shard(j).stats().cardinality > 0)
             .collect();
         // An entirely empty driving relation still needs one unit so the
         // query produces a well-formed (empty) result with real metrics.
@@ -574,14 +856,34 @@ impl Engine {
         // own δ is done ONCE per non-driving relation and shared across all
         // units behind an Arc — each unit only gets its own O(1) cursor —
         // instead of every unit re-cloning and re-sorting the relation.
-        let delta_sorted: Vec<Option<Arc<Vec<prj_access::Tuple>>>> = snapshot
+        let delta_sorted = if selected.len() > 1 {
+            Self::delta_sorted_views(spec, snapshot, drive, reducible)
+        } else {
+            vec![None; snapshot.len()]
+        };
+        let units = selected
+            .into_iter()
+            .map(|j| {
+                let plan = self.plan_unit(spec, snapshot, reducible, drive, j);
+                Self::build_unit(spec, snapshot, &delta_sorted, reducible, drive, j, plan)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok((drive, units))
+    }
+
+    /// The shared per-query δ-sorted copies of the non-driving relations
+    /// (non-Euclidean distance access only; `None` elsewhere).
+    fn delta_sorted_views(
+        spec: &QuerySpec,
+        snapshot: &[Arc<CatalogRelation>],
+        drive: usize,
+        reducible: bool,
+    ) -> Vec<Option<Arc<Vec<prj_access::Tuple>>>> {
+        snapshot
             .iter()
             .enumerate()
             .map(|(idx, relation)| {
-                let needed = idx != 0
-                    && selected.len() > 1
-                    && spec.access_kind == AccessKind::Distance
-                    && !reducible;
+                let needed = idx != drive && spec.access_kind == AccessKind::Distance && !reducible;
                 needed.then(|| {
                     let mut tuples = relation.all_tuples();
                     // The exact order `VecRelation::distance_sorted_by`
@@ -595,22 +897,20 @@ impl Engine {
                     Arc::new(tuples)
                 })
             })
-            .collect();
-        selected
-            .into_iter()
-            .map(|j| self.prepare_unit(spec, snapshot, &delta_sorted, reducible, j))
             .collect()
     }
 
-    fn prepare_unit(
+    /// The per-unit plan: pinned by the query, or chosen from the unit's
+    /// own statistics (the driving slot's shard stats, the others whole).
+    fn plan_unit(
         &self,
         spec: &QuerySpec,
         snapshot: &[Arc<CatalogRelation>],
-        delta_sorted: &[Option<Arc<Vec<prj_access::Tuple>>>],
         reducible: bool,
+        drive: usize,
         shard: usize,
-    ) -> Result<ExecutionUnit, EngineError> {
-        let plan = match spec.algorithm {
+    ) -> Plan {
+        match spec.algorithm {
             Some(algorithm) => Plan {
                 algorithm,
                 dominance_period: None,
@@ -621,7 +921,7 @@ impl Engine {
                     .iter()
                     .enumerate()
                     .map(|(idx, r)| {
-                        if idx == 0 && r.num_shards() > 1 {
+                        if idx == drive && r.num_shards() > 1 {
                             r.shard(shard).stats()
                         } else {
                             r.stats()
@@ -630,13 +930,28 @@ impl Engine {
                     .collect();
                 self.planner.plan(reducible, &stats)
             }
-        };
+        }
+    }
+
+    /// Builds one execution unit under an already-decided plan. Relations
+    /// keep their client-given join order — only the *view* of the driving
+    /// relation is narrowed to its shard — so member tuples of results come
+    /// out in the same order at every driving choice.
+    fn build_unit(
+        spec: &QuerySpec,
+        snapshot: &[Arc<CatalogRelation>],
+        delta_sorted: &[Option<Arc<Vec<prj_access::Tuple>>>],
+        reducible: bool,
+        drive: usize,
+        shard: usize,
+        plan: Plan,
+    ) -> Result<ExecutionUnit, EngineError> {
         let mut builder = ProblemBuilder::new(spec.query.clone(), Arc::clone(&spec.scoring))
             .k(spec.k)
             .access_kind(spec.access_kind)
             .dominance_period(plan.dominance_period);
         for (idx, relation) in snapshot.iter().enumerate() {
-            let view = if idx == 0 {
+            let view = if idx == drive {
                 // The driving relation contributes only its shard.
                 match spec.access_kind {
                     AccessKind::Distance if reducible => {
@@ -679,6 +994,30 @@ impl Engine {
         })
     }
 
+    /// The shared execution context of one query's units, built from the
+    /// same snapshot the units were prepared from.
+    fn unit_context(
+        &self,
+        spec: &QuerySpec,
+        snapshot: &[Arc<CatalogRelation>],
+        drive: usize,
+    ) -> UnitExecContext {
+        UnitExecContext {
+            unit_cache: Arc::clone(&self.unit_cache),
+            use_unit_cache: snapshot[drive].num_shards() > 1,
+            backend: self.remote_backend(),
+            relations: spec.relations.clone(),
+            epochs: snapshot.iter().map(|r| r.epochs()).collect(),
+            drive,
+            query: spec.query.clone(),
+            k: spec.k,
+            access_kind: spec.access_kind,
+            selector: spec.selector.clone(),
+            scoring_fingerprint: spec.scoring.cache_fingerprint(),
+            generation: self.topology_generation(),
+        }
+    }
+
     /// Submits a query to the pool and returns a ticket to wait on.
     ///
     /// Cache hits and planning errors resolve the ticket immediately; misses
@@ -713,11 +1052,12 @@ impl Engine {
             Err(e) => {
                 let _ = sender.send(Err(e));
             }
-            Ok(units) => {
+            Ok((drive, units)) => {
                 let plan = merged_plan(&units);
                 let k = spec.k;
                 let cache = Arc::clone(&self.cache);
                 let stats = Arc::clone(&self.stats);
+                let ctx = self.unit_context(&spec, &snapshot, drive);
                 self.executor.spawn(move || {
                     // Re-check the cache at execution time: a duplicate query
                     // queued behind the first execution of this key should be
@@ -736,12 +1076,16 @@ impl Engine {
                         }));
                         return;
                     }
-                    let outcome = run_units(units, k);
+                    let outcome = run_units(units, k, &ctx);
                     let response = outcome.map(|(result, unit_records)| {
                         let latency = started.elapsed();
                         stats.record(QueryRecord {
                             latency,
-                            sum_depths: result.stats.sum_depths(),
+                            // Count only the accesses *this* query freshly
+                            // performed: unit-cache hits did none, and the
+                            // per-shard lanes must keep adding up to the
+                            // engine-wide total.
+                            sum_depths: unit_records.iter().map(|u| u.sum_depths).sum(),
                             bound_updates: result.metrics.bound_updates,
                             from_cache: false,
                             units: unit_records,
@@ -802,9 +1146,47 @@ impl Engine {
             });
         }
 
-        let units = self.prepare_units(&spec, &snapshot)?;
+        let (drive, units) = self.prepare_units(&spec, &snapshot)?;
         let plan = merged_plan(&units);
         let k = spec.k;
+
+        // Distributed streaming: when any unit routes to a remote worker,
+        // the units are executed to completion (in parallel, with replica
+        // failover and the unit cache) and the exact merged top-K is
+        // replayed incrementally. The emitted rows are bit-identical to the
+        // live merged stream — both are the bound-aware merge of the same
+        // certified per-unit sequences — the delivery merely stops being
+        // access-incremental across the network.
+        let backend = self.remote_backend();
+        let any_remote = backend
+            .as_ref()
+            .is_some_and(|b| units.iter().any(|u| b.routes(u.shard)));
+        if any_remote {
+            let ctx = self.unit_context(&spec, &snapshot, drive);
+            let (result, unit_records) = run_units(units, k, &ctx)?;
+            self.stats.record(QueryRecord {
+                latency: started.elapsed(),
+                sum_depths: unit_records.iter().map(|u| u.sum_depths).sum(),
+                bound_updates: result.metrics.bound_updates,
+                from_cache: false,
+                units: unit_records,
+            });
+            let execution = Arc::new(CachedExecution {
+                result,
+                plan: plan.clone(),
+            });
+            self.cache.insert(key, Arc::clone(&execution));
+            return Ok(ResultStream {
+                inner: StreamInner::Replay {
+                    execution,
+                    cursor: 0,
+                },
+                plan,
+                from_cache: false,
+                error: None,
+            });
+        }
+
         // Start every unit's incremental run up front, so planning and
         // bound-setup failures surface as typed errors before a thread
         // spawns.
@@ -959,6 +1341,83 @@ impl Engine {
             units: unit_records,
         });
         cache.insert(key, Arc::new(CachedExecution { result, plan }));
+    }
+
+    /// Executes exactly one partitioned unit — shard `shard` of the
+    /// relation at join position `drive` joined against whole views of the
+    /// others — under a *pinned* plan. This is the worker-side entry point
+    /// of distributed execution: the cluster coordinator plans the unit
+    /// against its snapshot and ships `(drive, shard, algorithm, period)`
+    /// plus the snapshot's epoch vectors; the worker replays it here
+    /// against its replicated catalog.
+    ///
+    /// When `expected_epochs` is given, the worker's snapshot must match it
+    /// exactly — otherwise the replica has missed (or over-run) a mutation
+    /// and the unit answers [`EngineError::StaleReplica`] instead of
+    /// computing an answer over different data.
+    pub fn execute_unit(
+        &self,
+        spec: &QuerySpec,
+        drive: usize,
+        shard: usize,
+        algorithm: Algorithm,
+        dominance_period: Option<usize>,
+        expected_epochs: Option<&[Vec<u64>]>,
+    ) -> Result<(RankJoinResult, Duration), EngineError> {
+        if spec.relations.is_empty() {
+            return Err(EngineError::Prj(PrjError::NoRelations));
+        }
+        let snapshot = self.catalog.snapshot(&spec.relations)?;
+        if drive >= snapshot.len() {
+            return Err(EngineError::Degraded(format!(
+                "drive index {drive} out of range for {} relations",
+                snapshot.len()
+            )));
+        }
+        if shard >= snapshot[drive].num_shards() {
+            return Err(EngineError::StaleReplica(format!(
+                "shard {shard} out of range: this engine partitions into {} shards",
+                snapshot[drive].num_shards()
+            )));
+        }
+        if let Some(expected) = expected_epochs {
+            for (idx, relation) in snapshot.iter().enumerate() {
+                let have = relation.epochs();
+                if expected.get(idx) != Some(&have) {
+                    return Err(EngineError::StaleReplica(format!(
+                        "relation {} is at epochs {:?} here, the coordinator snapshot \
+                         expected {:?}",
+                        spec.relations[idx].index(),
+                        have,
+                        expected.get(idx),
+                    )));
+                }
+            }
+        }
+        Self::validate_dimensions(spec, &snapshot)?;
+        let reducible = spec.scoring.euclidean_weights().is_some();
+        let delta_sorted = vec![None; snapshot.len()];
+        let plan = Plan {
+            algorithm,
+            dominance_period,
+            rationale: "pinned by the cluster coordinator".to_string(),
+        };
+        let mut unit = Self::build_unit(
+            spec,
+            &snapshot,
+            &delta_sorted,
+            reducible,
+            drive,
+            shard,
+            plan,
+        )?;
+        let started = Instant::now();
+        let result = unit
+            .plan
+            .algorithm
+            .run(&mut unit.problem)
+            .map_err(EngineError::Prj)?;
+        Ok((result, started.elapsed()))
     }
 }
 

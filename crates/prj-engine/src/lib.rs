@@ -41,8 +41,10 @@
 //!   can never be served, and
 //!   [`cache::ResultCache::invalidate_relation`] reclaims the orphaned
 //!   entries eagerly.
-//! * [`server`] — a minimal line-delimited TCP front-end (the `prj-serve`
-//!   binary) forwarding wire requests to a shared [`Session`].
+//! * [`server`] — a minimal line-delimited TCP front-end forwarding wire
+//!   requests to any [`server::RequestHandler`] — a shared [`Session`], or
+//!   `prj-cluster`'s coordinator/worker handlers (the `prj-serve` binary
+//!   lives there and serves all three roles).
 //! * [`stats`] — engine-wide aggregation of the operator's metrics.
 //!
 //! ## Example
@@ -96,17 +98,18 @@ pub mod session;
 pub mod sharding;
 pub mod stats;
 
-pub use cache::{CacheKey, CacheMetrics, CachedExecution, ResultCache};
+pub use cache::{CacheKey, CacheMetrics, CachedExecution, ResultCache, UnitCache, UnitKey};
 pub use catalog::{
     Catalog, CatalogError, CatalogRelation, MutationOutcome, RelationId, RelationShard,
 };
 pub use engine::{
-    Engine, EngineBuilder, EngineError, EngineResult, QuerySpec, QueryTicket, ResultStream,
+    Engine, EngineBuilder, EngineError, EngineResult, QuerySpec, QueryTicket, RemoteUnitBackend,
+    RemoteUnitCall, ResultStream,
 };
 pub use executor::Executor;
 pub use planner::{Plan, Planner, PlannerConfig};
 pub use registry::{ScoringFactory, ScoringRegistry};
-pub use server::Server;
+pub use server::{RequestHandler, Server};
 pub use session::{Dispatch, Session, SessionBuilder, SessionStream};
 pub use sharding::ShardingPolicy;
 pub use stats::{EngineStats, EngineStatsSnapshot, QueryRecord, ShardLane, UnitRecord};

@@ -61,6 +61,47 @@ impl Planner {
         Planner { config }
     }
 
+    /// Picks the *driving* relation of a partitioned execution — the one
+    /// whose shards the combination space is split by — by estimated
+    /// `sumDepths` instead of blindly taking the first.
+    ///
+    /// The model: per execution unit, the driving relation contributes only
+    /// its shard slice, while every *non-driving* relation is read through
+    /// a whole-relation merged view, so the non-driving relations dominate
+    /// the expected access cost. How deep a non-driving relation is read
+    /// before the bound closes depends on its score distribution:
+    /// top-heavy (right-skewed) scores let potential-adaptive pulling stop
+    /// early (the paper's Figure 3(g)/(h) skew behaviour), roughly
+    /// discounting its expected depth by `1 / (1 + skew)`. The driving
+    /// relation forfeits its own discount — its slices are enumerated
+    /// regardless — so the best driving choice is the relation whose
+    /// *removal* from the non-driving set costs least:
+    ///
+    /// ```text
+    /// drive = argmin_d Σ_{r ≠ d} cardinality(r) / (1 + max(skew(r), 0))
+    /// ```
+    ///
+    /// Deterministic (ties resolve to the lowest index, so symmetric
+    /// relations keep the historical "first relation drives" behaviour) and
+    /// a pure function of the statistics, which makes it safe to fold into
+    /// cache keys implicitly. Correctness never depends on the choice: the
+    /// combination space partitions exactly over *any* relation's shards.
+    pub fn choose_driving(&self, stats: &[RelationStats]) -> usize {
+        if stats.len() <= 1 {
+            return 0;
+        }
+        let discounted: Vec<f64> = stats
+            .iter()
+            .map(|s| s.cardinality as f64 / (1.0 + s.score_skewness.max(0.0)))
+            .collect();
+        let total: f64 = discounted.iter().sum();
+        // Σ_{r≠d} discounted(r) = total − discounted(d): minimising the
+        // non-driving cost means driving the largest discounted term.
+        (0..stats.len())
+            .min_by(|&a, &b| (total - discounted[a]).total_cmp(&(total - discounted[b])))
+            .unwrap_or(0)
+    }
+
     /// Plans one query.
     ///
     /// * `scoring_reducible` — whether the scoring function exposes
@@ -188,6 +229,39 @@ mod tests {
         assert_eq!(symmetric.algorithm, Algorithm::Cbrr);
         let skewed = Planner::default().plan(false, &[stats(100, 2.0), stats(100, 0.0)]);
         assert_eq!(skewed.algorithm, Algorithm::Cbpa);
+    }
+
+    #[test]
+    fn symmetric_stats_keep_the_first_relation_driving() {
+        let planner = Planner::default();
+        assert_eq!(planner.choose_driving(&[]), 0);
+        assert_eq!(planner.choose_driving(&[stats(100, 0.0)]), 0);
+        assert_eq!(
+            planner.choose_driving(&[stats(100, 0.0), stats(100, 0.0), stats(100, 0.0)]),
+            0,
+            "ties resolve to the lowest index"
+        );
+    }
+
+    #[test]
+    fn skewed_stats_flip_the_driving_choice() {
+        let planner = Planner::default();
+        // Equal cardinalities, but relation 0's scores are heavily skewed:
+        // it benefits from staying non-driving (potential-adaptive reads it
+        // shallowly), so the uniform relation 1 drives instead of "first".
+        let flipped = planner.choose_driving(&[stats(100, 2.0), stats(100, 0.0)]);
+        assert_eq!(flipped, 1, "skew on the first relation flips the choice");
+        // The same stats with the skew moved keep relation 0 driving.
+        assert_eq!(
+            planner.choose_driving(&[stats(100, 0.0), stats(100, 2.0)]),
+            0
+        );
+        // Cardinality dominates when skews agree: drive the big relation so
+        // its cost leaves the non-driving sum.
+        assert_eq!(
+            planner.choose_driving(&[stats(50, 0.0), stats(1000, 0.0), stats(60, 0.0)]),
+            1
+        );
     }
 
     #[test]

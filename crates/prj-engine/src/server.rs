@@ -14,12 +14,28 @@
 //! to be booted on a loopback port by the integration tests.
 
 use crate::session::{Dispatch, Session};
-use prj_api::{wire, Response};
+use prj_api::{wire, Request, Response};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+
+/// Anything able to route one protocol request to a [`Dispatch`]. The
+/// plain [`Session`] is the standard handler; `prj-cluster` implements
+/// this for its coordinator (which replicates mutations before acking) and
+/// its worker (which additionally serves the cluster-internal verbs).
+pub trait RequestHandler: Send + Sync {
+    /// Routes one request; failures come back as
+    /// [`Dispatch::One`]`(`[`Response::Error`]`)`, never as a panic.
+    fn dispatch_request(&self, request: Request) -> Dispatch;
+}
+
+impl RequestHandler for Session {
+    fn dispatch_request(&self, request: Request) -> Dispatch {
+        self.dispatch(request)
+    }
+}
 
 /// A running TCP front-end.
 pub struct Server {
@@ -30,8 +46,12 @@ pub struct Server {
 
 impl Server {
     /// Binds `addr` (use port 0 for an ephemeral port) and starts accepting
-    /// connections served by `session`.
-    pub fn bind(addr: impl ToSocketAddrs, session: Arc<Session>) -> std::io::Result<Server> {
+    /// connections served by `handler` — a [`Session`] or any other
+    /// [`RequestHandler`].
+    pub fn bind<H: RequestHandler + 'static>(
+        addr: impl ToSocketAddrs,
+        handler: Arc<H>,
+    ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
@@ -44,13 +64,13 @@ impl Server {
                         break;
                     }
                     let Ok(stream) = stream else { continue };
-                    let session = Arc::clone(&session);
+                    let handler = Arc::clone(&handler);
                     // One thread per connection; connections are expected to
                     // be long-lived (a client keeps one open and pipelines
                     // requests on it).
                     let _ = std::thread::Builder::new()
                         .name("prj-serve-conn".to_string())
-                        .spawn(move || serve_connection(stream, &session));
+                        .spawn(move || serve_connection(stream, handler.as_ref()));
                 }
             })?;
         Ok(Server {
@@ -105,13 +125,13 @@ impl Drop for Server {
     }
 }
 
-fn write_line(stream: &mut TcpStream, response: &Response) -> std::io::Result<()> {
-    let mut line = wire::encode_response(response);
+fn write_line(stream: &mut TcpStream, response: &Response, version: u32) -> std::io::Result<()> {
+    let mut line = wire::encode_response_at(response, version);
     line.push('\n');
     stream.write_all(line.as_bytes())
 }
 
-fn serve_connection(stream: TcpStream, session: &Session) {
+fn serve_connection(stream: TcpStream, handler: &dyn RequestHandler) {
     let Ok(mut writer) = stream.try_clone() else {
         return;
     };
@@ -121,16 +141,24 @@ fn serve_connection(stream: TcpStream, session: &Session) {
         if line.trim().is_empty() {
             continue;
         }
-        let outcome = match wire::decode_request(&line) {
-            Err(e) => Dispatch::One(Response::Error(e)),
-            Ok(request) => session.dispatch(request),
+        // Answer every request in the dialect it arrived in, so prj/1
+        // clients round-trip against this server unchanged. Lines too
+        // broken to reveal a version are answered at prj/1, which every
+        // peer parses.
+        let (version, outcome) = match wire::decode_request_versioned(&line) {
+            Err(e) => (
+                prj_api::MIN_PROTOCOL_VERSION,
+                Dispatch::One(Response::Error(e)),
+            ),
+            Ok((version, request)) => (version, handler.dispatch_request(request)),
         };
         let io = match outcome {
-            Dispatch::One(response) => write_line(&mut writer, &response),
+            Dispatch::One(response) => write_line(&mut writer, &response, version),
             Dispatch::Stream(mut stream) => loop {
                 match stream.next_row() {
                     Some(row) => {
-                        if let Err(e) = write_line(&mut writer, &Response::StreamItem(row)) {
+                        if let Err(e) = write_line(&mut writer, &Response::StreamItem(row), version)
+                        {
                             // The client went away mid-stream; dropping the
                             // SessionStream aborts the engine-side run.
                             break Err(e);
@@ -140,13 +168,16 @@ fn serve_connection(stream: TcpStream, session: &Session) {
                     // line, not an end marker a client would read as a
                     // complete top-K.
                     None => match stream.error() {
-                        Some(error) => break write_line(&mut writer, &Response::Error(error)),
+                        Some(error) => {
+                            break write_line(&mut writer, &Response::Error(error), version)
+                        }
                         None => {
                             break write_line(
                                 &mut writer,
                                 &Response::StreamEnd {
                                     count: stream.delivered(),
                                 },
+                                version,
                             )
                         }
                     },

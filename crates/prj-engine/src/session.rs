@@ -43,6 +43,9 @@ impl From<EngineError> for ApiError {
                 }
                 _ => ErrorKind::Operator,
             },
+            EngineError::WorkerUnavailable { .. } => ErrorKind::WorkerUnavailable,
+            EngineError::Degraded(_) => ErrorKind::Degraded,
+            EngineError::StaleReplica(_) => ErrorKind::StaleEpoch,
             EngineError::WorkerLost => ErrorKind::Internal,
         };
         ApiError::new(kind, message)
@@ -54,6 +57,7 @@ pub struct SessionBuilder {
     engine: Arc<Engine>,
     default_k: usize,
     default_scoring: Arc<dyn ScoringSpec>,
+    default_selector: Option<prj_api::ScoringSelector>,
     default_access: AccessKind,
     default_algorithm: Option<Algorithm>,
 }
@@ -65,9 +69,13 @@ impl SessionBuilder {
         self
     }
 
-    /// Default scoring function (initially Eq. 2 with unit weights).
+    /// Default scoring function (initially Eq. 2 with unit weights). An
+    /// ad-hoc instance has no registry identity, so unpinned queries under
+    /// it are not remotely executable — prefer
+    /// [`SessionBuilder::default_scoring_named`] on cluster coordinators.
     pub fn default_scoring(mut self, scoring: impl ScoringSpec + 'static) -> Self {
         self.default_scoring = Arc::new(scoring);
+        self.default_selector = None;
         self
     }
 
@@ -81,6 +89,7 @@ impl SessionBuilder {
         params: &[f64],
     ) -> Result<Self, EngineError> {
         self.default_scoring = self.engine.scoring_registry().resolve(name, params)?;
+        self.default_selector = Some(prj_api::ScoringSelector::with_params(name, params));
         Ok(self)
     }
 
@@ -103,6 +112,7 @@ impl SessionBuilder {
             engine: self.engine,
             default_k: self.default_k,
             default_scoring: self.default_scoring,
+            default_selector: self.default_selector,
             default_access: self.default_access,
             default_algorithm: self.default_algorithm,
         }
@@ -163,6 +173,7 @@ pub struct Session {
     engine: Arc<Engine>,
     default_k: usize,
     default_scoring: Arc<dyn ScoringSpec>,
+    default_selector: Option<prj_api::ScoringSelector>,
     default_access: AccessKind,
     default_algorithm: Option<Algorithm>,
 }
@@ -180,6 +191,9 @@ impl Session {
             engine,
             default_k: 10,
             default_scoring: Arc::new(EuclideanLogScore::default()),
+            // The default scoring *is* the registry's euclidean-log with
+            // default weights, so default queries stay remotely executable.
+            default_selector: Some(prj_api::ScoringSelector::named("euclidean-log")),
             default_access: AccessKind::Distance,
             default_algorithm: None,
         }
@@ -280,6 +294,20 @@ impl Session {
                     delivered: 0,
                 }));
             }
+            Request::Hello { max_version } => Response::HelloAck {
+                version: max_version
+                    .clamp(prj_api::MIN_PROTOCOL_VERSION, prj_api::PROTOCOL_VERSION),
+            },
+            // Cluster-internal requests are only served by a cluster
+            // worker (`prj-cluster`'s WorkerSession); answering with a
+            // typed error instead of dropping the connection lets a
+            // misdirected coordinator diagnose itself.
+            Request::ExecuteUnit(_) | Request::ShardAssignment { .. } | Request::WorkerStats => {
+                return Err(ApiError::new(
+                    ErrorKind::Unsupported,
+                    "this endpoint is not a cluster worker; start it with prj-serve --worker",
+                ));
+            }
             Request::Stats => {
                 let stats = self.engine.stats();
                 let cache = self.engine.cache_metrics();
@@ -321,18 +349,24 @@ impl Session {
             .iter()
             .map(|r| self.resolve_relation(r))
             .collect::<Result<Vec<_>, _>>()?;
-        let scoring = match &query.scoring {
-            Some(selector) => self
-                .engine
-                .scoring_registry()
-                .resolve(&selector.name, &selector.params)?,
-            None => Arc::clone(&self.default_scoring),
+        let (scoring, selector) = match &query.scoring {
+            Some(selector) => (
+                self.engine
+                    .scoring_registry()
+                    .resolve(&selector.name, &selector.params)?,
+                Some(selector.clone()),
+            ),
+            None => (
+                Arc::clone(&self.default_scoring),
+                self.default_selector.clone(),
+            ),
         };
         Ok(QuerySpec {
             relations,
             query: Vector::new(query.query),
             k: query.k.unwrap_or(self.default_k),
             scoring,
+            selector,
             access_kind: query.access.unwrap_or(self.default_access),
             algorithm: query.algorithm.or(self.default_algorithm),
         })

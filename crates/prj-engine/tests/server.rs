@@ -144,6 +144,135 @@ fn raw_socket_speaks_the_versioned_line_protocol() {
     server.shutdown();
 }
 
+/// Satellite coverage for `prj/2` negotiation: mixed-version peers
+/// round-trip every pre-existing request kind unchanged, each answered in
+/// its own dialect, and cluster verbs degrade to *typed* errors — never a
+/// dropped connection.
+#[test]
+fn mixed_version_peers_round_trip_all_legacy_requests() {
+    let (server, _session) = boot_table1();
+    let stream = TcpStream::connect(server.local_addr()).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    fn send(writer: &mut TcpStream, reader: &mut BufReader<TcpStream>, line: &str) -> String {
+        writer.write_all(line.as_bytes()).expect("write");
+        writer.write_all(b"\n").expect("newline");
+        let mut response = String::new();
+        reader.read_line(&mut response).expect("read");
+        response.trim_end().to_string()
+    }
+    // The original grammar is identical under either prefix, and the
+    // server answers in the version the request arrived in.
+    for version in [1, 2] {
+        let prefix = format!("prj/{version} ok");
+        let response = send(
+            &mut writer,
+            &mut reader,
+            &format!("prj/{version} register name=v{version} tuples=1.0,2.0:0.5"),
+        );
+        assert!(
+            response.starts_with(&format!("{prefix} registered")),
+            "got: {response}"
+        );
+        let response = send(
+            &mut writer,
+            &mut reader,
+            &format!("prj/{version} topk rels=R1,R2,R3 q=0.0,0.0 k=1"),
+        );
+        assert!(
+            response.starts_with(&format!("{prefix} results")),
+            "got: {response}"
+        );
+        let response = send(
+            &mut writer,
+            &mut reader,
+            &format!("prj/{version} append rel=v{version} tuples=3.0,4.0:0.25"),
+        );
+        assert!(
+            response.starts_with(&format!("{prefix} appended")),
+            "got: {response}"
+        );
+        let response = send(
+            &mut writer,
+            &mut reader,
+            &format!("prj/{version} drop rel=v{version}"),
+        );
+        assert!(
+            response.starts_with(&format!("{prefix} dropped")),
+            "got: {response}"
+        );
+        let response = send(&mut writer, &mut reader, &format!("prj/{version} stats"));
+        assert!(
+            response.starts_with(&format!("{prefix} stats")),
+            "got: {response}"
+        );
+        // Streams answer item/end lines in the same dialect.
+        writer
+            .write_all(format!("prj/{version} stream rels=R1 q=0.0,0.0 k=2\n").as_bytes())
+            .expect("write stream");
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("item");
+        assert!(line.starts_with(&format!("{prefix} item")), "got: {line}");
+        line.clear();
+        reader.read_line(&mut line).expect("item 2");
+        line.clear();
+        reader.read_line(&mut line).expect("end");
+        assert!(line.starts_with(&format!("{prefix} end")), "got: {line}");
+    }
+
+    // Negotiation: the server answers hello with the common version.
+    let response = send(&mut writer, &mut reader, "prj/2 hello max=2");
+    assert_eq!(response, "prj/2 ok hello ver=2");
+    let response = send(&mut writer, &mut reader, "prj/2 hello max=9");
+    assert_eq!(
+        response, "prj/2 ok hello ver=2",
+        "ceiling is this build's version"
+    );
+
+    // A cluster verb on a prj/1 line is a typed version error…
+    let response = send(&mut writer, &mut reader, "prj/1 wstats");
+    assert!(
+        response.starts_with("prj/1 err kind=version"),
+        "got: {response}"
+    );
+    // …and on prj/2 against a non-worker, a typed unsupported error.
+    let response = send(&mut writer, &mut reader, "prj/2 wstats");
+    assert!(
+        response.starts_with("prj/2 err kind=unsupported"),
+        "got: {response}"
+    );
+    let response = send(
+        &mut writer,
+        &mut reader,
+        "prj/2 unit rels=#0 epochs=0 drive=0 shard=0 q=0.0,0.0 k=1 \
+         scoring=euclidean-log access=distance algo=tbrr",
+    );
+    assert!(
+        response.starts_with("prj/2 err kind=unsupported"),
+        "got: {response}"
+    );
+
+    // The connection survives all of the above.
+    let response = send(&mut writer, &mut reader, "prj/1 stats");
+    assert!(response.starts_with("prj/1 ok stats"), "got: {response}");
+    server.shutdown();
+}
+
+/// The negotiating client pins the agreed version and keeps working
+/// against this (prj/2) server.
+#[test]
+fn api_client_negotiates_v2_against_the_server() {
+    let (server, _session) = boot_table1();
+    let mut client = ApiClient::connect(server.local_addr()).expect("connect");
+    assert_eq!(client.negotiate().expect("negotiate"), 2);
+    assert_eq!(client.version(), Some(2));
+    let (rows, _) = client
+        .top_k(table1_query())
+        .expect("topk after negotiation");
+    assert_eq!(rows.len(), 1);
+    server.shutdown();
+}
+
 #[test]
 fn concurrent_clients_are_served() {
     let (server, _session) = boot_table1();

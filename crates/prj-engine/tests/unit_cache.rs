@@ -1,0 +1,175 @@
+//! Satellite coverage for the per-shard unit cache: a single-shard epoch
+//! bump must re-execute only the touched unit — the whole-query entry dies
+//! (its epoch-vector key changed), but the sibling shards' memoised units
+//! are reused and only the mutated slice recomputes.
+
+use prj_access::{Tuple, TupleId};
+use prj_core::{naive_rank_join, EuclideanLogScore, ProblemBuilder, ScoredCombination};
+use prj_engine::{EngineBuilder, QuerySpec};
+use prj_geometry::Vector;
+
+const SHARDS: usize = 4;
+
+/// A wide spread of tuples so several driving shards are populated.
+fn spread(rel: usize, n: usize) -> Vec<Tuple> {
+    (0..n)
+        .map(|i| {
+            let x = ((i * 37) % 100) as f64 / 10.0 - 5.0;
+            let y = ((i * 53) % 100) as f64 / 10.0 - 5.0;
+            Tuple::new(
+                TupleId::new(rel, i),
+                Vector::from([x, y]),
+                (i % 9) as f64 / 10.0 + 0.1,
+            )
+        })
+        .collect()
+}
+
+fn fingerprint(combos: &[ScoredCombination]) -> Vec<(Vec<TupleId>, u64)> {
+    combos
+        .iter()
+        .map(|c| (c.ids(), c.score.to_bits()))
+        .collect()
+}
+
+fn naive(relations: &[Vec<Tuple>], query: &Vector, k: usize) -> Vec<(Vec<TupleId>, u64)> {
+    let mut builder = ProblemBuilder::new(query.clone(), EuclideanLogScore::default()).k(k);
+    for tuples in relations {
+        builder = builder.relation_from_tuples(tuples.clone());
+    }
+    fingerprint(&naive_rank_join(&mut builder.build().expect("naive")).combinations)
+}
+
+#[test]
+fn single_shard_append_reexecutes_only_the_touched_unit() {
+    let engine = EngineBuilder::default().threads(2).shards(SHARDS).build();
+    // r0 is much larger than r1, so the cost model keeps r0 driving before
+    // and after the append.
+    let r0 = spread(0, 48);
+    let r1 = spread(1, 4);
+    let id0 = engine.register("r0", r0.clone());
+    let id1 = engine.register("r1", r1.clone());
+    let query = Vector::from([0.4, -0.3]);
+    let k = 6;
+    let spec = || QuerySpec::top_k(vec![id0, id1], query.clone(), k);
+
+    let populated: usize = {
+        let policy = engine.catalog().policy();
+        r0.iter()
+            .map(|t| policy.shard_of(&t.vector))
+            .collect::<std::collections::HashSet<_>>()
+            .len()
+    };
+    assert!(populated > 1, "test needs several populated driving shards");
+
+    // Cold query: every populated driving unit misses the unit cache and
+    // is inserted.
+    let cold = engine.query(spec()).expect("cold query");
+    assert_eq!(
+        fingerprint(cold.combinations()),
+        naive(&[r0.clone(), r1.clone()], &query, k)
+    );
+    let after_cold = engine.unit_cache_metrics();
+    assert_eq!(after_cold.entries, populated);
+    assert_eq!(after_cold.misses, populated as u64);
+    assert_eq!(after_cold.hits, 0);
+
+    // An identical query is a whole-query cache hit: the unit cache is not
+    // even consulted.
+    assert!(engine.query(spec()).expect("warm").from_cache);
+    assert_eq!(engine.unit_cache_metrics().hits, 0);
+
+    // Append one tuple to a single driving shard (a location already
+    // populated, so the shard set is unchanged).
+    let outcome = engine
+        .append_rows(id0, vec![(r0[0].vector.clone(), 0.85)])
+        .expect("append");
+    assert_eq!(outcome.touched_shards.len(), 1, "one shard touched");
+    let touched = outcome.touched_shards[0];
+    // The eager purge removed exactly the touched unit.
+    assert_eq!(engine.unit_cache_metrics().entries, populated - 1);
+
+    // Re-query: the whole-query entry is unreachable (epoch vector moved),
+    // but every *untouched* unit replays from the unit cache — only the
+    // mutated shard's unit re-executes.
+    let lanes_before: Vec<u64> = engine.stats().per_shard.iter().map(|l| l.units).collect();
+    let fresh = engine.query(spec()).expect("post-append query");
+    assert!(
+        !fresh.from_cache,
+        "the append invalidated the whole-query entry"
+    );
+    let updated_r0 = {
+        let mut updated = r0.clone();
+        updated.push(Tuple::new(
+            TupleId::new(0, updated.len()),
+            r0[0].vector.clone(),
+            0.85,
+        ));
+        updated
+    };
+    assert_eq!(
+        fingerprint(fresh.combinations()),
+        naive(&[updated_r0, r1.clone()], &query, k),
+        "partially-cached recombination must still equal the oracle"
+    );
+    let metrics = engine.unit_cache_metrics();
+    assert_eq!(metrics.hits, populated as u64 - 1, "sibling units replayed");
+    assert_eq!(
+        metrics.misses,
+        populated as u64 + 1,
+        "only the touched unit missed"
+    );
+    // And the stats lanes confirm: exactly one unit actually ran.
+    let lanes_after: Vec<u64> = engine.stats().per_shard.iter().map(|l| l.units).collect();
+    let mut reran = Vec::new();
+    for (shard, (before, after)) in lanes_before.iter().zip(lanes_after.iter()).enumerate() {
+        if after > before {
+            reran.push(shard);
+        }
+    }
+    assert_eq!(reran, vec![touched], "only the touched shard re-executed");
+    // Per-shard lanes still account exactly for the engine-wide total.
+    let stats = engine.stats();
+    assert_eq!(
+        stats.per_shard.iter().map(|l| l.sum_depths).sum::<u64>(),
+        stats.total_sum_depths
+    );
+}
+
+#[test]
+fn non_driving_mutation_invalidates_every_unit() {
+    let engine = EngineBuilder::default().threads(2).shards(SHARDS).build();
+    let r0 = spread(0, 48);
+    let r1 = spread(1, 4);
+    let id0 = engine.register("r0", r0);
+    let id1 = engine.register("r1", r1);
+    let spec = QuerySpec::top_k(vec![id0, id1], Vector::from([0.0, 0.0]), 4);
+    engine.query(spec.clone()).expect("cold");
+    let entries = engine.unit_cache_metrics().entries;
+    assert!(entries > 1);
+    // r1 is read *whole* by every unit: any append to it, wherever it
+    // lands, makes all memoised units unreachable.
+    engine
+        .append_rows(id1, vec![(Vector::from([4.9, 4.9]), 0.5)])
+        .expect("append");
+    assert_eq!(engine.unit_cache_metrics().entries, 0);
+    let fresh = engine.query(spec).expect("post-append");
+    assert!(!fresh.from_cache);
+    assert_eq!(
+        engine.unit_cache_metrics().hits,
+        0,
+        "nothing stale was reused"
+    );
+}
+
+#[test]
+fn dropping_a_relation_purges_its_units() {
+    let engine = EngineBuilder::default().threads(1).shards(SHARDS).build();
+    let id0 = engine.register("r0", spread(0, 32));
+    engine
+        .query(QuerySpec::top_k(vec![id0], Vector::from([0.0, 0.0]), 3))
+        .expect("query");
+    assert!(engine.unit_cache_metrics().entries > 0);
+    engine.drop_relation(id0).expect("drop");
+    assert_eq!(engine.unit_cache_metrics().entries, 0);
+}

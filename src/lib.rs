@@ -18,8 +18,11 @@
 //!   thread-pool executor with streaming results, an epoch-keyed LRU result
 //!   cache, and the `Session` / `prj-serve` serving entry points.
 //! * [`api`] — the versioned, transport-agnostic request/response protocol
-//!   (`Request`/`Response`/`ApiError`), its line wire codec, and a TCP
-//!   client.
+//!   (`Request`/`Response`/`ApiError`), its negotiated `prj/1`/`prj/2` line
+//!   wire codec, and a TCP client with timeouts and connect retries.
+//! * [`cluster`] — distributed shard execution: coordinator + worker
+//!   processes over the `prj/2` cluster-internal messages, exact by
+//!   bound-aware merging (and home of the `prj-serve` binary).
 //! * [`data`] — synthetic and city data set generators used by the evaluation.
 //!
 //! ## Quickstart
@@ -56,6 +59,7 @@
 
 pub use prj_access as access;
 pub use prj_api as api;
+pub use prj_cluster as cluster;
 pub use prj_core as core;
 pub use prj_data as data;
 pub use prj_engine as engine;
