@@ -25,7 +25,7 @@
 
 use crate::error::{ApiError, ErrorKind};
 use crate::request::{QueryRequest, Request, UnitRequest};
-use crate::response::{Response, ResultRow, StatsReport, UnitOutcome};
+use crate::response::{MetricsReport, Response, ResultRow, StatsReport, UnitOutcome};
 use crate::wire;
 use crate::{MIN_PROTOCOL_VERSION, PROTOCOL_VERSION};
 use std::io::{BufRead, BufReader, Write};
@@ -255,6 +255,15 @@ impl ApiClient {
     pub fn stats(&mut self) -> Result<StatsReport, ApiError> {
         match self.call(&Request::Stats)? {
             Response::Stats(report) => Ok(report),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fetches the server's metrics snapshot (`prj/2`; negotiate first —
+    /// a `prj/1` peer answers a typed version error).
+    pub fn metrics(&mut self) -> Result<MetricsReport, ApiError> {
+        match self.call(&Request::Metrics)? {
+            Response::Metrics(report) => Ok(report),
             other => Err(unexpected(&other)),
         }
     }

@@ -22,6 +22,12 @@
 //! | [`Request::ExecuteUnit`] | cluster-internal: run one driving-shard unit (`prj/2`) |
 //! | [`Request::ShardAssignment`] | cluster-internal: install a worker's shard set (`prj/2`) |
 //! | [`Request::WorkerStats`] | cluster-internal: worker work counters (`prj/2`) |
+//! | [`Request::Metrics`] | metrics snapshot: counters/gauges/histograms (`prj/2`) |
+//!
+//! `prj/2` peers may also attach a [`TraceContext`] to queries and
+//! execution units, so spans recorded on both sides of a distributed
+//! query stitch into one trace; workers ship their finished spans back
+//! inside [`UnitOutcome`].
 //!
 //! Queries reference relations by id or by name ([`RelationRef`]) and pick
 //! their scoring function by registry name plus parameters
@@ -62,8 +68,13 @@ pub mod wire;
 
 pub use client::{ApiClient, ClientConfig};
 pub use error::{ApiError, ErrorKind};
-pub use request::{QueryRequest, RelationRef, Request, ScoringSelector, TupleData, UnitRequest};
-pub use response::{Response, ResultRow, StatsReport, UnitMember, UnitOutcome, UnitRow};
+pub use request::{
+    QueryRequest, RelationRef, Request, ScoringSelector, TraceContext, TupleData, UnitRequest,
+};
+pub use response::{
+    MetricKind, MetricSample, MetricsReport, Response, ResultRow, SpanRecord, StatsReport,
+    UnitMember, UnitOutcome, UnitRow,
+};
 
 /// The newest protocol version spoken by this build; the `2` of the `prj/2`
 /// wire prefix. Bump on any incompatible change to the request or response

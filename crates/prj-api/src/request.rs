@@ -83,6 +83,19 @@ impl ScoringSelector {
     }
 }
 
+/// Distributed-tracing context riding on a query or execution unit
+/// (`prj/2` only): the trace every span of the request should join, plus
+/// the sender-side span to parent under. Raw `u64`s on the wire — the
+/// protocol does not depend on any particular tracing implementation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceContext {
+    /// The trace id (nonzero).
+    pub trace: u64,
+    /// The sender-side parent span id (0 = no parent; spans become trace
+    /// roots).
+    pub parent: u64,
+}
+
 /// One top-k query. Optional fields fall back to the serving session's
 /// defaults, so a minimal request is just relations + query point.
 #[derive(Debug, Clone, PartialEq)]
@@ -99,6 +112,9 @@ pub struct QueryRequest {
     pub access: Option<AccessKind>,
     /// Pin an operator instantiation (planner's choice when `None`).
     pub algorithm: Option<Algorithm>,
+    /// Join an existing trace instead of starting a fresh one (`prj/2`
+    /// only; a traced query cannot be encoded at `prj/1`).
+    pub trace: Option<TraceContext>,
 }
 
 impl QueryRequest {
@@ -112,6 +128,7 @@ impl QueryRequest {
             scoring: None,
             access: None,
             algorithm: None,
+            trace: None,
         }
     }
 
@@ -136,6 +153,12 @@ impl QueryRequest {
     /// Pins the algorithm.
     pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
         self.algorithm = Some(algorithm);
+        self
+    }
+
+    /// Joins an existing trace (`prj/2` only).
+    pub fn traced(mut self, trace: TraceContext) -> Self {
+        self.trace = Some(trace);
         self
     }
 }
@@ -179,6 +202,9 @@ pub struct UnitRequest {
     /// LP dominance-test period the coordinator planned (`None` =
     /// disabled).
     pub dominance_period: Option<usize>,
+    /// The coordinator's trace context, so the worker's execution spans
+    /// stitch into the query's trace.
+    pub trace: Option<TraceContext>,
 }
 
 /// A protocol request.
@@ -236,4 +262,8 @@ pub enum Request {
     },
     /// Cluster-internal (`prj/2`): the worker's work counters.
     WorkerStats,
+    /// Metrics snapshot (`prj/2`): every registered counter, gauge, and
+    /// histogram series — the same data the `--metrics-addr` exposition
+    /// endpoint renders as Prometheus text.
+    Metrics,
 }

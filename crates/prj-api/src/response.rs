@@ -38,6 +38,92 @@ pub struct StatsReport {
     /// Per-shard total execution-unit wall time in microseconds, indexed by
     /// shard (parallel to `shard_depths`).
     pub shard_micros: Vec<u64>,
+    /// Per-shard worker-side sorted accesses, aggregated across the fleet
+    /// from [`Response::WorkerReport`] lanes (`prj/2` clusters only; empty
+    /// on single-node engines and pre-lane peers). Unlike `shard_depths`,
+    /// which a coordinator measures around the round trip, these are
+    /// measured where the unit actually ran.
+    pub worker_shard_depths: Vec<u64>,
+    /// Per-shard worker-side execution time in microseconds (parallel to
+    /// `worker_shard_depths`).
+    pub worker_shard_micros: Vec<u64>,
+}
+
+/// The kind of a [`MetricSample`] series (`prj/2` only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MetricKind {
+    /// A monotonically increasing count.
+    Counter,
+    /// A point-in-time value.
+    Gauge,
+    /// One series of an exploded histogram (`*_bucket`, `*_sum`,
+    /// `*_count`).
+    Histogram,
+}
+
+impl MetricKind {
+    /// Single-character wire code.
+    pub fn code(self) -> char {
+        match self {
+            MetricKind::Counter => 'c',
+            MetricKind::Gauge => 'g',
+            MetricKind::Histogram => 'h',
+        }
+    }
+
+    /// Parses a wire code.
+    pub fn from_code(code: char) -> Option<MetricKind> {
+        match code {
+            'c' => Some(MetricKind::Counter),
+            'g' => Some(MetricKind::Gauge),
+            'h' => Some(MetricKind::Histogram),
+            _ => None,
+        }
+    }
+}
+
+/// One metric series of a [`MetricsReport`] (`prj/2` only): a name,
+/// sorted labels, and the current value. Histograms arrive pre-exploded
+/// into their `_bucket`/`_sum`/`_count` series so the report is a flat
+/// list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSample {
+    /// Metric (series) name, e.g. `prj_query_latency_seconds_bucket`.
+    pub name: String,
+    /// Label pairs, e.g. `[("le", "+Inf")]`.
+    pub labels: Vec<(String, String)>,
+    /// Series kind.
+    pub kind: MetricKind,
+    /// Current value.
+    pub value: f64,
+}
+
+/// Answer to [`crate::Request::Metrics`] (`prj/2`): the responder's full
+/// metrics snapshot. A coordinator's report also folds in every worker's
+/// samples, distinguished by an `instance` label.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsReport {
+    /// All registered series.
+    pub samples: Vec<MetricSample>,
+}
+
+/// One finished tracing span of a worker-side unit execution, shipped
+/// inside a [`UnitOutcome`] so the coordinator can stitch it into the
+/// query's trace (`prj/2` only; ids are worker-local and remapped on
+/// import).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Span name (wire-safe identifier).
+    pub name: String,
+    /// Worker-local span id (nonzero).
+    pub id: u64,
+    /// Worker-local parent span id (0 = parented under the coordinator's
+    /// unit span).
+    pub parent: u64,
+    /// Start time in the worker's clock, microseconds.
+    pub start_micros: u64,
+    /// Duration in microseconds.
+    pub duration_micros: u64,
 }
 
 /// One member tuple of a [`UnitRow`], with its full contents so the
@@ -87,6 +173,10 @@ pub struct UnitOutcome {
     /// `true` when the unit stopped on an access cap instead of the
     /// termination condition (the merged result is then uncertified).
     pub capped: bool,
+    /// The worker's finished spans for this unit, for coordinator-side
+    /// trace stitching (empty when the worker traces nothing or the peer
+    /// predates tracing).
+    pub spans: Vec<SpanRecord>,
 }
 
 /// A protocol response.
@@ -165,7 +255,16 @@ pub enum Response {
         depths: u64,
         /// Live relations in the worker's replicated catalog.
         relations: usize,
+        /// Per-shard units served, indexed by driving shard (empty on
+        /// pre-lane peers).
+        lane_units: Vec<u64>,
+        /// Per-shard sorted accesses, parallel to `lane_units`.
+        lane_depths: Vec<u64>,
+        /// Per-shard execution microseconds, parallel to `lane_units`.
+        lane_micros: Vec<u64>,
     },
+    /// Answer to [`crate::Request::Metrics`] (`prj/2`).
+    Metrics(MetricsReport),
     /// The request failed.
     Error(ApiError),
 }

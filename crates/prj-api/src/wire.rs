@@ -8,18 +8,31 @@
 //! ```text
 //! request  := "prj/" ver SP verb (SP key "=" value)*
 //! verb     := "register" | "append" | "drop" | "topk" | "stream" | "stats"
-//!           | "hello" | "unit" | "assign" | "wstats"        (prj/2 only)
+//!           | "hello"
+//!           | "unit" | "assign" | "wstats" | "metrics"      (prj/2 only)
 //! tuples   := tuple (";" tuple)*          tuple  := f64 ("," f64)* ":" f64
 //! rels     := ref ("," ref)*              ref    := "#" usize | ident
 //! scoring  := ident [":" f64 ("," f64)*]
 //! epochs   := u64-list ("|" u64-list)*
+//! trace    := u64 ":" u64                 (trace id ":" parent span id)
 //!
 //! response := "prj/" ver SP "ok" SP form (SP key "=" value)*
 //!           | "prj/" ver SP "err" SP "kind=" code SP "msg=" rest-of-line
 //! row      := f64 "@" usize ":" usize ("+" usize ":" usize)*
 //! urow     := f64 "@" umember ("+" umember)*
 //! umember  := usize ":" usize ":" f64 ":" f64 ("," f64)*
+//! spans    := span (";" span)*
+//! span     := ident ":" u64 ":" u64 ":" u64 ":" u64
+//!             (name : id : parent-or-0 : start_us : dur_us)
+//! samples  := sample (";" sample)*
+//! sample   := ident ["{" ident "=" lval ("," ident "=" lval)* "}"]
+//!             ":" ("c"|"g"|"h") ":" f64
 //! ```
+//!
+//! A `trace=` field (`prj/2` only) may ride on `topk`, `stream`, and
+//! `unit` requests; `spans=` on `unit` responses and `samples=` on
+//! `metrics` responses carry the observability payloads. Label values
+//! (`lval`) exclude whitespace and the grammar's separators.
 //!
 //! Floats are emitted with Rust's shortest-round-trip formatting, so decode
 //! ∘ encode is the identity on every finite and non-finite value. Relation
@@ -39,8 +52,13 @@
 //! old peers never read a code outside their vocabulary.
 
 use crate::error::{ApiError, ErrorKind};
-use crate::request::{QueryRequest, RelationRef, Request, ScoringSelector, TupleData, UnitRequest};
-use crate::response::{Response, ResultRow, StatsReport, UnitMember, UnitOutcome, UnitRow};
+use crate::request::{
+    QueryRequest, RelationRef, Request, ScoringSelector, TraceContext, TupleData, UnitRequest,
+};
+use crate::response::{
+    MetricKind, MetricSample, MetricsReport, Response, ResultRow, SpanRecord, StatsReport,
+    UnitMember, UnitOutcome, UnitRow,
+};
 use crate::{MIN_PROTOCOL_VERSION, PROTOCOL_VERSION};
 use prj_access::AccessKind;
 use prj_core::Algorithm;
@@ -67,13 +85,21 @@ pub fn request_version(request: &Request) -> u32 {
         Request::RegisterRelation { .. }
         | Request::AppendTuples { .. }
         | Request::DropRelation { .. }
-        | Request::TopK(_)
-        | Request::Stream(_)
         | Request::Stats => MIN_PROTOCOL_VERSION,
+        // A query stays a prj/1 line — unless it carries a trace context,
+        // which entered the grammar with prj/2.
+        Request::TopK(q) | Request::Stream(q) => {
+            if q.trace.is_some() {
+                PROTOCOL_VERSION
+            } else {
+                MIN_PROTOCOL_VERSION
+            }
+        }
         Request::Hello { .. }
         | Request::ExecuteUnit(_)
         | Request::ShardAssignment { .. }
-        | Request::WorkerStats => PROTOCOL_VERSION,
+        | Request::WorkerStats
+        | Request::Metrics => PROTOCOL_VERSION,
     }
 }
 
@@ -95,7 +121,8 @@ pub fn response_version(response: &Response) -> u32 {
         | Response::Error(_) => MIN_PROTOCOL_VERSION,
         Response::Unit(_)
         | Response::AssignmentAck { .. }
-        | Response::WorkerReport { .. } => PROTOCOL_VERSION,
+        | Response::WorkerReport { .. }
+        | Response::Metrics(_) => PROTOCOL_VERSION,
     }
 }
 
@@ -351,6 +378,195 @@ fn encode_scoring(s: &ScoringSelector) -> Result<String, ApiError> {
     Ok(out)
 }
 
+/// `trace`: `<trace_id>:<parent_span_id>` (parent 0 = no parent).
+fn parse_trace(s: &str) -> Result<TraceContext, ApiError> {
+    let (trace, parent) = s.split_once(':').ok_or_else(|| {
+        ApiError::malformed(format!("trace context {s:?} is not trace_id:parent_id"))
+    })?;
+    let trace = parse_u64(trace)?;
+    if trace == 0 {
+        return Err(ApiError::malformed("trace id must be nonzero"));
+    }
+    Ok(TraceContext {
+        trace,
+        parent: parse_u64(parent)?,
+    })
+}
+
+fn encode_trace(out: &mut String, trace: TraceContext) {
+    let _ = write!(out, " trace={}:{}", trace.trace, trace.parent);
+}
+
+/// `span`: `name:id:parent:start_us:dur_us`; spans are `;`-joined.
+fn parse_span_record(s: &str) -> Result<SpanRecord, ApiError> {
+    let mut parts = s.split(':');
+    let (Some(name), Some(id), Some(parent), Some(start), Some(dur), None) = (
+        parts.next(),
+        parts.next(),
+        parts.next(),
+        parts.next(),
+        parts.next(),
+        parts.next(),
+    ) else {
+        return Err(ApiError::malformed(format!(
+            "span {s:?} is not name:id:parent:start_us:dur_us"
+        )));
+    };
+    if !is_wire_safe_name(name) {
+        return Err(ApiError::malformed(format!(
+            "span name {name:?} is not wire-safe"
+        )));
+    }
+    let id = parse_u64(id)?;
+    if id == 0 {
+        return Err(ApiError::malformed(format!("span {s:?} has id 0")));
+    }
+    Ok(SpanRecord {
+        name: name.to_string(),
+        id,
+        parent: parse_u64(parent)?,
+        start_micros: parse_u64(start)?,
+        duration_micros: parse_u64(dur)?,
+    })
+}
+
+fn parse_span_records(s: &str) -> Result<Vec<SpanRecord>, ApiError> {
+    if s.is_empty() {
+        return Ok(Vec::new());
+    }
+    s.split(';').map(parse_span_record).collect()
+}
+
+fn encode_span_records(out: &mut String, spans: &[SpanRecord]) -> Result<(), ApiError> {
+    for (i, span) in spans.iter().enumerate() {
+        if !is_wire_safe_name(&span.name) {
+            return Err(ApiError::malformed(format!(
+                "span name {:?} is not wire-safe",
+                span.name
+            )));
+        }
+        if span.id == 0 {
+            return Err(ApiError::malformed(format!(
+                "span {:?} has id 0",
+                span.name
+            )));
+        }
+        if i > 0 {
+            out.push(';');
+        }
+        let _ = write!(
+            out,
+            "{}:{}:{}:{}:{}",
+            span.name, span.id, span.parent, span.start_micros, span.duration_micros
+        );
+    }
+    Ok(())
+}
+
+/// `true` when a metric label value fits on the wire unescaped: printable
+/// ASCII minus whitespace and the sample grammar's separators.
+fn is_metric_value_safe(value: &str) -> bool {
+    !value.is_empty()
+        && value
+            .chars()
+            .all(|c| c.is_ascii_graphic() && !matches!(c, ';' | ':' | ',' | '{' | '}' | '='))
+}
+
+/// `sample`: `name[{k=v,...}]:kind:value`; samples are `;`-joined.
+fn parse_metric_sample(s: &str) -> Result<MetricSample, ApiError> {
+    let err = || {
+        ApiError::malformed(format!(
+            "metric sample {s:?} is not name[{{labels}}]:kind:value"
+        ))
+    };
+    let (head, value) = s.rsplit_once(':').ok_or_else(err)?;
+    let (series, kind) = head.rsplit_once(':').ok_or_else(err)?;
+    let mut kind_chars = kind.chars();
+    let kind = match (
+        kind_chars.next().and_then(MetricKind::from_code),
+        kind_chars.next(),
+    ) {
+        (Some(kind), None) => kind,
+        _ => {
+            return Err(ApiError::malformed(format!(
+                "metric sample {s:?} has unknown kind {kind:?} (want c|g|h)"
+            )))
+        }
+    };
+    let (name, labels) = match series.split_once('{') {
+        Some((name, rest)) => {
+            let inner = rest.strip_suffix('}').ok_or_else(err)?;
+            let mut labels = Vec::new();
+            if !inner.is_empty() {
+                for pair in inner.split(',') {
+                    let (k, v) = pair.split_once('=').ok_or_else(err)?;
+                    if !is_wire_safe_name(k) || !is_metric_value_safe(v) {
+                        return Err(err());
+                    }
+                    labels.push((k.to_string(), v.to_string()));
+                }
+            }
+            (name, labels)
+        }
+        None => (series, Vec::new()),
+    };
+    if !is_wire_safe_name(name) {
+        return Err(ApiError::malformed(format!(
+            "metric name {name:?} is not wire-safe"
+        )));
+    }
+    Ok(MetricSample {
+        name: name.to_string(),
+        labels,
+        kind,
+        value: parse_f64(value)?,
+    })
+}
+
+fn parse_metric_samples(s: &str) -> Result<Vec<MetricSample>, ApiError> {
+    if s.is_empty() {
+        return Ok(Vec::new());
+    }
+    s.split(';').map(parse_metric_sample).collect()
+}
+
+fn encode_metric_samples(out: &mut String, samples: &[MetricSample]) -> Result<(), ApiError> {
+    for (i, sample) in samples.iter().enumerate() {
+        if !is_wire_safe_name(&sample.name) {
+            return Err(ApiError::malformed(format!(
+                "metric name {:?} is not wire-safe",
+                sample.name
+            )));
+        }
+        if i > 0 {
+            out.push(';');
+        }
+        out.push_str(&sample.name);
+        if !sample.labels.is_empty() {
+            out.push('{');
+            for (j, (k, v)) in sample.labels.iter().enumerate() {
+                if !is_wire_safe_name(k) {
+                    return Err(ApiError::malformed(format!(
+                        "metric label key {k:?} is not wire-safe"
+                    )));
+                }
+                if !is_metric_value_safe(v) {
+                    return Err(ApiError::malformed(format!(
+                        "metric label value {v:?} is not wire-safe"
+                    )));
+                }
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{k}={v}");
+            }
+            out.push('}');
+        }
+        let _ = write!(out, ":{}:{:?}", sample.kind.code(), sample.value);
+    }
+    Ok(())
+}
+
 fn parse_query(fields: &[(&str, &str)], verb: &str) -> Result<QueryRequest, ApiError> {
     let rels = require(fields, "rels", verb)?;
     if rels.is_empty() {
@@ -367,6 +583,7 @@ fn parse_query(fields: &[(&str, &str)], verb: &str) -> Result<QueryRequest, ApiE
     let scoring = field(fields, "scoring").map(parse_scoring).transpose()?;
     let access = field(fields, "access").map(parse_access).transpose()?;
     let algorithm = field(fields, "algo").map(parse_algorithm).transpose()?;
+    let trace = field(fields, "trace").map(parse_trace).transpose()?;
     Ok(QueryRequest {
         relations,
         query,
@@ -374,6 +591,7 @@ fn parse_query(fields: &[(&str, &str)], verb: &str) -> Result<QueryRequest, ApiE
         scoring,
         access,
         algorithm,
+        trace,
     })
 }
 
@@ -398,6 +616,9 @@ fn encode_query(out: &mut String, q: &QueryRequest) -> Result<(), ApiError> {
     }
     if let Some(algo) = q.algorithm {
         let _ = write!(out, " algo={}", algo.id().to_ascii_lowercase());
+    }
+    if let Some(trace) = q.trace {
+        encode_trace(out, trace);
     }
     Ok(())
 }
@@ -566,12 +787,16 @@ pub fn encode_request_at(request: &Request, version: u32) -> Result<String, ApiE
             if let Some(period) = unit.dominance_period {
                 let _ = write!(out, " period={period}");
             }
+            if let Some(trace) = unit.trace {
+                encode_trace(&mut out, trace);
+            }
         }
         Request::ShardAssignment { generation, shards } => {
             let _ = write!(out, " assign gen={generation} shards=");
             encode_usize_list(&mut out, shards);
         }
         Request::WorkerStats => out.push_str(" wstats"),
+        Request::Metrics => out.push_str(" metrics"),
     }
     Ok(out)
 }
@@ -599,16 +824,24 @@ pub fn decode_request_versioned(line: &str) -> Result<(u32, Request), ApiError> 
         .split_once(' ')
         .map(|(v, r)| (v, r.trim_start()))
         .unwrap_or((rest, ""));
-    // Cluster-internal verbs entered the grammar with prj/2; on a prj/1
-    // line they are a *typed* version error (the peer may understand the
-    // answer and upgrade), never a dropped connection.
-    if version < 2 && matches!(verb, "unit" | "assign" | "wstats") {
+    // prj/2-only verbs on a prj/1 line are a *typed* version error (the
+    // peer may understand the answer and upgrade), never a dropped
+    // connection.
+    if version < 2 && matches!(verb, "unit" | "assign" | "wstats" | "metrics") {
         return Err(ApiError::new(
             ErrorKind::Version,
-            format!("the {verb:?} verb is cluster-internal and requires prj/2"),
+            format!("the {verb:?} verb requires prj/2"),
         ));
     }
     let fields = parse_fields(rest)?;
+    // Same treatment for the prj/2 trace-context field riding a legacy
+    // verb: reject typed rather than silently dropping the context.
+    if version < 2 && matches!(verb, "topk" | "stream") && field(&fields, "trace").is_some() {
+        return Err(ApiError::new(
+            ErrorKind::Version,
+            format!("the trace= field on {verb:?} requires prj/2"),
+        ));
+    }
     let request = decode_request_body(verb, &fields)?;
     Ok((version, request))
 }
@@ -677,6 +910,7 @@ fn decode_request_body(verb: &str, fields: &[(&str, &str)]) -> Result<Request, A
                 access: parse_access(require(fields, "access", verb)?)?,
                 algorithm: parse_algorithm(require(fields, "algo", verb)?)?,
                 dominance_period: field(fields, "period").map(parse_usize).transpose()?,
+                trace: field(fields, "trace").map(parse_trace).transpose()?,
             }))
         }
         "assign" => Ok(Request::ShardAssignment {
@@ -684,6 +918,7 @@ fn decode_request_body(verb: &str, fields: &[(&str, &str)]) -> Result<Request, A
             shards: parse_usize_list(field(fields, "shards").unwrap_or(""))?,
         }),
         "wstats" => Ok(Request::WorkerStats),
+        "metrics" => Ok(Request::Metrics),
         "" => Err(ApiError::malformed("empty request line")),
         other => Err(ApiError::malformed(format!("unknown verb {other:?}"))),
     }
@@ -839,6 +1074,14 @@ pub fn encode_response_at(response: &Response, version: u32) -> String {
                 out.push_str(" shard_micros=");
                 encode_u64_list(&mut out, &s.shard_micros);
             }
+            if !s.worker_shard_depths.is_empty() {
+                out.push_str(" worker_shard_depths=");
+                encode_u64_list(&mut out, &s.worker_shard_depths);
+            }
+            if !s.worker_shard_micros.is_empty() {
+                out.push_str(" worker_shard_micros=");
+                encode_u64_list(&mut out, &s.worker_shard_micros);
+            }
         }
         Response::HelloAck { version } => {
             let _ = write!(out, " ok hello ver={version}");
@@ -854,6 +1097,12 @@ pub fn encode_response_at(response: &Response, version: u32) -> String {
                 unit.capped,
             );
             encode_u64_list(&mut out, &unit.depths);
+            if !unit.spans.is_empty() {
+                out.push_str(" spans=");
+                if let Err(e) = encode_span_records(&mut out, &unit.spans) {
+                    return encode_response_at(&Response::Error(e), version);
+                }
+            }
             out.push_str(" rows=");
             encode_unit_rows(&mut out, &unit.rows);
         }
@@ -867,10 +1116,33 @@ pub fn encode_response_at(response: &Response, version: u32) -> String {
             units,
             depths,
             relations,
+            lane_units,
+            lane_depths,
+            lane_micros,
         } => {
             let _ = write!(out, " ok worker gen={generation} shards=");
             encode_usize_list(&mut out, shards);
             let _ = write!(out, " units={units} depths={depths} relations={relations}");
+            // Per-shard lanes are omitted while empty (nothing executed),
+            // which is also what keeps pre-lane peers decodable.
+            if !lane_units.is_empty() {
+                out.push_str(" lane_units=");
+                encode_u64_list(&mut out, lane_units);
+            }
+            if !lane_depths.is_empty() {
+                out.push_str(" lane_depths=");
+                encode_u64_list(&mut out, lane_depths);
+            }
+            if !lane_micros.is_empty() {
+                out.push_str(" lane_micros=");
+                encode_u64_list(&mut out, lane_micros);
+            }
+        }
+        Response::Metrics(report) => {
+            out.push_str(" ok metrics samples=");
+            if let Err(e) = encode_metric_samples(&mut out, &report.samples) {
+                return encode_response_at(&Response::Error(e), version);
+            }
         }
         Response::Error(e) => {
             // The message runs to the end of the line, so strip newlines.
@@ -906,10 +1178,10 @@ pub fn decode_response(line: &str) -> Result<Response, ApiError> {
         .split_once(' ')
         .map(|(f, r)| (f, r.trim_start()))
         .unwrap_or((ok, ""));
-    if version < 2 && matches!(form, "unit" | "assigned" | "worker") {
+    if version < 2 && matches!(form, "unit" | "assigned" | "worker" | "metrics") {
         return Err(ApiError::new(
             ErrorKind::Version,
-            format!("the {form:?} response form is cluster-internal and requires prj/2"),
+            format!("the {form:?} response form requires prj/2"),
         ));
     }
     let fields = parse_fields(rest)?;
@@ -956,6 +1228,12 @@ pub fn decode_response(line: &str) -> Result<Response, ApiError> {
                 .unwrap_or(1),
             shard_depths: parse_u64_list(field(&fields, "shard_depths").unwrap_or(""))?,
             shard_micros: parse_u64_list(field(&fields, "shard_micros").unwrap_or(""))?,
+            worker_shard_depths: parse_u64_list(
+                field(&fields, "worker_shard_depths").unwrap_or(""),
+            )?,
+            worker_shard_micros: parse_u64_list(
+                field(&fields, "worker_shard_micros").unwrap_or(""),
+            )?,
         })),
         "hello" => Ok(Response::HelloAck {
             version: require(&fields, "ver", form)?
@@ -970,6 +1248,7 @@ pub fn decode_response(line: &str) -> Result<Response, ApiError> {
             combinations_formed: parse_u64(require(&fields, "formed", form)?)?,
             micros: parse_u64(require(&fields, "micros", form)?)?,
             capped: require(&fields, "capped", form)? == "true",
+            spans: parse_span_records(field(&fields, "spans").unwrap_or(""))?,
         })),
         "assigned" => Ok(Response::AssignmentAck {
             generation: parse_u64(require(&fields, "gen", form)?)?,
@@ -981,7 +1260,13 @@ pub fn decode_response(line: &str) -> Result<Response, ApiError> {
             units: parse_u64(require(&fields, "units", form)?)?,
             depths: parse_u64(require(&fields, "depths", form)?)?,
             relations: parse_usize(require(&fields, "relations", form)?)?,
+            lane_units: parse_u64_list(field(&fields, "lane_units").unwrap_or(""))?,
+            lane_depths: parse_u64_list(field(&fields, "lane_depths").unwrap_or(""))?,
+            lane_micros: parse_u64_list(field(&fields, "lane_micros").unwrap_or(""))?,
         }),
+        "metrics" => Ok(Response::Metrics(MetricsReport {
+            samples: parse_metric_samples(field(&fields, "samples").unwrap_or(""))?,
+        })),
         other => Err(ApiError::malformed(format!(
             "unknown response form {other:?}"
         ))),
@@ -1092,6 +1377,8 @@ mod tests {
             shards: 1,
             shard_depths: Vec::new(),
             shard_micros: Vec::new(),
+            worker_shard_depths: Vec::new(),
+            worker_shard_micros: Vec::new(),
         }));
         response_round_trip(Response::Stats(StatsReport {
             queries: 7,
@@ -1104,6 +1391,8 @@ mod tests {
             shards: 4,
             shard_depths: vec![100, 0, 300, 56],
             shard_micros: vec![90, 0, 250, 40],
+            worker_shard_depths: Vec::new(),
+            worker_shard_micros: Vec::new(),
         }));
         response_round_trip(Response::Error(ApiError::new(
             ErrorKind::UnknownRelation,
@@ -1184,6 +1473,7 @@ mod tests {
             access: AccessKind::Distance,
             algorithm: Algorithm::Tbpa,
             dominance_period: Some(50),
+            trace: None,
         })
     }
 
@@ -1261,6 +1551,22 @@ mod tests {
                 combinations_formed: 20,
                 micros: 843,
                 capped: false,
+                spans: vec![
+                    SpanRecord {
+                        name: "execute_unit".to_string(),
+                        id: 11,
+                        parent: 0,
+                        start_micros: 1000,
+                        duration_micros: 840,
+                    },
+                    SpanRecord {
+                        name: "drain".to_string(),
+                        id: 12,
+                        parent: 11,
+                        start_micros: 1010,
+                        duration_micros: 600,
+                    },
+                ],
             }),
             Response::Unit(UnitOutcome {
                 rows: Vec::new(),
@@ -1270,6 +1576,7 @@ mod tests {
                 combinations_formed: 0,
                 micros: 1,
                 capped: true,
+                spans: Vec::new(),
             }),
             Response::AssignmentAck {
                 generation: 9,
@@ -1281,11 +1588,155 @@ mod tests {
                 units: 17,
                 depths: 1234,
                 relations: 3,
+                lane_units: Vec::new(),
+                lane_depths: Vec::new(),
+                lane_micros: Vec::new(),
             },
+            Response::WorkerReport {
+                generation: 10,
+                shards: vec![0, 2],
+                units: 5,
+                depths: 321,
+                relations: 2,
+                lane_units: vec![3, 0, 2],
+                lane_depths: vec![200, 0, 121],
+                lane_micros: vec![1500, 0, 900],
+            },
+            Response::Metrics(MetricsReport {
+                samples: vec![
+                    MetricSample {
+                        name: "prj_queries_total".to_string(),
+                        labels: Vec::new(),
+                        kind: MetricKind::Counter,
+                        value: 12.0,
+                    },
+                    MetricSample {
+                        name: "prj_query_latency_seconds_bucket".to_string(),
+                        labels: vec![
+                            ("instance".to_string(), "worker0".to_string()),
+                            ("le".to_string(), "+Inf".to_string()),
+                        ],
+                        kind: MetricKind::Histogram,
+                        value: 12.0,
+                    },
+                    MetricSample {
+                        name: "prj_cache_entries".to_string(),
+                        labels: Vec::new(),
+                        kind: MetricKind::Gauge,
+                        value: 0.5,
+                    },
+                ],
+            }),
+            Response::Metrics(MetricsReport::default()),
         ] {
             let line = encode_response(&response);
             assert!(line.starts_with("prj/2 "), "versioned: {line}");
             assert_eq!(decode_response(&line).expect("decode"), response);
+        }
+    }
+
+    #[test]
+    fn traced_queries_round_trip_at_v2() {
+        let trace = TraceContext {
+            trace: 0xdead_beef_cafe_f00d,
+            parent: 42,
+        };
+        for request in [
+            Request::TopK(QueryRequest::new(vec![RelationRef::Id(0)], [0.5]).traced(trace)),
+            Request::Stream(QueryRequest::new(vec![RelationRef::Id(1)], [0.0, 1.0]).traced(trace)),
+            Request::ExecuteUnit(UnitRequest {
+                trace: Some(TraceContext {
+                    trace: 7,
+                    parent: 0,
+                }),
+                ..match sample_unit_request() {
+                    Request::ExecuteUnit(unit) => unit,
+                    _ => unreachable!(),
+                }
+            }),
+        ] {
+            // A trace context lifts the query's floor to prj/2.
+            let line = encode_request(&request).expect("encode");
+            assert!(line.starts_with("prj/2 "), "versioned: {line}");
+            assert_eq!(decode_request(&line).expect("decode"), request);
+        }
+    }
+
+    #[test]
+    fn trace_context_on_v1_is_a_typed_version_error() {
+        for line in [
+            "prj/1 topk rels=#0 q=0.0 trace=7:0",
+            "prj/1 stream rels=#0 q=0.0 trace=7:3",
+        ] {
+            let err = decode_request(line).unwrap_err();
+            assert_eq!(err.kind, ErrorKind::Version, "line: {line}");
+        }
+        // Encoding a traced query at prj/1 is refused up front, not
+        // silently stripped.
+        let traced = Request::TopK(QueryRequest::new(vec![RelationRef::Id(0)], [0.0]).traced(
+            TraceContext {
+                trace: 9,
+                parent: 0,
+            },
+        ));
+        let err = encode_request_at(&traced, 1).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Version);
+        // An untraced query still travels as a prj/1 line.
+        let plain = Request::TopK(QueryRequest::new(vec![RelationRef::Id(0)], [0.0]));
+        assert!(encode_request(&plain).unwrap().starts_with("prj/1 "));
+    }
+
+    #[test]
+    fn metrics_on_v1_is_a_typed_version_error() {
+        let err = decode_request("prj/1 metrics").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Version);
+        let err = decode_response("prj/1 ok metrics samples=").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Version);
+        let err = encode_request_at(&Request::Metrics, 1).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Version);
+        // At prj/2 the verb is a plain round-trip.
+        let line = encode_request(&Request::Metrics).unwrap();
+        assert_eq!(line, "prj/2 metrics");
+        assert_eq!(decode_request(&line).unwrap(), Request::Metrics);
+    }
+
+    #[test]
+    fn malformed_observability_fields_are_rejected() {
+        for line in [
+            "prj/2 topk rels=#0 q=0.0 trace=7",   // missing parent
+            "prj/2 topk rels=#0 q=0.0 trace=0:0", // zero trace id
+            "prj/2 topk rels=#0 q=0.0 trace=x:1", // non-numeric
+            "prj/2 ok unit bound=0.0 updates=0 formed=0 micros=0 capped=false \
+             depths= spans=a:0:0:0:0 rows=", // span id 0
+            "prj/2 ok unit bound=0.0 updates=0 formed=0 micros=0 capped=false \
+             depths= spans=a:1:0:0 rows=", // span missing a field
+            "prj/2 ok metrics samples=name:x:1.0", // unknown kind
+            "prj/2 ok metrics samples=name{k=v:1.0", // unclosed labels
+            "prj/2 ok metrics samples=name:c",    // missing value
+        ] {
+            let rejected = if line.contains(" ok ") {
+                decode_response(line).is_err()
+            } else {
+                decode_request(line).is_err()
+            };
+            assert!(rejected, "line should be rejected: {line}");
+        }
+    }
+
+    #[test]
+    fn unit_outcomes_without_spans_decode_empty() {
+        // Lines from pre-tracing workers decode with no spans attached.
+        let line = "prj/2 ok unit bound=-1.5 updates=3 formed=4 micros=99 \
+                    capped=false depths=5,6 rows=";
+        match decode_response(line).unwrap() {
+            Response::Unit(unit) => assert!(unit.spans.is_empty()),
+            other => panic!("unexpected decode: {other:?}"),
+        }
+        // Likewise worker reports without lanes.
+        let line = "prj/2 ok worker gen=1 shards=0 units=2 depths=30 relations=1";
+        match decode_response(line).unwrap() {
+            Response::WorkerReport { lane_units, .. } => assert!(lane_units.is_empty()),
+            other => panic!("unexpected decode: {other:?}"),
         }
     }
 

@@ -72,8 +72,27 @@ fn negotiation_downgrades_to_v1_against_an_old_server_and_legacy_calls_work() {
             access: prj_access::AccessKind::Distance,
             algorithm: prj_core::Algorithm::Tbrr,
             dominance_period: None,
+            trace: None,
         })
         .expect_err("cluster call against a prj/1 peer");
+    assert_eq!(err.kind, ErrorKind::Version);
+    // Same for the prj/2-only metrics verb and for a traced query: both
+    // are refused before a byte reaches the old peer.
+    let err = client
+        .metrics()
+        .expect_err("metrics call against a prj/1 peer");
+    assert_eq!(err.kind, ErrorKind::Version);
+    let traced = Request::TopK(
+        prj_api::QueryRequest::new(vec![prj_api::RelationRef::Id(0)], [0.0]).traced(
+            prj_api::TraceContext {
+                trace: 7,
+                parent: 0,
+            },
+        ),
+    );
+    let err = client
+        .call(&traced)
+        .expect_err("traced query against a prj/1 peer");
     assert_eq!(err.kind, ErrorKind::Version);
 }
 

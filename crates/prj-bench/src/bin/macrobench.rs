@@ -1,0 +1,48 @@
+//! Runs the pinned macro-benchmark and (optionally) writes the JSON
+//! trajectory file committed at the repo root:
+//!
+//! ```text
+//! cargo run --release -p prj-bench --bin macrobench -- --json BENCH_6.json
+//! ```
+//!
+//! Flags: `--json PATH` writes the report as JSON next to printing the
+//! table; `--quick` runs the reduced configuration (for CI smoke).
+
+use prj_bench::macrobench::{render_macrobench, run_macrobench, to_json, MacroBenchConfig};
+
+fn main() {
+    let mut json_path: Option<String> = None;
+    let mut config = MacroBenchConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => match args.next() {
+                Some(path) => json_path = Some(path),
+                None => {
+                    eprintln!("--json requires a path");
+                    std::process::exit(2);
+                }
+            },
+            "--quick" => config = MacroBenchConfig::quick(),
+            "--help" | "-h" => {
+                println!("usage: macrobench [--quick] [--json PATH]");
+                return;
+            }
+            other => {
+                eprintln!("unknown flag {other:?}; try --help");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let report = run_macrobench(&config);
+    print!("{}", render_macrobench(&report));
+    if let Some(path) = json_path {
+        let json = to_json(&report);
+        if let Err(error) = std::fs::write(&path, json) {
+            eprintln!("cannot write {path}: {error}");
+            std::process::exit(1);
+        }
+        println!("wrote {path}");
+    }
+}

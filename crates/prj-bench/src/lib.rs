@@ -12,6 +12,10 @@
 //!   (Appendix C).
 //! * [`report`] — plain-text / Markdown rendering of the result tables, used
 //!   both by the `experiments` binary and by `EXPERIMENTS.md`.
+//! * [`macrobench`] — the pinned, reproducible serving benchmark behind the
+//!   committed `BENCH_*.json` trajectory files: per-shape × per-shard-count
+//!   latency/throughput/`sumDepths` lanes plus a tracing-overhead pair (the
+//!   `macrobench` bin).
 //! * [`throughput`] — a serving-system experiment beyond the paper's figures:
 //!   queries/second through the `prj-engine` subsystem as the worker-thread
 //!   count grows, plus cache-hit vs cold-query cost (the `throughput` bin).
@@ -29,10 +33,12 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod macrobench;
 pub mod report;
 pub mod throughput;
 
 pub use experiments::{ExperimentTable, Figure};
 pub use harness::{AggregatedOutcome, CaseConfig, RunAggregate};
+pub use macrobench::{run_macrobench, MacroBenchConfig, MacroBenchReport};
 pub use report::render_table;
 pub use throughput::{run_throughput, ThroughputConfig, ThroughputOutcome};

@@ -1,0 +1,426 @@
+//! The committed macro-benchmark trajectory (`BENCH_<pr>.json`).
+//!
+//! Where [`crate::throughput`] sweeps thread counts interactively, this
+//! module pins ONE reproducible serving workload — fixed seeds, fixed
+//! query grid — and measures it per lane (data shape × shard count):
+//! serial p50/p99 latency, concurrent throughput, and the paper's
+//! `sumDepths` I/O metric, which is *deterministic* for a lane and anchors
+//! the file against silent behavioural drift. A final pair of lanes runs
+//! the same workload with tracing on and off, bounding the observability
+//! layer's overhead. Reproduce the committed file with:
+//!
+//! ```text
+//! cargo run --release -p prj-bench --bin macrobench -- --json BENCH_6.json
+//! ```
+//!
+//! Timings vary with the host; `sum_depths`, `rows` and the lane grid do
+//! not — comparing those across commits is the point of the trajectory.
+
+use prj_access::{Tuple, TupleId};
+use prj_engine::{Engine, EngineBuilder, QuerySpec, RelationId};
+use prj_geometry::Vector;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// The benchmark's data shapes (mirrors the differential harnesses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Shape {
+    /// Points uniform in `[-3, 3]^2`, scores uniform in `(0, 1]`.
+    Uniform,
+    /// Points around three cluster centres, uniform scores.
+    Clustered,
+    /// Uniform points, scores skewed towards 0 (`u^4`).
+    ScoreSkewed,
+}
+
+impl Shape {
+    /// All shapes, in lane order.
+    pub fn all() -> [Shape; 3] {
+        [Shape::Uniform, Shape::Clustered, Shape::ScoreSkewed]
+    }
+
+    /// Stable lane label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Shape::Uniform => "uniform",
+            Shape::Clustered => "clustered",
+            Shape::ScoreSkewed => "skewed",
+        }
+    }
+}
+
+/// Configuration of the macro-benchmark.
+#[derive(Debug, Clone)]
+pub struct MacroBenchConfig {
+    /// Base RNG seed; each (shape, relation) derives its own from it.
+    pub seed: u64,
+    /// Distinct queries per lane.
+    pub queries: usize,
+    /// Requested results per query.
+    pub k: usize,
+    /// Tuples per relation.
+    pub relation_size: usize,
+    /// Relations joined per query.
+    pub n_relations: usize,
+    /// Shard counts to sweep (1 = unsharded single-node layout).
+    pub shard_counts: Vec<usize>,
+    /// Engine worker threads for the concurrent (throughput) wave.
+    pub threads: usize,
+}
+
+impl Default for MacroBenchConfig {
+    fn default() -> Self {
+        MacroBenchConfig {
+            seed: 42,
+            queries: 64,
+            k: 8,
+            relation_size: 400,
+            n_relations: 2,
+            shard_counts: vec![1, 4],
+            threads: 4,
+        }
+    }
+}
+
+impl MacroBenchConfig {
+    /// A tiny configuration for tests and `--quick`.
+    pub fn quick() -> Self {
+        MacroBenchConfig {
+            queries: 12,
+            relation_size: 60,
+            ..MacroBenchConfig::default()
+        }
+    }
+}
+
+/// Measurements of one (shape, shards) lane.
+#[derive(Debug, Clone)]
+pub struct LaneResult {
+    /// Data shape label.
+    pub shape: &'static str,
+    /// Shard count.
+    pub shards: usize,
+    /// Queries per wave.
+    pub queries: usize,
+    /// Median serial latency, microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile serial latency, microseconds.
+    pub p99_us: u64,
+    /// Concurrent throughput, queries/second.
+    pub qps: f64,
+    /// Total `sumDepths` of the serial wave — deterministic per lane.
+    pub sum_depths: u64,
+    /// Total result rows of the serial wave — deterministic per lane.
+    pub rows: u64,
+}
+
+/// Tracing-overhead measurement: the same lane with the span recorder on
+/// (default ring) and off (`trace_capacity(0)`).
+#[derive(Debug, Clone)]
+pub struct OverheadResult {
+    /// Mean serial latency with tracing on, microseconds.
+    pub traced_mean_us: f64,
+    /// Mean serial latency with tracing off, microseconds.
+    pub untraced_mean_us: f64,
+}
+
+impl OverheadResult {
+    /// Traced-over-untraced mean latency (1.0 = free).
+    pub fn ratio(&self) -> f64 {
+        if self.untraced_mean_us > 0.0 {
+            self.traced_mean_us / self.untraced_mean_us
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The full benchmark outcome.
+#[derive(Debug, Clone)]
+pub struct MacroBenchReport {
+    /// The configuration that produced it.
+    pub config: MacroBenchConfig,
+    /// One entry per (shape, shards) lane, in sweep order.
+    pub lanes: Vec<LaneResult>,
+    /// The tracing-overhead pair (uniform shape, first shard count).
+    pub overhead: OverheadResult,
+}
+
+/// Deterministic per-shape data (seeded off `config.seed`).
+fn generate(config: &MacroBenchConfig, shape: Shape) -> Vec<Vec<Tuple>> {
+    let shape_salt = match shape {
+        Shape::Uniform => 0,
+        Shape::Clustered => 1,
+        Shape::ScoreSkewed => 2,
+    };
+    let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(shape_salt));
+    let centres: Vec<[f64; 2]> = (0..3)
+        .map(|_| [rng.random_range(-2.5..2.5), rng.random_range(-2.5..2.5)])
+        .collect();
+    (0..config.n_relations)
+        .map(|rel| {
+            (0..config.relation_size)
+                .map(|i| {
+                    let (x, y) = match shape {
+                        Shape::Uniform | Shape::ScoreSkewed => {
+                            (rng.random_range(-3.0..3.0), rng.random_range(-3.0..3.0))
+                        }
+                        Shape::Clustered => {
+                            let c = centres[(i + rel) % centres.len()];
+                            (
+                                c[0] + rng.random_range(-0.3..0.3),
+                                c[1] + rng.random_range(-0.3..0.3),
+                            )
+                        }
+                    };
+                    let u: f64 = rng.random_range(0.0..1.0);
+                    let score = match shape {
+                        Shape::ScoreSkewed => u * u * u * u + 1e-3,
+                        _ => u + 1e-3,
+                    };
+                    Tuple::new(TupleId::new(rel, i), Vector::from([x, y]), score)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Distinct query points on a spiral (same grid for every lane).
+fn query_specs(config: &MacroBenchConfig, ids: &[RelationId]) -> Vec<QuerySpec> {
+    (0..config.queries)
+        .map(|i| {
+            let angle = i as f64 * 0.37;
+            let radius = 0.05 + 1.8 * (i as f64 / config.queries as f64);
+            QuerySpec::top_k(
+                ids.to_vec(),
+                Vector::from([radius * angle.cos(), radius * angle.sin()]),
+                config.k,
+            )
+        })
+        .collect()
+}
+
+fn build_engine(
+    config: &MacroBenchConfig,
+    shards: usize,
+    threads: usize,
+    trace_capacity: usize,
+    data: &[Vec<Tuple>],
+) -> (Engine, Vec<RelationId>) {
+    let engine = EngineBuilder::default()
+        .threads(threads)
+        .cache_capacity(config.queries * 2)
+        .trace_capacity(trace_capacity)
+        .shards(shards)
+        .build();
+    let ids = data
+        .iter()
+        .enumerate()
+        .map(|(i, tuples)| engine.register(format!("R{}", i + 1), tuples.clone()))
+        .collect();
+    (engine, ids)
+}
+
+/// Serial wave: per-query wall latencies (µs, sorted) plus total rows.
+fn serial_wave(engine: &Engine, specs: &[QuerySpec]) -> (Vec<u64>, u64) {
+    let mut latencies = Vec::with_capacity(specs.len());
+    let mut rows = 0u64;
+    for spec in specs {
+        let started = Instant::now();
+        let result = engine.query(spec.clone()).expect("macrobench query");
+        latencies.push(started.elapsed().as_micros() as u64);
+        rows += result.combinations().len() as u64;
+    }
+    latencies.sort_unstable();
+    (latencies, rows)
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+fn lane(config: &MacroBenchConfig, shape: Shape, shards: usize) -> LaneResult {
+    let data = generate(config, shape);
+    // Serial leg: one thread, per-query latency.
+    let (engine, ids) = build_engine(config, shards, 1, 4096, &data);
+    let specs = query_specs(config, &ids);
+    let (latencies, rows) = serial_wave(&engine, &specs);
+    let sum_depths = engine.stats().total_sum_depths;
+    drop(engine);
+    // Concurrent leg: fresh engine (cold cache), all queries in flight.
+    let (engine, ids) = build_engine(config, shards, config.threads, 4096, &data);
+    let specs = query_specs(config, &ids);
+    let started = Instant::now();
+    let tickets: Vec<_> = specs.into_iter().map(|s| engine.submit(s)).collect();
+    for ticket in tickets {
+        ticket.wait().expect("macrobench concurrent query");
+    }
+    let wall = started.elapsed();
+    LaneResult {
+        shape: shape.label(),
+        shards,
+        queries: config.queries,
+        p50_us: percentile(&latencies, 0.50),
+        p99_us: percentile(&latencies, 0.99),
+        qps: config.queries as f64 / wall.as_secs_f64(),
+        sum_depths,
+        rows,
+    }
+}
+
+/// Tracing on vs off over the uniform shape at the first shard count.
+fn overhead(config: &MacroBenchConfig) -> OverheadResult {
+    let shards = config.shard_counts.first().copied().unwrap_or(1);
+    let data = generate(config, Shape::Uniform);
+    let mean = |trace_capacity: usize| -> f64 {
+        let (engine, ids) = build_engine(config, shards, 1, trace_capacity, &data);
+        let specs = query_specs(config, &ids);
+        let (latencies, _) = serial_wave(&engine, &specs);
+        latencies.iter().sum::<u64>() as f64 / latencies.len().max(1) as f64
+    };
+    OverheadResult {
+        traced_mean_us: mean(4096),
+        untraced_mean_us: mean(0),
+    }
+}
+
+/// Runs every lane of the sweep plus the overhead pair.
+pub fn run_macrobench(config: &MacroBenchConfig) -> MacroBenchReport {
+    let mut lanes = Vec::new();
+    for shape in Shape::all() {
+        for &shards in &config.shard_counts {
+            lanes.push(lane(config, shape, shards));
+        }
+    }
+    MacroBenchReport {
+        overhead: overhead(config),
+        lanes,
+        config: config.clone(),
+    }
+}
+
+/// Renders the report as an aligned text table.
+pub fn render_macrobench(report: &MacroBenchReport) -> String {
+    let mut out = String::from(
+        "shape     | shards |  p50 µs |  p99 µs |      q/s | sumDepths |  rows\n\
+         ----------+--------+---------+---------+----------+-----------+------\n",
+    );
+    for lane in &report.lanes {
+        out.push_str(&format!(
+            "{:<9} | {:>6} | {:>7} | {:>7} | {:>8.0} | {:>9} | {:>5}\n",
+            lane.shape, lane.shards, lane.p50_us, lane.p99_us, lane.qps, lane.sum_depths, lane.rows,
+        ));
+    }
+    out.push_str(&format!(
+        "tracing overhead: {:.1} µs traced vs {:.1} µs untraced ({:.3}x)\n",
+        report.overhead.traced_mean_us,
+        report.overhead.untraced_mean_us,
+        report.overhead.ratio(),
+    ));
+    out
+}
+
+fn json_escape(value: &str) -> String {
+    value.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Serialises the report as pretty-printed JSON (hand-rolled: the workspace
+/// is dependency-free by design).
+pub fn to_json(report: &MacroBenchReport) -> String {
+    let mut out = String::from("{\n");
+    let c = &report.config;
+    out.push_str(&format!(
+        "  \"config\": {{\"seed\": {}, \"queries\": {}, \"k\": {}, \"relation_size\": {}, \
+         \"n_relations\": {}, \"threads\": {}}},\n",
+        c.seed, c.queries, c.k, c.relation_size, c.n_relations, c.threads,
+    ));
+    out.push_str("  \"lanes\": [\n");
+    for (i, lane) in report.lanes.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"shape\": \"{}\", \"shards\": {}, \"queries\": {}, \"p50_us\": {}, \
+             \"p99_us\": {}, \"qps\": {:.1}, \"sum_depths\": {}, \"rows\": {}}}{}\n",
+            json_escape(lane.shape),
+            lane.shards,
+            lane.queries,
+            lane.p50_us,
+            lane.p99_us,
+            lane.qps,
+            lane.sum_depths,
+            lane.rows,
+            if i + 1 < report.lanes.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"tracing_overhead\": {{\"traced_mean_us\": {:.1}, \"untraced_mean_us\": {:.1}, \
+         \"ratio\": {:.3}}}\n",
+        report.overhead.traced_mean_us,
+        report.overhead.untraced_mean_us,
+        report.overhead.ratio(),
+    ));
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_is_deterministic_where_it_must_be() {
+        let config = MacroBenchConfig::quick();
+        let a = run_macrobench(&config);
+        let b = run_macrobench(&config);
+        assert_eq!(a.lanes.len(), 3 * config.shard_counts.len());
+        for (x, y) in a.lanes.iter().zip(&b.lanes) {
+            assert_eq!(x.shape, y.shape);
+            assert_eq!(x.shards, y.shards);
+            // Timings move; the I/O metric and result cardinality must not.
+            assert_eq!(x.sum_depths, y.sum_depths, "lane {}x{}", x.shape, x.shards);
+            assert_eq!(x.rows, y.rows);
+            assert!(x.qps > 0.0);
+        }
+        assert!(a.overhead.traced_mean_us > 0.0);
+        assert!(a.overhead.untraced_mean_us > 0.0);
+    }
+
+    #[test]
+    fn sharding_is_unobservable_through_lane_results() {
+        let config = MacroBenchConfig::quick();
+        let report = run_macrobench(&config);
+        for shape in Shape::all() {
+            let rows: Vec<u64> = report
+                .lanes
+                .iter()
+                .filter(|l| l.shape == shape.label())
+                .map(|l| l.rows)
+                .collect();
+            assert!(
+                rows.windows(2).all(|w| w[0] == w[1]),
+                "{}: row counts diverged across shard counts: {rows:?}",
+                shape.label()
+            );
+        }
+    }
+
+    #[test]
+    fn json_emitter_produces_wellformed_output() {
+        let report = run_macrobench(&MacroBenchConfig::quick());
+        let json = to_json(&report);
+        assert!(json.starts_with("{\n"));
+        assert!(json.ends_with("}\n"));
+        assert_eq!(json.matches("\"shape\"").count(), report.lanes.len());
+        assert!(json.contains("\"tracing_overhead\""));
+        // Balanced braces/brackets (a cheap well-formedness proxy given the
+        // emitter never nests strings with braces).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        let table = render_macrobench(&report);
+        assert!(table.contains("sumDepths"));
+    }
+}

@@ -11,6 +11,11 @@
 //!     --shards N         spatial shards per relation (default 1 = unsharded)
 //!     --table1           preload the paper's Table 1 relations as R1, R2, R3
 //!     --self-check       bind an ephemeral port, run one client round-trip, exit
+//!     --metrics-addr A   also serve a Prometheus-style /metrics endpoint on A
+//!                        (coordinators fold every worker's series in, with
+//!                        an `instance` label)
+//!     --slow-query-ms N  dump the trace of any query slower than N ms to
+//!                        stderr
 //!
 //!   cluster roles:
 //!     --worker                serve as a cluster worker (adds the prj/2
@@ -38,7 +43,9 @@
 use prj_api::{ApiClient, ErrorKind, QueryRequest, Request, Response, TupleData};
 use prj_cluster::{ClusterTopology, Coordinator, WorkerSession};
 use prj_engine::{EngineBuilder, Server, Session};
+use prj_obs::{MetricsServer, RenderFn};
 use std::sync::Arc;
+use std::time::Duration;
 
 #[derive(Clone)]
 struct Options {
@@ -54,6 +61,8 @@ struct Options {
     topology: Option<String>,
     replicas: usize,
     cluster_self_check: Option<usize>,
+    metrics_addr: Option<String>,
+    slow_query_ms: Option<u64>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -70,6 +79,8 @@ fn parse_args() -> Result<Options, String> {
         topology: None,
         replicas: 1,
         cluster_self_check: None,
+        metrics_addr: None,
+        slow_query_ms: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -118,13 +129,22 @@ fn parse_args() -> Result<Options, String> {
                         .map_err(|_| "--cluster-self-check expects a worker count".to_string())?,
                 )
             }
+            "--metrics-addr" => options.metrics_addr = Some(value("--metrics-addr")?),
+            "--slow-query-ms" => {
+                options.slow_query_ms = Some(
+                    value("--slow-query-ms")?
+                        .parse()
+                        .map_err(|_| "--slow-query-ms expects milliseconds".to_string())?,
+                )
+            }
             "--table1" => options.table1 = true,
             "--self-check" => options.self_check = true,
             "--help" | "-h" => {
                 println!(
                     "prj-serve: TCP front-end for the ProxRJ engine\n\
                      usage: prj-serve [--addr HOST:PORT] [--threads N] [--cache N] \
-                     [--shards N] [--table1] [--self-check]\n\
+                     [--shards N] [--table1] [--self-check] [--metrics-addr HOST:PORT] \
+                     [--slow-query-ms N]\n\
                      cluster: [--worker] [--coordinator --workers A,B,C | --topology FILE] \
                      [--replicas N] [--cluster-self-check N]"
                 );
@@ -142,6 +162,7 @@ fn parse_args() -> Result<Options, String> {
 fn build_engine(options: &Options) -> Arc<prj_engine::Engine> {
     let mut builder = EngineBuilder::default()
         .cache_capacity(options.cache)
+        .slow_query_threshold(options.slow_query_ms.map(Duration::from_millis))
         .shards(options.shards);
     if let Some(threads) = options.threads {
         builder = builder.threads(threads);
@@ -149,9 +170,25 @@ fn build_engine(options: &Options) -> Arc<prj_engine::Engine> {
     Arc::new(builder.build())
 }
 
+/// Binds the `--metrics-addr` exposition listener, if asked for. The
+/// returned server keeps scraping until dropped.
+fn bind_metrics(addr: Option<&str>, render: RenderFn) -> Result<Option<MetricsServer>, String> {
+    let Some(addr) = addr else { return Ok(None) };
+    let server = MetricsServer::bind(addr, render)
+        .map_err(|e| format!("cannot bind metrics endpoint {addr}: {e}"))?;
+    println!(
+        "metrics exposition on http://{}/metrics",
+        server.local_addr()
+    );
+    Ok(Some(server))
+}
+
+/// One Table 1 relation: its name plus two `(coords, score)` rows.
+type Table1Relation = (&'static str, [([f64; 2], f64); 2]);
+
 /// The paper's Table 1 relations — the single source for every `--table1`
 /// preload path (standalone and coordinator).
-const TABLE1: [(&str, [([f64; 2], f64); 2]); 3] = [
+const TABLE1: [Table1Relation; 3] = [
     ("R1", [([0.0, -0.5], 0.5), ([0.0, 1.0], 1.0)]),
     ("R2", [([1.0, 1.0], 1.0), ([-2.0, 2.0], 0.8)]),
     ("R3", [([-1.0, 1.0], 1.0), ([-2.0, -2.0], 0.4)]),
@@ -275,6 +312,57 @@ fn self_check(options: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// Scrapes `addr` once and validates the exposition shape: an HTTP 200, a
+/// non-empty body, and every non-comment line parsing as
+/// `name[{labels}] value` with a float value. Returns the body for
+/// series-level checks.
+fn scrape_metrics(addr: std::net::SocketAddr) -> Result<String, String> {
+    use std::io::{Read, Write};
+    let mut stream =
+        std::net::TcpStream::connect(addr).map_err(|e| format!("metrics connect: {e}"))?;
+    stream
+        .write_all(b"GET /metrics HTTP/1.0\r\nHost: prj\r\n\r\n")
+        .map_err(|e| format!("metrics request: {e}"))?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| format!("metrics read: {e}"))?;
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .ok_or("metrics response has no body")?;
+    if !head.starts_with("HTTP/1.1 200") {
+        return Err(format!("metrics scrape was not a 200: {head:?}"));
+    }
+    if body.trim().is_empty() {
+        return Err("metrics exposition is empty".to_string());
+    }
+    for line in body.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (series, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("malformed exposition line {line:?}"))?;
+        if series.is_empty() {
+            return Err(format!("malformed exposition line {line:?}"));
+        }
+        value
+            .parse::<f64>()
+            .map_err(|_| format!("non-numeric value in exposition line {line:?}"))?;
+    }
+    Ok(body.to_string())
+}
+
+/// Sum of every series value whose `name{labels}` part starts with
+/// `prefix` (summing collapses the per-instance splits).
+fn metric_total(body: &str, prefix: &str) -> f64 {
+    body.lines()
+        .filter(|l| l.starts_with(prefix))
+        .filter_map(|l| l.rsplit_once(' '))
+        .filter_map(|(_, v)| v.parse::<f64>().ok())
+        .sum()
+}
+
 fn spawn_worker(shards: usize) -> Result<prj_cluster::SpawnedWorker, String> {
     let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
     prj_cluster::spawn_worker_process(&exe, shards, 2)
@@ -299,10 +387,12 @@ fn cluster_self_check(options: &Options, n: usize) -> Result<(), String> {
     println!("cluster-self-check: workers on {addrs:?}");
 
     let topology = ClusterTopology::new(addrs, shards, replicas).map_err(|e| e.to_string())?;
-    let coordinator = Coordinator::builder(topology)
-        .threads(2)
-        .build()
-        .map_err(|e| format!("coordinator bootstrap failed: {e}"))?;
+    let coordinator = Arc::new(
+        Coordinator::builder(topology)
+            .threads(2)
+            .build()
+            .map_err(|e| format!("coordinator bootstrap failed: {e}"))?,
+    );
 
     // A single-process reference engine over the same data.
     let reference = Session::new(Arc::new(
@@ -373,6 +463,44 @@ fn cluster_self_check(options: &Options, n: usize) -> Result<(), String> {
         reference.handle(query()),
     )?;
 
+    // Observability leg: serve the coordinator's merged metrics on an
+    // ephemeral endpoint and scrape it the way a Prometheus (or the CI
+    // job) would, then assert the exposition is well-formed and the query
+    // work above actually shows up in the series.
+    let metrics_coordinator = Arc::clone(&coordinator);
+    let render: RenderFn = Arc::new(move || {
+        prj_obs::render_prometheus(&prj_engine::obs::from_api_samples(
+            &metrics_coordinator.metrics_report().samples,
+        ))
+    });
+    let metrics =
+        MetricsServer::bind("127.0.0.1:0", render).map_err(|e| format!("metrics bind: {e}"))?;
+    let body = scrape_metrics(metrics.local_addr())?;
+    for (series, minimum) in [
+        (
+            "prj_query_latency_seconds_count{instance=\"coordinator\"}",
+            1.0,
+        ),
+        ("prj_queries_total", 2.0),
+        ("prj_cache_misses_total", 1.0),
+        ("prj_remote_units_total", 1.0),
+        ("prj_relation_depth_total", 1.0),
+    ] {
+        if metric_total(&body, series) < minimum {
+            return Err(format!(
+                "metrics exposition: {series} never reached {minimum}:\n{body}"
+            ));
+        }
+    }
+    if !body.contains("instance=\"worker0\"") {
+        return Err("metrics exposition lacks worker instance series".to_string());
+    }
+    println!(
+        "cluster-self-check: metrics endpoint exposes {} series lines",
+        body.lines().filter(|l| !l.starts_with('#')).count()
+    );
+    metrics.shutdown();
+
     // Kill the first worker and re-query — at a *fresh* query point, so
     // the answer cannot come out of the result cache and must execute.
     // With replicas the cluster must still answer exactly; without, the
@@ -420,43 +548,61 @@ fn serve(options: &Options) -> Result<(), String> {
     } else {
         "server"
     };
-    let (server, threads) = if options.worker {
+    let (server, threads, render) = if options.worker {
         let engine = build_engine(options);
         let threads = engine.threads();
+        let render_engine = Arc::clone(&engine);
+        let render: RenderFn = Arc::new(move || render_engine.metrics_render());
         let worker = Arc::new(WorkerSession::new(engine));
         (
             Server::bind(&options.addr, worker)
                 .map_err(|e| format!("cannot bind {}: {e}", options.addr))?,
             threads,
+            render,
         )
     } else if options.coordinator {
         let topology = topology_from(options)?;
-        let mut builder = Coordinator::builder(topology).cache_capacity(options.cache);
+        let mut builder = Coordinator::builder(topology)
+            .cache_capacity(options.cache)
+            .slow_query_threshold(options.slow_query_ms.map(Duration::from_millis));
         if let Some(threads) = options.threads {
             builder = builder.threads(threads);
         }
-        let coordinator = builder
-            .build()
-            .map_err(|e| format!("coordinator bootstrap failed: {e}"))?;
+        let coordinator = Arc::new(
+            builder
+                .build()
+                .map_err(|e| format!("coordinator bootstrap failed: {e}"))?,
+        );
         let threads = coordinator.engine().threads();
         if options.table1 {
             // Preload through the coordinator so the fleet replicates it.
             preload_table1(|request| coordinator.dispatch_one(request))?;
         }
+        let render_coordinator = Arc::clone(&coordinator);
+        let render: RenderFn = Arc::new(move || {
+            prj_obs::render_prometheus(&prj_engine::obs::from_api_samples(
+                &render_coordinator.metrics_report().samples,
+            ))
+        });
         (
-            Server::bind(&options.addr, Arc::new(coordinator))
+            Server::bind(&options.addr, coordinator)
                 .map_err(|e| format!("cannot bind {}: {e}", options.addr))?,
             threads,
+            render,
         )
     } else {
         let session = build_session(options)?;
         let threads = session.engine().threads();
+        let render_engine = Arc::clone(session.engine());
+        let render: RenderFn = Arc::new(move || render_engine.metrics_render());
         (
             Server::bind(&options.addr, session)
                 .map_err(|e| format!("cannot bind {}: {e}", options.addr))?,
             threads,
+            render,
         )
     };
+    let _metrics = bind_metrics(options.metrics_addr.as_deref(), render)?;
     let addr = server.local_addr();
     println!(
         "prj-serve {role} listening on {addr} (prj/{} line protocol, {} worker threads)",

@@ -22,13 +22,17 @@
 
 use crate::pool::WorkerPool;
 use crate::topology::{ClusterTopology, ShardRouter};
-use prj_api::{ApiError, ClientConfig, ErrorKind, Request, Response, UnitOutcome, UnitRequest};
+use prj_api::{
+    ApiError, ClientConfig, ErrorKind, MetricsReport, Request, Response, TraceContext, UnitOutcome,
+    UnitRequest,
+};
 use prj_core::{RankJoinResult, RunMetrics, ScoredCombination};
 use prj_engine::{
-    Dispatch, Engine, EngineBuilder, EngineError, RemoteUnitBackend, RemoteUnitCall,
+    obs, Dispatch, Engine, EngineBuilder, EngineError, RemoteUnitBackend, RemoteUnitCall,
     RequestHandler, Session,
 };
 use prj_geometry::Vector;
+use prj_obs::{now_micros, Counter, Recorder};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
@@ -39,6 +43,7 @@ pub struct CoordinatorBuilder {
     cache_capacity: usize,
     unit_cache_capacity: usize,
     client: ClientConfig,
+    slow_query_threshold: Option<Duration>,
 }
 
 impl CoordinatorBuilder {
@@ -68,6 +73,13 @@ impl CoordinatorBuilder {
         self
     }
 
+    /// Queries slower than `threshold` dump their stitched trace to stderr
+    /// (default: disabled).
+    pub fn slow_query_threshold(mut self, threshold: Option<Duration>) -> Self {
+        self.slow_query_threshold = threshold;
+        self
+    }
+
     /// Builds the coordinator and verifies the fleet: every worker must be
     /// reachable, speak `prj/2`, partition into the same shard count, and
     /// start with an empty catalog (replication replays through this
@@ -79,6 +91,7 @@ impl CoordinatorBuilder {
         let mut engine = EngineBuilder::default()
             .cache_capacity(self.cache_capacity)
             .unit_cache_capacity(self.unit_cache_capacity)
+            .slow_query_threshold(self.slow_query_threshold)
             .shards(self.topology.shards());
         if let Some(threads) = self.threads {
             engine = engine.threads(threads);
@@ -98,7 +111,14 @@ impl CoordinatorBuilder {
             mutations: Mutex::new(()),
         };
         coordinator.verify_workers()?;
-        engine.set_remote_backend(Arc::new(ClusterBackend { pool, router }));
+        let registry = engine.obs().registry();
+        engine.set_remote_backend(Arc::new(ClusterBackend {
+            pool,
+            router,
+            recorder: Arc::clone(engine.recorder()),
+            remote_units: registry.counter("prj_remote_units_total", &[]),
+            failovers: registry.counter("prj_failovers_total", &[]),
+        }));
         Ok(coordinator)
     }
 }
@@ -123,6 +143,7 @@ impl Coordinator {
             cache_capacity: 1024,
             unit_cache_capacity: 4096,
             client: ClientConfig::with_timeouts(Duration::from_secs(30)),
+            slow_query_threshold: None,
         }
     }
 
@@ -261,6 +282,70 @@ impl Coordinator {
         local
     }
 
+    /// The engine's own stats, with the fleet's worker-side lanes folded
+    /// in: `worker_shard_depths[s]` / `worker_shard_micros[s]` sum every
+    /// worker's per-shard unit accounting — measured where the units
+    /// actually ran, unlike `shard_depths`, which the coordinator measures
+    /// around the round trip. A dead worker degrades the lanes (its share
+    /// is missing), never the verb.
+    fn cluster_stats(&self) -> Response {
+        let response = self.session.handle(Request::Stats);
+        let Response::Stats(mut report) = response else {
+            return response;
+        };
+        let shards = self.router.shards();
+        let mut depths = vec![0u64; shards];
+        let mut micros = vec![0u64; shards];
+        let mut reachable = false;
+        for w in 0..self.pool.len() {
+            let Ok(Response::WorkerReport {
+                lane_depths,
+                lane_micros,
+                ..
+            }) = self.pool.with_conn(w, |c| c.call(&Request::WorkerStats))
+            else {
+                continue;
+            };
+            reachable = true;
+            for (shard, d) in lane_depths.iter().enumerate().take(shards) {
+                depths[shard] += d;
+            }
+            for (shard, m) in lane_micros.iter().enumerate().take(shards) {
+                micros[shard] += m;
+            }
+        }
+        if reachable {
+            report.worker_shard_depths = depths;
+            report.worker_shard_micros = micros;
+        }
+        Response::Stats(report)
+    }
+
+    /// The coordinator's metrics snapshot with every reachable worker's
+    /// folded in, series distinguished by an `instance` label
+    /// (`coordinator`, `worker0`, `worker1`, …).
+    pub fn metrics_report(&self) -> MetricsReport {
+        let mut samples = obs::to_api_samples(&self.engine.metrics_samples());
+        for sample in &mut samples {
+            sample
+                .labels
+                .insert(0, ("instance".to_string(), "coordinator".to_string()));
+        }
+        for w in 0..self.pool.len() {
+            let Ok(report) = self.pool.with_conn(w, |c| c.metrics()) else {
+                continue;
+            };
+            let instance = format!("worker{w}");
+            for mut sample in report.samples {
+                sample
+                    .labels
+                    .insert(0, ("instance".to_string(), instance.clone()));
+                samples.push(sample);
+            }
+        }
+        MetricsReport { samples }
+    }
+
     /// Queries retry once on a stale-replica verdict: the coordinator
     /// re-snapshots (picking up whatever mutation the first attempt raced
     /// with) and re-dispatches. A second stale verdict surfaces to the
@@ -282,6 +367,8 @@ impl RequestHandler for Coordinator {
             | Request::AppendTuples { .. }
             | Request::DropRelation { .. } => Dispatch::One(self.mutate(request)),
             Request::TopK(_) | Request::Stream(_) => self.query_with_retry(request),
+            Request::Stats => Dispatch::One(self.cluster_stats()),
+            Request::Metrics => Dispatch::One(Response::Metrics(self.metrics_report())),
             other => self.session.dispatch(other),
         }
     }
@@ -303,6 +390,9 @@ fn mutation_matches(local: &Response, remote: &Response) -> bool {
 struct ClusterBackend {
     pool: Arc<WorkerPool>,
     router: Arc<ShardRouter>,
+    recorder: Arc<Recorder>,
+    remote_units: Arc<Counter>,
+    failovers: Arc<Counter>,
 }
 
 impl ClusterBackend {
@@ -322,7 +412,33 @@ impl ClusterBackend {
             access: call.access_kind,
             algorithm: call.algorithm,
             dominance_period: call.dominance_period,
+            trace: call.trace.map(|(trace, parent)| TraceContext {
+                trace: trace.as_u64(),
+                parent: parent.as_u64(),
+            }),
         }
+    }
+
+    /// Stitches the worker's shipped spans into the query's trace, beneath
+    /// the coordinator-side `unit` span that dispatched the call. Worker
+    /// clocks don't align with ours, so the batch is re-based to end at
+    /// the import instant — relative durations survive exactly.
+    fn import_spans(&self, call: &RemoteUnitCall, outcome: &UnitOutcome) {
+        let Some((trace, unit_span)) = call.trace else {
+            return;
+        };
+        let spans = obs::to_remote_spans(&outcome.spans);
+        if spans.is_empty() {
+            return;
+        }
+        let earliest = spans.iter().map(|s| s.start_micros).min().unwrap_or(0);
+        let latest = spans
+            .iter()
+            .map(|s| s.start_micros + s.duration_micros)
+            .max()
+            .unwrap_or(0);
+        let attach = now_micros().saturating_sub(latest.saturating_sub(earliest));
+        self.recorder.import(trace, unit_span, attach, &spans);
     }
 }
 
@@ -347,19 +463,23 @@ impl RemoteUnitBackend for ClusterBackend {
             // connection that went stale in the pool (e.g. the worker
             // restarted); the retry dials fresh. Typed answers are real
             // verdicts and move straight to the next replica.
+            let mut last_kind = None;
             for attempt in 0..2 {
                 match self.pool.with_conn(w, |c| c.execute_unit(request.clone())) {
                     Ok(outcome) => {
+                        self.remote_units.inc();
+                        self.import_spans(call, &outcome);
                         return rehydrate(call.relations.len(), outcome).map_err(|e| {
                             EngineError::Degraded(format!(
                                 "worker {} returned an unusable unit result: {e}",
                                 self.pool.addr(w)
                             ))
-                        })
+                        });
                     }
                     Err(e) => {
                         let transport = matches!(e.kind, ErrorKind::Io | ErrorKind::Malformed);
                         any_stale |= e.kind == ErrorKind::StaleEpoch;
+                        last_kind = Some(e.kind);
                         failures.push(format!(
                             "{} (attempt {}) => {e}",
                             self.pool.addr(w),
@@ -370,6 +490,25 @@ impl RemoteUnitBackend for ClusterBackend {
                         }
                     }
                 }
+            }
+            // This replica is out: the unit fails over to the next owner
+            // (or surfaces the error). Count it, and pin the event into
+            // the query's trace under the dispatching `unit` span.
+            self.failovers.inc();
+            if let Some((trace, unit_span)) = call.trace {
+                self.recorder.event(
+                    trace,
+                    Some(unit_span),
+                    "failover",
+                    vec![
+                        ("worker".to_string(), self.pool.addr(w).to_string()),
+                        ("shard".to_string(), call.shard.to_string()),
+                        (
+                            "error".to_string(),
+                            last_kind.map(|k| k.code().to_string()).unwrap_or_default(),
+                        ),
+                    ],
+                );
             }
         }
         let detail = failures.join("; ");

@@ -17,14 +17,25 @@
 //! * [`Request::WorkerStats`] — work counters for the fleet dashboard.
 
 use prj_api::{
-    ApiError, ErrorKind, Request, Response, UnitMember, UnitOutcome, UnitRequest, UnitRow,
+    ApiError, ErrorKind, Request, Response, SpanRecord, UnitMember, UnitOutcome, UnitRequest,
+    UnitRow,
 };
 use prj_core::RankJoinResult;
 use prj_engine::{Dispatch, Engine, QuerySpec, RelationId, RequestHandler, Session};
 use prj_geometry::Vector;
+use prj_obs::{now_micros, TraceId};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
+
+/// Per-driving-shard work totals, reported as the `WorkerReport` lanes the
+/// coordinator folds into its cluster-wide [`prj_api::StatsReport`].
+#[derive(Clone, Copy, Default)]
+struct Lane {
+    units: u64,
+    depths: u64,
+    micros: u64,
+}
 
 /// A cluster worker's request handler; see the module docs.
 pub struct WorkerSession {
@@ -33,6 +44,9 @@ pub struct WorkerSession {
     assignment: Mutex<(u64, Vec<usize>)>,
     units: AtomicU64,
     depths: AtomicU64,
+    /// Indexed by driving shard; grown on first unit for a shard. Units
+    /// are the slow part — this lock is uncontended relative to them.
+    lanes: Mutex<Vec<Lane>>,
 }
 
 impl WorkerSession {
@@ -46,6 +60,7 @@ impl WorkerSession {
             assignment: Mutex::new((0, Vec::new())),
             units: AtomicU64::new(0),
             depths: AtomicU64::new(0),
+            lanes: Mutex::new(Vec::new()),
         }
     }
 
@@ -74,6 +89,20 @@ impl WorkerSession {
     }
 
     fn execute_unit(&self, unit: UnitRequest) -> Result<Response, ApiError> {
+        let started = now_micros();
+        // Mirror the unit into this worker's own trace ring under the
+        // coordinator's trace id, so a worker-side `--metrics-addr` /
+        // slow-query dump shows the same trace the coordinator stitches.
+        let mut local_span = unit
+            .trace
+            .and_then(|t| TraceId::from_u64(t.trace))
+            .filter(|_| self.engine.recorder().enabled())
+            .map(|trace| {
+                let mut span = self.engine.recorder().span(trace, "execute_unit");
+                span.attr("shard", unit.shard);
+                span.attr("drive", unit.drive);
+                span
+            });
         let relations = unit
             .relations
             .iter()
@@ -92,7 +121,9 @@ impl WorkerSession {
             selector: Some(unit.scoring),
             access_kind: unit.access,
             algorithm: Some(unit.algorithm),
+            trace: None,
         };
+        let run_started = now_micros();
         let (result, elapsed) = self
             .engine
             .execute_unit(
@@ -104,10 +135,48 @@ impl WorkerSession {
                 Some(&unit.epochs),
             )
             .map_err(ApiError::from)?;
+        let finished = now_micros();
+        let depths = result.sum_depths() as u64;
         self.units.fetch_add(1, Ordering::Relaxed);
-        self.depths
-            .fetch_add(result.sum_depths() as u64, Ordering::Relaxed);
-        Ok(Response::Unit(to_outcome(&result, elapsed)))
+        self.depths.fetch_add(depths, Ordering::Relaxed);
+        {
+            let mut lanes = self.lanes.lock().expect("lane lock");
+            if lanes.len() <= unit.shard {
+                lanes.resize(unit.shard + 1, Lane::default());
+            }
+            let lane = &mut lanes[unit.shard];
+            lane.units += 1;
+            lane.depths += depths;
+            lane.micros += elapsed.as_micros() as u64;
+        }
+        if let Some(span) = local_span.as_mut() {
+            span.attr("sum_depths", depths);
+        }
+        // Ship the unit's spans only when the coordinator asked to trace
+        // it. Ids are batch-local (1 = the unit, 2 = the operator run);
+        // the coordinator's import re-identifies and re-bases them under
+        // its own `unit` span.
+        let spans = if unit.trace.is_some() {
+            vec![
+                SpanRecord {
+                    name: "execute_unit".to_string(),
+                    id: 1,
+                    parent: 0,
+                    start_micros: started,
+                    duration_micros: finished.saturating_sub(started),
+                },
+                SpanRecord {
+                    name: "run".to_string(),
+                    id: 2,
+                    parent: 1,
+                    start_micros: run_started,
+                    duration_micros: elapsed.as_micros() as u64,
+                },
+            ]
+        } else {
+            Vec::new()
+        };
+        Ok(Response::Unit(to_outcome(&result, elapsed, spans)))
     }
 
     fn handle_cluster(&self, request: Request) -> Response {
@@ -120,12 +189,16 @@ impl WorkerSession {
             }
             Request::WorkerStats => {
                 let (generation, shards) = self.assignment.lock().expect("assignment lock").clone();
+                let lanes = self.lanes.lock().expect("lane lock").clone();
                 Ok(Response::WorkerReport {
                     generation,
                     shards,
                     units: self.units.load(Ordering::Relaxed),
                     depths: self.depths.load(Ordering::Relaxed),
                     relations: self.engine.catalog().live_len(),
+                    lane_units: lanes.iter().map(|l| l.units).collect(),
+                    lane_depths: lanes.iter().map(|l| l.depths).collect(),
+                    lane_micros: lanes.iter().map(|l| l.micros).collect(),
                 })
             }
             other => return self.session.handle(other),
@@ -147,9 +220,14 @@ impl RequestHandler for WorkerSession {
 
 /// Serialises one unit result for the wire, bit-exactly: combination
 /// scores, member tuple identities *and contents* (so the coordinator
-/// rehydrates without re-reading its catalog), the final bound, and the
-/// accounting the bound-aware merge aggregates.
-pub fn to_outcome(result: &RankJoinResult, elapsed: Duration) -> UnitOutcome {
+/// rehydrates without re-reading its catalog), the final bound, the
+/// accounting the bound-aware merge aggregates, and the worker's finished
+/// `spans` for coordinator-side trace stitching.
+pub fn to_outcome(
+    result: &RankJoinResult,
+    elapsed: Duration,
+    spans: Vec<SpanRecord>,
+) -> UnitOutcome {
     UnitOutcome {
         rows: result
             .combinations
@@ -174,5 +252,6 @@ pub fn to_outcome(result: &RankJoinResult, elapsed: Duration) -> UnitOutcome {
         combinations_formed: result.metrics.combinations_formed as u64,
         micros: elapsed.as_micros() as u64,
         capped: result.metrics.hit_access_cap,
+        spans,
     }
 }

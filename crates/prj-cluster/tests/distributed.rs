@@ -476,7 +476,7 @@ fn out_of_band_worker_mutations_surface_as_stale_epoch() {
 /// round-trip, and cluster verbs on `prj/1` earn a typed version error.
 #[test]
 fn worker_process_serves_both_protocol_versions() {
-    use std::io::Write;
+    use std::io::{BufRead, Write};
     let fleet = spawn_fleet(1, 2);
     let stream = std::net::TcpStream::connect(fleet[0].addr()).expect("connect");
     let mut reader = std::io::BufReader::new(stream.try_clone().expect("clone"));

@@ -1,0 +1,200 @@
+//! Distributed tracing: a coordinator query over real worker processes
+//! produces ONE stitched trace — the coordinator's `query`/`plan`/`unit`
+//! spans plus every worker's imported `execute_unit`/`run` spans, all
+//! correctly parented — and replica failover is pinned into the trace as
+//! a `failover` event.
+
+use prj_api::{QueryRequest, Request, Response, TupleData};
+use prj_cluster::{ClusterTopology, Coordinator};
+use prj_obs::Span;
+
+type Worker = prj_cluster::SpawnedWorker;
+
+fn spawn_fleet(n: usize, shards: usize) -> Vec<Worker> {
+    (0..n)
+        .map(|_| {
+            prj_cluster::spawn_worker_process(
+                std::path::Path::new(env!("CARGO_BIN_EXE_prj-serve")),
+                shards,
+                2,
+            )
+            .expect("spawn prj-serve --worker")
+        })
+        .collect()
+}
+
+fn coordinator_over(fleet: &[Worker], shards: usize, replicas: usize) -> Coordinator {
+    let topology = ClusterTopology::new(
+        fleet.iter().map(|w| w.addr().to_string()).collect(),
+        shards,
+        replicas,
+    )
+    .expect("topology");
+    Coordinator::builder(topology)
+        .threads(2)
+        .build()
+        .expect("coordinator bootstrap")
+}
+
+fn register_grid(coordinator: &Coordinator, name: &str, n: usize, salt: u64) {
+    let tuples = (0..n)
+        .map(|i| {
+            let x = ((i as u64 * 37 + salt * 11) % 100) as f64 / 10.0 - 5.0;
+            let y = ((i as u64 * 53 + salt * 7) % 100) as f64 / 10.0 - 5.0;
+            TupleData::new([x, y], ((i % 10) as f64 + 1.0) / 10.0)
+        })
+        .collect();
+    let response = coordinator.dispatch_one(Request::RegisterRelation {
+        name: name.to_string(),
+        tuples,
+    });
+    assert!(
+        !matches!(response, Response::Error(_)),
+        "register {name}: {response:?}"
+    );
+}
+
+fn run_query(coordinator: &Coordinator, q: [f64; 2]) -> Vec<prj_api::ResultRow> {
+    match coordinator.dispatch_one(Request::TopK(
+        QueryRequest::new(vec!["t0".into(), "t1".into()], q.to_vec()).k(5),
+    )) {
+        Response::Results { rows, .. } => rows,
+        other => panic!("query failed: {other:?}"),
+    }
+}
+
+/// All finished spans of the trace the (single) root `query` span belongs
+/// to, after waiting out the asynchronous tail of the query.
+fn query_trace(coordinator: &Coordinator) -> Vec<Span> {
+    let recorder = coordinator.engine().recorder();
+    let root = recorder
+        .finished()
+        .into_iter()
+        .find(|s| s.name == "query")
+        .expect("a finished root query span");
+    recorder.trace(root.trace)
+}
+
+#[test]
+fn a_distributed_query_yields_one_stitched_trace() {
+    let shards = 4;
+    let fleet = spawn_fleet(2, shards);
+    let coordinator = coordinator_over(&fleet, shards, 2);
+    register_grid(&coordinator, "t0", 40, 0);
+    register_grid(&coordinator, "t1", 40, 1);
+    let rows = run_query(&coordinator, [0.3, -0.8]);
+    assert!(!rows.is_empty());
+
+    let spans = query_trace(&coordinator);
+    let root = spans.iter().find(|s| s.name == "query").expect("root");
+    assert_eq!(root.parent, None);
+    let trace = root.trace;
+    assert!(
+        spans.iter().all(|s| s.trace == trace),
+        "every span shares the query's trace"
+    );
+
+    // Coordinator-side skeleton: plan + one unit per driving shard +
+    // merge, all under the root.
+    let plan = spans.iter().find(|s| s.name == "plan").expect("plan span");
+    assert_eq!(plan.parent, Some(root.id));
+    let units: Vec<&Span> = spans.iter().filter(|s| s.name == "unit").collect();
+    assert_eq!(units.len(), shards, "one unit span per driving shard");
+    assert!(units.iter().all(|u| u.parent == Some(root.id)));
+    assert!(units.iter().all(|u| u
+        .attrs
+        .contains(&("remote".to_string(), "true".to_string()))));
+    let merge = spans.iter().find(|s| s.name == "merge").expect("merge");
+    assert_eq!(merge.parent, Some(root.id));
+
+    // Worker-side spans were shipped over the wire and stitched under the
+    // coordinator `unit` spans that dispatched them: every remote unit
+    // carries an imported `execute_unit` child, which in turn carries the
+    // operator `run`.
+    let remote: Vec<&Span> = spans.iter().filter(|s| s.name == "execute_unit").collect();
+    assert_eq!(
+        remote.len(),
+        shards,
+        "one imported worker span per remote unit"
+    );
+    let unit_ids: Vec<_> = units.iter().map(|u| u.id).collect();
+    for worker_span in &remote {
+        let parent = worker_span.parent.expect("imported spans are parented");
+        assert!(
+            unit_ids.contains(&parent),
+            "execute_unit must hang under a coordinator unit span"
+        );
+        let run = spans
+            .iter()
+            .find(|s| s.name == "run" && s.parent == Some(worker_span.id))
+            .expect("operator run span under the imported unit");
+        assert!(run.duration_micros <= worker_span.duration_micros + 1);
+        // Imported starts are re-based into the coordinator clock: never
+        // before the dispatching unit span started.
+        let unit = units.iter().find(|u| u.id == parent).unwrap();
+        assert!(worker_span.start_micros >= unit.start_micros);
+    }
+}
+
+#[test]
+fn replica_failover_is_recorded_in_the_trace_and_metrics() {
+    let shards = 2;
+    let mut fleet = spawn_fleet(2, shards);
+    let coordinator = coordinator_over(&fleet, shards, 2);
+    register_grid(&coordinator, "t0", 30, 0);
+    register_grid(&coordinator, "t1", 30, 1);
+    // Kill one worker; with replicas=2 the query must still answer, and
+    // the abandoned replica must be visible as a failover event in the
+    // query's trace and in the failover counter.
+    drop(fleet.remove(0));
+    let rows = run_query(&coordinator, [-1.1, 2.4]);
+    assert!(!rows.is_empty(), "replicated fleet must still answer");
+
+    let spans = query_trace(&coordinator);
+    let failover = spans
+        .iter()
+        .find(|s| s.name == "failover")
+        .expect("a failover event span");
+    assert_eq!(failover.duration_micros, 0, "events are points");
+    let parent = failover.parent.expect("failover hangs under its unit");
+    assert!(
+        spans.iter().any(|s| s.name == "unit" && s.id == parent),
+        "failover event parented under the dispatching unit span"
+    );
+    assert!(failover.attrs.iter().any(|(k, _)| k == "worker"));
+
+    let failovers = coordinator
+        .engine()
+        .metrics_samples()
+        .into_iter()
+        .find(|s| s.name == "prj_failovers_total")
+        .expect("failover counter registered");
+    assert!(failovers.value >= 1.0, "got {}", failovers.value);
+}
+
+/// Worker-side stats lanes flow back to the coordinator: after a
+/// distributed query, the cluster-wide stats report carries per-shard
+/// depths and latencies measured on the workers, and their sum matches
+/// the fleet's total depth accounting.
+#[test]
+fn worker_lanes_aggregate_into_cluster_stats() {
+    let shards = 4;
+    let fleet = spawn_fleet(2, shards);
+    let coordinator = coordinator_over(&fleet, shards, 2);
+    register_grid(&coordinator, "t0", 40, 0);
+    register_grid(&coordinator, "t1", 40, 1);
+    run_query(&coordinator, [0.3, -0.8]);
+    run_query(&coordinator, [-2.0, 1.5]);
+
+    let Response::Stats(report) = coordinator.dispatch_one(Request::Stats) else {
+        panic!("stats verb failed");
+    };
+    assert_eq!(report.worker_shard_depths.len(), shards);
+    assert_eq!(report.worker_shard_micros.len(), shards);
+    let lane_total: u64 = report.worker_shard_depths.iter().sum();
+    assert!(lane_total > 0, "worker lanes must carry the executed units");
+    assert_eq!(
+        lane_total, report.total_sum_depths,
+        "worker-side lane depths must add up to the fleet's sumDepths"
+    );
+}

@@ -32,6 +32,7 @@
 use crate::cache::{CacheKey, CacheMetrics, CachedExecution, ResultCache, UnitCache, UnitKey};
 use crate::catalog::{Catalog, CatalogError, CatalogRelation, MutationOutcome, RelationId};
 use crate::executor::Executor;
+use crate::obs::{EngineObs, QueryTrace};
 use crate::planner::{Plan, Planner, PlannerConfig};
 use crate::registry::ScoringRegistry;
 use crate::sharding::ShardingPolicy;
@@ -43,6 +44,7 @@ use prj_core::{
     RankJoinResult, RunMetrics, ScoredCombination, ScoringSpec, StreamingRun,
 };
 use prj_geometry::Vector;
+use prj_obs::{Recorder, Sample, SpanGuard, SpanId, TraceId};
 use std::sync::mpsc::{sync_channel, Receiver};
 use std::sync::{Arc, RwLock};
 use std::time::{Duration, Instant};
@@ -146,6 +148,10 @@ pub struct QuerySpec {
     pub access_kind: AccessKind,
     /// Pin a specific algorithm, or let the planner choose (`None`).
     pub algorithm: Option<Algorithm>,
+    /// The trace this query joins, when an upstream caller already opened
+    /// one; `None` lets the engine generate a fresh trace id (if its
+    /// recorder is enabled). Never part of the cache key.
+    pub trace: Option<QueryTrace>,
 }
 
 impl QuerySpec {
@@ -162,7 +168,16 @@ impl QuerySpec {
             selector: Some(ScoringSelector::named("euclidean-log")),
             access_kind: AccessKind::Distance,
             algorithm: None,
+            trace: None,
         }
+    }
+
+    /// Joins an already-open trace: the query's root span becomes a child
+    /// of `trace.parent` (a coordinator's dispatch span, say) instead of a
+    /// trace root.
+    pub fn with_trace(mut self, trace: QueryTrace) -> Self {
+        self.trace = Some(trace);
+        self
     }
 
     /// Pins the operator instantiation instead of consulting the planner.
@@ -330,6 +345,9 @@ pub struct RemoteUnitCall {
     pub algorithm: Algorithm,
     /// The planned LP dominance-test period.
     pub dominance_period: Option<usize>,
+    /// The trace to execute under and the coordinator-side `unit` span the
+    /// worker's spans should stitch beneath; `None` when tracing is off.
+    pub trace: Option<(TraceId, SpanId)>,
 }
 
 /// A pluggable executor for shipping execution units to remote worker
@@ -365,6 +383,8 @@ pub struct EngineBuilder {
     unit_cache_capacity: usize,
     planner: PlannerConfig,
     sharding: ShardingPolicy,
+    trace_capacity: usize,
+    slow_query_threshold: Option<Duration>,
 }
 
 impl Default for EngineBuilder {
@@ -375,6 +395,8 @@ impl Default for EngineBuilder {
             unit_cache_capacity: 4096,
             planner: PlannerConfig::default(),
             sharding: ShardingPolicy::default(),
+            trace_capacity: 4096,
+            slow_query_threshold: None,
         }
     }
 }
@@ -425,6 +447,21 @@ impl EngineBuilder {
         self
     }
 
+    /// How many finished spans the engine's trace ring retains (default
+    /// 4096). 0 disables tracing entirely: every span guard becomes a
+    /// no-op with no allocation — the configuration the
+    /// instrumentation-overhead bench lane measures against.
+    pub fn trace_capacity(mut self, capacity: usize) -> Self {
+        self.trace_capacity = capacity;
+        self
+    }
+
+    /// Queries slower than this dump their trace to stderr (default: off).
+    pub fn slow_query_threshold(mut self, threshold: Option<Duration>) -> Self {
+        self.slow_query_threshold = threshold;
+        self
+    }
+
     /// Builds the engine (scoring registry pre-loaded with the built-ins).
     pub fn build(self) -> Engine {
         Engine {
@@ -436,6 +473,10 @@ impl EngineBuilder {
             planner: Planner::with_config(self.planner),
             registry: Arc::new(ScoringRegistry::with_builtins()),
             remote: RwLock::new(None),
+            obs: Arc::new(EngineObs::new(
+                self.trace_capacity,
+                self.slow_query_threshold,
+            )),
         }
     }
 }
@@ -489,6 +530,9 @@ struct UnitExecContext {
     selector: Option<ScoringSelector>,
     scoring_fingerprint: u64,
     generation: u64,
+    recorder: Arc<Recorder>,
+    /// The query's trace plus the root span unit spans parent under.
+    trace: Option<(TraceId, SpanId)>,
 }
 
 /// How one unit's result was obtained.
@@ -527,15 +571,29 @@ impl UnitExecContext {
         )
     }
 
+    /// Begins this query's `unit` span for `shard`, parented under the
+    /// query's root span (`None` when the query carries no trace).
+    fn unit_span(&self, shard: usize) -> Option<SpanGuard> {
+        let (trace, parent) = self.trace?;
+        let mut span = self.recorder.child(trace, parent, "unit");
+        span.attr("shard", shard);
+        Some(span)
+    }
+
     /// Executes one unit: unit-cache lookup, then remote dispatch when the
     /// backend routes the shard, local execution otherwise.
     fn execute(&self, unit: ExecutionUnit) -> Result<UnitOutcome, EngineError> {
         let mut unit = unit;
+        let mut span = self.unit_span(unit.shard);
         let key = self
             .use_unit_cache
             .then(|| self.unit_key(unit.shard, &unit.plan));
         if let Some(key) = &key {
             if let Some(hit) = self.unit_cache.get(key) {
+                if let Some(mut span) = span {
+                    span.attr("cache", "hit");
+                    span.finish();
+                }
                 return Ok(UnitOutcome {
                     shard: unit.shard,
                     result: (*hit).clone(),
@@ -546,6 +604,9 @@ impl UnitExecContext {
         }
         let started = Instant::now();
         let remote = self.backend.as_ref().filter(|b| b.routes(unit.shard));
+        if let Some(span) = span.as_mut() {
+            span.attr("remote", remote.is_some());
+        }
         let result = match remote {
             Some(backend) => {
                 let selector = self.selector.clone().ok_or_else(|| {
@@ -566,6 +627,12 @@ impl UnitExecContext {
                     access_kind: self.access_kind,
                     algorithm: unit.plan.algorithm,
                     dominance_period: unit.plan.dominance_period,
+                    // The worker's spans stitch under this unit span; a
+                    // non-recording guard (disabled ring) sends nothing.
+                    trace: span
+                        .as_ref()
+                        .filter(|s| s.recording())
+                        .and_then(|s| self.trace.map(|(trace, _)| (trace, s.id()))),
                 })?
             }
             None => unit
@@ -575,6 +642,10 @@ impl UnitExecContext {
                 .map_err(EngineError::Prj)?,
         };
         let elapsed = started.elapsed();
+        if let Some(mut span) = span {
+            span.attr("sum_depths", result.sum_depths());
+            span.finish();
+        }
         if let Some(key) = key {
             self.unit_cache.insert(key, Arc::new(result.clone()));
         }
@@ -631,9 +702,74 @@ fn run_units(
     let merged = if parts.len() == 1 {
         parts.pop().expect("one part")
     } else {
-        merge_results(k, parts)
+        let n = parts.len();
+        let span = ctx
+            .trace
+            .map(|(trace, parent)| ctx.recorder.child(trace, parent, "merge"));
+        let merged = merge_results(k, parts);
+        if let Some(mut span) = span {
+            span.attr("parts", n);
+            span.finish();
+        }
+        merged
     };
     Ok((merged, unit_records))
+}
+
+/// Everything a live streaming producer needs at completion: where to cache
+/// the drained execution and how to account/trace it.
+struct StreamFinish {
+    cache: Arc<ResultCache>,
+    stats: Arc<EngineStats>,
+    obs: Arc<EngineObs>,
+    key: CacheKey,
+    plan: Plan,
+    relations: Vec<usize>,
+    trace: Option<TraceId>,
+    root: Option<SpanGuard>,
+}
+
+impl StreamFinish {
+    /// Records the fully drained run and caches its execution.
+    fn complete(self, result: RankJoinResult, units: Vec<UnitRecord>) {
+        // The operator tracks its active stepping time, so the recorded
+        // latency measures engine work, not how slowly the consumer
+        // drained the stream.
+        let latency = result.metrics.total_time;
+        let record = QueryRecord {
+            latency,
+            sum_depths: result.stats.sum_depths(),
+            bound_updates: result.metrics.bound_updates,
+            from_cache: false,
+            units,
+            relation_depths: relation_depths(&self.relations, &result),
+        };
+        self.obs.record_query(&record);
+        self.stats.record(record);
+        if let Some(mut root) = self.root {
+            root.attr("cache", "miss");
+            root.attr("sum_depths", result.sum_depths());
+            root.finish();
+        }
+        self.obs.slow_query(self.trace, latency);
+        self.cache.insert(
+            self.key,
+            Arc::new(CachedExecution {
+                result,
+                plan: self.plan,
+            }),
+        );
+    }
+}
+
+/// The `(relation index, depth)` pairs of one executed result — what the
+/// `prj_relation_depth_total` metric series is fed with.
+fn relation_depths(relations: &[usize], result: &RankJoinResult) -> Vec<(usize, u64)> {
+    relations
+        .iter()
+        .zip(result.stats.depths())
+        .map(|(rel, depth)| (*rel, *depth as u64))
+        .collect()
 }
 
 /// A concurrent query-serving engine over the ProxRJ operator.
@@ -648,6 +784,8 @@ pub struct Engine {
     /// The remote execution backend, when this engine coordinates a
     /// cluster; `None` executes everything locally.
     remote: RwLock<Option<Arc<dyn RemoteUnitBackend>>>,
+    /// The observability bundle: span recorder + metric handles.
+    obs: Arc<EngineObs>,
 }
 
 impl Engine {
@@ -759,6 +897,48 @@ impl Engine {
     /// Per-shard unit-cache counters.
     pub fn unit_cache_metrics(&self) -> CacheMetrics {
         self.unit_cache.metrics()
+    }
+
+    /// The observability bundle (span recorder + metrics registry).
+    pub fn obs(&self) -> &Arc<EngineObs> {
+        &self.obs
+    }
+
+    /// The engine's span recorder.
+    pub fn recorder(&self) -> &Arc<Recorder> {
+        self.obs.recorder()
+    }
+
+    /// A flat snapshot of every metric series this engine maintains.
+    pub fn metrics_samples(&self) -> Vec<Sample> {
+        self.obs.registry().snapshot()
+    }
+
+    /// The engine's metrics in Prometheus text exposition format.
+    pub fn metrics_render(&self) -> String {
+        prj_obs::render_prometheus(&self.metrics_samples())
+    }
+
+    /// Resolves the trace this query runs under and opens its root `query`
+    /// span: the spec's own trace context when the caller provided one
+    /// (cluster dispatch), a freshly generated trace otherwise — but only
+    /// while the recorder is live, so a disabled ring costs nothing.
+    fn begin_query(&self, spec: &QuerySpec) -> (Option<TraceId>, Option<SpanGuard>) {
+        let recorder = self.obs.recorder();
+        if !recorder.enabled() {
+            return (None, None);
+        }
+        let qt = spec.trace.unwrap_or_else(|| QueryTrace {
+            trace: TraceId::generate(),
+            parent: None,
+        });
+        let mut span = match qt.parent {
+            Some(parent) => recorder.child(qt.trace, parent, "query"),
+            None => recorder.span(qt.trace, "query"),
+        };
+        span.attr("k", spec.k);
+        span.attr("relations", spec.relations.len());
+        (Some(qt.trace), Some(span))
     }
 
     /// Snapshots the referenced relations and derives the cache key *from
@@ -1001,6 +1181,7 @@ impl Engine {
         spec: &QuerySpec,
         snapshot: &[Arc<CatalogRelation>],
         drive: usize,
+        trace: Option<(TraceId, SpanId)>,
     ) -> UnitExecContext {
         UnitExecContext {
             unit_cache: Arc::clone(&self.unit_cache),
@@ -1015,6 +1196,8 @@ impl Engine {
             selector: spec.selector.clone(),
             scoring_fingerprint: spec.scoring.cache_fingerprint(),
             generation: self.topology_generation(),
+            recorder: Arc::clone(self.obs.recorder()),
+            trace,
         }
     }
 
@@ -1032,14 +1215,21 @@ impl Engine {
                 return QueryTicket { receiver };
             }
         };
+        let (trace, mut root) = self.begin_query(&spec);
 
         if let Some(execution) = self.cache.get(&key) {
             let latency = started.elapsed();
-            self.stats.record(QueryRecord {
+            let record = QueryRecord {
                 latency,
                 from_cache: true,
                 ..QueryRecord::default()
-            });
+            };
+            self.obs.record_query(&record);
+            self.stats.record(record);
+            if let Some(mut root) = root {
+                root.attr("cache", "hit");
+                root.finish();
+            }
             let _ = sender.send(Ok(EngineResult {
                 execution,
                 from_cache: true,
@@ -1048,7 +1238,15 @@ impl Engine {
             return QueryTicket { receiver };
         }
 
-        match self.prepare_units(&spec, &snapshot) {
+        let prepared = {
+            let plan_span = trace
+                .zip(root.as_ref())
+                .map(|(trace, root)| self.obs.recorder().child(trace, root.id(), "plan"));
+            let prepared = self.prepare_units(&spec, &snapshot);
+            drop(plan_span);
+            prepared
+        };
+        match prepared {
             Err(e) => {
                 let _ = sender.send(Err(e));
             }
@@ -1057,18 +1255,27 @@ impl Engine {
                 let k = spec.k;
                 let cache = Arc::clone(&self.cache);
                 let stats = Arc::clone(&self.stats);
-                let ctx = self.unit_context(&spec, &snapshot, drive);
+                let obs = Arc::clone(&self.obs);
+                let unit_trace = trace.zip(root.as_ref().map(|r| r.id()));
+                let relations: Vec<usize> = spec.relations.iter().map(|r| r.index()).collect();
+                let ctx = self.unit_context(&spec, &snapshot, drive, unit_trace);
                 self.executor.spawn(move || {
                     // Re-check the cache at execution time: a duplicate query
                     // queued behind the first execution of this key should be
                     // served from its result, not re-run (thundering herd).
                     if let Some(execution) = cache.get(&key) {
                         let latency = started.elapsed();
-                        stats.record(QueryRecord {
+                        let record = QueryRecord {
                             latency,
                             from_cache: true,
                             ..QueryRecord::default()
-                        });
+                        };
+                        obs.record_query(&record);
+                        stats.record(record);
+                        if let Some(mut root) = root {
+                            root.attr("cache", "hit");
+                            root.finish();
+                        }
                         let _ = sender.send(Ok(EngineResult {
                             execution,
                             from_cache: true,
@@ -1079,7 +1286,7 @@ impl Engine {
                     let outcome = run_units(units, k, &ctx);
                     let response = outcome.map(|(result, unit_records)| {
                         let latency = started.elapsed();
-                        stats.record(QueryRecord {
+                        let record = QueryRecord {
                             latency,
                             // Count only the accesses *this* query freshly
                             // performed: unit-cache hits did none, and the
@@ -1089,7 +1296,16 @@ impl Engine {
                             bound_updates: result.metrics.bound_updates,
                             from_cache: false,
                             units: unit_records,
-                        });
+                            relation_depths: relation_depths(&relations, &result),
+                        };
+                        obs.record_query(&record);
+                        stats.record(record);
+                        if let Some(root) = root.as_mut() {
+                            root.attr("cache", "miss");
+                            root.attr("sum_depths", result.sum_depths());
+                        }
+                        drop(root.take());
+                        obs.slow_query(trace, latency);
                         let execution = Arc::new(CachedExecution { result, plan });
                         cache.insert(key, Arc::clone(&execution));
                         EngineResult {
@@ -1128,12 +1344,19 @@ impl Engine {
     pub fn stream(&self, spec: QuerySpec) -> Result<ResultStream, EngineError> {
         let started = Instant::now();
         let (snapshot, key) = self.snapshot_and_key(&spec)?;
+        let (trace, root) = self.begin_query(&spec);
         if let Some(execution) = self.cache.get(&key) {
-            self.stats.record(QueryRecord {
+            let record = QueryRecord {
                 latency: started.elapsed(),
                 from_cache: true,
                 ..QueryRecord::default()
-            });
+            };
+            self.obs.record_query(&record);
+            self.stats.record(record);
+            if let Some(mut root) = root {
+                root.attr("cache", "hit");
+                root.finish();
+            }
             let plan = execution.plan.clone();
             return Ok(ResultStream {
                 inner: StreamInner::Replay {
@@ -1146,9 +1369,17 @@ impl Engine {
             });
         }
 
-        let (drive, units) = self.prepare_units(&spec, &snapshot)?;
+        let (drive, units) = {
+            let plan_span = trace
+                .zip(root.as_ref())
+                .map(|(trace, root)| self.obs.recorder().child(trace, root.id(), "plan"));
+            let prepared = self.prepare_units(&spec, &snapshot);
+            drop(plan_span);
+            prepared?
+        };
         let plan = merged_plan(&units);
         let k = spec.k;
+        let relations: Vec<usize> = spec.relations.iter().map(|r| r.index()).collect();
 
         // Distributed streaming: when any unit routes to a remote worker,
         // the units are executed to completion (in parallel, with replica
@@ -1162,15 +1393,26 @@ impl Engine {
             .as_ref()
             .is_some_and(|b| units.iter().any(|u| b.routes(u.shard)));
         if any_remote {
-            let ctx = self.unit_context(&spec, &snapshot, drive);
+            let unit_trace = trace.zip(root.as_ref().map(|r| r.id()));
+            let ctx = self.unit_context(&spec, &snapshot, drive, unit_trace);
             let (result, unit_records) = run_units(units, k, &ctx)?;
-            self.stats.record(QueryRecord {
-                latency: started.elapsed(),
+            let latency = started.elapsed();
+            let record = QueryRecord {
+                latency,
                 sum_depths: unit_records.iter().map(|u| u.sum_depths).sum(),
                 bound_updates: result.metrics.bound_updates,
                 from_cache: false,
                 units: unit_records,
-            });
+                relation_depths: relation_depths(&relations, &result),
+            };
+            self.obs.record_query(&record);
+            self.stats.record(record);
+            if let Some(mut root) = root {
+                root.attr("cache", "miss");
+                root.attr("sum_depths", result.sum_depths());
+                root.finish();
+            }
+            self.obs.slow_query(trace, latency);
             let execution = Arc::new(CachedExecution {
                 result,
                 plan: plan.clone(),
@@ -1200,18 +1442,25 @@ impl Engine {
             runs.push((unit.shard, run));
         }
         let (sender, receiver) = sync_channel(STREAM_BUFFER);
-        let cache = Arc::clone(&self.cache);
-        let stats = Arc::clone(&self.stats);
-        let worker_plan = plan.clone();
+        let finish = StreamFinish {
+            cache: Arc::clone(&self.cache),
+            stats: Arc::clone(&self.stats),
+            obs: Arc::clone(&self.obs),
+            key,
+            plan: plan.clone(),
+            relations,
+            trace,
+            root,
+        };
         std::thread::Builder::new()
             .name("prj-engine-stream".to_string())
             .spawn(move || {
                 let panic_sender = sender.clone();
                 let worker = std::panic::AssertUnwindSafe(move || {
                     if runs.len() == 1 {
-                        Self::stream_single(runs, sender, cache, stats, key, worker_plan);
+                        Self::stream_single(runs, sender, finish);
                     } else {
-                        Self::stream_merged(runs, k, sender, cache, stats, key, worker_plan);
+                        Self::stream_merged(runs, k, sender, finish);
                     }
                     // Dropping the sender closes the stream.
                 });
@@ -1236,10 +1485,7 @@ impl Engine {
     fn stream_single(
         runs: Vec<(usize, StreamingRun<Arc<dyn ScoringSpec>>)>,
         sender: std::sync::mpsc::SyncSender<Result<ScoredCombination, EngineError>>,
-        cache: Arc<ResultCache>,
-        stats: Arc<EngineStats>,
-        key: CacheKey,
-        plan: Plan,
+        finish: StreamFinish,
     ) {
         let (shard, mut run) = runs.into_iter().next().expect("one run");
         while let Some(combo) = run.next_certified() {
@@ -1250,21 +1496,12 @@ impl Engine {
             }
         }
         let result = run.into_result();
-        stats.record(QueryRecord {
-            // The operator tracks its active stepping time, so the
-            // recorded latency measures engine work, not how slowly the
-            // consumer drained the stream.
-            latency: result.metrics.total_time,
+        let units = vec![UnitRecord {
+            shard,
             sum_depths: result.stats.sum_depths(),
-            bound_updates: result.metrics.bound_updates,
-            from_cache: false,
-            units: vec![UnitRecord {
-                shard,
-                sum_depths: result.stats.sum_depths(),
-                latency: result.metrics.total_time,
-            }],
-        });
-        cache.insert(key, Arc::new(CachedExecution { result, plan }));
+            latency: result.metrics.total_time,
+        }];
+        finish.complete(result, units);
     }
 
     /// The sharded streaming producer: per-unit incremental runs merged
@@ -1273,15 +1510,11 @@ impl Engine {
     /// result required. On completion the emitted top-K (exact by the
     /// partition argument; see [`prj_core::merge`]) is cached together with
     /// the aggregated access stats and a valid merged bound.
-    #[allow(clippy::too_many_arguments)]
     fn stream_merged(
         runs: Vec<(usize, StreamingRun<Arc<dyn ScoringSpec>>)>,
         k: usize,
         sender: std::sync::mpsc::SyncSender<Result<ScoredCombination, EngineError>>,
-        cache: Arc<ResultCache>,
-        stats: Arc<EngineStats>,
-        key: CacheKey,
-        plan: Plan,
+        finish: StreamFinish,
     ) {
         let shards: Vec<usize> = runs.iter().map(|(s, _)| *s).collect();
         let mut sources: Vec<StreamingRun<Arc<dyn ScoringSpec>>> =
@@ -1333,14 +1566,7 @@ impl Engine {
             stats: merged_stats,
             metrics,
         };
-        stats.record(QueryRecord {
-            latency: result.metrics.total_time,
-            sum_depths: result.stats.sum_depths(),
-            bound_updates: result.metrics.bound_updates,
-            from_cache: false,
-            units: unit_records,
-        });
-        cache.insert(key, Arc::new(CachedExecution { result, plan }));
+        finish.complete(result, unit_records);
     }
 
     /// Executes exactly one partitioned unit — shard `shard` of the

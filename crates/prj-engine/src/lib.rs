@@ -46,6 +46,10 @@
 //!   `prj-cluster`'s coordinator/worker handlers (the `prj-serve` binary
 //!   lives there and serves all three roles).
 //! * [`stats`] — engine-wide aggregation of the operator's metrics.
+//! * [`obs`] — observability: per-query span traces (recorded into a
+//!   lock-light ring, stitched across processes for distributed queries)
+//!   and the metric series behind the `prj/2` `metrics` verb and the
+//!   `--metrics-addr` Prometheus-style exposition.
 //!
 //! ## Example
 //!
@@ -91,6 +95,7 @@ pub mod cache;
 pub mod catalog;
 pub mod engine;
 pub mod executor;
+pub mod obs;
 pub mod planner;
 pub mod registry;
 pub mod server;
@@ -107,6 +112,7 @@ pub use engine::{
     RemoteUnitCall, ResultStream,
 };
 pub use executor::Executor;
+pub use obs::{EngineObs, QueryTrace};
 pub use planner::{Plan, Planner, PlannerConfig};
 pub use registry::{ScoringFactory, ScoringRegistry};
 pub use server::{RequestHandler, Server};

@@ -15,13 +15,15 @@
 
 use crate::catalog::{CatalogError, RelationId};
 use crate::engine::{Engine, EngineError, QuerySpec, ResultStream};
+use crate::obs::QueryTrace;
 use prj_access::AccessKind;
 use prj_api::{
-    ApiError, ErrorKind, QueryRequest, RelationRef, Request, Response, ResultRow, StatsReport,
-    TupleData,
+    ApiError, ErrorKind, MetricsReport, QueryRequest, RelationRef, Request, Response, ResultRow,
+    StatsReport, TupleData,
 };
 use prj_core::{Algorithm, EuclideanLogScore, PrjError, ScoredCombination, ScoringSpec};
 use prj_geometry::Vector;
+use prj_obs::{SpanId, TraceId};
 use std::sync::Arc;
 
 impl From<EngineError> for ApiError {
@@ -326,8 +328,15 @@ impl Session {
                         .iter()
                         .map(|l| l.total_latency.as_micros() as u64)
                         .collect(),
+                    // A plain session serves no remote units; the cluster
+                    // coordinator's handler fills these lanes in.
+                    worker_shard_depths: Vec::new(),
+                    worker_shard_micros: Vec::new(),
                 })
             }
+            Request::Metrics => Response::Metrics(MetricsReport {
+                samples: crate::obs::to_api_samples(&self.engine.metrics_samples()),
+            }),
         }))
     }
 
@@ -369,6 +378,15 @@ impl Session {
             selector,
             access_kind: query.access.unwrap_or(self.default_access),
             algorithm: query.algorithm.or(self.default_algorithm),
+            // A wire trace context joins the engine's recorder under the
+            // caller's trace id, stitching this session's spans into the
+            // upstream trace (the wire layer guarantees `trace != 0`).
+            trace: query.trace.and_then(|t| {
+                TraceId::from_u64(t.trace).map(|trace| QueryTrace {
+                    trace,
+                    parent: SpanId::from_u64(t.parent),
+                })
+            }),
         })
     }
 }

@@ -39,6 +39,12 @@ pub struct QueryRecord {
     /// The execution units that actually ran, one per covered shard (empty
     /// for cache hits).
     pub units: Vec<UnitRecord>,
+    /// Per-relation sorted-access depths of the executed result, as
+    /// `(relation index, depth)` pairs (empty for cache hits). Feeds the
+    /// `prj_relation_depth_total` metric series; unlike `sum_depths` it
+    /// counts the accesses the served result *embodies*, including those
+    /// replayed from the unit cache.
+    pub relation_depths: Vec<(usize, u64)>,
 }
 
 #[derive(Debug, Default)]

@@ -1,0 +1,222 @@
+//! Prometheus-style text exposition: sample rendering and the scrape
+//! listener behind `prj-serve --metrics-addr`.
+
+use crate::metrics::{Sample, SampleKind};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// The base metric a series belongs to for `# TYPE` purposes (histogram
+/// series fold back to their base name) and its exposition type.
+fn type_of(sample: &Sample) -> (String, &'static str) {
+    match sample.kind {
+        SampleKind::Counter => (sample.name.clone(), "counter"),
+        SampleKind::Gauge => (sample.name.clone(), "gauge"),
+        SampleKind::Histogram => {
+            let base = sample
+                .name
+                .strip_suffix("_bucket")
+                .or_else(|| sample.name.strip_suffix("_sum"))
+                .or_else(|| sample.name.strip_suffix("_count"))
+                .unwrap_or(&sample.name);
+            (base.to_string(), "histogram")
+        }
+    }
+}
+
+fn escape_label_value(value: &str) -> String {
+    value
+        .replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Renders samples in the Prometheus text exposition format (version
+/// 0.0.4): `# TYPE` comments followed by `name{labels} value` lines.
+pub fn render_prometheus(samples: &[Sample]) -> String {
+    let mut out = String::new();
+    let mut typed: Vec<String> = Vec::new();
+    for sample in samples {
+        let (base, ty) = type_of(sample);
+        if !typed.contains(&base) {
+            out.push_str(&format!("# TYPE {base} {ty}\n"));
+            typed.push(base);
+        }
+        out.push_str(&sample.name);
+        if !sample.labels.is_empty() {
+            out.push('{');
+            for (i, (k, v)) in sample.labels.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("{k}=\"{}\"", escape_label_value(v)));
+            }
+            out.push('}');
+        }
+        out.push_str(&format!(" {:?}\n", sample.value));
+    }
+    out
+}
+
+/// The render callback a [`MetricsServer`] serves — typically a closure
+/// over an engine's live registries.
+pub type RenderFn = Arc<dyn Fn() -> String + Send + Sync>;
+
+/// A minimal blocking HTTP listener answering every request with the
+/// current exposition text. One thread per scrape; scrapes are rare.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (port 0 = ephemeral) and serves `render`.
+    pub fn bind(addr: impl ToSocketAddrs, render: RenderFn) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_handle = std::thread::Builder::new()
+            .name("prj-metrics-accept".to_string())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if accept_shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let render = Arc::clone(&render);
+                    let _ = std::thread::Builder::new()
+                        .name("prj-metrics-conn".to_string())
+                        .spawn(move || serve_scrape(stream, &render));
+                }
+            })?;
+        Ok(MetricsServer {
+            addr,
+            shutdown,
+            accept_handle: Some(accept_handle),
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting scrapes and joins the accept loop.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop with a throwaway connection (same
+        // pattern as the protocol server).
+        let mut target = self.addr;
+        if target.ip().is_unspecified() {
+            target.set_ip(match target.ip() {
+                std::net::IpAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+                std::net::IpAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+            });
+        }
+        let unblocked =
+            TcpStream::connect_timeout(&target, std::time::Duration::from_secs(1)).is_ok();
+        if let Some(handle) = self.accept_handle.take() {
+            if unblocked {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn serve_scrape(stream: TcpStream, render: &RenderFn) {
+    let Ok(mut writer) = stream.try_clone() else {
+        return;
+    };
+    // Drain the request head (request line + headers) up to the blank
+    // line; the body of a GET is empty.
+    let mut reader = BufReader::new(stream);
+    loop {
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // the shutdown self-connect sends nothing
+            Ok(_) if line == "\r\n" || line == "\n" => break,
+            Ok(_) => continue,
+            Err(_) => return,
+        }
+    }
+    let body = render();
+    let response = format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    );
+    let _ = writer.write_all(response.as_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+
+    #[test]
+    fn rendering_emits_type_lines_once_and_quotes_labels() {
+        let registry = MetricsRegistry::new();
+        registry.counter("prj_queries_total", &[]).add(3);
+        registry
+            .counter("prj_queries_total", &[("instance", "worker0")])
+            .inc();
+        registry.gauge("prj_cache_entries", &[]).set(2.0);
+        registry
+            .histogram("prj_query_latency_seconds", &[])
+            .record_micros(100);
+        let text = render_prometheus(&registry.snapshot());
+        assert_eq!(
+            text.matches("# TYPE prj_queries_total counter").count(),
+            1,
+            "one TYPE line per metric:\n{text}"
+        );
+        assert_eq!(
+            text.matches("# TYPE prj_query_latency_seconds histogram")
+                .count(),
+            1
+        );
+        assert!(text.contains("prj_queries_total 3.0"));
+        assert!(text.contains("prj_queries_total{instance=\"worker0\"} 1.0"));
+        assert!(text.contains("prj_cache_entries 2.0"));
+        assert!(text.contains("prj_query_latency_seconds_bucket{le=\"+Inf\"} 1.0"));
+        assert!(text.contains("prj_query_latency_seconds_count 1.0"));
+        // Every non-comment line is `name[{labels}] value` with a float value.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (_, value) = line.rsplit_once(' ').expect("name value");
+            value.parse::<f64>().expect("float value");
+        }
+    }
+
+    #[test]
+    fn metrics_server_answers_http_scrapes() {
+        let render: RenderFn = Arc::new(|| "prj_up 1.0\n".to_string());
+        let server = MetricsServer::bind("127.0.0.1:0", render).expect("bind");
+        let addr = server.local_addr();
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(b"GET /metrics HTTP/1.0\r\nHost: test\r\n\r\n")
+            .expect("request");
+        let mut response = String::new();
+        use std::io::Read;
+        stream.read_to_string(&mut response).expect("read");
+        assert!(response.starts_with("HTTP/1.1 200 OK"));
+        assert!(response.contains("text/plain"));
+        assert!(response.ends_with("prj_up 1.0\n"));
+        server.shutdown();
+    }
+}

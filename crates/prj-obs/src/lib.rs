@@ -1,0 +1,38 @@
+//! # prj-obs — observability substrate for the ProxRJ engine
+//!
+//! Dependency-free (std only, same offline discipline as `crates/shims/`)
+//! building blocks the serving layers instrument themselves with:
+//!
+//! * [`trace`] — structured spans: a [`TraceId`] shared by every span of
+//!   one query (across processes), [`Span`]s with monotonic timing and
+//!   parent/child linkage, recorded into a lock-light ring buffer
+//!   ([`Recorder`]) with a pluggable sink ([`SpanSink`], e.g. the
+//!   line-format [`LineSink`] for server logs). Worker-side spans shipped
+//!   over the wire are re-parented into the coordinator's recorder by
+//!   [`Recorder::import`], producing one stitched trace per distributed
+//!   query.
+//! * [`metrics`] — a [`MetricsRegistry`] of atomic [`Counter`]s,
+//!   [`Gauge`]s, and fixed-bucket log-scale [`Histogram`]s (p50/p90/p99
+//!   extraction), snapshotted into flat [`Sample`]s.
+//! * [`expose`] — Prometheus-style text rendering of samples
+//!   ([`render_prometheus`]) and a minimal HTTP listener serving it
+//!   ([`MetricsServer`], the `--metrics-addr` endpoint of `prj-serve`).
+//!
+//! Design constraint: nothing here may put a mutex on a query hot path.
+//! Metric updates are single atomic RMWs; span begin is an atomic id
+//! allocation plus an `Instant` read; span finish takes one uncontended
+//! per-slot lock on the ring (never shared with other slots except under
+//! wrap-around races).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod expose;
+pub mod metrics;
+pub mod trace;
+
+pub use expose::{render_prometheus, MetricsServer, RenderFn};
+pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry, Sample, SampleKind};
+pub use trace::{
+    now_micros, LineSink, Recorder, RemoteSpan, Span, SpanGuard, SpanId, SpanSink, TraceId,
+};

@@ -1,0 +1,429 @@
+//! The metrics registry: atomic counters, gauges, and log-scale histograms.
+//!
+//! Registration (name + label set → handle) takes a registry mutex, but
+//! handles are `Arc`-shared atomics — the instrumented hot paths
+//! pre-register at build time and then update with single atomic RMWs.
+//! [`MetricsRegistry::snapshot`] flattens everything into [`Sample`]s,
+//! with histograms expanded into Prometheus-convention `_bucket`/`_sum`/
+//! `_count` series (each a plain monotonic counter, so cluster-wide
+//! aggregation across workers is sample-level arithmetic, no special
+//! cases).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Histogram bucket upper bounds: `2^i` µs for `i ∈ 0..=25` (1 µs … ~33 s),
+/// plus a final +Inf bucket.
+pub const HISTOGRAM_BUCKETS: usize = 27;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A settable point-in-time value.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, value: f64) {
+        self.bits.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// A fixed-bucket log₂-scale latency histogram over microseconds.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    sum_micros: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: (0..HISTOGRAM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            sum_micros: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The upper bound (µs) of bucket `i`; `None` for the +Inf bucket.
+pub fn bucket_bound_micros(i: usize) -> Option<u64> {
+    (i + 1 < HISTOGRAM_BUCKETS).then(|| 1u64 << i)
+}
+
+fn bucket_index(micros: u64) -> usize {
+    if micros <= 1 {
+        return 0;
+    }
+    let bits = 64 - (micros - 1).leading_zeros() as usize; // ceil(log2)
+    bits.min(HISTOGRAM_BUCKETS - 1)
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn record_micros(&self, micros: u64) {
+        self.buckets[bucket_index(micros)].fetch_add(1, Ordering::Relaxed);
+        self.sum_micros.fetch_add(micros, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one observation from a [`Duration`].
+    pub fn record(&self, elapsed: Duration) {
+        self.record_micros(elapsed.as_micros() as u64);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations, µs.
+    pub fn sum_micros(&self) -> u64 {
+        self.sum_micros.load(Ordering::Relaxed)
+    }
+
+    /// The `p`-quantile (`0 < p ≤ 1`) as the upper bound of the bucket the
+    /// quantile observation falls in, µs — an over-estimate by at most 2×
+    /// (the bucket width). Returns 0 with no observations.
+    pub fn quantile_micros(&self, p: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((count as f64) * p).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                return bucket_bound_micros(i).unwrap_or(u64::MAX);
+            }
+        }
+        u64::MAX
+    }
+
+    fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+/// What a flattened series is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SampleKind {
+    /// Monotonic counter.
+    Counter,
+    /// Point-in-time value.
+    Gauge,
+    /// A series expanded from a histogram (`_bucket`/`_sum`/`_count`) —
+    /// counter-valued, but rendered under a `histogram` TYPE.
+    Histogram,
+}
+
+impl SampleKind {
+    /// The single-character wire token (`c`/`g`/`h`).
+    pub fn code(&self) -> char {
+        match self {
+            SampleKind::Counter => 'c',
+            SampleKind::Gauge => 'g',
+            SampleKind::Histogram => 'h',
+        }
+    }
+
+    /// Parses a wire token.
+    pub fn from_code(code: char) -> Option<SampleKind> {
+        Some(match code {
+            'c' => SampleKind::Counter,
+            'g' => SampleKind::Gauge,
+            'h' => SampleKind::Histogram,
+            _ => return None,
+        })
+    }
+}
+
+/// One flattened metric series: a fully-expanded name + label set and its
+/// current value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Series name (histograms appear as `<base>_bucket`, `<base>_sum`,
+    /// `<base>_count`).
+    pub name: String,
+    /// Label pairs, sorted by key (plus `le` for bucket series).
+    pub labels: Vec<(String, String)>,
+    /// Series kind.
+    pub kind: SampleKind,
+    /// Current value.
+    pub value: f64,
+}
+
+impl Sample {
+    /// A counter-kind sample.
+    pub fn counter(name: &str, labels: &[(&str, &str)], value: f64) -> Sample {
+        Sample::new(name, labels, SampleKind::Counter, value)
+    }
+
+    /// A gauge-kind sample.
+    pub fn gauge(name: &str, labels: &[(&str, &str)], value: f64) -> Sample {
+        Sample::new(name, labels, SampleKind::Gauge, value)
+    }
+
+    fn new(name: &str, labels: &[(&str, &str)], kind: SampleKind, value: f64) -> Sample {
+        Sample {
+            name: name.to_string(),
+            labels: labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            kind,
+            value,
+        }
+    }
+
+    /// Returns the sample with `(key, value)` prepended to its labels —
+    /// how a coordinator tags worker samples with `instance`.
+    pub fn with_label(mut self, key: &str, value: &str) -> Sample {
+        self.labels.insert(0, (key.to_string(), value.to_string()));
+        self
+    }
+}
+
+type SeriesKey = (String, Vec<(String, String)>);
+
+fn series_key(name: &str, labels: &[(&str, &str)]) -> SeriesKey {
+    let mut labels: Vec<(String, String)> = labels
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    labels.sort();
+    (name.to_string(), labels)
+}
+
+/// The registry: named, labelled metric handles, snapshot-flattened into
+/// [`Sample`]s.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<SeriesKey, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<SeriesKey, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<SeriesKey, Arc<Histogram>>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// The counter `name{labels}`, created on first use.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        Arc::clone(
+            self.counters
+                .lock()
+                .expect("registry lock")
+                .entry(series_key(name, labels))
+                .or_default(),
+        )
+    }
+
+    /// The gauge `name{labels}`, created on first use.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        Arc::clone(
+            self.gauges
+                .lock()
+                .expect("registry lock")
+                .entry(series_key(name, labels))
+                .or_default(),
+        )
+    }
+
+    /// The histogram `name{labels}`, created on first use.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        Arc::clone(
+            self.histograms
+                .lock()
+                .expect("registry lock")
+                .entry(series_key(name, labels))
+                .or_default(),
+        )
+    }
+
+    /// Flattens every registered metric into samples. Histograms expand to
+    /// cumulative `_bucket{le=…}` series plus `_sum` (in **seconds**, the
+    /// Prometheus convention for latency) and `_count`.
+    pub fn snapshot(&self) -> Vec<Sample> {
+        let mut samples = Vec::new();
+        for ((name, labels), counter) in self.counters.lock().expect("registry lock").iter() {
+            samples.push(Sample {
+                name: name.clone(),
+                labels: labels.clone(),
+                kind: SampleKind::Counter,
+                value: counter.get() as f64,
+            });
+        }
+        for ((name, labels), gauge) in self.gauges.lock().expect("registry lock").iter() {
+            samples.push(Sample {
+                name: name.clone(),
+                labels: labels.clone(),
+                kind: SampleKind::Gauge,
+                value: gauge.get(),
+            });
+        }
+        for ((name, labels), histogram) in self.histograms.lock().expect("registry lock").iter() {
+            let counts = histogram.bucket_counts();
+            let mut cumulative = 0u64;
+            for (i, count) in counts.iter().enumerate() {
+                cumulative += count;
+                let le = match bucket_bound_micros(i) {
+                    Some(us) => format_f64(us as f64 / 1e6),
+                    None => "+Inf".to_string(),
+                };
+                let mut bucket_labels = labels.clone();
+                bucket_labels.push(("le".to_string(), le));
+                samples.push(Sample {
+                    name: format!("{name}_bucket"),
+                    labels: bucket_labels,
+                    kind: SampleKind::Histogram,
+                    value: cumulative as f64,
+                });
+            }
+            samples.push(Sample {
+                name: format!("{name}_sum"),
+                labels: labels.clone(),
+                kind: SampleKind::Histogram,
+                value: histogram.sum_micros() as f64 / 1e6,
+            });
+            samples.push(Sample {
+                name: format!("{name}_count"),
+                labels: labels.clone(),
+                kind: SampleKind::Histogram,
+                value: histogram.count() as f64,
+            });
+        }
+        samples
+    }
+}
+
+/// Shortest-round-trip float formatting without a trailing `.0` ambiguity
+/// problem (`{:?}` renders `1.0` as `1.0`, which Prometheus accepts).
+fn format_f64(value: f64) -> String {
+    format!("{value:?}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_share_handles_by_identity() {
+        let registry = MetricsRegistry::new();
+        let a = registry.counter("prj_queries_total", &[]);
+        let b = registry.counter("prj_queries_total", &[]);
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3, "same series, same handle");
+        let labelled = registry.counter("prj_queries_total", &[("shard", "1")]);
+        labelled.inc();
+        assert_eq!(labelled.get(), 1, "labels split series");
+        let gauge = registry.gauge("prj_cache_entries", &[]);
+        gauge.set(7.5);
+        assert_eq!(registry.gauge("prj_cache_entries", &[]).get(), 7.5);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2_and_quantiles_are_bucket_bounds() {
+        let h = Histogram::default();
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(5), 3);
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        // 90 observations at ~100 µs, 10 at ~10 ms.
+        for _ in 0..90 {
+            h.record_micros(100);
+        }
+        for _ in 0..10 {
+            h.record_micros(10_000);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.sum_micros(), 90 * 100 + 10 * 10_000);
+        // 100 µs falls in the (64, 128] bucket; 10 ms in (8192, 16384].
+        assert_eq!(h.quantile_micros(0.50), 128);
+        assert_eq!(h.quantile_micros(0.90), 128);
+        assert_eq!(h.quantile_micros(0.99), 16_384);
+        assert_eq!(Histogram::default().quantile_micros(0.5), 0);
+    }
+
+    #[test]
+    fn snapshot_expands_histograms_into_cumulative_buckets() {
+        let registry = MetricsRegistry::new();
+        let h = registry.histogram("prj_query_latency_seconds", &[]);
+        h.record_micros(3); // bucket le=4µs
+        h.record_micros(100);
+        let samples = registry.snapshot();
+        let buckets: Vec<&Sample> = samples
+            .iter()
+            .filter(|s| s.name == "prj_query_latency_seconds_bucket")
+            .collect();
+        assert_eq!(buckets.len(), HISTOGRAM_BUCKETS);
+        // Cumulative counts are monotone and end at the total.
+        let values: Vec<f64> = buckets.iter().map(|s| s.value).collect();
+        assert!(values.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(*values.last().unwrap(), 2.0);
+        let inf = buckets.last().unwrap();
+        assert_eq!(inf.labels.last().unwrap().1, "+Inf");
+        let count = samples
+            .iter()
+            .find(|s| s.name == "prj_query_latency_seconds_count")
+            .unwrap();
+        assert_eq!(count.value, 2.0);
+        let sum = samples
+            .iter()
+            .find(|s| s.name == "prj_query_latency_seconds_sum")
+            .unwrap();
+        assert!((sum.value - 103e-6).abs() < 1e-12, "sum is in seconds");
+    }
+
+    #[test]
+    fn with_label_prepends_instance_tags() {
+        let sample = Sample::counter("prj_queries_total", &[("shard", "0")], 4.0)
+            .with_label("instance", "worker1");
+        assert_eq!(
+            sample.labels[0],
+            ("instance".to_string(), "worker1".to_string())
+        );
+        assert_eq!(sample.labels.len(), 2);
+    }
+}
