@@ -24,10 +24,12 @@
 //! at `prj/1`, which every server accepts.
 
 use crate::error::{ApiError, ErrorKind};
+use crate::events::Notification;
 use crate::request::{QueryRequest, Request, UnitRequest};
 use crate::response::{MetricsReport, Response, ResultRow, StatsReport, UnitOutcome};
 use crate::wire;
 use crate::{MIN_PROTOCOL_VERSION, PROTOCOL_VERSION};
+use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
@@ -77,6 +79,12 @@ impl ClientConfig {
 }
 
 /// A blocking client over one TCP connection.
+///
+/// A subscribed connection multiplexes pushed [`Response::Notify`] lines
+/// between request answers; the client demultiplexes transparently —
+/// notifications read while waiting for a call's answer are buffered and
+/// later drained through [`ApiClient::next_notification`] /
+/// [`ApiClient::wait_notification`] in arrival order.
 #[derive(Debug)]
 pub struct ApiClient {
     reader: BufReader<TcpStream>,
@@ -85,6 +93,13 @@ pub struct ApiClient {
     /// [`ApiClient::negotiate`] runs, in which case each request is sent at
     /// the lowest version able to carry it.
     version: Option<u32>,
+    /// Pushed notifications read while waiting for a different answer,
+    /// in arrival order.
+    pending: VecDeque<Notification>,
+    /// A partially read line preserved across a read timeout, so an
+    /// interrupted [`ApiClient::wait_notification`] never desynchronizes
+    /// the line stream.
+    partial: String,
 }
 
 impl ApiClient {
@@ -129,6 +144,8 @@ impl ApiClient {
                             reader,
                             writer: stream,
                             version: None,
+                            pending: VecDeque::new(),
+                            partial: String::new(),
                         });
                     }
                     Err(e) => last_err = Some(e),
@@ -194,16 +211,45 @@ impl ApiClient {
         self.send_at(request, version)
     }
 
-    fn read_response(&mut self) -> Result<Response, ApiError> {
-        let mut line = String::new();
-        let n = self.reader.read_line(&mut line).map_err(ApiError::io)?;
-        if n == 0 {
-            return Err(ApiError::new(
+    /// Reads one complete wire line. On a read timeout the consumed prefix
+    /// is stashed in `self.partial` (resumed by the next read) and `None`
+    /// is returned; every other failure is an error.
+    fn try_read_line(&mut self) -> Result<Option<String>, ApiError> {
+        let mut line = std::mem::take(&mut self.partial);
+        match self.reader.read_line(&mut line) {
+            Ok(_) if line.ends_with('\n') => Ok(Some(line)),
+            Ok(_) => Err(ApiError::new(
                 ErrorKind::Io,
                 "connection closed by the server",
-            ));
+            )),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                self.partial = line;
+                Ok(None)
+            }
+            Err(e) => Err(ApiError::io(e)),
         }
-        wire::decode_response(&line)
+    }
+
+    fn read_response(&mut self) -> Result<Response, ApiError> {
+        loop {
+            let Some(line) = self.try_read_line()? else {
+                return Err(ApiError::new(
+                    ErrorKind::Io,
+                    "read timed out waiting for a response",
+                ));
+            };
+            match wire::decode_response(&line)? {
+                // Pushed notifications interleave with answers on a
+                // subscribed connection; buffer them for the drain calls.
+                Response::Notify(n) => self.pending.push_back(n),
+                other => return Ok(other),
+            }
+        }
     }
 
     /// Sends one request and reads one response. Server-side failures are
@@ -275,6 +321,85 @@ impl ApiClient {
             Response::Unit(outcome) => Ok(outcome),
             other => Err(unexpected(&other)),
         }
+    }
+
+    /// Registers a standing query (`prj/2`; negotiate first). Returns the
+    /// subscription id, the initial certified top-K, and the pinned
+    /// algorithm id. Change notifications then arrive on this connection —
+    /// drain them with [`ApiClient::next_notification`] or
+    /// [`ApiClient::wait_notification`].
+    pub fn subscribe(
+        &mut self,
+        query: QueryRequest,
+    ) -> Result<(u64, Vec<ResultRow>, String), ApiError> {
+        match self.call(&Request::Subscribe(query))? {
+            Response::Subscribed {
+                id,
+                algorithm,
+                rows,
+            } => Ok((id, rows, algorithm)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Cancels a standing query (`prj/2`). Notifications for the id that
+    /// were already in flight may still surface from the pending buffer.
+    pub fn unsubscribe(&mut self, id: u64) -> Result<(), ApiError> {
+        match self.call(&Request::Unsubscribe { id })? {
+            Response::Unsubscribed { id: acked } if acked == id => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// The next pushed notification, in arrival order: a buffered one if
+    /// any, else blocks reading the connection (subject to the configured
+    /// read timeout).
+    pub fn next_notification(&mut self) -> Result<Notification, ApiError> {
+        if let Some(n) = self.pending.pop_front() {
+            return Ok(n);
+        }
+        let Some(line) = self.try_read_line()? else {
+            return Err(ApiError::new(
+                ErrorKind::Io,
+                "read timed out waiting for a notification",
+            ));
+        };
+        match wire::decode_response(&line)?.into_result()? {
+            Response::Notify(n) => Ok(n),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Waits up to `timeout` for the next pushed notification; `Ok(None)`
+    /// on timeout. The connection's configured read timeout is restored
+    /// afterwards, and a line interrupted mid-read stays buffered, so
+    /// polling never corrupts the stream.
+    pub fn wait_notification(
+        &mut self,
+        timeout: Duration,
+    ) -> Result<Option<Notification>, ApiError> {
+        if let Some(n) = self.pending.pop_front() {
+            return Ok(Some(n));
+        }
+        let prior = self.reader.get_ref().read_timeout().map_err(ApiError::io)?;
+        self.reader
+            .get_ref()
+            .set_read_timeout(Some(timeout))
+            .map_err(ApiError::io)?;
+        let outcome = match self.try_read_line() {
+            Ok(Some(line)) => match wire::decode_response(&line).and_then(Response::into_result) {
+                Ok(Response::Notify(n)) => Ok(Some(n)),
+                Ok(other) => Err(unexpected(&other)),
+                Err(e) => Err(e),
+            },
+            Ok(None) => Ok(None),
+            Err(e) => Err(e),
+        };
+        self.reader
+            .get_ref()
+            .set_read_timeout(prior)
+            .map_err(ApiError::io)?;
+        outcome
     }
 }
 

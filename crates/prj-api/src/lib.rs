@@ -23,11 +23,19 @@
 //! | [`Request::ShardAssignment`] | cluster-internal: install a worker's shard set (`prj/2`) |
 //! | [`Request::WorkerStats`] | cluster-internal: worker work counters (`prj/2`) |
 //! | [`Request::Metrics`] | metrics snapshot: counters/gauges/histograms (`prj/2`) |
+//! | [`Request::Subscribe`] | register a standing top-k query, pushed change events (`prj/2`) |
+//! | [`Request::Unsubscribe`] | cancel a standing query (`prj/2`) |
 //!
 //! `prj/2` peers may also attach a [`TraceContext`] to queries and
 //! execution units, so spans recorded on both sides of a distributed
 //! query stitch into one trace; workers ship their finished spans back
 //! inside [`UnitOutcome`].
+//!
+//! Standing queries are the one *push* path: after a
+//! [`Response::Subscribed`] ack the server interleaves
+//! [`Response::Notify`] lines — each a [`Notification`] of ordered
+//! [`ChangeEvent`]s diffing the previous certified top-K against the new
+//! one (see [`events`]) — with ordinary responses on the same connection.
 //!
 //! Queries reference relations by id or by name ([`RelationRef`]) and pick
 //! their scoring function by registry name plus parameters
@@ -62,12 +70,14 @@
 
 pub mod client;
 pub mod error;
+pub mod events;
 pub mod request;
 pub mod response;
 pub mod wire;
 
 pub use client::{ApiClient, ClientConfig};
 pub use error::{ApiError, ErrorKind};
+pub use events::{apply_events, diff_top_k, ChangeEvent, Notification};
 pub use request::{
     QueryRequest, RelationRef, Request, ScoringSelector, TraceContext, TupleData, UnitRequest,
 };

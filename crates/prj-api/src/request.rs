@@ -266,4 +266,19 @@ pub enum Request {
     /// histogram series — the same data the `--metrics-addr` exposition
     /// endpoint renders as Prometheus text.
     Metrics,
+    /// Registers a standing query (`prj/2`): the server runs the query once,
+    /// answers [`crate::Response::Subscribed`] with a subscription id plus
+    /// the initial certified top-K, and thereafter pushes
+    /// [`crate::Response::Notify`] change events on the same connection
+    /// whenever a catalog mutation changes the subscription's certified
+    /// answer. The planned algorithm is pinned at subscribe time so
+    /// re-evaluations hit the per-shard unit cache.
+    Subscribe(QueryRequest),
+    /// Cancels a standing query (`prj/2`). Acknowledged with
+    /// [`crate::Response::Unsubscribed`]; no notification bearing the id is
+    /// emitted after the ack is sent.
+    Unsubscribe {
+        /// The subscription id returned by [`crate::Response::Subscribed`].
+        id: u64,
+    },
 }

@@ -1,6 +1,7 @@
 //! The response model: everything the engine can answer.
 
 use crate::error::ApiError;
+use crate::events::Notification;
 
 /// One result combination: its aggregate score and the member tuples as
 /// `(relation index, tuple index)` pairs, in join order.
@@ -265,6 +266,30 @@ pub enum Response {
     },
     /// Answer to [`crate::Request::Metrics`] (`prj/2`).
     Metrics(MetricsReport),
+    /// Answer to [`crate::Request::Subscribe`] (`prj/2`): the standing
+    /// query is registered and its initial certified top-K follows.
+    Subscribed {
+        /// The subscription id, unique within the serving process;
+        /// every subsequent [`Response::Notify`] for this standing query
+        /// carries it.
+        id: u64,
+        /// Short id of the pinned operator instantiation re-evaluations
+        /// will replay, e.g. `TBPA`.
+        algorithm: String,
+        /// The initial certified top-K, best first — the baseline the
+        /// first notification's events apply to.
+        rows: Vec<ResultRow>,
+    },
+    /// Answer to [`crate::Request::Unsubscribe`] (`prj/2`).
+    Unsubscribed {
+        /// The cancelled subscription id.
+        id: u64,
+    },
+    /// A pushed change notification for a standing query (`prj/2`). Not
+    /// the answer to any request: servers interleave notifications with
+    /// responses on a subscribed connection, and clients demultiplex by
+    /// form ([`crate::client::ApiClient`] buffers them automatically).
+    Notify(Notification),
     /// The request failed.
     Error(ApiError),
 }

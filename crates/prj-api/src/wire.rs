@@ -9,7 +9,8 @@
 //! request  := "prj/" ver SP verb (SP key "=" value)*
 //! verb     := "register" | "append" | "drop" | "topk" | "stream" | "stats"
 //!           | "hello"
-//!           | "unit" | "assign" | "wstats" | "metrics"      (prj/2 only)
+//!           | "unit" | "assign" | "wstats" | "metrics"
+//!           | "subscribe" | "unsubscribe"                   (prj/2 only)
 //! tuples   := tuple (";" tuple)*          tuple  := f64 ("," f64)* ":" f64
 //! rels     := ref ("," ref)*              ref    := "#" usize | ident
 //! scoring  := ident [":" f64 ("," f64)*]
@@ -27,6 +28,11 @@
 //! samples  := sample (";" sample)*
 //! sample   := ident ["{" ident "=" lval ("," ident "=" lval)* "}"]
 //!             ":" ("c"|"g"|"h") ":" f64
+//! events   := event (";" event)*
+//! event    := "e:" usize ":" row          (enter at rank, full row)
+//!           | "x:" usize                  (exit, old rank)
+//!           | "m:" usize ":" usize        (rank change, from:to)
+//!           | "s:" usize ":" f64          (score change at rank)
 //! ```
 //!
 //! A `trace=` field (`prj/2` only) may ride on `topk`, `stream`, and
@@ -52,6 +58,7 @@
 //! old peers never read a code outside their vocabulary.
 
 use crate::error::{ApiError, ErrorKind};
+use crate::events::{ChangeEvent, Notification};
 use crate::request::{
     QueryRequest, RelationRef, Request, ScoringSelector, TraceContext, TupleData, UnitRequest,
 };
@@ -99,7 +106,9 @@ pub fn request_version(request: &Request) -> u32 {
         | Request::ExecuteUnit(_)
         | Request::ShardAssignment { .. }
         | Request::WorkerStats
-        | Request::Metrics => PROTOCOL_VERSION,
+        | Request::Metrics
+        | Request::Subscribe(_)
+        | Request::Unsubscribe { .. } => PROTOCOL_VERSION,
     }
 }
 
@@ -122,7 +131,10 @@ pub fn response_version(response: &Response) -> u32 {
         Response::Unit(_)
         | Response::AssignmentAck { .. }
         | Response::WorkerReport { .. }
-        | Response::Metrics(_) => PROTOCOL_VERSION,
+        | Response::Metrics(_)
+        | Response::Subscribed { .. }
+        | Response::Unsubscribed { .. }
+        | Response::Notify(_) => PROTOCOL_VERSION,
     }
 }
 
@@ -797,6 +809,13 @@ pub fn encode_request_at(request: &Request, version: u32) -> Result<String, ApiE
         }
         Request::WorkerStats => out.push_str(" wstats"),
         Request::Metrics => out.push_str(" metrics"),
+        Request::Subscribe(q) => {
+            out.push_str(" subscribe");
+            encode_query(&mut out, q)?;
+        }
+        Request::Unsubscribe { id } => {
+            let _ = write!(out, " unsubscribe id={id}");
+        }
     }
     Ok(out)
 }
@@ -827,7 +846,12 @@ pub fn decode_request_versioned(line: &str) -> Result<(u32, Request), ApiError> 
     // prj/2-only verbs on a prj/1 line are a *typed* version error (the
     // peer may understand the answer and upgrade), never a dropped
     // connection.
-    if version < 2 && matches!(verb, "unit" | "assign" | "wstats" | "metrics") {
+    if version < 2
+        && matches!(
+            verb,
+            "unit" | "assign" | "wstats" | "metrics" | "subscribe" | "unsubscribe"
+        )
+    {
         return Err(ApiError::new(
             ErrorKind::Version,
             format!("the {verb:?} verb requires prj/2"),
@@ -919,6 +943,10 @@ fn decode_request_body(verb: &str, fields: &[(&str, &str)]) -> Result<Request, A
         }),
         "wstats" => Ok(Request::WorkerStats),
         "metrics" => Ok(Request::Metrics),
+        "subscribe" => Ok(Request::Subscribe(parse_query(fields, verb)?)),
+        "unsubscribe" => Ok(Request::Unsubscribe {
+            id: parse_u64(require(fields, "id", verb)?)?,
+        }),
         "" => Err(ApiError::malformed("empty request line")),
         other => Err(ApiError::malformed(format!("unknown verb {other:?}"))),
     }
@@ -962,6 +990,74 @@ fn parse_rows(s: &str) -> Result<Vec<ResultRow>, ApiError> {
         return Ok(Vec::new());
     }
     s.split(';').map(parse_row).collect()
+}
+
+fn encode_events(out: &mut String, events: &[ChangeEvent]) {
+    for (i, event) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(';');
+        }
+        match event {
+            ChangeEvent::Enter { rank, row } => {
+                let _ = write!(out, "e:{rank}:");
+                encode_row(out, row);
+            }
+            ChangeEvent::Exit { rank } => {
+                let _ = write!(out, "x:{rank}");
+            }
+            ChangeEvent::RankChange { from, to } => {
+                let _ = write!(out, "m:{from}:{to}");
+            }
+            ChangeEvent::ScoreChange { rank, score } => {
+                let _ = write!(out, "s:{rank}:{score:?}");
+            }
+        }
+    }
+}
+
+fn parse_event(s: &str) -> Result<ChangeEvent, ApiError> {
+    let mut parts = s.splitn(3, ':');
+    let tag = parts.next().unwrap_or("");
+    fn arg<'a>(p: Option<&'a str>, s: &str) -> Result<&'a str, ApiError> {
+        p.ok_or_else(|| ApiError::malformed(format!("event {s:?} is missing a field")))
+    }
+    let event = match tag {
+        "e" => ChangeEvent::Enter {
+            rank: parse_usize(arg(parts.next(), s)?)?,
+            row: parse_row(arg(parts.next(), s)?)?,
+        },
+        "x" => ChangeEvent::Exit {
+            rank: parse_usize(arg(parts.next(), s)?)?,
+        },
+        "m" => ChangeEvent::RankChange {
+            from: parse_usize(arg(parts.next(), s)?)?,
+            to: parse_usize(arg(parts.next(), s)?)?,
+        },
+        "s" => ChangeEvent::ScoreChange {
+            rank: parse_usize(arg(parts.next(), s)?)?,
+            score: parse_f64(arg(parts.next(), s)?)?,
+        },
+        other => {
+            return Err(ApiError::malformed(format!(
+                "unknown event tag {other:?} in {s:?}"
+            )))
+        }
+    };
+    // The x/m tags consume fewer than 3 segments; reject trailing garbage
+    // (`x` splits at most once more, so a leftover means a malformed line).
+    if !matches!(event, ChangeEvent::Enter { .. }) && parts.next().is_some() {
+        return Err(ApiError::malformed(format!(
+            "event {s:?} has trailing fields"
+        )));
+    }
+    Ok(event)
+}
+
+fn parse_events(s: &str) -> Result<Vec<ChangeEvent>, ApiError> {
+    if s.is_empty() {
+        return Ok(Vec::new());
+    }
+    s.split(';').map(parse_event).collect()
 }
 
 /// Encodes a response as one wire line (no trailing newline), at the
@@ -1144,6 +1240,41 @@ pub fn encode_response_at(response: &Response, version: u32) -> String {
                 return encode_response_at(&Response::Error(e), version);
             }
         }
+        Response::Subscribed {
+            id,
+            algorithm,
+            rows,
+        } => {
+            let _ = write!(out, " ok subscribed id={id} algo={algorithm} rows=");
+            for (i, row) in rows.iter().enumerate() {
+                if i > 0 {
+                    out.push(';');
+                }
+                encode_row(&mut out, row);
+            }
+        }
+        Response::Unsubscribed { id } => {
+            let _ = write!(out, " ok unsubscribed id={id}");
+        }
+        Response::Notify(n) => {
+            let _ = write!(out, " ok notify id={} seq={} n={}", n.id, n.seq, n.total);
+            // Empty event lists omit the field (terminal error notify).
+            if !n.events.is_empty() {
+                out.push_str(" events=");
+                encode_events(&mut out, &n.events);
+            }
+            if let Some(fin) = &n.fin {
+                if !is_wire_safe_name(fin) {
+                    return encode_response_at(
+                        &Response::Error(ApiError::malformed(format!(
+                            "notify fin token {fin:?} is not wire-safe"
+                        ))),
+                        version,
+                    );
+                }
+                let _ = write!(out, " fin={fin}");
+            }
+        }
         Response::Error(e) => {
             // The message runs to the end of the line, so strip newlines.
             let msg = e.message.replace(['\r', '\n'], " ");
@@ -1178,7 +1309,12 @@ pub fn decode_response(line: &str) -> Result<Response, ApiError> {
         .split_once(' ')
         .map(|(f, r)| (f, r.trim_start()))
         .unwrap_or((ok, ""));
-    if version < 2 && matches!(form, "unit" | "assigned" | "worker" | "metrics") {
+    if version < 2
+        && matches!(
+            form,
+            "unit" | "assigned" | "worker" | "metrics" | "subscribed" | "unsubscribed" | "notify"
+        )
+    {
         return Err(ApiError::new(
             ErrorKind::Version,
             format!("the {form:?} response form requires prj/2"),
@@ -1266,6 +1402,21 @@ pub fn decode_response(line: &str) -> Result<Response, ApiError> {
         }),
         "metrics" => Ok(Response::Metrics(MetricsReport {
             samples: parse_metric_samples(field(&fields, "samples").unwrap_or(""))?,
+        })),
+        "subscribed" => Ok(Response::Subscribed {
+            id: parse_u64(require(&fields, "id", form)?)?,
+            algorithm: require(&fields, "algo", form)?.to_string(),
+            rows: parse_rows(field(&fields, "rows").unwrap_or(""))?,
+        }),
+        "unsubscribed" => Ok(Response::Unsubscribed {
+            id: parse_u64(require(&fields, "id", form)?)?,
+        }),
+        "notify" => Ok(Response::Notify(Notification {
+            id: parse_u64(require(&fields, "id", form)?)?,
+            seq: parse_u64(require(&fields, "seq", form)?)?,
+            total: parse_usize(require(&fields, "n", form)?)?,
+            events: parse_events(field(&fields, "events").unwrap_or(""))?,
+            fin: field(&fields, "fin").map(|f| f.to_string()),
         })),
         other => Err(ApiError::malformed(format!(
             "unknown response form {other:?}"
@@ -1495,6 +1646,109 @@ mod tests {
             let line = encode_request(&request).expect("encode");
             assert!(line.starts_with("prj/2 "), "versioned: {line}");
             assert_eq!(decode_request(&line).expect("decode"), request);
+        }
+    }
+
+    #[test]
+    fn subscription_messages_round_trip_at_v2() {
+        let row_a = ResultRow {
+            score: -3.25,
+            tuples: vec![(0, 4), (1, 7)],
+        };
+        let row_b = ResultRow {
+            score: f64::NEG_INFINITY,
+            tuples: vec![(0, 0), (1, 1)],
+        };
+        for request in [
+            Request::Subscribe(
+                QueryRequest::new(vec![RelationRef::Id(0), "pois".into()], [0.5]).k(3),
+            ),
+            Request::Unsubscribe { id: 17 },
+        ] {
+            let line = encode_request(&request).expect("encode");
+            assert!(line.starts_with("prj/2 "), "versioned: {line}");
+            assert_eq!(decode_request(&line).expect("decode"), request);
+        }
+        for response in [
+            Response::Subscribed {
+                id: 9,
+                algorithm: "TBPA".to_string(),
+                rows: vec![row_a.clone(), row_b.clone()],
+            },
+            Response::Subscribed {
+                id: 0,
+                algorithm: "HRJN-star".to_string(),
+                rows: Vec::new(),
+            },
+            Response::Unsubscribed { id: 9 },
+            Response::Notify(Notification {
+                id: 9,
+                seq: 1,
+                total: 2,
+                events: vec![
+                    ChangeEvent::Exit { rank: 0 },
+                    ChangeEvent::Enter {
+                        rank: 1,
+                        row: row_a.clone(),
+                    },
+                    ChangeEvent::RankChange { from: 1, to: 0 },
+                    ChangeEvent::ScoreChange {
+                        rank: 0,
+                        score: -0.125,
+                    },
+                ],
+                fin: None,
+            }),
+            Response::Notify(Notification {
+                id: 3,
+                seq: 12,
+                total: 0,
+                events: vec![ChangeEvent::Exit { rank: 0 }],
+                fin: Some("drop".to_string()),
+            }),
+            Response::Notify(Notification {
+                id: 3,
+                seq: 2,
+                total: 1,
+                events: Vec::new(),
+                fin: Some("error".to_string()),
+            }),
+        ] {
+            let line = encode_response(&response);
+            assert!(line.starts_with("prj/2 "), "versioned: {line}");
+            assert_eq!(decode_response(&line).expect("decode"), response);
+        }
+    }
+
+    #[test]
+    fn subscription_verbs_on_v1_are_typed_version_errors() {
+        for line in [
+            "prj/1 subscribe rels=#0 q=0.0",
+            "prj/1 unsubscribe id=4",
+            "prj/1 ok subscribed id=0 algo=TBPA rows=",
+            "prj/1 ok unsubscribed id=0",
+            "prj/1 ok notify id=0 seq=1 n=0",
+        ] {
+            let err = if line.contains(" ok ") {
+                decode_response(line).unwrap_err()
+            } else {
+                decode_request(line).unwrap_err()
+            };
+            assert_eq!(err.kind, ErrorKind::Version, "line: {line}");
+        }
+        let err = encode_request_at(
+            &Request::Subscribe(QueryRequest::new(vec![0.into()], [0.0])),
+            1,
+        )
+        .unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Version);
+    }
+
+    #[test]
+    fn malformed_events_are_rejected() {
+        for events in ["z:1", "x:", "x:1:junk", "m:1", "e:0", "s:0:abc", "m:1:2:3"] {
+            let line = format!("prj/2 ok notify id=0 seq=1 n=0 events={events}");
+            assert!(decode_response(&line).is_err(), "events: {events}");
         }
     }
 

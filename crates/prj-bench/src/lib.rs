@@ -39,6 +39,6 @@ pub mod throughput;
 
 pub use experiments::{ExperimentTable, Figure};
 pub use harness::{AggregatedOutcome, CaseConfig, RunAggregate};
-pub use macrobench::{run_macrobench, MacroBenchConfig, MacroBenchReport};
+pub use macrobench::{run_macrobench, MacroBenchConfig, MacroBenchReport, NotifyLaneResult};
 pub use report::render_table;
 pub use throughput::{run_throughput, ThroughputConfig, ThroughputOutcome};

@@ -7,7 +7,9 @@
 //! `sumDepths` I/O metric, which is *deterministic* for a lane and anchors
 //! the file against silent behavioural drift. A final pair of lanes runs
 //! the same workload with tracing on and off, bounding the observability
-//! layer's overhead. Reproduce the committed file with:
+//! layer's overhead, and a notification sweep measures the standing-query
+//! subsystem: mutations/second and p50/p99 mutation→notify delay at
+//! 1/100/1000 live subscriptions. Reproduce the committed file with:
 //!
 //! ```text
 //! cargo run --release -p prj-bench --bin macrobench -- --json BENCH_6.json
@@ -67,6 +69,10 @@ pub struct MacroBenchConfig {
     pub shard_counts: Vec<usize>,
     /// Engine worker threads for the concurrent (throughput) wave.
     pub threads: usize,
+    /// Standing-query populations for the notification-latency sweep.
+    pub subscription_counts: Vec<usize>,
+    /// Targeted mutations per notification lane.
+    pub notify_mutations: usize,
 }
 
 impl Default for MacroBenchConfig {
@@ -79,6 +85,8 @@ impl Default for MacroBenchConfig {
             n_relations: 2,
             shard_counts: vec![1, 4],
             threads: 4,
+            subscription_counts: vec![1, 100, 1000],
+            notify_mutations: 24,
         }
     }
 }
@@ -89,6 +97,8 @@ impl MacroBenchConfig {
         MacroBenchConfig {
             queries: 12,
             relation_size: 60,
+            subscription_counts: vec![1, 4],
+            notify_mutations: 6,
             ..MacroBenchConfig::default()
         }
     }
@@ -136,6 +146,25 @@ impl OverheadResult {
     }
 }
 
+/// Measurements of one notification-latency lane: a fixed population of
+/// standing queries, a serialized wave of targeted appends, and the
+/// mutation→notify delay observed at the subscriber's feed.
+#[derive(Debug, Clone)]
+pub struct NotifyLaneResult {
+    /// Live standing queries during the wave.
+    pub subscriptions: usize,
+    /// Targeted mutations driven through the engine.
+    pub mutations: usize,
+    /// Mutation+notification round-trips per second.
+    pub mutations_per_sec: f64,
+    /// Median mutation→notify delay, microseconds.
+    pub notify_p50_us: u64,
+    /// 99th-percentile mutation→notify delay, microseconds.
+    pub notify_p99_us: u64,
+    /// Notifications delivered across all feeds (targeted and collateral).
+    pub notifications: u64,
+}
+
 /// The full benchmark outcome.
 #[derive(Debug, Clone)]
 pub struct MacroBenchReport {
@@ -145,6 +174,8 @@ pub struct MacroBenchReport {
     pub lanes: Vec<LaneResult>,
     /// The tracing-overhead pair (uniform shape, first shard count).
     pub overhead: OverheadResult,
+    /// One entry per subscription population, in sweep order.
+    pub notify_lanes: Vec<NotifyLaneResult>,
 }
 
 /// Deterministic per-shape data (seeded off `config.seed`).
@@ -289,7 +320,95 @@ fn overhead(config: &MacroBenchConfig) -> OverheadResult {
     }
 }
 
-/// Runs every lane of the sweep plus the overhead pair.
+/// One notification-latency lane over the uniform shape at the largest
+/// shard count: subscribe `subscriptions` standing queries on a spiral of
+/// query points, then drive a serialized wave of appends, each targeted at
+/// one subscriber's query point with a maximal score — the new tuple's
+/// best join combination is guaranteed to enter that top-K, so every
+/// targeted mutation produces a notification rather than a suppression.
+/// The measured delay spans commit → push at the feed, which includes the
+/// manager re-evaluating *every* other affected subscription first — that
+/// is exactly the tail a serving deployment would see.
+fn notify_lane(config: &MacroBenchConfig, subscriptions: usize) -> NotifyLaneResult {
+    use prj_api::QueryRequest;
+    use prj_engine::{Dispatch, Session};
+    use prj_sub::SubscriptionManager;
+    use std::sync::mpsc::RecvTimeoutError;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let shards = config.shard_counts.last().copied().unwrap_or(1);
+    let data = generate(config, Shape::Uniform);
+    let (engine, ids) = build_engine(config, shards, config.threads, 0, &data);
+    let engine = Arc::new(engine);
+    let manager = SubscriptionManager::new(Session::new(Arc::clone(&engine)), 0);
+
+    let names: Vec<String> = (1..=config.n_relations).map(|i| format!("R{i}")).collect();
+    let mut feeds = Vec::with_capacity(subscriptions);
+    for i in 0..subscriptions {
+        let angle = i as f64 * 0.37;
+        let radius = 0.05 + 1.8 * (i as f64 / subscriptions as f64);
+        let point = [radius * angle.cos(), radius * angle.sin()];
+        let request =
+            QueryRequest::new(names.iter().map(|n| n.as_str().into()).collect(), point).k(config.k);
+        let Ok(Dispatch::Subscribed { feed, .. }) = manager.subscribe(request) else {
+            panic!("notify-lane subscribe failed");
+        };
+        feeds.push((feed, point));
+    }
+
+    let timeout = Duration::from_secs(10);
+    let mut delays: Vec<u64> = Vec::with_capacity(config.notify_mutations);
+    let mut delivered = 0u64;
+    let started = Instant::now();
+    for m in 0..config.notify_mutations {
+        let (feed, point) = &feeds[m % subscriptions];
+        // Collateral pushes from earlier mutations (a targeted append can
+        // move a *neighbouring* subscriber's top-K too) must not be
+        // mistaken for this mutation's notification.
+        while feed.try_recv().is_ok() {
+            delivered += 1;
+        }
+        // Distinct position per mutation so repeated hits on the same
+        // subscriber keep producing fresh, strictly-entering combinations.
+        let offset = (m as f64 + 1.0) * 1e-4;
+        let position = Vector::from([point[0] + offset, point[1]]);
+        let t0 = Instant::now();
+        engine
+            .append_rows(ids[0], vec![(position, 1.0)])
+            .expect("notify-lane append");
+        match feed.recv_timeout(timeout) {
+            Ok(_) => {
+                delays.push(t0.elapsed().as_micros() as u64);
+                delivered += 1;
+            }
+            // A timeout means the push was suppressed — possible only if
+            // the appended tuple failed to enter the top-K; skip the
+            // sample rather than poisoning the percentiles.
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => panic!("notify-lane feed closed"),
+        }
+    }
+    let wall = started.elapsed();
+    manager.quiesce();
+    for (feed, _) in &feeds {
+        while feed.try_recv().is_ok() {
+            delivered += 1;
+        }
+    }
+    delays.sort_unstable();
+    NotifyLaneResult {
+        subscriptions,
+        mutations: config.notify_mutations,
+        mutations_per_sec: config.notify_mutations as f64 / wall.as_secs_f64(),
+        notify_p50_us: percentile(&delays, 0.50),
+        notify_p99_us: percentile(&delays, 0.99),
+        notifications: delivered,
+    }
+}
+
+/// Runs every lane of the sweep plus the overhead pair and the
+/// notification-latency sweep.
 pub fn run_macrobench(config: &MacroBenchConfig) -> MacroBenchReport {
     let mut lanes = Vec::new();
     for shape in Shape::all() {
@@ -297,9 +416,15 @@ pub fn run_macrobench(config: &MacroBenchConfig) -> MacroBenchReport {
             lanes.push(lane(config, shape, shards));
         }
     }
+    let notify_lanes = config
+        .subscription_counts
+        .iter()
+        .map(|&subscriptions| notify_lane(config, subscriptions))
+        .collect();
     MacroBenchReport {
         overhead: overhead(config),
         lanes,
+        notify_lanes,
         config: config.clone(),
     }
 }
@@ -322,6 +447,23 @@ pub fn render_macrobench(report: &MacroBenchReport) -> String {
         report.overhead.untraced_mean_us,
         report.overhead.ratio(),
     ));
+    if !report.notify_lanes.is_empty() {
+        out.push_str(
+            "\nsubs | mutations |  mut/s | notify p50 µs | notify p99 µs | delivered\n\
+             -----+-----------+--------+---------------+---------------+----------\n",
+        );
+        for lane in &report.notify_lanes {
+            out.push_str(&format!(
+                "{:>4} | {:>9} | {:>6.1} | {:>13} | {:>13} | {:>9}\n",
+                lane.subscriptions,
+                lane.mutations,
+                lane.mutations_per_sec,
+                lane.notify_p50_us,
+                lane.notify_p99_us,
+                lane.notifications,
+            ));
+        }
+    }
     out
 }
 
@@ -353,6 +495,25 @@ pub fn to_json(report: &MacroBenchReport) -> String {
             lane.sum_depths,
             lane.rows,
             if i + 1 < report.lanes.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"notify_lanes\": [\n");
+    for (i, lane) in report.notify_lanes.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"subscriptions\": {}, \"mutations\": {}, \"mutations_per_sec\": {:.1}, \
+             \"notify_p50_us\": {}, \"notify_p99_us\": {}, \"notifications\": {}}}{}\n",
+            lane.subscriptions,
+            lane.mutations,
+            lane.mutations_per_sec,
+            lane.notify_p50_us,
+            lane.notify_p99_us,
+            lane.notifications,
+            if i + 1 < report.notify_lanes.len() {
+                ","
+            } else {
+                ""
+            },
         ));
     }
     out.push_str("  ],\n");
@@ -390,6 +551,27 @@ mod tests {
     }
 
     #[test]
+    fn notification_lanes_deliver_on_every_targeted_mutation() {
+        let config = MacroBenchConfig::quick();
+        let report = run_macrobench(&config);
+        assert_eq!(report.notify_lanes.len(), config.subscription_counts.len());
+        for lane in &report.notify_lanes {
+            assert_eq!(lane.mutations, config.notify_mutations);
+            // Targeted appends are constructed to always enter the top-K,
+            // so every mutation must have produced at least its own push.
+            assert!(
+                lane.notifications >= lane.mutations as u64,
+                "{} subs: only {} notifications for {} mutations",
+                lane.subscriptions,
+                lane.notifications,
+                lane.mutations
+            );
+            assert!(lane.notify_p50_us <= lane.notify_p99_us);
+            assert!(lane.mutations_per_sec > 0.0);
+        }
+    }
+
+    #[test]
     fn sharding_is_unobservable_through_lane_results() {
         let config = MacroBenchConfig::quick();
         let report = run_macrobench(&config);
@@ -416,6 +598,10 @@ mod tests {
         assert!(json.ends_with("}\n"));
         assert_eq!(json.matches("\"shape\"").count(), report.lanes.len());
         assert!(json.contains("\"tracing_overhead\""));
+        assert_eq!(
+            json.matches("\"subscriptions\"").count(),
+            report.notify_lanes.len()
+        );
         // Balanced braces/brackets (a cheap well-formedness proxy given the
         // emitter never nests strings with braces).
         assert_eq!(json.matches('{').count(), json.matches('}').count());

@@ -11,6 +11,9 @@
 //!     --shards N         spatial shards per relation (default 1 = unsharded)
 //!     --table1           preload the paper's Table 1 relations as R1, R2, R3
 //!     --self-check       bind an ephemeral port, run one client round-trip, exit
+//!     --max-subscriptions N  cap on concurrent standing queries per process
+//!                        (default 1024; 0 = unlimited; the cap answers with a
+//!                        typed `degraded` error)
 //!     --metrics-addr A   also serve a Prometheus-style /metrics endpoint on A
 //!                        (coordinators fold every worker's series in, with
 //!                        an `instance` label)
@@ -40,10 +43,11 @@
 //! prj/1 ok results cached=false algo=TBRR rows=-0.9431471805599453@0:0
 //! ```
 
-use prj_api::{ApiClient, ErrorKind, QueryRequest, Request, Response, TupleData};
+use prj_api::{apply_events, ApiClient, ErrorKind, QueryRequest, Request, Response, TupleData};
 use prj_cluster::{ClusterTopology, Coordinator, WorkerSession};
 use prj_engine::{EngineBuilder, Server, Session};
 use prj_obs::{MetricsServer, RenderFn};
+use prj_sub::{Subscribing, SubscriptionManager};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -63,6 +67,7 @@ struct Options {
     cluster_self_check: Option<usize>,
     metrics_addr: Option<String>,
     slow_query_ms: Option<u64>,
+    max_subscriptions: usize,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -81,6 +86,7 @@ fn parse_args() -> Result<Options, String> {
         cluster_self_check: None,
         metrics_addr: None,
         slow_query_ms: None,
+        max_subscriptions: 1024,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -129,6 +135,11 @@ fn parse_args() -> Result<Options, String> {
                         .map_err(|_| "--cluster-self-check expects a worker count".to_string())?,
                 )
             }
+            "--max-subscriptions" => {
+                options.max_subscriptions = value("--max-subscriptions")?
+                    .parse()
+                    .map_err(|_| "--max-subscriptions expects an integer".to_string())?
+            }
             "--metrics-addr" => options.metrics_addr = Some(value("--metrics-addr")?),
             "--slow-query-ms" => {
                 options.slow_query_ms = Some(
@@ -144,7 +155,7 @@ fn parse_args() -> Result<Options, String> {
                     "prj-serve: TCP front-end for the ProxRJ engine\n\
                      usage: prj-serve [--addr HOST:PORT] [--threads N] [--cache N] \
                      [--shards N] [--table1] [--self-check] [--metrics-addr HOST:PORT] \
-                     [--slow-query-ms N]\n\
+                     [--slow-query-ms N] [--max-subscriptions N]\n\
                      cluster: [--worker] [--coordinator --workers A,B,C | --topology FILE] \
                      [--replicas N] [--cluster-self-check N]"
                 );
@@ -222,6 +233,27 @@ fn build_session(options: &Options) -> Result<Arc<Session>, String> {
     Ok(session)
 }
 
+/// Wraps `handler` with the standing-query front-end: a
+/// [`SubscriptionManager`] re-evaluating over `engine`, which must be the
+/// same engine the handler commits mutations through — that is what makes
+/// committed mutations wake the manager's observer. On a coordinator the
+/// engine carries the cluster backend, so re-evaluations execute
+/// distributed (with replica failover) exactly like client queries.
+fn with_subscriptions<H: prj_engine::RequestHandler>(
+    handler: Arc<H>,
+    engine: &Arc<prj_engine::Engine>,
+    max_subscriptions: usize,
+) -> (Arc<Subscribing<H>>, Arc<SubscriptionManager>) {
+    let manager = Arc::new(SubscriptionManager::new(
+        Session::new(Arc::clone(engine)),
+        max_subscriptions,
+    ));
+    (
+        Arc::new(Subscribing::new(handler, Arc::clone(&manager))),
+        manager,
+    )
+}
+
 fn topology_from(options: &Options) -> Result<ClusterTopology, String> {
     match &options.topology {
         Some(path) => {
@@ -243,7 +275,9 @@ fn topology_from(options: &Options) -> Result<ClusterTopology, String> {
 /// test of the whole binary.
 fn self_check(options: &Options) -> Result<(), String> {
     let session = build_session(options)?;
-    let server = Server::bind("127.0.0.1:0", session).map_err(|e| format!("bind failed: {e}"))?;
+    let engine = Arc::clone(session.engine());
+    let (handler, _manager) = with_subscriptions(session, &engine, options.max_subscriptions);
+    let server = Server::bind("127.0.0.1:0", handler).map_err(|e| format!("bind failed: {e}"))?;
     let addr = server.local_addr();
     let mut client = ApiClient::connect(addr).map_err(|e| format!("connect failed: {e}"))?;
     // The standalone server negotiates prj/2 even though clients may stay
@@ -307,8 +341,42 @@ fn self_check(options: &Options) -> Result<(), String> {
             stats.shard_depths, stats.total_sum_depths
         ));
     }
+    // Standing-query leg: subscribe, mutate, receive the push on the same
+    // connection, and replay the delivered events over the acked baseline —
+    // the replayed view must be bit-identical to a fresh top-K.
+    let sub_query = || QueryRequest::new(vec!["hotels".into()], [0.0, 0.0]).k(2);
+    let (sub_id, baseline, _algo) = client
+        .subscribe(sub_query())
+        .map_err(|e| format!("subscribe failed: {e}"))?;
+    client
+        .call(&Request::AppendTuples {
+            relation: "hotels".into(),
+            tuples: vec![TupleData::new([0.05, 0.0], 1.0)],
+        })
+        .map_err(|e| format!("subscribed append failed: {e}"))?;
+    let notification = client
+        .wait_notification(Duration::from_secs(10))
+        .map_err(|e| format!("notification read failed: {e}"))?
+        .ok_or("no notification arrived within 10s of the append")?;
+    if notification.id != sub_id || notification.fin.is_some() {
+        return Err(format!("unexpected notification: {notification:?}"));
+    }
+    let view = apply_events(&baseline, &notification.events, notification.total)
+        .map_err(|e| format!("event replay failed: {e}"))?;
+    let (fresh, _) = client
+        .top_k(sub_query())
+        .map_err(|e| format!("fresh topk failed: {e}"))?;
+    if view != fresh {
+        return Err(format!("replayed view {view:?} != fresh top-K {fresh:?}"));
+    }
+    client
+        .unsubscribe(sub_id)
+        .map_err(|e| format!("unsubscribe failed: {e}"))?;
     server.shutdown();
-    println!("self-check ok: served {} queries on {addr}", stats.queries);
+    println!(
+        "self-check ok: served {} queries on {addr} (standing-query leg replayed exactly)",
+        stats.queries
+    );
     Ok(())
 }
 
@@ -463,6 +531,58 @@ fn cluster_self_check(options: &Options, n: usize) -> Result<(), String> {
         reference.handle(query()),
     )?;
 
+    // Standing-query leg: serve the coordinator over TCP through the
+    // subscription front-end, subscribe a client, replicate a mutation
+    // through the same coordinator, and check the pushed change events
+    // replay the old top-K into exactly the fresh answer.
+    let (front, manager) = with_subscriptions(
+        Arc::clone(&coordinator),
+        coordinator.engine(),
+        options.max_subscriptions,
+    );
+    let sub_server =
+        Server::bind("127.0.0.1:0", front).map_err(|e| format!("subscription bind: {e}"))?;
+    let mut sub_client = ApiClient::connect(sub_server.local_addr())
+        .map_err(|e| format!("subscription connect: {e}"))?;
+    sub_client
+        .negotiate()
+        .map_err(|e| format!("subscription negotiate: {e}"))?;
+    let (sub_id, baseline, _algo) = sub_client
+        .subscribe(QueryRequest::new(vec!["rel0".into(), "rel1".into()], [0.3, -0.8]).k(5))
+        .map_err(|e| format!("subscribe failed: {e}"))?;
+    let sub_append = Request::AppendTuples {
+        relation: "rel1".into(),
+        tuples: vec![TupleData::new([0.3, -0.8], 0.9)],
+    };
+    if let Response::Error(e) = coordinator.dispatch_one(sub_append.clone()) {
+        return Err(format!("subscribed append failed: {e}"));
+    }
+    if let Response::Error(e) = reference.handle(sub_append) {
+        return Err(format!("local subscribed append failed: {e}"));
+    }
+    let notification = sub_client
+        .wait_notification(Duration::from_secs(10))
+        .map_err(|e| format!("notification read failed: {e}"))?
+        .ok_or("no notification within 10s of the replicated append")?;
+    if notification.id != sub_id || notification.fin.is_some() {
+        return Err(format!("unexpected notification {notification:?}"));
+    }
+    let view = apply_events(&baseline, &notification.events, notification.total)
+        .map_err(|e| format!("event replay failed: {e}"))?;
+    let Response::Results { rows: fresh, .. } = reference.handle(query()) else {
+        return Err("reference engine failed after subscribed append".to_string());
+    };
+    if view != fresh {
+        return Err(format!(
+            "replayed subscription view diverged: {view:?} != {fresh:?}"
+        ));
+    }
+    sub_client
+        .unsubscribe(sub_id)
+        .map_err(|e| format!("unsubscribe failed: {e}"))?;
+    manager.quiesce();
+    println!("cluster-self-check: standing query notified over TCP and replayed exactly");
+
     // Observability leg: serve the coordinator's merged metrics on an
     // ephemeral endpoint and scrape it the way a Prometheus (or the CI
     // job) would, then assert the exposition is well-formed and the query
@@ -485,6 +605,8 @@ fn cluster_self_check(options: &Options, n: usize) -> Result<(), String> {
         ("prj_cache_misses_total", 1.0),
         ("prj_remote_units_total", 1.0),
         ("prj_relation_depth_total", 1.0),
+        ("prj_subscription_notifications_total", 1.0),
+        ("prj_subscription_reexecuted_units_total", 1.0),
     ] {
         if metric_total(&body, series) < minimum {
             return Err(format!(
@@ -494,6 +616,12 @@ fn cluster_self_check(options: &Options, n: usize) -> Result<(), String> {
     }
     if !body.contains("instance=\"worker0\"") {
         return Err("metrics exposition lacks worker instance series".to_string());
+    }
+    // The active-subscription gauge must be exposed even when it reads 0
+    // (the leg above unsubscribed) — absence would mean the scrape misses
+    // the standing-query series entirely.
+    if !body.contains("prj_subscriptions_active") {
+        return Err("metrics exposition lacks prj_subscriptions_active".to_string());
     }
     println!(
         "cluster-self-check: metrics endpoint exposes {} series lines",
@@ -584,8 +712,13 @@ fn serve(options: &Options) -> Result<(), String> {
                 &render_coordinator.metrics_report().samples,
             ))
         });
+        // Standing queries re-evaluate through the coordinator's own engine
+        // (cluster backend attached), so they execute distributed.
+        let engine = Arc::clone(coordinator.engine());
+        let (handler, _manager) =
+            with_subscriptions(coordinator, &engine, options.max_subscriptions);
         (
-            Server::bind(&options.addr, coordinator)
+            Server::bind(&options.addr, handler)
                 .map_err(|e| format!("cannot bind {}: {e}", options.addr))?,
             threads,
             render,
@@ -593,10 +726,12 @@ fn serve(options: &Options) -> Result<(), String> {
     } else {
         let session = build_session(options)?;
         let threads = session.engine().threads();
-        let render_engine = Arc::clone(session.engine());
+        let engine = Arc::clone(session.engine());
+        let render_engine = Arc::clone(&engine);
         let render: RenderFn = Arc::new(move || render_engine.metrics_render());
+        let (handler, _manager) = with_subscriptions(session, &engine, options.max_subscriptions);
         (
-            Server::bind(&options.addr, session)
+            Server::bind(&options.addr, handler)
                 .map_err(|e| format!("cannot bind {}: {e}", options.addr))?,
             threads,
             render,

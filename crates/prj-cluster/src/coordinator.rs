@@ -178,6 +178,10 @@ impl Coordinator {
                     algorithm,
                 }
             }
+            // A bare coordinator has no subscription front-end (prj-serve
+            // wraps it in `Subscribing`); like `Session::handle`, return
+            // the ack and let the dropped feed self-unsubscribe.
+            Dispatch::Subscribed { ack, .. } => ack,
         }
     }
 

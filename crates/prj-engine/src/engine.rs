@@ -228,6 +228,11 @@ pub struct EngineResult {
     pub from_cache: bool,
     /// End-to-end latency observed by the engine.
     pub latency: Duration,
+    /// How many execution units actually ran for this query (0 on a cache
+    /// hit; on a partitioned miss, unit-cache hits are excluded). This is
+    /// what lets a standing query assert that a single-shard append
+    /// re-executed exactly one unit.
+    pub fresh_units: usize,
 }
 
 impl EngineResult {
@@ -348,6 +353,44 @@ pub struct RemoteUnitCall {
     /// The trace to execute under and the coordinator-side `unit` span the
     /// worker's spans should stitch beneath; `None` when tracing is off.
     pub trace: Option<(TraceId, SpanId)>,
+}
+
+/// What kind of catalog mutation a [`MutationObserver`] is told about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MutationKind {
+    /// Tuples were appended to the relation.
+    Append,
+    /// The relation was dropped.
+    Drop,
+}
+
+/// One committed catalog mutation, as seen by a [`MutationObserver`].
+#[derive(Debug, Clone)]
+pub struct MutationEvent {
+    /// Append or drop.
+    pub kind: MutationKind,
+    /// The catalog's report: relation id, new epoch, cardinality, and the
+    /// shards the mutation touched — exactly what subscription
+    /// invalidation keys on.
+    pub outcome: MutationOutcome,
+    /// The trace and `mutation` span the mutation was recorded under, when
+    /// the engine's recorder is live. Downstream work triggered by this
+    /// mutation (a subscription's `notify` span) parents here, so a feed
+    /// update is attributable to the ingest that caused it.
+    pub trace: Option<(TraceId, SpanId)>,
+}
+
+/// A hook observing every committed catalog mutation, registered with
+/// [`Engine::add_mutation_observer`].
+///
+/// Observers fire *after* the mutation is visible (catalog slot published,
+/// result- and unit-cache entries invalidated), on the mutating thread —
+/// a re-query issued from inside the callback sees the new data. Keep the
+/// callback cheap (hand off to a channel); it runs under no engine lock
+/// but it does extend every mutation's latency.
+pub trait MutationObserver: Send + Sync {
+    /// Observes one committed mutation.
+    fn mutation(&self, event: &MutationEvent);
 }
 
 /// A pluggable executor for shipping execution units to remote worker
@@ -473,6 +516,7 @@ impl EngineBuilder {
             planner: Planner::with_config(self.planner),
             registry: Arc::new(ScoringRegistry::with_builtins()),
             remote: RwLock::new(None),
+            observers: RwLock::new(Vec::new()),
             obs: Arc::new(EngineObs::new(
                 self.trace_capacity,
                 self.slow_query_threshold,
@@ -784,6 +828,9 @@ pub struct Engine {
     /// The remote execution backend, when this engine coordinates a
     /// cluster; `None` executes everything locally.
     remote: RwLock<Option<Arc<dyn RemoteUnitBackend>>>,
+    /// Mutation observers, fired after every committed catalog mutation
+    /// (the push path standing queries hang off).
+    observers: RwLock<Vec<Arc<dyn MutationObserver>>>,
     /// The observability bundle: span recorder + metric handles.
     obs: Arc<EngineObs>,
 }
@@ -817,7 +864,7 @@ impl Engine {
         self.cache.invalidate_relation(id.index());
         self.unit_cache
             .invalidate_shards(id.index(), &outcome.touched_shards);
-        Ok(outcome)
+        Ok(self.committed(MutationKind::Append, outcome))
     }
 
     /// Appends raw `(location, score)` rows (tuple ids assigned under the
@@ -831,7 +878,7 @@ impl Engine {
         self.cache.invalidate_relation(id.index());
         self.unit_cache
             .invalidate_shards(id.index(), &outcome.touched_shards);
-        Ok(outcome)
+        Ok(self.committed(MutationKind::Append, outcome))
     }
 
     /// Drops a relation; bumps its epoch and purges stale cache entries.
@@ -839,7 +886,56 @@ impl Engine {
         let outcome = self.catalog.drop_relation(id)?;
         self.cache.invalidate_relation(id.index());
         self.unit_cache.invalidate_relation(id.index());
-        Ok(outcome)
+        Ok(self.committed(MutationKind::Drop, outcome))
+    }
+
+    /// Registers a mutation observer; every later committed mutation is
+    /// reported to it. Observers cannot be removed individually — they live
+    /// as long as the engine (drop the subscription state behind an `Arc`
+    /// and make the callback a no-op to retire one).
+    pub fn add_mutation_observer(&self, observer: Arc<dyn MutationObserver>) {
+        self.observers
+            .write()
+            .expect("observer lock")
+            .push(observer);
+    }
+
+    /// Post-commit tail of every mutation: records the `mutation` span
+    /// (when tracing) and fires the observers with the outcome plus the
+    /// span identity their downstream spans should parent under.
+    fn committed(&self, kind: MutationKind, outcome: MutationOutcome) -> MutationOutcome {
+        let recorder = self.obs.recorder();
+        let trace = if recorder.enabled() {
+            let trace = TraceId::generate();
+            let mut span = recorder.span(trace, "mutation");
+            span.attr(
+                "kind",
+                match kind {
+                    MutationKind::Append => "append",
+                    MutationKind::Drop => "drop",
+                },
+            );
+            span.attr("relation", outcome.id.index());
+            span.attr("epoch", outcome.epoch);
+            span.attr("shards", outcome.touched_shards.len());
+            let id = span.id();
+            span.finish();
+            Some((trace, id))
+        } else {
+            None
+        };
+        let observers = self.observers.read().expect("observer lock").clone();
+        if !observers.is_empty() {
+            let event = MutationEvent {
+                kind,
+                outcome: outcome.clone(),
+                trace,
+            };
+            for observer in &observers {
+                observer.mutation(&event);
+            }
+        }
+        outcome
     }
 
     /// Installs the remote execution backend: from now on, execution units
@@ -1234,6 +1330,7 @@ impl Engine {
                 execution,
                 from_cache: true,
                 latency,
+                fresh_units: 0,
             }));
             return QueryTicket { receiver };
         }
@@ -1280,12 +1377,14 @@ impl Engine {
                             execution,
                             from_cache: true,
                             latency,
+                            fresh_units: 0,
                         }));
                         return;
                     }
                     let outcome = run_units(units, k, &ctx);
                     let response = outcome.map(|(result, unit_records)| {
                         let latency = started.elapsed();
+                        let fresh_units = unit_records.len();
                         let record = QueryRecord {
                             latency,
                             // Count only the accesses *this* query freshly
@@ -1312,6 +1411,7 @@ impl Engine {
                             execution,
                             from_cache: false,
                             latency,
+                            fresh_units,
                         }
                     });
                     let _ = sender.send(response);

@@ -108,14 +108,14 @@ pub use catalog::{
     Catalog, CatalogError, CatalogRelation, MutationOutcome, RelationId, RelationShard,
 };
 pub use engine::{
-    Engine, EngineBuilder, EngineError, EngineResult, QuerySpec, QueryTicket, RemoteUnitBackend,
-    RemoteUnitCall, ResultStream,
+    Engine, EngineBuilder, EngineError, EngineResult, MutationEvent, MutationKind,
+    MutationObserver, QuerySpec, QueryTicket, RemoteUnitBackend, RemoteUnitCall, ResultStream,
 };
 pub use executor::Executor;
 pub use obs::{EngineObs, QueryTrace};
 pub use planner::{Plan, Planner, PlannerConfig};
 pub use registry::{ScoringFactory, ScoringRegistry};
 pub use server::{RequestHandler, Server};
-pub use session::{Dispatch, Session, SessionBuilder, SessionStream};
+pub use session::{to_row, Dispatch, Session, SessionBuilder, SessionStream};
 pub use sharding::ShardingPolicy;
 pub use stats::{EngineStats, EngineStatsSnapshot, QueryRecord, ShardLane, UnitRecord};

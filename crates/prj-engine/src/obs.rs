@@ -22,7 +22,11 @@
 //! | `prj_relation_depth_total{relation="rN"}` | counter | accesses into relation `N` |
 //!
 //! The cluster layer adds `prj_failovers_total` and
-//! `prj_remote_units_total` through the same registry.
+//! `prj_remote_units_total` through the same registry. The subscription
+//! layer (`prj-sub`) adds `prj_subscriptions_active` (gauge),
+//! `prj_subscription_notifications_total`,
+//! `prj_subscription_reexecuted_units_total`, and
+//! `prj_subscription_suppressed_total` (counters).
 //!
 //! ## Trace anatomy
 //!

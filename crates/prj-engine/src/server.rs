@@ -18,7 +18,7 @@ use prj_api::{wire, Request, Response};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 /// Anything able to route one protocol request to a [`Dispatch`]. The
@@ -125,16 +125,25 @@ impl Drop for Server {
     }
 }
 
-fn write_line(stream: &mut TcpStream, response: &Response, version: u32) -> std::io::Result<()> {
+fn write_line(writer: &Mutex<TcpStream>, response: &Response, version: u32) -> std::io::Result<()> {
     let mut line = wire::encode_response_at(response, version);
     line.push('\n');
-    stream.write_all(line.as_bytes())
+    // One lock per full line keeps concurrent writers (the request loop
+    // and subscription forwarders) from interleaving partial lines.
+    writer
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+        .write_all(line.as_bytes())
 }
 
 fn serve_connection(stream: TcpStream, handler: &dyn RequestHandler) {
-    let Ok(mut writer) = stream.try_clone() else {
+    let Ok(write_half) = stream.try_clone() else {
         return;
     };
+    // Shared with subscription forwarder threads: notifications are pushed
+    // on the same connection, interleaved between ordinary response lines.
+    let writer = Arc::new(Mutex::new(write_half));
+    let mut forwarders: Vec<JoinHandle<()>> = Vec::new();
     let reader = BufReader::new(stream);
     for line in reader.lines() {
         let Ok(line) = line else { break };
@@ -153,12 +162,11 @@ fn serve_connection(stream: TcpStream, handler: &dyn RequestHandler) {
             Ok((version, request)) => (version, handler.dispatch_request(request)),
         };
         let io = match outcome {
-            Dispatch::One(response) => write_line(&mut writer, &response, version),
+            Dispatch::One(response) => write_line(&writer, &response, version),
             Dispatch::Stream(mut stream) => loop {
                 match stream.next_row() {
                     Some(row) => {
-                        if let Err(e) = write_line(&mut writer, &Response::StreamItem(row), version)
-                        {
+                        if let Err(e) = write_line(&writer, &Response::StreamItem(row), version) {
                             // The client went away mid-stream; dropping the
                             // SessionStream aborts the engine-side run.
                             break Err(e);
@@ -168,12 +176,10 @@ fn serve_connection(stream: TcpStream, handler: &dyn RequestHandler) {
                     // line, not an end marker a client would read as a
                     // complete top-K.
                     None => match stream.error() {
-                        Some(error) => {
-                            break write_line(&mut writer, &Response::Error(error), version)
-                        }
+                        Some(error) => break write_line(&writer, &Response::Error(error), version),
                         None => {
                             break write_line(
-                                &mut writer,
+                                &writer,
                                 &Response::StreamEnd {
                                     count: stream.delivered(),
                                 },
@@ -183,9 +189,44 @@ fn serve_connection(stream: TcpStream, handler: &dyn RequestHandler) {
                     },
                 }
             },
+            Dispatch::Subscribed { ack, feed } => {
+                // Ack first — the client must learn the subscription id and
+                // baseline top-K before any notification referencing them.
+                let acked = write_line(&writer, &ack, version);
+                if acked.is_ok() {
+                    let feed_writer = Arc::clone(&writer);
+                    let handle = std::thread::Builder::new()
+                        .name("prj-serve-notify".to_string())
+                        .spawn(move || {
+                            // Drains until the subscription manager drops
+                            // the sender (unsubscribe, relation drop, or
+                            // terminal error — each ends with a `fin`
+                            // notification). A write failure means the
+                            // client is gone; stop forwarding and let the
+                            // manager notice on its next send.
+                            while let Ok(notify) = feed.recv() {
+                                if write_line(&feed_writer, &notify, version).is_err() {
+                                    break;
+                                }
+                            }
+                        });
+                    if let Ok(handle) = handle {
+                        forwarders.push(handle);
+                    }
+                }
+                acked
+            }
         };
         if io.is_err() {
             break;
         }
+    }
+    // The read half is closed; shut the socket down so forwarders' writes
+    // fail fast instead of queueing into a dead connection, then join them.
+    if let Ok(guard) = writer.lock() {
+        let _ = guard.shutdown(std::net::Shutdown::Both);
+    }
+    for handle in forwarders {
+        let _ = handle.join();
     }
 }

@@ -161,13 +161,28 @@ impl SessionStream {
     }
 }
 
-/// The outcome of [`Session::dispatch`]: either a single response or a
-/// stream the transport drains at its own pace.
+/// The outcome of [`Session::dispatch`]: a single response, a stream the
+/// transport drains at its own pace, or an accepted subscription.
 pub enum Dispatch {
     /// One response line.
     One(Response),
     /// An open result stream ([`Request::Stream`] on a cache miss or hit).
     Stream(SessionStream),
+    /// An accepted [`Request::Subscribe`]: the transport writes `ack`
+    /// (a [`Response::Subscribed`]) immediately, then forwards every
+    /// [`Response::Notify`] arriving on `feed` until the sender closes —
+    /// interleaved with ordinary responses on the same connection. Only
+    /// subscription-capable handlers (`prj-sub`'s `Subscribing` wrapper)
+    /// produce this variant; a plain [`Session`] answers `subscribe` with
+    /// a typed `Unsupported` error instead.
+    Subscribed {
+        /// The `Response::Subscribed` acknowledgement, carrying the
+        /// subscription id and the initial certified top-K.
+        ack: Response,
+        /// The push feed: one `Response::Notify` per delivered change
+        /// batch; closed (sender dropped) when the subscription ends.
+        feed: std::sync::mpsc::Receiver<Response>,
+    },
 }
 
 /// A serving session over an [`Engine`]; see the module docs.
@@ -237,6 +252,11 @@ impl Session {
                     algorithm,
                 }
             }
+            // A one-shot caller can't drain a push feed; returning the ack
+            // alone keeps `handle` total (the feed is dropped, which the
+            // subscription manager observes as a send failure and treats
+            // as an unsubscribe).
+            Dispatch::Subscribed { ack, .. } => ack,
         }
     }
 
@@ -337,7 +357,26 @@ impl Session {
             Request::Metrics => Response::Metrics(MetricsReport {
                 samples: crate::obs::to_api_samples(&self.engine.metrics_samples()),
             }),
+            // Standing queries need a push-capable front-end that owns the
+            // connection's write half; `prj-sub`'s `Subscribing` wrapper
+            // intercepts these before they reach a plain session.
+            Request::Subscribe(_) | Request::Unsubscribe { .. } => {
+                return Err(ApiError::new(
+                    ErrorKind::Unsupported,
+                    "this endpoint does not serve standing queries; \
+                     start it with a subscription-capable front-end",
+                ));
+            }
         }))
+    }
+
+    /// Resolves a protocol [`QueryRequest`] into an engine [`QuerySpec`]
+    /// under this session's defaults, exactly as [`Request::TopK`] dispatch
+    /// would. Subscription managers use this to pin a standing query's
+    /// spec once at subscribe time and re-run it verbatim on every
+    /// invalidation.
+    pub fn build_query_spec(&self, query: QueryRequest) -> Result<QuerySpec, ApiError> {
+        self.build_spec(query)
     }
 
     fn resolve_relation(&self, relation: &RelationRef) -> Result<RelationId, ApiError> {
@@ -423,7 +462,11 @@ fn to_rows(tuples: Vec<TupleData>) -> Result<Vec<(Vector, f64)>, ApiError> {
         .collect()
 }
 
-fn to_row(combo: &ScoredCombination) -> ResultRow {
+/// Translates one engine combination into its protocol row (the
+/// `score@rel:idx+rel:idx` unit of the wire format). Public so the
+/// subscription layer diffs and delivers exactly the rows a fresh
+/// [`Request::TopK`] would produce.
+pub fn to_row(combo: &ScoredCombination) -> ResultRow {
     ResultRow {
         score: combo.score,
         tuples: combo

@@ -173,3 +173,44 @@ fn dropping_a_relation_purges_its_units() {
     engine.drop_relation(id0).expect("drop");
     assert_eq!(engine.unit_cache_metrics().entries, 0);
 }
+
+/// A drop's outcome must report *every* shard as touched: unit-cache
+/// invalidation and standing-query wakeups both key off that set, so an
+/// under-report would leave stale memoised units (or un-notified
+/// subscribers) behind. Asserted on the returned outcome and on the
+/// observer-visible event, which must agree.
+#[test]
+fn drop_outcome_reports_every_shard_touched() {
+    use prj_engine::{MutationEvent, MutationKind, MutationObserver};
+    use std::sync::{Arc, Mutex};
+
+    struct Capture(Mutex<Vec<MutationEvent>>);
+    impl MutationObserver for Capture {
+        fn mutation(&self, event: &MutationEvent) {
+            self.0.lock().expect("capture lock").push(event.clone());
+        }
+    }
+
+    let engine = EngineBuilder::default().threads(1).shards(SHARDS).build();
+    let id0 = engine.register("r0", spread(0, 32));
+    let capture = Arc::new(Capture(Mutex::new(Vec::new())));
+    engine.add_mutation_observer(Arc::clone(&capture) as Arc<dyn MutationObserver>);
+
+    let outcome = engine.drop_relation(id0).expect("drop");
+    let sorted = |mut shards: Vec<usize>| {
+        shards.sort_unstable();
+        shards
+    };
+    let all: Vec<usize> = (0..SHARDS).collect();
+    assert_eq!(
+        sorted(outcome.touched_shards.clone()),
+        all,
+        "drop must touch all {SHARDS} shards"
+    );
+
+    let events = capture.0.lock().expect("capture lock");
+    assert_eq!(events.len(), 1, "exactly one committed mutation observed");
+    assert!(matches!(events[0].kind, MutationKind::Drop));
+    assert_eq!(events[0].outcome.id, id0);
+    assert_eq!(sorted(events[0].outcome.touched_shards.clone()), all);
+}
