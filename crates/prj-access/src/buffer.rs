@@ -11,6 +11,11 @@ use crate::tuple::Tuple;
 ///   (`δ(x(R_i[1]), q)` and `δ(x(R_i[p_i]), q)`, distance-based access);
 /// * the score of the first and last accessed tuple (score-based access);
 /// * whether the relation is exhausted.
+///
+/// Tuple storage is struct-of-arrays: alongside the tuples themselves, the
+/// per-tuple distances and scores live in their own contiguous `f64` lanes
+/// ([`Self::distances`], [`Self::scores`]) so bound evaluation can stream
+/// over them without chasing per-tuple pointers.
 #[derive(Debug, Clone)]
 pub struct RelationBuffer {
     relation_index: usize,
@@ -18,6 +23,7 @@ pub struct RelationBuffer {
     max_score: f64,
     seen: Vec<Tuple>,
     distances: Vec<f64>,
+    scores: Vec<f64>,
     exhausted: bool,
 }
 
@@ -30,6 +36,7 @@ impl RelationBuffer {
             max_score,
             seen: Vec::new(),
             distances: Vec::new(),
+            scores: Vec::new(),
             exhausted: false,
         }
     }
@@ -68,6 +75,7 @@ impl RelationBuffer {
                 ),
             }
         }
+        self.scores.push(tuple.score);
         self.seen.push(tuple);
         self.distances.push(distance_to_query);
         self.seen.len()
@@ -108,6 +116,18 @@ impl RelationBuffer {
         self.distances.get(r).copied()
     }
 
+    /// The per-tuple distances from the query, in access order — a
+    /// contiguous lane aligned with [`Self::seen`].
+    pub fn distances(&self) -> &[f64] {
+        &self.distances
+    }
+
+    /// The per-tuple scores, in access order — a contiguous lane aligned
+    /// with [`Self::seen`].
+    pub fn scores(&self) -> &[f64] {
+        &self.scores
+    }
+
     /// Distance from the query of the first accessed tuple
     /// (`δ(x(R_i[1]), q)`), or 0 if nothing has been accessed — the
     /// convention of paper Sec. 3.1.
@@ -124,13 +144,13 @@ impl RelationBuffer {
     /// Score of the first accessed tuple (`σ(R_i[1])`), or `σ_max` if nothing
     /// has been accessed — the analogous convention for score-based access.
     pub fn first_score(&self) -> f64 {
-        self.seen.first().map(|t| t.score).unwrap_or(self.max_score)
+        self.scores.first().copied().unwrap_or(self.max_score)
     }
 
     /// Score of the last accessed tuple (`σ(R_i[p_i])`), or `σ_max` if
     /// nothing has been accessed.
     pub fn last_score(&self) -> f64 {
-        self.seen.last().map(|t| t.score).unwrap_or(self.max_score)
+        self.scores.last().copied().unwrap_or(self.max_score)
     }
 
     /// Upper bound on the score of an *unseen* tuple of this relation:
@@ -204,6 +224,20 @@ mod tests {
         assert_eq!(buf.unseen_distance_bound(), 0.0);
         assert_eq!(buf.relation_index(), 1);
         assert_eq!(buf.kind(), AccessKind::Score);
+    }
+
+    #[test]
+    fn soa_lanes_stay_aligned_with_tuples() {
+        let mut buf = RelationBuffer::new(0, AccessKind::Distance, 1.0);
+        buf.push(t(0, 0, 0.5, 0.7), 0.5);
+        buf.push(t(0, 1, 1.0, 0.3), 1.0);
+        buf.push(t(0, 2, 2.0, 0.9), 2.0);
+        assert_eq!(buf.distances(), [0.5, 1.0, 2.0]);
+        assert_eq!(buf.scores(), [0.7, 0.3, 0.9]);
+        for (i, tuple) in buf.seen().iter().enumerate() {
+            assert_eq!(buf.scores()[i], tuple.score);
+            assert_eq!(buf.distances()[i], buf.distance(i).unwrap());
+        }
     }
 
     #[test]

@@ -31,7 +31,9 @@ use std::sync::Arc;
 #[derive(Debug, Clone)]
 pub struct SharedRTreeRelation {
     name: Arc<str>,
-    query: Vector,
+    /// Shared with every other view of the same query: one query vector is
+    /// allocated per query, not per (unit × relation) view.
+    query: Arc<Vector>,
     tree: Arc<RTree<(TupleId, f64)>>,
     cursor: NearestCursor,
     max_score: f64,
@@ -39,13 +41,15 @@ pub struct SharedRTreeRelation {
 
 impl SharedRTreeRelation {
     /// Creates a per-query view of `tree`, positioned before the nearest
-    /// tuple to `query`.
+    /// tuple to `query`. Accepts an owned [`Vector`] or an already-shared
+    /// `Arc<Vector>`; pass the latter to share one allocation across views.
     pub fn new(
         name: Arc<str>,
         tree: Arc<RTree<(TupleId, f64)>>,
-        query: Vector,
+        query: impl Into<Arc<Vector>>,
         max_score: f64,
     ) -> Self {
+        let query = query.into();
         let cursor = NearestCursor::new(&tree, &query);
         SharedRTreeRelation {
             name,
@@ -66,7 +70,7 @@ impl SortedAccess for SharedRTreeRelation {
     fn next_tuple(&mut self) -> Option<Tuple> {
         let neighbor = self.cursor.next(&self.tree, &self.query)?;
         let &(id, score) = neighbor.data;
-        Some(Tuple::new(id, neighbor.point.clone(), score))
+        Some(Tuple::new(id, Vector::from(neighbor.point), score))
     }
 
     fn kind(&self) -> AccessKind {

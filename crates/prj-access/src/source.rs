@@ -209,7 +209,7 @@ impl SortedAccess for RTreeRelation {
     fn next_tuple(&mut self) -> Option<Tuple> {
         let neighbor = self.cursor.next(&self.tree, &self.query)?;
         let &(id, score) = neighbor.data;
-        Some(Tuple::new(id, neighbor.point.clone(), score))
+        Some(Tuple::new(id, Vector::from(neighbor.point), score))
     }
 
     fn kind(&self) -> AccessKind {

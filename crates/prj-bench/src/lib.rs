@@ -16,6 +16,9 @@
 //!   committed `BENCH_*.json` trajectory files: per-shape × per-shard-count
 //!   latency/throughput/`sumDepths` lanes plus a tracing-overhead pair (the
 //!   `macrobench` bin).
+//! * [`bench_diff`] — the regression gate over two committed trajectories:
+//!   per-lane p50/p99/qps drift, failing on a >1.2x p99 regression in any
+//!   lane (the `bench-diff` bin, run by CI).
 //! * [`throughput`] — a serving-system experiment beyond the paper's figures:
 //!   queries/second through the `prj-engine` subsystem as the worker-thread
 //!   count grows, plus cache-hit vs cold-query cost (the `throughput` bin).
@@ -31,12 +34,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bench_diff;
 pub mod experiments;
 pub mod harness;
 pub mod macrobench;
 pub mod report;
 pub mod throughput;
 
+pub use bench_diff::{diff_lanes, parse_lanes, BenchDiff, LaneSnapshot};
 pub use experiments::{ExperimentTable, Figure};
 pub use harness::{AggregatedOutcome, CaseConfig, RunAggregate};
 pub use macrobench::{run_macrobench, MacroBenchConfig, MacroBenchReport, NotifyLaneResult};

@@ -334,6 +334,74 @@ fn replicated_mutations_keep_cluster_and_local_in_lockstep() {
     assert!(matches!(cluster_err, Response::Error(_)));
 }
 
+/// Warm unit caches across replicated appends: after a single-shard append,
+/// the coordinator re-runs only the invalidated unit on the fleet and
+/// replays its memoised siblings by reference (shared `Arc`s recombined via
+/// `prj_core::merge_shared`). The blend of cached and freshly recomputed
+/// remote units must stay bit-identical to the local sharded engine *and*
+/// the naive oracle over the grown relation.
+#[test]
+fn warm_unit_caches_blend_with_fresh_remote_units_exactly() {
+    let shards = 4;
+    let size = 24;
+    let fleet = spawn_fleet(2, shards);
+    let coordinator = coordinator_over(&fleet, shards, 2);
+    let local = Session::new(Arc::new(
+        EngineBuilder::default().threads(2).shards(shards).build(),
+    ));
+    // One relation: it is necessarily the driving one, so sibling shards'
+    // units survive a single-shard append.
+    let mut relations = generate(55, Shape::Uniform, 1, size);
+    let request = register_request("wb0", &relations[0]);
+    coordinator.dispatch_one(request.clone());
+    local.handle(request);
+    let q = [0.15, -0.4];
+    let query = || Request::TopK(QueryRequest::new(vec!["wb0".into()], q.to_vec()).k(4));
+
+    // Cold round warms the coordinator's unit cache.
+    let cold = results_of(coordinator.dispatch_one(query()), "cluster cold");
+    assert_eq!(
+        rows_fingerprint(&cold),
+        rows_fingerprint(&results_of(local.handle(query()), "local cold")),
+        "cold round diverged"
+    );
+
+    for round in 0..3usize {
+        let location = [0.3 * round as f64 - 0.3, 0.2];
+        let append = Request::AppendTuples {
+            relation: "wb0".into(),
+            tuples: vec![prj_api::TupleData::new(location, 0.85)],
+        };
+        assert_eq!(
+            coordinator.dispatch_one(append.clone()),
+            local.handle(append),
+            "round {round}: append acks diverged"
+        );
+        // Mirror the catalog's id assignment so the oracle sees the same
+        // tuple identities.
+        relations[0].push(Tuple::new(
+            TupleId::new(0, size + round),
+            Vector::from(location),
+            0.85,
+        ));
+        let warm = results_of(coordinator.dispatch_one(query()), "cluster warm");
+        assert_eq!(
+            rows_fingerprint(&warm),
+            rows_fingerprint(&results_of(local.handle(query()), "local warm")),
+            "round {round}: cached+fresh blend diverged from local"
+        );
+        let oracle = naive_fingerprint(&relations, &Vector::from(q), 4);
+        let cluster_view: Vec<(Vec<(usize, usize)>, u64)> = warm
+            .iter()
+            .map(|r| (r.tuples.clone(), r.score.to_bits()))
+            .collect();
+        assert_eq!(
+            cluster_view, oracle,
+            "round {round}: cached+fresh blend diverged from the oracle"
+        );
+    }
+}
+
 /// Fault injection: kill a worker while a stream of fresh queries runs.
 /// Every answer must be either bit-identical to the local engine or a
 /// typed error — and with replicas, the fleet must keep answering exactly

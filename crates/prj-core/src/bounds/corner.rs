@@ -21,6 +21,10 @@ pub struct CornerBound {
     /// Per-relation bounds `t_i` (`−∞` for exhausted relations).
     per_relation: Vec<f64>,
     bound: f64,
+    /// Scratch lanes reused across `update` calls: `S̄_j` for every
+    /// relation, and the per-`i` aggregation input.
+    best_any: Vec<f64>,
+    parts: Vec<f64>,
 }
 
 impl CornerBound {
@@ -29,6 +33,8 @@ impl CornerBound {
         CornerBound {
             per_relation: vec![f64::INFINITY; n],
             bound: f64::INFINITY,
+            best_any: vec![0.0; n],
+            parts: vec![0.0; n],
         }
     }
 
@@ -64,19 +70,21 @@ impl<S: ScoringFunction> BoundingScheme<S> for CornerBound {
     fn update(&mut self, state: &JoinState, scoring: &S, _accessed: Option<usize>) -> f64 {
         let n = state.n();
         debug_assert_eq!(self.per_relation.len(), n);
-        // Precompute S̄_j for every relation.
-        let best_any: Vec<f64> = (0..n)
-            .map(|j| Self::best_any_tuple(scoring, state.buffer(j)))
-            .collect();
+        // Precompute S̄_j for every relation, into the reused scratch lane
+        // (same float evaluation order as the allocating version).
+        self.best_any.clear();
+        self.best_any
+            .extend((0..n).map(|j| Self::best_any_tuple(scoring, state.buffer(j))));
         let mut bound = f64::NEG_INFINITY;
         for i in 0..n {
             if state.buffer(i).is_exhausted() {
                 self.per_relation[i] = f64::NEG_INFINITY;
                 continue;
             }
-            let mut parts = best_any.clone();
-            parts[i] = Self::best_unseen_tuple(scoring, state.buffer(i));
-            let t_i = scoring.aggregate(&parts);
+            self.parts.clear();
+            self.parts.extend_from_slice(&self.best_any);
+            self.parts[i] = Self::best_unseen_tuple(scoring, state.buffer(i));
+            let t_i = scoring.aggregate(&self.parts);
             self.per_relation[i] = t_i;
             bound = bound.max(t_i);
         }

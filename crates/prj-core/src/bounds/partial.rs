@@ -8,13 +8,11 @@
 //! (Algorithm 2, line 7: only combinations using the newly retrieved tuple
 //! are added).
 
-/// One partial combination `τ ∈ PC(M)`: for every member relation of `M`
-/// (in ascending relation order) the access rank of the chosen seen tuple.
+/// One partial combination `τ ∈ PC(M)`: cached bound and dominance flag.
+/// Its access ranks live in the owning [`SubsetState`]'s flat `ranks` lane
+/// (struct-of-arrays), addressed by the partial's index.
 #[derive(Debug, Clone)]
 pub struct PartialCombination {
-    /// Access ranks (0-based) of the chosen tuples, aligned with
-    /// [`SubsetState::members`].
-    pub ranks: Vec<usize>,
     /// Cached completion bound `t(τ)`; `NaN` when it has never been computed.
     pub bound: f64,
     /// `true` once the dominance test (Sec. 3.2.2) has flagged the partial
@@ -25,9 +23,8 @@ pub struct PartialCombination {
 
 impl PartialCombination {
     /// Creates an unevaluated partial combination.
-    pub fn new(ranks: Vec<usize>) -> Self {
+    pub fn new() -> Self {
         PartialCombination {
-            ranks,
             bound: f64::NAN,
             dominated: false,
         }
@@ -36,6 +33,12 @@ impl PartialCombination {
     /// `true` when the cached bound has never been computed.
     pub fn needs_evaluation(&self) -> bool {
         self.bound.is_nan()
+    }
+}
+
+impl Default for PartialCombination {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -48,6 +51,11 @@ pub struct SubsetState {
     pub members: Vec<usize>,
     /// All partial combinations formed so far from seen tuples of `M`.
     pub partials: Vec<PartialCombination>,
+    /// Access ranks (0-based) of every partial's chosen tuples, flattened
+    /// with stride `arity()` and aligned with [`Self::members`]. Keeping one
+    /// contiguous lane instead of a `Vec` per partial lets the bound-update
+    /// loop stream over ranks without per-partial allocations or clones.
+    ranks: Vec<usize>,
     /// The cached subset bound `t_M` (Eq. 8); `−∞` until evaluated or when
     /// the subset is infeasible (some relation outside `M` is exhausted).
     pub best: f64,
@@ -58,8 +66,9 @@ impl SubsetState {
     pub fn new(mask: u32, n: usize) -> Self {
         let members: Vec<usize> = (0..n).filter(|&i| mask & (1 << i) != 0).collect();
         let partials = if members.is_empty() {
-            // PC(∅) conventionally contains exactly the empty combination.
-            vec![PartialCombination::new(Vec::new())]
+            // PC(∅) conventionally contains exactly the empty combination
+            // (whose rank slice is empty).
+            vec![PartialCombination::new()]
         } else {
             Vec::new()
         };
@@ -67,8 +76,17 @@ impl SubsetState {
             mask,
             members,
             partials,
+            ranks: Vec::new(),
             best: f64::NEG_INFINITY,
         }
+    }
+
+    /// The access ranks of partial combination `idx`, aligned with
+    /// [`Self::members`] (empty for the empty subset).
+    #[inline]
+    pub fn ranks_of(&self, idx: usize) -> &[usize] {
+        let m = self.members.len();
+        &self.ranks[idx * m..(idx + 1) * m]
     }
 
     /// `true` when relation `i` belongs to `M`.
@@ -113,19 +131,17 @@ impl SubsetState {
         }
         let mut counters = vec![0usize; other_members.len()];
         loop {
-            // Build the rank vector in member order.
-            let mut ranks = Vec::with_capacity(self.members.len());
+            // Append the rank tuple in member order onto the flat lane.
             let mut oi = 0;
-            for (idx, &m) in self.members.iter().enumerate() {
+            for idx in 0..self.members.len() {
                 if idx == pos {
-                    ranks.push(new_rank);
+                    self.ranks.push(new_rank);
                 } else {
-                    ranks.push(counters[oi]);
-                    let _ = m;
+                    self.ranks.push(counters[oi]);
                     oi += 1;
                 }
             }
-            self.partials.push(PartialCombination::new(ranks));
+            self.partials.push(PartialCombination::new());
             // Advance the mixed-radix counter.
             let mut carry = true;
             for (ci, &m) in other_members.iter().enumerate() {
@@ -177,7 +193,7 @@ mod tests {
         let subsets = proper_subsets(3);
         assert_eq!(subsets[0].arity(), 0);
         assert_eq!(subsets[0].partials.len(), 1);
-        assert!(subsets[0].partials[0].ranks.is_empty());
+        assert!(subsets[0].ranks_of(0).is_empty());
         assert!(subsets[0].partials[0].needs_evaluation());
     }
 
@@ -201,13 +217,13 @@ mod tests {
         let first = s.extend_with_new_tuple(0, 0, &depths);
         assert_eq!(first, 0);
         assert_eq!(s.partials.len(), 1);
-        assert_eq!(s.partials[0].ranks, vec![0]);
+        assert_eq!(s.ranks_of(0), [0]);
         // Second tuple of relation 0.
         let depths = [2, 0, 0];
         let first = s.extend_with_new_tuple(0, 1, &depths);
         assert_eq!(first, 1);
         assert_eq!(s.partials.len(), 2);
-        assert_eq!(s.partials[1].ranks, vec![1]);
+        assert_eq!(s.ranks_of(1), [1]);
     }
 
     #[test]
@@ -219,14 +235,16 @@ mod tests {
         // Relation 1 gets its first tuple while relation 0 has depth 2.
         s.extend_with_new_tuple(1, 0, &[2, 1, 5]);
         assert_eq!(s.partials.len(), 2);
-        let ranks: Vec<Vec<usize>> = s.partials.iter().map(|p| p.ranks.clone()).collect();
+        let ranks: Vec<Vec<usize>> = (0..s.partials.len())
+            .map(|i| s.ranks_of(i).to_vec())
+            .collect();
         assert!(ranks.contains(&vec![0, 0]));
         assert!(ranks.contains(&vec![1, 0]));
         // Another tuple from relation 0 combines with the single seen tuple of 1.
         let first = s.extend_with_new_tuple(0, 2, &[3, 1, 5]);
         assert_eq!(first, 2);
         assert_eq!(s.partials.len(), 3);
-        assert_eq!(s.partials[2].ranks, vec![2, 0]);
+        assert_eq!(s.ranks_of(2), [2, 0]);
     }
 
     #[test]
@@ -242,7 +260,9 @@ mod tests {
         }
         assert_eq!(s.partials.len(), depths[0] * depths[1] * depths[2]);
         // All rank vectors are distinct.
-        let mut seen: Vec<Vec<usize>> = s.partials.iter().map(|p| p.ranks.clone()).collect();
+        let mut seen: Vec<Vec<usize>> = (0..s.partials.len())
+            .map(|i| s.ranks_of(i).to_vec())
+            .collect();
         seen.sort();
         seen.dedup();
         assert_eq!(seen.len(), s.partials.len());

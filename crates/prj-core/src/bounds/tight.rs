@@ -74,6 +74,11 @@ pub struct TightBound {
     dominance_tests: usize,
     dominated: usize,
     dominance_time: Duration,
+    /// Scratch lanes reused across `update` calls: the per-relation depths,
+    /// and the queue of partial indices gathered by the streaming pass over
+    /// a subset's flat ranks lane before (re)evaluation.
+    depths: Vec<usize>,
+    eval_queue: Vec<usize>,
 }
 
 impl TightBound {
@@ -91,6 +96,8 @@ impl TightBound {
             dominance_tests: 0,
             dominated: 0,
             dominance_time: Duration::ZERO,
+            depths: Vec::with_capacity(n),
+            eval_queue: Vec::new(),
         }
     }
 
@@ -124,7 +131,7 @@ impl TightBound {
     ) -> f64 {
         let n = state.n();
         let subset = &self.subsets[subset_index];
-        let partial = &subset.partials[partial_index];
+        let ranks = subset.ranks_of(partial_index);
         let query = state.query();
         let m = subset.arity();
 
@@ -134,7 +141,7 @@ impl TightBound {
         for (pos, &rel) in subset.members.iter().enumerate() {
             let tuple = state
                 .buffer(rel)
-                .get(partial.ranks[pos])
+                .get(ranks[pos])
                 .expect("partial combination references an unseen rank");
             seen_points.push(&tuple.vector);
             members.push((&tuple.vector, tuple.score));
@@ -226,14 +233,15 @@ impl TightBound {
         let coeffs: Vec<Option<DominanceCoefficients>> = subset
             .partials
             .iter()
-            .map(|p| {
+            .enumerate()
+            .map(|(idx, p)| {
                 if p.dominated {
                     None
                 } else {
                     let seen: Vec<(&Vector, f64)> = subset
                         .members
                         .iter()
-                        .zip(p.ranks.iter())
+                        .zip(subset.ranks_of(idx).iter())
                         .map(|(&rel, &rank)| {
                             let t = state.buffer(rel).get(rank).expect("seen rank");
                             (&t.vector, t.score)
@@ -276,15 +284,16 @@ impl<S: ScoringFunction> BoundingScheme<S> for TightBound {
     fn update(&mut self, state: &JoinState, scoring: &S, accessed: Option<usize>) -> f64 {
         let n = state.n();
         debug_assert_eq!(self.potentials.len(), n);
-        let depths: Vec<usize> = (0..n).map(|i| state.depth(i)).collect();
+        self.depths.clear();
+        self.depths.extend((0..n).map(|i| state.depth(i)));
 
         // Grow the registries with combinations using the new tuple.
         if let Some(i) = accessed {
             self.access_count += 1;
-            let new_rank = depths[i] - 1;
+            let new_rank = self.depths[i] - 1;
             for subset in &mut self.subsets {
                 if subset.contains(i) {
-                    subset.extend_with_new_tuple(i, new_rank, &depths);
+                    subset.extend_with_new_tuple(i, new_rank, &self.depths);
                 }
             }
         }
@@ -315,31 +324,37 @@ impl<S: ScoringFunction> BoundingScheme<S> for TightBound {
                 continue;
             }
             if recompute {
-                for partial_index in 0..self.subsets[subset_index].partials.len() {
-                    let (dominated, needs_eval, uses_new) = {
-                        let subset = &self.subsets[subset_index];
-                        let partial = &subset.partials[partial_index];
-                        let uses_new = match accessed {
-                            Some(i) => match subset.member_position(i) {
-                                // Partial uses the newly retrieved tuple of R_i.
-                                Some(pos) => partial.ranks[pos] == depths[i] - 1,
-                                // R_i is unseen for this subset: its access
-                                // frontier moved, so the bound must be refreshed.
-                                None => true,
-                            },
-                            None => false,
-                        };
-                        (partial.dominated, partial.needs_evaluation(), uses_new)
-                    };
-                    if dominated {
+                // Batched pass 1: stream over the subset's contiguous ranks
+                // lane and gather the partials that must be (re)evaluated —
+                // no per-partial allocation or branching on scattered state.
+                let subset = &self.subsets[subset_index];
+                let accessed_pos = accessed.map(|i| (i, subset.member_position(i)));
+                self.eval_queue.clear();
+                for (partial_index, partial) in subset.partials.iter().enumerate() {
+                    if partial.dominated {
                         continue;
                     }
-                    if needs_eval || uses_new {
-                        let value =
-                            self.evaluate_partial(state, scoring, subset_index, partial_index);
-                        self.subsets[subset_index].partials[partial_index].bound = value;
+                    let uses_new = match accessed_pos {
+                        // Partial uses the newly retrieved tuple of R_i.
+                        Some((i, Some(pos))) => {
+                            subset.ranks_of(partial_index)[pos] == self.depths[i] - 1
+                        }
+                        // R_i is unseen for this subset: its access
+                        // frontier moved, so the bound must be refreshed.
+                        Some((_, None)) => true,
+                        None => false,
+                    };
+                    if partial.needs_evaluation() || uses_new {
+                        self.eval_queue.push(partial_index);
                     }
                 }
+                // Pass 2: evaluate the gathered batch.
+                let queue = std::mem::take(&mut self.eval_queue);
+                for &partial_index in &queue {
+                    let value = self.evaluate_partial(state, scoring, subset_index, partial_index);
+                    self.subsets[subset_index].partials[partial_index].bound = value;
+                }
+                self.eval_queue = queue;
             }
             if run_dominance && accessed.is_some_and(|i| self.subsets[subset_index].contains(i)) {
                 self.run_dominance_tests(state, subset_index);
@@ -508,22 +523,43 @@ mod tests {
         let (state, mut tb, scoring) = table1_state();
         // mask 0b010 = {R2}; the partial with rank 0 is τ2^(1).
         let s_idx = tb.subsets.iter().position(|s| s.mask == 0b010).unwrap();
-        let p_idx = tb.subsets[s_idx]
-            .partials
-            .iter()
-            .position(|p| p.ranks == vec![0])
+        let p_idx = (0..tb.subsets[s_idx].partials.len())
+            .find(|&i| tb.subsets[s_idx].ranks_of(i) == [0])
             .unwrap();
         let v = tb.evaluate_partial(&state, &scoring, s_idx, p_idx);
         assert!((v - (-12.8)).abs() < 0.1, "t(τ2^(1)) = {v}");
         // mask 0b101 = {R1, R3}; the partial with ranks [0, 0] is τ1^(1) × τ3^(1).
         let s_idx = tb.subsets.iter().position(|s| s.mask == 0b101).unwrap();
-        let p_idx = tb.subsets[s_idx]
-            .partials
-            .iter()
-            .position(|p| p.ranks == vec![0, 0])
+        let p_idx = (0..tb.subsets[s_idx].partials.len())
+            .find(|&i| tb.subsets[s_idx].ranks_of(i) == [0, 0])
             .unwrap();
         let v = tb.evaluate_partial(&state, &scoring, s_idx, p_idx);
         assert!((v - (-16.0)).abs() < 0.1, "t(τ1^(1) × τ3^(1)) = {v}");
+    }
+
+    /// The cached completion bounds maintained incrementally over the flat
+    /// SoA ranks lane must be *bit-identical* to evaluating every partial
+    /// combination from scratch against the same state — the in-place
+    /// bound-update rewrite must not perturb a single float operation.
+    #[test]
+    fn cached_bounds_are_bit_identical_to_fresh_evaluation() {
+        let (state, mut tb, scoring) = table1_state();
+        for s_idx in 0..tb.subsets.len() {
+            for p_idx in 0..tb.subsets[s_idx].partials.len() {
+                let partial = &tb.subsets[s_idx].partials[p_idx];
+                if partial.dominated || partial.bound.is_nan() {
+                    continue;
+                }
+                let cached = partial.bound;
+                let fresh = tb.evaluate_partial(&state, &scoring, s_idx, p_idx);
+                assert_eq!(
+                    cached.to_bits(),
+                    fresh.to_bits(),
+                    "subset {:#b} partial {p_idx}: cached {cached} != fresh {fresh}",
+                    tb.subsets[s_idx].mask
+                );
+            }
+        }
     }
 
     /// The tight bound never exceeds the corner bound (it uses strictly more

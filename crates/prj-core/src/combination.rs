@@ -32,10 +32,14 @@ impl ScoredCombination {
     /// identities (lexicographically ascending) — the paper requires *some*
     /// tie-breaking criterion; this one makes runs reproducible.
     pub fn compare(&self, other: &Self) -> Ordering {
-        other
-            .score
-            .total_cmp(&self.score)
-            .then_with(|| self.ids().cmp(&other.ids()))
+        other.score.total_cmp(&self.score).then_with(|| {
+            // Compare the id sequences without materialising them: this
+            // runs on every buffer insertion, so it must not allocate.
+            self.tuples
+                .iter()
+                .map(|t| t.id)
+                .cmp(other.tuples.iter().map(|t| t.id))
+        })
     }
 }
 
@@ -94,6 +98,15 @@ impl TopKBuffer {
             self.entries.pop();
         }
         true
+    }
+
+    /// `true` when [`insert`](Self::insert) would retain `combo` right now —
+    /// the same rank computation, without taking ownership. Lets merge paths
+    /// decide whether a borrowed combination is worth cloning at all.
+    pub fn would_insert(&self, combo: &ScoredCombination) -> bool {
+        self.entries
+            .partition_point(|e| e.compare(combo) != Ordering::Greater)
+            < self.k
     }
 
     /// The score of the `K`-th best combination retained so far

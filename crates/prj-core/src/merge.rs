@@ -63,31 +63,78 @@ impl RankJoinResult {
 /// Panics when `parts` is empty or the parts disagree on relation arity.
 pub fn merge_results(k: usize, parts: Vec<RankJoinResult>) -> RankJoinResult {
     assert!(!parts.is_empty(), "cannot merge zero partial results");
-    let n = parts[0].stats.num_relations();
-    let mut output = TopKBuffer::new(k);
-    let mut stats = AccessStats::new(n);
-    let mut metrics = RunMetrics {
-        final_bound: f64::NEG_INFINITY,
-        ..RunMetrics::default()
-    };
+    let mut acc = MergeAccumulator::new(k, parts[0].stats.num_relations());
     for part in parts {
-        stats.absorb(&part.stats);
-        metrics.total_time += part.metrics.total_time;
-        metrics.bound_time += part.metrics.bound_time;
-        metrics.dominance_time += part.metrics.dominance_time;
-        metrics.bound_updates += part.metrics.bound_updates;
-        metrics.combinations_formed += part.metrics.combinations_formed;
-        metrics.dominated_partials += part.metrics.dominated_partials;
-        metrics.hit_access_cap |= part.metrics.hit_access_cap;
-        metrics.final_bound = metrics.final_bound.max(part.metrics.final_bound);
+        acc.absorb_bookkeeping(&part);
         for combo in part.combinations {
-            output.insert(combo);
+            acc.output.insert(combo);
         }
     }
-    RankJoinResult {
-        combinations: output.into_sorted_vec(),
-        stats,
-        metrics,
+    acc.finish()
+}
+
+/// [`merge_results`] over *borrowed* parts: merges shared (e.g. cached,
+/// `Arc`-held) per-part results without first deep-cloning each part's full
+/// combination vector. Only the combinations that actually enter the merged
+/// top-`k` are cloned — checked with [`TopKBuffer::would_insert`] before any
+/// tuple data is copied.
+///
+/// # Panics
+/// Panics when `parts` yields nothing.
+pub fn merge_shared<'a>(
+    k: usize,
+    parts: impl IntoIterator<Item = &'a RankJoinResult>,
+) -> RankJoinResult {
+    let mut acc: Option<MergeAccumulator> = None;
+    for part in parts {
+        let acc = acc.get_or_insert_with(|| MergeAccumulator::new(k, part.stats.num_relations()));
+        acc.absorb_bookkeeping(part);
+        for combo in &part.combinations {
+            if acc.output.would_insert(combo) {
+                acc.output.insert(combo.clone());
+            }
+        }
+    }
+    acc.expect("cannot merge zero partial results").finish()
+}
+
+/// Shared stats/metrics aggregation of the two merge entry points.
+struct MergeAccumulator {
+    output: TopKBuffer,
+    stats: AccessStats,
+    metrics: RunMetrics,
+}
+
+impl MergeAccumulator {
+    fn new(k: usize, n: usize) -> Self {
+        MergeAccumulator {
+            output: TopKBuffer::new(k),
+            stats: AccessStats::new(n),
+            metrics: RunMetrics {
+                final_bound: f64::NEG_INFINITY,
+                ..RunMetrics::default()
+            },
+        }
+    }
+
+    fn absorb_bookkeeping(&mut self, part: &RankJoinResult) {
+        self.stats.absorb(&part.stats);
+        self.metrics.total_time += part.metrics.total_time;
+        self.metrics.bound_time += part.metrics.bound_time;
+        self.metrics.dominance_time += part.metrics.dominance_time;
+        self.metrics.bound_updates += part.metrics.bound_updates;
+        self.metrics.combinations_formed += part.metrics.combinations_formed;
+        self.metrics.dominated_partials += part.metrics.dominated_partials;
+        self.metrics.hit_access_cap |= part.metrics.hit_access_cap;
+        self.metrics.final_bound = self.metrics.final_bound.max(part.metrics.final_bound);
+    }
+
+    fn finish(self) -> RankJoinResult {
+        RankJoinResult {
+            combinations: self.output.into_sorted_vec(),
+            stats: self.stats,
+            metrics: self.metrics,
+        }
     }
 }
 
@@ -339,5 +386,113 @@ mod tests {
     #[should_panic]
     fn merging_nothing_panics() {
         let _ = merge_results(1, Vec::new());
+    }
+
+    #[test]
+    fn merge_shared_matches_owned_merge_on_table1_partitions() {
+        let k = 8;
+        let parts: Vec<RankJoinResult> = (0..2)
+            .map(|part| {
+                let mut rels = table1();
+                rels[0] = vec![rels[0][part].clone()];
+                let mut problem = ProblemBuilder::new(
+                    Vector::from([0.0, 0.0]),
+                    EuclideanLogScore::new(1.0, 1.0, 1.0),
+                )
+                .k(k)
+                .relations_from_tuples(rels)
+                .build()
+                .unwrap();
+                Algorithm::Tbrr.run(&mut problem).unwrap()
+            })
+            .collect();
+        let shared = merge_shared(k, parts.iter());
+        let owned = merge_results(k, parts);
+        assert_eq!(shared.combinations, owned.combinations);
+        assert_eq!(shared.stats, owned.stats);
+        assert_eq!(shared.metrics, owned.metrics);
+    }
+
+    mod fuzz {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Deterministic per-seed random part results: disjoint id spaces
+        /// (one relation-0 id range per part, mirroring first-relation
+        /// sharding), scores with deliberate ties.
+        fn random_parts(seed: u64) -> Vec<RankJoinResult> {
+            let mut rng = seed | 1;
+            let mut step = move || {
+                rng = rng
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                rng >> 33
+            };
+            let num_parts = 1 + (step() % 4) as usize;
+            (0..num_parts)
+                .map(|part| {
+                    let rows = (step() % 7) as usize;
+                    let mut combos: Vec<ScoredCombination> = (0..rows)
+                        .map(|i| {
+                            // Coarse score grid to force cross-part ties.
+                            let score = -((step() % 5) as f64);
+                            ScoredCombination::new(
+                                vec![
+                                    Tuple::new(
+                                        TupleId::new(0, part * 1000 + i),
+                                        Vector::from([score, 0.0]),
+                                        0.5,
+                                    ),
+                                    Tuple::new(
+                                        TupleId::new(1, (step() % 10) as usize),
+                                        Vector::from([0.0, 1.0]),
+                                        0.5,
+                                    ),
+                                ],
+                                score,
+                            )
+                        })
+                        .collect();
+                    combos.sort_by(|a, b| a.compare(b));
+                    let mut stats = AccessStats::new(2);
+                    for _ in 0..step() % 5 {
+                        stats.record_access((step() % 2) as usize);
+                    }
+                    RankJoinResult {
+                        combinations: combos,
+                        stats,
+                        metrics: RunMetrics {
+                            final_bound: -((step() % 6) as f64),
+                            bound_updates: (step() % 9) as usize,
+                            combinations_formed: (step() % 9) as usize,
+                            ..RunMetrics::default()
+                        },
+                    }
+                })
+                .collect()
+        }
+
+        proptest! {
+            /// The clone-avoiding shared merge is indistinguishable from the
+            /// owned merge AND from a brute-force oracle (sort everything,
+            /// take k) on random disjoint part results.
+            #[test]
+            fn merge_shared_equals_owned_and_oracle(seed in 0u64..u64::MAX, k in 1usize..12) {
+                let parts = random_parts(seed);
+                let shared = merge_shared(k, parts.iter());
+                // Brute-force oracle over the union of all part outputs.
+                let mut all: Vec<ScoredCombination> = parts
+                    .iter()
+                    .flat_map(|p| p.combinations.iter().cloned())
+                    .collect();
+                all.sort_by(|a, b| a.compare(b));
+                all.truncate(k);
+                prop_assert_eq!(&shared.combinations, &all);
+                let owned = merge_results(k, parts);
+                prop_assert_eq!(&shared.combinations, &owned.combinations);
+                prop_assert_eq!(&shared.stats, &owned.stats);
+                prop_assert_eq!(&shared.metrics, &owned.metrics);
+            }
+        }
     }
 }

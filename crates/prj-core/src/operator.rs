@@ -24,7 +24,9 @@ use crate::problem::Problem;
 use crate::pull::PullStrategy;
 use crate::scoring::ScoringFunction;
 use crate::state::JoinState;
-use prj_access::{AccessStats, Tuple};
+use prj_access::{AccessStats, Tuple, TupleId};
+use prj_geometry::Vector;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Instrumentation collected during one ProxRJ execution.
@@ -84,18 +86,28 @@ struct RunCore {
     k: usize,
     config: crate::problem::ProxRjConfig,
     n: usize,
-    query: prj_geometry::Vector,
+    /// Shared handle to the query vector — refcounted with the problem and
+    /// the join state instead of deep-copied per run.
+    query: Arc<Vector>,
     state: JoinState,
     output: TopKBuffer,
     stats: AccessStats,
     metrics: RunMetrics,
     t: f64,
     /// Identities of the results already handed out by `next_certified`,
-    /// in emission order. Tracked by identity rather than by buffer index:
-    /// a late near-tie can insert ahead of an already-emitted entry and
-    /// shift buffer positions.
-    emitted: Vec<Vec<prj_access::TupleId>>,
+    /// in emission order, flattened with stride `n`. Tracked by identity
+    /// rather than by buffer index: a late near-tie can insert ahead of an
+    /// already-emitted entry and shift buffer positions.
+    emitted: Vec<TupleId>,
     done: bool,
+    /// Scratch lane for the per-relation bound potentials, refilled in
+    /// place on every step instead of reallocated.
+    potentials: Vec<f64>,
+    /// Scratch for combination formation: the indices of the relations
+    /// other than the newly accessed one, and the mixed-radix counters
+    /// enumerating their seen prefixes.
+    combo_others: Vec<usize>,
+    combo_counters: Vec<usize>,
     /// Time spent actively stepping the operator (excludes any time an
     /// incremental run sits idle between `next_certified` calls).
     work_time: std::time::Duration,
@@ -109,11 +121,13 @@ impl RunCore {
         let n = problem.num_relations();
         let k = problem.k();
         let config = problem.config();
-        let query = problem.query().clone();
+        // Refcount bumps, not coordinate copies: the problem, the run core
+        // and the join state all share one query allocation.
+        let query = Arc::clone(problem.query_shared());
         let kind = problem.access_kind();
         let max_scores = problem.relations().max_scores();
 
-        let state = JoinState::new(query.clone(), kind, &max_scores);
+        let state = JoinState::new(Arc::clone(&query), kind, &max_scores);
         let mut metrics = RunMetrics::default();
         let bound_started = Instant::now();
         let t = bound.update(&state, problem.scoring(), None);
@@ -132,6 +146,9 @@ impl RunCore {
             t,
             emitted: Vec::new(),
             done: false,
+            potentials: Vec::with_capacity(n),
+            combo_others: Vec::with_capacity(n),
+            combo_counters: Vec::with_capacity(n),
             work_time: setup_started.elapsed(),
         }
     }
@@ -184,9 +201,12 @@ impl RunCore {
                 return false;
             }
         }
-        // Pulling strategy (line 4).
-        let potentials: Vec<f64> = (0..self.n).map(|i| bound.potential(i)).collect();
-        let Some(i) = pull.choose_input(&self.state, &potentials) else {
+        // Pulling strategy (line 4). The potentials lane is refilled in
+        // place — this runs once per sorted access.
+        self.potentials.clear();
+        self.potentials
+            .extend((0..self.n).map(|i| bound.potential(i)));
+        let Some(i) = pull.choose_input(&self.state, &self.potentials) else {
             // Every relation is exhausted: the retained top-K is exact.
             self.done = true;
             return false;
@@ -204,14 +224,8 @@ impl RunCore {
                 self.stats.record_access(i);
                 // Join with the seen prefixes of the other relations (line 6–7),
                 // *before* adding the new tuple to its own buffer.
-                self.metrics.combinations_formed += form_combinations(
-                    problem.scoring(),
-                    &self.state,
-                    &self.query,
-                    i,
-                    &tuple,
-                    &mut self.output,
-                );
+                let formed = self.form_combinations(problem.scoring(), i, &tuple);
+                self.metrics.combinations_formed += formed;
                 // Line 8: add the tuple to P_i, recording its distance from the
                 // query under the aggregation function's own metric δ.
                 let dist = problem.scoring().distance(&tuple.vector, &self.query);
@@ -244,7 +258,7 @@ impl RunCore {
                 .output
                 .as_slice()
                 .iter()
-                .find(|c| !self.emitted.contains(&c.ids()))
+                .find(|c| !self.is_emitted(c))
                 .cloned();
             if let Some(combo) = next {
                 // The entry is final once nothing unseen can beat *or tie*
@@ -254,7 +268,7 @@ impl RunCore {
                 // by-id tie-break (an unseen tie could win on ids; see
                 // `step_inner`).
                 if self.done || combo.score >= self.t + self.config.termination_tolerance {
-                    self.emitted.push(combo.ids());
+                    self.emitted.extend(combo.tuples.iter().map(|t| t.id));
                     return Some(combo);
                 }
             } else if self.done {
@@ -262,6 +276,112 @@ impl RunCore {
             }
             self.step(problem, bound, pull);
         }
+    }
+
+    /// `true` when `combo` has already been handed out by `next_certified`.
+    /// The emitted list is a flat `TupleId` lane with stride `n`, scanned
+    /// without materialising per-candidate id vectors.
+    fn is_emitted(&self, combo: &ScoredCombination) -> bool {
+        self.emitted.chunks_exact(self.n).any(|ids| {
+            ids.iter()
+                .zip(combo.tuples.iter())
+                .all(|(id, t)| *id == t.id)
+        })
+    }
+
+    /// Number of results already handed out by `next_certified`.
+    fn emitted_count(&self) -> usize {
+        self.emitted.len() / self.n
+    }
+
+    /// Forms every combination `P_1 × … × {new} × … × P_n`, scores it and
+    /// pushes it into the output buffer (Algorithm 1 lines 6–7). Returns the
+    /// number of combinations formed.
+    ///
+    /// The hot path scores each combination straight from the buffer-resident
+    /// tuples; member tuples are cloned only when the score can actually
+    /// enter the top-K buffer. The enumeration scratch (`combo_others`,
+    /// `combo_counters`) is reused across calls.
+    fn form_combinations<S: ScoringFunction>(
+        &mut self,
+        scoring: &S,
+        new_relation: usize,
+        new_tuple: &Tuple,
+    ) -> usize {
+        let n = self.n;
+        // Every other relation must have at least one seen tuple.
+        if (0..n).any(|j| j != new_relation && self.state.depth(j) == 0) {
+            return 0;
+        }
+        self.combo_others.clear();
+        self.combo_others
+            .extend((0..n).filter(|&j| j != new_relation));
+        self.combo_counters.clear();
+        self.combo_counters.resize(self.combo_others.len(), 0);
+        let mut members: Vec<(&Vector, f64)> = Vec::with_capacity(n);
+        let mut formed = 0;
+        loop {
+            // Assemble the member views in relation order and score them.
+            members.clear();
+            let mut oi = 0;
+            for j in 0..n {
+                if j == new_relation {
+                    members.push((&new_tuple.vector, new_tuple.score));
+                } else {
+                    let t = self
+                        .state
+                        .buffer(j)
+                        .get(self.combo_counters[oi])
+                        .expect("seen rank");
+                    members.push((&t.vector, t.score));
+                    oi += 1;
+                }
+            }
+            let score = scoring.score_members(&members, &self.query);
+            formed += 1;
+            // Materialise the owned combination only when it can be
+            // retained. NaN-safe: `!(score < kth)` keeps NaN scores on the
+            // materialise path (`total_cmp` orders them deterministically),
+            // and an IEEE-strict `score < kth` guarantees the buffer would
+            // reject, so nothing insertable is ever skipped.
+            #[allow(clippy::neg_cmp_op_on_partial_ord)]
+            if !self.output.is_full() || !(score < self.output.kth_score()) {
+                let mut tuples: Vec<Tuple> = Vec::with_capacity(n);
+                let mut oi = 0;
+                for j in 0..n {
+                    if j == new_relation {
+                        tuples.push(new_tuple.clone());
+                    } else {
+                        tuples.push(
+                            self.state
+                                .buffer(j)
+                                .get(self.combo_counters[oi])
+                                .expect("seen rank")
+                                .clone(),
+                        );
+                        oi += 1;
+                    }
+                }
+                self.output.insert(ScoredCombination::new(tuples, score));
+            }
+            // Mixed-radix increment over the other relations' seen depths.
+            let mut carry = true;
+            for (ci, &j) in self.combo_others.iter().enumerate() {
+                if !carry {
+                    break;
+                }
+                self.combo_counters[ci] += 1;
+                if self.combo_counters[ci] >= self.state.depth(j) {
+                    self.combo_counters[ci] = 0;
+                } else {
+                    carry = false;
+                }
+            }
+            if carry {
+                break;
+            }
+        }
+        formed
     }
 
     /// Consumes the core into the final result (the run must be done).
@@ -345,7 +465,7 @@ impl<S: ScoringFunction> StreamingRun<S> {
     /// Number of results already emitted by
     /// [`next_certified`](Self::next_certified).
     pub fn emitted(&self) -> usize {
-        self.core.emitted.len()
+        self.core.emitted_count()
     }
 
     /// Per-relation depths read so far.
@@ -384,70 +504,6 @@ impl<S: ScoringFunction> StreamingRun<S> {
     pub fn into_problem(self) -> Problem<S> {
         self.problem
     }
-}
-
-/// Forms every combination `P_1 × … × {new} × … × P_n`, scores it and pushes
-/// it into the output buffer. Returns the number of combinations formed.
-fn form_combinations<S: ScoringFunction>(
-    scoring: &S,
-    state: &JoinState,
-    query: &prj_geometry::Vector,
-    new_relation: usize,
-    new_tuple: &Tuple,
-    output: &mut TopKBuffer,
-) -> usize {
-    let n = state.n();
-    // Every other relation must have at least one seen tuple.
-    if (0..n).any(|j| j != new_relation && state.depth(j) == 0) {
-        return 0;
-    }
-    let others: Vec<usize> = (0..n).filter(|&j| j != new_relation).collect();
-    let mut counters = vec![0usize; others.len()];
-    let mut formed = 0;
-    loop {
-        // Assemble the combination in relation order.
-        let mut tuples: Vec<Tuple> = Vec::with_capacity(n);
-        {
-            let mut oi = 0;
-            for j in 0..n {
-                if j == new_relation {
-                    tuples.push(new_tuple.clone());
-                } else {
-                    tuples.push(
-                        state
-                            .buffer(j)
-                            .get(counters[oi])
-                            .expect("seen rank")
-                            .clone(),
-                    );
-                    oi += 1;
-                }
-            }
-        }
-        let members: Vec<(&prj_geometry::Vector, f64)> =
-            tuples.iter().map(|t| (&t.vector, t.score)).collect();
-        let score = scoring.score_members(&members, query);
-        drop(members);
-        output.insert(ScoredCombination::new(tuples, score));
-        formed += 1;
-        // Mixed-radix increment over the other relations' seen depths.
-        let mut carry = true;
-        for (ci, &j) in others.iter().enumerate() {
-            if !carry {
-                break;
-            }
-            counters[ci] += 1;
-            if counters[ci] >= state.depth(j) {
-                counters[ci] = 0;
-            } else {
-                carry = false;
-            }
-        }
-        if carry {
-            break;
-        }
-    }
-    formed
 }
 
 #[cfg(test)]
@@ -670,6 +726,42 @@ mod tests {
         let streamed = run.into_result();
         assert_eq!(streamed.combinations, batch.combinations);
         assert_eq!(streamed.stats, batch.stats);
+    }
+
+    #[test]
+    fn query_is_shared_not_copied_across_operator_state() {
+        // White-box allocation check for the per-unit query-clone fix: the
+        // problem, the run core and the join state must all hold refcount
+        // bumps on ONE query allocation, not per-layer deep copies.
+        let q = Arc::new(Vector::from([0.0, 0.0]));
+        let mk = |rel: usize, rows: &[([f64; 2], f64)]| -> Vec<Tuple> {
+            rows.iter()
+                .enumerate()
+                .map(|(i, (x, s))| Tuple::new(TupleId::new(rel, i), Vector::from(*x), *s))
+                .collect()
+        };
+        let problem = ProblemBuilder::new(Arc::clone(&q), EuclideanLogScore::new(1.0, 1.0, 1.0))
+            .k(2)
+            .access_kind(AccessKind::Distance)
+            .relation_from_tuples(mk(0, &[([0.0, -0.5], 0.5), ([0.0, 1.0], 1.0)]))
+            .relation_from_tuples(mk(1, &[([1.0, 1.0], 1.0), ([-2.0, 2.0], 0.8)]))
+            .build()
+            .unwrap();
+        assert!(
+            Arc::ptr_eq(&q, problem.query_shared()),
+            "builder must keep the caller's query allocation"
+        );
+        assert_eq!(Arc::strong_count(&q), 2); // test handle + problem
+        let run = StreamingRun::new(
+            problem,
+            Box::new(CornerBound::new(2)),
+            Box::new(RoundRobin::new()),
+        );
+        // Exactly two more holders appear (run core + join state); a deep
+        // copy anywhere would leave the count short.
+        assert_eq!(Arc::strong_count(&q), 4);
+        drop(run);
+        assert_eq!(Arc::strong_count(&q), 1);
     }
 
     #[test]

@@ -4,6 +4,7 @@ use crate::error::PrjError;
 use crate::scoring::ScoringFunction;
 use prj_access::{AccessKind, RTreeRelation, RelationSet, SortedAccess, Tuple, VecRelation};
 use prj_geometry::Vector;
+use std::sync::Arc;
 
 /// Runtime configuration of a ProxRJ execution.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -39,8 +40,12 @@ impl Default for ProxRjConfig {
 }
 
 /// A proximity rank join problem instance `(R_1, …, R_n, S, K)`.
+///
+/// The query vector is held behind an [`Arc`] so every execution layer that
+/// needs it — the operator core, the join state, per-shard execution units —
+/// shares one allocation instead of deep-cloning the coordinates per run.
 pub struct Problem<S> {
-    query: Vector,
+    query: Arc<Vector>,
     scoring: S,
     k: usize,
     relations: RelationSet,
@@ -50,6 +55,12 @@ pub struct Problem<S> {
 impl<S: ScoringFunction> Problem<S> {
     /// The query vector `q`.
     pub fn query(&self) -> &Vector {
+        &self.query
+    }
+
+    /// The shared handle to the query vector; cloning it is a refcount
+    /// bump, not a copy of the coordinates.
+    pub fn query_shared(&self) -> &Arc<Vector> {
         &self.query
     }
 
@@ -125,7 +136,7 @@ pub enum RelationBackend {
 
 /// Builder for [`Problem`].
 pub struct ProblemBuilder<S> {
-    query: Vector,
+    query: Arc<Vector>,
     scoring: S,
     k: usize,
     kind: AccessKind,
@@ -137,9 +148,13 @@ pub struct ProblemBuilder<S> {
 
 impl<S: ScoringFunction> ProblemBuilder<S> {
     /// Starts a builder for the given query and aggregation function.
-    pub fn new(query: Vector, scoring: S) -> Self {
+    ///
+    /// Accepts either an owned [`Vector`] or an already-shared
+    /// `Arc<Vector>`; callers building one problem per shard should pass
+    /// the same `Arc` to every builder so no per-unit copy is made.
+    pub fn new(query: impl Into<Arc<Vector>>, scoring: S) -> Self {
         ProblemBuilder {
-            query,
+            query: query.into(),
             scoring,
             k: 10,
             kind: AccessKind::Distance,
@@ -237,7 +252,7 @@ impl<S: ScoringFunction> ProblemBuilder<S> {
                     }))
                 }
                 (AccessKind::Distance, RelationBackend::RTree) => {
-                    Box::new(RTreeRelation::new(name, self.query.clone(), tuples))
+                    Box::new(RTreeRelation::new(name, (*self.query).clone(), tuples))
                 }
                 (AccessKind::Score, _) => Box::new(VecRelation::score_sorted(name, tuples)),
             };

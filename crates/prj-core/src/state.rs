@@ -2,27 +2,32 @@
 
 use prj_access::{AccessKind, RelationBuffer, Tuple};
 use prj_geometry::Vector;
+use std::sync::Arc;
 
 /// The state a ProxRJ execution exposes to its bounding scheme and pulling
 /// strategy: the query, the access kind and the seen prefix `P_i` of every
 /// relation.
+///
+/// The query is held behind an [`Arc`] so that the operator, the state and
+/// the engine-side unit specs can all reference the same coordinates without
+/// per-run deep copies.
 #[derive(Debug, Clone)]
 pub struct JoinState {
-    query: Vector,
+    query: Arc<Vector>,
     kind: AccessKind,
     buffers: Vec<RelationBuffer>,
 }
 
 impl JoinState {
     /// Creates the state for `max_scores.len()` relations, all unread.
-    pub fn new(query: Vector, kind: AccessKind, max_scores: &[f64]) -> Self {
+    pub fn new(query: impl Into<Arc<Vector>>, kind: AccessKind, max_scores: &[f64]) -> Self {
         let buffers = max_scores
             .iter()
             .enumerate()
             .map(|(i, &s)| RelationBuffer::new(i, kind, s))
             .collect();
         JoinState {
-            query,
+            query: query.into(),
             kind,
             buffers,
         }

@@ -315,13 +315,19 @@ impl CatalogRelation {
     }
 
     /// An O(1) distance-based sorted-access view of **shard `j`**, walking
-    /// that shard's R-tree (Euclidean frontier).
-    pub fn shard_distance_view(&self, j: usize, query: Vector) -> Box<dyn SortedAccess> {
+    /// that shard's R-tree (Euclidean frontier). Takes the query behind an
+    /// `Arc` (or an owned [`Vector`], converted) so every view of one query
+    /// shares a single allocation.
+    pub fn shard_distance_view(
+        &self,
+        j: usize,
+        query: impl Into<Arc<Vector>>,
+    ) -> Box<dyn SortedAccess> {
         let shard = &self.shards[j];
         Box::new(SharedRTreeRelation::new(
             Arc::clone(&self.name),
             Arc::clone(&shard.rtree),
-            query,
+            query.into(),
             shard.stats.max_score,
         ))
     }
@@ -358,17 +364,17 @@ impl CatalogRelation {
     /// frontiers recombined into one globally sorted stream
     /// ([`MergedAccess`]; the wrapper is skipped for a single shard). O(S)
     /// to build.
-    pub fn distance_view(&self, query: Vector) -> Box<dyn SortedAccess> {
+    pub fn distance_view(&self, query: impl Into<Arc<Vector>>) -> Box<dyn SortedAccess> {
+        let query = query.into();
         if self.shards.len() == 1 {
             return self.shard_distance_view(0, query);
         }
         let parts: Vec<Box<dyn SortedAccess>> = (0..self.shards.len())
-            .map(|j| self.shard_distance_view(j, query.clone()))
+            .map(|j| self.shard_distance_view(j, Arc::clone(&query)))
             .collect();
-        let q = query;
         Box::new(self.merged(
             parts,
-            MergeOrder::AscendingBy(Box::new(move |t| t.distance_to(&q))),
+            MergeOrder::AscendingBy(Box::new(move |t| t.distance_to(&query))),
         ))
     }
 

@@ -9,7 +9,7 @@
 //! shard statistics, each a [`prj_core::Problem`] out of O(1) shared-index
 //! views — and hands the fan-out to the [`Executor`]'s thread pool, where
 //! the certified per-unit top-Ks recombine exactly through
-//! [`prj_core::merge_results`] (the shard count is unobservable through
+//! [`prj_core::merge_shared`] (the shard count is unobservable through
 //! results). The caller gets a [`QueryTicket`] to wait on;
 //! [`Engine::stream`] instead returns a [`ResultStream`] whose
 //! [`next_result`](ResultStream::next_result) pulls certified results one
@@ -40,7 +40,7 @@ use crate::stats::{EngineStats, EngineStatsSnapshot, QueryRecord, UnitRecord};
 use prj_access::{AccessKind, RelationStats};
 use prj_api::ScoringSelector;
 use prj_core::{
-    merge_results, Algorithm, CertifiedMerge, EuclideanLogScore, PrjError, Problem, ProblemBuilder,
+    merge_shared, Algorithm, CertifiedMerge, EuclideanLogScore, PrjError, Problem, ProblemBuilder,
     RankJoinResult, RunMetrics, ScoredCombination, ScoringSpec, StreamingRun,
 };
 use prj_geometry::Vector;
@@ -568,7 +568,7 @@ struct UnitExecContext {
     relations: Vec<RelationId>,
     epochs: Vec<Vec<u64>>,
     drive: usize,
-    query: Vector,
+    query: Arc<Vector>,
     k: usize,
     access_kind: AccessKind,
     selector: Option<ScoringSelector>,
@@ -580,9 +580,14 @@ struct UnitExecContext {
 }
 
 /// How one unit's result was obtained.
+///
+/// The result stays behind the `Arc` the unit cache hands out (or the one a
+/// fresh run is wrapped in before insertion): a cache hit never deep-copies
+/// the memoised combinations, and the merge reads the parts by reference
+/// ([`prj_core::merge_shared`]).
 struct UnitOutcome {
     shard: usize,
-    result: RankJoinResult,
+    result: Arc<RankJoinResult>,
     elapsed: Duration,
     /// `false` when the result came out of the unit cache (no accesses
     /// were performed for it this query).
@@ -640,7 +645,7 @@ impl UnitExecContext {
                 }
                 return Ok(UnitOutcome {
                     shard: unit.shard,
-                    result: (*hit).clone(),
+                    result: hit,
                     elapsed: Duration::ZERO,
                     fresh: false,
                 });
@@ -665,7 +670,7 @@ impl UnitExecContext {
                     epochs: self.epochs.clone(),
                     drive: self.drive,
                     shard: unit.shard,
-                    query: self.query.clone(),
+                    query: (*self.query).clone(),
                     k: self.k,
                     selector,
                     access_kind: self.access_kind,
@@ -690,8 +695,9 @@ impl UnitExecContext {
             span.attr("sum_depths", result.sum_depths());
             span.finish();
         }
+        let result = Arc::new(result);
         if let Some(key) = key {
-            self.unit_cache.insert(key, Arc::new(result.clone()));
+            self.unit_cache.insert(key, Arc::clone(&result));
         }
         Ok(UnitOutcome {
             shard: unit.shard,
@@ -730,7 +736,7 @@ fn run_units(
                 .collect()
         })
     };
-    let mut parts = Vec::with_capacity(outcomes.len());
+    let mut parts: Vec<Arc<RankJoinResult>> = Vec::with_capacity(outcomes.len());
     let mut unit_records = Vec::with_capacity(outcomes.len());
     for outcome in outcomes {
         let outcome = outcome?;
@@ -744,13 +750,19 @@ fn run_units(
         parts.push(outcome.result);
     }
     let merged = if parts.len() == 1 {
-        parts.pop().expect("one part")
+        // A freshly run, uncached unit holds the only reference and is
+        // moved out without copying; a unit-cache hit stays shared with
+        // the cache and must be cloned.
+        Arc::try_unwrap(parts.pop().expect("one part")).unwrap_or_else(|arc| (*arc).clone())
     } else {
         let n = parts.len();
         let span = ctx
             .trace
             .map(|(trace, parent)| ctx.recorder.child(trace, parent, "merge"));
-        let merged = merge_results(k, parts);
+        // Merge by reference: only the combinations that actually enter
+        // the global top-k are cloned out of the (possibly cache-shared)
+        // per-unit results.
+        let merged = merge_shared(k, parts.iter().map(|p| p.as_ref()));
         if let Some(mut span) = span {
             span.attr("parts", n);
             span.finish();
@@ -1111,8 +1123,15 @@ impl Engine {
         snapshot: &[Arc<CatalogRelation>],
     ) -> Result<(usize, Vec<ExecutionUnit>), EngineError> {
         let reducible = spec.scoring.euclidean_weights().is_some();
+        // The query vector is cloned ONCE per query and shared behind an
+        // `Arc` by every unit's problem and every relation view — not
+        // re-cloned per unit (see `Problem::query_shared`).
+        let query = Arc::new(spec.query.clone());
+        // Whole-relation statistics, computed once and reused by both the
+        // driving choice and every per-unit plan (the planner only ever
+        // swaps the driving slot for the shard's own stats).
+        let mut stats: Vec<RelationStats> = snapshot.iter().map(|r| r.stats()).collect();
         let drive = if snapshot.len() > 1 {
-            let stats: Vec<RelationStats> = snapshot.iter().map(|r| r.stats()).collect();
             self.planner.choose_driving(&stats)
         } else {
             0
@@ -1140,8 +1159,17 @@ impl Engine {
         let units = selected
             .into_iter()
             .map(|j| {
-                let plan = self.plan_unit(spec, snapshot, reducible, drive, j);
-                Self::build_unit(spec, snapshot, &delta_sorted, reducible, drive, j, plan)
+                let plan = self.plan_unit(spec, snapshot, &mut stats, reducible, drive, j);
+                Self::build_unit(
+                    spec,
+                    snapshot,
+                    &query,
+                    &delta_sorted,
+                    reducible,
+                    drive,
+                    j,
+                    plan,
+                )
             })
             .collect::<Result<Vec<_>, _>>()?;
         Ok((drive, units))
@@ -1178,10 +1206,16 @@ impl Engine {
 
     /// The per-unit plan: pinned by the query, or chosen from the unit's
     /// own statistics (the driving slot's shard stats, the others whole).
+    ///
+    /// `stats` is the whole-relation statistics vector computed once in
+    /// [`Self::prepare_units`]; the driving slot is swapped in place for
+    /// the shard's own stats and restored, so planning a unit allocates
+    /// nothing.
     fn plan_unit(
         &self,
         spec: &QuerySpec,
         snapshot: &[Arc<CatalogRelation>],
+        stats: &mut [RelationStats],
         reducible: bool,
         drive: usize,
         shard: usize,
@@ -1193,18 +1227,13 @@ impl Engine {
                 rationale: "algorithm pinned by the query".to_string(),
             },
             None => {
-                let stats: Vec<RelationStats> = snapshot
-                    .iter()
-                    .enumerate()
-                    .map(|(idx, r)| {
-                        if idx == drive && r.num_shards() > 1 {
-                            r.shard(shard).stats()
-                        } else {
-                            r.stats()
-                        }
-                    })
-                    .collect();
-                self.planner.plan(reducible, &stats)
+                let whole = stats[drive];
+                if snapshot[drive].num_shards() > 1 {
+                    stats[drive] = snapshot[drive].shard(shard).stats();
+                }
+                let plan = self.planner.plan(reducible, stats);
+                stats[drive] = whole;
+                plan
             }
         }
     }
@@ -1213,16 +1242,18 @@ impl Engine {
     /// keep their client-given join order — only the *view* of the driving
     /// relation is narrowed to its shard — so member tuples of results come
     /// out in the same order at every driving choice.
+    #[allow(clippy::too_many_arguments)]
     fn build_unit(
         spec: &QuerySpec,
         snapshot: &[Arc<CatalogRelation>],
+        query: &Arc<Vector>,
         delta_sorted: &[Option<Arc<Vec<prj_access::Tuple>>>],
         reducible: bool,
         drive: usize,
         shard: usize,
         plan: Plan,
     ) -> Result<ExecutionUnit, EngineError> {
-        let mut builder = ProblemBuilder::new(spec.query.clone(), Arc::clone(&spec.scoring))
+        let mut builder = ProblemBuilder::new(Arc::clone(query), Arc::clone(&spec.scoring))
             .k(spec.k)
             .access_kind(spec.access_kind)
             .dominance_period(plan.dominance_period);
@@ -1231,7 +1262,7 @@ impl Engine {
                 // The driving relation contributes only its shard.
                 match spec.access_kind {
                     AccessKind::Distance if reducible => {
-                        relation.shard_distance_view(shard, spec.query.clone())
+                        relation.shard_distance_view(shard, Arc::clone(query))
                     }
                     AccessKind::Distance => {
                         relation.shard_distance_view_by(shard, &spec.scoring, &spec.query)
@@ -1242,7 +1273,7 @@ impl Engine {
                 // Non-driving relations are read whole, through the
                 // shard-merged globally sorted views.
                 match spec.access_kind {
-                    AccessKind::Distance if reducible => relation.distance_view(spec.query.clone()),
+                    AccessKind::Distance if reducible => relation.distance_view(Arc::clone(query)),
                     // Non-Euclidean proximity: the shared R-trees' Euclidean
                     // frontiers would disagree with the scoring's own
                     // distance, so fall back to a per-query sort under δ —
@@ -1286,7 +1317,7 @@ impl Engine {
             relations: spec.relations.clone(),
             epochs: snapshot.iter().map(|r| r.epochs()).collect(),
             drive,
-            query: spec.query.clone(),
+            query: Arc::new(spec.query.clone()),
             k: spec.k,
             access_kind: spec.access_kind,
             selector: spec.selector.clone(),
@@ -1722,6 +1753,7 @@ impl Engine {
         }
         Self::validate_dimensions(spec, &snapshot)?;
         let reducible = spec.scoring.euclidean_weights().is_some();
+        let query = Arc::new(spec.query.clone());
         let delta_sorted = vec![None; snapshot.len()];
         let plan = Plan {
             algorithm,
@@ -1731,6 +1763,7 @@ impl Engine {
         let mut unit = Self::build_unit(
             spec,
             &snapshot,
+            &query,
             &delta_sorted,
             reducible,
             drive,
@@ -2004,6 +2037,39 @@ mod tests {
                 result.plan().rationale.contains("partitioned over"),
                 "rationale: {}",
                 result.plan().rationale
+            );
+        }
+    }
+
+    #[test]
+    fn units_share_one_query_allocation() {
+        // White-box: preparing a partitioned execution must clone the query
+        // vector once per query, not once per unit — every unit's problem
+        // hangs on to the same `Arc<Vector>`.
+        let engine = EngineBuilder::default().threads(1).shards(4).build();
+        let tuples: Vec<Tuple> = (0..24)
+            .map(|i| {
+                Tuple::new(
+                    TupleId::new(0, i),
+                    Vector::from([(i % 6) as f64 * 2.0 - 5.0, (i / 6) as f64 * 2.0 - 3.0]),
+                    0.2 + (i % 7) as f64 / 10.0,
+                )
+            })
+            .collect();
+        let id = engine.register("r", tuples);
+        let spec = QuerySpec::top_k(vec![id], Vector::from([0.0, 0.0]), 3);
+        let snapshot = engine.catalog.snapshot(&spec.relations).expect("snapshot");
+        let (_, units) = engine.prepare_units(&spec, &snapshot).expect("prepare");
+        assert!(
+            units.len() > 1,
+            "expected several populated driving shards, got {}",
+            units.len()
+        );
+        let first = units[0].problem.query_shared();
+        for unit in &units[1..] {
+            assert!(
+                Arc::ptr_eq(first, unit.problem.query_shared()),
+                "each unit must share the query allocation, not re-clone it"
             );
         }
     }

@@ -343,6 +343,65 @@ fn boundary_score_ties_resolve_identically_everywhere() {
     }
 }
 
+/// Unit-cache hits are handed out as shared `Arc`s and recombined by
+/// reference (`prj_core::merge_shared`), never deep-copied: after a
+/// single-shard append, a re-query blends memoised sibling units with the
+/// freshly recomputed one — and the blend must still be bit-identical to
+/// the naive oracle over the *new* data, at every shard count.
+#[test]
+fn mixed_cached_and_fresh_units_merge_to_the_oracle() {
+    for shards in [2, 4, 7] {
+        // One relation, so it is necessarily the driving (partitioned) one
+        // and sibling shards' units survive a single-shard append.
+        let mut relations = generate(41, Shape::Uniform, 1, 28);
+        let query = Vector::from([0.2, -0.3]);
+        let k = 5;
+        let (engine, ids) = sharded_engine(shards, &relations);
+        let spec = || QuerySpec::top_k(ids.clone(), query.clone(), k);
+
+        // Cold run: every populated shard executes freshly and warms the
+        // unit cache.
+        let cold = engine.query(spec()).expect("cold query");
+        let populated = cold.fresh_units;
+        assert_eq!(
+            fingerprint(cold.combinations()),
+            fingerprint(&naive_baseline(
+                &relations,
+                &query,
+                k,
+                EuclideanLogScore::default()
+            )),
+            "S={shards}: cold run diverged"
+        );
+
+        // Append one tuple: exactly one driving shard's unit dies; the
+        // re-query must re-run only that lane and replay the rest shared
+        // out of the unit cache.
+        let extra = Tuple::new(TupleId::new(0, 1000), Vector::from([0.25, -0.2]), 0.95);
+        engine.append(ids[0], vec![extra.clone()]).expect("append");
+        relations[0].push(extra);
+        let warm = engine.query(spec()).expect("warm query");
+        assert!(!warm.from_cache, "append must invalidate the result cache");
+        if populated > 1 {
+            assert!(
+                warm.fresh_units < populated,
+                "S={shards}: expected unit-cache hits, but all {populated} units re-ran"
+            );
+        }
+        assert_eq!(
+            fingerprint(warm.combinations()),
+            fingerprint(&naive_baseline(
+                &relations,
+                &query,
+                k,
+                EuclideanLogScore::default()
+            )),
+            "S={shards}: cached+fresh blend diverged from the oracle"
+        );
+        assert!(warm.result().certifies_top_k(k, 1e-9), "S={shards}");
+    }
+}
+
 /// Ties spread *across* shards: duplicated locations land on the same
 /// shard, so also pin ties between distinct locations with equal scores
 /// (which hash to different shards).

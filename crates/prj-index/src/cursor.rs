@@ -14,7 +14,8 @@
 //! contract as the arena-traversal API ([`super::rtree::RTree::node_entry`]
 //! and friends) that the cursor is built on.
 
-use crate::rtree::{NearestNeighbor, NodeId, RTree};
+use crate::arena::NodeId;
+use crate::rtree::{NearestNeighbor, RTree};
 use prj_geometry::Vector;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -70,7 +71,7 @@ impl NearestCursor {
         self.heap.clear();
         if let Some(root) = tree.root() {
             self.heap.push(Pending {
-                dist: tree.node_bbox(root).min_distance(query),
+                dist: tree.node_min_distance(root, query),
                 is_entry: false,
                 node: root,
                 entry: 0,
@@ -99,9 +100,8 @@ impl NearestCursor {
             }
             if tree.is_leaf(item.node) {
                 for idx in 0..tree.node_entry_count(item.node) {
-                    let (point, _) = tree.node_entry(item.node, idx);
                     self.heap.push(Pending {
-                        dist: point.distance(query),
+                        dist: tree.entry_distance(item.node, idx, query),
                         is_entry: true,
                         node: item.node,
                         entry: idx,
@@ -110,7 +110,7 @@ impl NearestCursor {
             } else {
                 for &child in tree.node_children(item.node) {
                     self.heap.push(Pending {
-                        dist: tree.node_bbox(child).min_distance(query),
+                        dist: tree.node_min_distance(child, query),
                         is_entry: false,
                         node: child,
                         entry: 0,

@@ -30,10 +30,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod cursor;
 pub mod rtree;
 pub mod sorted;
 
+pub use arena::{ArenaError, NodeId};
 pub use cursor::NearestCursor;
-pub use rtree::{NearestIter, NearestNeighbor, NodeId, RTree, RTreeConfig};
+pub use rtree::{NearestIter, NearestNeighbor, RTree, RTreeConfig};
 pub use sorted::{ScoreIndex, ScoredItem};

@@ -2,11 +2,14 @@
 //!
 //! Design notes:
 //!
-//! * Nodes live in a flat arena (`Vec<Node<T>>`) addressed by [`NodeId`];
-//!   this keeps the structure free of `unsafe`, makes the incremental
-//!   nearest-neighbour search a simple best-first loop over node ids, and
-//!   lets external cursors (the relation sources in `prj-access`) traverse
-//!   the tree without borrowing it mutably or self-referentially.
+//! * Node state lives in flat struct-of-arrays slabs addressed by packed
+//!   [`NodeId`]s (kind bit + recycling generation + slot index, see
+//!   [`crate::arena`]). A leaf's points are one contiguous `f64` run and an
+//!   internal node's children are one contiguous [`NodeId`] run, so the hot
+//!   traversal loops (mindist against a box, distance against a leaf's
+//!   points) stream over dense lanes instead of chasing one heap `Vec` per
+//!   node. Payloads are stored once in an append-only pool and referenced by
+//!   index, so splits move `dim` floats and a `u32` — never the payload.
 //! * Insertion uses the classic Guttman algorithm with quadratic split.
 //! * Bulk loading uses a top-down tiling scheme in the spirit of
 //!   Sort-Tile-Recursive / OMT: items are recursively sorted along the widest
@@ -16,11 +19,10 @@
 //!   exactly what the paper's *distance-based access* needs (the related-work
 //!   section credits the same incremental-distance-join line of work).
 
-use prj_geometry::{Aabb, Vector};
+use crate::arena::SlotArena;
+pub use crate::arena::{ArenaError, NodeId};
+use prj_geometry::Vector;
 use std::cmp::Ordering;
-
-/// Identifier of a node in the tree arena.
-pub type NodeId = usize;
 
 /// Fanout configuration of the tree.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,45 +61,144 @@ impl RTreeConfig {
     }
 }
 
-/// A point plus its payload, stored in a leaf.
-#[derive(Debug, Clone)]
-struct PointEntry<T> {
-    point: Vector,
-    data: T,
-}
-
-#[derive(Debug, Clone)]
-enum NodeKind<T> {
-    Leaf(Vec<PointEntry<T>>),
-    Internal(Vec<NodeId>),
-}
-
-#[derive(Debug, Clone)]
-struct Node<T> {
-    bbox: Aabb,
-    kind: NodeKind<T>,
-}
-
 /// An R-tree over points in `R^d` carrying payloads of type `T`.
+///
+/// Every node kind gets its own slot arena plus fixed-stride slabs (one slot
+/// spans `max_entries + 1` entries so an overflowing node never reallocates
+/// before its split): leaves own a point-coordinate lane and a payload-index
+/// lane, internal nodes own a child-id lane, and both own a bounding-box lane
+/// (`2 * dim` floats, lower corner then upper corner).
 #[derive(Debug, Clone)]
 pub struct RTree<T> {
     config: RTreeConfig,
     dim: usize,
-    nodes: Vec<Node<T>>,
+    /// Entries per slab slot: `max_entries + 1`.
+    stride: usize,
     root: Option<NodeId>,
     len: usize,
+    leaves: SlotArena,
+    /// Entry count per leaf slot.
+    leaf_len: Vec<u32>,
+    /// Leaf bounding boxes, `2 * dim` per slot.
+    leaf_bounds: Vec<f64>,
+    /// Leaf point coordinates, `dim * stride` per slot.
+    leaf_points: Vec<f64>,
+    /// Leaf payload-pool indexes, `stride` per slot.
+    leaf_payload: Vec<u32>,
+    internals: SlotArena,
+    /// Child count per internal slot.
+    int_len: Vec<u32>,
+    /// Internal bounding boxes, `2 * dim` per slot.
+    int_bounds: Vec<f64>,
+    /// Child ids, `stride` per slot.
+    int_children: Vec<NodeId>,
+    /// Append-only payload pool; leaf entries reference it by index.
+    data: Vec<T>,
 }
 
-/// A nearest-neighbour result: a borrowed point, its payload and its distance
-/// from the query.
+/// A nearest-neighbour result: a borrowed point (a `dim`-length coordinate
+/// slice into the leaf lane), its payload and its distance from the query.
 #[derive(Debug)]
 pub struct NearestNeighbor<'a, T> {
-    /// The indexed point.
-    pub point: &'a Vector,
+    /// The indexed point's coordinates.
+    pub point: &'a [f64],
     /// The payload stored with the point.
     pub data: &'a T,
     /// Euclidean distance from the query.
     pub distance: f64,
+}
+
+/// Resets a bounding-box lane to the empty box.
+fn reset_bounds(bounds: &mut [f64], dim: usize) {
+    for lo in &mut bounds[..dim] {
+        *lo = f64::INFINITY;
+    }
+    for hi in &mut bounds[dim..2 * dim] {
+        *hi = f64::NEG_INFINITY;
+    }
+}
+
+/// Expands a bounding-box lane to cover a point.
+fn expand_bounds_to_point(bounds: &mut [f64], dim: usize, point: &[f64]) {
+    for d in 0..dim {
+        if point[d] < bounds[d] {
+            bounds[d] = point[d];
+        }
+        if point[d] > bounds[dim + d] {
+            bounds[dim + d] = point[d];
+        }
+    }
+}
+
+/// Expands a bounding-box lane to cover another box.
+fn expand_bounds_to_box(bounds: &mut [f64], dim: usize, other: &[f64]) {
+    for d in 0..dim {
+        if other[d] < bounds[d] {
+            bounds[d] = other[d];
+        }
+        if other[dim + d] > bounds[dim + d] {
+            bounds[dim + d] = other[dim + d];
+        }
+    }
+}
+
+/// Volume (product of extents) of a bounding-box lane.
+fn bounds_volume(bounds: &[f64], dim: usize) -> f64 {
+    let mut v = 1.0;
+    for d in 0..dim {
+        v *= (bounds[dim + d] - bounds[d]).max(0.0);
+    }
+    v
+}
+
+/// Volume of the union of two bounding-box lanes.
+fn union_volume(a: &[f64], b: &[f64], dim: usize) -> f64 {
+    let mut v = 1.0;
+    for d in 0..dim {
+        let lo = a[d].min(b[d]);
+        let hi = a[dim + d].max(b[dim + d]);
+        v *= (hi - lo).max(0.0);
+    }
+    v
+}
+
+/// Volume of a bounding-box lane after expanding it to cover `point`.
+fn point_union_volume(bounds: &[f64], dim: usize, point: &[f64]) -> f64 {
+    let mut v = 1.0;
+    for d in 0..dim {
+        let lo = bounds[d].min(point[d]);
+        let hi = bounds[dim + d].max(point[d]);
+        v *= (hi - lo).max(0.0);
+    }
+    v
+}
+
+/// Squared minimum distance from `query` to a bounding-box lane.
+fn bounds_min_distance_squared(bounds: &[f64], dim: usize, query: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for d in 0..dim {
+        let q = query[d];
+        let diff = if q < bounds[d] {
+            bounds[d] - q
+        } else if q > bounds[dim + d] {
+            q - bounds[dim + d]
+        } else {
+            0.0
+        };
+        acc += diff * diff;
+    }
+    acc
+}
+
+/// Squared Euclidean distance between two coordinate slices.
+fn point_distance_squared(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum()
 }
 
 impl<T> RTree<T> {
@@ -113,9 +214,19 @@ impl<T> RTree<T> {
         RTree {
             config,
             dim,
-            nodes: Vec::new(),
+            stride: config.max_entries + 1,
             root: None,
             len: 0,
+            leaves: SlotArena::new(true),
+            leaf_len: Vec::new(),
+            leaf_bounds: Vec::new(),
+            leaf_points: Vec::new(),
+            leaf_payload: Vec::new(),
+            internals: SlotArena::new(false),
+            int_len: Vec::new(),
+            int_bounds: Vec::new(),
+            int_children: Vec::new(),
+            data: Vec::new(),
         }
     }
 
@@ -137,60 +248,158 @@ impl<T> RTree<T> {
         for (p, _) in &items {
             assert_eq!(p.dim(), dim, "point dimension mismatch in bulk load");
         }
-        let entries: Vec<PointEntry<T>> = items
+        tree.len = items.len();
+        tree.data.reserve(items.len());
+        let mut entries: Vec<(Vector, u32)> = items
             .into_iter()
-            .map(|(point, data)| PointEntry { point, data })
+            .map(|(point, data)| {
+                let payload = tree.data.len() as u32;
+                tree.data.push(data);
+                (point, payload)
+            })
             .collect();
-        tree.len = entries.len();
-        let root = tree.bulk_build(entries);
+        let root = tree.bulk_build(&mut entries);
         tree.root = Some(root);
         tree
     }
 
-    fn bulk_build(&mut self, mut entries: Vec<PointEntry<T>>) -> NodeId {
+    fn bulk_build(&mut self, entries: &mut [(Vector, u32)]) -> NodeId {
         let m = self.config.max_entries;
         if entries.len() <= m {
-            let bbox = Aabb::enclosing_points(entries.iter().map(|e| &e.point));
-            return self.push_node(Node {
-                bbox,
-                kind: NodeKind::Leaf(entries),
-            });
+            let leaf = self.alloc_leaf();
+            for (point, payload) in entries.iter() {
+                self.push_leaf_entry(leaf, point.as_slice(), *payload);
+            }
+            return leaf;
         }
         // Height of the subtree and capacity of each child subtree.
         let n = entries.len();
         let height = (n as f64).log(m as f64).ceil() as u32;
         let child_capacity = m.pow(height - 1).max(1);
         // Sort along the widest dimension for a reasonable spatial partition.
-        let bbox = Aabb::enclosing_points(entries.iter().map(|e| &e.point));
+        let mut lo = vec![f64::INFINITY; self.dim];
+        let mut hi = vec![f64::NEG_INFINITY; self.dim];
+        for (p, _) in entries.iter() {
+            for d in 0..self.dim {
+                lo[d] = lo[d].min(p[d]);
+                hi[d] = hi[d].max(p[d]);
+            }
+        }
         let widest = (0..self.dim)
             .max_by(|&a, &b| {
-                let ea = bbox.upper()[a] - bbox.lower()[a];
-                let eb = bbox.upper()[b] - bbox.lower()[b];
-                ea.partial_cmp(&eb).unwrap_or(Ordering::Equal)
+                (hi[a] - lo[a])
+                    .partial_cmp(&(hi[b] - lo[b]))
+                    .unwrap_or(Ordering::Equal)
             })
             .unwrap_or(0);
         entries.sort_by(|a, b| {
-            a.point[widest]
-                .partial_cmp(&b.point[widest])
+            a.0[widest]
+                .partial_cmp(&b.0[widest])
                 .unwrap_or(Ordering::Equal)
         });
         let mut children = Vec::new();
         let mut rest = entries;
         while !rest.is_empty() {
             let take = rest.len().min(child_capacity);
-            let chunk: Vec<PointEntry<T>> = rest.drain(..take).collect();
+            let (chunk, tail) = rest.split_at_mut(take);
             children.push(self.bulk_build(chunk));
+            rest = tail;
         }
-        let bbox = Aabb::enclosing_boxes(children.iter().map(|&c| &self.nodes[c].bbox));
-        self.push_node(Node {
-            bbox,
-            kind: NodeKind::Internal(children),
-        })
+        let node = self.alloc_internal();
+        for child in children {
+            self.push_child(node, child);
+        }
+        node
     }
 
-    fn push_node(&mut self, node: Node<T>) -> NodeId {
-        self.nodes.push(node);
-        self.nodes.len() - 1
+    /// Allocates (or recycles) a leaf slot with reset length and bounds.
+    fn alloc_leaf(&mut self) -> NodeId {
+        let (id, fresh) = self.leaves.alloc().expect("R-tree leaf arena exhausted");
+        if fresh {
+            self.leaf_len.push(0);
+            self.leaf_bounds.extend(
+                std::iter::repeat_n(f64::INFINITY, self.dim)
+                    .chain(std::iter::repeat_n(f64::NEG_INFINITY, self.dim)),
+            );
+            self.leaf_points
+                .extend(std::iter::repeat_n(0.0, self.dim * self.stride));
+            self.leaf_payload
+                .extend(std::iter::repeat_n(0, self.stride));
+        } else {
+            let slot = id.index();
+            self.leaf_len[slot] = 0;
+            reset_bounds(
+                &mut self.leaf_bounds[slot * 2 * self.dim..(slot + 1) * 2 * self.dim],
+                self.dim,
+            );
+        }
+        id
+    }
+
+    /// Allocates (or recycles) an internal slot with reset length and bounds.
+    fn alloc_internal(&mut self) -> NodeId {
+        let (id, fresh) = self
+            .internals
+            .alloc()
+            .expect("R-tree internal arena exhausted");
+        if fresh {
+            self.int_len.push(0);
+            self.int_bounds.extend(
+                std::iter::repeat_n(f64::INFINITY, self.dim)
+                    .chain(std::iter::repeat_n(f64::NEG_INFINITY, self.dim)),
+            );
+            self.int_children
+                .extend(std::iter::repeat_n(NodeId::DANGLING, self.stride));
+        } else {
+            let slot = id.index();
+            self.int_len[slot] = 0;
+            reset_bounds(
+                &mut self.int_bounds[slot * 2 * self.dim..(slot + 1) * 2 * self.dim],
+                self.dim,
+            );
+        }
+        id
+    }
+
+    /// Appends an entry to a leaf's lanes, expanding its bounds.
+    fn push_leaf_entry(&mut self, leaf: NodeId, point: &[f64], payload: u32) {
+        debug_assert!(self.leaves.is_live(leaf));
+        let slot = leaf.index();
+        let len = self.leaf_len[slot] as usize;
+        debug_assert!(len < self.stride, "leaf slab overflow before split");
+        let base = (slot * self.stride + len) * self.dim;
+        self.leaf_points[base..base + self.dim].copy_from_slice(point);
+        self.leaf_payload[slot * self.stride + len] = payload;
+        self.leaf_len[slot] = (len + 1) as u32;
+        let b = slot * 2 * self.dim;
+        expand_bounds_to_point(&mut self.leaf_bounds[b..b + 2 * self.dim], self.dim, point);
+    }
+
+    /// Appends a child to an internal node's lane, expanding its bounds.
+    fn push_child(&mut self, node: NodeId, child: NodeId) {
+        debug_assert!(self.internals.is_live(node));
+        let slot = node.index();
+        let len = self.int_len[slot] as usize;
+        debug_assert!(len < self.stride, "internal slab overflow before split");
+        self.int_children[slot * self.stride + len] = child;
+        self.int_len[slot] = (len + 1) as u32;
+        let child_bounds = self.node_bounds(child).to_vec();
+        let b = slot * 2 * self.dim;
+        expand_bounds_to_box(
+            &mut self.int_bounds[b..b + 2 * self.dim],
+            self.dim,
+            &child_bounds,
+        );
+    }
+
+    /// The bounding-box lane of a node (lower corner then upper corner).
+    fn node_bounds(&self, node: NodeId) -> &[f64] {
+        let b = node.index() * 2 * self.dim;
+        if node.is_leaf() {
+            &self.leaf_bounds[b..b + 2 * self.dim]
+        } else {
+            &self.int_bounds[b..b + 2 * self.dim]
+        }
     }
 
     /// Number of indexed points.
@@ -215,24 +424,20 @@ impl<T> RTree<T> {
     pub fn insert(&mut self, point: Vector, data: T) {
         assert_eq!(point.dim(), self.dim, "point dimension mismatch");
         self.len += 1;
-        let entry = PointEntry { point, data };
+        let payload = self.data.len() as u32;
+        self.data.push(data);
         match self.root {
             None => {
-                let bbox = Aabb::from_point(&entry.point);
-                let id = self.push_node(Node {
-                    bbox,
-                    kind: NodeKind::Leaf(vec![entry]),
-                });
-                self.root = Some(id);
+                let leaf = self.alloc_leaf();
+                self.push_leaf_entry(leaf, point.as_slice(), payload);
+                self.root = Some(leaf);
             }
             Some(root) => {
-                if let Some(sibling) = self.insert_rec(root, entry) {
+                if let Some(sibling) = self.insert_rec(root, point.as_slice(), payload) {
                     // Root split: grow the tree by one level.
-                    let bbox = self.nodes[root].bbox.union(&self.nodes[sibling].bbox);
-                    let new_root = self.push_node(Node {
-                        bbox,
-                        kind: NodeKind::Internal(vec![root, sibling]),
-                    });
+                    let new_root = self.alloc_internal();
+                    self.push_child(new_root, root);
+                    self.push_child(new_root, sibling);
                     self.root = Some(new_root);
                 }
             }
@@ -240,30 +445,24 @@ impl<T> RTree<T> {
     }
 
     /// Recursive insertion; returns the id of a new sibling when the node split.
-    fn insert_rec(&mut self, node: NodeId, entry: PointEntry<T>) -> Option<NodeId> {
-        let is_leaf = matches!(self.nodes[node].kind, NodeKind::Leaf(_));
-        if is_leaf {
-            self.nodes[node].bbox.expand_to_point(&entry.point);
-            if let NodeKind::Leaf(entries) = &mut self.nodes[node].kind {
-                entries.push(entry);
-                if entries.len() <= self.config.max_entries {
-                    return None;
-                }
+    fn insert_rec(&mut self, node: NodeId, point: &[f64], payload: u32) -> Option<NodeId> {
+        if node.is_leaf() {
+            self.push_leaf_entry(node, point, payload);
+            if (self.leaf_len[node.index()] as usize) <= self.config.max_entries {
+                return None;
             }
             return Some(self.split_leaf(node));
         }
         // Choose the child needing the least enlargement (ties: least volume).
-        let child_ids: Vec<NodeId> = match &self.nodes[node].kind {
-            NodeKind::Internal(c) => c.clone(),
-            NodeKind::Leaf(_) => unreachable!(),
-        };
-        let point_box = Aabb::from_point(&entry.point);
-        let mut best = child_ids[0];
+        let slot = node.index();
+        let children = &self.int_children[slot * self.stride..][..self.int_len[slot] as usize];
+        let mut best = children[0];
         let mut best_enlargement = f64::INFINITY;
         let mut best_volume = f64::INFINITY;
-        for &c in &child_ids {
-            let enlargement = self.nodes[c].bbox.enlargement(&point_box);
-            let volume = self.nodes[c].bbox.volume();
+        for &c in children {
+            let cb = self.node_bounds(c);
+            let volume = bounds_volume(cb, self.dim);
+            let enlargement = point_union_volume(cb, self.dim, point) - volume;
             if enlargement < best_enlargement - 1e-15
                 || ((enlargement - best_enlargement).abs() <= 1e-15 && volume < best_volume)
             {
@@ -272,92 +471,109 @@ impl<T> RTree<T> {
                 best_volume = volume;
             }
         }
-        let split = self.insert_rec(best, entry);
+        let split = self.insert_rec(best, point, payload);
         // Refresh this node's bbox and children list.
         if let Some(sibling) = split {
-            if let NodeKind::Internal(children) = &mut self.nodes[node].kind {
-                children.push(sibling);
-            }
+            let slot = node.index();
+            let len = self.int_len[slot] as usize;
+            self.int_children[slot * self.stride + len] = sibling;
+            self.int_len[slot] = (len + 1) as u32;
         }
-        self.recompute_bbox(node);
-        let overflow = match &self.nodes[node].kind {
-            NodeKind::Internal(children) => children.len() > self.config.max_entries,
-            NodeKind::Leaf(_) => unreachable!(),
-        };
-        if overflow {
+        self.recompute_bounds(node);
+        if self.int_len[node.index()] as usize > self.config.max_entries {
             Some(self.split_internal(node))
         } else {
             None
         }
     }
 
-    fn recompute_bbox(&mut self, node: NodeId) {
-        let bbox = match &self.nodes[node].kind {
-            NodeKind::Leaf(entries) => Aabb::enclosing_points(entries.iter().map(|e| &e.point)),
-            NodeKind::Internal(children) => {
-                Aabb::enclosing_boxes(children.iter().map(|&c| &self.nodes[c].bbox))
+    /// Recomputes a node's bounds from its entries or children.
+    fn recompute_bounds(&mut self, node: NodeId) {
+        let slot = node.index();
+        let dim = self.dim;
+        if node.is_leaf() {
+            let len = self.leaf_len[slot] as usize;
+            let (bounds_slab, points) = (&mut self.leaf_bounds, &self.leaf_points);
+            let bounds = &mut bounds_slab[slot * 2 * dim..(slot + 1) * 2 * dim];
+            reset_bounds(bounds, dim);
+            for e in 0..len {
+                let base = (slot * self.stride + e) * dim;
+                expand_bounds_to_point(bounds, dim, &points[base..base + dim]);
             }
-        };
-        self.nodes[node].bbox = bbox;
+        } else {
+            let len = self.int_len[slot] as usize;
+            let mut acc = vec![f64::INFINITY; dim];
+            acc.extend(std::iter::repeat_n(f64::NEG_INFINITY, dim));
+            for e in 0..len {
+                let child = self.int_children[slot * self.stride + e];
+                expand_bounds_to_box(&mut acc, dim, self.node_bounds(child));
+            }
+            self.int_bounds[slot * 2 * dim..(slot + 1) * 2 * dim].copy_from_slice(&acc);
+        }
     }
 
     /// Quadratic split of an overflowing leaf; returns the new sibling's id.
     fn split_leaf(&mut self, node: NodeId) -> NodeId {
-        let entries = match &mut self.nodes[node].kind {
-            NodeKind::Leaf(entries) => std::mem::take(entries),
-            NodeKind::Internal(_) => unreachable!("split_leaf on internal node"),
-        };
-        let boxes: Vec<Aabb> = entries.iter().map(|e| Aabb::from_point(&e.point)).collect();
-        let (group_a, group_b) = quadratic_partition(&boxes, self.config.min_entries);
-        let mut a_entries = Vec::new();
-        let mut b_entries = Vec::new();
-        for (i, e) in entries.into_iter().enumerate() {
-            if group_a.contains(&i) {
-                a_entries.push(e);
-            } else {
-                debug_assert!(group_b.contains(&i));
-                b_entries.push(e);
-            }
+        let dim = self.dim;
+        let slot = node.index();
+        let n = self.leaf_len[slot] as usize;
+        // Degenerate per-entry boxes (a point is its own box).
+        let mut boxes = Vec::with_capacity(n * 2 * dim);
+        for e in 0..n {
+            let base = (slot * self.stride + e) * dim;
+            boxes.extend_from_slice(&self.leaf_points[base..base + dim]);
+            boxes.extend_from_slice(&self.leaf_points[base..base + dim]);
         }
-        let a_bbox = Aabb::enclosing_points(a_entries.iter().map(|e| &e.point));
-        let b_bbox = Aabb::enclosing_points(b_entries.iter().map(|e| &e.point));
-        self.nodes[node].bbox = a_bbox;
-        self.nodes[node].kind = NodeKind::Leaf(a_entries);
-        self.push_node(Node {
-            bbox: b_bbox,
-            kind: NodeKind::Leaf(b_entries),
-        })
+        let (group_a, group_b) = quadratic_partition(&boxes, dim, self.config.min_entries);
+        // Gather both groups out of the slab before rewriting it in place.
+        let mut scratch_points = Vec::with_capacity(n * dim);
+        let mut scratch_payload = Vec::with_capacity(n);
+        for &e in group_a.iter().chain(group_b.iter()) {
+            let base = (slot * self.stride + e) * dim;
+            scratch_points.extend_from_slice(&self.leaf_points[base..base + dim]);
+            scratch_payload.push(self.leaf_payload[slot * self.stride + e]);
+        }
+        let sibling = self.alloc_leaf();
+        self.leaf_len[slot] = 0;
+        reset_bounds(
+            &mut self.leaf_bounds[slot * 2 * dim..(slot + 1) * 2 * dim],
+            dim,
+        );
+        for (i, _) in group_a.iter().enumerate() {
+            let point = scratch_points[i * dim..(i + 1) * dim].to_vec();
+            self.push_leaf_entry(node, &point, scratch_payload[i]);
+        }
+        for i in group_a.len()..n {
+            let point = scratch_points[i * dim..(i + 1) * dim].to_vec();
+            self.push_leaf_entry(sibling, &point, scratch_payload[i]);
+        }
+        sibling
     }
 
     /// Quadratic split of an overflowing internal node; returns the sibling id.
     fn split_internal(&mut self, node: NodeId) -> NodeId {
-        let children = match &mut self.nodes[node].kind {
-            NodeKind::Internal(children) => std::mem::take(children),
-            NodeKind::Leaf(_) => unreachable!("split_internal on leaf node"),
-        };
-        let boxes: Vec<Aabb> = children
-            .iter()
-            .map(|&c| self.nodes[c].bbox.clone())
-            .collect();
-        let (group_a, group_b) = quadratic_partition(&boxes, self.config.min_entries);
-        let mut a_children = Vec::new();
-        let mut b_children = Vec::new();
-        for (i, c) in children.into_iter().enumerate() {
-            if group_a.contains(&i) {
-                a_children.push(c);
-            } else {
-                debug_assert!(group_b.contains(&i));
-                b_children.push(c);
-            }
+        let dim = self.dim;
+        let slot = node.index();
+        let n = self.int_len[slot] as usize;
+        let mut boxes = Vec::with_capacity(n * 2 * dim);
+        let children: Vec<NodeId> = self.int_children[slot * self.stride..][..n].to_vec();
+        for &c in &children {
+            boxes.extend_from_slice(self.node_bounds(c));
         }
-        let a_bbox = Aabb::enclosing_boxes(a_children.iter().map(|&c| &self.nodes[c].bbox));
-        let b_bbox = Aabb::enclosing_boxes(b_children.iter().map(|&c| &self.nodes[c].bbox));
-        self.nodes[node].bbox = a_bbox;
-        self.nodes[node].kind = NodeKind::Internal(a_children);
-        self.push_node(Node {
-            bbox: b_bbox,
-            kind: NodeKind::Internal(b_children),
-        })
+        let (group_a, group_b) = quadratic_partition(&boxes, dim, self.config.min_entries);
+        let sibling = self.alloc_internal();
+        self.int_len[slot] = 0;
+        reset_bounds(
+            &mut self.int_bounds[slot * 2 * dim..(slot + 1) * 2 * dim],
+            dim,
+        );
+        for &e in &group_a {
+            self.push_child(node, children[e]);
+        }
+        for &e in &group_b {
+            self.push_child(sibling, children[e]);
+        }
+        sibling
     }
 
     // ----- low-level traversal API (used by external incremental cursors) ---
@@ -367,56 +583,71 @@ impl<T> RTree<T> {
         self.root
     }
 
-    /// `true` when `node` is a leaf.
+    /// `true` when `node` is a leaf (encoded in the packed id's kind bit).
     pub fn is_leaf(&self, node: NodeId) -> bool {
-        matches!(self.nodes[node].kind, NodeKind::Leaf(_))
+        node.is_leaf()
     }
 
-    /// Bounding box of `node`.
-    pub fn node_bbox(&self, node: NodeId) -> &Aabb {
-        &self.nodes[node].bbox
+    /// Minimum Euclidean distance from `query` to `node`'s bounding box.
+    pub fn node_min_distance(&self, node: NodeId, query: &Vector) -> f64 {
+        bounds_min_distance_squared(self.node_bounds(node), self.dim, query.as_slice()).sqrt()
     }
 
     /// Child node ids of an internal node (empty slice for leaves).
     pub fn node_children(&self, node: NodeId) -> &[NodeId] {
-        match &self.nodes[node].kind {
-            NodeKind::Internal(children) => children,
-            NodeKind::Leaf(_) => &[],
+        if node.is_leaf() {
+            return &[];
         }
+        debug_assert!(self.internals.is_live(node));
+        let slot = node.index();
+        &self.int_children[slot * self.stride..][..self.int_len[slot] as usize]
     }
 
     /// Number of point entries stored in a leaf (0 for internal nodes).
     pub fn node_entry_count(&self, node: NodeId) -> usize {
-        match &self.nodes[node].kind {
-            NodeKind::Leaf(entries) => entries.len(),
-            NodeKind::Internal(_) => 0,
+        if node.is_leaf() {
+            self.leaf_len[node.index()] as usize
+        } else {
+            0
         }
     }
 
-    /// Point and payload of the `idx`-th entry of a leaf.
+    /// Point coordinates and payload of the `idx`-th entry of a leaf.
     ///
     /// # Panics
     /// Panics if `node` is internal or `idx` is out of range.
-    pub fn node_entry(&self, node: NodeId, idx: usize) -> (&Vector, &T) {
-        match &self.nodes[node].kind {
-            NodeKind::Leaf(entries) => {
-                let e = &entries[idx];
-                (&e.point, &e.data)
-            }
-            NodeKind::Internal(_) => panic!("node_entry on internal node"),
-        }
+    pub fn node_entry(&self, node: NodeId, idx: usize) -> (&[f64], &T) {
+        assert!(node.is_leaf(), "node_entry on internal node");
+        debug_assert!(self.leaves.is_live(node));
+        let slot = node.index();
+        assert!(idx < self.leaf_len[slot] as usize, "entry out of range");
+        let base = (slot * self.stride + idx) * self.dim;
+        let point = &self.leaf_points[base..base + self.dim];
+        let payload = self.leaf_payload[slot * self.stride + idx] as usize;
+        (point, &self.data[payload])
+    }
+
+    /// Euclidean distance from `query` to the `idx`-th entry of a leaf,
+    /// streamed straight off the coordinate lane.
+    pub fn entry_distance(&self, node: NodeId, idx: usize, query: &Vector) -> f64 {
+        debug_assert!(node.is_leaf() && self.leaves.is_live(node));
+        let base = (node.index() * self.stride + idx) * self.dim;
+        point_distance_squared(&self.leaf_points[base..base + self.dim], query.as_slice()).sqrt()
     }
 
     // ------------------------------ queries ---------------------------------
 
     /// Iterates over all `(point, payload)` pairs in unspecified order.
-    pub fn iter(&self) -> impl Iterator<Item = (&Vector, &T)> + '_ {
-        self.nodes.iter().flat_map(|n| match &n.kind {
-            NodeKind::Leaf(entries) => entries
-                .iter()
-                .map(|e| (&e.point, &e.data))
-                .collect::<Vec<_>>(),
-            NodeKind::Internal(_) => Vec::new(),
+    pub fn iter(&self) -> impl Iterator<Item = (&[f64], &T)> + '_ {
+        self.leaves.live_slots().flat_map(move |slot| {
+            (0..self.leaf_len[slot] as usize).map(move |e| {
+                let base = (slot * self.stride + e) * self.dim;
+                let payload = self.leaf_payload[slot * self.stride + e] as usize;
+                (
+                    &self.leaf_points[base..base + self.dim],
+                    &self.data[payload],
+                )
+            })
         })
     }
 
@@ -428,24 +659,25 @@ impl<T> RTree<T> {
         };
         let mut stack = vec![root];
         let r2 = radius * radius;
+        let q = query.as_slice();
         while let Some(node) = stack.pop() {
-            if self.nodes[node].bbox.min_distance_squared(query) > r2 {
+            if bounds_min_distance_squared(self.node_bounds(node), self.dim, q) > r2 {
                 continue;
             }
-            match &self.nodes[node].kind {
-                NodeKind::Leaf(entries) => {
-                    for e in entries {
-                        let d2 = e.point.distance_squared(query);
-                        if d2 <= r2 {
-                            out.push(NearestNeighbor {
-                                point: &e.point,
-                                data: &e.data,
-                                distance: d2.sqrt(),
-                            });
-                        }
+            if node.is_leaf() {
+                for idx in 0..self.node_entry_count(node) {
+                    let (point, data) = self.node_entry(node, idx);
+                    let d2 = point_distance_squared(point, q);
+                    if d2 <= r2 {
+                        out.push(NearestNeighbor {
+                            point,
+                            data,
+                            distance: d2.sqrt(),
+                        });
                     }
                 }
-                NodeKind::Internal(children) => stack.extend_from_slice(children),
+            } else {
+                stack.extend_from_slice(self.node_children(node));
             }
         }
         out
@@ -468,16 +700,21 @@ impl<T> RTree<T> {
     }
 }
 
-/// Quadratic-split partition of a set of boxes into two groups, each of size
-/// at least `min_entries`. Returns the index sets of the two groups.
-fn quadratic_partition(boxes: &[Aabb], min_entries: usize) -> (Vec<usize>, Vec<usize>) {
-    let n = boxes.len();
+/// Quadratic-split partition of a set of boxes (flattened, `2 * dim` floats
+/// per box) into two groups, each of size at least `min_entries`. Returns the
+/// index sets of the two groups.
+fn quadratic_partition(boxes: &[f64], dim: usize, min_entries: usize) -> (Vec<usize>, Vec<usize>) {
+    let stride = 2 * dim;
+    let n = boxes.len() / stride;
     debug_assert!(n >= 2);
+    let bx = |i: usize| &boxes[i * stride..(i + 1) * stride];
     // Pick seeds: the pair wasting the most area when joined.
     let (mut seed_a, mut seed_b, mut worst) = (0, 1, f64::NEG_INFINITY);
     for i in 0..n {
         for j in (i + 1)..n {
-            let waste = boxes[i].union(&boxes[j]).volume() - boxes[i].volume() - boxes[j].volume();
+            let waste = union_volume(bx(i), bx(j), dim)
+                - bounds_volume(bx(i), dim)
+                - bounds_volume(bx(j), dim);
             if waste > worst {
                 worst = waste;
                 seed_a = i;
@@ -487,8 +724,11 @@ fn quadratic_partition(boxes: &[Aabb], min_entries: usize) -> (Vec<usize>, Vec<u
     }
     let mut group_a = vec![seed_a];
     let mut group_b = vec![seed_b];
-    let mut bbox_a = boxes[seed_a].clone();
-    let mut bbox_b = boxes[seed_b].clone();
+    let mut bbox_a = bx(seed_a).to_vec();
+    let mut bbox_b = bx(seed_b).to_vec();
+    let enlargement = |bbox: &[f64], i: usize| -> f64 {
+        union_volume(bbox, bx(i), dim) - bounds_volume(bbox, dim)
+    };
     let mut remaining: Vec<usize> = (0..n).filter(|&i| i != seed_a && i != seed_b).collect();
     while !remaining.is_empty() {
         // If one group must absorb the rest to reach the minimum fill, do so.
@@ -505,15 +745,15 @@ fn quadratic_partition(boxes: &[Aabb], min_entries: usize) -> (Vec<usize>, Vec<u
             .iter()
             .enumerate()
             .map(|(pos, &i)| {
-                let da = bbox_a.enlargement(&boxes[i]);
-                let db = bbox_b.enlargement(&boxes[i]);
+                let da = enlargement(&bbox_a, i);
+                let db = enlargement(&bbox_b, i);
                 (pos, (da - db).abs())
             })
             .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(Ordering::Equal))
             .expect("remaining is non-empty");
         let i = remaining.swap_remove(pos);
-        let da = bbox_a.enlargement(&boxes[i]);
-        let db = bbox_b.enlargement(&boxes[i]);
+        let da = enlargement(&bbox_a, i);
+        let db = enlargement(&bbox_b, i);
         let to_a = match da.partial_cmp(&db) {
             Some(Ordering::Less) => true,
             Some(Ordering::Greater) => false,
@@ -521,10 +761,10 @@ fn quadratic_partition(boxes: &[Aabb], min_entries: usize) -> (Vec<usize>, Vec<u
         };
         if to_a {
             group_a.push(i);
-            bbox_a.expand_to_box(&boxes[i]);
+            expand_bounds_to_box(&mut bbox_a, dim, bx(i));
         } else {
             group_b.push(i);
-            bbox_b.expand_to_box(&boxes[i]);
+            expand_bounds_to_box(&mut bbox_b, dim, bx(i));
         }
     }
     (group_a, group_b)
@@ -722,5 +962,55 @@ mod tests {
         let mut payloads: Vec<usize> = tree.iter().map(|(_, &d)| d).collect();
         payloads.sort_unstable();
         assert_eq!(payloads, (0..36).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn node_ids_expose_kind_and_slabs_stay_contiguous() {
+        let tree = RTree::bulk_load(2, grid_points(12));
+        let root = tree.root().unwrap();
+        assert!(!tree.is_leaf(root), "144 points cannot fit one leaf");
+        // Walk the whole tree through the packed-id API and count entries.
+        let mut stack = vec![root];
+        let mut seen = 0;
+        while let Some(node) = stack.pop() {
+            if tree.is_leaf(node) {
+                let count = tree.node_entry_count(node);
+                assert!(count > 0);
+                for idx in 0..count {
+                    let (point, _) = tree.node_entry(node, idx);
+                    assert_eq!(point.len(), 2);
+                    let q = v(&[0.0, 0.0]);
+                    let direct = tree.entry_distance(node, idx, &q);
+                    let manual = (point[0] * point[0] + point[1] * point[1]).sqrt();
+                    assert!((direct - manual).abs() < 1e-12);
+                }
+                seen += count;
+            } else {
+                assert_eq!(tree.node_entry_count(node), 0);
+                assert!(!tree.node_children(node).is_empty());
+                stack.extend_from_slice(tree.node_children(node));
+            }
+        }
+        assert_eq!(seen, tree.len());
+    }
+
+    #[test]
+    fn mindist_through_packed_ids_lower_bounds_entry_distances() {
+        let tree = RTree::bulk_load(2, grid_points(9));
+        let q = v(&[4.2, -1.3]);
+        let mut stack = vec![tree.root().unwrap()];
+        while let Some(node) = stack.pop() {
+            let mindist = tree.node_min_distance(node, &q);
+            if tree.is_leaf(node) {
+                for idx in 0..tree.node_entry_count(node) {
+                    assert!(tree.entry_distance(node, idx, &q) >= mindist - 1e-12);
+                }
+            } else {
+                for &child in tree.node_children(node) {
+                    assert!(tree.node_min_distance(child, &q) >= mindist - 1e-12);
+                    stack.push(child);
+                }
+            }
+        }
     }
 }
