@@ -1,0 +1,265 @@
+//! The mutable delta side-structure of a relation shard.
+//!
+//! Copy-on-write shard rebuilds make every append O(n/S): the whole shard's
+//! tuple array and R-tree are re-materialised per publish. A [`DeltaBuffer`]
+//! turns the append path into O(delta): freshly appended tuples land in a
+//! small score-sorted side structure next to the immutable base, and reads
+//! see base + delta through the ordinary merged sorted-access machinery
+//! ([`crate::MergedAccess`]) so bounds stay admissible and stops stay
+//! certified. A background compactor folds the delta into the base once it
+//! crosses a size/age threshold.
+//!
+//! Like [`crate::RelationBuffer`], the buffer keeps struct-of-arrays lanes —
+//! a tuple array plus aligned `ids`/`scores` vectors — so bound evaluation
+//! and membership tests touch dense `f64`/id lanes instead of chasing
+//! through [`Tuple`]s.
+//!
+//! The tuple lane is kept in **non-increasing score order, ties broken by
+//! tuple id ascending** — exactly the order
+//! [`crate::VecRelation::score_sorted`] produces — so a
+//! [`crate::SharedScoreRelation`] can read it directly and a merged
+//! base+delta view is deterministic regardless of when tuples arrived.
+
+use crate::stats::RelationStats;
+use crate::tuple::{Tuple, TupleId};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// A small, immutable, score-sorted buffer of freshly appended tuples.
+///
+/// "Mutable delta" refers to the shard: the buffer itself is a persistent
+/// value — [`DeltaBuffer::appended`] returns a new buffer sharing nothing
+/// mutable with its predecessor, so concurrent readers keep consuming the
+/// buffer they snapshotted while a new one is published.
+#[derive(Debug)]
+pub struct DeltaBuffer {
+    /// Tuples in non-increasing score order, ties by id ascending (the
+    /// [`crate::VecRelation::score_sorted`] order), shared so per-query
+    /// score views are O(1) to create.
+    tuples: Arc<Vec<Tuple>>,
+    /// Tuple ids, aligned with `tuples` (SoA lane for membership tests).
+    ids: Vec<TupleId>,
+    /// Scores, aligned with `tuples` (SoA lane for bound evaluation).
+    scores: Vec<f64>,
+    /// Statistics over exactly the buffered tuples.
+    stats: RelationStats,
+}
+
+impl Default for DeltaBuffer {
+    fn default() -> Self {
+        DeltaBuffer::empty()
+    }
+}
+
+impl DeltaBuffer {
+    /// An empty buffer.
+    pub fn empty() -> Self {
+        Self::from_sorted(Vec::new())
+    }
+
+    /// A buffer holding `tuples` (any order; sorted internally).
+    pub fn new(tuples: Vec<Tuple>) -> Self {
+        DeltaBuffer::empty().appended(tuples)
+    }
+
+    /// A new buffer holding this buffer's tuples plus `extra`.
+    ///
+    /// O(delta + extra·log extra): `extra` is sorted, then merged with the
+    /// already-sorted lane. The receiver is untouched (readers holding it
+    /// see exactly what they snapshotted).
+    pub fn appended(&self, mut extra: Vec<Tuple>) -> Self {
+        if extra.is_empty() {
+            return self.clone_buffer();
+        }
+        extra.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.id.cmp(&b.id)));
+        let mut merged = Vec::with_capacity(self.tuples.len() + extra.len());
+        let mut extra = extra.into_iter().peekable();
+        for t in self.tuples.iter() {
+            while let Some(e) = extra.peek() {
+                let first = e.score.total_cmp(&t.score).then(t.id.cmp(&e.id)).is_gt();
+                if first {
+                    merged.push(extra.next().expect("peeked"));
+                } else {
+                    break;
+                }
+            }
+            merged.push(t.clone());
+        }
+        merged.extend(extra);
+        Self::from_sorted(merged)
+    }
+
+    /// The tuples of `self` whose ids are **not** in `other`, preserving
+    /// sorted order. This is the residual-delta computation of the
+    /// compactor's publish step: appends only ever add to a shard's delta,
+    /// so the live delta is a superset of the compaction snapshot and the
+    /// residual is exactly the tuples that arrived while the fold ran.
+    pub fn difference(&self, other: &DeltaBuffer) -> Self {
+        if other.is_empty() {
+            return self.clone_buffer();
+        }
+        let drop: HashSet<TupleId> = other.ids.iter().copied().collect();
+        let kept: Vec<Tuple> = self
+            .tuples
+            .iter()
+            .filter(|t| !drop.contains(&t.id))
+            .cloned()
+            .collect();
+        Self::from_sorted(kept)
+    }
+
+    fn from_sorted(tuples: Vec<Tuple>) -> Self {
+        debug_assert!(
+            tuples.windows(2).all(|w| w[1]
+                .score
+                .total_cmp(&w[0].score)
+                .then(w[0].id.cmp(&w[1].id))
+                != std::cmp::Ordering::Greater),
+            "DeltaBuffer lane must be score-desc, id-asc"
+        );
+        let ids = tuples.iter().map(|t| t.id).collect();
+        let scores = tuples.iter().map(|t| t.score).collect();
+        let stats = RelationStats::from_tuples(&tuples);
+        DeltaBuffer {
+            tuples: Arc::new(tuples),
+            ids,
+            scores,
+            stats,
+        }
+    }
+
+    fn clone_buffer(&self) -> Self {
+        DeltaBuffer {
+            tuples: Arc::clone(&self.tuples),
+            ids: self.ids.clone(),
+            scores: self.scores.clone(),
+            stats: self.stats,
+        }
+    }
+
+    /// Number of buffered tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the buffer holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// The shared score-sorted tuple lane (score-desc, id-asc — directly
+    /// readable by a [`crate::SharedScoreRelation`]).
+    pub fn tuples(&self) -> &Arc<Vec<Tuple>> {
+        &self.tuples
+    }
+
+    /// The id lane, aligned with [`DeltaBuffer::tuples`].
+    pub fn ids(&self) -> &[TupleId] {
+        &self.ids
+    }
+
+    /// The score lane, aligned with [`DeltaBuffer::tuples`].
+    pub fn scores(&self) -> &[f64] {
+        &self.scores
+    }
+
+    /// Statistics over exactly the buffered tuples.
+    pub fn stats(&self) -> RelationStats {
+        self.stats
+    }
+
+    /// The largest buffered score (the head of the lane), or 0.0 when
+    /// empty — an admissible σ_max contribution for merged views.
+    pub fn max_score(&self) -> f64 {
+        self.scores.first().copied().unwrap_or(0.0)
+    }
+
+    /// Whether `id` is buffered.
+    pub fn contains(&self, id: TupleId) -> bool {
+        self.ids.contains(&id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SortedAccess;
+    use prj_geometry::Vector;
+
+    fn tuple(rel: usize, i: usize, score: f64) -> Tuple {
+        let x = ((i * 37) % 100) as f64 / 10.0 - 5.0;
+        let y = ((i * 53) % 100) as f64 / 10.0 - 5.0;
+        Tuple::new(TupleId::new(rel, i), Vector::from([x, y]), score)
+    }
+
+    fn is_sorted(buf: &DeltaBuffer) -> bool {
+        buf.tuples()
+            .windows(2)
+            .all(|w| w[0].score > w[1].score || (w[0].score == w[1].score && w[0].id < w[1].id))
+    }
+
+    #[test]
+    fn empty_buffer() {
+        let buf = DeltaBuffer::empty();
+        assert!(buf.is_empty());
+        assert_eq!(buf.len(), 0);
+        assert_eq!(buf.max_score(), 0.0);
+        assert_eq!(buf.stats().cardinality, 0);
+    }
+
+    #[test]
+    fn appended_keeps_score_order_and_lanes_aligned() {
+        let buf = DeltaBuffer::empty()
+            .appended(vec![tuple(0, 0, 0.4), tuple(0, 1, 0.9)])
+            .appended(vec![tuple(0, 2, 0.6), tuple(0, 3, 0.9), tuple(0, 4, 0.1)]);
+        assert_eq!(buf.len(), 5);
+        assert!(is_sorted(&buf));
+        for (i, t) in buf.tuples().iter().enumerate() {
+            assert_eq!(buf.ids()[i], t.id);
+            assert_eq!(buf.scores()[i], t.score);
+        }
+        // Equal scores break ties by id ascending.
+        assert_eq!(buf.tuples()[0].id, TupleId::new(0, 1));
+        assert_eq!(buf.tuples()[1].id, TupleId::new(0, 3));
+        assert_eq!(buf.max_score(), 0.9);
+        assert_eq!(buf.stats().cardinality, 5);
+    }
+
+    #[test]
+    fn appended_is_persistent() {
+        let a = DeltaBuffer::new(vec![tuple(0, 0, 0.5)]);
+        let b = a.appended(vec![tuple(0, 1, 0.7)]);
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 2);
+        assert!(a.contains(TupleId::new(0, 0)));
+        assert!(!a.contains(TupleId::new(0, 1)));
+        assert!(b.contains(TupleId::new(0, 1)));
+    }
+
+    #[test]
+    fn difference_yields_the_residual() {
+        let snapshot = DeltaBuffer::new(vec![tuple(0, 0, 0.5), tuple(0, 1, 0.7)]);
+        let live = snapshot.appended(vec![tuple(0, 2, 0.9), tuple(0, 3, 0.2)]);
+        let residual = live.difference(&snapshot);
+        assert_eq!(residual.len(), 2);
+        assert!(is_sorted(&residual));
+        assert!(residual.contains(TupleId::new(0, 2)));
+        assert!(residual.contains(TupleId::new(0, 3)));
+        assert!(!residual.contains(TupleId::new(0, 0)));
+        // Difference against an empty snapshot is the identity.
+        let same = live.difference(&DeltaBuffer::empty());
+        assert_eq!(same.tuples().as_slice(), live.tuples().as_slice());
+    }
+
+    #[test]
+    fn matches_score_sorted_reference_order() {
+        use crate::source::VecRelation;
+        let tuples: Vec<Tuple> = (0..40)
+            .map(|i| tuple(0, i, ((i * 17) % 11) as f64 / 11.0 + 0.05))
+            .collect();
+        let reference = VecRelation::score_sorted("r", tuples.clone());
+        let buf = DeltaBuffer::new(tuples);
+        assert_eq!(buf.tuples().as_slice(), reference.sorted_tuples());
+        assert_eq!(buf.max_score(), reference.max_score());
+    }
+}

@@ -15,6 +15,9 @@
 //! * [`RelationBuffer`] — the seen prefix `P_i` of a relation together with
 //!   its depth, first/last distance and first/last score, i.e. exactly the
 //!   state the corner and tight bounds read.
+//! * [`DeltaBuffer`] — the score-sorted side structure of a shard's freshly
+//!   appended tuples: the O(delta) ingest lane the engine's catalog merges
+//!   with the immutable base until a background compaction folds it in.
 //! * [`AccessStats`] — per-relation depths and the `sumDepths` metric used
 //!   throughout the paper's evaluation.
 //! * [`SimulatedService`] — a wrapper emulating a remote search service with
@@ -31,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub mod buffer;
+pub mod delta;
 pub mod kind;
 pub mod merge;
 pub mod service;
@@ -40,6 +44,7 @@ pub mod stats;
 pub mod tuple;
 
 pub use buffer::RelationBuffer;
+pub use delta::DeltaBuffer;
 pub use kind::AccessKind;
 pub use merge::{HeadMerge, MergeOrder, MergedAccess};
 pub use service::{LatencyModel, ServiceMetrics, SimulatedService};

@@ -333,7 +333,12 @@ mod tests {
     #[test]
     fn committed_trajectories_parse_and_diff() {
         // The repo-root trajectory files must stay readable by this gate.
-        for name in ["BENCH_6.json", "BENCH_7.json"] {
+        for name in [
+            "BENCH_6.json",
+            "BENCH_7.json",
+            "BENCH_8.json",
+            "BENCH_9.json",
+        ] {
             let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../..").to_string() + "/" + name;
             let json = std::fs::read_to_string(&path).unwrap_or_default();
             if json.is_empty() {

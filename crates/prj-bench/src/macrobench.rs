@@ -73,6 +73,11 @@ pub struct MacroBenchConfig {
     pub subscription_counts: Vec<usize>,
     /// Targeted mutations per notification lane.
     pub notify_mutations: usize,
+    /// Delta thresholds for the ingest-lane sweep (`0` = the immediate
+    /// COW-rebuild publish path, i.e. delta shards off).
+    pub ingest_delta_thresholds: Vec<usize>,
+    /// Single-tuple appends driven through each ingest lane.
+    pub ingest_appends: usize,
 }
 
 impl Default for MacroBenchConfig {
@@ -87,6 +92,8 @@ impl Default for MacroBenchConfig {
             threads: 4,
             subscription_counts: vec![1, 100, 1000],
             notify_mutations: 24,
+            ingest_delta_thresholds: vec![0, 256, 4096],
+            ingest_appends: 3000,
         }
     }
 }
@@ -99,6 +106,8 @@ impl MacroBenchConfig {
             relation_size: 60,
             subscription_counts: vec![1, 4],
             notify_mutations: 6,
+            ingest_delta_thresholds: vec![0, 2, 64],
+            ingest_appends: 96,
             ..MacroBenchConfig::default()
         }
     }
@@ -165,6 +174,32 @@ pub struct NotifyLaneResult {
     pub notifications: u64,
 }
 
+/// Measurements of one ingest lane: a serialized wave of single-tuple
+/// appends (the publish path) racing a continuous query loop, at one
+/// delta-threshold setting. Threshold `0` is the immediate COW-rebuild
+/// path; thresholds above `0` publish through the per-shard delta buffer
+/// with the background compactor folding past the threshold. The lane
+/// always runs the uniform shape at the largest configured shard count.
+#[derive(Debug, Clone)]
+pub struct IngestLaneResult {
+    /// The `delta_threshold` the engine was built with (0 = off).
+    pub delta_threshold: usize,
+    /// Shard count of the lane.
+    pub shards: usize,
+    /// Appends driven through the publish path.
+    pub appends: usize,
+    /// Appends per second over the whole wave.
+    pub appends_per_sec: f64,
+    /// Median single-append publish latency, microseconds.
+    pub publish_p50_us: u64,
+    /// 99th-percentile single-append publish latency, microseconds.
+    pub publish_p99_us: u64,
+    /// Queries completed by the concurrent query loop during the wave.
+    pub queries: usize,
+    /// 99th-percentile query latency *under concurrent ingest*, µs.
+    pub query_p99_us: u64,
+}
+
 /// The full benchmark outcome.
 #[derive(Debug, Clone)]
 pub struct MacroBenchReport {
@@ -176,6 +211,8 @@ pub struct MacroBenchReport {
     pub overhead: OverheadResult,
     /// One entry per subscription population, in sweep order.
     pub notify_lanes: Vec<NotifyLaneResult>,
+    /// One entry per delta threshold, in sweep order.
+    pub ingest_lanes: Vec<IngestLaneResult>,
 }
 
 /// Deterministic per-shape data (seeded off `config.seed`).
@@ -407,8 +444,89 @@ fn notify_lane(config: &MacroBenchConfig, subscriptions: usize) -> NotifyLaneRes
     }
 }
 
+/// One ingest lane over the uniform shape at the largest shard count: a
+/// wave of `config.ingest_appends` single-tuple appends, each timed
+/// individually (the publish latency a writer observes), while a second
+/// thread runs the spiral query grid in a loop until the wave ends (the
+/// read latency a reader observes *under* ingest). The ingest base is
+/// deliberately larger than the serving lanes' (5× `relation_size`) so the
+/// rebuild path's per-append O(shard) cost is visible against the delta
+/// path's O(delta) publish. Both caches are disabled: every append bumps
+/// the touched shard's epoch anyway, and the point of the lane is the
+/// uncached read path over base+delta merges.
+fn ingest_lane(config: &MacroBenchConfig, delta_threshold: usize) -> IngestLaneResult {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let shards = config.shard_counts.last().copied().unwrap_or(1);
+    let ingest_config = MacroBenchConfig {
+        relation_size: config.relation_size * 5,
+        ..config.clone()
+    };
+    let data = generate(&ingest_config, Shape::Uniform);
+    let engine = EngineBuilder::default()
+        .threads(config.threads)
+        .cache_capacity(0)
+        .unit_cache_capacity(0)
+        .trace_capacity(0)
+        .delta_threshold(delta_threshold)
+        .shards(shards)
+        .build();
+    let ids: Vec<RelationId> = data
+        .iter()
+        .enumerate()
+        .map(|(i, tuples)| engine.register(format!("R{}", i + 1), tuples.clone()))
+        .collect();
+    let specs = query_specs(config, &ids);
+
+    let done = AtomicBool::new(false);
+    let mut publish = Vec::with_capacity(config.ingest_appends);
+    let mut query_latencies = Vec::new();
+    let mut wall_secs = 0.0f64;
+    std::thread::scope(|scope| {
+        let reader = scope.spawn(|| {
+            let mut latencies = Vec::new();
+            let mut i = 0usize;
+            while !done.load(Ordering::Relaxed) {
+                let t0 = Instant::now();
+                engine
+                    .query(specs[i % specs.len()].clone())
+                    .expect("ingest-lane query");
+                latencies.push(t0.elapsed().as_micros() as u64);
+                i += 1;
+            }
+            latencies
+        });
+        let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(0x1A6E57));
+        let started = Instant::now();
+        for a in 0..config.ingest_appends {
+            let position = Vector::from([rng.random_range(-3.0..3.0), rng.random_range(-3.0..3.0)]);
+            let score = rng.random_range(0.0..1.0) + 1e-3;
+            let t0 = Instant::now();
+            engine
+                .append_rows(ids[a % ids.len()], vec![(position, score)])
+                .expect("ingest-lane append");
+            publish.push(t0.elapsed().as_micros() as u64);
+        }
+        wall_secs = started.elapsed().as_secs_f64();
+        done.store(true, Ordering::Relaxed);
+        query_latencies = reader.join().expect("ingest-lane query loop");
+    });
+    publish.sort_unstable();
+    query_latencies.sort_unstable();
+    IngestLaneResult {
+        delta_threshold,
+        shards,
+        appends: config.ingest_appends,
+        appends_per_sec: config.ingest_appends as f64 / wall_secs.max(1e-9),
+        publish_p50_us: percentile(&publish, 0.50),
+        publish_p99_us: percentile(&publish, 0.99),
+        queries: query_latencies.len(),
+        query_p99_us: percentile(&query_latencies, 0.99),
+    }
+}
+
 /// Runs every lane of the sweep plus the overhead pair and the
-/// notification-latency sweep.
+/// notification-latency and ingest sweeps.
 pub fn run_macrobench(config: &MacroBenchConfig) -> MacroBenchReport {
     let mut lanes = Vec::new();
     for shape in Shape::all() {
@@ -421,10 +539,16 @@ pub fn run_macrobench(config: &MacroBenchConfig) -> MacroBenchReport {
         .iter()
         .map(|&subscriptions| notify_lane(config, subscriptions))
         .collect();
+    let ingest_lanes = config
+        .ingest_delta_thresholds
+        .iter()
+        .map(|&threshold| ingest_lane(config, threshold))
+        .collect();
     MacroBenchReport {
         overhead: overhead(config),
         lanes,
         notify_lanes,
+        ingest_lanes,
         config: config.clone(),
     }
 }
@@ -461,6 +585,25 @@ pub fn render_macrobench(report: &MacroBenchReport) -> String {
                 lane.notify_p50_us,
                 lane.notify_p99_us,
                 lane.notifications,
+            ));
+        }
+    }
+    if !report.ingest_lanes.is_empty() {
+        out.push_str(
+            "\ndelta thr | shards | appends |    app/s | publish p50 µs | publish p99 µs | queries | query p99 µs\n\
+             ----------+--------+---------+----------+----------------+----------------+---------+-------------\n",
+        );
+        for lane in &report.ingest_lanes {
+            out.push_str(&format!(
+                "{:>9} | {:>6} | {:>7} | {:>8.0} | {:>14} | {:>14} | {:>7} | {:>12}\n",
+                lane.delta_threshold,
+                lane.shards,
+                lane.appends,
+                lane.appends_per_sec,
+                lane.publish_p50_us,
+                lane.publish_p99_us,
+                lane.queries,
+                lane.query_p99_us,
             ));
         }
     }
@@ -510,6 +653,28 @@ pub fn to_json(report: &MacroBenchReport) -> String {
             lane.notify_p99_us,
             lane.notifications,
             if i + 1 < report.notify_lanes.len() {
+                ","
+            } else {
+                ""
+            },
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"ingest_lanes\": [\n");
+    for (i, lane) in report.ingest_lanes.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"delta_threshold\": {}, \"shards\": {}, \"appends\": {}, \
+             \"appends_per_sec\": {:.1}, \"publish_p50_us\": {}, \"publish_p99_us\": {}, \
+             \"queries\": {}, \"query_p99_us\": {}}}{}\n",
+            lane.delta_threshold,
+            lane.shards,
+            lane.appends,
+            lane.appends_per_sec,
+            lane.publish_p50_us,
+            lane.publish_p99_us,
+            lane.queries,
+            lane.query_p99_us,
+            if i + 1 < report.ingest_lanes.len() {
                 ","
             } else {
                 ""
@@ -602,11 +767,47 @@ mod tests {
             json.matches("\"subscriptions\"").count(),
             report.notify_lanes.len()
         );
+        assert_eq!(
+            json.matches("\"delta_threshold\"").count(),
+            report.ingest_lanes.len()
+        );
+        // Ingest lanes carry no "p99_us" field verbatim, so the bench-diff
+        // leaf-object parser must keep seeing exactly the serving lanes.
+        let parsed = crate::bench_diff::parse_lanes(&json).expect("bench-diff parse");
+        assert_eq!(parsed.len(), report.lanes.len());
         // Balanced braces/brackets (a cheap well-formedness proxy given the
         // emitter never nests strings with braces).
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         let table = render_macrobench(&report);
         assert!(table.contains("sumDepths"));
+        assert!(table.contains("delta thr"));
+    }
+
+    #[test]
+    fn ingest_lanes_cover_every_threshold_and_race_real_queries() {
+        let config = MacroBenchConfig::quick();
+        let report = run_macrobench(&config);
+        assert_eq!(
+            report.ingest_lanes.len(),
+            config.ingest_delta_thresholds.len()
+        );
+        for (lane, &threshold) in report
+            .ingest_lanes
+            .iter()
+            .zip(&config.ingest_delta_thresholds)
+        {
+            assert_eq!(lane.delta_threshold, threshold);
+            assert_eq!(lane.shards, *config.shard_counts.last().unwrap());
+            assert_eq!(lane.appends, config.ingest_appends);
+            assert!(lane.appends_per_sec > 0.0);
+            assert!(lane.publish_p50_us <= lane.publish_p99_us);
+            // The query loop must genuinely overlap the ingest wave —
+            // a lane with zero completed queries measured nothing.
+            assert!(
+                lane.queries > 0,
+                "threshold {threshold}: no queries ran under ingest"
+            );
+        }
     }
 }

@@ -19,6 +19,10 @@
 //!                        an `instance` label)
 //!     --slow-query-ms N  dump the trace of any query slower than N ms to
 //!                        stderr
+//!     --delta-threshold N  buffer appends in per-shard deltas and fold them
+//!                        into the base indexes in the background once a
+//!                        delta holds N tuples (default 0 = rebuild the
+//!                        touched shard on every append)
 //!
 //!   cluster roles:
 //!     --worker                serve as a cluster worker (adds the prj/2
@@ -68,6 +72,7 @@ struct Options {
     metrics_addr: Option<String>,
     slow_query_ms: Option<u64>,
     max_subscriptions: usize,
+    delta_threshold: usize,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -87,6 +92,7 @@ fn parse_args() -> Result<Options, String> {
         metrics_addr: None,
         slow_query_ms: None,
         max_subscriptions: 1024,
+        delta_threshold: 0,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -140,6 +146,11 @@ fn parse_args() -> Result<Options, String> {
                     .parse()
                     .map_err(|_| "--max-subscriptions expects an integer".to_string())?
             }
+            "--delta-threshold" => {
+                options.delta_threshold = value("--delta-threshold")?
+                    .parse()
+                    .map_err(|_| "--delta-threshold expects an integer".to_string())?
+            }
             "--metrics-addr" => options.metrics_addr = Some(value("--metrics-addr")?),
             "--slow-query-ms" => {
                 options.slow_query_ms = Some(
@@ -155,7 +166,7 @@ fn parse_args() -> Result<Options, String> {
                     "prj-serve: TCP front-end for the ProxRJ engine\n\
                      usage: prj-serve [--addr HOST:PORT] [--threads N] [--cache N] \
                      [--shards N] [--table1] [--self-check] [--metrics-addr HOST:PORT] \
-                     [--slow-query-ms N] [--max-subscriptions N]\n\
+                     [--slow-query-ms N] [--max-subscriptions N] [--delta-threshold N]\n\
                      cluster: [--worker] [--coordinator --workers A,B,C | --topology FILE] \
                      [--replicas N] [--cluster-self-check N]"
                 );
@@ -174,6 +185,7 @@ fn build_engine(options: &Options) -> Arc<prj_engine::Engine> {
     let mut builder = EngineBuilder::default()
         .cache_capacity(options.cache)
         .slow_query_threshold(options.slow_query_ms.map(Duration::from_millis))
+        .delta_threshold(options.delta_threshold)
         .shards(options.shards);
     if let Some(threads) = options.threads {
         builder = builder.threads(threads);
@@ -372,6 +384,34 @@ fn self_check(options: &Options) -> Result<(), String> {
     client
         .unsubscribe(sub_id)
         .map_err(|e| format!("unsubscribe failed: {e}"))?;
+    // Delta-lane leg (`--delta-threshold N --self-check`): the appends above
+    // landed in shard deltas; force the fold and prove the query crossed a
+    // real compaction without changing its bits.
+    if options.delta_threshold > 0 {
+        let (pre, _) = client
+            .top_k(sub_query())
+            .map_err(|e| format!("pre-compaction topk failed: {e}"))?;
+        let compactor = engine
+            .compactor()
+            .ok_or("delta threshold set but the engine spawned no compactor")?;
+        compactor.step();
+        if engine.catalog().delta_tuples_total() != 0 {
+            return Err("compactor step left tuples in shard deltas".to_string());
+        }
+        let folded = engine.obs().compactions_total().get();
+        if folded == 0 {
+            return Err("self-check never crossed a compaction".to_string());
+        }
+        let (post, _) = client
+            .top_k(sub_query())
+            .map_err(|e| format!("post-compaction topk failed: {e}"))?;
+        if post != pre {
+            return Err(format!(
+                "compaction changed query results: {pre:?} -> {post:?}"
+            ));
+        }
+        println!("self-check: delta lane folded {folded} shard deltas, results unchanged");
+    }
     server.shutdown();
     println!(
         "self-check ok: served {} queries on {addr} (standing-query leg replayed exactly)",
@@ -692,7 +732,8 @@ fn serve(options: &Options) -> Result<(), String> {
         let topology = topology_from(options)?;
         let mut builder = Coordinator::builder(topology)
             .cache_capacity(options.cache)
-            .slow_query_threshold(options.slow_query_ms.map(Duration::from_millis));
+            .slow_query_threshold(options.slow_query_ms.map(Duration::from_millis))
+            .delta_threshold(options.delta_threshold);
         if let Some(threads) = options.threads {
             builder = builder.threads(threads);
         }

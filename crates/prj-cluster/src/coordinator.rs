@@ -44,6 +44,7 @@ pub struct CoordinatorBuilder {
     unit_cache_capacity: usize,
     client: ClientConfig,
     slow_query_threshold: Option<Duration>,
+    delta_threshold: usize,
 }
 
 impl CoordinatorBuilder {
@@ -80,6 +81,16 @@ impl CoordinatorBuilder {
         self
     }
 
+    /// Delta-shard ingest threshold for the coordinator's *local* catalog
+    /// (default 0 = immediate COW rebuilds). Replication is unaffected:
+    /// workers fold their own deltas on their own schedule, and the epoch
+    /// vectors stay equivalent either way because delta appends bump epochs
+    /// exactly like rebuild appends.
+    pub fn delta_threshold(mut self, threshold: usize) -> Self {
+        self.delta_threshold = threshold;
+        self
+    }
+
     /// Builds the coordinator and verifies the fleet: every worker must be
     /// reachable, speak `prj/2`, partition into the same shard count, and
     /// start with an empty catalog (replication replays through this
@@ -92,6 +103,7 @@ impl CoordinatorBuilder {
             .cache_capacity(self.cache_capacity)
             .unit_cache_capacity(self.unit_cache_capacity)
             .slow_query_threshold(self.slow_query_threshold)
+            .delta_threshold(self.delta_threshold)
             .shards(self.topology.shards());
         if let Some(threads) = self.threads {
             engine = engine.threads(threads);
@@ -144,6 +156,7 @@ impl Coordinator {
             unit_cache_capacity: 4096,
             client: ClientConfig::with_timeouts(Duration::from_secs(30)),
             slow_query_threshold: None,
+            delta_threshold: 0,
         }
     }
 

@@ -60,6 +60,6 @@ pub mod worker;
 
 pub use coordinator::{Coordinator, CoordinatorBuilder};
 pub use pool::WorkerPool;
-pub use process::{spawn_worker_process, SpawnedWorker};
+pub use process::{spawn_worker_process, spawn_worker_process_with_delta, SpawnedWorker};
 pub use topology::{ClusterTopology, ShardRouter, TopologyError};
 pub use worker::WorkerSession;

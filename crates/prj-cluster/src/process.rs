@@ -36,6 +36,18 @@ pub fn spawn_worker_process(
     shards: usize,
     threads: usize,
 ) -> Result<SpawnedWorker, String> {
+    spawn_worker_process_with_delta(exe, shards, threads, 0)
+}
+
+/// [`spawn_worker_process`] with an explicit `--delta-threshold` (0 =
+/// immediate COW rebuilds). The distributed tests skew this per worker to
+/// prove compaction schedules are unobservable across a fleet.
+pub fn spawn_worker_process_with_delta(
+    exe: &Path,
+    shards: usize,
+    threads: usize,
+    delta_threshold: usize,
+) -> Result<SpawnedWorker, String> {
     let mut child = Command::new(exe)
         .args([
             "--worker",
@@ -45,6 +57,8 @@ pub fn spawn_worker_process(
             &shards.to_string(),
             "--threads",
             &threads.to_string(),
+            "--delta-threshold",
+            &delta_threshold.to_string(),
         ])
         .stdout(Stdio::piped())
         .stderr(Stdio::null())

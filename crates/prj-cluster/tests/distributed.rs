@@ -540,6 +540,125 @@ fn out_of_band_worker_mutations_surface_as_stale_epoch() {
     }
 }
 
+/// Sustained ingest over the delta lane, with compaction schedules skewed
+/// *across* workers: one worker folds eagerly (`--delta-threshold 2`), the
+/// other lazily (`--delta-threshold 64`, so its deltas mostly drain through
+/// age flushes). High-rate appends stream into a single relation through
+/// the coordinator, and after every batch a fresh-point query must be
+/// bit-identical to the local rebuild-mode engine *and* the naive oracle —
+/// per-worker compaction timing must be completely unobservable. The leg
+/// ends with a worker kill mid-ingest: with replicas=2 the surviving
+/// worker must keep answering exactly, whatever its delta backlog was.
+#[test]
+fn sustained_ingest_with_skewed_compaction_stays_exact() {
+    let shards = 4;
+    let size = 12;
+    let exe = std::path::Path::new(env!("CARGO_BIN_EXE_prj-serve"));
+    let mut fleet: Vec<Worker> = [2usize, 64]
+        .iter()
+        .map(|&threshold| {
+            prj_cluster::spawn_worker_process_with_delta(exe, shards, 2, threshold)
+                .expect("spawn delta worker")
+        })
+        .collect();
+    let coordinator = Arc::new(coordinator_over(&fleet, shards, 2));
+    let local = Session::new(Arc::new(
+        EngineBuilder::default().threads(2).shards(shards).build(),
+    ));
+    let mut relations = generate(88, Shape::Uniform, 2, size);
+    for (i, tuples) in relations.iter().enumerate() {
+        let request = register_request(&format!("g{i}"), tuples);
+        assert!(!matches!(
+            coordinator.dispatch_one(request.clone()),
+            Response::Error(_)
+        ));
+        assert!(!matches!(local.handle(request), Response::Error(_)));
+    }
+
+    for batch in 0..20usize {
+        // Three appends per batch into the single hot relation g0.
+        let points: Vec<([f64; 2], f64)> = (0..3)
+            .map(|j| {
+                let t = (batch * 3 + j) as f64;
+                (
+                    [(t * 0.37).sin() * 2.5, (t * 0.53).cos() * 2.5],
+                    0.05 + (t * 0.29).sin().abs() * 0.9,
+                )
+            })
+            .collect();
+        let append = Request::AppendTuples {
+            relation: "g0".into(),
+            tuples: points
+                .iter()
+                .map(|(loc, score)| prj_api::TupleData::new(*loc, *score))
+                .collect(),
+        };
+        // The mutation ack (id, epoch, cardinality) must be identical under
+        // delta-mode workers and the rebuild-mode local engine — that is
+        // what lets replication ship delta appends as-is.
+        let cluster_ack = coordinator.dispatch_one(append.clone());
+        let local_ack = local.handle(append);
+        assert_eq!(
+            cluster_ack, local_ack,
+            "batch {batch}: mutation acks diverged under delta ingest"
+        );
+        for (j, (loc, score)) in points.iter().enumerate() {
+            relations[0].push(Tuple::new(
+                TupleId::new(0, size + batch * 3 + j),
+                Vector::from(*loc),
+                *score,
+            ));
+        }
+
+        // Fresh query point every batch, so nothing can be served from a
+        // cache — the cluster must read through every worker's current
+        // base+delta state.
+        let q = [0.11 * batch as f64 - 1.0, 0.6 - 0.07 * batch as f64];
+        let request =
+            Request::TopK(QueryRequest::new(vec!["g0".into(), "g1".into()], q.to_vec()).k(4));
+        let cluster_rows = results_of(
+            coordinator.dispatch_one(request.clone()),
+            "cluster ingest query",
+        );
+        assert_eq!(
+            rows_fingerprint(&cluster_rows),
+            rows_fingerprint(&results_of(local.handle(request), "local ingest query")),
+            "batch {batch}: cluster diverged from local mid-ingest"
+        );
+        let oracle = naive_fingerprint(&relations, &Vector::from(q), 4);
+        let cluster_view: Vec<(Vec<(usize, usize)>, u64)> = cluster_rows
+            .iter()
+            .map(|r| (r.tuples.clone(), r.score.to_bits()))
+            .collect();
+        assert_eq!(
+            cluster_view, oracle,
+            "batch {batch}: cluster diverged from the oracle mid-ingest"
+        );
+    }
+
+    // Kill the lazy worker (the one most likely to be holding a delta
+    // backlog) mid-ingest: replicas=2 means the eager worker owns every
+    // shard too, so the fleet must keep answering exactly.
+    drop(fleet.remove(1));
+    let q = [0.33, -0.45];
+    let request = Request::TopK(QueryRequest::new(vec!["g0".into(), "g1".into()], q.to_vec()).k(5));
+    let rows = results_of(
+        coordinator.dispatch_one(request.clone()),
+        "post-kill ingest query",
+    );
+    assert_eq!(
+        rows_fingerprint(&rows),
+        rows_fingerprint(&results_of(local.handle(request), "local post-kill")),
+        "post-kill query diverged from local"
+    );
+    let oracle = naive_fingerprint(&relations, &Vector::from(q), 5);
+    let cluster_view: Vec<(Vec<(usize, usize)>, u64)> = rows
+        .iter()
+        .map(|r| (r.tuples.clone(), r.score.to_bits()))
+        .collect();
+    assert_eq!(cluster_view, oracle, "post-kill query diverged from oracle");
+}
+
 /// The spawned worker process speaks both dialects: legacy `prj/1` lines
 /// round-trip, and cluster verbs on `prj/1` earn a typed version error.
 #[test]

@@ -38,10 +38,33 @@
 //! Mutations are serialised by a dedicated mutex (readers never touch it);
 //! nothing that can panic runs under the slot lock, so a bad batch can
 //! never poison it.
+//!
+//! ## Delta shards (the O(delta) ingest lane)
+//!
+//! With a non-zero delta limit ([`Catalog::with_policy_and_delta`]), appends
+//! stop rebuilding shard structures altogether: the new tuples land in the
+//! shard's [`DeltaBuffer`] — a small score-sorted side structure — and the
+//! publish costs O(delta), not O(|shard|). Every read path merges base +
+//! delta through the ordinary [`MergedAccess`] machinery (σ_max is the
+//! fold-max over both parts, so bounds stay admissible and stops stay
+//! certified), and a delta append bumps the touched shard's epoch exactly
+//! like a rebuild append does, so caching, subscriptions and cluster
+//! replication observe the two publish modes identically.
+//!
+//! [`Catalog::compact_shard`] — driven by the engine's background compactor
+//! — folds a shard's delta into its base: the fold replays the delta in
+//! arrival (id) order through the same incremental R-tree inserts the
+//! rebuild path would have used, so the folded shard is physically
+//! identical to the one immediate rebuilds would have produced. Compaction
+//! is a pure physical reorganisation: it preserves the shard's **epoch**
+//! (same logical data, so cached results and replicated epoch vectors stay
+//! valid) and only bumps the shard's `compactions` counter. Appends that
+//! race the fold are never lost: the publish step recomputes the residual
+//! delta (live minus folded snapshot) under the mutation mutex.
 
 use crate::sharding::ShardingPolicy;
 use prj_access::{
-    MergeOrder, MergedAccess, RelationStats, SharedRTreeRelation, SharedScoreRelation,
+    DeltaBuffer, MergeOrder, MergedAccess, RelationStats, SharedRTreeRelation, SharedScoreRelation,
     SortedAccess, Tuple, TupleId, VecRelation,
 };
 use prj_core::ScoringFunction;
@@ -123,16 +146,28 @@ pub struct MutationOutcome {
 
 /// One immutable shard of a relation: a disjoint slice of the tuples plus
 /// the access structures built from them, stamped with the epoch it was
-/// published at.
+/// published at. The slice splits into an indexed **base** (tuple array,
+/// R-tree, score-sorted array) and a small **delta** of freshly appended
+/// tuples not yet folded into the base (always empty when the catalog's
+/// delta limit is 0).
 #[derive(Debug)]
 pub struct RelationShard {
+    /// The base tuples, in ingestion order.
     tuples: Arc<Vec<Tuple>>,
-    /// R-tree over the shard's tuples (distance-based access path).
+    /// R-tree over the base tuples (distance-based access path).
     rtree: Arc<RTree<(TupleId, f64)>>,
-    /// The shard's tuples in non-increasing score order (score-based path).
+    /// The base tuples in non-increasing score order (score-based path).
     score_sorted: Arc<Vec<Tuple>>,
+    /// Appended-but-not-yet-compacted tuples (the O(delta) ingest lane).
+    delta: Arc<DeltaBuffer>,
+    /// Statistics over the base tuples only.
+    base_stats: RelationStats,
+    /// Statistics over base + delta (what planning and σ_max read).
     stats: RelationStats,
     epoch: u64,
+    /// Number of delta folds this shard has absorbed (observability only:
+    /// compaction never changes the epoch or the visible data).
+    compactions: u64,
 }
 
 impl RelationShard {
@@ -164,8 +199,11 @@ impl RelationShard {
             tuples: Arc::new(tuples),
             rtree,
             score_sorted,
+            delta: Arc::new(DeltaBuffer::empty()),
+            base_stats: stats,
             stats,
             epoch,
+            compactions: 0,
         }
     }
 
@@ -174,6 +212,10 @@ impl RelationShard {
     /// no bulk re-load — so in-flight readers of the old shard are
     /// unaffected, and only this shard's structures are rebuilt.
     fn appended(&self, extra: Vec<Tuple>) -> RelationShard {
+        debug_assert!(
+            self.delta.is_empty(),
+            "rebuild appends and delta appends must not mix on one shard"
+        );
         let epoch = self.epoch + 1;
         if self.tuples.is_empty() {
             // The empty shard's R-tree was built with a placeholder
@@ -190,23 +232,106 @@ impl RelationShard {
         Self::assemble(tuples, Arc::new(rtree), stats, epoch)
     }
 
+    /// A new shard snapshot with `extra` published into the delta at a
+    /// bumped epoch — O(delta + extra), no index rebuild. The base
+    /// structures are shared as-is; readers merge base + delta.
+    fn delta_appended(&self, extra: Vec<Tuple>) -> RelationShard {
+        let epoch = self.epoch + 1;
+        let delta = self.delta.appended(extra);
+        let stats = RelationStats::combine(&[self.base_stats, delta.stats()]);
+        RelationShard {
+            tuples: Arc::clone(&self.tuples),
+            rtree: Arc::clone(&self.rtree),
+            score_sorted: Arc::clone(&self.score_sorted),
+            delta: Arc::new(delta),
+            base_stats: self.base_stats,
+            stats,
+            epoch,
+            compactions: self.compactions,
+        }
+    }
+
+    /// The expensive half of a compaction, run **outside every lock**: a
+    /// fresh base with this snapshot's delta folded in (and an empty
+    /// delta). The delta is replayed in arrival (id) order through the same
+    /// incremental inserts [`RelationShard::appended`] uses, so the folded
+    /// structures are physically identical to the ones the immediate-
+    /// rebuild path would have built from the same appends.
+    fn folded_base(&self) -> RelationShard {
+        let mut delta: Vec<Tuple> = self.delta.tuples().as_ref().clone();
+        delta.sort_by_key(|t| t.id);
+        if self.tuples.is_empty() {
+            // Placeholder-dimensionality base: build for real.
+            return RelationShard::build(delta, self.epoch);
+        }
+        let mut tuples = self.tuples.as_ref().clone();
+        let mut rtree = self.rtree.as_ref().clone();
+        rtree.extend(delta.iter().map(|t| (t.vector.clone(), (t.id, t.score))));
+        tuples.extend(delta);
+        let stats = RelationStats::from_tuples(&tuples);
+        Self::assemble(tuples, Arc::new(rtree), stats, self.epoch)
+    }
+
+    /// The cheap publish half of a compaction: the folded base plus the
+    /// residual delta (appends that raced the fold), at the **unchanged**
+    /// live epoch — compaction is invisible to everything keyed by epochs.
+    fn with_residual(
+        base: &RelationShard,
+        residual: DeltaBuffer,
+        epoch: u64,
+        compactions: u64,
+    ) -> RelationShard {
+        let stats = if residual.is_empty() {
+            base.base_stats
+        } else {
+            RelationStats::combine(&[base.base_stats, residual.stats()])
+        };
+        RelationShard {
+            tuples: Arc::clone(&base.tuples),
+            rtree: Arc::clone(&base.rtree),
+            score_sorted: Arc::clone(&base.score_sorted),
+            delta: Arc::new(residual),
+            base_stats: base.base_stats,
+            stats,
+            epoch,
+            compactions,
+        }
+    }
+
     /// The epoch this shard snapshot was published at (0 at registration,
-    /// +1 per append that touched this shard).
+    /// +1 per append that touched this shard; unchanged by compaction).
     pub fn epoch(&self) -> u64 {
         self.epoch
     }
 
-    /// The shard's tuples, in ingestion order.
+    /// The shard's base tuples, in ingestion order (excludes the delta;
+    /// see [`RelationShard::delta`]).
     pub fn tuples(&self) -> &Arc<Vec<Tuple>> {
         &self.tuples
     }
 
-    /// The shard's shared R-tree.
+    /// The shard's shared R-tree (over the base tuples).
     pub fn rtree(&self) -> &Arc<RTree<(TupleId, f64)>> {
         &self.rtree
     }
 
-    /// Statistics of this shard's slice of the relation.
+    /// The shard's not-yet-compacted delta buffer (empty when the
+    /// catalog's delta limit is 0).
+    pub fn delta(&self) -> &DeltaBuffer {
+        &self.delta
+    }
+
+    /// Number of tuples waiting in the delta.
+    pub fn delta_len(&self) -> usize {
+        self.delta.len()
+    }
+
+    /// Number of delta folds this shard has absorbed.
+    pub fn compactions(&self) -> u64 {
+        self.compactions
+    }
+
+    /// Statistics of this shard's slice of the relation (base + delta).
     pub fn stats(&self) -> RelationStats {
         self.stats
     }
@@ -242,13 +367,16 @@ impl CatalogRelation {
         }
     }
 
-    /// A new snapshot with `extra` appended: the touched shards are rebuilt
-    /// copy-on-write at bumped epochs, untouched shards are shared as-is.
-    /// Also returns the indices of the shards that were touched.
+    /// A new snapshot with `extra` appended: the touched shards get bumped
+    /// epochs, untouched shards are shared as-is. With `delta_mode` the
+    /// tuples are published into the touched shards' deltas (O(delta));
+    /// otherwise the shards are rebuilt copy-on-write. Also returns the
+    /// indices of the shards that were touched.
     fn appended(
         &self,
         extra: Vec<Tuple>,
         policy: &ShardingPolicy,
+        delta_mode: bool,
     ) -> (CatalogRelation, Vec<usize>) {
         let mut shards = self.shards.clone();
         let mut touched = Vec::new();
@@ -258,11 +386,23 @@ impl CatalogRelation {
             .enumerate()
         {
             if !bucket.is_empty() {
-                shards[j] = Arc::new(shards[j].appended(bucket));
+                shards[j] = Arc::new(if delta_mode {
+                    shards[j].delta_appended(bucket)
+                } else {
+                    shards[j].appended(bucket)
+                });
                 touched.push(j);
             }
         }
         (Self::from_shards(Arc::clone(&self.name), shards), touched)
+    }
+
+    /// A new snapshot with shard `j` swapped for `shard` (the compaction
+    /// publish step); everything else is shared as-is.
+    fn with_shard(&self, j: usize, shard: RelationShard) -> CatalogRelation {
+        let mut shards = self.shards.clone();
+        shards[j] = Arc::new(shard);
+        Self::from_shards(Arc::clone(&self.name), shards)
     }
 
     /// The relation's name.
@@ -298,15 +438,22 @@ impl CatalogRelation {
         self.stats.cardinality
     }
 
-    /// Every tuple of the relation, concatenated shard by shard. O(n); used
-    /// by the non-Euclidean fallback path and by tests — hot paths go
-    /// through the shared per-shard structures instead.
+    /// Every tuple of the relation — base then delta, concatenated shard by
+    /// shard. O(n); used by the non-Euclidean fallback path and by tests —
+    /// hot paths go through the shared per-shard structures instead.
     pub fn all_tuples(&self) -> Vec<Tuple> {
         let mut all = Vec::with_capacity(self.cardinality());
         for shard in &self.shards {
             all.extend(shard.tuples.iter().cloned());
+            all.extend(shard.delta.tuples().iter().cloned());
         }
         all
+    }
+
+    /// Total number of tuples waiting in shard deltas (0 when the delta
+    /// lane is off).
+    pub fn delta_len(&self) -> usize {
+        self.shards.iter().map(|s| s.delta.len()).sum()
     }
 
     /// Whole-relation statistics (combined over the shards).
@@ -317,46 +464,76 @@ impl CatalogRelation {
     /// An O(1) distance-based sorted-access view of **shard `j`**, walking
     /// that shard's R-tree (Euclidean frontier). Takes the query behind an
     /// `Arc` (or an owned [`Vector`], converted) so every view of one query
-    /// shares a single allocation.
+    /// shares a single allocation. A non-empty delta is merged in behind
+    /// the same globally sorted contract: its tuples are distance-sorted
+    /// per query (O(delta·log delta), delta is small by construction) and
+    /// recombined with the tree frontier via [`MergedAccess`], whose σ_max
+    /// is the fold-max over both parts — bounds stay admissible.
     pub fn shard_distance_view(
         &self,
         j: usize,
         query: impl Into<Arc<Vector>>,
     ) -> Box<dyn SortedAccess> {
         let shard = &self.shards[j];
-        Box::new(SharedRTreeRelation::new(
+        let query = query.into();
+        let base = Box::new(SharedRTreeRelation::new(
             Arc::clone(&self.name),
             Arc::clone(&shard.rtree),
-            query.into(),
-            shard.stats.max_score,
+            Arc::clone(&query),
+            shard.base_stats.max_score,
+        ));
+        if shard.delta.is_empty() {
+            return base;
+        }
+        let delta = Box::new(VecRelation::distance_sorted(
+            self.name.to_string(),
+            query.as_ref(),
+            shard.delta.tuples().as_ref().clone(),
+        ));
+        Box::new(self.merged(
+            vec![base, delta],
+            MergeOrder::AscendingBy(Box::new(move |t| t.distance_to(&query))),
         ))
     }
 
-    /// An O(1) score-based sorted-access view of **shard `j`**.
+    /// An O(1) score-based sorted-access view of **shard `j`** (the delta's
+    /// lane is already score-sorted, so merging it in costs nothing extra).
     pub fn shard_score_view(&self, j: usize) -> Box<dyn SortedAccess> {
         let shard = &self.shards[j];
-        Box::new(SharedScoreRelation::new(
+        let base = Box::new(SharedScoreRelation::new(
             Arc::clone(&self.name),
             Arc::clone(&shard.score_sorted),
-            shard.stats.max_score,
-        ))
+            shard.base_stats.max_score,
+        ));
+        if shard.delta.is_empty() {
+            return base;
+        }
+        let delta = Box::new(SharedScoreRelation::new(
+            Arc::clone(&self.name),
+            Arc::clone(shard.delta.tuples()),
+            shard.delta.max_score(),
+        ));
+        Box::new(self.merged(vec![base, delta], MergeOrder::DescendingScore))
     }
 
     /// A distance view of shard `j` sorted under the scoring function's own
     /// distance `δ` — the non-Euclidean fallback ( O(|shard| log |shard|) ).
+    /// Base and delta are sorted together; the id tie-break makes the order
+    /// independent of where a tuple currently lives.
     pub fn shard_distance_view_by<S: ScoringFunction>(
         &self,
         j: usize,
         scoring: &S,
         query: &Vector,
     ) -> Box<dyn SortedAccess> {
+        let shard = &self.shards[j];
         let q = query.clone();
-        let rel = VecRelation::distance_sorted_by(
-            self.name.to_string(),
-            self.shards[j].tuples.as_ref().clone(),
-            move |t| scoring.distance(&t.vector, &q),
-        )
-        .with_max_score(self.shards[j].stats.max_score);
+        let mut tuples = shard.tuples.as_ref().clone();
+        tuples.extend(shard.delta.tuples().iter().cloned());
+        let rel = VecRelation::distance_sorted_by(self.name.to_string(), tuples, move |t| {
+            scoring.distance(&t.vector, &q)
+        })
+        .with_max_score(shard.stats.max_score);
         Box::new(rel)
     }
 
@@ -442,6 +619,10 @@ pub struct Catalog {
     /// optimistic-retry loop. Readers never touch this lock.
     mutations: Mutex<()>,
     policy: ShardingPolicy,
+    /// Delta-lane size threshold: 0 turns the lane off (appends rebuild
+    /// shards immediately); N > 0 routes appends into shard deltas, with
+    /// N as the size at which the background compactor folds a delta in.
+    delta_limit: usize,
 }
 
 impl Catalog {
@@ -452,10 +633,19 @@ impl Catalog {
 
     /// Creates an empty catalog partitioning every relation under `policy`.
     pub fn with_policy(policy: ShardingPolicy) -> Self {
+        Self::with_policy_and_delta(policy, 0)
+    }
+
+    /// Creates an empty catalog partitioning under `policy` with the delta
+    /// ingest lane configured: `delta_limit` 0 keeps today's immediate
+    /// copy-on-write rebuilds; N > 0 makes appends O(delta) publishes that
+    /// the compactor folds in once a shard's delta reaches N tuples.
+    pub fn with_policy_and_delta(policy: ShardingPolicy, delta_limit: usize) -> Self {
         Catalog {
             slots: RwLock::new(Vec::new()),
             mutations: Mutex::new(()),
             policy,
+            delta_limit,
         }
     }
 
@@ -463,6 +653,11 @@ impl Catalog {
     /// under.
     pub fn policy(&self) -> ShardingPolicy {
         self.policy
+    }
+
+    /// The delta-lane threshold (0 = delta lane off).
+    pub fn delta_limit(&self) -> usize {
+        self.delta_limit
     }
 
     /// Registers a relation, building its shared access structures (outside
@@ -543,7 +738,8 @@ impl Catalog {
             let current = self.relation(id)?;
             let tuples = make_tuples(&current);
             Self::check_dimensions(&current, &tuples)?;
-            let (appended, touched_shards) = current.appended(tuples, &self.policy);
+            let (appended, touched_shards) =
+                current.appended(tuples, &self.policy, self.delta_limit > 0);
             let next = Arc::new(appended);
             let epoch = next.epoch();
             let cardinality = next.cardinality();
@@ -615,6 +811,80 @@ impl Catalog {
             cardinality: 0,
             touched_shards,
         })
+    }
+
+    /// Folds shard `j` of relation `id`'s delta into its base. The
+    /// expensive fold runs outside every lock; the publish step recomputes
+    /// the residual delta (appends that raced the fold are kept, never
+    /// lost) under the mutation mutex and swaps the shard in at its
+    /// **unchanged** epoch — compaction is invisible to everything keyed
+    /// by epoch vectors. Returns whether a fold was published (`false`
+    /// when the delta was empty or the base moved under the fold; the
+    /// compactor simply retries on its next pass).
+    pub fn compact_shard(&self, id: RelationId, j: usize) -> Result<bool, CatalogError> {
+        let snapshot = self.relation(id)?;
+        if j >= snapshot.num_shards() || snapshot.shard(j).delta.is_empty() {
+            return Ok(false);
+        }
+        let folded = snapshot.shard(j).folded_base();
+        let _mutations = self.mutations.lock().expect("mutation lock");
+        let current = self.relation(id)?;
+        let cur = current.shard(j);
+        // Only fold onto the base we folded from: a different base means a
+        // concurrent compaction published first.
+        if !Arc::ptr_eq(&cur.tuples, &snapshot.shard(j).tuples) {
+            return Ok(false);
+        }
+        // Appends only ever add to a shard's delta, so the live delta is a
+        // superset of the folded snapshot; the difference is exactly the
+        // tuples that arrived while the fold ran.
+        let residual = cur.delta.difference(&snapshot.shard(j).delta);
+        let shard = RelationShard::with_residual(&folded, residual, cur.epoch, cur.compactions + 1);
+        let next = Arc::new(current.with_shard(j, shard));
+        let mut slots = self.slots.write().expect("catalog lock");
+        match &slots[id.0] {
+            Slot::Live(base) if Arc::ptr_eq(base, &current) => {
+                slots[id.0] = Slot::Live(next);
+                Ok(true)
+            }
+            // Unreachable while the mutation mutex is held; bail safely
+            // all the same.
+            Slot::Live(_) => Ok(false),
+            Slot::Reserved => Err(CatalogError::UnknownId(id.0)),
+            Slot::Dropped => Err(CatalogError::Dropped(id.0)),
+        }
+    }
+
+    /// The shards whose deltas hold at least `min_len` tuples, as
+    /// `(relation, shard, delta_len)` triples — the compactor's work list.
+    /// `min_len` 0 lists every non-empty delta (the age-flush pass).
+    pub fn delta_backlog(&self, min_len: usize) -> Vec<(RelationId, usize, usize)> {
+        let slots = self.slots.read().expect("catalog lock");
+        let mut backlog = Vec::new();
+        for (i, slot) in slots.iter().enumerate() {
+            if let Slot::Live(rel) = slot {
+                for j in 0..rel.num_shards() {
+                    let len = rel.shard(j).delta_len();
+                    if len > 0 && len >= min_len {
+                        backlog.push((RelationId(i), j, len));
+                    }
+                }
+            }
+        }
+        backlog
+    }
+
+    /// Total number of tuples currently waiting in deltas across every
+    /// live relation (what the `prj_delta_tuples` gauge reports).
+    pub fn delta_tuples_total(&self) -> usize {
+        let slots = self.slots.read().expect("catalog lock");
+        slots
+            .iter()
+            .map(|s| match s {
+                Slot::Live(rel) => rel.delta_len(),
+                _ => 0,
+            })
+            .sum()
     }
 
     fn live(slots: &[Slot], id: RelationId) -> Result<Arc<CatalogRelation>, CatalogError> {
@@ -930,6 +1200,184 @@ mod tests {
         let mut indices: Vec<usize> = relation.all_tuples().iter().map(|t| t.id.index).collect();
         indices.sort_unstable();
         assert_eq!(indices, (0..36).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn delta_appends_publish_without_rebuilding() {
+        let catalog = Catalog::with_policy_and_delta(ShardingPolicy::new(2), 64);
+        assert_eq!(catalog.delta_limit(), 64);
+        let id = catalog.register("r", mk_tuples(0, 12));
+        let before = catalog.relation(id).unwrap();
+        let point = Vector::from([0.5, 0.5]);
+        let target = catalog.policy().shard_of(&point);
+        let outcome = catalog.append_rows(id, vec![(point, 0.99)]).unwrap();
+        assert_eq!(outcome.epoch, 1);
+        assert_eq!(outcome.cardinality, 13);
+        assert_eq!(outcome.touched_shards, vec![target]);
+        let after = catalog.relation(id).unwrap();
+        // The base structures are shared as-is — no rebuild happened.
+        assert!(Arc::ptr_eq(
+            before.shard(target).rtree(),
+            after.shard(target).rtree()
+        ));
+        assert_eq!(after.shard(target).delta_len(), 1);
+        assert_eq!(after.delta_len(), 1);
+        assert_eq!(catalog.delta_tuples_total(), 1);
+        assert_eq!(after.cardinality(), 13);
+        assert_eq!(after.stats().max_score, 0.99);
+        // Merged views observe base + delta in globally sorted order.
+        let mut view = after.score_view();
+        let mut previous = f64::INFINITY;
+        let mut count = 0;
+        while let Some(t) = view.next_tuple() {
+            assert!(t.score <= previous);
+            previous = t.score;
+            count += 1;
+        }
+        assert_eq!(count, 13);
+        let query = Vector::from([0.5, 0.5]);
+        let mut view = after.distance_view(query.clone());
+        let first = view.next_tuple().unwrap();
+        assert_eq!(first.id, TupleId::new(0, 12), "delta tuple is nearest");
+        let mut count = 1;
+        let mut previous = first.distance_to(&query);
+        while let Some(t) = view.next_tuple() {
+            let d = t.distance_to(&query);
+            assert!(d >= previous - 1e-12);
+            previous = d;
+            count += 1;
+        }
+        assert_eq!(count, 13);
+    }
+
+    #[test]
+    fn compaction_preserves_epochs_and_matches_the_rebuild_path() {
+        let delta_catalog = Catalog::with_policy_and_delta(ShardingPolicy::new(2), 4);
+        let rebuild_catalog = Catalog::with_policy(ShardingPolicy::new(2));
+        let a = delta_catalog.register("r", mk_tuples(0, 10));
+        let b = rebuild_catalog.register("r", mk_tuples(0, 10));
+        for i in 0..6 {
+            let row = (
+                Vector::from([i as f64 - 3.0, 3.0 - i as f64]),
+                0.1 * i as f64 + 0.2,
+            );
+            delta_catalog.append_rows(a, vec![row.clone()]).unwrap();
+            rebuild_catalog.append_rows(b, vec![row]).unwrap();
+        }
+        let before = delta_catalog.relation(a).unwrap();
+        assert!(before.delta_len() > 0);
+        let epochs = before.epochs();
+        for j in 0..2 {
+            let had_delta = before.shard(j).delta_len() > 0;
+            assert_eq!(delta_catalog.compact_shard(a, j).unwrap(), had_delta);
+            // Compacting an already-empty delta is a no-op.
+            assert!(!delta_catalog.compact_shard(a, j).unwrap());
+        }
+        let after = delta_catalog.relation(a).unwrap();
+        let reference = rebuild_catalog.relation(b).unwrap();
+        // Compaction changed no epoch and lost no data.
+        assert_eq!(after.epochs(), epochs);
+        assert_eq!(after.delta_len(), 0);
+        assert_eq!(delta_catalog.delta_tuples_total(), 0);
+        assert_eq!(delta_catalog.delta_backlog(0), vec![]);
+        // The folded shards are physically identical to the rebuild path's:
+        // same tuple order, same score order, same tree size.
+        for j in 0..2 {
+            assert_eq!(
+                after.shard(j).tuples().as_slice(),
+                reference.shard(j).tuples().as_slice()
+            );
+            assert_eq!(
+                after.shard(j).rtree().len(),
+                reference.shard(j).rtree().len()
+            );
+            if before.shard(j).delta_len() > 0 {
+                assert_eq!(after.shard(j).compactions(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn delta_backlog_lists_shards_at_threshold() {
+        let catalog = Catalog::with_policy_and_delta(ShardingPolicy::new(1), 3);
+        let id = catalog.register("r", mk_tuples(0, 5));
+        assert!(catalog.delta_backlog(0).is_empty());
+        catalog
+            .append_rows(id, vec![(Vector::from([1.0, 1.0]), 0.5)])
+            .unwrap();
+        assert_eq!(catalog.delta_backlog(0), vec![(id, 0, 1)]);
+        assert!(catalog.delta_backlog(3).is_empty());
+        catalog
+            .append_rows(
+                id,
+                vec![
+                    (Vector::from([2.0, 1.0]), 0.4),
+                    (Vector::from([1.0, 2.0]), 0.6),
+                ],
+            )
+            .unwrap();
+        assert_eq!(catalog.delta_backlog(3), vec![(id, 0, 3)]);
+    }
+
+    #[test]
+    fn concurrent_appends_survive_concurrent_compaction() {
+        // Appends racing the compactor's fold land in the residual delta;
+        // none may be lost and ids stay dense.
+        let catalog = Arc::new(Catalog::with_policy_and_delta(ShardingPolicy::new(2), 2));
+        let id = catalog.register("r", mk_tuples(0, 4));
+        std::thread::scope(|scope| {
+            for worker in 0..3 {
+                let catalog = Arc::clone(&catalog);
+                scope.spawn(move || {
+                    for i in 0..10 {
+                        let x = worker as f64 + i as f64 / 10.0;
+                        catalog
+                            .append_rows(id, vec![(Vector::from([x, -x]), 0.5)])
+                            .unwrap();
+                    }
+                });
+            }
+            let catalog = Arc::clone(&catalog);
+            scope.spawn(move || {
+                for _ in 0..50 {
+                    for (rel, shard, _) in catalog.delta_backlog(1) {
+                        let _ = catalog.compact_shard(rel, shard);
+                    }
+                    std::thread::yield_now();
+                }
+            });
+        });
+        // Final flush so the assertion below sees everything folded.
+        for (rel, shard, _) in catalog.delta_backlog(0) {
+            assert!(catalog.compact_shard(rel, shard).unwrap());
+        }
+        let relation = catalog.relation(id).unwrap();
+        assert_eq!(relation.cardinality(), 4 + 30);
+        assert_eq!(relation.epoch(), 30);
+        assert_eq!(relation.delta_len(), 0);
+        let mut indices: Vec<usize> = relation.all_tuples().iter().map(|t| t.id.index).collect();
+        indices.sort_unstable();
+        assert_eq!(indices, (0..34).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn delta_append_to_empty_relation_is_queryable_and_compactable() {
+        let catalog = Catalog::with_policy_and_delta(ShardingPolicy::new(1), 8);
+        let (id, _) = catalog.register_rows("fresh", Vec::new()).unwrap();
+        catalog
+            .append_rows(id, vec![(Vector::from([1.0, 2.0]), 0.7)])
+            .unwrap();
+        let rel = catalog.relation(id).unwrap();
+        assert_eq!(rel.stats().dimensions, 2);
+        assert_eq!(rel.shard(0).delta_len(), 1);
+        let mut view = rel.distance_view(Vector::from([0.0, 0.0]));
+        assert_eq!(view.next_tuple().unwrap().id, TupleId::new(id.0, 0));
+        assert!(catalog.compact_shard(id, 0).unwrap());
+        let rel = catalog.relation(id).unwrap();
+        // The placeholder-dimension base was rebuilt for real.
+        assert_eq!(rel.shard(0).rtree().len(), 1);
+        assert_eq!(rel.shard(0).rtree().dim(), 2);
+        assert_eq!(rel.epochs(), vec![1]);
     }
 
     #[test]

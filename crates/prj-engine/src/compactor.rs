@@ -1,0 +1,300 @@
+//! The background compactor: folds shard deltas into their base indexes.
+//!
+//! With a non-zero [`EngineBuilder::delta_threshold`](crate::EngineBuilder::delta_threshold),
+//! appends publish into per-shard [`prj_access::DeltaBuffer`]s in O(delta)
+//! and this thread pays the O(|shard|) index work later, off the ingest
+//! path. Each pass scans the catalog's delta backlog and calls
+//! [`Catalog::compact_shard`] for every shard at or above the threshold;
+//! every 8th pass flushes *all* non-empty deltas, which bounds how long a
+//! tuple can sit unindexed without introducing wall-clock-dependent
+//! behaviour into the fold decisions themselves.
+//!
+//! Compaction is invisible to query results by construction — it preserves
+//! shard epochs and the visible tuple set (see the catalog module docs) —
+//! so the *only* externally observable effects are the
+//! `prj_compactions_total` counter, the `prj_delta_tuples` gauge, and the
+//! `compaction` spans recorded per pass.
+//!
+//! ## Test hooks
+//!
+//! [`Compactor::pause`] stops the background thread from starting new
+//! passes (and waits out an in-flight one), [`Compactor::step`] runs one
+//! synchronous full-flush pass on the calling thread even while paused, and
+//! [`Compactor::resume`] restarts background folding. Together they let the
+//! differential torture tests force queries to land exactly mid-compaction.
+
+use crate::catalog::Catalog;
+use crate::obs::EngineObs;
+use prj_obs::{Counter, Gauge, Recorder, TraceId};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How often an idle compactor wakes to look for aged deltas.
+const IDLE_TICK: Duration = Duration::from_millis(25);
+
+/// Every this-many passes, all non-empty deltas are flushed regardless of
+/// size — the deterministic "age" bound.
+const FLUSH_EVERY: u64 = 8;
+
+/// Shared state between the engine-facing handle and the worker thread.
+#[derive(Debug)]
+struct Inner {
+    catalog: Arc<Catalog>,
+    /// Fold a delta once it holds at least this many tuples.
+    threshold: usize,
+    paused: AtomicBool,
+    shutdown: AtomicBool,
+    /// Passes started (background + stepped); drives the age flush.
+    passes: AtomicU64,
+    /// Wake-up flag + condvar: appends notify, the thread drains.
+    notified: Mutex<bool>,
+    wake: Condvar,
+    /// Serialises passes, so `pause` can barrier on an in-flight pass and
+    /// `step` never overlaps the background thread.
+    pass: Mutex<()>,
+    compactions_total: Arc<Counter>,
+    delta_tuples: Arc<Gauge>,
+    recorder: Arc<Recorder>,
+}
+
+impl Inner {
+    /// One compaction pass: fold every shard whose delta is at (or, when
+    /// `flush_all`, above zero) the threshold. Returns folded-shard count.
+    fn run_pass(&self, flush_all: bool) -> usize {
+        let _pass = self.pass.lock().expect("pass lock");
+        let min_len = if flush_all { 1 } else { self.threshold.max(1) };
+        let backlog = self.catalog.delta_backlog(min_len);
+        if backlog.is_empty() {
+            return 0;
+        }
+        let mut folded: usize = 0;
+        for (id, shard, _) in backlog {
+            // Dropped relations and already-drained shards are fine — the
+            // backlog entry was just a snapshot.
+            if matches!(self.catalog.compact_shard(id, shard), Ok(true)) {
+                folded += 1;
+            }
+        }
+        self.compactions_total.add(folded as u64);
+        self.delta_tuples
+            .set(self.catalog.delta_tuples_total() as f64);
+        if folded > 0 && self.recorder.enabled() {
+            let mut span = self.recorder.span(TraceId::generate(), "compaction");
+            span.attr("shards", folded);
+            span.attr("flush_all", u64::from(flush_all));
+            span.finish();
+        }
+        folded
+    }
+
+    fn next_pass_flushes_all(&self) -> bool {
+        self.passes.fetch_add(1, Ordering::Relaxed) % FLUSH_EVERY == FLUSH_EVERY - 1
+    }
+}
+
+/// Handle to the engine's background compaction thread.
+///
+/// Owned by the [`Engine`](crate::Engine) when its delta threshold is
+/// non-zero; dropped (and joined) with it.
+#[derive(Debug)]
+pub struct Compactor {
+    inner: Arc<Inner>,
+    thread: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Compactor {
+    /// Spawns the compaction thread over `catalog`, folding deltas of
+    /// `threshold` tuples or more (and flushing all deltas every
+    /// [`FLUSH_EVERY`]th pass).
+    pub(crate) fn spawn(catalog: Arc<Catalog>, threshold: usize, obs: &EngineObs) -> Compactor {
+        let inner = Arc::new(Inner {
+            catalog,
+            threshold,
+            paused: AtomicBool::new(false),
+            shutdown: AtomicBool::new(false),
+            passes: AtomicU64::new(0),
+            notified: Mutex::new(false),
+            wake: Condvar::new(),
+            pass: Mutex::new(()),
+            compactions_total: obs.compactions_total(),
+            delta_tuples: obs.delta_tuples(),
+            recorder: Arc::clone(obs.recorder()),
+        });
+        let worker = Arc::clone(&inner);
+        let thread = std::thread::Builder::new()
+            .name("prj-compactor".to_string())
+            .spawn(move || worker_loop(&worker))
+            .expect("spawn compactor thread");
+        Compactor {
+            inner,
+            thread: Mutex::new(Some(thread)),
+        }
+    }
+
+    /// Wakes the background thread (called after every committed append).
+    pub fn notify(&self) {
+        let mut notified = self.inner.notified.lock().expect("notify lock");
+        *notified = true;
+        self.inner.wake.notify_one();
+    }
+
+    /// Pauses background compaction. Returns once no pass is in flight, so
+    /// after `pause()` the catalog's deltas only move via [`Compactor::step`]
+    /// (or direct [`Catalog::compact_shard`] calls) — the deterministic
+    /// white-box mode the torture tests drive.
+    pub fn pause(&self) {
+        self.inner.paused.store(true, Ordering::SeqCst);
+        // Barrier on an in-flight pass: once we can take the pass lock, the
+        // background thread is parked outside run_pass and sees `paused`.
+        drop(self.inner.pass.lock().expect("pass lock"));
+    }
+
+    /// Resumes background compaction.
+    pub fn resume(&self) {
+        self.inner.paused.store(false, Ordering::SeqCst);
+        self.notify();
+    }
+
+    /// Whether background compaction is currently paused.
+    pub fn is_paused(&self) -> bool {
+        self.inner.paused.load(Ordering::SeqCst)
+    }
+
+    /// Runs one synchronous full-flush pass on the calling thread — works
+    /// while paused — and returns how many shards were folded.
+    pub fn step(&self) -> usize {
+        self.inner.passes.fetch_add(1, Ordering::Relaxed);
+        self.inner.run_pass(true)
+    }
+
+    /// Number of passes started so far (background and stepped).
+    pub fn passes(&self) -> u64 {
+        self.inner.passes.load(Ordering::Relaxed)
+    }
+
+    /// Stops and joins the background thread (idempotent; also run on
+    /// engine drop).
+    pub fn shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.notify();
+        if let Some(thread) = self.thread.lock().expect("thread lock").take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for Compactor {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    loop {
+        {
+            let mut notified = inner.notified.lock().expect("notify lock");
+            if !*notified && !inner.shutdown.load(Ordering::SeqCst) {
+                let (guard, _timeout) = inner
+                    .wake
+                    .wait_timeout(notified, IDLE_TICK)
+                    .expect("notify lock");
+                notified = guard;
+            }
+            *notified = false;
+        }
+        if inner.shutdown.load(Ordering::SeqCst) {
+            // Final flush so no acknowledged append is left unindexed
+            // behind a shutdown (readers would still see it via the delta,
+            // but tests asserting drained deltas rely on this).
+            if !inner.paused.load(Ordering::SeqCst) {
+                inner.run_pass(true);
+            }
+            return;
+        }
+        if inner.paused.load(Ordering::SeqCst) {
+            continue;
+        }
+        let flush_all = inner.next_pass_flushes_all();
+        inner.run_pass(flush_all);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sharding::ShardingPolicy;
+    use prj_geometry::Vector;
+
+    fn catalog_with_backlog(threshold: usize, appends: usize) -> (Arc<Catalog>, crate::RelationId) {
+        let catalog = Arc::new(Catalog::with_policy_and_delta(
+            ShardingPolicy::new(2),
+            threshold,
+        ));
+        let id = catalog.register("r", Vec::new());
+        for i in 0..appends {
+            let x = (i % 7) as f64 - 3.0;
+            catalog
+                .append_rows(
+                    id,
+                    vec![(Vector::from([x, -x]), 0.1 + (i % 9) as f64 / 10.0)],
+                )
+                .unwrap();
+        }
+        (catalog, id)
+    }
+
+    #[test]
+    fn background_thread_drains_deltas() {
+        let obs = EngineObs::new(0, None);
+        let (catalog, id) = catalog_with_backlog(4, 12);
+        assert!(catalog.delta_tuples_total() > 0);
+        let compactor = Compactor::spawn(Arc::clone(&catalog), 4, &obs);
+        compactor.notify();
+        // The age flush drains even below-threshold deltas; poll briefly.
+        for _ in 0..400 {
+            if catalog.delta_tuples_total() == 0 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(catalog.delta_tuples_total(), 0);
+        let rel = catalog.relation(id).unwrap();
+        assert_eq!(rel.cardinality(), 12);
+        compactor.shutdown();
+    }
+
+    #[test]
+    fn paused_compactor_only_moves_when_stepped() {
+        let obs = EngineObs::new(16, None);
+        let (catalog, _id) = catalog_with_backlog(2, 6);
+        let compactor = Compactor::spawn(Arc::clone(&catalog), 2, &obs);
+        compactor.pause();
+        assert!(compactor.is_paused());
+        let before = catalog.delta_tuples_total();
+        assert!(before > 0);
+        std::thread::sleep(Duration::from_millis(60));
+        assert_eq!(
+            catalog.delta_tuples_total(),
+            before,
+            "paused compactor must not fold"
+        );
+        let folded = compactor.step();
+        assert!(folded > 0);
+        assert_eq!(catalog.delta_tuples_total(), 0);
+        compactor.resume();
+        assert!(!compactor.is_paused());
+        compactor.shutdown();
+    }
+
+    #[test]
+    fn shutdown_flushes_remaining_deltas() {
+        let obs = EngineObs::new(0, None);
+        let (catalog, _id) = catalog_with_backlog(1_000_000, 5);
+        let compactor = Compactor::spawn(Arc::clone(&catalog), 1_000_000, &obs);
+        assert!(catalog.delta_tuples_total() > 0);
+        compactor.shutdown();
+        assert_eq!(catalog.delta_tuples_total(), 0);
+    }
+}

@@ -31,6 +31,7 @@
 
 use crate::cache::{CacheKey, CacheMetrics, CachedExecution, ResultCache, UnitCache, UnitKey};
 use crate::catalog::{Catalog, CatalogError, CatalogRelation, MutationOutcome, RelationId};
+use crate::compactor::Compactor;
 use crate::executor::Executor;
 use crate::obs::{EngineObs, QueryTrace};
 use crate::planner::{Plan, Planner, PlannerConfig};
@@ -428,6 +429,7 @@ pub struct EngineBuilder {
     sharding: ShardingPolicy,
     trace_capacity: usize,
     slow_query_threshold: Option<Duration>,
+    delta_threshold: usize,
 }
 
 impl Default for EngineBuilder {
@@ -440,6 +442,7 @@ impl Default for EngineBuilder {
             sharding: ShardingPolicy::default(),
             trace_capacity: 4096,
             slow_query_threshold: None,
+            delta_threshold: 0,
         }
     }
 }
@@ -505,10 +508,36 @@ impl EngineBuilder {
         self
     }
 
+    /// Delta ingest-lane threshold (default 0 = off). With N > 0, appends
+    /// stop rebuilding touched shards and instead publish into per-shard
+    /// delta buffers in O(delta); a background compactor thread folds a
+    /// delta into its shard's indexes once it reaches N tuples (and
+    /// flushes smaller deltas periodically). Query results are identical
+    /// at every threshold — only the cost model of `AppendTuples` changes.
+    pub fn delta_threshold(mut self, threshold: usize) -> Self {
+        self.delta_threshold = threshold;
+        self
+    }
+
     /// Builds the engine (scoring registry pre-loaded with the built-ins).
     pub fn build(self) -> Engine {
+        let catalog = Arc::new(Catalog::with_policy_and_delta(
+            self.sharding,
+            self.delta_threshold,
+        ));
+        let obs = Arc::new(EngineObs::new(
+            self.trace_capacity,
+            self.slow_query_threshold,
+        ));
+        let compactor = (self.delta_threshold > 0).then(|| {
+            Arc::new(Compactor::spawn(
+                Arc::clone(&catalog),
+                self.delta_threshold,
+                &obs,
+            ))
+        });
         Engine {
-            catalog: Arc::new(Catalog::with_policy(self.sharding)),
+            catalog,
             executor: Executor::new(self.threads),
             cache: Arc::new(ResultCache::new(self.cache_capacity)),
             unit_cache: Arc::new(UnitCache::new(self.unit_cache_capacity)),
@@ -517,10 +546,8 @@ impl EngineBuilder {
             registry: Arc::new(ScoringRegistry::with_builtins()),
             remote: RwLock::new(None),
             observers: RwLock::new(Vec::new()),
-            obs: Arc::new(EngineObs::new(
-                self.trace_capacity,
-                self.slow_query_threshold,
-            )),
+            obs,
+            compactor,
         }
     }
 }
@@ -845,6 +872,16 @@ pub struct Engine {
     observers: RwLock<Vec<Arc<dyn MutationObserver>>>,
     /// The observability bundle: span recorder + metric handles.
     obs: Arc<EngineObs>,
+    /// The background delta compactor (None when the delta lane is off).
+    compactor: Option<Arc<Compactor>>,
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        if let Some(compactor) = &self.compactor {
+            compactor.shutdown();
+        }
+    }
 }
 
 impl Engine {
@@ -876,6 +913,7 @@ impl Engine {
         self.cache.invalidate_relation(id.index());
         self.unit_cache
             .invalidate_shards(id.index(), &outcome.touched_shards);
+        self.notify_compactor();
         Ok(self.committed(MutationKind::Append, outcome))
     }
 
@@ -890,7 +928,24 @@ impl Engine {
         self.cache.invalidate_relation(id.index());
         self.unit_cache
             .invalidate_shards(id.index(), &outcome.touched_shards);
+        self.notify_compactor();
         Ok(self.committed(MutationKind::Append, outcome))
+    }
+
+    /// Wakes the background compactor after a committed append (no-op when
+    /// the delta lane is off).
+    fn notify_compactor(&self) {
+        if let Some(compactor) = &self.compactor {
+            compactor.notify();
+        }
+    }
+
+    /// The background delta compactor (`None` when the engine was built
+    /// with a zero [`EngineBuilder::delta_threshold`]). Exposes the
+    /// pause/step/resume hooks the mutation-torture tests interleave
+    /// compactions with.
+    pub fn compactor(&self) -> Option<&Arc<Compactor>> {
+        self.compactor.as_ref()
     }
 
     /// Drops a relation; bumps its epoch and purges stale cache entries.

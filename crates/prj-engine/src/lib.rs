@@ -93,6 +93,7 @@
 
 pub mod cache;
 pub mod catalog;
+pub mod compactor;
 pub mod engine;
 pub mod executor;
 pub mod obs;
@@ -107,6 +108,7 @@ pub use cache::{CacheKey, CacheMetrics, CachedExecution, ResultCache, UnitCache,
 pub use catalog::{
     Catalog, CatalogError, CatalogRelation, MutationOutcome, RelationId, RelationShard,
 };
+pub use compactor::Compactor;
 pub use engine::{
     Engine, EngineBuilder, EngineError, EngineResult, MutationEvent, MutationKind,
     MutationObserver, QuerySpec, QueryTicket, RemoteUnitBackend, RemoteUnitCall, ResultStream,

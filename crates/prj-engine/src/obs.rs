@@ -20,6 +20,8 @@
 //! | `prj_sum_depths_total` | counter | sorted accesses (the paper's `sumDepths`) |
 //! | `prj_bound_updates_total` | counter | `updateBound` evaluations |
 //! | `prj_relation_depth_total{relation="rN"}` | counter | accesses into relation `N` |
+//! | `prj_compactions_total` | counter | shard deltas folded into their base |
+//! | `prj_delta_tuples` | gauge | tuples currently waiting in shard deltas |
 //!
 //! The cluster layer adds `prj_failovers_total` and
 //! `prj_remote_units_total` through the same registry. The subscription
@@ -43,7 +45,7 @@ use crate::stats::QueryRecord;
 use prj_api::{MetricKind, MetricSample, SpanRecord};
 use prj_obs::metrics::SampleKind;
 use prj_obs::trace::RemoteSpan;
-use prj_obs::{Counter, Histogram, MetricsRegistry, Recorder, Sample, SpanId, TraceId};
+use prj_obs::{Counter, Gauge, Histogram, MetricsRegistry, Recorder, Sample, SpanId, TraceId};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -71,6 +73,8 @@ pub struct EngineObs {
     bound_updates_total: Arc<Counter>,
     query_latency: Arc<Histogram>,
     unit_latency: Arc<Histogram>,
+    compactions_total: Arc<Counter>,
+    delta_tuples: Arc<Gauge>,
     slow_threshold: Option<Duration>,
 }
 
@@ -89,9 +93,22 @@ impl EngineObs {
             bound_updates_total: registry.counter("prj_bound_updates_total", &[]),
             query_latency: registry.histogram("prj_query_latency_seconds", &[]),
             unit_latency: registry.histogram("prj_unit_latency_seconds", &[]),
+            compactions_total: registry.counter("prj_compactions_total", &[]),
+            delta_tuples: registry.gauge("prj_delta_tuples", &[]),
             registry,
             slow_threshold,
         }
+    }
+
+    /// The `prj_compactions_total` counter (folded shard deltas), updated
+    /// by the engine's background compactor.
+    pub fn compactions_total(&self) -> Arc<Counter> {
+        Arc::clone(&self.compactions_total)
+    }
+
+    /// The `prj_delta_tuples` gauge (tuples waiting in shard deltas).
+    pub fn delta_tuples(&self) -> Arc<Gauge> {
+        Arc::clone(&self.delta_tuples)
     }
 
     /// The span recorder (shared with every query's guards).

@@ -1,0 +1,433 @@
+//! Mutation-torture differential tests for the delta ingest lane.
+//!
+//! With a non-zero `delta_threshold`, appends publish into per-shard
+//! [`prj_access::DeltaBuffer`]s and a background compactor folds them into
+//! the base R-trees later. The correctness contract is the same as for
+//! sharding: **the ingest lane is unobservable through results**. After
+//! *every* mutation — and at every point relative to a compaction (before,
+//! racing one, after) — the engine must return bit-identical result sets
+//! (same member tuple ids, same score bits, same order) to a fresh naive
+//! oracle over the mirrored tuple set, and every reported result must
+//! satisfy the paper's stopping-condition invariant
+//! ([`certifies_top_k`](prj_core::RankJoinResult::certifies_top_k)).
+//!
+//! Two legs drive compaction timing:
+//!
+//! * the **black-box** leg leaves the background compactor running, so
+//!   folds race queries and appends wherever the scheduler puts them;
+//! * the **white-box** leg pauses the compactor and steps it explicitly
+//!   between (and, in the racing test, concurrently with) queries, pinning
+//!   the mid-compaction interleavings a scheduler rarely produces.
+
+use prj_access::{AccessKind, Tuple, TupleId};
+use prj_core::{naive_rank_join, EuclideanLogScore, ProblemBuilder, ScoredCombination};
+use prj_engine::{Engine, EngineBuilder, QuerySpec, RelationId};
+use prj_geometry::Vector;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Shard counts every configuration is checked under (1 = the baseline).
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 7];
+
+/// The shape of a generated dataset (mirrors `differential.rs`).
+#[derive(Debug, Clone, Copy)]
+enum Shape {
+    Uniform,
+    Clustered,
+    ScoreSkewed,
+}
+
+const SHAPES: [Shape; 3] = [Shape::Uniform, Shape::Clustered, Shape::ScoreSkewed];
+
+fn generate(seed: u64, shape: Shape, n_relations: usize, size: usize) -> Vec<Vec<Tuple>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centres: Vec<[f64; 2]> = (0..3)
+        .map(|_| [rng.random_range(-2.5..2.5), rng.random_range(-2.5..2.5)])
+        .collect();
+    (0..n_relations)
+        .map(|rel| {
+            (0..size)
+                .map(|i| {
+                    let (x, y) = match shape {
+                        Shape::Uniform | Shape::ScoreSkewed => {
+                            (rng.random_range(-3.0..3.0), rng.random_range(-3.0..3.0))
+                        }
+                        Shape::Clustered => {
+                            let c = centres[(i + rel) % centres.len()];
+                            (
+                                c[0] + rng.random_range(-0.3..0.3),
+                                c[1] + rng.random_range(-0.3..0.3),
+                            )
+                        }
+                    };
+                    let u: f64 = rng.random_range(0.0..1.0);
+                    let score = match shape {
+                        Shape::ScoreSkewed => u * u * u * u + 1e-3,
+                        _ => u + 1e-3,
+                    };
+                    Tuple::new(TupleId::new(rel, i), Vector::from([x, y]), score)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn fingerprint(combos: &[ScoredCombination]) -> Vec<(Vec<TupleId>, u64)> {
+    combos
+        .iter()
+        .map(|c| (c.ids(), c.score.to_bits()))
+        .collect()
+}
+
+fn oracle(relations: &[Vec<Tuple>], query: &Vector, k: usize) -> Vec<(Vec<TupleId>, u64)> {
+    let mut builder = ProblemBuilder::new(query.clone(), EuclideanLogScore::default()).k(k);
+    for tuples in relations {
+        builder = builder.relation_from_tuples(tuples.clone());
+    }
+    fingerprint(&naive_rank_join(&mut builder.build().expect("naive problem")).combinations)
+}
+
+/// A delta-enabled engine with caching disabled, so every check actually
+/// executes the operator over the current base+delta views instead of
+/// replaying a memoised result (compaction preserves epochs by design, so
+/// caches would otherwise hide the post-fold read path).
+fn delta_engine(
+    shards: usize,
+    threshold: usize,
+    relations: &[Vec<Tuple>],
+) -> (Arc<Engine>, Vec<RelationId>) {
+    let engine = EngineBuilder::default()
+        .threads(2)
+        .shards(shards)
+        .delta_threshold(threshold)
+        .cache_capacity(0)
+        .unit_cache_capacity(0)
+        .build();
+    let ids = relations
+        .iter()
+        .enumerate()
+        .map(|(i, tuples)| engine.register(format!("R{i}"), tuples.clone()))
+        .collect();
+    (Arc::new(engine), ids)
+}
+
+/// One differential check: engine (current base+delta state) vs a fresh
+/// naive oracle over the mirror, bit for bit, with a certified stop.
+fn check(
+    engine: &Engine,
+    ids: &[RelationId],
+    mirror: &[Vec<Tuple>],
+    query: &Vector,
+    k: usize,
+    access: AccessKind,
+    tag: &str,
+) {
+    let expected = oracle(mirror, query, k);
+    let spec = QuerySpec::top_k(ids.to_vec(), query.clone(), k).with_access_kind(access);
+    let result = engine.query(spec).expect("engine query");
+    assert_eq!(
+        fingerprint(result.combinations()),
+        expected,
+        "{tag} access={access:?}: diverged from the naive oracle \
+         (delta backlog {} tuples)",
+        engine.catalog().delta_tuples_total(),
+    );
+    assert!(
+        result.result().certifies_top_k(k, 1e-9),
+        "{tag} access={access:?}: kth={:?} final_bound={} sumDepths={} is not a certified stop",
+        result.combinations().last().map(|c| c.score),
+        result.result().metrics.final_bound,
+        result.result().sum_depths(),
+    );
+}
+
+/// One randomized append/compact/query interleaving at a fixed
+/// configuration: ~12 mutation steps, each followed by a full differential
+/// check, with compactions forced at random points (white-box) or left to
+/// the background thread (black-box).
+fn run_torture(
+    seed: u64,
+    shape: Shape,
+    threshold: usize,
+    shards: usize,
+    access: AccessKind,
+    white_box: bool,
+) {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let mut mirror = generate(seed, shape, 2, 10);
+    let (engine, ids) = delta_engine(shards, threshold, &mirror);
+    let compactor = engine.compactor().expect("delta engine has a compactor");
+    if white_box {
+        compactor.pause();
+    }
+    let mut next_index: Vec<usize> = mirror.iter().map(|r| r.len()).collect();
+    let query = Vector::from([rng.random_range(-1.5..1.5), rng.random_range(-1.5..1.5)]);
+    let k = rng.random_range(1..6);
+    let tag = format!("seed={seed} shape={shape:?} S={shards} T={threshold} wb={white_box}");
+    check(
+        &engine,
+        &ids,
+        &mirror,
+        &query,
+        k,
+        access,
+        &format!("{tag} initial"),
+    );
+
+    for step in 0..12 {
+        let rel = rng.random_range(0..mirror.len());
+        let extra: Vec<Tuple> = (0..rng.random_range(1..4))
+            .map(|_| {
+                let i = next_index[rel];
+                next_index[rel] += 1;
+                Tuple::new(
+                    TupleId::new(rel, i),
+                    Vector::from([rng.random_range(-3.0..3.0), rng.random_range(-3.0..3.0)]),
+                    rng.random_range(0.05..1.0),
+                )
+            })
+            .collect();
+        engine.append(ids[rel], extra.clone()).expect("append");
+        mirror[rel].extend(extra);
+        if white_box && rng.random_range(0.0..1.0f64) < 0.4 {
+            compactor.step();
+        }
+        check(
+            &engine,
+            &ids,
+            &mirror,
+            &query,
+            k,
+            access,
+            &format!("{tag} step={step}"),
+        );
+    }
+
+    // Drain every delta and re-check against the fully folded bases: the
+    // fold itself must be invisible (and leave no tuple behind).
+    compactor.step();
+    assert_eq!(
+        engine.catalog().delta_tuples_total(),
+        0,
+        "{tag}: step() must flush every delta"
+    );
+    check(
+        &engine,
+        &ids,
+        &mirror,
+        &query,
+        k,
+        access,
+        &format!("{tag} drained"),
+    );
+    if white_box {
+        compactor.resume();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The flagship interleaving sweep: random seeds, shapes, thresholds and
+    /// compaction modes, each run across every shard count and both access
+    /// kinds, bit-identical to a fresh oracle after every mutation.
+    #[test]
+    fn interleaved_mutations_stay_oracle_exact(
+        seed in 0u64..1_000_000,
+        shape_ix in 0usize..3,
+        threshold in 1usize..6,
+        wb in 0usize..2,
+    ) {
+        let white_box = wb == 1;
+        let shape = SHAPES[shape_ix];
+        for shards in SHARD_COUNTS {
+            for access in [AccessKind::Distance, AccessKind::Score] {
+                run_torture(seed, shape, threshold, shards, access, white_box);
+            }
+        }
+    }
+}
+
+/// Queries racing an in-flight fold: with the compactor paused, build up a
+/// real backlog, then run a query thread concurrently with explicit
+/// `step()` folds. Every racing query must return the same bits as the
+/// (mutation-free) oracle no matter which side of the swap it lands on.
+#[test]
+fn queries_race_in_flight_compactions_exactly() {
+    for shards in [2, 7] {
+        let mut mirror = generate(97 + shards as u64, Shape::Clustered, 2, 16);
+        let (engine, ids) = delta_engine(shards, 3, &mirror);
+        let compactor = engine.compactor().expect("compactor");
+        compactor.pause();
+        let mut next_index: Vec<usize> = mirror.iter().map(|r| r.len()).collect();
+        let mut rng = StdRng::seed_from_u64(1234 + shards as u64);
+
+        for round in 0..3 {
+            for rel in 0..mirror.len() {
+                let extra: Vec<Tuple> = (0..5)
+                    .map(|_| {
+                        let i = next_index[rel];
+                        next_index[rel] += 1;
+                        Tuple::new(
+                            TupleId::new(rel, i),
+                            Vector::from([
+                                rng.random_range(-3.0..3.0),
+                                rng.random_range(-3.0..3.0),
+                            ]),
+                            rng.random_range(0.05..1.0),
+                        )
+                    })
+                    .collect();
+                engine.append(ids[rel], extra.clone()).expect("append");
+                mirror[rel].extend(extra);
+            }
+            assert!(
+                engine.catalog().delta_tuples_total() > 0,
+                "S={shards} round={round}: appends must land in deltas"
+            );
+            let query = Vector::from([0.3 * round as f64 - 0.2, 0.4 - 0.3 * round as f64]);
+            let k = 4;
+            for access in [AccessKind::Distance, AccessKind::Score] {
+                check(
+                    &engine,
+                    &ids,
+                    &mirror,
+                    &query,
+                    k,
+                    access,
+                    &format!("S={shards} round={round} pre-fold"),
+                );
+            }
+
+            // Race: a query thread hammers the engine while this thread
+            // folds. The data is frozen for the duration, so every result
+            // must equal `expected` regardless of fold timing.
+            let expected = oracle(&mirror, &query, k);
+            std::thread::scope(|s| {
+                let racer = {
+                    let engine = Arc::clone(&engine);
+                    let ids = ids.clone();
+                    let query = query.clone();
+                    let expected = expected.clone();
+                    s.spawn(move || {
+                        for i in 0..24 {
+                            let access = if i % 2 == 0 {
+                                AccessKind::Distance
+                            } else {
+                                AccessKind::Score
+                            };
+                            let spec = QuerySpec::top_k(ids.clone(), query.clone(), k)
+                                .with_access_kind(access);
+                            let result = engine.query(spec).expect("racing query");
+                            assert_eq!(
+                                fingerprint(result.combinations()),
+                                expected,
+                                "S={shards} round={round}: racing query diverged mid-fold"
+                            );
+                            assert!(result.result().certifies_top_k(k, 1e-9));
+                        }
+                    })
+                };
+                compactor.step();
+                racer.join().expect("racing query thread");
+            });
+            assert_eq!(engine.catalog().delta_tuples_total(), 0);
+            for access in [AccessKind::Distance, AccessKind::Score] {
+                check(
+                    &engine,
+                    &ids,
+                    &mirror,
+                    &query,
+                    k,
+                    access,
+                    &format!("S={shards} round={round} post-fold"),
+                );
+            }
+        }
+        compactor.resume();
+    }
+}
+
+// Delta structure properties, checked through the engine's public surface:
+// epochs move exactly as the rebuild path's would (append = +1 on touched
+// shards), compaction never moves them, and the per-shard `compactions`
+// counter is monotonic.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn epochs_are_monotonic_and_compaction_preserves_them(
+        seed in 0u64..1_000_000,
+        shards in 1usize..6,
+        steps in prop::collection::vec((0usize..2, 1usize..4), 1..12),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mirror = generate(seed, Shape::Uniform, 2, 6);
+        let (engine, ids) = delta_engine(shards, 2, &mirror);
+        let compactor = engine.compactor().expect("compactor");
+        compactor.pause();
+        let catalog = engine.catalog();
+        let mut next_index: Vec<usize> = mirror.iter().map(|r| r.len()).collect();
+
+        for (rel, n) in steps {
+            let before: Vec<Vec<u64>> = ids
+                .iter()
+                .map(|id| catalog.relation(*id).unwrap().epochs())
+                .collect();
+            let extra: Vec<Tuple> = (0..n)
+                .map(|_| {
+                    let i = next_index[rel];
+                    next_index[rel] += 1;
+                    Tuple::new(
+                        TupleId::new(rel, i),
+                        Vector::from([rng.random_range(-3.0..3.0), rng.random_range(-3.0..3.0)]),
+                        rng.random_range(0.05..1.0),
+                    )
+                })
+                .collect();
+            engine.append(ids[rel], extra).expect("append");
+            let after: Vec<Vec<u64>> = ids
+                .iter()
+                .map(|id| catalog.relation(*id).unwrap().epochs())
+                .collect();
+            // Appends bump exactly the touched shards of the touched
+            // relation, by exactly one — identical to the rebuild path.
+            for (r, (b, a)) in before.iter().zip(&after).enumerate() {
+                if r != rel {
+                    prop_assert_eq!(b, a, "untouched relation's epochs moved");
+                    continue;
+                }
+                let mut bumped = 0usize;
+                for (eb, ea) in b.iter().zip(a) {
+                    prop_assert!(*ea == *eb || *ea == *eb + 1, "epoch jumped");
+                    bumped += usize::from(*ea == *eb + 1);
+                }
+                prop_assert!(bumped >= 1, "append must bump at least one shard epoch");
+            }
+
+            // Compaction: epochs frozen, compactions counter monotonic.
+            let comp_before: Vec<Vec<u64>> = ids
+                .iter()
+                .map(|id| {
+                    let rel = catalog.relation(*id).unwrap();
+                    (0..rel.num_shards()).map(|j| rel.shard(j).compactions()).collect()
+                })
+                .collect();
+            compactor.step();
+            for (r, id) in ids.iter().enumerate() {
+                let rel = catalog.relation(*id).unwrap();
+                prop_assert_eq!(
+                    &rel.epochs(),
+                    &after[r],
+                    "compaction must preserve the epoch vector"
+                );
+                prop_assert_eq!(rel.delta_len(), 0, "step() flushes every delta");
+                for (j, before_count) in comp_before[r].iter().enumerate() {
+                    prop_assert!(rel.shard(j).compactions() >= *before_count);
+                }
+            }
+        }
+    }
+}

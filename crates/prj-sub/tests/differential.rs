@@ -187,6 +187,134 @@ fn run_local_sequence(shards: usize, access: AccessKind, seed: u64) {
     );
 }
 
+/// The delta-ingest leg: the engine buffers appends in per-shard deltas
+/// (`delta_threshold`) and a paused compactor is stepped explicitly at
+/// random points, so notifications are produced while tuples sit in deltas
+/// *and* across background folds. After every mutation the replayed view
+/// must equal a fresh query bit-for-bit with a gapless sequence — and a
+/// pure compaction (no mutation) must produce **no** notification at all:
+/// folding is physical reorganization, invisible to standing queries.
+#[test]
+fn delta_ingest_and_compaction_keep_feeds_exact_and_gapless() {
+    for shards in [1usize, 4] {
+        for access in [AccessKind::Distance, AccessKind::Score] {
+            run_delta_sequence(shards, access, 0xDE17A + shards as u64);
+        }
+    }
+}
+
+fn run_delta_sequence(shards: usize, access: AccessKind, seed: u64) {
+    let tag = format!("delta S={shards} access={access:?}");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let engine = Arc::new(
+        EngineBuilder::default()
+            .threads(2)
+            .shards(shards)
+            .delta_threshold(3)
+            .build(),
+    );
+    let compactor = Arc::clone(engine.compactor().expect("delta engine has a compactor"));
+    compactor.pause();
+    let session = Session::new(Arc::clone(&engine));
+    let manager = SubscriptionManager::new(Session::new(Arc::clone(&engine)), 0);
+    for name in ["a", "b"] {
+        let tuples = seed_rows(&mut rng, 30);
+        assert!(!matches!(
+            session.handle(Request::RegisterRelation {
+                name: name.to_string(),
+                tuples,
+            }),
+            Response::Error(_)
+        ));
+    }
+    let query = QueryRequest::new(vec!["a".into(), "b".into()], [0.1, -0.2])
+        .k(5)
+        .access(access);
+    let (mut view, feed) = subscribe(&manager, query.clone());
+    assert_eq!(
+        fingerprint(&view),
+        fingerprint(&fresh_rows(&session, &query)),
+        "{tag}: baseline diverged"
+    );
+    let mut seq = 0u64;
+    for step in 0..24 {
+        let hot = rng.random_range(0..10) < 7;
+        let mutation = Request::AppendTuples {
+            relation: if step % 2 == 0 { "a" } else { "b" }.into(),
+            tuples: if hot {
+                (0..rng.random_range(1..3))
+                    .map(|_| {
+                        TupleData::new(
+                            vec![rng.random_range(-0.5..0.5), rng.random_range(-0.5..0.5)],
+                            rng.random_range(0.5..1.0),
+                        )
+                    })
+                    .collect()
+            } else {
+                vec![TupleData::new(
+                    vec![rng.random_range(40.0..60.0), rng.random_range(40.0..60.0)],
+                    0.02,
+                )]
+            },
+        };
+        assert!(
+            !matches!(session.handle(mutation), Response::Error(_)),
+            "{tag} step {step}: mutation rejected"
+        );
+        manager.quiesce();
+        let fin = drain_into(&feed, &mut view, &mut seq);
+        assert!(fin.is_none(), "{tag} step {step}: feed closed ({fin:?})");
+        assert_eq!(
+            fingerprint(&view),
+            fingerprint(&fresh_rows(&session, &query)),
+            "{tag} step {step}: view diverged (delta backlog {})",
+            engine.catalog().delta_tuples_total(),
+        );
+
+        if rng.random_range(0.0..1.0f64) < 0.35 {
+            // Fold everything mid-sequence: no mutation happened, so the
+            // feed must stay silent and the view must stay fresh.
+            let seq_before = seq;
+            compactor.step();
+            manager.quiesce();
+            let fin = drain_into(&feed, &mut view, &mut seq);
+            assert!(
+                fin.is_none(),
+                "{tag} step {step}: compaction closed the feed"
+            );
+            assert_eq!(
+                seq, seq_before,
+                "{tag} step {step}: a pure compaction produced a notification"
+            );
+            assert_eq!(
+                fingerprint(&view),
+                fingerprint(&fresh_rows(&session, &query)),
+                "{tag} step {step}: view diverged across a compaction"
+            );
+        }
+    }
+    // Final fold + one more mutation, so at least one notification crossed
+    // a fully compacted catalog too.
+    compactor.step();
+    assert_eq!(engine.catalog().delta_tuples_total(), 0, "{tag}: undrained");
+    session.handle(Request::AppendTuples {
+        relation: "a".into(),
+        tuples: vec![TupleData::new([0.05, 0.05], 0.97)],
+    });
+    manager.quiesce();
+    assert!(drain_into(&feed, &mut view, &mut seq).is_none());
+    assert_eq!(
+        fingerprint(&view),
+        fingerprint(&fresh_rows(&session, &query)),
+        "{tag}: post-compaction mutation diverged"
+    );
+    assert!(
+        manager.notifications_total() > 0,
+        "{tag}: hot appends must have notified"
+    );
+    compactor.resume();
+}
+
 /// Dropping a subscribed relation terminates the feed: everything exits,
 /// `fin=drop`, and the replayed (now empty) view agrees with the fresh
 /// query's typed error — there is no answer anymore.
