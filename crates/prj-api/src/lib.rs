@@ -82,8 +82,9 @@ pub use request::{
     QueryRequest, RelationRef, Request, ScoringSelector, TraceContext, TupleData, UnitRequest,
 };
 pub use response::{
-    MetricKind, MetricSample, MetricsReport, Response, ResultRow, SpanRecord, StatsReport,
-    UnitMember, UnitOutcome, UnitRow,
+    AnalyzeReport, ExplainReport, HealthReport, MetricKind, MetricSample, MetricsReport,
+    RelationPlanStat, Response, ResultRow, SpanRecord, StatsReport, TraceSummary, UnitMember,
+    UnitOutcome, UnitPlanReport, UnitProfile, UnitRow, WorkerHealth,
 };
 
 /// The newest protocol version spoken by this build; the `2` of the `prj/2`

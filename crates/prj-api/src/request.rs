@@ -202,6 +202,10 @@ pub struct UnitRequest {
     /// LP dominance-test period the coordinator planned (`None` =
     /// disabled).
     pub dominance_period: Option<usize>,
+    /// Sample the bound-convergence trajectory every this-many sorted
+    /// accesses (0 = off, the default); set by the coordinator when the
+    /// unit runs under an `EXPLAIN ANALYZE`.
+    pub convergence: usize,
     /// The coordinator's trace context, so the worker's execution spans
     /// stitch into the query's trace.
     pub trace: Option<TraceContext>,
@@ -281,4 +285,33 @@ pub enum Request {
         /// The subscription id returned by [`crate::Response::Subscribed`].
         id: u64,
     },
+    /// Query diagnostics (`prj/2`): answers
+    /// [`crate::Response::Explain`] with the plan the engine would run —
+    /// chosen algorithm, driving relation, per-shard unit plans and the
+    /// planner's cost inputs. With `analyze` the query is additionally
+    /// *executed* (bypassing the result cache, with bound-convergence
+    /// capture enabled) and the report gains per-unit depth, latency,
+    /// cache status and sampled convergence trajectories; the returned
+    /// rows are bit-identical to a plain [`Request::TopK`].
+    Explain {
+        /// The query to diagnose.
+        query: QueryRequest,
+        /// `false` = plan only; `true` = plan + instrumented execution.
+        analyze: bool,
+    },
+    /// Fetches one retained trace from the tail-sampled trace store
+    /// (`prj/2`). On a coordinator the spans are already cluster-stitched.
+    FetchTrace {
+        /// The trace id (as reported in listings, notify lines, or slow
+        /// query logs).
+        trace: u64,
+    },
+    /// Lists the retained traces, oldest first (`prj/2`).
+    ListTraces,
+    /// Typed health snapshot (`prj/2`): readiness/liveness plus the lag
+    /// and backlog signals behind them — replication ack lag, compactor
+    /// delta backlog and age, subscription notifier queue depth, worker
+    /// connection-pool state. The same data `prj-serve --health-addr`
+    /// serves over HTTP.
+    Health,
 }

@@ -152,6 +152,20 @@ pub struct UnitRow {
     pub members: Vec<UnitMember>,
 }
 
+/// One sample of a bound-convergence profile (`prj/2` only): the K-th
+/// retained score vs. the upper bound `t` at a given access depth. The
+/// wire twin of `prj-core`'s `TrajectoryPoint`; floats round-trip
+/// bit-exactly (including `-inf` while fewer than K results are held).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrajectorySample {
+    /// Total sorted accesses when the sample was taken.
+    pub depth: u64,
+    /// The K-th best retained score (`-inf` while under-filled).
+    pub kth_score: f64,
+    /// The upper bound `t` on anything still unseen.
+    pub bound: f64,
+}
+
 /// The outcome of one [`crate::Request::ExecuteUnit`]: the unit's certified
 /// top-K plus exactly the accounting the coordinator's bound-aware merge
 /// needs (`prj/2` only). Floats round-trip bit-exactly, so a merged
@@ -178,6 +192,151 @@ pub struct UnitOutcome {
     /// trace stitching (empty when the worker traces nothing or the peer
     /// predates tracing).
     pub spans: Vec<SpanRecord>,
+    /// The unit's sampled bound-convergence profile (empty unless the
+    /// request asked for convergence capture); recombined by the
+    /// coordinator exactly like `spans`.
+    pub trajectory: Vec<TrajectorySample>,
+}
+
+/// One relation's planner cost inputs inside an [`ExplainReport`]
+/// (`prj/2` only).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelationPlanStat {
+    /// The relation's catalog name.
+    pub name: String,
+    /// Cardinality the planner saw.
+    pub cardinality: u64,
+    /// Score-skew estimate the planner saw.
+    pub skew: f64,
+    /// The skew-discounted cardinality used to pick the driving relation
+    /// (`cardinality / (1 + max(skew, 0))`).
+    pub discount: f64,
+}
+
+/// One per-shard unit plan inside an [`ExplainReport`] (`prj/2` only).
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnitPlanReport {
+    /// The driving-relation shard this unit covers.
+    pub shard: usize,
+    /// Short id of the planned operator instantiation, e.g. `TBPA`.
+    pub algorithm: String,
+    /// Planned LP dominance-test period (`None` = disabled).
+    pub dominance_period: Option<usize>,
+    /// The planner's human-readable justification for this unit.
+    pub rationale: String,
+}
+
+/// One executed unit's measurements inside an [`AnalyzeReport`]
+/// (`prj/2` only).
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnitProfile {
+    /// The driving-relation shard.
+    pub shard: usize,
+    /// Where the unit's answer came from: `fresh` (executed over fully
+    /// indexed shards), `delta-merged` (executed over base+delta views),
+    /// or `hit` (served from the per-shard unit cache).
+    pub cache: String,
+    /// `true` when the unit ran on a remote worker.
+    pub remote: bool,
+    /// The unit's total sorted accesses.
+    pub depths: u64,
+    /// The unit's wall time in microseconds.
+    pub micros: u64,
+    /// The unit's sampled bound-convergence profile.
+    pub trajectory: Vec<TrajectorySample>,
+}
+
+/// The execution half of an [`ExplainReport`], present only under
+/// `analyze` (`prj/2` only).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalyzeReport {
+    /// The query's rows — bit-identical to what a plain
+    /// [`crate::Request::TopK`] would return.
+    pub rows: Vec<ResultRow>,
+    /// End-to-end latency in microseconds.
+    pub latency_micros: u64,
+    /// Total sorted accesses across all units — equals the sum of the
+    /// per-unit [`UnitProfile::depths`] and the amount the engine's
+    /// `sum_depths` stat advanced by.
+    pub total_sum_depths: u64,
+    /// Per-unit measurements, in shard order.
+    pub units: Vec<UnitProfile>,
+}
+
+/// Answer to [`crate::Request::Explain`] (`prj/2`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExplainReport {
+    /// Short id of the (merged) operator instantiation, e.g. `TBPA`.
+    pub algorithm: String,
+    /// Index of the chosen driving relation.
+    pub drive: usize,
+    /// The effective `K`.
+    pub k: usize,
+    /// The planner's overall justification.
+    pub rationale: String,
+    /// Planner cost inputs, one per joined relation, in join order.
+    pub relations: Vec<RelationPlanStat>,
+    /// Per-shard unit plans, in shard order.
+    pub units: Vec<UnitPlanReport>,
+    /// Execution measurements; `None` in plan-only mode.
+    pub analyzed: Option<AnalyzeReport>,
+}
+
+/// One entry of a [`crate::Response::Traces`] listing (`prj/2` only).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSummary {
+    /// The trace id (fetchable while retained).
+    pub trace: u64,
+    /// Retention class: `error`, `failover`, `slow`, or `ok`.
+    pub class: String,
+    /// Root span name.
+    pub root: String,
+    /// Root span duration in microseconds.
+    pub duration_micros: u64,
+    /// Number of spans in the retained trace.
+    pub spans: usize,
+}
+
+/// One worker's connection-pool state inside a [`HealthReport`]
+/// (`prj/2` only).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerHealth {
+    /// The worker's address (`host:port`).
+    pub addr: String,
+    /// `true` when the worker answered its last probe.
+    pub reachable: bool,
+    /// Idle pooled connections to this worker.
+    pub idle_connections: usize,
+}
+
+/// Answer to [`crate::Request::Health`] (`prj/2`): the instance's
+/// readiness/liveness verdict plus the lag and backlog signals behind it.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct HealthReport {
+    /// `true` when the instance can serve queries right now (all workers
+    /// of a coordinator reachable, catalog consistent).
+    pub ready: bool,
+    /// `true` when the serving process is making progress (background
+    /// threads alive); a liveness-probe failure warrants a restart.
+    pub live: bool,
+    /// The instance's role: `engine`, `coordinator`, or `worker`.
+    pub role: String,
+    /// Worst-case replication ack lag of the last mutation, microseconds
+    /// (0 on single-node engines).
+    pub replication_lag_micros: u64,
+    /// Tuples sitting in un-compacted delta buffers across all shards.
+    pub delta_tuples: u64,
+    /// Age of the oldest un-compacted delta, milliseconds (0 when all
+    /// deltas are folded).
+    pub oldest_delta_age_ms: u64,
+    /// Pending mutations in the subscription notifier queue.
+    pub sub_queue_depth: u64,
+    /// Live standing-query subscriptions.
+    pub subscriptions: u64,
+    /// Traces currently retained by the tail-sampled trace store.
+    pub traces_retained: u64,
+    /// Per-worker connection-pool health (empty on non-coordinators).
+    pub workers: Vec<WorkerHealth>,
 }
 
 /// A protocol response.
@@ -290,6 +449,25 @@ pub enum Response {
     /// responses on a subscribed connection, and clients demultiplex by
     /// form ([`crate::client::ApiClient`] buffers them automatically).
     Notify(Notification),
+    /// Answer to [`crate::Request::Explain`] (`prj/2`).
+    Explain(ExplainReport),
+    /// Answer to [`crate::Request::FetchTrace`] (`prj/2`): one retained
+    /// trace with its full (cluster-stitched) span tree.
+    Trace {
+        /// The trace id.
+        trace: u64,
+        /// Retention class: `error`, `failover`, `slow`, or `ok`.
+        class: String,
+        /// Every span of the trace, oldest first.
+        spans: Vec<SpanRecord>,
+    },
+    /// Answer to [`crate::Request::ListTraces`] (`prj/2`).
+    Traces {
+        /// Retained traces, oldest first.
+        traces: Vec<TraceSummary>,
+    },
+    /// Answer to [`crate::Request::Health`] (`prj/2`).
+    Health(HealthReport),
     /// The request failed.
     Error(ApiError),
 }

@@ -63,8 +63,9 @@ use crate::request::{
     QueryRequest, RelationRef, Request, ScoringSelector, TraceContext, TupleData, UnitRequest,
 };
 use crate::response::{
-    MetricKind, MetricSample, MetricsReport, Response, ResultRow, SpanRecord, StatsReport,
-    UnitMember, UnitOutcome, UnitRow,
+    AnalyzeReport, ExplainReport, HealthReport, MetricKind, MetricSample, MetricsReport,
+    RelationPlanStat, Response, ResultRow, SpanRecord, StatsReport, TraceSummary, TrajectorySample,
+    UnitMember, UnitOutcome, UnitPlanReport, UnitProfile, UnitRow, WorkerHealth,
 };
 use crate::{MIN_PROTOCOL_VERSION, PROTOCOL_VERSION};
 use prj_access::AccessKind;
@@ -108,7 +109,11 @@ pub fn request_version(request: &Request) -> u32 {
         | Request::WorkerStats
         | Request::Metrics
         | Request::Subscribe(_)
-        | Request::Unsubscribe { .. } => PROTOCOL_VERSION,
+        | Request::Unsubscribe { .. }
+        | Request::Explain { .. }
+        | Request::FetchTrace { .. }
+        | Request::ListTraces
+        | Request::Health => PROTOCOL_VERSION,
     }
 }
 
@@ -134,7 +139,11 @@ pub fn response_version(response: &Response) -> u32 {
         | Response::Metrics(_)
         | Response::Subscribed { .. }
         | Response::Unsubscribed { .. }
-        | Response::Notify(_) => PROTOCOL_VERSION,
+        | Response::Notify(_)
+        | Response::Explain(_)
+        | Response::Trace { .. }
+        | Response::Traces { .. }
+        | Response::Health(_) => PROTOCOL_VERSION,
     }
 }
 
@@ -579,6 +588,78 @@ fn encode_metric_samples(out: &mut String, samples: &[MetricSample]) -> Result<(
     Ok(())
 }
 
+/// Percent-encodes free text (planner rationales, trace root names, worker
+/// addresses) into a wire-safe token: every byte outside `[A-Za-z0-9_.-]`
+/// becomes `%XX`, so decode ∘ encode is the identity on arbitrary UTF-8.
+fn encode_text(out: &mut String, text: &str) {
+    for b in text.bytes() {
+        let c = b as char;
+        if c.is_ascii_alphanumeric() || matches!(c, '_' | '.' | '-') {
+            out.push(c);
+        } else {
+            let _ = write!(out, "%{b:02X}");
+        }
+    }
+}
+
+fn parse_text(s: &str) -> Result<String, ApiError> {
+    let mut bytes = Vec::with_capacity(s.len());
+    let mut iter = s.bytes();
+    while let Some(b) = iter.next() {
+        if b == b'%' {
+            let (Some(hi), Some(lo)) = (iter.next(), iter.next()) else {
+                return Err(ApiError::malformed(format!(
+                    "text {s:?} has a truncated %XX escape"
+                )));
+            };
+            let hex = [hi, lo];
+            let value = std::str::from_utf8(&hex)
+                .ok()
+                .and_then(|h| u8::from_str_radix(h, 16).ok())
+                .ok_or_else(|| ApiError::malformed(format!("text {s:?} has a bad %XX escape")))?;
+            bytes.push(value);
+        } else {
+            bytes.push(b);
+        }
+    }
+    String::from_utf8(bytes)
+        .map_err(|_| ApiError::malformed(format!("text {s:?} decodes to invalid UTF-8")))
+}
+
+/// `trajectory`: `depth~kth~bound` points, `,`-joined (floats via the
+/// shortest-round-trip `{:?}` form, so `-inf` survives).
+fn parse_trajectory(s: &str) -> Result<Vec<TrajectorySample>, ApiError> {
+    if s.is_empty() {
+        return Ok(Vec::new());
+    }
+    s.split(',')
+        .map(|p| {
+            let mut parts = p.split('~');
+            let (Some(depth), Some(kth), Some(bound), None) =
+                (parts.next(), parts.next(), parts.next(), parts.next())
+            else {
+                return Err(ApiError::malformed(format!(
+                    "trajectory point {p:?} is not depth~kth~bound"
+                )));
+            };
+            Ok(TrajectorySample {
+                depth: parse_u64(depth)?,
+                kth_score: parse_f64(kth)?,
+                bound: parse_f64(bound)?,
+            })
+        })
+        .collect()
+}
+
+fn encode_trajectory(out: &mut String, trajectory: &[TrajectorySample]) {
+    for (i, p) in trajectory.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}~{:?}~{:?}", p.depth, p.kth_score, p.bound);
+    }
+}
+
 fn parse_query(fields: &[(&str, &str)], verb: &str) -> Result<QueryRequest, ApiError> {
     let rels = require(fields, "rels", verb)?;
     if rels.is_empty() {
@@ -799,6 +880,9 @@ pub fn encode_request_at(request: &Request, version: u32) -> Result<String, ApiE
             if let Some(period) = unit.dominance_period {
                 let _ = write!(out, " period={period}");
             }
+            if unit.convergence != 0 {
+                let _ = write!(out, " conv={}", unit.convergence);
+            }
             if let Some(trace) = unit.trace {
                 encode_trace(&mut out, trace);
             }
@@ -816,6 +900,15 @@ pub fn encode_request_at(request: &Request, version: u32) -> Result<String, ApiE
         Request::Unsubscribe { id } => {
             let _ = write!(out, " unsubscribe id={id}");
         }
+        Request::Explain { query, analyze } => {
+            let _ = write!(out, " explain analyze={}", u8::from(*analyze));
+            encode_query(&mut out, query)?;
+        }
+        Request::FetchTrace { trace } => {
+            let _ = write!(out, " ftrace id={trace}");
+        }
+        Request::ListTraces => out.push_str(" traces"),
+        Request::Health => out.push_str(" health"),
     }
     Ok(out)
 }
@@ -849,7 +942,16 @@ pub fn decode_request_versioned(line: &str) -> Result<(u32, Request), ApiError> 
     if version < 2
         && matches!(
             verb,
-            "unit" | "assign" | "wstats" | "metrics" | "subscribe" | "unsubscribe"
+            "unit"
+                | "assign"
+                | "wstats"
+                | "metrics"
+                | "subscribe"
+                | "unsubscribe"
+                | "explain"
+                | "ftrace"
+                | "traces"
+                | "health"
         )
     {
         return Err(ApiError::new(
@@ -934,6 +1036,10 @@ fn decode_request_body(verb: &str, fields: &[(&str, &str)]) -> Result<Request, A
                 access: parse_access(require(fields, "access", verb)?)?,
                 algorithm: parse_algorithm(require(fields, "algo", verb)?)?,
                 dominance_period: field(fields, "period").map(parse_usize).transpose()?,
+                convergence: field(fields, "conv")
+                    .map(parse_usize)
+                    .transpose()?
+                    .unwrap_or(0),
                 trace: field(fields, "trace").map(parse_trace).transpose()?,
             }))
         }
@@ -947,6 +1053,19 @@ fn decode_request_body(verb: &str, fields: &[(&str, &str)]) -> Result<Request, A
         "unsubscribe" => Ok(Request::Unsubscribe {
             id: parse_u64(require(fields, "id", verb)?)?,
         }),
+        "explain" => Ok(Request::Explain {
+            query: parse_query(fields, verb)?,
+            analyze: require(fields, "analyze", verb)? == "1",
+        }),
+        "ftrace" => {
+            let trace = parse_u64(require(fields, "id", verb)?)?;
+            if trace == 0 {
+                return Err(ApiError::malformed("ftrace id must be nonzero"));
+            }
+            Ok(Request::FetchTrace { trace })
+        }
+        "traces" => Ok(Request::ListTraces),
+        "health" => Ok(Request::Health),
         "" => Err(ApiError::malformed("empty request line")),
         other => Err(ApiError::malformed(format!("unknown verb {other:?}"))),
     }
@@ -1199,6 +1318,10 @@ pub fn encode_response_at(response: &Response, version: u32) -> String {
                     return encode_response_at(&Response::Error(e), version);
                 }
             }
+            if !unit.trajectory.is_empty() {
+                out.push_str(" traj=");
+                encode_trajectory(&mut out, &unit.trajectory);
+            }
             out.push_str(" rows=");
             encode_unit_rows(&mut out, &unit.rows);
         }
@@ -1275,6 +1398,110 @@ pub fn encode_response_at(response: &Response, version: u32) -> String {
                 let _ = write!(out, " fin={fin}");
             }
         }
+        Response::Explain(report) => {
+            let _ = write!(
+                out,
+                " ok explain analyzed={} algo={} drive={} k={} rationale=",
+                u8::from(report.analyzed.is_some()),
+                report.algorithm,
+                report.drive,
+                report.k,
+            );
+            encode_text(&mut out, &report.rationale);
+            out.push_str(" stats=");
+            for (i, r) in report.relations.iter().enumerate() {
+                if i > 0 {
+                    out.push(';');
+                }
+                encode_text(&mut out, &r.name);
+                let _ = write!(out, ":{}:{:?}:{:?}", r.cardinality, r.skew, r.discount);
+            }
+            out.push_str(" uplans=");
+            for (i, u) in report.units.iter().enumerate() {
+                if i > 0 {
+                    out.push(';');
+                }
+                let _ = write!(out, "{}:{}:", u.shard, u.algorithm);
+                match u.dominance_period {
+                    Some(period) => {
+                        let _ = write!(out, "{period}");
+                    }
+                    None => out.push('-'),
+                }
+                out.push(':');
+                encode_text(&mut out, &u.rationale);
+            }
+            if let Some(analyzed) = &report.analyzed {
+                let _ = write!(
+                    out,
+                    " micros={} depths={} prof=",
+                    analyzed.latency_micros, analyzed.total_sum_depths
+                );
+                for (i, p) in analyzed.units.iter().enumerate() {
+                    if i > 0 {
+                        out.push(';');
+                    }
+                    let _ = write!(out, "{}:", p.shard);
+                    encode_text(&mut out, &p.cache);
+                    let _ = write!(out, ":{}:{}:{}:", u8::from(p.remote), p.depths, p.micros);
+                    encode_trajectory(&mut out, &p.trajectory);
+                }
+                out.push_str(" rows=");
+                for (i, row) in analyzed.rows.iter().enumerate() {
+                    if i > 0 {
+                        out.push(';');
+                    }
+                    encode_row(&mut out, row);
+                }
+            }
+        }
+        Response::Trace {
+            trace,
+            class,
+            spans,
+        } => {
+            let _ = write!(out, " ok trace id={trace} class={class} spans=");
+            if let Err(e) = encode_span_records(&mut out, spans) {
+                return encode_response_at(&Response::Error(e), version);
+            }
+        }
+        Response::Traces { traces } => {
+            out.push_str(" ok traces list=");
+            for (i, t) in traces.iter().enumerate() {
+                if i > 0 {
+                    out.push(';');
+                }
+                let _ = write!(out, "{}:{}:", t.trace, t.class);
+                encode_text(&mut out, &t.root);
+                let _ = write!(out, ":{}:{}", t.duration_micros, t.spans);
+            }
+        }
+        Response::Health(h) => {
+            let _ = write!(
+                out,
+                " ok health ready={} live={} role={} repl_us={} delta={} delta_age_ms={} \
+                 sub_depth={} subs={} traces={}",
+                h.ready,
+                h.live,
+                h.role,
+                h.replication_lag_micros,
+                h.delta_tuples,
+                h.oldest_delta_age_ms,
+                h.sub_queue_depth,
+                h.subscriptions,
+                h.traces_retained,
+            );
+            if !h.workers.is_empty() {
+                out.push_str(" workers=");
+                for (i, w) in h.workers.iter().enumerate() {
+                    if i > 0 {
+                        out.push(';');
+                    }
+                    encode_text(&mut out, &w.addr);
+                    let _ = write!(out, "@{}@{}", u8::from(w.reachable), w.idle_connections);
+                }
+            }
+        }
         Response::Error(e) => {
             // The message runs to the end of the line, so strip newlines.
             let msg = e.message.replace(['\r', '\n'], " ");
@@ -1312,7 +1539,17 @@ pub fn decode_response(line: &str) -> Result<Response, ApiError> {
     if version < 2
         && matches!(
             form,
-            "unit" | "assigned" | "worker" | "metrics" | "subscribed" | "unsubscribed" | "notify"
+            "unit"
+                | "assigned"
+                | "worker"
+                | "metrics"
+                | "subscribed"
+                | "unsubscribed"
+                | "notify"
+                | "explain"
+                | "trace"
+                | "traces"
+                | "health"
         )
     {
         return Err(ApiError::new(
@@ -1385,6 +1622,7 @@ pub fn decode_response(line: &str) -> Result<Response, ApiError> {
             micros: parse_u64(require(&fields, "micros", form)?)?,
             capped: require(&fields, "capped", form)? == "true",
             spans: parse_span_records(field(&fields, "spans").unwrap_or(""))?,
+            trajectory: parse_trajectory(field(&fields, "traj").unwrap_or(""))?,
         })),
         "assigned" => Ok(Response::AssignmentAck {
             generation: parse_u64(require(&fields, "gen", form)?)?,
@@ -1418,6 +1656,175 @@ pub fn decode_response(line: &str) -> Result<Response, ApiError> {
             events: parse_events(field(&fields, "events").unwrap_or(""))?,
             fin: field(&fields, "fin").map(|f| f.to_string()),
         })),
+        "explain" => {
+            let mut relations = Vec::new();
+            let stats = field(&fields, "stats").unwrap_or("");
+            if !stats.is_empty() {
+                for part in stats.split(';') {
+                    let mut it = part.splitn(4, ':');
+                    let (name, card, skew, discount) =
+                        match (it.next(), it.next(), it.next(), it.next()) {
+                            (Some(n), Some(c), Some(s), Some(d)) => (n, c, s, d),
+                            _ => {
+                                return Err(ApiError::malformed(format!(
+                                    "explain stats entry {part:?} is not name:card:skew:discount"
+                                )))
+                            }
+                        };
+                    relations.push(RelationPlanStat {
+                        name: parse_text(name)?,
+                        cardinality: parse_u64(card)?,
+                        skew: parse_f64(skew)?,
+                        discount: parse_f64(discount)?,
+                    });
+                }
+            }
+            let mut units = Vec::new();
+            let uplans = field(&fields, "uplans").unwrap_or("");
+            if !uplans.is_empty() {
+                for part in uplans.split(';') {
+                    let mut it = part.splitn(4, ':');
+                    let (shard, algo, period, rationale) =
+                        match (it.next(), it.next(), it.next(), it.next()) {
+                            (Some(s), Some(a), Some(p), Some(r)) => (s, a, p, r),
+                            _ => {
+                                return Err(ApiError::malformed(format!(
+                                    "explain uplans entry {part:?} is not \
+                                     shard:algo:period:rationale"
+                                )))
+                            }
+                        };
+                    units.push(UnitPlanReport {
+                        shard: parse_usize(shard)?,
+                        algorithm: algo.to_string(),
+                        dominance_period: if period == "-" {
+                            None
+                        } else {
+                            Some(parse_usize(period)?)
+                        },
+                        rationale: parse_text(rationale)?,
+                    });
+                }
+            }
+            let analyzed = if require(&fields, "analyzed", form)? == "1" {
+                let mut profiles = Vec::new();
+                let prof = field(&fields, "prof").unwrap_or("");
+                if !prof.is_empty() {
+                    for part in prof.split(';') {
+                        let mut it = part.splitn(6, ':');
+                        let (shard, cache, remote, depths, micros, traj) = match (
+                            it.next(),
+                            it.next(),
+                            it.next(),
+                            it.next(),
+                            it.next(),
+                            it.next(),
+                        ) {
+                            (Some(s), Some(c), Some(r), Some(d), Some(m), Some(t)) => {
+                                (s, c, r, d, m, t)
+                            }
+                            _ => {
+                                return Err(ApiError::malformed(format!(
+                                    "explain prof entry {part:?} is not \
+                                     shard:cache:remote:depths:micros:trajectory"
+                                )))
+                            }
+                        };
+                        profiles.push(UnitProfile {
+                            shard: parse_usize(shard)?,
+                            cache: parse_text(cache)?,
+                            remote: remote == "1",
+                            depths: parse_u64(depths)?,
+                            micros: parse_u64(micros)?,
+                            trajectory: parse_trajectory(traj)?,
+                        });
+                    }
+                }
+                Some(AnalyzeReport {
+                    rows: parse_rows(field(&fields, "rows").unwrap_or(""))?,
+                    latency_micros: parse_u64(require(&fields, "micros", form)?)?,
+                    total_sum_depths: parse_u64(require(&fields, "depths", form)?)?,
+                    units: profiles,
+                })
+            } else {
+                None
+            };
+            Ok(Response::Explain(ExplainReport {
+                algorithm: require(&fields, "algo", form)?.to_string(),
+                drive: parse_usize(require(&fields, "drive", form)?)?,
+                k: parse_usize(require(&fields, "k", form)?)?,
+                rationale: parse_text(require(&fields, "rationale", form)?)?,
+                relations,
+                units,
+                analyzed,
+            }))
+        }
+        "trace" => Ok(Response::Trace {
+            trace: parse_u64(require(&fields, "id", form)?)?,
+            class: require(&fields, "class", form)?.to_string(),
+            spans: parse_span_records(field(&fields, "spans").unwrap_or(""))?,
+        }),
+        "traces" => {
+            let mut traces = Vec::new();
+            let list = field(&fields, "list").unwrap_or("");
+            if !list.is_empty() {
+                for part in list.split(';') {
+                    let mut it = part.splitn(5, ':');
+                    let (trace, class, root, dur, spans) =
+                        match (it.next(), it.next(), it.next(), it.next(), it.next()) {
+                            (Some(t), Some(c), Some(r), Some(d), Some(s)) => (t, c, r, d, s),
+                            _ => {
+                                return Err(ApiError::malformed(format!(
+                                    "trace listing entry {part:?} is not \
+                                     id:class:root:duration:spans"
+                                )))
+                            }
+                        };
+                    traces.push(TraceSummary {
+                        trace: parse_u64(trace)?,
+                        class: class.to_string(),
+                        root: parse_text(root)?,
+                        duration_micros: parse_u64(dur)?,
+                        spans: parse_usize(spans)?,
+                    });
+                }
+            }
+            Ok(Response::Traces { traces })
+        }
+        "health" => {
+            let mut workers = Vec::new();
+            let field_workers = field(&fields, "workers").unwrap_or("");
+            if !field_workers.is_empty() {
+                for part in field_workers.split(';') {
+                    let mut it = part.splitn(3, '@');
+                    let (addr, reachable, idle) = match (it.next(), it.next(), it.next()) {
+                        (Some(a), Some(r), Some(i)) => (a, r, i),
+                        _ => {
+                            return Err(ApiError::malformed(format!(
+                                "health worker entry {part:?} is not addr@reachable@idle"
+                            )))
+                        }
+                    };
+                    workers.push(WorkerHealth {
+                        addr: parse_text(addr)?,
+                        reachable: reachable == "1",
+                        idle_connections: parse_usize(idle)?,
+                    });
+                }
+            }
+            Ok(Response::Health(HealthReport {
+                ready: require(&fields, "ready", form)? == "true",
+                live: require(&fields, "live", form)? == "true",
+                role: require(&fields, "role", form)?.to_string(),
+                replication_lag_micros: parse_u64(require(&fields, "repl_us", form)?)?,
+                delta_tuples: parse_u64(require(&fields, "delta", form)?)?,
+                oldest_delta_age_ms: parse_u64(require(&fields, "delta_age_ms", form)?)?,
+                sub_queue_depth: parse_u64(require(&fields, "sub_depth", form)?)?,
+                subscriptions: parse_u64(require(&fields, "subs", form)?)?,
+                traces_retained: parse_u64(require(&fields, "traces", form)?)?,
+                workers,
+            }))
+        }
         other => Err(ApiError::malformed(format!(
             "unknown response form {other:?}"
         ))),
@@ -1624,6 +2031,7 @@ mod tests {
             access: AccessKind::Distance,
             algorithm: Algorithm::Tbpa,
             dominance_period: Some(50),
+            convergence: 0,
             trace: None,
         })
     }
@@ -1821,6 +2229,11 @@ mod tests {
                         duration_micros: 600,
                     },
                 ],
+                trajectory: vec![TrajectorySample {
+                    depth: 13,
+                    kth_score: -7.25,
+                    bound: -2.0,
+                }],
             }),
             Response::Unit(UnitOutcome {
                 rows: Vec::new(),
@@ -1831,6 +2244,7 @@ mod tests {
                 micros: 1,
                 capped: true,
                 spans: Vec::new(),
+                trajectory: Vec::new(),
             }),
             Response::AssignmentAck {
                 generation: 9,
@@ -2096,6 +2510,268 @@ mod tests {
             Response::Error(e) => assert_eq!(e.message, "first second"),
             other => panic!("unexpected decode: {other:?}"),
         }
+    }
+
+    #[test]
+    fn diagnostics_requests_round_trip_at_v2() {
+        let query = QueryRequest::new(vec![RelationRef::Id(0), "spots".into()], [0.5, -1.0]).k(3);
+        for request in [
+            Request::Explain {
+                query: query.clone(),
+                analyze: false,
+            },
+            Request::Explain {
+                query,
+                analyze: true,
+            },
+            Request::FetchTrace {
+                trace: 0xdead_beef_cafe_f00d,
+            },
+            Request::ListTraces,
+            Request::Health,
+        ] {
+            let line = encode_request(&request).expect("encode");
+            assert!(line.starts_with("prj/2 "), "versioned: {line}");
+            assert_eq!(decode_request(&line).expect("decode"), request);
+        }
+    }
+
+    #[test]
+    fn explain_responses_round_trip_at_v2() {
+        let plan = ExplainReport {
+            algorithm: "CBPA".to_string(),
+            drive: 1,
+            k: 10,
+            rationale: "skewed drive: discount 3.5 > threshold".to_string(),
+            relations: vec![
+                RelationPlanStat {
+                    name: "hotels".to_string(),
+                    cardinality: 4000,
+                    skew: 2.5,
+                    discount: 0.4,
+                },
+                RelationPlanStat {
+                    name: "spots 2".to_string(),
+                    cardinality: 120,
+                    skew: -0.25,
+                    discount: 1.0,
+                },
+            ],
+            units: vec![
+                UnitPlanReport {
+                    shard: 0,
+                    algorithm: "CBPA".to_string(),
+                    dominance_period: Some(50),
+                    rationale: "large shard, LP dominance on".to_string(),
+                },
+                UnitPlanReport {
+                    shard: 1,
+                    algorithm: "CBRR".to_string(),
+                    dominance_period: None,
+                    rationale: String::new(),
+                },
+            ],
+            analyzed: None,
+        };
+        let analyzed = ExplainReport {
+            analyzed: Some(AnalyzeReport {
+                rows: vec![
+                    ResultRow {
+                        score: -3.25,
+                        tuples: vec![(0, 4), (1, 7)],
+                    },
+                    ResultRow {
+                        score: -7.5,
+                        tuples: vec![(0, 1), (1, 0)],
+                    },
+                ],
+                latency_micros: 1234,
+                total_sum_depths: 88,
+                units: vec![
+                    UnitProfile {
+                        shard: 0,
+                        cache: "fresh".to_string(),
+                        remote: true,
+                        depths: 60,
+                        micros: 900,
+                        trajectory: vec![
+                            TrajectorySample {
+                                depth: 16,
+                                kth_score: f64::NEG_INFINITY,
+                                bound: -1.5,
+                            },
+                            TrajectorySample {
+                                depth: 60,
+                                kth_score: -3.25,
+                                bound: -3.25,
+                            },
+                        ],
+                    },
+                    UnitProfile {
+                        shard: 1,
+                        cache: "delta-merged".to_string(),
+                        remote: false,
+                        depths: 28,
+                        micros: 300,
+                        trajectory: Vec::new(),
+                    },
+                ],
+            }),
+            ..plan.clone()
+        };
+        for response in [Response::Explain(plan), Response::Explain(analyzed)] {
+            let line = encode_response(&response);
+            assert!(line.starts_with("prj/2 "), "versioned: {line}");
+            assert_eq!(decode_response(&line).expect("decode"), response, "{line}");
+        }
+    }
+
+    #[test]
+    fn trace_and_health_responses_round_trip_at_v2() {
+        for response in [
+            Response::Trace {
+                trace: 99,
+                class: "slow".to_string(),
+                spans: vec![SpanRecord {
+                    name: "query".to_string(),
+                    id: 1,
+                    parent: 0,
+                    start_micros: 10,
+                    duration_micros: 2000,
+                }],
+            },
+            Response::Traces {
+                traces: vec![
+                    TraceSummary {
+                        trace: 7,
+                        class: "error".to_string(),
+                        root: "query".to_string(),
+                        duration_micros: 55,
+                        spans: 3,
+                    },
+                    TraceSummary {
+                        trace: 8,
+                        class: "ok".to_string(),
+                        root: "unit shard 0".to_string(),
+                        duration_micros: 9,
+                        spans: 1,
+                    },
+                ],
+            },
+            Response::Traces { traces: Vec::new() },
+            Response::Health(HealthReport {
+                ready: true,
+                live: true,
+                role: "coordinator".to_string(),
+                replication_lag_micros: 120,
+                delta_tuples: 4,
+                oldest_delta_age_ms: 250,
+                sub_queue_depth: 1,
+                subscriptions: 2,
+                traces_retained: 17,
+                workers: vec![
+                    WorkerHealth {
+                        addr: "127.0.0.1:9001".to_string(),
+                        reachable: true,
+                        idle_connections: 2,
+                    },
+                    WorkerHealth {
+                        addr: "127.0.0.1:9002".to_string(),
+                        reachable: false,
+                        idle_connections: 0,
+                    },
+                ],
+            }),
+            Response::Health(HealthReport::default()),
+        ] {
+            let line = encode_response(&response);
+            assert!(line.starts_with("prj/2 "), "versioned: {line}");
+            assert_eq!(decode_response(&line).expect("decode"), response, "{line}");
+        }
+    }
+
+    #[test]
+    fn unit_trajectories_ride_the_outcome() {
+        let outcome = Response::Unit(UnitOutcome {
+            rows: Vec::new(),
+            final_bound: -2.0,
+            depths: vec![5, 6],
+            bound_updates: 3,
+            combinations_formed: 4,
+            micros: 99,
+            capped: false,
+            spans: Vec::new(),
+            trajectory: vec![TrajectorySample {
+                depth: 8,
+                kth_score: -1.0,
+                bound: -0.5,
+            }],
+        });
+        let line = encode_response(&outcome);
+        assert_eq!(decode_response(&line).expect("decode"), outcome, "{line}");
+        // Lines from pre-diagnostics workers decode with an empty trajectory.
+        let line = "prj/2 ok unit bound=-1.5 updates=3 formed=4 micros=99 \
+                    capped=false depths=5,6 rows=";
+        match decode_response(line).unwrap() {
+            Response::Unit(unit) => assert!(unit.trajectory.is_empty()),
+            other => panic!("unexpected decode: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn diagnostics_verbs_on_v1_are_typed_version_errors() {
+        for line in [
+            "prj/1 explain analyze=0 rels=#0 q=0.0",
+            "prj/1 ftrace id=7",
+            "prj/1 traces",
+            "prj/1 health",
+        ] {
+            match decode_request(line) {
+                Err(e) => assert_eq!(e.kind, ErrorKind::Version, "line: {line}"),
+                Ok(other) => panic!("should be rejected: {other:?}"),
+            }
+        }
+        for line in [
+            "prj/1 ok explain analyzed=0 algo=CBRR drive=0 k=1 rationale=",
+            "prj/1 ok trace id=7 class=ok spans=",
+            "prj/1 ok traces list=",
+            "prj/1 ok health ready=true live=true role=single repl_us=0 delta=0 \
+             delta_age_ms=0 sub_depth=0 subs=0 traces=0",
+        ] {
+            match decode_response(line) {
+                Err(e) => assert_eq!(e.kind, ErrorKind::Version, "line: {line}"),
+                Ok(other) => panic!("should be rejected: {other:?}"),
+            }
+        }
+        // Demanding a diagnostics form at prj/1 degrades to a typed error.
+        let line = encode_response_at(&Response::Health(HealthReport::default()), 1);
+        assert!(line.starts_with("prj/1 err kind=internal"), "line: {line}");
+    }
+
+    #[test]
+    fn percent_encoded_text_round_trips() {
+        for text in [
+            "",
+            "plain",
+            "two words, one comma; a colon: done = yes (100%)",
+            "newline\nand tab\t",
+            "ünïcode ✓",
+        ] {
+            let mut out = String::new();
+            encode_text(&mut out, text);
+            assert!(
+                out.chars()
+                    .all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '.' | '-' | '%')),
+                "encoded: {out}"
+            );
+            assert_eq!(parse_text(&out).expect("decode"), text);
+        }
+        // Truncated and non-hex escapes are rejected, not panics.
+        assert!(parse_text("abc%").is_err());
+        assert!(parse_text("abc%2").is_err());
+        assert!(parse_text("abc%zz").is_err());
+        // An escape sequence that breaks UTF-8 is rejected.
+        assert!(parse_text("%ff%fe").is_err());
     }
 
     #[test]

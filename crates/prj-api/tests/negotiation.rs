@@ -72,6 +72,7 @@ fn negotiation_downgrades_to_v1_against_an_old_server_and_legacy_calls_work() {
             access: prj_access::AccessKind::Distance,
             algorithm: prj_core::Algorithm::Tbrr,
             dominance_period: None,
+            convergence: 0,
             trace: None,
         })
         .expect_err("cluster call against a prj/1 peer");

@@ -338,6 +338,7 @@ mod tests {
             "BENCH_7.json",
             "BENCH_8.json",
             "BENCH_9.json",
+            "BENCH_10.json",
         ] {
             let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../..").to_string() + "/" + name;
             let json = std::fs::read_to_string(&path).unwrap_or_default();

@@ -109,9 +109,8 @@ pub fn run_once(
         .relations_from_tuples(relations)
         .config(ProxRjConfig {
             dominance_period: case.dominance_period,
-            recompute_every: 1,
             max_accesses: case.max_accesses,
-            termination_tolerance: 1e-9,
+            ..ProxRjConfig::default()
         })
         .build()
         .expect("valid experiment problem");

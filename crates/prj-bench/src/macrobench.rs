@@ -7,7 +7,9 @@
 //! `sumDepths` I/O metric, which is *deterministic* for a lane and anchors
 //! the file against silent behavioural drift. A final pair of lanes runs
 //! the same workload with tracing on and off, bounding the observability
-//! layer's overhead, and a notification sweep measures the standing-query
+//! layer's overhead; an EXPLAIN ANALYZE triple (plain path, convergence
+//! capture on, full ANALYZE verb) bounds the diagnostics' cost the same
+//! way; and a notification sweep measures the standing-query
 //! subsystem: mutations/second and p50/p99 mutation→notify delay at
 //! 1/100/1000 live subscriptions. Reproduce the committed file with:
 //!
@@ -19,7 +21,7 @@
 //! not — comparing those across commits is the point of the trajectory.
 
 use prj_access::{Tuple, TupleId};
-use prj_engine::{Engine, EngineBuilder, QuerySpec, RelationId};
+use prj_engine::{Engine, EngineBuilder, QuerySpec, RelationId, ANALYZE_CONVERGENCE_EVERY};
 use prj_geometry::Vector;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -155,6 +157,44 @@ impl OverheadResult {
     }
 }
 
+/// EXPLAIN ANALYZE overhead triple over one workload (uniform shape, first
+/// shard count): the plain serving path (bound-convergence capture
+/// disabled — the default every query runs with), the same queries with
+/// the ANALYZE sampling stride pinned on, and the full `EXPLAIN ANALYZE`
+/// verb (capture plus cache bypass plus profile assembly). The serving
+/// lanes above already run the plain path, so the bench-diff p99 gate
+/// pins "capture disabled costs nothing" across commits; this triple pins
+/// what turning the diagnostics *on* costs.
+#[derive(Debug, Clone)]
+pub struct AnalyzeOverheadResult {
+    /// Mean serial latency of the plain query path, microseconds.
+    pub plain_mean_us: f64,
+    /// Mean serial latency with convergence capture forced on, µs.
+    pub capture_mean_us: f64,
+    /// Mean `EXPLAIN ANALYZE` round-trip, microseconds.
+    pub analyze_mean_us: f64,
+}
+
+impl AnalyzeOverheadResult {
+    /// Capture-on over plain mean latency (1.0 = free).
+    pub fn capture_ratio(&self) -> f64 {
+        if self.plain_mean_us > 0.0 {
+            self.capture_mean_us / self.plain_mean_us
+        } else {
+            0.0
+        }
+    }
+
+    /// Full-ANALYZE over plain mean latency (1.0 = free).
+    pub fn analyze_ratio(&self) -> f64 {
+        if self.plain_mean_us > 0.0 {
+            self.analyze_mean_us / self.plain_mean_us
+        } else {
+            0.0
+        }
+    }
+}
+
 /// Measurements of one notification-latency lane: a fixed population of
 /// standing queries, a serialized wave of targeted appends, and the
 /// mutation→notify delay observed at the subscriber's feed.
@@ -209,6 +249,8 @@ pub struct MacroBenchReport {
     pub lanes: Vec<LaneResult>,
     /// The tracing-overhead pair (uniform shape, first shard count).
     pub overhead: OverheadResult,
+    /// The EXPLAIN ANALYZE overhead triple (same workload as `overhead`).
+    pub analyze_overhead: AnalyzeOverheadResult,
     /// One entry per subscription population, in sweep order.
     pub notify_lanes: Vec<NotifyLaneResult>,
     /// One entry per delta threshold, in sweep order.
@@ -444,6 +486,64 @@ fn notify_lane(config: &MacroBenchConfig, subscriptions: usize) -> NotifyLaneRes
     }
 }
 
+/// The EXPLAIN ANALYZE overhead triple over the uniform shape at the
+/// first shard count. Each wave gets a fresh engine (cold caches) and the
+/// same spiral query grid; tracing is off so the triple isolates the
+/// diagnostics cost itself. The plain wave is the serving default
+/// (convergence capture disabled); the capture wave pins the ANALYZE
+/// sampling stride onto otherwise-identical specs; the analyze wave runs
+/// the full `EXPLAIN ANALYZE` verb, whose cache bypass and per-unit
+/// profile assembly ride on top of the capture cost.
+fn analyze_overhead(config: &MacroBenchConfig) -> AnalyzeOverheadResult {
+    let shards = config.shard_counts.first().copied().unwrap_or(1);
+    let data = generate(config, Shape::Uniform);
+    let mean =
+        |latencies: &[u64]| latencies.iter().sum::<u64>() as f64 / latencies.len().max(1) as f64;
+
+    let plain_wave = || {
+        let (engine, ids) = build_engine(config, shards, 1, 0, &data);
+        let specs = query_specs(config, &ids);
+        mean(&serial_wave(&engine, &specs).0)
+    };
+    let capture_wave = || {
+        let (engine, ids) = build_engine(config, shards, 1, 0, &data);
+        let specs: Vec<QuerySpec> = query_specs(config, &ids)
+            .into_iter()
+            .map(|spec| spec.with_convergence(ANALYZE_CONVERGENCE_EVERY))
+            .collect();
+        mean(&serial_wave(&engine, &specs).0)
+    };
+    let analyze_wave = || {
+        let (engine, ids) = build_engine(config, shards, 1, 0, &data);
+        let specs = query_specs(config, &ids);
+        let mut latencies = Vec::with_capacity(specs.len());
+        for spec in &specs {
+            let started = Instant::now();
+            engine
+                .explain(spec.clone(), true)
+                .expect("analyze-overhead explain");
+            latencies.push(started.elapsed().as_micros() as u64);
+        }
+        mean(&latencies)
+    };
+
+    // The effects measured here are a few percent, below a shared host's
+    // run-to-run noise. Interleave the waves and keep each one's minimum
+    // mean: the cheapest observed wave is the estimate least polluted by
+    // scheduler interference.
+    let mut best = [f64::INFINITY; 3];
+    for _ in 0..3 {
+        best[0] = best[0].min(plain_wave());
+        best[1] = best[1].min(capture_wave());
+        best[2] = best[2].min(analyze_wave());
+    }
+    AnalyzeOverheadResult {
+        plain_mean_us: best[0],
+        capture_mean_us: best[1],
+        analyze_mean_us: best[2],
+    }
+}
+
 /// One ingest lane over the uniform shape at the largest shard count: a
 /// wave of `config.ingest_appends` single-tuple appends, each timed
 /// individually (the publish latency a writer observes), while a second
@@ -486,7 +586,9 @@ fn ingest_lane(config: &MacroBenchConfig, delta_threshold: usize) -> IngestLaneR
         let reader = scope.spawn(|| {
             let mut latencies = Vec::new();
             let mut i = 0usize;
-            while !done.load(Ordering::Relaxed) {
+            // `i == 0` guarantees at least one sample even when a short
+            // append wave (tests, `--quick`) outruns the reader's start.
+            while i == 0 || !done.load(Ordering::Relaxed) {
                 let t0 = Instant::now();
                 engine
                     .query(specs[i % specs.len()].clone())
@@ -546,6 +648,7 @@ pub fn run_macrobench(config: &MacroBenchConfig) -> MacroBenchReport {
         .collect();
     MacroBenchReport {
         overhead: overhead(config),
+        analyze_overhead: analyze_overhead(config),
         lanes,
         notify_lanes,
         ingest_lanes,
@@ -570,6 +673,14 @@ pub fn render_macrobench(report: &MacroBenchReport) -> String {
         report.overhead.traced_mean_us,
         report.overhead.untraced_mean_us,
         report.overhead.ratio(),
+    ));
+    out.push_str(&format!(
+        "analyze overhead: {:.1} µs plain | {:.1} µs capture-on ({:.3}x) | {:.1} µs full ANALYZE ({:.3}x)\n",
+        report.analyze_overhead.plain_mean_us,
+        report.analyze_overhead.capture_mean_us,
+        report.analyze_overhead.capture_ratio(),
+        report.analyze_overhead.analyze_mean_us,
+        report.analyze_overhead.analyze_ratio(),
     ));
     if !report.notify_lanes.is_empty() {
         out.push_str(
@@ -683,6 +794,15 @@ pub fn to_json(report: &MacroBenchReport) -> String {
     }
     out.push_str("  ],\n");
     out.push_str(&format!(
+        "  \"analyze_overhead\": {{\"plain_mean_us\": {:.1}, \"capture_mean_us\": {:.1}, \
+         \"analyze_mean_us\": {:.1}, \"capture_ratio\": {:.3}, \"analyze_ratio\": {:.3}}},\n",
+        report.analyze_overhead.plain_mean_us,
+        report.analyze_overhead.capture_mean_us,
+        report.analyze_overhead.analyze_mean_us,
+        report.analyze_overhead.capture_ratio(),
+        report.analyze_overhead.analyze_ratio(),
+    ));
+    out.push_str(&format!(
         "  \"tracing_overhead\": {{\"traced_mean_us\": {:.1}, \"untraced_mean_us\": {:.1}, \
          \"ratio\": {:.3}}}\n",
         report.overhead.traced_mean_us,
@@ -713,6 +833,19 @@ mod tests {
         }
         assert!(a.overhead.traced_mean_us > 0.0);
         assert!(a.overhead.untraced_mean_us > 0.0);
+    }
+
+    #[test]
+    fn analyze_overhead_triple_measures_all_three_waves() {
+        let report = run_macrobench(&MacroBenchConfig::quick());
+        let triple = &report.analyze_overhead;
+        assert!(triple.plain_mean_us > 0.0);
+        assert!(triple.capture_mean_us > 0.0);
+        assert!(triple.analyze_mean_us > 0.0);
+        assert!(triple.capture_ratio() > 0.0);
+        assert!(triple.analyze_ratio() > 0.0);
+        let table = render_macrobench(&report);
+        assert!(table.contains("analyze overhead:"));
     }
 
     #[test]
@@ -763,6 +896,7 @@ mod tests {
         assert!(json.ends_with("}\n"));
         assert_eq!(json.matches("\"shape\"").count(), report.lanes.len());
         assert!(json.contains("\"tracing_overhead\""));
+        assert!(json.contains("\"analyze_overhead\""));
         assert_eq!(
             json.matches("\"subscriptions\"").count(),
             report.notify_lanes.len()

@@ -17,6 +17,10 @@
 //!     --metrics-addr A   also serve a Prometheus-style /metrics endpoint on A
 //!                        (coordinators fold every worker's series in, with
 //!                        an `instance` label)
+//!     --health-addr A    also serve the readiness/liveness report on A over
+//!                        HTTP (the same report the typed `health` verb
+//!                        returns: role, replication ack lag, delta backlog,
+//!                        subscription queue, per-worker reachability)
 //!     --slow-query-ms N  dump the trace of any query slower than N ms to
 //!                        stderr
 //!     --delta-threshold N  buffer appends in per-shard deltas and fold them
@@ -47,9 +51,11 @@
 //! prj/1 ok results cached=false algo=TBRR rows=-0.9431471805599453@0:0
 //! ```
 
-use prj_api::{apply_events, ApiClient, ErrorKind, QueryRequest, Request, Response, TupleData};
+use prj_api::{
+    apply_events, ApiClient, ErrorKind, HealthReport, QueryRequest, Request, Response, TupleData,
+};
 use prj_cluster::{ClusterTopology, Coordinator, WorkerSession};
-use prj_engine::{EngineBuilder, Server, Session};
+use prj_engine::{Dispatch, EngineBuilder, RequestHandler, Server, Session};
 use prj_obs::{MetricsServer, RenderFn};
 use prj_sub::{Subscribing, SubscriptionManager};
 use std::sync::Arc;
@@ -70,6 +76,7 @@ struct Options {
     replicas: usize,
     cluster_self_check: Option<usize>,
     metrics_addr: Option<String>,
+    health_addr: Option<String>,
     slow_query_ms: Option<u64>,
     max_subscriptions: usize,
     delta_threshold: usize,
@@ -90,6 +97,7 @@ fn parse_args() -> Result<Options, String> {
         replicas: 1,
         cluster_self_check: None,
         metrics_addr: None,
+        health_addr: None,
         slow_query_ms: None,
         max_subscriptions: 1024,
         delta_threshold: 0,
@@ -152,6 +160,7 @@ fn parse_args() -> Result<Options, String> {
                     .map_err(|_| "--delta-threshold expects an integer".to_string())?
             }
             "--metrics-addr" => options.metrics_addr = Some(value("--metrics-addr")?),
+            "--health-addr" => options.health_addr = Some(value("--health-addr")?),
             "--slow-query-ms" => {
                 options.slow_query_ms = Some(
                     value("--slow-query-ms")?
@@ -166,7 +175,8 @@ fn parse_args() -> Result<Options, String> {
                     "prj-serve: TCP front-end for the ProxRJ engine\n\
                      usage: prj-serve [--addr HOST:PORT] [--threads N] [--cache N] \
                      [--shards N] [--table1] [--self-check] [--metrics-addr HOST:PORT] \
-                     [--slow-query-ms N] [--max-subscriptions N] [--delta-threshold N]\n\
+                     [--health-addr HOST:PORT] [--slow-query-ms N] [--max-subscriptions N] \
+                     [--delta-threshold N]\n\
                      cluster: [--worker] [--coordinator --workers A,B,C | --topology FILE] \
                      [--replicas N] [--cluster-self-check N]"
                 );
@@ -203,6 +213,52 @@ fn bind_metrics(addr: Option<&str>, render: RenderFn) -> Result<Option<MetricsSe
         "metrics exposition on http://{}/metrics",
         server.local_addr()
     );
+    Ok(Some(server))
+}
+
+/// Renders a [`HealthReport`] as the `--health-addr` endpoint's plain-text
+/// body: one `field value` line each, workers one line per worker. The
+/// first line is `ready true|false` so a probe needs nothing but a prefix
+/// check.
+fn render_health(health: &HealthReport) -> String {
+    let mut out = format!(
+        "ready {}\nlive {}\nrole {}\nreplication_lag_micros {}\ndelta_tuples {}\n\
+         oldest_delta_age_ms {}\nsub_queue_depth {}\nsubscriptions {}\ntraces_retained {}\n",
+        health.ready,
+        health.live,
+        health.role,
+        health.replication_lag_micros,
+        health.delta_tuples,
+        health.oldest_delta_age_ms,
+        health.sub_queue_depth,
+        health.subscriptions,
+        health.traces_retained,
+    );
+    for worker in &health.workers {
+        out.push_str(&format!(
+            "worker {} reachable={} idle_connections={}\n",
+            worker.addr, worker.reachable, worker.idle_connections
+        ));
+    }
+    out
+}
+
+/// A render callback answering every probe with the handler's current
+/// health report — the typed `health` verb and the HTTP endpoint stay one
+/// code path.
+fn health_render_from<H: RequestHandler + Send + Sync + 'static>(handler: Arc<H>) -> RenderFn {
+    Arc::new(move || match handler.dispatch_request(Request::Health) {
+        Dispatch::One(Response::Health(health)) => render_health(&health),
+        _ => "ready false\nlive false\n".to_string(),
+    })
+}
+
+/// Binds the `--health-addr` probe listener, if asked for.
+fn bind_health(addr: Option<&str>, render: RenderFn) -> Result<Option<MetricsServer>, String> {
+    let Some(addr) = addr else { return Ok(None) };
+    let server = MetricsServer::bind(addr, render)
+        .map_err(|e| format!("cannot bind health endpoint {addr}: {e}"))?;
+    println!("health probes on http://{}/health", server.local_addr());
     Ok(Some(server))
 }
 
@@ -420,27 +476,34 @@ fn self_check(options: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// One blocking HTTP GET against a probe/exposition endpoint; returns the
+/// body of a 200.
+fn http_get(addr: std::net::SocketAddr, path: &str) -> Result<String, String> {
+    use std::io::{Read, Write};
+    let mut stream =
+        std::net::TcpStream::connect(addr).map_err(|e| format!("{path} connect: {e}"))?;
+    stream
+        .write_all(format!("GET {path} HTTP/1.0\r\nHost: prj\r\n\r\n").as_bytes())
+        .map_err(|e| format!("{path} request: {e}"))?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| format!("{path} read: {e}"))?;
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| format!("{path} response has no body"))?;
+    if !head.starts_with("HTTP/1.1 200") {
+        return Err(format!("{path} fetch was not a 200: {head:?}"));
+    }
+    Ok(body.to_string())
+}
+
 /// Scrapes `addr` once and validates the exposition shape: an HTTP 200, a
 /// non-empty body, and every non-comment line parsing as
 /// `name[{labels}] value` with a float value. Returns the body for
 /// series-level checks.
 fn scrape_metrics(addr: std::net::SocketAddr) -> Result<String, String> {
-    use std::io::{Read, Write};
-    let mut stream =
-        std::net::TcpStream::connect(addr).map_err(|e| format!("metrics connect: {e}"))?;
-    stream
-        .write_all(b"GET /metrics HTTP/1.0\r\nHost: prj\r\n\r\n")
-        .map_err(|e| format!("metrics request: {e}"))?;
-    let mut response = String::new();
-    stream
-        .read_to_string(&mut response)
-        .map_err(|e| format!("metrics read: {e}"))?;
-    let (head, body) = response
-        .split_once("\r\n\r\n")
-        .ok_or("metrics response has no body")?;
-    if !head.starts_with("HTTP/1.1 200") {
-        return Err(format!("metrics scrape was not a 200: {head:?}"));
-    }
+    let body = http_get(addr, "/metrics")?;
     if body.trim().is_empty() {
         return Err("metrics exposition is empty".to_string());
     }
@@ -458,7 +521,7 @@ fn scrape_metrics(addr: std::net::SocketAddr) -> Result<String, String> {
             .parse::<f64>()
             .map_err(|_| format!("non-numeric value in exposition line {line:?}"))?;
     }
-    Ok(body.to_string())
+    Ok(body)
 }
 
 /// Sum of every series value whose `name{labels}` part starts with
@@ -669,6 +732,81 @@ fn cluster_self_check(options: &Options, n: usize) -> Result<(), String> {
     );
     metrics.shutdown();
 
+    // EXPLAIN/ANALYZE leg: profile the distributed query at a point the
+    // result cache has never seen, and check the profile's books balance —
+    // per-unit depths sum to the reported sumDepths, every unit carries a
+    // bound-convergence trajectory, and the analyzed rows are bit-identical
+    // to the plain top-K of the same query.
+    let analyze_query = QueryRequest::new(vec!["rel0".into(), "rel1".into()], [1.7, 0.6]).k(5);
+    let report = match coordinator.dispatch_one(Request::Explain {
+        query: analyze_query.clone(),
+        analyze: true,
+    }) {
+        Response::Explain(report) => report,
+        other => return Err(format!("explain analyze failed: {other:?}")),
+    };
+    let analyzed = report
+        .analyzed
+        .ok_or("explain analyze returned no execution profile")?;
+    let unit_sum: u64 = analyzed.units.iter().map(|u| u.depths).sum();
+    if unit_sum != analyzed.total_sum_depths {
+        return Err(format!(
+            "analyze per-unit depths sum to {unit_sum}, profile says {}",
+            analyzed.total_sum_depths
+        ));
+    }
+    if analyzed.units.iter().any(|u| u.trajectory.is_empty()) {
+        return Err("an analyzed unit has no bound-convergence trajectory".to_string());
+    }
+    if !analyzed.units.iter().any(|u| u.remote) {
+        return Err("cluster analyze profiled no remote units".to_string());
+    }
+    let plain = match coordinator.dispatch_one(Request::TopK(analyze_query)) {
+        Response::Results { rows, .. } => rows,
+        other => return Err(format!("plain top-K after analyze failed: {other:?}")),
+    };
+    if analyzed.rows.len() != plain.len()
+        || analyzed
+            .rows
+            .iter()
+            .zip(plain.iter())
+            .any(|(a, b)| a.tuples != b.tuples || a.score.to_bits() != b.score.to_bits())
+    {
+        return Err(format!(
+            "analyzed rows diverged from the plain top-K: {:?} != {plain:?}",
+            analyzed.rows
+        ));
+    }
+    println!(
+        "cluster-self-check: explain analyze profiled {} units ({} depths), rows bit-identical",
+        analyzed.units.len(),
+        analyzed.total_sum_depths
+    );
+
+    // Health leg: the typed verb from the coordinator's vantage, and the
+    // same report over the HTTP probe endpoint.
+    let health = match coordinator.dispatch_one(Request::Health) {
+        Response::Health(health) => health,
+        other => return Err(format!("health verb failed: {other:?}")),
+    };
+    if health.role != "coordinator" || !health.ready || !health.live {
+        return Err(format!("unhealthy coordinator report: {health:?}"));
+    }
+    if health.workers.len() != n || health.workers.iter().any(|w| !w.reachable) {
+        return Err(format!("health misreports the worker fleet: {health:?}"));
+    }
+    if health.replication_lag_micros == 0 {
+        return Err("replicated mutations left no replication lag reading".to_string());
+    }
+    let probe = MetricsServer::bind("127.0.0.1:0", health_render_from(Arc::clone(&coordinator)))
+        .map_err(|e| format!("health bind: {e}"))?;
+    let health_body = http_get(probe.local_addr(), "/health")?;
+    if !health_body.starts_with("ready true") || !health_body.contains("role coordinator") {
+        return Err(format!("unexpected health probe body:\n{health_body}"));
+    }
+    probe.shutdown();
+    println!("cluster-self-check: health verb and HTTP probe agree (fleet ready)");
+
     // Kill the first worker and re-query — at a *fresh* query point, so
     // the answer cannot come out of the result cache and must execute.
     // With replicas the cluster must still answer exactly; without, the
@@ -716,17 +854,19 @@ fn serve(options: &Options) -> Result<(), String> {
     } else {
         "server"
     };
-    let (server, threads, render) = if options.worker {
+    let (server, threads, render, health_render) = if options.worker {
         let engine = build_engine(options);
         let threads = engine.threads();
         let render_engine = Arc::clone(&engine);
         let render: RenderFn = Arc::new(move || render_engine.metrics_render());
         let worker = Arc::new(WorkerSession::new(engine));
+        let health_render = health_render_from(Arc::clone(&worker));
         (
             Server::bind(&options.addr, worker)
                 .map_err(|e| format!("cannot bind {}: {e}", options.addr))?,
             threads,
             render,
+            health_render,
         )
     } else if options.coordinator {
         let topology = topology_from(options)?;
@@ -758,11 +898,13 @@ fn serve(options: &Options) -> Result<(), String> {
         let engine = Arc::clone(coordinator.engine());
         let (handler, _manager) =
             with_subscriptions(coordinator, &engine, options.max_subscriptions);
+        let health_render = health_render_from(Arc::clone(&handler));
         (
             Server::bind(&options.addr, handler)
                 .map_err(|e| format!("cannot bind {}: {e}", options.addr))?,
             threads,
             render,
+            health_render,
         )
     } else {
         let session = build_session(options)?;
@@ -771,14 +913,17 @@ fn serve(options: &Options) -> Result<(), String> {
         let render_engine = Arc::clone(&engine);
         let render: RenderFn = Arc::new(move || render_engine.metrics_render());
         let (handler, _manager) = with_subscriptions(session, &engine, options.max_subscriptions);
+        let health_render = health_render_from(Arc::clone(&handler));
         (
             Server::bind(&options.addr, handler)
                 .map_err(|e| format!("cannot bind {}: {e}", options.addr))?,
             threads,
             render,
+            health_render,
         )
     };
     let _metrics = bind_metrics(options.metrics_addr.as_deref(), render)?;
+    let _health = bind_health(options.health_addr.as_deref(), health_render)?;
     let addr = server.local_addr();
     println!(
         "prj-serve {role} listening on {addr} (prj/{} line protocol, {} worker threads)",

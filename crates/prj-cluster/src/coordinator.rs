@@ -33,8 +33,9 @@ use prj_engine::{
 };
 use prj_geometry::Vector;
 use prj_obs::{now_micros, Counter, Recorder};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Builder for a [`Coordinator`].
 pub struct CoordinatorBuilder {
@@ -121,6 +122,7 @@ impl CoordinatorBuilder {
             pool: Arc::clone(&pool),
             router: Arc::clone(&router),
             mutations: Mutex::new(()),
+            replication_lag_micros: AtomicU64::new(0),
         };
         coordinator.verify_workers()?;
         let registry = engine.obs().registry();
@@ -144,6 +146,9 @@ pub struct Coordinator {
     /// Serialises mutations so local-apply + fleet-replication is atomic
     /// with respect to other mutations (queries are never blocked here).
     mutations: Mutex<()>,
+    /// Wall time the last mutation spent waiting for fleet acks — the
+    /// health model's replication-lag signal (µs; 0 before any mutation).
+    replication_lag_micros: AtomicU64,
 }
 
 impl Coordinator {
@@ -254,6 +259,7 @@ impl Coordinator {
         // Replicate to every worker *in parallel*: the mutation mutex is
         // held for the slowest worker's round-trip, not the sum of all of
         // them — one hung worker costs its timeout once, fleet-wide.
+        let replication_started = Instant::now();
         let outcomes: Vec<(usize, Result<Response, ApiError>)> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..self.pool.len())
                 .map(|w| {
@@ -266,6 +272,11 @@ impl Coordinator {
                 .map(|h| h.join().expect("replication thread"))
                 .collect()
         });
+        // The slowest ack bounds the lag (the scope joins every worker).
+        self.replication_lag_micros.store(
+            replication_started.elapsed().as_micros() as u64,
+            Ordering::Relaxed,
+        );
         for (w, remote) in outcomes {
             let verified = match remote {
                 Err(e) => Err(e),
@@ -375,6 +386,29 @@ impl Coordinator {
             other => other,
         }
     }
+
+    /// The cluster health report: the local engine's base signals enriched
+    /// with the coordinator role, the last mutation's replication ack lag,
+    /// and a live probe of every worker (readiness = all reachable).
+    pub fn cluster_health(&self) -> prj_api::HealthReport {
+        let mut health = self.session.base_health();
+        health.role = "coordinator".to_string();
+        health.replication_lag_micros = self.replication_lag_micros.load(Ordering::Relaxed);
+        let mut all_reachable = true;
+        health.workers = (0..self.pool.len())
+            .map(|w| {
+                let reachable = self.pool.with_conn(w, |c| c.stats()).is_ok();
+                all_reachable &= reachable;
+                prj_api::WorkerHealth {
+                    addr: self.pool.addr(w).to_string(),
+                    reachable,
+                    idle_connections: self.pool.idle_len(w),
+                }
+            })
+            .collect();
+        health.ready = all_reachable;
+        health
+    }
 }
 
 impl RequestHandler for Coordinator {
@@ -386,6 +420,11 @@ impl RequestHandler for Coordinator {
             Request::TopK(_) | Request::Stream(_) => self.query_with_retry(request),
             Request::Stats => Dispatch::One(self.cluster_stats()),
             Request::Metrics => Dispatch::One(Response::Metrics(self.metrics_report())),
+            Request::Health => Dispatch::One(Response::Health(self.cluster_health())),
+            // Explain and the trace verbs run through the plain session:
+            // its engine *is* the cluster engine (remote units, stitched
+            // spans), so EXPLAIN ANALYZE profiles remote execution and a
+            // fetched trace is already whole-cluster.
             other => self.session.dispatch(other),
         }
     }
@@ -429,6 +468,7 @@ impl ClusterBackend {
             access: call.access_kind,
             algorithm: call.algorithm,
             dominance_period: call.dominance_period,
+            convergence: call.convergence,
             trace: call.trace.map(|(trace, parent)| TraceContext {
                 trace: trace.as_u64(),
                 parent: parent.as_u64(),
@@ -599,6 +639,17 @@ fn rehydrate(arity: usize, outcome: UnitOutcome) -> Result<RankJoinResult, ApiEr
             combinations_formed: outcome.combinations_formed as usize,
             final_bound: outcome.final_bound,
             hit_access_cap: outcome.capped,
+            // The worker's sampled bound-convergence trajectory survives
+            // the wire, so EXPLAIN ANALYZE profiles remote units too.
+            trajectory: outcome
+                .trajectory
+                .iter()
+                .map(|p| prj_core::TrajectoryPoint {
+                    depth: p.depth,
+                    kth_score: p.kth_score,
+                    bound: p.bound,
+                })
+                .collect(),
             ..RunMetrics::default()
         },
     })

@@ -58,6 +58,12 @@ impl WorkerPool {
         &self.slots[w].addr
     }
 
+    /// Idle pooled connections to worker `w` (a health-report signal: the
+    /// stack's depth tracks the observed fan-out parallelism).
+    pub fn idle_len(&self, w: usize) -> usize {
+        self.slots[w].idle.lock().expect("pool lock").len()
+    }
+
     fn dial(&self, w: usize) -> Result<ApiClient, ApiError> {
         let mut client =
             ApiClient::connect_with(&self.slots[w].addr, &self.config).map_err(ApiError::io)?;

@@ -16,6 +16,7 @@
 //!   owns (diagnostics; routing is coordinator-side).
 //! * [`Request::WorkerStats`] — work counters for the fleet dashboard.
 
+use prj_api::response::TrajectorySample;
 use prj_api::{
     ApiError, ErrorKind, Request, Response, SpanRecord, UnitMember, UnitOutcome, UnitRequest,
     UnitRow,
@@ -121,6 +122,7 @@ impl WorkerSession {
             selector: Some(unit.scoring),
             access_kind: unit.access,
             algorithm: Some(unit.algorithm),
+            convergence: unit.convergence,
             trace: None,
         };
         let run_started = now_micros();
@@ -201,6 +203,11 @@ impl WorkerSession {
                     lane_micros: lanes.iter().map(|l| l.micros).collect(),
                 })
             }
+            Request::Health => {
+                let mut health = self.session.base_health();
+                health.role = "worker".to_string();
+                Ok(Response::Health(health))
+            }
             other => return self.session.handle(other),
         };
         outcome.unwrap_or_else(Response::Error)
@@ -210,9 +217,10 @@ impl WorkerSession {
 impl RequestHandler for WorkerSession {
     fn dispatch_request(&self, request: Request) -> Dispatch {
         match request {
-            Request::ExecuteUnit(_) | Request::ShardAssignment { .. } | Request::WorkerStats => {
-                Dispatch::One(self.handle_cluster(request))
-            }
+            Request::ExecuteUnit(_)
+            | Request::ShardAssignment { .. }
+            | Request::WorkerStats
+            | Request::Health => Dispatch::One(self.handle_cluster(request)),
             other => self.session.dispatch(other),
         }
     }
@@ -253,5 +261,14 @@ pub fn to_outcome(
         micros: elapsed.as_micros() as u64,
         capped: result.metrics.hit_access_cap,
         spans,
+        trajectory: result
+            .trajectory()
+            .iter()
+            .map(|p| TrajectorySample {
+                depth: p.depth,
+                kth_score: p.kth_score,
+                bound: p.bound,
+            })
+            .collect(),
     }
 }

@@ -73,7 +73,7 @@ pub use combination::{ScoredCombination, TopKBuffer};
 pub use error::PrjError;
 pub use merge::{merge_results, merge_shared, CertifiedMerge};
 pub use naive::naive_rank_join;
-pub use operator::{execute, RankJoinResult, RunMetrics, StreamingRun};
+pub use operator::{execute, RankJoinResult, RunMetrics, StreamingRun, TrajectoryPoint};
 pub use problem::{Problem, ProblemBuilder, ProxRjConfig, RelationBackend};
 pub use pull::{PotentialAdaptive, PullStrategy, RoundRobin};
 pub use scoring::{

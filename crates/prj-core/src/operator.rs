@@ -29,6 +29,28 @@ use prj_geometry::Vector;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+/// One sample of the bound-convergence profile: the state of the
+/// certification race between the K-th retained score and the upper bound
+/// `t` at a given access depth. A run terminates exactly when `kth_score`
+/// strictly dominates `bound`, so plotting these points shows *why* an
+/// execution stopped where it did (or why it had to read deep).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrajectoryPoint {
+    /// Total sorted accesses performed when the sample was taken
+    /// (`sumDepths` at this instant).
+    pub depth: u64,
+    /// The K-th best retained score, or `-inf` while fewer than K
+    /// combinations have been formed.
+    pub kth_score: f64,
+    /// The upper bound `t` on any combination still using an unseen tuple.
+    pub bound: f64,
+}
+
+/// Hard cap on captured trajectory points per run, so a pathological deep
+/// run cannot balloon the profile (the sampling stride already spaces the
+/// points; this is a backstop).
+const MAX_TRAJECTORY_POINTS: usize = 4096;
+
 /// Instrumentation collected during one ProxRJ execution.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunMetrics {
@@ -53,6 +75,10 @@ pub struct RunMetrics {
     /// `true` when the run stopped because of the configured access cap
     /// rather than the termination condition.
     pub hit_access_cap: bool,
+    /// Sampled bound-convergence profile; empty unless
+    /// [`ProxRjConfig::convergence_every`](crate::problem::ProxRjConfig::convergence_every)
+    /// is non-zero.
+    pub trajectory: Vec<TrajectoryPoint>,
 }
 
 /// The outcome of a proximity rank join execution.
@@ -75,6 +101,12 @@ impl RankJoinResult {
     /// The best (highest) score returned, if any.
     pub fn best_score(&self) -> Option<f64> {
         self.combinations.first().map(|c| c.score)
+    }
+
+    /// The sampled bound-convergence profile (empty unless capture was
+    /// enabled via [`ProxRjConfig::convergence_every`](crate::problem::ProxRjConfig::convergence_every)).
+    pub fn trajectory(&self) -> &[TrajectoryPoint] {
+        &self.metrics.trajectory
     }
 }
 
@@ -235,9 +267,41 @@ impl RunCore {
                 self.t = bound.update(&self.state, problem.scoring(), Some(i));
                 self.metrics.bound_time += bound_started.elapsed();
                 self.metrics.bound_updates += 1;
+                // Convergence capture: one predictable branch when disabled
+                // (the common case), a stride-gated push when on.
+                if self.config.convergence_every != 0 {
+                    let depth = self.stats.sum_depths();
+                    if depth.is_multiple_of(self.config.convergence_every) {
+                        self.sample_trajectory(depth);
+                    }
+                }
             }
         }
         true
+    }
+
+    /// Records one bound-convergence sample at the given access depth.
+    /// Consecutive duplicates at the same depth are collapsed and the
+    /// profile is capped at [`MAX_TRAJECTORY_POINTS`].
+    fn sample_trajectory(&mut self, depth: usize) {
+        if self.metrics.trajectory.len() >= MAX_TRAJECTORY_POINTS {
+            return;
+        }
+        if let Some(last) = self.metrics.trajectory.last() {
+            if last.depth == depth as u64 {
+                return;
+            }
+        }
+        let kth_score = if self.output.len() >= self.k {
+            self.output.kth_score()
+        } else {
+            f64::NEG_INFINITY
+        };
+        self.metrics.trajectory.push(TrajectoryPoint {
+            depth: depth as u64,
+            kth_score,
+            bound: self.t,
+        });
     }
 
     /// Steps until the next result is *certified* — its retained score
@@ -386,6 +450,23 @@ impl RunCore {
 
     /// Consumes the core into the final result (the run must be done).
     fn finalize<S: ScoringFunction>(mut self, bound: &dyn BoundingScheme<S>) -> RankJoinResult {
+        // Close the convergence profile with the terminal state, so an
+        // enabled capture is never empty and always ends at the depth /
+        // bound pair that actually certified (or exhausted) the run.
+        if self.config.convergence_every != 0 {
+            let depth = self.stats.sum_depths();
+            if self.state.all_exhausted() {
+                self.t = f64::NEG_INFINITY;
+            }
+            // An in-loop sample at the same depth predates any exhaustion
+            // bound drop — replace it with the terminal state.
+            if let Some(last) = self.metrics.trajectory.last() {
+                if last.depth == depth as u64 {
+                    self.metrics.trajectory.pop();
+                }
+            }
+            self.sample_trajectory(depth);
+        }
         // On an early-exhaustion run — every relation drained before the
         // bound certified the top-K — no unseen combination exists at all,
         // so the final bound is −∞ by definition. Set it structurally
@@ -619,6 +700,47 @@ mod tests {
         );
         assert!(result.metrics.total_time >= result.metrics.bound_time);
         assert!(result.best_score().is_some());
+    }
+
+    #[test]
+    fn convergence_trajectory_is_captured_when_enabled() {
+        // Off by default: no points, whatever the run shape.
+        let mut problem = table1_problem(2);
+        let plain = Algorithm::Tbrr.run(&mut problem).unwrap();
+        assert!(plain.trajectory().is_empty());
+
+        // On: non-empty, depths strictly increasing, last point at the
+        // terminal depth with the certified bound, and the result rows are
+        // bit-identical to the uninstrumented run.
+        let mut problem = table1_problem(2);
+        problem.set_config(crate::problem::ProxRjConfig {
+            convergence_every: 1,
+            ..Default::default()
+        });
+        let traced = Algorithm::Tbrr.run(&mut problem).unwrap();
+        assert_eq!(traced.combinations, plain.combinations);
+        assert_eq!(traced.stats, plain.stats);
+        let traj = traced.trajectory();
+        assert!(!traj.is_empty());
+        for w in traj.windows(2) {
+            assert!(w[0].depth < w[1].depth, "depths must strictly increase");
+        }
+        let last = traj.last().unwrap();
+        assert_eq!(last.depth, traced.sum_depths() as u64);
+        assert_eq!(last.bound, traced.metrics.final_bound);
+        // A certified run ends with the kth score dominating the bound.
+        assert!(last.kth_score >= last.bound);
+
+        // A sparse stride still closes with the terminal point.
+        let mut problem = table1_problem(2);
+        problem.set_config(crate::problem::ProxRjConfig {
+            convergence_every: 1000,
+            ..Default::default()
+        });
+        let sparse = Algorithm::Tbrr.run(&mut problem).unwrap();
+        assert_eq!(sparse.combinations, plain.combinations);
+        assert_eq!(sparse.trajectory().len(), 1);
+        assert_eq!(sparse.trajectory()[0].depth, sparse.sum_depths() as u64);
     }
 
     #[test]

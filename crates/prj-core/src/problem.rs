@@ -26,6 +26,11 @@ pub struct ProxRjConfig {
     /// resolved by the deterministic id tie-break instead of depending on
     /// traversal order.
     pub termination_tolerance: f64,
+    /// Sample the bound-convergence trajectory (current K-th retained score
+    /// vs. the bound `t`) every this-many sorted accesses; `0` disables the
+    /// capture entirely (the default — the operator loop pays a single
+    /// predictable branch).
+    pub convergence_every: usize,
 }
 
 impl Default for ProxRjConfig {
@@ -35,6 +40,7 @@ impl Default for ProxRjConfig {
             recompute_every: 1,
             max_accesses: None,
             termination_tolerance: 1e-9,
+            convergence_every: 0,
         }
     }
 }
@@ -198,6 +204,13 @@ impl<S: ScoringFunction> ProblemBuilder<S> {
     /// Caps the total number of sorted accesses.
     pub fn max_accesses(mut self, cap: Option<usize>) -> Self {
         self.config.max_accesses = cap;
+        self
+    }
+
+    /// Samples the bound-convergence trajectory every `every` sorted
+    /// accesses (`0` = disabled, the default).
+    pub fn convergence_every(mut self, every: usize) -> Self {
+        self.config.convergence_every = every;
         self
     }
 

@@ -25,11 +25,12 @@
 
 use crate::catalog::Catalog;
 use crate::obs::EngineObs;
-use prj_obs::{Counter, Gauge, Recorder, TraceId};
+use prj_obs::{Counter, Gauge, MetricsRegistry, Recorder, TraceId};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How often an idle compactor wakes to look for aged deltas.
 const IDLE_TICK: Duration = Duration::from_millis(25);
@@ -56,6 +57,18 @@ struct Inner {
     pass: Mutex<()>,
     compactions_total: Arc<Counter>,
     delta_tuples: Arc<Gauge>,
+    /// Age of the oldest un-folded delta (`prj_compactor_backlog_age_ms`).
+    backlog_age_ms: Arc<Gauge>,
+    /// Registry handle for the per-shard `prj_delta_tuples{shard=..}`
+    /// gauges (shard set is dynamic, so these resolve per pass — off the
+    /// query path by construction).
+    registry: Arc<MetricsRegistry>,
+    /// When each `(relation, shard)` delta first became non-empty, as
+    /// observed by the fold loop. `DeltaBuffer`s carry no timestamps, so
+    /// the compactor itself is the clock: an entry is stamped the first
+    /// pass that sees the backlog and cleared the pass that sees it
+    /// drained.
+    first_seen: Mutex<HashMap<(usize, usize), Instant>>,
     recorder: Arc<Recorder>,
 }
 
@@ -66,9 +79,6 @@ impl Inner {
         let _pass = self.pass.lock().expect("pass lock");
         let min_len = if flush_all { 1 } else { self.threshold.max(1) };
         let backlog = self.catalog.delta_backlog(min_len);
-        if backlog.is_empty() {
-            return 0;
-        }
         let mut folded: usize = 0;
         for (id, shard, _) in backlog {
             // Dropped relations and already-drained shards are fine — the
@@ -77,9 +87,10 @@ impl Inner {
                 folded += 1;
             }
         }
-        self.compactions_total.add(folded as u64);
-        self.delta_tuples
-            .set(self.catalog.delta_tuples_total() as f64);
+        if folded > 0 {
+            self.compactions_total.add(folded as u64);
+        }
+        self.refresh_backlog_gauges();
         if folded > 0 && self.recorder.enabled() {
             let mut span = self.recorder.span(TraceId::generate(), "compaction");
             span.attr("shards", folded);
@@ -87,6 +98,45 @@ impl Inner {
             span.finish();
         }
         folded
+    }
+
+    /// Refreshes every backlog-derived gauge from the catalog's current
+    /// delta state: the total and per-shard `prj_delta_tuples` series and
+    /// the `prj_compactor_backlog_age_ms` age of the oldest surviving
+    /// delta. Runs once per pass, even when nothing folded, so a drained
+    /// backlog reads as zero everywhere.
+    fn refresh_backlog_gauges(&self) {
+        let backlog = self.catalog.delta_backlog(1);
+        let now = Instant::now();
+        let mut first_seen = self.first_seen.lock().expect("first-seen lock");
+        first_seen.retain(|key, _| {
+            backlog
+                .iter()
+                .any(|(id, shard, _)| (id.index(), *shard) == *key)
+        });
+        let shards = self.catalog.policy().shards();
+        let mut per_shard = vec![0u64; shards];
+        for (id, shard, len) in &backlog {
+            first_seen.entry((id.index(), *shard)).or_insert(now);
+            if let Some(slot) = per_shard.get_mut(*shard) {
+                *slot += *len as u64;
+            }
+        }
+        let oldest_ms = first_seen
+            .values()
+            .map(|t| now.duration_since(*t).as_millis() as u64)
+            .max()
+            .unwrap_or(0);
+        drop(first_seen);
+        self.backlog_age_ms.set(oldest_ms as f64);
+        self.delta_tuples
+            .set(self.catalog.delta_tuples_total() as f64);
+        for (shard, len) in per_shard.iter().enumerate() {
+            let label = shard.to_string();
+            self.registry
+                .gauge("prj_delta_tuples", &[("shard", &label)])
+                .set(*len as f64);
+        }
     }
 
     fn next_pass_flushes_all(&self) -> bool {
@@ -120,6 +170,9 @@ impl Compactor {
             pass: Mutex::new(()),
             compactions_total: obs.compactions_total(),
             delta_tuples: obs.delta_tuples(),
+            backlog_age_ms: obs.registry().gauge("prj_compactor_backlog_age_ms", &[]),
+            registry: Arc::clone(obs.registry()),
+            first_seen: Mutex::new(HashMap::new()),
             recorder: Arc::clone(obs.recorder()),
         });
         let worker = Arc::clone(&inner);
@@ -172,6 +225,20 @@ impl Compactor {
     /// Number of passes started so far (background and stepped).
     pub fn passes(&self) -> u64 {
         self.inner.passes.load(Ordering::Relaxed)
+    }
+
+    /// Age (ms) of the oldest delta the fold loop has seen and not yet
+    /// drained; 0 when the backlog is empty (or no pass has observed the
+    /// newest appends yet — the idle tick bounds that window). This is the
+    /// `oldest_delta_age_ms` signal of the health model.
+    pub fn oldest_backlog_age_ms(&self) -> u64 {
+        let first_seen = self.inner.first_seen.lock().expect("first-seen lock");
+        let now = Instant::now();
+        first_seen
+            .values()
+            .map(|t| now.duration_since(*t).as_millis() as u64)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Stops and joins the background thread (idempotent; also run on

@@ -42,10 +42,10 @@ use prj_access::{AccessKind, RelationStats};
 use prj_api::ScoringSelector;
 use prj_core::{
     merge_shared, Algorithm, CertifiedMerge, EuclideanLogScore, PrjError, Problem, ProblemBuilder,
-    RankJoinResult, RunMetrics, ScoredCombination, ScoringSpec, StreamingRun,
+    RankJoinResult, RunMetrics, ScoredCombination, ScoringSpec, StreamingRun, TrajectoryPoint,
 };
 use prj_geometry::Vector;
-use prj_obs::{Recorder, Sample, SpanGuard, SpanId, TraceId};
+use prj_obs::{Recorder, Sample, SpanGuard, SpanId, TraceClass, TraceId};
 use std::sync::mpsc::{sync_channel, Receiver};
 use std::sync::{Arc, RwLock};
 use std::time::{Duration, Instant};
@@ -149,6 +149,11 @@ pub struct QuerySpec {
     pub access_kind: AccessKind,
     /// Pin a specific algorithm, or let the planner choose (`None`).
     pub algorithm: Option<Algorithm>,
+    /// Sample the operator's bound-convergence trajectory every this-many
+    /// sorted accesses (0 = off, the zero-cost default). Set by
+    /// `EXPLAIN ANALYZE`; never part of the cache key (analyze bypasses
+    /// the caches entirely).
+    pub convergence: usize,
     /// The trace this query joins, when an upstream caller already opened
     /// one; `None` lets the engine generate a fresh trace id (if its
     /// recorder is enabled). Never part of the cache key.
@@ -169,8 +174,16 @@ impl QuerySpec {
             selector: Some(ScoringSelector::named("euclidean-log")),
             access_kind: AccessKind::Distance,
             algorithm: None,
+            convergence: 0,
             trace: None,
         }
+    }
+
+    /// Enables bound-convergence capture: the operator samples its
+    /// (kth-score, bound) race every `every` sorted accesses.
+    pub fn with_convergence(mut self, every: usize) -> Self {
+        self.convergence = every;
+        self
     }
 
     /// Joins an already-open trace: the query's root span becomes a child
@@ -351,6 +364,9 @@ pub struct RemoteUnitCall {
     pub algorithm: Algorithm,
     /// The planned LP dominance-test period.
     pub dominance_period: Option<usize>,
+    /// Bound-convergence sampling stride (0 = off); the worker replays it
+    /// so `EXPLAIN ANALYZE` profiles cover remote units too.
+    pub convergence: usize,
     /// The trace to execute under and the coordinator-side `unit` span the
     /// worker's spans should stitch beneath; `None` when tracing is off.
     pub trace: Option<(TraceId, SpanId)>,
@@ -601,6 +617,9 @@ struct UnitExecContext {
     selector: Option<ScoringSelector>,
     scoring_fingerprint: u64,
     generation: u64,
+    /// Bound-convergence sampling stride, forwarded to remote units so
+    /// their trajectories come back over the wire.
+    convergence: usize,
     recorder: Arc<Recorder>,
     /// The query's trace plus the root span unit spans parent under.
     trace: Option<(TraceId, SpanId)>,
@@ -619,6 +638,8 @@ struct UnitOutcome {
     /// `false` when the result came out of the unit cache (no accesses
     /// were performed for it this query).
     fresh: bool,
+    /// `true` when the unit was shipped to a remote worker.
+    remote: bool,
 }
 
 impl UnitExecContext {
@@ -675,13 +696,15 @@ impl UnitExecContext {
                     result: hit,
                     elapsed: Duration::ZERO,
                     fresh: false,
+                    remote: false,
                 });
             }
         }
         let started = Instant::now();
         let remote = self.backend.as_ref().filter(|b| b.routes(unit.shard));
+        let was_remote = remote.is_some();
         if let Some(span) = span.as_mut() {
-            span.attr("remote", remote.is_some());
+            span.attr("remote", was_remote);
         }
         let result = match remote {
             Some(backend) => {
@@ -703,6 +726,7 @@ impl UnitExecContext {
                     access_kind: self.access_kind,
                     algorithm: unit.plan.algorithm,
                     dominance_period: unit.plan.dominance_period,
+                    convergence: self.convergence,
                     // The worker's spans stitch under this unit span; a
                     // non-recording guard (disabled ring) sends nothing.
                     trace: span
@@ -731,20 +755,18 @@ impl UnitExecContext {
             result,
             elapsed,
             fresh: true,
+            remote: was_remote,
         })
     }
 }
 
-/// Runs every unit — in parallel when there is more than one — and merges
-/// the certified per-unit results into the exact global top-`k`. Returns
-/// the merged result plus one [`UnitRecord`] per unit that *freshly* ran
-/// (sparse: empty driving slices and unit-cache hits contribute none).
-fn run_units(
+/// Executes every unit — in parallel when there is more than one —
+/// returning the per-unit outcomes in completion-independent unit order.
+fn fan_out_units(
     units: Vec<ExecutionUnit>,
-    k: usize,
     ctx: &UnitExecContext,
-) -> Result<(RankJoinResult, Vec<UnitRecord>), EngineError> {
-    let outcomes: Vec<Result<UnitOutcome, EngineError>> = if units.len() == 1 {
+) -> Vec<Result<UnitOutcome, EngineError>> {
+    if units.len() == 1 {
         let unit = units.into_iter().next().expect("one unit");
         vec![ctx.execute(unit)]
     } else {
@@ -762,7 +784,19 @@ fn run_units(
                 .map(|h| h.join().expect("unit thread panicked"))
                 .collect()
         })
-    };
+    }
+}
+
+/// Runs every unit — in parallel when there is more than one — and merges
+/// the certified per-unit results into the exact global top-`k`. Returns
+/// the merged result plus one [`UnitRecord`] per unit that *freshly* ran
+/// (sparse: empty driving slices and unit-cache hits contribute none).
+fn run_units(
+    units: Vec<ExecutionUnit>,
+    k: usize,
+    ctx: &UnitExecContext,
+) -> Result<(RankJoinResult, Vec<UnitRecord>), EngineError> {
+    let outcomes = fan_out_units(units, ctx);
     let mut parts: Vec<Arc<RankJoinResult>> = Vec::with_capacity(outcomes.len());
     let mut unit_records = Vec::with_capacity(outcomes.len());
     for outcome in outcomes {
@@ -776,7 +810,17 @@ fn run_units(
         }
         parts.push(outcome.result);
     }
-    let merged = if parts.len() == 1 {
+    Ok((merge_unit_parts(k, parts, ctx), unit_records))
+}
+
+/// Merges certified per-unit results into the exact global top-`k`
+/// (recording a `merge` span when several parts recombine).
+fn merge_unit_parts(
+    k: usize,
+    mut parts: Vec<Arc<RankJoinResult>>,
+    ctx: &UnitExecContext,
+) -> RankJoinResult {
+    if parts.len() == 1 {
         // A freshly run, uncached unit holds the only reference and is
         // moved out without copying; a unit-cache hit stays shared with
         // the cache and must be cloned.
@@ -795,8 +839,7 @@ fn run_units(
             span.finish();
         }
         merged
-    };
-    Ok((merged, unit_records))
+    }
 }
 
 /// Everything a live streaming producer needs at completion: where to cache
@@ -834,7 +877,7 @@ impl StreamFinish {
             root.attr("sum_depths", result.sum_depths());
             root.finish();
         }
-        self.obs.slow_query(self.trace, latency);
+        self.obs.query_finished(self.trace, latency);
         self.cache.insert(
             self.key,
             Arc::new(CachedExecution {
@@ -853,6 +896,90 @@ fn relation_depths(relations: &[usize], result: &RankJoinResult) -> Vec<(usize, 
         .zip(result.stats.depths())
         .map(|(rel, depth)| (*rel, *depth as u64))
         .collect()
+}
+
+/// Bound-convergence sampling stride EXPLAIN ANALYZE applies when the
+/// query didn't pin one of its own: fine enough to show the bound closing
+/// on the kth score, coarse enough to stay far under the trajectory cap on
+/// realistic depths.
+pub const ANALYZE_CONVERGENCE_EVERY: usize = 16;
+
+/// One relation's planner inputs, as EXPLAIN reports them: the statistics
+/// the driving choice consumed and the discounted depth estimate derived
+/// from them (`cardinality / (1 + max(skew, 0))`).
+#[derive(Debug, Clone)]
+pub struct RelationPlanData {
+    /// Relation name.
+    pub name: String,
+    /// Tuple count at planning time.
+    pub cardinality: u64,
+    /// Score skewness the planner discounted the expected depth by.
+    pub skew: f64,
+    /// The discounted-depth estimate; the planner drives the relation
+    /// maximising this.
+    pub discount: f64,
+}
+
+/// One execution unit's plan, as EXPLAIN reports it.
+#[derive(Debug, Clone)]
+pub struct UnitPlanData {
+    /// Driving-relation shard this unit enumerates.
+    pub shard: usize,
+    /// The per-unit plan (algorithm, dominance period, rationale).
+    pub plan: Plan,
+}
+
+/// One executed unit's profile (EXPLAIN ANALYZE only).
+#[derive(Debug, Clone)]
+pub struct UnitProfileData {
+    /// Driving-relation shard this unit enumerated.
+    pub shard: usize,
+    /// What the unit read: `"fresh"` (compacted base only) or
+    /// `"delta-merged"` (its driving shard still carried unfolded deltas).
+    /// ANALYZE bypasses the unit cache, so `"hit"` never appears here —
+    /// the profile always measures real work.
+    pub cache: &'static str,
+    /// `true` when the unit ran on a remote worker.
+    pub remote: bool,
+    /// Sorted accesses this unit performed (its `sumDepths` share).
+    pub depths: u64,
+    /// Wall-clock unit latency in µs.
+    pub micros: u64,
+    /// The sampled bound-convergence trajectory of the unit's run.
+    pub trajectory: Vec<TrajectoryPoint>,
+}
+
+/// The executed half of an EXPLAIN ANALYZE report: the merged result (rows
+/// bit-identical to what a plain query would return) plus per-unit
+/// profiles whose depths sum exactly to `total_sum_depths`.
+#[derive(Debug)]
+pub struct AnalyzeData {
+    /// The merged certified top-k result.
+    pub result: RankJoinResult,
+    /// End-to-end latency of the analyzed execution.
+    pub latency: Duration,
+    /// Total sorted accesses across all units (`Σ units[i].depths`).
+    pub total_sum_depths: u64,
+    /// Per-unit execution profiles, in unit order.
+    pub units: Vec<UnitProfileData>,
+}
+
+/// An EXPLAIN / EXPLAIN ANALYZE report at the engine level (the session
+/// layer converts it to the wire shape).
+#[derive(Debug)]
+pub struct ExplainData {
+    /// The merged whole-query plan.
+    pub plan: Plan,
+    /// Index (into the query's relation list) of the driving relation.
+    pub drive: usize,
+    /// The k the query runs at.
+    pub k: usize,
+    /// Planner inputs per relation, in the query's relation order.
+    pub relations: Vec<RelationPlanData>,
+    /// Per-unit plans, in unit order.
+    pub units: Vec<UnitPlanData>,
+    /// Present under ANALYZE: the profiled execution.
+    pub analyzed: Option<AnalyzeData>,
 }
 
 /// A concurrent query-serving engine over the ProxRJ operator.
@@ -1311,7 +1438,8 @@ impl Engine {
         let mut builder = ProblemBuilder::new(Arc::clone(query), Arc::clone(&spec.scoring))
             .k(spec.k)
             .access_kind(spec.access_kind)
-            .dominance_period(plan.dominance_period);
+            .dominance_period(plan.dominance_period)
+            .convergence_every(spec.convergence);
         for (idx, relation) in snapshot.iter().enumerate() {
             let view = if idx == drive {
                 // The driving relation contributes only its shard.
@@ -1378,6 +1506,7 @@ impl Engine {
             selector: spec.selector.clone(),
             scoring_fingerprint: spec.scoring.cache_fingerprint(),
             generation: self.topology_generation(),
+            convergence: spec.convergence,
             recorder: Arc::clone(self.obs.recorder()),
             trace,
         }
@@ -1468,38 +1597,45 @@ impl Engine {
                         return;
                     }
                     let outcome = run_units(units, k, &ctx);
-                    let response = outcome.map(|(result, unit_records)| {
-                        let latency = started.elapsed();
-                        let fresh_units = unit_records.len();
-                        let record = QueryRecord {
-                            latency,
-                            // Count only the accesses *this* query freshly
-                            // performed: unit-cache hits did none, and the
-                            // per-shard lanes must keep adding up to the
-                            // engine-wide total.
-                            sum_depths: unit_records.iter().map(|u| u.sum_depths).sum(),
-                            bound_updates: result.metrics.bound_updates,
-                            from_cache: false,
-                            units: unit_records,
-                            relation_depths: relation_depths(&relations, &result),
-                        };
-                        obs.record_query(&record);
-                        stats.record(record);
-                        if let Some(root) = root.as_mut() {
-                            root.attr("cache", "miss");
-                            root.attr("sum_depths", result.sum_depths());
+                    let response = match outcome {
+                        Ok((result, unit_records)) => {
+                            let latency = started.elapsed();
+                            let fresh_units = unit_records.len();
+                            let record = QueryRecord {
+                                latency,
+                                // Count only the accesses *this* query freshly
+                                // performed: unit-cache hits did none, and the
+                                // per-shard lanes must keep adding up to the
+                                // engine-wide total.
+                                sum_depths: unit_records.iter().map(|u| u.sum_depths).sum(),
+                                bound_updates: result.metrics.bound_updates,
+                                from_cache: false,
+                                units: unit_records,
+                                relation_depths: relation_depths(&relations, &result),
+                            };
+                            obs.record_query(&record);
+                            stats.record(record);
+                            if let Some(root) = root.as_mut() {
+                                root.attr("cache", "miss");
+                                root.attr("sum_depths", result.sum_depths());
+                            }
+                            drop(root.take());
+                            obs.query_finished(trace, latency);
+                            let execution = Arc::new(CachedExecution { result, plan });
+                            cache.insert(key, Arc::clone(&execution));
+                            Ok(EngineResult {
+                                execution,
+                                from_cache: false,
+                                latency,
+                                fresh_units,
+                            })
                         }
-                        drop(root.take());
-                        obs.slow_query(trace, latency);
-                        let execution = Arc::new(CachedExecution { result, plan });
-                        cache.insert(key, Arc::clone(&execution));
-                        EngineResult {
-                            execution,
-                            from_cache: false,
-                            latency,
-                            fresh_units,
+                        Err(e) => {
+                            drop(root.take());
+                            obs.trace_event(trace, TraceClass::Error, started.elapsed());
+                            Err(e)
                         }
-                    });
+                    };
                     let _ = sender.send(response);
                 });
             }
@@ -1516,6 +1652,140 @@ impl Engine {
     pub fn query_batch(&self, specs: Vec<QuerySpec>) -> Vec<Result<EngineResult, EngineError>> {
         let tickets: Vec<QueryTicket> = specs.into_iter().map(|s| self.submit(s)).collect();
         tickets.into_iter().map(|t| t.wait()).collect()
+    }
+
+    /// EXPLAIN / EXPLAIN ANALYZE: reports how the engine would execute (or
+    /// did execute) `spec`, without going through the result cache.
+    ///
+    /// Plan mode (`analyze == false`) runs exactly the planner — driving
+    /// choice, per-unit plans, the relation statistics they consumed — and
+    /// executes nothing.
+    ///
+    /// ANALYZE executes the plan for real, but measures *real work*: both
+    /// the result cache and the per-shard unit cache are bypassed (no hits
+    /// served, nothing inserted), so every unit profile reports the
+    /// accesses that execution actually performed and the per-unit depths
+    /// sum exactly to the `sumDepths` the engine's statistics advance by.
+    /// Bound-convergence capture is forced on (at
+    /// [`ANALYZE_CONVERGENCE_EVERY`] unless the spec pinned a stride), and
+    /// the run is accounted like any executed query: metrics, engine
+    /// stats, spans, and the trace drain all see it.
+    ///
+    /// The merged rows under ANALYZE are bit-identical to what the same
+    /// spec would return through [`Engine::query`]: the units, the plan,
+    /// and the merge are shared code — only the caching policy differs.
+    pub fn explain(&self, mut spec: QuerySpec, analyze: bool) -> Result<ExplainData, EngineError> {
+        if analyze && spec.convergence == 0 {
+            spec.convergence = ANALYZE_CONVERGENCE_EVERY;
+        }
+        let started = Instant::now();
+        let (snapshot, _key) = self.snapshot_and_key(&spec)?;
+        let (trace, mut root) = self.begin_query(&spec);
+        if let Some(root) = root.as_mut() {
+            root.attr("explain", if analyze { "analyze" } else { "plan" });
+        }
+        let relations: Vec<RelationPlanData> = snapshot
+            .iter()
+            .map(|relation| {
+                let stats = relation.stats();
+                RelationPlanData {
+                    name: relation.name().to_string(),
+                    cardinality: stats.cardinality as u64,
+                    skew: stats.score_skewness,
+                    discount: stats.cardinality as f64 / (1.0 + stats.score_skewness.max(0.0)),
+                }
+            })
+            .collect();
+        let prepared = {
+            let plan_span = trace
+                .zip(root.as_ref())
+                .map(|(trace, root)| self.obs.recorder().child(trace, root.id(), "plan"));
+            let prepared = self.prepare_units(&spec, &snapshot);
+            drop(plan_span);
+            prepared
+        };
+        let (drive, units) = prepared?;
+        let plan = merged_plan(&units);
+        let unit_plans: Vec<UnitPlanData> = units
+            .iter()
+            .map(|u| UnitPlanData {
+                shard: u.shard,
+                plan: u.plan.clone(),
+            })
+            .collect();
+        let analyzed = if analyze {
+            // Driving shards still carrying unfolded deltas read through
+            // delta-merged views — the profile's cache status records it.
+            let delta_shards: Vec<bool> = (0..snapshot[drive].num_shards())
+                .map(|j| snapshot[drive].shard(j).delta_len() > 0)
+                .collect();
+            let unit_trace = trace.zip(root.as_ref().map(|r| r.id()));
+            let mut ctx = self.unit_context(&spec, &snapshot, drive, unit_trace);
+            ctx.use_unit_cache = false;
+            let outcomes = fan_out_units(units, &ctx);
+            let mut parts: Vec<Arc<RankJoinResult>> = Vec::with_capacity(outcomes.len());
+            let mut profiles = Vec::with_capacity(outcomes.len());
+            let mut unit_records = Vec::with_capacity(outcomes.len());
+            for outcome in outcomes {
+                let outcome = outcome?;
+                profiles.push(UnitProfileData {
+                    shard: outcome.shard,
+                    cache: if delta_shards.get(outcome.shard).copied().unwrap_or(false) {
+                        "delta-merged"
+                    } else {
+                        "fresh"
+                    },
+                    remote: outcome.remote,
+                    depths: outcome.result.sum_depths() as u64,
+                    micros: outcome.elapsed.as_micros() as u64,
+                    trajectory: outcome.result.trajectory().to_vec(),
+                });
+                unit_records.push(UnitRecord {
+                    shard: outcome.shard,
+                    sum_depths: outcome.result.sum_depths(),
+                    latency: outcome.elapsed,
+                });
+                parts.push(outcome.result);
+            }
+            let result = merge_unit_parts(spec.k, parts, &ctx);
+            let latency = started.elapsed();
+            let total_sum_depths: u64 = profiles.iter().map(|u| u.depths).sum();
+            let relation_indices: Vec<usize> = spec.relations.iter().map(|r| r.index()).collect();
+            let record = QueryRecord {
+                latency,
+                sum_depths: unit_records.iter().map(|u| u.sum_depths).sum(),
+                bound_updates: result.metrics.bound_updates,
+                from_cache: false,
+                units: unit_records,
+                relation_depths: relation_depths(&relation_indices, &result),
+            };
+            self.obs.record_query(&record);
+            self.stats.record(record);
+            if let Some(root) = root.as_mut() {
+                root.attr("cache", "bypass");
+                root.attr("sum_depths", total_sum_depths);
+            }
+            Some(AnalyzeData {
+                result,
+                latency,
+                total_sum_depths,
+                units: profiles,
+            })
+        } else {
+            None
+        };
+        drop(root);
+        if analyze {
+            self.obs.query_finished(trace, started.elapsed());
+        }
+        Ok(ExplainData {
+            plan,
+            drive,
+            k: spec.k,
+            relations,
+            units: unit_plans,
+            analyzed,
+        })
     }
 
     /// Opens a streaming query: results are certified and delivered one at a
@@ -1598,7 +1868,7 @@ impl Engine {
                 root.attr("sum_depths", result.sum_depths());
                 root.finish();
             }
-            self.obs.slow_query(trace, latency);
+            self.obs.query_finished(trace, latency);
             let execution = Arc::new(CachedExecution {
                 result,
                 plan: plan.clone(),

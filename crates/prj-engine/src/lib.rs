@@ -110,8 +110,9 @@ pub use catalog::{
 };
 pub use compactor::Compactor;
 pub use engine::{
-    Engine, EngineBuilder, EngineError, EngineResult, MutationEvent, MutationKind,
-    MutationObserver, QuerySpec, QueryTicket, RemoteUnitBackend, RemoteUnitCall, ResultStream,
+    AnalyzeData, Engine, EngineBuilder, EngineError, EngineResult, ExplainData, MutationEvent,
+    MutationKind, MutationObserver, QuerySpec, QueryTicket, RelationPlanData, RemoteUnitBackend,
+    RemoteUnitCall, ResultStream, UnitPlanData, UnitProfileData, ANALYZE_CONVERGENCE_EVERY,
 };
 pub use executor::Executor;
 pub use obs::{EngineObs, QueryTrace};

@@ -45,8 +45,11 @@ use crate::stats::QueryRecord;
 use prj_api::{MetricKind, MetricSample, SpanRecord};
 use prj_obs::metrics::SampleKind;
 use prj_obs::trace::RemoteSpan;
-use prj_obs::{Counter, Gauge, Histogram, MetricsRegistry, Recorder, Sample, SpanId, TraceId};
-use std::sync::Arc;
+use prj_obs::{
+    Counter, Gauge, Histogram, MetricsRegistry, Recorder, RetentionPolicy, Sample, SpanId,
+    TraceClass, TraceId, TraceStore,
+};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::Duration;
 
 /// The trace identity a query executes under: the cluster-wide trace id
@@ -58,6 +61,32 @@ pub struct QueryTrace {
     pub trace: TraceId,
     /// The upstream span to parent the query's root span under.
     pub parent: Option<SpanId>,
+}
+
+/// One finished query handed to the background trace drain: the spans are
+/// looked up (and the retention decision made) *off* the query path.
+#[derive(Debug)]
+struct TraceEvent {
+    trace: TraceId,
+    class: TraceClass,
+    latency: Duration,
+}
+
+/// Shared bookkeeping between trace producers and the drain thread, so
+/// [`EngineObs::flush_traces`] can wait for the queue to empty.
+#[derive(Debug, Default)]
+struct DrainState {
+    pending: Mutex<usize>,
+    idle: Condvar,
+}
+
+/// The sending half of the trace drain. The `Sender` sits behind a mutex
+/// because query completions arrive from many threads; the lock is
+/// per-completion, never on a hot loop.
+#[derive(Debug)]
+struct TraceDrain {
+    sender: Mutex<mpsc::Sender<TraceEvent>>,
+    state: Arc<DrainState>,
 }
 
 /// The engine's observability bundle: recorder, registry, and the metric
@@ -76,6 +105,8 @@ pub struct EngineObs {
     compactions_total: Arc<Counter>,
     delta_tuples: Arc<Gauge>,
     slow_threshold: Option<Duration>,
+    trace_store: Arc<TraceStore>,
+    drain: Option<TraceDrain>,
 }
 
 impl EngineObs {
@@ -84,8 +115,42 @@ impl EngineObs {
     /// queries slower than `slow_threshold`.
     pub fn new(trace_capacity: usize, slow_threshold: Option<Duration>) -> EngineObs {
         let registry = Arc::new(MetricsRegistry::new());
+        let recorder = Arc::new(Recorder::new(trace_capacity));
+        // Tail-sampled retention rides on tracing: with the recorder off
+        // there are no spans to retain, so the store is disabled too.
+        let trace_store = Arc::new(TraceStore::new(if trace_capacity > 0 {
+            RetentionPolicy::default()
+        } else {
+            RetentionPolicy {
+                capacity: 0,
+                ok_sample_per_mille: 0,
+            }
+        }));
+        let drain = (trace_capacity > 0).then(|| {
+            let (sender, receiver) = mpsc::channel::<TraceEvent>();
+            let state = Arc::new(DrainState::default());
+            let thread_recorder = Arc::clone(&recorder);
+            let thread_store = Arc::clone(&trace_store);
+            let thread_state = Arc::clone(&state);
+            std::thread::Builder::new()
+                .name("prj-trace-drain".to_string())
+                .spawn(move || {
+                    while let Ok(event) = receiver.recv() {
+                        drain_trace(&thread_recorder, &thread_store, slow_threshold, event);
+                        let mut pending = thread_state.pending.lock().expect("trace drain state");
+                        *pending -= 1;
+                        if *pending == 0 {
+                            thread_state.idle.notify_all();
+                        }
+                    }
+                })
+                .expect("spawn prj-trace-drain");
+            TraceDrain {
+                sender: Mutex::new(sender),
+                state,
+            }
+        });
         EngineObs {
-            recorder: Arc::new(Recorder::new(trace_capacity)),
             queries_total: registry.counter("prj_queries_total", &[]),
             cache_hits_total: registry.counter("prj_cache_hits_total", &[]),
             cache_misses_total: registry.counter("prj_cache_misses_total", &[]),
@@ -96,7 +161,10 @@ impl EngineObs {
             compactions_total: registry.counter("prj_compactions_total", &[]),
             delta_tuples: registry.gauge("prj_delta_tuples", &[]),
             registry,
+            recorder,
             slow_threshold,
+            trace_store,
+            drain,
         }
     }
 
@@ -157,30 +225,103 @@ impl EngineObs {
         self.unit_latency.record(latency);
     }
 
-    /// The slow-query log: when `latency` exceeds the configured threshold,
-    /// dumps every span of the query's trace still in the ring to stderr,
-    /// one [`prj_obs::Span::to_line`] line each under a header.
-    pub fn slow_query(&self, trace: Option<TraceId>, latency: Duration) {
-        let (Some(threshold), Some(trace)) = (self.slow_threshold, trace) else {
+    /// The tail-sampled trace store (the `FetchTrace`/`ListTraces`
+    /// backing). Disabled (capacity 0) when tracing is off.
+    pub fn trace_store(&self) -> &Arc<TraceStore> {
+        &self.trace_store
+    }
+
+    /// Reports a successfully finished query to the background trace
+    /// drain. Classification happens here (slow vs. ok, by the configured
+    /// threshold); span collection, the retention decision, and the
+    /// slow-query stderr dump all happen on the drain thread — nothing
+    /// blocks the query path.
+    pub fn query_finished(&self, trace: Option<TraceId>, latency: Duration) {
+        let class = match self.slow_threshold {
+            Some(threshold) if latency >= threshold => TraceClass::Slow,
+            _ => TraceClass::Ok,
+        };
+        self.trace_event(trace, class, latency);
+    }
+
+    /// Hands one finished trace (with an explicit outcome class, e.g.
+    /// [`TraceClass::Error`]) to the background drain.
+    pub fn trace_event(&self, trace: Option<TraceId>, class: TraceClass, latency: Duration) {
+        let (Some(drain), Some(trace)) = (self.drain.as_ref(), trace) else {
             return;
         };
-        if latency < threshold {
-            return;
+        *drain.state.pending.lock().expect("trace drain state") += 1;
+        let sent = drain
+            .sender
+            .lock()
+            .expect("trace drain sender")
+            .send(TraceEvent {
+                trace,
+                class,
+                latency,
+            })
+            .is_ok();
+        if !sent {
+            // Drain thread gone (only possible during teardown): undo the
+            // pending count so flush_traces never hangs.
+            let mut pending = drain.state.pending.lock().expect("trace drain state");
+            *pending -= 1;
+            if *pending == 0 {
+                drain.state.idle.notify_all();
+            }
         }
-        let spans = self.recorder.trace(trace);
-        let mut out = format!(
-            "slow-query trace={trace} latency_us={} threshold_us={} spans={}\n",
-            latency.as_micros(),
-            threshold.as_micros(),
-            spans.len(),
-        );
-        for span in &spans {
-            out.push_str("  ");
-            out.push_str(&span.to_line());
-            out.push('\n');
-        }
-        eprint!("{out}");
     }
+
+    /// Blocks until the background drain has processed every event sent so
+    /// far. Trace reads (`FetchTrace`/`ListTraces`) call this so a query
+    /// finished before the read is guaranteed visible in the store.
+    pub fn flush_traces(&self) {
+        let Some(drain) = self.drain.as_ref() else {
+            return;
+        };
+        let mut pending = drain.state.pending.lock().expect("trace drain state");
+        while *pending > 0 {
+            pending = drain.state.idle.wait(pending).expect("trace drain state");
+        }
+    }
+}
+
+/// One drain-thread step: collect the trace's spans, upgrade the class to
+/// `failover` when the trace contains a failover event span (the outcome
+/// the query path can't see), emit the slow-query stderr dump, and offer
+/// the trace to the tail-sampled store.
+fn drain_trace(
+    recorder: &Recorder,
+    store: &TraceStore,
+    slow_threshold: Option<Duration>,
+    event: TraceEvent,
+) {
+    let spans = recorder.trace(event.trace);
+    let class = if matches!(event.class, TraceClass::Ok | TraceClass::Slow)
+        && spans.iter().any(|s| s.name == "failover")
+    {
+        TraceClass::Failover
+    } else {
+        event.class
+    };
+    if let Some(threshold) = slow_threshold {
+        if event.latency >= threshold {
+            let trace = event.trace;
+            let mut out = format!(
+                "slow-query trace={trace} latency_us={} threshold_us={} spans={}\n",
+                event.latency.as_micros(),
+                threshold.as_micros(),
+                spans.len(),
+            );
+            for span in &spans {
+                out.push_str("  ");
+                out.push_str(&span.to_line());
+                out.push('\n');
+            }
+            eprint!("{out}");
+        }
+    }
+    store.offer(class, event.trace, spans);
 }
 
 impl Default for EngineObs {
@@ -221,6 +362,22 @@ pub fn from_api_samples(samples: &[MetricSample]) -> Vec<Sample> {
                 MetricKind::Histogram => SampleKind::Histogram,
             },
             value: s.value,
+        })
+        .collect()
+}
+
+/// Converts recorder spans into their wire records. `parent` 0 encodes
+/// "no parent"; attributes don't travel — the wire span shape is identity
+/// plus timing.
+pub fn to_api_spans(spans: &[prj_obs::Span]) -> Vec<SpanRecord> {
+    spans
+        .iter()
+        .map(|s| SpanRecord {
+            name: s.name.clone(),
+            id: s.id.as_u64(),
+            parent: s.parent.map_or(0, |p| p.as_u64()),
+            start_micros: s.start_micros,
+            duration_micros: s.duration_micros,
         })
         .collect()
 }

@@ -14,12 +14,14 @@
 //! differ in where the [`Response`]s are written.
 
 use crate::catalog::{CatalogError, RelationId};
-use crate::engine::{Engine, EngineError, QuerySpec, ResultStream};
+use crate::engine::{Engine, EngineError, ExplainData, QuerySpec, ResultStream};
 use crate::obs::QueryTrace;
 use prj_access::AccessKind;
+use prj_api::response::TrajectorySample;
 use prj_api::{
-    ApiError, ErrorKind, MetricsReport, QueryRequest, RelationRef, Request, Response, ResultRow,
-    StatsReport, TupleData,
+    AnalyzeReport, ApiError, ErrorKind, ExplainReport, HealthReport, MetricsReport, QueryRequest,
+    RelationPlanStat, RelationRef, Request, Response, ResultRow, StatsReport, TraceSummary,
+    TupleData, UnitPlanReport, UnitProfile,
 };
 use prj_core::{Algorithm, EuclideanLogScore, PrjError, ScoredCombination, ScoringSpec};
 use prj_geometry::Vector;
@@ -367,7 +369,69 @@ impl Session {
                      start it with a subscription-capable front-end",
                 ));
             }
+            Request::Explain { query, analyze } => {
+                let spec = self.build_spec(query)?;
+                let data = self.engine.explain(spec, analyze)?;
+                Response::Explain(to_explain_report(data))
+            }
+            Request::FetchTrace { trace } => {
+                let obs = self.engine.obs();
+                // Make any trace already reported to the drain visible
+                // before reading the store.
+                obs.flush_traces();
+                let stored = TraceId::from_u64(trace)
+                    .and_then(|id| obs.trace_store().fetch(id))
+                    .ok_or_else(|| {
+                        ApiError::new(
+                            ErrorKind::InvalidQuery,
+                            format!("no retained trace {trace} (expired or never sampled)"),
+                        )
+                    })?;
+                Response::Trace {
+                    trace,
+                    class: stored.class.as_str().to_string(),
+                    spans: crate::obs::to_api_spans(&stored.spans),
+                }
+            }
+            Request::ListTraces => {
+                let obs = self.engine.obs();
+                obs.flush_traces();
+                Response::Traces {
+                    traces: obs
+                        .trace_store()
+                        .list()
+                        .into_iter()
+                        .map(|(t, spans)| TraceSummary {
+                            trace: t.trace.as_u64(),
+                            class: t.class.as_str().to_string(),
+                            root: t.root,
+                            duration_micros: t.duration_micros,
+                            spans,
+                        })
+                        .collect(),
+                }
+            }
+            Request::Health => Response::Health(self.base_health()),
         }))
+    }
+
+    /// The single-node health report: the wrappers above a plain session
+    /// (`prj-sub`'s `Subscribing`, the cluster coordinator/worker handlers)
+    /// take this as the base and fill in their own fields.
+    pub fn base_health(&self) -> HealthReport {
+        let catalog = self.engine.catalog();
+        HealthReport {
+            ready: true,
+            live: true,
+            role: "engine".to_string(),
+            delta_tuples: catalog.delta_tuples_total() as u64,
+            oldest_delta_age_ms: self
+                .engine
+                .compactor()
+                .map_or(0, |c| c.oldest_backlog_age_ms()),
+            traces_retained: self.engine.obs().trace_store().len() as u64,
+            ..HealthReport::default()
+        }
     }
 
     /// Resolves a protocol [`QueryRequest`] into an engine [`QuerySpec`]
@@ -417,6 +481,7 @@ impl Session {
             selector,
             access_kind: query.access.unwrap_or(self.default_access),
             algorithm: query.algorithm.or(self.default_algorithm),
+            convergence: 0,
             // A wire trace context joins the engine's recorder under the
             // caller's trace id, stitching this session's spans into the
             // upstream trace (the wire layer guarantees `trace != 0`).
@@ -460,6 +525,61 @@ fn to_rows(tuples: Vec<TupleData>) -> Result<Vec<(Vector, f64)>, ApiError> {
             Ok((Vector::new(t.coords), t.score))
         })
         .collect()
+}
+
+/// Translates an engine-level EXPLAIN report into its wire shape.
+fn to_explain_report(data: ExplainData) -> ExplainReport {
+    ExplainReport {
+        algorithm: data.plan.algorithm.id().to_string(),
+        drive: data.drive,
+        k: data.k,
+        rationale: data.plan.rationale,
+        relations: data
+            .relations
+            .into_iter()
+            .map(|r| RelationPlanStat {
+                name: r.name,
+                cardinality: r.cardinality,
+                skew: r.skew,
+                discount: r.discount,
+            })
+            .collect(),
+        units: data
+            .units
+            .into_iter()
+            .map(|u| UnitPlanReport {
+                shard: u.shard,
+                algorithm: u.plan.algorithm.id().to_string(),
+                dominance_period: u.plan.dominance_period,
+                rationale: u.plan.rationale,
+            })
+            .collect(),
+        analyzed: data.analyzed.map(|a| AnalyzeReport {
+            rows: a.result.combinations.iter().map(to_row).collect(),
+            latency_micros: a.latency.as_micros() as u64,
+            total_sum_depths: a.total_sum_depths,
+            units: a
+                .units
+                .into_iter()
+                .map(|u| UnitProfile {
+                    shard: u.shard,
+                    cache: u.cache.to_string(),
+                    remote: u.remote,
+                    depths: u.depths,
+                    micros: u.micros,
+                    trajectory: u
+                        .trajectory
+                        .iter()
+                        .map(|p| TrajectorySample {
+                            depth: p.depth,
+                            kth_score: p.kth_score,
+                            bound: p.bound,
+                        })
+                        .collect(),
+                })
+                .collect(),
+        }),
+    }
 }
 
 /// Translates one engine combination into its protocol row (the

@@ -17,6 +17,11 @@
 //! * [`expose`] — Prometheus-style text rendering of samples
 //!   ([`render_prometheus`]) and a minimal HTTP listener serving it
 //!   ([`MetricsServer`], the `--metrics-addr` endpoint of `prj-serve`).
+//! * [`store`] — tail-sampled trace retention ([`TraceStore`]): the
+//!   retention decision is made after a query finishes, so error, failover
+//!   and slow traces are always kept while ordinary traffic is
+//!   deterministically down-sampled; backs the `FetchTrace`/`ListTraces`
+//!   verbs.
 //!
 //! Design constraint: nothing here may put a mutex on a query hot path.
 //! Metric updates are single atomic RMWs; span begin is an atomic id
@@ -29,10 +34,12 @@
 
 pub mod expose;
 pub mod metrics;
+pub mod store;
 pub mod trace;
 
 pub use expose::{render_prometheus, MetricsServer, RenderFn};
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry, Sample, SampleKind};
+pub use store::{RetentionPolicy, StoredTrace, TraceClass, TraceStore};
 pub use trace::{
     now_micros, LineSink, Recorder, RemoteSpan, Span, SpanGuard, SpanId, SpanSink, TraceId,
 };

@@ -1,0 +1,199 @@
+//! Prometheus text-exposition conformance for [`render_prometheus`]: the
+//! invariants a scraper relies on — parseable lines, correct label-value
+//! escaping, histogram series bookkeeping, and deterministic output — so a
+//! rendering regression fails here instead of silently corrupting every
+//! dashboard fed from `--metrics-addr`.
+
+use prj_obs::metrics::{bucket_bound_micros, HISTOGRAM_BUCKETS};
+use prj_obs::{render_prometheus, MetricsRegistry, Sample};
+
+/// Splits one exposition line into `(series, value)` and parses the value,
+/// the way `prj-serve --cluster-self-check` (and any scraper) does.
+fn parse_line(line: &str) -> (&str, f64) {
+    let (series, value) = line
+        .rsplit_once(' ')
+        .unwrap_or_else(|| panic!("malformed exposition line {line:?}"));
+    let value = value
+        .parse::<f64>()
+        .unwrap_or_else(|_| panic!("non-numeric value in {line:?}"));
+    (series, value)
+}
+
+#[test]
+fn every_line_is_a_type_comment_or_a_parseable_sample() {
+    let registry = MetricsRegistry::new();
+    registry.counter("prj_queries_total", &[]).add(7);
+    registry
+        .counter("prj_queries_total", &[("instance", "worker0")])
+        .add(2);
+    registry
+        .gauge("prj_delta_tuples", &[("shard", "3")])
+        .set(41.0);
+    registry
+        .histogram("prj_query_latency_seconds", &[])
+        .record_micros(250);
+    let text = render_prometheus(&registry.snapshot());
+    assert!(!text.is_empty());
+    for line in text.lines() {
+        if let Some(comment) = line.strip_prefix("# TYPE ") {
+            let mut parts = comment.split(' ');
+            let name = parts.next().expect("TYPE name");
+            let kind = parts.next().expect("TYPE kind");
+            assert!(parts.next().is_none(), "trailing tokens in {line:?}");
+            assert!(!name.is_empty());
+            assert!(
+                matches!(kind, "counter" | "gauge" | "histogram"),
+                "unknown exposition type in {line:?}"
+            );
+        } else {
+            parse_line(line);
+        }
+    }
+}
+
+#[test]
+fn type_comments_precede_their_series_and_appear_once() {
+    let registry = MetricsRegistry::new();
+    registry.counter("prj_queries_total", &[]).inc();
+    registry
+        .counter("prj_queries_total", &[("instance", "worker1")])
+        .inc();
+    registry
+        .histogram("prj_sub_notify_delay_us", &[])
+        .record_micros(90);
+    let text = render_prometheus(&registry.snapshot());
+    for base in ["prj_queries_total", "prj_sub_notify_delay_us"] {
+        let type_line = format!("# TYPE {base} ");
+        assert_eq!(
+            text.matches(&type_line).count(),
+            1,
+            "exactly one TYPE line for {base}:\n{text}"
+        );
+        let type_at = text.find(&type_line).unwrap();
+        let first_sample = text
+            .lines()
+            .filter(|l| !l.starts_with('#') && l.starts_with(base))
+            .map(|l| text.find(l).unwrap())
+            .min()
+            .expect("the metric has sample lines");
+        assert!(type_at < first_sample, "TYPE precedes the first sample");
+    }
+}
+
+#[test]
+fn label_values_are_escaped_and_stay_single_line() {
+    let samples = vec![Sample::gauge(
+        "prj_test_gauge",
+        &[("name", "quote \" backslash \\ newline \n end")],
+        1.0,
+    )];
+    let text = render_prometheus(&samples);
+    assert_eq!(text.lines().count(), 2, "TYPE line + one series line");
+    let line = text.lines().nth(1).unwrap();
+    assert!(
+        line.contains(r#"name="quote \" backslash \\ newline \n end""#),
+        "escaping mangled: {line:?}"
+    );
+    // The escaped value still parses under the scraper's split rule.
+    let (series, value) = parse_line(line);
+    assert!(series.starts_with("prj_test_gauge{"));
+    assert_eq!(value, 1.0);
+}
+
+#[test]
+fn histogram_series_keep_the_bucket_invariants() {
+    let registry = MetricsRegistry::new();
+    let histogram = registry.histogram("prj_sub_notify_delay_us", &[]);
+    histogram.record_micros(3);
+    histogram.record_micros(700);
+    histogram.record_micros(u64::MAX); // lands in +Inf's own bucket
+    let text = render_prometheus(&registry.snapshot());
+    let buckets: Vec<(&str, f64)> = text
+        .lines()
+        .filter(|l| l.starts_with("prj_sub_notify_delay_us_bucket"))
+        .map(parse_line)
+        .collect();
+    assert_eq!(buckets.len(), HISTOGRAM_BUCKETS, "one line per bound");
+    // Cumulative counts are monotone non-decreasing.
+    let counts: Vec<f64> = buckets.iter().map(|(_, v)| *v).collect();
+    assert!(counts.windows(2).all(|w| w[0] <= w[1]), "{counts:?}");
+    // `le` bounds are strictly increasing and finish at +Inf.
+    let bounds: Vec<&str> = buckets
+        .iter()
+        .map(|(series, _)| {
+            series
+                .split("le=\"")
+                .nth(1)
+                .and_then(|rest| rest.split('"').next())
+                .expect("bucket line carries le")
+        })
+        .collect();
+    assert_eq!(*bounds.last().unwrap(), "+Inf");
+    let numeric: Vec<f64> = bounds[..bounds.len() - 1]
+        .iter()
+        .map(|b| b.parse::<f64>().expect("finite le bound"))
+        .collect();
+    assert!(numeric.windows(2).all(|w| w[0] < w[1]), "{numeric:?}");
+    assert_eq!(
+        numeric[0],
+        bucket_bound_micros(0).unwrap() as f64 / 1e6,
+        "bounds are the registry's µs bounds rendered in seconds"
+    );
+    // The +Inf bucket equals _count, and _sum/_count are present once.
+    let count = text
+        .lines()
+        .find(|l| l.starts_with("prj_sub_notify_delay_us_count"))
+        .map(|l| parse_line(l).1)
+        .expect("_count series");
+    assert_eq!(counts.last().copied().unwrap(), count);
+    assert_eq!(count, 3.0);
+    let sum = text
+        .lines()
+        .find(|l| l.starts_with("prj_sub_notify_delay_us_sum"))
+        .map(|l| parse_line(l).1)
+        .expect("_sum series");
+    assert!(sum > 0.0, "sum in seconds is positive");
+    assert_eq!(
+        text.matches("# TYPE prj_sub_notify_delay_us histogram")
+            .count(),
+        1,
+        "bucket/sum/count fold under one histogram TYPE"
+    );
+}
+
+#[test]
+fn rendering_is_deterministic_across_registration_order() {
+    let forward = MetricsRegistry::new();
+    forward.counter("prj_queries_total", &[]).add(5);
+    forward
+        .gauge("prj_delta_tuples", &[("shard", "0")])
+        .set(3.0);
+    forward
+        .gauge("prj_delta_tuples", &[("shard", "1")])
+        .set(9.0);
+    forward
+        .histogram("prj_query_latency_seconds", &[])
+        .record_micros(64);
+
+    // Same series registered in reverse order, same final values.
+    let reverse = MetricsRegistry::new();
+    reverse
+        .histogram("prj_query_latency_seconds", &[])
+        .record_micros(64);
+    reverse
+        .gauge("prj_delta_tuples", &[("shard", "1")])
+        .set(9.0);
+    reverse
+        .gauge("prj_delta_tuples", &[("shard", "0")])
+        .set(3.0);
+    reverse.counter("prj_queries_total", &[]).add(5);
+
+    let a = render_prometheus(&forward.snapshot());
+    let b = render_prometheus(&reverse.snapshot());
+    assert_eq!(
+        a, b,
+        "exposition order is a function of the series, not time"
+    );
+    // And stable across repeated snapshots of one registry.
+    assert_eq!(a, render_prometheus(&forward.snapshot()));
+}

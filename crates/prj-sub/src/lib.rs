@@ -60,13 +60,13 @@ use prj_engine::{
     to_row, Dispatch, EngineError, MutationEvent, MutationKind, MutationObserver, QuerySpec,
     RequestHandler, Session,
 };
-use prj_obs::{Counter, Gauge, SpanGuard};
+use prj_obs::{Counter, Gauge, Histogram, SpanGuard};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How many times a re-execution retries a `stale-epoch` verdict before
 /// closing the subscription with `fin=error`. Stale verdicts are transient
@@ -76,7 +76,9 @@ const STALE_RETRIES: usize = 20;
 const STALE_BACKOFF: Duration = Duration::from_millis(10);
 
 enum Wake {
-    Mutation(MutationEvent),
+    /// A committed mutation plus its enqueue instant, so the notifier can
+    /// report the full mutation→notify delay (queueing included).
+    Mutation(MutationEvent, Instant),
     Shutdown,
 }
 
@@ -87,17 +89,27 @@ enum Wake {
 struct Forwarder {
     tx: Sender<Wake>,
     pending: Arc<(Mutex<usize>, Condvar)>,
+    queue_depth: Arc<Gauge>,
 }
 
 impl MutationObserver for Forwarder {
     fn mutation(&self, event: &MutationEvent) {
         let (lock, signal) = &*self.pending;
-        *lock.lock().expect("pending lock") += 1;
-        if self.tx.send(Wake::Mutation(event.clone())).is_err() {
+        {
+            let mut pending = lock.lock().expect("pending lock");
+            *pending += 1;
+            self.queue_depth.set(*pending as f64);
+        }
+        if self
+            .tx
+            .send(Wake::Mutation(event.clone(), Instant::now()))
+            .is_err()
+        {
             // The manager is gone; undo the in-flight count so a stray
             // late quiesce cannot wedge.
             let mut pending = lock.lock().expect("pending lock");
             *pending -= 1;
+            self.queue_depth.set(*pending as f64);
             if *pending == 0 {
                 signal.notify_all();
             }
@@ -133,6 +145,8 @@ struct Inner {
     notifications: Arc<Counter>,
     reexecuted: Arc<Counter>,
     suppressed: Arc<Counter>,
+    queue_depth: Arc<Gauge>,
+    notify_delay: Arc<Histogram>,
 }
 
 /// Owns every standing query registered against one engine; see the crate
@@ -159,6 +173,8 @@ impl SubscriptionManager {
             notifications: registry.counter("prj_subscription_notifications_total", &[]),
             reexecuted: registry.counter("prj_subscription_reexecuted_units_total", &[]),
             suppressed: registry.counter("prj_subscription_suppressed_total", &[]),
+            queue_depth: registry.gauge("prj_sub_queue_depth", &[]),
+            notify_delay: registry.histogram("prj_sub_notify_delay_us", &[]),
             session,
             subs: Mutex::new(HashMap::new()),
             next_id: AtomicU64::new(0),
@@ -172,6 +188,7 @@ impl SubscriptionManager {
             .add_mutation_observer(Arc::new(Forwarder {
                 tx: tx.clone(),
                 pending: Arc::clone(&inner.pending),
+                queue_depth: Arc::clone(&inner.queue_depth),
             }));
         let notifier_inner = Arc::clone(&inner);
         let notifier = std::thread::Builder::new()
@@ -291,6 +308,12 @@ impl SubscriptionManager {
         self.inner.subs.lock().expect("subscriptions lock").len()
     }
 
+    /// Mutations accepted but not yet fully processed by the notifier —
+    /// the health model's backpressure signal for the push pipeline.
+    pub fn queue_depth(&self) -> usize {
+        *self.inner.pending.0.lock().expect("pending lock")
+    }
+
     /// Notifications delivered (including `fin` closers).
     pub fn notifications_total(&self) -> u64 {
         self.inner.notifications.get()
@@ -323,11 +346,17 @@ fn notifier_loop(inner: &Arc<Inner>, rx: Receiver<Wake>) {
     while let Ok(wake) = rx.recv() {
         match wake {
             Wake::Shutdown => break,
-            Wake::Mutation(event) => {
+            Wake::Mutation(event, enqueued) => {
                 process_mutation(inner, &event);
+                // Delay covers queueing + every affected re-execution: the
+                // end-to-end push-pipeline latency for this mutation.
+                inner
+                    .notify_delay
+                    .record_micros(enqueued.elapsed().as_micros() as u64);
                 let (lock, signal) = &*inner.pending;
                 let mut pending = lock.lock().expect("pending lock");
                 *pending -= 1;
+                inner.queue_depth.set(*pending as f64);
                 if *pending == 0 {
                     signal.notify_all();
                 }
@@ -516,6 +545,17 @@ impl<H: RequestHandler> RequestHandler for Subscribing<H> {
                 Err(e) => Dispatch::One(Response::Error(e)),
             },
             Request::Unsubscribe { id } => Dispatch::One(self.manager.unsubscribe(id)),
+            // The wrapped handler answers from its own vantage (engine,
+            // worker, or coordinator); the subscription layer stacks its
+            // pipeline signals on top.
+            Request::Health => {
+                let mut dispatch = self.handler.dispatch_request(Request::Health);
+                if let Dispatch::One(Response::Health(health)) = &mut dispatch {
+                    health.subscriptions = self.manager.active() as u64;
+                    health.sub_queue_depth = self.manager.queue_depth() as u64;
+                }
+                dispatch
+            }
             other => self.handler.dispatch_request(other),
         }
     }
